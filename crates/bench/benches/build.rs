@@ -1,0 +1,56 @@
+//! Summary-construction benchmarks: the offline pipeline of Sec. 5 —
+//! observing statistics, KD-tree selection, polynomial compression, and the
+//! end-to-end build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use entropydb_bench::common;
+use entropydb_core::prelude::*;
+use entropydb_core::selection::heuristics::select_pair_statistics;
+use entropydb_core::selection::kdtree;
+use entropydb_core::statistics::Statistics;
+use entropydb_data::flights::restrict_to_time_distance;
+use entropydb_storage::Histogram2D;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut scale = common::Scale::quick();
+    scale.flights_rows = 60_000;
+    let dataset = common::flights_coarse(&scale);
+    let (table, _, et, dt) = restrict_to_time_distance(&dataset);
+    let hist = Histogram2D::compute(&table, et, dt).expect("histogram");
+    let stats_spec =
+        select_pair_statistics(&table, et, dt, 400, Heuristic::Composite).expect("selection");
+    let stats = Statistics::observe(&table, stats_spec.clone()).expect("observe");
+
+    let mut g = c.benchmark_group("build");
+    g.bench_function("histogram_2d_60k_rows", |b| {
+        b.iter(|| Histogram2D::compute(black_box(&table), et, dt).unwrap())
+    });
+    g.bench_function("kdtree_partition_400", |b| {
+        b.iter(|| kdtree::partition(black_box(&hist), 400))
+    });
+    g.bench_function("observe_statistics", |b| {
+        b.iter(|| Statistics::observe(black_box(&table), stats_spec.clone()).unwrap())
+    });
+    g.bench_function("compress_polynomial", |b| {
+        b.iter(|| FactorizedPolynomial::build(stats.domain_sizes(), stats.multi()).unwrap())
+    });
+    g.bench_function("end_to_end_summary", |b| {
+        b.iter(|| {
+            MaxEntSummary::build(
+                black_box(&table),
+                stats_spec.clone(),
+                &SolverConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Polynomial-evaluation benchmarks (paper Sec. 4.1 compression claim).
+//!
+//! Compares evaluating the same MaxEnt polynomial three ways: the naive
+//! one-monomial-per-tuple form (Eq. 5), the flat compressed form
+//! (Theorem 4.1), and the component-factorized form — plus the batched
+//! derivative pass against per-variable derivatives (the solver's key
+//! optimization in this implementation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use entropydb_core::assignment::{Mask, VarAssignment};
+use entropydb_core::naive::NaivePolynomial;
+use entropydb_core::polynomial::{CompressedPolynomial, Var};
+use entropydb_core::prelude::*;
+use entropydb_core::statistics::RangeClause;
+use entropydb_storage::AttrId;
+use std::hint::black_box;
+
+/// A model small enough to materialize naively (24k monomials) but with
+/// realistic statistic structure: two connected pairs and one cross pair.
+fn setup() -> (Vec<usize>, Vec<MultiDimStatistic>, VarAssignment) {
+    let sizes = vec![30usize, 40, 20];
+    let mut stats = Vec::new();
+    // Disjoint rectangles on (0, 1) — a COMPOSITE-style partition strip.
+    for i in 0..10u32 {
+        stats.push(
+            MultiDimStatistic::new(vec![
+                RangeClause { attr: AttrId(0), lo: 3 * i, hi: 3 * i + 2 },
+                RangeClause { attr: AttrId(1), lo: 0, hi: 39 },
+            ])
+            .expect("valid"),
+        );
+    }
+    // Overlapping rectangles on (1, 2).
+    for i in 0..8u32 {
+        stats.push(
+            MultiDimStatistic::new(vec![
+                RangeClause { attr: AttrId(1), lo: 5 * i, hi: 5 * i + 4 },
+                RangeClause { attr: AttrId(2), lo: 0, hi: 9 },
+            ])
+            .expect("valid"),
+        );
+    }
+    let mut a = VarAssignment::ones(&sizes, stats.len());
+    for (i, vs) in a.one_dim.iter_mut().enumerate() {
+        for (v, x) in vs.iter_mut().enumerate() {
+            *x = 0.01 + ((i + 1) * (v + 3) % 17) as f64 / 17.0;
+        }
+    }
+    for (j, d) in a.multi.iter_mut().enumerate() {
+        *d = 0.5 + (j % 5) as f64 * 0.3;
+    }
+    (sizes, stats, a)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let (sizes, stats, a) = setup();
+    let naive = NaivePolynomial::build(&sizes, &stats).expect("naive builds");
+    let flat = CompressedPolynomial::build(&sizes, &stats).expect("flat builds");
+    let fact = FactorizedPolynomial::build(&sizes, &stats).expect("factorized builds");
+
+    let mut g = c.benchmark_group("polynomial_eval");
+    g.bench_function(format!("naive({}_monomials)", naive.num_monomials()), |b| {
+        b.iter(|| naive.eval(black_box(&a)))
+    });
+    g.bench_function(format!("compressed({}_terms)", flat.num_terms()), |b| {
+        b.iter(|| flat.eval(black_box(&a)))
+    });
+    g.bench_function(format!("factorized({}_terms)", fact.num_terms()), |b| {
+        b.iter(|| fact.eval(black_box(&a)))
+    });
+    g.finish();
+}
+
+/// Ablation: one fused pass for a whole attribute vs one generic-derivative
+/// call per value — the difference between this solver and Algorithm 1 run
+/// literally.
+fn bench_derivatives(c: &mut Criterion) {
+    let (sizes, stats, a) = setup();
+    let flat = CompressedPolynomial::build(&sizes, &stats).expect("flat builds");
+    let mask = Mask::identity(sizes.len());
+
+    let mut g = c.benchmark_group("derivatives_attr1");
+    g.bench_function("batched_pass", |b| {
+        b.iter(|| flat.eval_with_attr_derivatives(black_box(&a), &mask, 1))
+    });
+    g.bench_function("per_variable", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for code in 0..sizes[1] as u32 {
+                total += flat.derivative(black_box(&a), &mask, Var::OneDim { attr: 1, code });
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_eval, bench_derivatives
+}
+criterion_main!(benches);

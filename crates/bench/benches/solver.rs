@@ -1,0 +1,97 @@
+//! Solver benchmarks (paper Sec. 3.3 / Sec. 5).
+//!
+//! The paper's claim: coordinate mirror descent (Algorithm 1) converges
+//! fastest; their Java prototype needed ~1 day for the full flights model.
+//! We measure (a) a full solve to tolerance with the batched coordinate
+//! solver, and (b) the per-sweep cost of the coordinate solver vs the
+//! exponentiated-gradient baseline on the same model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use entropydb_bench::common;
+use entropydb_core::prelude::*;
+use entropydb_core::selection::heuristics::select_pair_statistics;
+use entropydb_core::solver::{solve, solve_gradient, SolverConfig};
+use entropydb_core::statistics::Statistics;
+use entropydb_data::flights::restrict_to_time_distance;
+use std::hint::black_box;
+
+fn setup() -> (Statistics, FactorizedPolynomial) {
+    let mut scale = common::Scale::quick();
+    scale.flights_rows = 60_000;
+    let dataset = common::flights_coarse(&scale);
+    let (table, _, et, dt) = restrict_to_time_distance(&dataset);
+    let stats_spec =
+        select_pair_statistics(&table, et, dt, 400, Heuristic::Composite).expect("selection");
+    let stats = Statistics::observe(&table, stats_spec).expect("observe");
+    let poly = FactorizedPolynomial::build(stats.domain_sizes(), stats.multi()).expect("build");
+    (stats, poly)
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let (stats, poly) = setup();
+
+    let mut g = c.benchmark_group("solver");
+    g.bench_function("coordinate_full_solve", |b| {
+        b.iter(|| {
+            let config = SolverConfig {
+                max_sweeps: 100,
+                tolerance: 1e-7,
+                track_dual: false,
+            };
+            solve(black_box(&poly), black_box(&stats), &config).unwrap()
+        })
+    });
+    g.bench_function("coordinate_per_sweep", |b| {
+        b.iter(|| {
+            let config = SolverConfig {
+                max_sweeps: 1,
+                tolerance: 0.0,
+                track_dual: false,
+            };
+            solve(black_box(&poly), black_box(&stats), &config).unwrap()
+        })
+    });
+    g.bench_function("gradient_per_sweep", |b| {
+        b.iter(|| solve_gradient(black_box(&poly), black_box(&stats), 1.0, 1, 0.0).unwrap())
+    });
+    g.finish();
+}
+
+/// Sweeps-to-converge comparison, reported through bench output: run once
+/// outside the timing loop and assert the paper's ordering.
+fn bench_convergence(c: &mut Criterion) {
+    let (stats, poly) = setup();
+    // Statistics observed from real-shaped data imply some zero cells, so
+    // the dual optimum lies at the boundary (δ → ∞ directions) and no fixed
+    // tolerance is guaranteed reachable. The robust comparison is residual
+    // after an equal sweep budget: the coordinate solver must make at least
+    // as much progress per sweep as the exponentiated-gradient baseline
+    // (the paper's "fastest convergence" claim).
+    let budget = 100;
+    let config = SolverConfig {
+        max_sweeps: budget,
+        tolerance: 0.0,
+        track_dual: false,
+    };
+    let (_, coord) = solve(&poly, &stats, &config).unwrap();
+    let (_, grad) = solve_gradient(&poly, &stats, 1.0, budget, 0.0).unwrap();
+    println!(
+        "\nresidual after {budget} sweeps: coordinate {:.3e} ({:.3}s), gradient {:.3e} ({:.3}s)",
+        coord.max_residual, coord.seconds, grad.max_residual, grad.seconds
+    );
+    assert!(
+        coord.max_residual <= grad.max_residual,
+        "coordinate ({:.3e}) should beat gradient ({:.3e}) at equal sweeps",
+        coord.max_residual,
+        grad.max_residual
+    );
+    // Keep criterion happy with a trivial measured target.
+    c.bench_function("solver/noop_reference", |b| b.iter(|| black_box(1 + 1)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_solver, bench_convergence
+}
+criterion_main!(benches);

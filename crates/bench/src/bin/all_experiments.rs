@@ -1,0 +1,19 @@
+//! Runs every experiment in sequence. Flags: --quick, --rows N.
+
+use entropydb_bench::experiments;
+
+fn main() {
+    let scale = entropydb_bench::Scale::from_args();
+    for (name, run) in [
+        ("tables", experiments::tables::run as fn(&entropydb_bench::Scale) -> String),
+        ("fig2", experiments::fig2::run),
+        ("fig5", experiments::fig5::run),
+        ("fig6", experiments::fig6::run),
+        ("fig7", experiments::fig7::run),
+        ("fig8", experiments::fig8::run),
+    ] {
+        println!("######## {name} ########");
+        print!("{}", run(&scale));
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 artifact. Flags: --quick, --rows N.
+
+fn main() {
+    let scale = entropydb_bench::Scale::from_args();
+    print!("{}", entropydb_bench::experiments::fig5::run(&scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 artifact. Flags: --quick, --rows N.
+
+fn main() {
+    let scale = entropydb_bench::Scale::from_args();
+    print!("{}", entropydb_bench::experiments::fig6::run(&scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's tables artifact. Flags: --quick, --rows N.
+
+fn main() {
+    let scale = entropydb_bench::Scale::from_args();
+    print!("{}", entropydb_bench::experiments::tables::run(&scale));
+}

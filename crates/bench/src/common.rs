@@ -1,0 +1,309 @@
+//! Shared experiment machinery: scales, summary configurations (paper
+//! Fig. 4), sampling baselines, and workload evaluation.
+
+use entropydb_core::metrics::{f_measure, relative_error, FMeasure};
+use entropydb_core::prelude::*;
+use entropydb_core::selection::heuristics::select_pair_statistics;
+use entropydb_data::flights::{self, FlightsConfig, FlightsDataset};
+use entropydb_data::workload::Workload;
+use entropydb_sampling::{stratified_sample, uniform_sample, Sample};
+use entropydb_storage::{AttrId, Predicate, Table};
+
+/// Experiment scale knobs. `default()` approximates the paper's settings at
+/// synthetic-data row counts; `quick()` is for smoke tests and CI.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Rows in the flights tables.
+    pub flights_rows: usize,
+    /// Rows per particles snapshot.
+    pub particles_rows: usize,
+    /// Heavy hitters per template (paper: 100).
+    pub heavy: usize,
+    /// Light hitters per template (paper: 100).
+    pub light: usize,
+    /// Nonexistent values per template (paper: 200).
+    pub nulls: usize,
+    /// Per-pair statistic budget for Ent1&2 / Ent3&4 (paper: 1500).
+    pub bs_two_pairs: usize,
+    /// Per-pair budget for Ent1&2&3 (paper: 1000).
+    pub bs_three_pairs: usize,
+    /// Budgets swept in the Fig. 2 heuristic study (paper: 500/1000/2000).
+    pub fig2_budgets: Vec<usize>,
+    /// Sampling fraction (paper: 1%).
+    pub sample_fraction: f64,
+}
+
+impl Scale {
+    /// Paper-like scale.
+    pub fn paper() -> Self {
+        Scale {
+            flights_rows: 500_000,
+            particles_rows: 300_000,
+            heavy: 100,
+            light: 100,
+            nulls: 200,
+            bs_two_pairs: 1500,
+            bs_three_pairs: 1000,
+            fig2_budgets: vec![500, 1000, 2000],
+            sample_fraction: 0.01,
+        }
+    }
+
+    /// Small scale for smoke tests.
+    pub fn quick() -> Self {
+        Scale {
+            flights_rows: 40_000,
+            particles_rows: 20_000,
+            heavy: 20,
+            light: 20,
+            nulls: 40,
+            bs_two_pairs: 150,
+            bs_three_pairs: 100,
+            fig2_budgets: vec![100, 250],
+            sample_fraction: 0.01,
+        }
+    }
+
+    /// Parses `--quick` / `--rows N` from process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick") {
+            Scale::quick()
+        } else {
+            Scale::paper()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--rows") {
+            if let Some(n) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+                scale.flights_rows = n;
+                scale.particles_rows = n;
+            }
+        }
+        scale
+    }
+}
+
+/// The paper's four attribute pairs (Sec. 6.2), in its numbering:
+/// 1 = (origin, distance), 2 = (dest, distance), 3 = (fl_time, distance),
+/// 4 = (origin, dest).
+pub fn flights_pairs(d: &FlightsDataset) -> [(AttrId, AttrId); 4] {
+    [
+        (d.origin, d.distance),
+        (d.dest, d.distance),
+        (d.fl_time, d.distance),
+        (d.origin, d.dest),
+    ]
+}
+
+/// One estimator under evaluation: a MaxEnt summary or a sample.
+pub enum Method {
+    /// A MaxEnt summary, labeled as in the paper's figures.
+    Summary(String, Box<MaxEntSummary>),
+    /// A (uniform or stratified) sample.
+    Sample(String, Sample),
+}
+
+impl Method {
+    /// The figure label.
+    pub fn name(&self) -> &str {
+        match self {
+            Method::Summary(n, _) => n,
+            Method::Sample(n, _) => n,
+        }
+    }
+
+    /// Creates the summary variant.
+    pub fn summary(name: impl Into<String>, s: MaxEntSummary) -> Self {
+        Method::Summary(name.into(), Box::new(s))
+    }
+
+    /// Point estimate for a counting query, with the paper's rounding
+    /// (expectations below 0.5 count as 0).
+    pub fn estimate(&self, pred: &Predicate) -> f64 {
+        let raw = match self {
+            Method::Summary(_, s) => s.estimate_count(pred).expect("valid query").expectation,
+            Method::Sample(_, s) => s.estimate_count(pred).expect("valid query"),
+        };
+        if raw < 0.5 {
+            0.0
+        } else {
+            raw
+        }
+    }
+}
+
+/// Builds the four MaxEnt summaries of Fig. 4 over a flights table:
+/// `No2D`, `Ent1&2`, `Ent3&4`, `Ent1&2&3` (COMPOSITE statistics).
+pub fn build_flights_summaries(
+    dataset: &FlightsDataset,
+    scale: &Scale,
+) -> Vec<(String, MaxEntSummary)> {
+    let pairs = flights_pairs(dataset);
+    let config = SolverConfig::default();
+    let table = &dataset.table;
+
+    let mut out = Vec::new();
+    out.push((
+        "No2D".to_string(),
+        MaxEntSummary::build(table, vec![], &config).expect("No2D builds"),
+    ));
+    for (label, chosen, bs) in [
+        ("Ent1&2", vec![pairs[0], pairs[1]], scale.bs_two_pairs),
+        ("Ent3&4", vec![pairs[2], pairs[3]], scale.bs_two_pairs),
+        (
+            "Ent1&2&3",
+            vec![pairs[0], pairs[1], pairs[2]],
+            scale.bs_three_pairs,
+        ),
+    ] {
+        let mut stats = Vec::new();
+        for (x, y) in chosen {
+            stats.extend(
+                select_pair_statistics(table, x, y, bs, Heuristic::Composite)
+                    .expect("selection succeeds"),
+            );
+        }
+        out.push((
+            label.to_string(),
+            MaxEntSummary::build(table, stats, &config).expect("summary builds"),
+        ));
+    }
+    out
+}
+
+/// Builds the five sampling baselines: one uniform sample plus one sample
+/// stratified on each of the four pairs.
+pub fn build_flights_samples(dataset: &FlightsDataset, scale: &Scale) -> Vec<(String, Sample)> {
+    let pairs = flights_pairs(dataset);
+    let table = &dataset.table;
+    let mut out = vec![(
+        "Uni".to_string(),
+        uniform_sample(table, scale.sample_fraction, 17).expect("uniform sample"),
+    )];
+    for (i, (x, y)) in pairs.iter().enumerate() {
+        out.push((
+            format!("Strat{}", i + 1),
+            stratified_sample(table, &[*x, *y], scale.sample_fraction, 17 + i as u64)
+                .expect("stratified sample"),
+        ));
+    }
+    out
+}
+
+/// Generates the coarse flights dataset at this scale.
+pub fn flights_coarse(scale: &Scale) -> FlightsDataset {
+    flights::generate(&FlightsConfig {
+        rows: scale.flights_rows,
+        fine: false,
+        seed: 0xF11D,
+    })
+}
+
+/// Generates the fine flights dataset at this scale.
+pub fn flights_fine(scale: &Scale) -> FlightsDataset {
+    flights::generate(&FlightsConfig {
+        rows: scale.flights_rows,
+        fine: true,
+        seed: 0xF11D,
+    })
+}
+
+/// Mean relative error of `method` over `(values, truth)` pairs.
+pub fn mean_error_on(method: &Method, workload: &Workload, items: &[(Vec<u32>, u64)]) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = items
+        .iter()
+        .map(|(values, truth)| {
+            relative_error(*truth as f64, method.estimate(&workload.predicate(values)))
+        })
+        .sum();
+    total / items.len() as f64
+}
+
+/// Mean relative error of `method` on nonexistent values (truth 0: error is
+/// 1 whenever the method claims existence).
+pub fn mean_null_error(method: &Method, workload: &Workload) -> f64 {
+    if workload.nulls.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = workload
+        .nulls
+        .iter()
+        .map(|values| relative_error(0.0, method.estimate(&workload.predicate(values))))
+        .sum();
+    total / workload.nulls.len() as f64
+}
+
+/// F-measure of `method` on a workload's light hitters vs nulls.
+pub fn f_measure_on(method: &Method, workload: &Workload) -> FMeasure {
+    let light: Vec<f64> = workload
+        .light
+        .iter()
+        .map(|(values, _)| method.estimate(&workload.predicate(values)))
+        .collect();
+    let nulls: Vec<f64> = workload
+        .nulls
+        .iter()
+        .map(|values| method.estimate(&workload.predicate(values)))
+        .collect();
+    f_measure(&light, &nulls)
+}
+
+/// Builds a workload for a template over `table`.
+pub fn template_workload(
+    table: &Table,
+    attrs: &[AttrId],
+    scale: &Scale,
+    seed: u64,
+) -> Workload {
+    Workload::generate(table, attrs, scale.heavy, scale.light, scale.nulls, seed)
+        .expect("workload generates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            flights_rows: 5_000,
+            particles_rows: 2_000,
+            heavy: 5,
+            light: 5,
+            nulls: 10,
+            bs_two_pairs: 30,
+            bs_three_pairs: 20,
+            fig2_budgets: vec![20],
+            sample_fraction: 0.02,
+        }
+    }
+
+    #[test]
+    fn summaries_and_samples_build() {
+        let scale = tiny_scale();
+        let d = flights_coarse(&scale);
+        let summaries = build_flights_summaries(&d, &scale);
+        assert_eq!(summaries.len(), 4);
+        assert_eq!(summaries[0].0, "No2D");
+        assert!(summaries.iter().all(|(_, s)| s.solver_report().sweeps > 0));
+        let samples = build_flights_samples(&d, &scale);
+        assert_eq!(samples.len(), 5);
+        assert!(samples.iter().all(|(_, s)| !s.is_empty()));
+    }
+
+    #[test]
+    fn method_estimates_and_errors() {
+        let scale = tiny_scale();
+        let d = flights_coarse(&scale);
+        let workload = template_workload(&d.table, &[d.origin, d.dest], &scale, 5);
+        let summary = MaxEntSummary::build(&d.table, vec![], &SolverConfig::default()).unwrap();
+        let method = Method::summary("No2D", summary);
+        let err = mean_error_on(&method, &workload, &workload.heavy);
+        assert!((0.0..=1.0).contains(&err));
+        let null_err = mean_null_error(&method, &workload);
+        assert!((0.0..=1.0).contains(&null_err));
+        let fm = f_measure_on(&method, &workload);
+        assert!((0.0..=1.0).contains(&fm.f));
+    }
+}

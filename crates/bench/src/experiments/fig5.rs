@@ -1,0 +1,122 @@
+//! Figure 5: per-template error difference against Ent1&2&3 (FlightsCoarse).
+//!
+//! Three heavy-hitter templates and three light-hitter templates; for each,
+//! the mean relative error of every method minus Ent1&2&3's. Positive bars
+//! mean Ent1&2&3 wins.
+//!
+//! Expected shape: on heavy hitters, samples beat Ent1&2&3 on the
+//! `(origin, dest)` template (pair 4 is correlated but not covered by its
+//! statistics; Ent3&4 — which covers pair 4 — does better there); Ent1&2&3
+//! is comparable or better elsewhere. On light hitters EntropyDB beats the
+//! uniform sample everywhere, and stratified sampling wins only when its
+//! stratification matches the query attributes.
+
+use crate::common::{
+    build_flights_samples, build_flights_summaries, flights_coarse, mean_error_on,
+    template_workload, Method, Scale,
+};
+use crate::report::{f3s, Report};
+use entropydb_storage::AttrId;
+
+/// Runs the experiment, returning the rendered report.
+pub fn run(scale: &Scale) -> String {
+    let dataset = flights_coarse(scale);
+    let summaries = build_flights_summaries(&dataset, scale);
+    let samples = build_flights_samples(&dataset, scale);
+
+    let mut methods: Vec<Method> = Vec::new();
+    for (name, s) in samples {
+        methods.push(Method::Sample(name, s));
+    }
+    for (name, s) in summaries {
+        if name != "No2D" {
+            methods.push(Method::summary(name, s));
+        }
+    }
+    let baseline_idx = methods
+        .iter()
+        .position(|m| m.name() == "Ent1&2&3")
+        .expect("baseline present");
+
+    // Paper templates: heavy → (OB,DB), (DB,ET,DT), (FL,DB,DT);
+    // light → (ET,DT), (DB,DT), (FL,DB,DT).
+    let heavy_templates: Vec<(&str, Vec<AttrId>)> = vec![
+        ("OB&DB (pair4)", vec![dataset.origin, dataset.dest]),
+        (
+            "DB&ET&DT (pair2&3)",
+            vec![dataset.dest, dataset.fl_time, dataset.distance],
+        ),
+        (
+            "FL&DB&DT (pair2)",
+            vec![dataset.fl_date, dataset.dest, dataset.distance],
+        ),
+    ];
+    let light_templates: Vec<(&str, Vec<AttrId>)> = vec![
+        ("ET&DT (pair3)", vec![dataset.fl_time, dataset.distance]),
+        ("DB&DT (pair2)", vec![dataset.dest, dataset.distance]),
+        (
+            "FL&DB&DT (pair2)",
+            vec![dataset.fl_date, dataset.dest, dataset.distance],
+        ),
+    ];
+
+    let mut out = String::new();
+    for (kind, templates, use_heavy) in [
+        ("heavy hitters", &heavy_templates, true),
+        ("light hitters", &light_templates, false),
+    ] {
+        let mut headers: Vec<&str> = vec!["template"];
+        let names: Vec<String> = methods
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != baseline_idx)
+            .map(|(_, m)| m.name().to_string())
+            .collect();
+        headers.extend(names.iter().map(String::as_str));
+        let mut report = Report::new(
+            format!("Fig 5 ({kind}): error difference vs Ent1&2&3 (positive = Ent1&2&3 wins)"),
+            &headers,
+        );
+        for (label, attrs) in templates {
+            let workload = template_workload(&dataset.table, attrs, scale, 11);
+            let items = if use_heavy {
+                &workload.heavy
+            } else {
+                &workload.light
+            };
+            let baseline_err = mean_error_on(&methods[baseline_idx], &workload, items);
+            let mut cells = vec![label.to_string()];
+            for (i, method) in methods.iter().enumerate() {
+                if i == baseline_idx {
+                    continue;
+                }
+                cells.push(f3s(mean_error_on(method, &workload, items) - baseline_err));
+            }
+            report.row(cells);
+        }
+        out.push_str(&report.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_runs() {
+        let mut scale = Scale::quick();
+        scale.flights_rows = 3_000;
+        scale.heavy = 8;
+        scale.light = 8;
+        scale.nulls = 10;
+        scale.bs_two_pairs = 40;
+        scale.bs_three_pairs = 30;
+        let out = run(&scale);
+        assert!(out.contains("Fig 5 (heavy hitters)"));
+        assert!(out.contains("Fig 5 (light hitters)"));
+        assert!(out.contains("OB&DB"));
+        assert!(out.contains("Strat4"));
+    }
+}

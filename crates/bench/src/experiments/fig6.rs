@@ -1,0 +1,112 @@
+//! Figure 6: F-measure on light hitters vs nonexistent values, over
+//! FlightsCoarse and FlightsFine, all eight methods.
+//!
+//! The F-measure asks: can the method tell a *rare* population from a
+//! *nonexistent* one? The paper's finding — EntropyDB's depth summaries
+//! (Ent1&2, Ent3&4) score highest, beating every stratified sample; uniform
+//! samples do worst because rare values are simply absent from them.
+
+use crate::common::{
+    build_flights_samples, build_flights_summaries, f_measure_on, flights_coarse, flights_fine,
+    template_workload, Method, Scale,
+};
+use crate::report::{f3, Report};
+use entropydb_data::flights::FlightsDataset;
+use entropydb_storage::AttrId;
+
+/// The fifteen 2-/3-dimensional templates over (FD, OB, DB, ET, DT).
+fn templates(d: &FlightsDataset) -> Vec<Vec<AttrId>> {
+    let (fd, ob, db, et, dt) = (d.fl_date, d.origin, d.dest, d.fl_time, d.distance);
+    vec![
+        // Six pairs over {OB, DB, ET, DT}.
+        vec![ob, db],
+        vec![ob, et],
+        vec![ob, dt],
+        vec![db, et],
+        vec![db, dt],
+        vec![et, dt],
+        // Four triples over {OB, DB, ET, DT}.
+        vec![ob, db, et],
+        vec![ob, db, dt],
+        vec![ob, et, dt],
+        vec![db, et, dt],
+        // Five triples including the date.
+        vec![fd, ob, db],
+        vec![fd, ob, dt],
+        vec![fd, db, dt],
+        vec![fd, et, dt],
+        vec![fd, db, et],
+    ]
+}
+
+fn run_one(dataset: &FlightsDataset, scale: &Scale, label: &str) -> String {
+    let summaries = build_flights_summaries(dataset, scale);
+    let samples = build_flights_samples(dataset, scale);
+    let mut methods: Vec<Method> = Vec::new();
+    for (name, s) in samples {
+        methods.push(Method::Sample(name, s));
+    }
+    for (name, s) in summaries {
+        if name != "No2D" {
+            methods.push(Method::summary(name, s));
+        }
+    }
+
+    let all_templates = templates(dataset);
+    let workloads: Vec<_> = all_templates
+        .iter()
+        .enumerate()
+        .map(|(i, attrs)| template_workload(&dataset.table, attrs, scale, 23 + i as u64))
+        .collect();
+
+    let mut report = Report::new(
+        format!("Fig 6 ({label}): mean F-measure over 15 light-hitter/null templates"),
+        &["method", "F", "precision", "recall"],
+    );
+    for method in &methods {
+        let mut f = 0.0;
+        let mut p = 0.0;
+        let mut r = 0.0;
+        for w in &workloads {
+            let fm = f_measure_on(method, w);
+            f += fm.f;
+            p += fm.precision;
+            r += fm.recall;
+        }
+        let k = workloads.len() as f64;
+        report.row(vec![
+            method.name().to_string(),
+            f3(f / k),
+            f3(p / k),
+            f3(r / k),
+        ]);
+    }
+    report.render()
+}
+
+/// Runs the experiment over both datasets.
+pub fn run(scale: &Scale) -> String {
+    let coarse = run_one(&flights_coarse(scale), scale, "Coarse");
+    let fine = run_one(&flights_fine(scale), scale, "Fine");
+    format!("{coarse}\n{fine}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_runs_both_datasets() {
+        let mut scale = Scale::quick();
+        scale.flights_rows = 3_000;
+        scale.heavy = 5;
+        scale.light = 8;
+        scale.nulls = 12;
+        scale.bs_two_pairs = 40;
+        scale.bs_three_pairs = 30;
+        let out = run(&scale);
+        assert!(out.contains("(Coarse)"));
+        assert!(out.contains("(Fine)"));
+        assert!(out.contains("Ent3&4"));
+    }
+}

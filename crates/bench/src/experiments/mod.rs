@@ -1,0 +1,8 @@
+//! One module per paper figure/table; each exposes `run(&Scale) -> String`.
+
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod tables;

@@ -1,0 +1,119 @@
+//! Plain-text report tables for experiment output.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A simple aligned-column text table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float as signed with three decimals (for error differences).
+pub fn f3s(x: f64) -> String {
+    format!("{x:+.3}")
+}
+
+/// Formats milliseconds with two decimals.
+pub fn ms(x: f64) -> String {
+    format!("{:.2}ms", x * 1000.0)
+}
+
+/// Runs `f`, returning its result and elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("demo", &["method", "err"]);
+        r.row(vec!["Uni".into(), f3(0.25)]);
+        r.row(vec!["Ent1&2&3".into(), f3(0.125)]);
+        let text = r.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("0.250"));
+        assert!(text.contains("Ent1&2&3"));
+        // Right-aligned columns: header and data lines have equal length.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("demo", &["a", "b"]);
+        r.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.0 / 3.0), "0.333");
+        assert_eq!(f3s(-0.5), "-0.500");
+        assert_eq!(f3s(0.5), "+0.500");
+        assert_eq!(ms(0.0015), "1.50ms");
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

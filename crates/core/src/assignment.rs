@@ -1,0 +1,251 @@
+//! Variable assignments and query masks for the MaxEnt polynomial.
+//!
+//! The polynomial `P` has one variable per 1D statistic (`α_j`, indexed by
+//! attribute and value) and one per multi-dimensional statistic. A
+//! [`VarAssignment`] holds current values for all of them. A [`Mask`] scales
+//! 1D variables at evaluation time — the Sec. 4.2 query trick sets variables
+//! of non-matching values to 0; the `SUM` extension scales them by bucket
+//! representatives instead.
+
+use crate::error::{ModelError, Result};
+use crate::statistics::Statistics;
+use entropydb_storage::{AttrId, Predicate};
+
+/// Values for every variable of the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarAssignment {
+    /// `one_dim[i][v]` = value of the 1D variable for attribute `i`, code `v`.
+    pub one_dim: Vec<Vec<f64>>,
+    /// `multi[j]` = value of the `j`-th multi-dimensional statistic variable.
+    pub multi: Vec<f64>,
+}
+
+impl VarAssignment {
+    /// The paper-recommended initialization: `α_{i,v} = s_{i,v} / n` (which
+    /// solves the 1D-only model exactly and keeps `P ≈ 1`), multi-dimensional
+    /// variables start neutral at 1.
+    pub fn init_from(stats: &Statistics) -> Self {
+        let n = stats.n() as f64;
+        let one_dim = stats
+            .one_dim()
+            .iter()
+            .map(|counts| {
+                counts
+                    .iter()
+                    .map(|&c| if n > 0.0 { c as f64 / n } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        VarAssignment {
+            one_dim,
+            multi: vec![1.0; stats.multi().len()],
+        }
+    }
+
+    /// An assignment with every 1D variable and every multi variable set to 1
+    /// (under which `P` counts tuples). Useful for tests.
+    pub fn ones(domain_sizes: &[usize], num_multi: usize) -> Self {
+        VarAssignment {
+            one_dim: domain_sizes.iter().map(|&n| vec![1.0; n]).collect(),
+            multi: vec![1.0; num_multi],
+        }
+    }
+
+    /// Checks all values are finite and non-negative 1D / finite multi.
+    pub fn validate(&self) -> Result<()> {
+        for vs in &self.one_dim {
+            for &v in vs {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(ModelError::NumericalFailure("non-finite or negative 1D variable"));
+                }
+            }
+        }
+        for &v in &self.multi {
+            if !v.is_finite() {
+                return Err(ModelError::NumericalFailure("non-finite multi variable"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.one_dim.len()
+    }
+}
+
+/// Per-attribute multiplicative weights applied to 1D variables during
+/// evaluation. `None` leaves an attribute untouched (weight 1 everywhere).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mask {
+    weights: Vec<Option<Vec<f64>>>,
+}
+
+impl Mask {
+    /// The identity mask over `m` attributes.
+    pub fn identity(m: usize) -> Self {
+        Mask {
+            weights: vec![None; m],
+        }
+    }
+
+    /// Builds the Sec. 4.2 query mask for a conjunctive predicate: for every
+    /// constrained attribute, matching values weigh 1 and non-matching
+    /// values weigh 0; unconstrained attributes are untouched.
+    pub fn from_predicate(pred: &Predicate, domain_sizes: &[usize]) -> Result<Self> {
+        let mut mask = Mask::identity(domain_sizes.len());
+        for (attr_idx, &size) in domain_sizes.iter().enumerate() {
+            let attr = AttrId(attr_idx);
+            let eff = pred.attr_predicate(attr, size);
+            if eff.is_all() {
+                continue;
+            }
+            let mut w = vec![0.0; size];
+            for v in eff.matching_codes(size) {
+                w[v as usize] = 1.0;
+            }
+            mask.weights[attr_idx] = Some(w);
+        }
+        // Reject predicates on attributes outside the schema.
+        for (attr, _) in pred.clauses() {
+            if attr.0 >= domain_sizes.len() {
+                return Err(ModelError::Storage(
+                    entropydb_storage::StorageError::AttrIdOutOfRange {
+                        id: attr.0,
+                        arity: domain_sizes.len(),
+                    },
+                ));
+            }
+        }
+        Ok(mask)
+    }
+
+    /// Multiplies attribute `attr`'s weights by `values` (e.g. bucket
+    /// midpoints, turning a COUNT mask into a SUM mask).
+    pub fn scale_attr(mut self, attr: AttrId, values: &[f64]) -> Result<Self> {
+        let slot = self
+            .weights
+            .get_mut(attr.0)
+            .ok_or(ModelError::ShapeMismatch)?;
+        match slot {
+            Some(w) => {
+                if w.len() != values.len() {
+                    return Err(ModelError::ShapeMismatch);
+                }
+                for (wi, &s) in w.iter_mut().zip(values) {
+                    *wi *= s;
+                }
+            }
+            None => *slot = Some(values.to_vec()),
+        }
+        Ok(self)
+    }
+
+    /// Restricts attribute `attr` to the single code `v` (used by batched
+    /// group-by estimation).
+    pub fn restrict_to_value(mut self, attr: AttrId, v: u32, domain_size: usize) -> Self {
+        let mut w = vec![0.0; domain_size];
+        let keep = match &self.weights[attr.0] {
+            Some(old) => old[v as usize],
+            None => 1.0,
+        };
+        w[v as usize] = keep;
+        self.weights[attr.0] = Some(w);
+        self
+    }
+
+    /// The weight applied to the 1D variable (attr `i`, code `v`).
+    #[inline]
+    pub fn weight(&self, attr: usize, v: u32) -> f64 {
+        match &self.weights[attr] {
+            Some(w) => w[v as usize],
+            None => 1.0,
+        }
+    }
+
+    /// The weight vector for an attribute, if any is set.
+    pub fn attr_weights(&self, attr: usize) -> Option<&[f64]> {
+        self.weights[attr].as_deref()
+    }
+
+    /// Number of attributes the mask spans.
+    pub fn arity(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the mask is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.weights.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_from_predicate_zeroes_nonmatching() {
+        let pred = Predicate::new()
+            .between(AttrId(0), 1, 2)
+            .eq(AttrId(2), 0);
+        let mask = Mask::from_predicate(&pred, &[4, 3, 2]).unwrap();
+        assert_eq!(mask.attr_weights(0), Some(&[0.0, 1.0, 1.0, 0.0][..]));
+        assert_eq!(mask.attr_weights(1), None);
+        assert_eq!(mask.attr_weights(2), Some(&[1.0, 0.0][..]));
+        assert_eq!(mask.weight(1, 2), 1.0);
+        assert!(!mask.is_identity());
+    }
+
+    #[test]
+    fn identity_mask() {
+        let mask = Mask::identity(3);
+        assert!(mask.is_identity());
+        assert_eq!(mask.weight(0, 5), 1.0);
+    }
+
+    #[test]
+    fn out_of_schema_predicate_rejected() {
+        let pred = Predicate::new().eq(AttrId(5), 0);
+        assert!(Mask::from_predicate(&pred, &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn scale_composes_with_predicate_mask() {
+        let pred = Predicate::new().between(AttrId(0), 1, 3);
+        let mask = Mask::from_predicate(&pred, &[4])
+            .unwrap()
+            .scale_attr(AttrId(0), &[10.0, 20.0, 30.0, 40.0])
+            .unwrap();
+        assert_eq!(mask.attr_weights(0), Some(&[0.0, 20.0, 30.0, 40.0][..]));
+    }
+
+    #[test]
+    fn restrict_to_value_respects_existing_mask() {
+        let pred = Predicate::new().between(AttrId(0), 2, 3);
+        let mask = Mask::from_predicate(&pred, &[4])
+            .unwrap()
+            .restrict_to_value(AttrId(0), 1, 4);
+        // Code 1 was excluded by the predicate, so it stays 0.
+        assert_eq!(mask.attr_weights(0), Some(&[0.0, 0.0, 0.0, 0.0][..]));
+        let mask2 = Mask::identity(1).restrict_to_value(AttrId(0), 1, 4);
+        assert_eq!(mask2.attr_weights(0), Some(&[0.0, 1.0, 0.0, 0.0][..]));
+    }
+
+    #[test]
+    fn init_assignment_matches_marginals() {
+        use crate::statistics::Statistics;
+        let stats = Statistics::from_parts(
+            10,
+            vec![2, 2],
+            vec![vec![3, 7], vec![5, 5]],
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let a = VarAssignment::init_from(&stats);
+        assert_eq!(a.one_dim[0], vec![0.3, 0.7]);
+        assert_eq!(a.one_dim[1], vec![0.5, 0.5]);
+        assert!(a.multi.is_empty());
+        a.validate().unwrap();
+    }
+}

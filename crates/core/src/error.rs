@@ -1,0 +1,93 @@
+//! Error types for the MaxEnt model layer.
+
+use entropydb_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while building, solving, or querying a MaxEnt summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An underlying storage-layer error (schema lookup, bad predicate, ...).
+    Storage(StorageError),
+    /// A multi-dimensional statistic was declared on fewer than two distinct
+    /// attributes (1D statistics are always implicitly complete).
+    NotMultiDimensional,
+    /// A multi-dimensional statistic referenced the same attribute twice.
+    DuplicateAttribute(usize),
+    /// Two statistics over the same attribute set overlap. The compression
+    /// theorem (Thm 4.1) requires same-attribute-set statistics disjoint.
+    OverlappingStatistics { first: usize, second: usize },
+    /// An observed statistic value was larger than the relation cardinality.
+    StatisticExceedsN { stat: usize, observed: u64, n: u64 },
+    /// A multi-dimensional statistic covered every tuple (`s_j = n`), which
+    /// makes the coordinate update (Eq. 12) degenerate.
+    DegenerateStatistic { stat: usize },
+    /// The inclusion/exclusion closure grew past the configured cap; the
+    /// chosen statistics overlap too much across attribute pairs.
+    CompressionTooLarge { cap: usize },
+    /// The solver produced a non-finite polynomial value.
+    NumericalFailure(&'static str),
+    /// The naive (test-oracle) polynomial was requested for a tuple space too
+    /// large to materialize.
+    TupleSpaceTooLarge { size: u128, cap: u128 },
+    /// A serialized summary could not be parsed.
+    Parse { line: usize, message: String },
+    /// The model and a query/mask disagree on schema shape.
+    ShapeMismatch,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Storage(e) => write!(f, "storage error: {e}"),
+            ModelError::NotMultiDimensional => {
+                write!(f, "multi-dimensional statistics need at least two attributes")
+            }
+            ModelError::DuplicateAttribute(a) => {
+                write!(f, "statistic references attribute A{a} more than once")
+            }
+            ModelError::OverlappingStatistics { first, second } => write!(
+                f,
+                "statistics {first} and {second} share an attribute set but overlap"
+            ),
+            ModelError::StatisticExceedsN { stat, observed, n } => write!(
+                f,
+                "statistic {stat} observed {observed} tuples, more than the relation's {n}"
+            ),
+            ModelError::DegenerateStatistic { stat } => write!(
+                f,
+                "statistic {stat} covers every tuple (s = n); drop it — it adds no information"
+            ),
+            ModelError::CompressionTooLarge { cap } => write!(
+                f,
+                "inclusion/exclusion closure exceeded {cap} terms; reduce overlapping statistics"
+            ),
+            ModelError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
+            ModelError::TupleSpaceTooLarge { size, cap } => write!(
+                f,
+                "naive polynomial over {size} tuples exceeds cap {cap}; use the compressed form"
+            ),
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::ShapeMismatch => write!(f, "model/query shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ModelError {
+    fn from(e: StorageError) -> Self {
+        ModelError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,493 @@
+//! Component-factorized polynomial: `P = ∏ P_c` over independent attribute
+//! groups.
+//!
+//! Theorem 4.1's inclusion/exclusion closure must contain every *compatible*
+//! statistic subset — and statistics over disjoint attribute sets are always
+//! compatible. A summary with `Bs` statistics on `(fl_time, distance)` and
+//! `Bs` on `(origin, dest)` (the paper's Ent3&4) would therefore produce
+//! `Bs²` cross terms. But such cross terms carry no information: if no
+//! statistic spans two attribute groups, the MaxEnt polynomial *factorizes*
+//! into a product of independent per-group polynomials,
+//!
+//! ```text
+//! P(α) = ∏_c P_c(α restricted to component c)
+//! ```
+//!
+//! where the components are the connected components of the graph on
+//! attributes induced by multi-dimensional statistics. (This is the
+//! "further factorization" the paper's Sec. 7 anticipates.) Each component
+//! gets its own [`CompressedPolynomial`]; evaluation, masked evaluation,
+//! and derivative passes lift through the product rule. Every variable
+//! still has degree ≤ 1, so the solver's closed-form updates are unchanged.
+
+use crate::assignment::{Mask, VarAssignment};
+use crate::error::{ModelError, Result};
+use crate::polynomial::{CompressedPolynomial, PolynomialSizeStats, Var};
+use crate::statistics::MultiDimStatistic;
+
+/// One independent attribute group and its polynomial.
+#[derive(Debug, Clone, PartialEq)]
+struct Component {
+    /// Global attribute indices, sorted; local attribute `i` is
+    /// `attrs[i]` globally.
+    attrs: Vec<usize>,
+    /// Global multi-statistic indices owned by this component; local multi
+    /// `j` is `multis[j]` globally.
+    multis: Vec<usize>,
+    poly: CompressedPolynomial,
+}
+
+/// The product-of-components polynomial used by the solver and the summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorizedPolynomial {
+    domain_sizes: Vec<usize>,
+    num_multi: usize,
+    components: Vec<Component>,
+    /// Per global attribute: (component, local attribute index).
+    attr_home: Vec<(usize, usize)>,
+    /// Per global multi statistic: (component, local multi index).
+    multi_home: Vec<(usize, usize)>,
+}
+
+/// Cached state for one multi-variable solver sweep: per-component interval
+/// products and current component values.
+#[derive(Debug, Clone)]
+pub struct MultiSweep {
+    iprods: Vec<Vec<f64>>,
+    comp_values: Vec<f64>,
+}
+
+impl FactorizedPolynomial {
+    /// Builds the factorized polynomial: union-find over attributes joined
+    /// by statistics, then one compressed polynomial per component.
+    pub fn build(domain_sizes: &[usize], stats: &[MultiDimStatistic]) -> Result<Self> {
+        Self::build_with_cap(domain_sizes, stats, crate::polynomial::DEFAULT_TERM_CAP)
+    }
+
+    /// Builds with an explicit per-component term cap.
+    pub fn build_with_cap(
+        domain_sizes: &[usize],
+        stats: &[MultiDimStatistic],
+        cap: usize,
+    ) -> Result<Self> {
+        let m = domain_sizes.len();
+        // Union-find over attributes.
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for stat in stats {
+            let attrs = stat.attrs();
+            let first = attrs
+                .first()
+                .ok_or(ModelError::NotMultiDimensional)?
+                .0;
+            if first >= m || attrs.iter().any(|a| a.0 >= m) {
+                return Err(ModelError::ShapeMismatch);
+            }
+            for a in &attrs[1..] {
+                let (ra, rb) = (find(&mut parent, first), find(&mut parent, a.0));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+
+        // Collect components in stable (smallest-attribute) order.
+        let mut root_to_comp: Vec<Option<usize>> = vec![None; m];
+        let mut comp_attrs: Vec<Vec<usize>> = Vec::new();
+        for attr in 0..m {
+            let root = find(&mut parent, attr);
+            match root_to_comp[root] {
+                Some(c) => comp_attrs[c].push(attr),
+                None => {
+                    root_to_comp[root] = Some(comp_attrs.len());
+                    comp_attrs.push(vec![attr]);
+                }
+            }
+        }
+
+        let mut attr_home = vec![(0usize, 0usize); m];
+        for (c, attrs) in comp_attrs.iter().enumerate() {
+            for (local, &global) in attrs.iter().enumerate() {
+                attr_home[global] = (c, local);
+            }
+        }
+
+        // Distribute statistics to components, remapping attribute ids.
+        let mut comp_stats: Vec<Vec<MultiDimStatistic>> = vec![Vec::new(); comp_attrs.len()];
+        let mut comp_multi_ids: Vec<Vec<usize>> = vec![Vec::new(); comp_attrs.len()];
+        let mut multi_home = Vec::with_capacity(stats.len());
+        for (j, stat) in stats.iter().enumerate() {
+            let (c, _) = attr_home[stat.attrs()[0].0];
+            let local_clauses = stat
+                .clauses()
+                .iter()
+                .map(|cl| crate::statistics::RangeClause {
+                    attr: entropydb_storage::AttrId(attr_home[cl.attr.0].1),
+                    lo: cl.lo,
+                    hi: cl.hi,
+                })
+                .collect();
+            let local = MultiDimStatistic::new(local_clauses)?;
+            multi_home.push((c, comp_stats[c].len()));
+            comp_stats[c].push(local);
+            comp_multi_ids[c].push(j);
+        }
+
+        let components = comp_attrs
+            .into_iter()
+            .zip(comp_stats)
+            .zip(comp_multi_ids)
+            .map(|((attrs, stats_c), multis)| {
+                let local_sizes: Vec<usize> = attrs.iter().map(|&a| domain_sizes[a]).collect();
+                Ok(Component {
+                    poly: CompressedPolynomial::build_with_cap(&local_sizes, &stats_c, cap)?,
+                    attrs,
+                    multis,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(FactorizedPolynomial {
+            domain_sizes: domain_sizes.to_vec(),
+            num_multi: stats.len(),
+            components,
+            attr_home,
+            multi_home,
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.domain_sizes.len()
+    }
+
+    /// Active-domain sizes.
+    pub fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
+    /// Number of multi-dimensional statistic variables.
+    pub fn num_multi(&self) -> usize {
+        self.num_multi
+    }
+
+    /// Number of independent components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total compressed terms across components.
+    pub fn num_terms(&self) -> usize {
+        self.components.iter().map(|c| c.poly.num_terms()).sum()
+    }
+
+    /// Aggregated size statistics. `uncompressed_monomials` is the full
+    /// (unfactorized) `∏ N_i`; the other counters sum over components, so
+    /// the ratio reflects the combined compression + factorization win.
+    pub fn size_stats(&self) -> PolynomialSizeStats {
+        let mut agg = PolynomialSizeStats {
+            num_terms: 0,
+            constrained_factors: 0,
+            delta_factors: 0,
+            uncompressed_monomials: self
+                .domain_sizes
+                .iter()
+                .fold(1u128, |acc, &n| acc.saturating_mul(n as u128)),
+        };
+        for c in &self.components {
+            let s = c.poly.size_stats();
+            agg.num_terms += s.num_terms;
+            agg.constrained_factors += s.constrained_factors;
+            agg.delta_factors += s.delta_factors;
+        }
+        agg
+    }
+
+    /// Validates assignment shape.
+    pub fn check_shape(&self, a: &VarAssignment) -> Result<()> {
+        if a.one_dim.len() != self.arity()
+            || a.multi.len() != self.num_multi
+            || a.one_dim
+                .iter()
+                .zip(&self.domain_sizes)
+                .any(|(v, &n)| v.len() != n)
+        {
+            return Err(ModelError::ShapeMismatch);
+        }
+        Ok(())
+    }
+
+    /// Extracts the local assignment of component `c`.
+    fn local_assignment(&self, c: &Component, a: &VarAssignment) -> VarAssignment {
+        VarAssignment {
+            one_dim: c.attrs.iter().map(|&g| a.one_dim[g].clone()).collect(),
+            multi: c.multis.iter().map(|&g| a.multi[g]).collect(),
+        }
+    }
+
+    /// Extracts the local mask of component `c`.
+    fn local_mask(&self, c: &Component, mask: &Mask) -> Mask {
+        let mut local = Mask::identity(c.attrs.len());
+        for (li, &g) in c.attrs.iter().enumerate() {
+            if let Some(w) = mask.attr_weights(g) {
+                local = local
+                    .scale_attr(entropydb_storage::AttrId(li), w)
+                    .expect("shape verified");
+            }
+        }
+        local
+    }
+
+    /// Evaluates `P = ∏ P_c`.
+    pub fn eval(&self, a: &VarAssignment) -> f64 {
+        self.eval_masked(a, &Mask::identity(self.arity()))
+    }
+
+    /// Evaluates `P` under a query mask.
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        debug_assert!(self.check_shape(a).is_ok());
+        self.components
+            .iter()
+            .map(|c| {
+                c.poly
+                    .eval_masked(&self.local_assignment(c, a), &self.local_mask(c, mask))
+            })
+            .product()
+    }
+
+    /// Fused pass: `(P, dP/dα_{attr,v} for all v)` under `mask`. The product
+    /// rule lifts the component pass: `dP/dα = (∏_{c'≠c} P_{c'}) · dP_c/dα`.
+    pub fn eval_with_attr_derivatives(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+    ) -> (f64, Vec<f64>) {
+        debug_assert!(attr < self.arity());
+        let (home, local_attr) = self.attr_home[attr];
+        let mut others = 1.0;
+        for (ci, c) in self.components.iter().enumerate() {
+            if ci != home {
+                others *= c
+                    .poly
+                    .eval_masked(&self.local_assignment(c, a), &self.local_mask(c, mask));
+            }
+        }
+        let c = &self.components[home];
+        let (pc, mut derivs) = c.poly.eval_with_attr_derivatives(
+            &self.local_assignment(c, a),
+            &self.local_mask(c, mask),
+            local_attr,
+        );
+        for d in &mut derivs {
+            *d *= others;
+        }
+        (pc * others, derivs)
+    }
+
+    /// Generic single-variable derivative (reference path for tests).
+    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
+        match var {
+            Var::OneDim { attr, code } => {
+                let (_, d) = self.eval_with_attr_derivatives(a, mask, attr);
+                d[code as usize]
+            }
+            Var::Multi(j) => {
+                let sweep = self.begin_multi_sweep(a, mask);
+                self.multi_derivative(&sweep, a, j).0
+            }
+        }
+    }
+
+    /// Prepares a multi-variable sweep: interval products and current value
+    /// per component (under `mask`, typically identity during solving).
+    pub fn begin_multi_sweep(&self, a: &VarAssignment, mask: &Mask) -> MultiSweep {
+        let mut iprods = Vec::with_capacity(self.components.len());
+        let mut comp_values = Vec::with_capacity(self.components.len());
+        for c in &self.components {
+            let local_a = self.local_assignment(c, a);
+            let ip = c.poly.interval_products(&local_a, &self.local_mask(c, mask));
+            comp_values.push(c.poly.eval_from_interval_products(&ip, &local_a.multi));
+            iprods.push(ip);
+        }
+        MultiSweep {
+            iprods,
+            comp_values,
+        }
+    }
+
+    /// Global `P` from sweep state.
+    pub fn sweep_value(&self, sweep: &MultiSweep) -> f64 {
+        sweep.comp_values.iter().product()
+    }
+
+    /// `(dP/dδ_j, dP_c/dδ_j)` — the global and component-local derivatives
+    /// of the `j`-th multi variable, from sweep state and the *current*
+    /// multi values in `a`.
+    pub fn multi_derivative(&self, sweep: &MultiSweep, a: &VarAssignment, j: usize) -> (f64, f64) {
+        let (home, local_j) = self.multi_home[j];
+        let c = &self.components[home];
+        let local_multi: Vec<f64> = c.multis.iter().map(|&g| a.multi[g]).collect();
+        let local_pd = c
+            .poly
+            .delta_derivative(&sweep.iprods[home], &local_multi, local_j);
+        let mut others = 1.0;
+        for (ci, &v) in sweep.comp_values.iter().enumerate() {
+            if ci != home {
+                others *= v;
+            }
+        }
+        (others * local_pd, local_pd)
+    }
+
+    /// Records that `δ_j` changed by `change`; updates the home component's
+    /// cached value (`P_c` is affine in `δ_j` with slope `local_pd`).
+    pub fn apply_multi_update(
+        &self,
+        sweep: &mut MultiSweep,
+        j: usize,
+        change: f64,
+        local_pd: f64,
+    ) {
+        let (home, _) = self.multi_home[j];
+        sweep.comp_values[home] += change * local_pd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaivePolynomial;
+    use entropydb_storage::{AttrId, Predicate};
+
+    fn a(i: usize) -> AttrId {
+        AttrId(i)
+    }
+
+    fn rect(ax: usize, x: (u32, u32), ay: usize, y: (u32, u32)) -> MultiDimStatistic {
+        MultiDimStatistic::rect2d(a(ax), x, a(ay), y).unwrap()
+    }
+
+    /// Two disjoint pairs + one free attribute → three components.
+    fn disjoint_setup() -> (Vec<usize>, Vec<MultiDimStatistic>) {
+        let sizes = vec![3, 4, 2, 3, 5];
+        let stats = vec![
+            rect(0, (0, 1), 1, (1, 2)),
+            rect(0, (2, 2), 1, (0, 3)),
+            rect(2, (0, 0), 3, (1, 2)),
+            rect(2, (1, 1), 3, (0, 0)),
+        ];
+        (sizes, stats)
+    }
+
+    #[test]
+    fn components_detected() {
+        let (sizes, stats) = disjoint_setup();
+        let f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+        // {0,1}, {2,3}, {4}.
+        assert_eq!(f.num_components(), 3);
+        // No cross-pair terms: each pair component has 1 + 2 terms, the free
+        // attribute 1. A flat closure would have had 2×2 extra cross terms.
+        assert_eq!(f.num_terms(), 3 + 3 + 1);
+        let flat = CompressedPolynomial::build(&sizes, &stats).unwrap();
+        assert!(flat.num_terms() > f.num_terms());
+    }
+
+    #[test]
+    fn matches_naive_polynomial() {
+        let (sizes, stats) = disjoint_setup();
+        let f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+        let naive = NaivePolynomial::build(&sizes, &stats).unwrap();
+        let mut asn = VarAssignment::ones(&sizes, stats.len());
+        for (i, vs) in asn.one_dim.iter_mut().enumerate() {
+            for (v, x) in vs.iter_mut().enumerate() {
+                *x = 0.05 + 0.13 * ((i + 2) * (v + 1)) as f64;
+            }
+        }
+        asn.multi = vec![0.4, 1.8, 2.5, 0.0];
+        let (pf, pn) = (f.eval(&asn), naive.eval(&asn));
+        assert!((pf - pn).abs() < 1e-10 * pn.abs().max(1.0), "{pf} vs {pn}");
+
+        // Masked evaluation.
+        let pred = Predicate::new().between(a(1), 1, 3).eq(a(4), 2);
+        let mask = Mask::from_predicate(&pred, &sizes).unwrap();
+        let (pf, pn) = (f.eval_masked(&asn, &mask), naive.eval_masked(&asn, &mask));
+        assert!((pf - pn).abs() < 1e-10 * pn.abs().max(1.0), "{pf} vs {pn}");
+    }
+
+    #[test]
+    fn derivatives_match_naive() {
+        let (sizes, stats) = disjoint_setup();
+        let f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+        let naive = NaivePolynomial::build(&sizes, &stats).unwrap();
+        let mut asn = VarAssignment::ones(&sizes, stats.len());
+        asn.one_dim[1] = vec![0.3, 0.9, 1.4, 0.2];
+        asn.multi = vec![1.5, 0.7, 2.0, 0.9];
+        let mask = Mask::identity(sizes.len());
+        for attr in 0..sizes.len() {
+            let (p, derivs) = f.eval_with_attr_derivatives(&asn, &mask, attr);
+            assert!((p - naive.eval(&asn)).abs() < 1e-10 * p.abs().max(1.0));
+            for (code, &d) in derivs.iter().enumerate() {
+                let expected =
+                    naive.derivative(&asn, &mask, Var::OneDim { attr, code: code as u32 });
+                assert!(
+                    (d - expected).abs() < 1e-10 * expected.abs().max(1.0),
+                    "attr {attr} code {code}: {d} vs {expected}"
+                );
+            }
+        }
+        for j in 0..stats.len() {
+            let d = f.derivative(&asn, &mask, Var::Multi(j));
+            let expected = naive.derivative(&asn, &mask, Var::Multi(j));
+            assert!(
+                (d - expected).abs() < 1e-10 * expected.abs().max(1.0),
+                "multi {j}: {d} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_sweep_incremental_updates() {
+        let (sizes, stats) = disjoint_setup();
+        let f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+        let mut asn = VarAssignment::ones(&sizes, stats.len());
+        asn.multi = vec![1.2, 0.8, 1.5, 0.5];
+        let mask = Mask::identity(sizes.len());
+        let mut sweep = f.begin_multi_sweep(&asn, &mask);
+        assert!((f.sweep_value(&sweep) - f.eval(&asn)).abs() < 1e-10);
+
+        // Update δ_2 and check the incremental value tracks a fresh eval.
+        let j = 2;
+        let (_, local_pd) = f.multi_derivative(&sweep, &asn, j);
+        let old = asn.multi[j];
+        asn.multi[j] = 3.3;
+        f.apply_multi_update(&mut sweep, j, asn.multi[j] - old, local_pd);
+        assert!(
+            (f.sweep_value(&sweep) - f.eval(&asn)).abs() < 1e-10 * f.eval(&asn).abs().max(1.0)
+        );
+    }
+
+    #[test]
+    fn connected_stats_stay_in_one_component() {
+        // Chain 0-1, 1-2 → single component {0,1,2} plus singleton {3}.
+        let sizes = vec![3, 3, 3, 2];
+        let stats = vec![rect(0, (0, 1), 1, (0, 1)), rect(1, (1, 2), 2, (0, 2))];
+        let f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+        assert_eq!(f.num_components(), 2);
+    }
+
+    #[test]
+    fn no_stats_gives_all_singletons() {
+        let f = FactorizedPolynomial::build(&[2, 3, 4], &[]).unwrap();
+        assert_eq!(f.num_components(), 3);
+        assert_eq!(f.num_terms(), 3);
+        let ones = VarAssignment::ones(&[2, 3, 4], 0);
+        assert_eq!(f.eval(&ones), 24.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Accuracy metrics used by the paper's evaluation (Sec. 6.2).
+//!
+//! * Relative error `|true − est| / (true + est)` for heavy/light hitters.
+//! * The F-measure over light hitters vs. nonexistent values, with
+//!   `precision = |{est > 0 : light}| / |{est > 0 : light ∪ null}|` and
+//!   `recall = |{est > 0 : light}| / |light|`, where "est > 0" uses the
+//!   paper's rounding convention (expectations below 0.5 round to 0).
+
+/// The paper's symmetric relative error: `|t − e| / (t + e)`, with the
+/// convention that it is 0 when both are 0 (a correct "does not exist"
+/// answer) and 1 when exactly one side is 0.
+pub fn relative_error(truth: f64, estimate: f64) -> f64 {
+    let t = truth.max(0.0);
+    let e = estimate.max(0.0);
+    if t + e == 0.0 {
+        0.0
+    } else {
+        (t - e).abs() / (t + e)
+    }
+}
+
+/// Mean of the paper's relative error over a workload.
+pub fn mean_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs
+        .iter()
+        .map(|&(t, e)| relative_error(t, e))
+        .sum::<f64>()
+        / pairs.len() as f64
+}
+
+/// Precision / recall / F-measure of existence classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FMeasure {
+    /// Fraction of "exists" answers that were truly existing values.
+    pub precision: f64,
+    /// Fraction of truly existing (light-hitter) values answered "exists".
+    pub recall: f64,
+    /// Harmonic mean `2pr/(p+r)`.
+    pub f: f64,
+}
+
+/// Whether an estimate counts as "exists" under the paper's rounding.
+fn exists(est: f64) -> bool {
+    est >= 0.5
+}
+
+/// Computes the paper's F-measure: `light_estimates` are estimates for
+/// values that truly exist (the light hitters), `null_estimates` for values
+/// that truly do not.
+pub fn f_measure(light_estimates: &[f64], null_estimates: &[f64]) -> FMeasure {
+    let true_pos = light_estimates.iter().filter(|&&e| exists(e)).count();
+    let false_pos = null_estimates.iter().filter(|&&e| exists(e)).count();
+    let precision = if true_pos + false_pos == 0 {
+        0.0
+    } else {
+        true_pos as f64 / (true_pos + false_pos) as f64
+    };
+    let recall = if light_estimates.is_empty() {
+        0.0
+    } else {
+        true_pos as f64 / light_estimates.len() as f64
+    };
+    let f = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    FMeasure {
+        precision,
+        recall,
+        f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(10.0, 10.0), 0.0);
+        assert_eq!(relative_error(10.0, 0.0), 1.0);
+        assert_eq!(relative_error(0.0, 10.0), 1.0);
+        assert!((relative_error(30.0, 10.0) - 0.5).abs() < 1e-12);
+        // Symmetric.
+        assert_eq!(relative_error(3.0, 7.0), relative_error(7.0, 3.0));
+    }
+
+    #[test]
+    fn mean_relative_error_averages() {
+        let pairs = [(10.0, 10.0), (10.0, 0.0)];
+        assert!((mean_relative_error(&pairs) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_relative_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier_f_is_one() {
+        let fm = f_measure(&[1.0, 3.0, 0.6], &[0.0, 0.2, 0.49]);
+        assert_eq!(fm.precision, 1.0);
+        assert_eq!(fm.recall, 1.0);
+        assert_eq!(fm.f, 1.0);
+    }
+
+    #[test]
+    fn all_zero_estimates_f_is_zero() {
+        let fm = f_measure(&[0.0, 0.1], &[0.0]);
+        assert_eq!(fm.recall, 0.0);
+        assert_eq!(fm.f, 0.0);
+    }
+
+    #[test]
+    fn phantoms_hurt_precision() {
+        // Model says everything exists: recall 1, precision 0.5.
+        let fm = f_measure(&[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(fm.recall, 1.0);
+        assert_eq!(fm.precision, 0.5);
+        assert!((fm.f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_convention_at_half() {
+        let fm = f_measure(&[0.5], &[0.5]);
+        assert_eq!(fm.recall, 1.0);
+        assert_eq!(fm.precision, 0.5);
+    }
+}

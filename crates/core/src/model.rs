@@ -1,0 +1,531 @@
+//! The public summary type: build once, query interactively.
+//!
+//! [`MaxEntSummary`] packages the fitted model — statistics, compressed
+//! polynomial, solved variables — behind the query API of Sec. 3.2/4.2:
+//! every estimate is one masked evaluation of `P` (no polynomial rebuilding,
+//! no per-point expansion), multiplied by the precomputed constant `n / P`.
+
+use crate::assignment::{Mask, VarAssignment};
+use crate::error::{ModelError, Result};
+use crate::factorized::FactorizedPolynomial;
+use crate::polynomial::PolynomialSizeStats;
+use crate::query::{count_estimate, weighted_estimate, Estimate};
+use crate::rng::{sample_weighted, SplitMix64};
+use crate::solver::{solve, SolverConfig, SolverReport};
+use crate::statistics::{MultiDimStatistic, Statistics};
+use entropydb_storage::{AttrId, Predicate, Schema, Table};
+
+/// A queryable maximum-entropy summary of one relation.
+#[derive(Debug, Clone)]
+pub struct MaxEntSummary {
+    schema: Schema,
+    stats: Statistics,
+    poly: FactorizedPolynomial,
+    assignment: VarAssignment,
+    p_full: f64,
+    report: SolverReport,
+}
+
+impl MaxEntSummary {
+    /// Builds a summary of `table`: observes the complete 1D statistics plus
+    /// the given multi-dimensional statistics, compresses the polynomial,
+    /// and solves for the variables.
+    pub fn build(
+        table: &Table,
+        multi: Vec<MultiDimStatistic>,
+        config: &SolverConfig,
+    ) -> Result<Self> {
+        let stats = Statistics::observe(table, multi)?;
+        Self::from_statistics(table.schema().clone(), stats, config)
+    }
+
+    /// Builds a summary directly from observed statistics (deserialization,
+    /// or statistics computed elsewhere — e.g. noisy/private ones).
+    pub fn from_statistics(
+        schema: Schema,
+        stats: Statistics,
+        config: &SolverConfig,
+    ) -> Result<Self> {
+        if schema.domain_sizes() != stats.domain_sizes() {
+            return Err(ModelError::ShapeMismatch);
+        }
+        let poly = FactorizedPolynomial::build(stats.domain_sizes(), stats.multi())?;
+        let (assignment, report) = solve(&poly, &stats, config)?;
+        let p_full = poly.eval(&assignment);
+        if !p_full.is_finite() || p_full <= 0.0 {
+            return Err(ModelError::NumericalFailure("P not positive after solve"));
+        }
+        Ok(MaxEntSummary {
+            schema,
+            stats,
+            poly,
+            assignment,
+            p_full,
+            report,
+        })
+    }
+
+    /// Re-assembles a summary from already-solved parts (used by the
+    /// serializer; the polynomial is rebuilt deterministically).
+    pub fn from_solved_parts(
+        schema: Schema,
+        stats: Statistics,
+        assignment: VarAssignment,
+        report: SolverReport,
+    ) -> Result<Self> {
+        let poly = FactorizedPolynomial::build(stats.domain_sizes(), stats.multi())?;
+        poly.check_shape(&assignment)?;
+        assignment.validate()?;
+        let p_full = poly.eval(&assignment);
+        if !p_full.is_finite() || p_full <= 0.0 {
+            return Err(ModelError::NumericalFailure("P not positive in loaded summary"));
+        }
+        Ok(MaxEntSummary {
+            schema,
+            stats,
+            poly,
+            assignment,
+            p_full,
+            report,
+        })
+    }
+
+    /// Relation cardinality `n`.
+    pub fn n(&self) -> u64 {
+        self.stats.n()
+    }
+
+    /// The summarized relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The statistics the model was fitted to.
+    pub fn statistics(&self) -> &Statistics {
+        &self.stats
+    }
+
+    /// The compressed, component-factorized polynomial.
+    pub fn polynomial(&self) -> &FactorizedPolynomial {
+        &self.poly
+    }
+
+    /// The solved variable assignment.
+    pub fn assignment(&self) -> &VarAssignment {
+        &self.assignment
+    }
+
+    /// How the solve went (sweeps, residual, time).
+    pub fn solver_report(&self) -> &SolverReport {
+        &self.report
+    }
+
+    /// `P` at the solved assignment (the query-time normalizing constant).
+    pub fn p_full(&self) -> f64 {
+        self.p_full
+    }
+
+    /// Polynomial size accounting (for the compression experiments).
+    pub fn size_stats(&self) -> PolynomialSizeStats {
+        self.poly.size_stats()
+    }
+
+    /// The model probability that a single tuple draw satisfies `pred`:
+    /// `p = P[masked] / P` (Sec. 4.2).
+    pub fn probability(&self, pred: &Predicate) -> Result<f64> {
+        pred.validate(&self.schema)?;
+        let mask = Mask::from_predicate(pred, self.stats.domain_sizes())?;
+        Ok((self.poly.eval_masked(&self.assignment, &mask) / self.p_full).clamp(0.0, 1.0))
+    }
+
+    /// Estimates `SELECT COUNT(*) WHERE pred` with its Binomial variance.
+    pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
+        Ok(count_estimate(self.n(), self.probability(pred)?))
+    }
+
+    /// Estimates `SELECT SUM(value(attr)) WHERE pred`, where the per-row
+    /// value is the attribute's bucket midpoint (binned attributes) or the
+    /// dense code itself (categorical attributes — useful when codes are
+    /// meaningful ordinals).
+    pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
+        pred.validate(&self.schema)?;
+        let values = self.attr_values(attr)?;
+        let sizes = self.stats.domain_sizes();
+        let base = Mask::from_predicate(pred, sizes)?;
+        let sum_mask = base.clone().scale_attr(attr, &values)?;
+        let squares: Vec<f64> = values.iter().map(|v| v * v).collect();
+        let sq_mask = base.scale_attr(attr, &squares)?;
+        let mean_w = self.poly.eval_masked(&self.assignment, &sum_mask) / self.p_full;
+        let mean_w2 = self.poly.eval_masked(&self.assignment, &sq_mask) / self.p_full;
+        Ok(weighted_estimate(self.n(), mean_w, mean_w2))
+    }
+
+    /// Estimates `SELECT AVG(value(attr)) WHERE pred` as the ratio of the
+    /// SUM and COUNT estimates. Returns `None` when the model gives the
+    /// predicate zero probability.
+    pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
+        let count = self.estimate_count(pred)?;
+        if count.expectation <= 0.0 {
+            return Ok(None);
+        }
+        let sum = self.estimate_sum(pred, attr)?;
+        Ok(Some(sum.expectation / count.expectation))
+    }
+
+    /// Estimates `SELECT attr, COUNT(*) WHERE pred GROUP BY attr` for every
+    /// value of `attr` in one batched derivative pass (`E[v] = n·α_v·P_{α_v}
+    /// [masked] / P`, Eq. 8 under the query mask).
+    pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
+        pred.validate(&self.schema)?;
+        let sizes = self.stats.domain_sizes();
+        if attr.0 >= sizes.len() {
+            return Err(ModelError::ShapeMismatch);
+        }
+        let mask = Mask::from_predicate(pred, sizes)?;
+        let (_, derivs) = self
+            .poly
+            .eval_with_attr_derivatives(&self.assignment, &mask, attr.0);
+        Ok(derivs
+            .iter()
+            .enumerate()
+            .map(|(v, &d)| {
+                let p = (self.assignment.one_dim[attr.0][v] * d / self.p_full).clamp(0.0, 1.0);
+                count_estimate(self.n(), p)
+            })
+            .collect())
+    }
+
+    /// `SELECT attr, COUNT(*) ... GROUP BY attr ORDER BY count DESC LIMIT k`
+    /// — the paper's Sec. 3.1 example query shape.
+    pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
+        let groups = self.estimate_group_by(pred, attr)?;
+        let mut ranked: Vec<(u32, Estimate)> = groups
+            .into_iter()
+            .enumerate()
+            .map(|(v, e)| (v as u32, e))
+            .collect();
+        ranked.sort_by(|a, b| b.1.expectation.total_cmp(&a.1.expectation).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Draws `k` synthetic tuples from the fitted MaxEnt distribution
+    /// (an extension: the summary doubles as a privacy-friendly synthetic
+    /// data generator). Tuples are sampled by sequential conditionals: the
+    /// distribution of attribute `i` given fixed earlier attributes is
+    /// `P(A_i = v | fixed) ∝ α_{i,v} · ∂P[masked]/∂α_{i,v}` — one batched
+    /// derivative pass per attribute per tuple.
+    pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
+        let sizes = self.stats.domain_sizes();
+        let m = sizes.len();
+        let mut rng = SplitMix64::new(seed);
+        let mut table = Table::with_capacity(self.schema.clone(), k);
+        let mut row = vec![0u32; m];
+        for _ in 0..k {
+            let mut mask = Mask::identity(m);
+            for attr in 0..m {
+                let (_, derivs) = self
+                    .poly
+                    .eval_with_attr_derivatives(&self.assignment, &mask, attr);
+                let weights: Vec<f64> = derivs
+                    .iter()
+                    .zip(&self.assignment.one_dim[attr])
+                    .map(|(&d, &a)| (a * d).max(0.0))
+                    .collect();
+                let v = sample_weighted(&weights, rng.next_f64())
+                    .ok_or(ModelError::NumericalFailure("zero conditional mass"))?
+                    as u32;
+                row[attr] = v;
+                mask = mask.restrict_to_value(AttrId(attr), v, sizes[attr]);
+            }
+            table.push_row_unchecked(&row);
+        }
+        Ok(table)
+    }
+
+    /// Per-value numeric weights of an attribute: bucket midpoints for
+    /// binned attributes, the code itself for categorical ones.
+    fn attr_values(&self, attr: AttrId) -> Result<Vec<f64>> {
+        let a = self.schema.attr(attr)?;
+        Ok(match a.binner() {
+            Some(b) => (0..a.domain_size() as u32).map(|v| b.midpoint(v)).collect(),
+            None => (0..a.domain_size()).map(|v| v as f64).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaivePolynomial;
+    use entropydb_storage::{exec, Attribute, Binner, Schema};
+
+    fn a(i: usize) -> AttrId {
+        AttrId(i)
+    }
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("x", 3).unwrap(),
+            Attribute::categorical("y", 4).unwrap(),
+        ]);
+        let mut rows = Vec::new();
+        // A skewed but full-support instance.
+        for (x, y, copies) in [
+            (0, 0, 5),
+            (0, 1, 1),
+            (0, 2, 2),
+            (0, 3, 1),
+            (1, 0, 3),
+            (1, 1, 4),
+            (1, 2, 1),
+            (1, 3, 1),
+            (2, 0, 1),
+            (2, 1, 1),
+            (2, 2, 6),
+            (2, 3, 4),
+        ] {
+            for _ in 0..copies {
+                rows.push(vec![x, y]);
+            }
+        }
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    fn summary(multi: Vec<MultiDimStatistic>) -> MaxEntSummary {
+        MaxEntSummary::build(&table(), multi, &SolverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn no2d_estimates_match_independence() {
+        let s = summary(vec![]);
+        let n = s.n() as f64;
+        // With only 1D stats the model is the product of marginals:
+        // E[x=0 ∧ y=0] = n * (9/30) * (9/30).
+        let pred = Predicate::new().eq(a(0), 0).eq(a(1), 0);
+        let e = s.estimate_count(&pred).unwrap();
+        assert!((e.expectation - n * (9.0 / 30.0) * (9.0 / 30.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_dim_queries_are_exact() {
+        let s = summary(vec![]);
+        for v in 0..3u32 {
+            let truth = exec::count(&table(), &Predicate::new().eq(a(0), v)).unwrap() as f64;
+            let est = s.estimate_count(&Predicate::new().eq(a(0), v)).unwrap();
+            assert!((est.expectation - truth).abs() < 1e-6, "x={v}");
+        }
+    }
+
+    #[test]
+    fn twod_statistic_makes_covered_cell_exact() {
+        let stat = MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap();
+        let s = summary(vec![stat]);
+        let pred = Predicate::new().eq(a(0), 0).eq(a(1), 0);
+        let e = s.estimate_count(&pred).unwrap();
+        assert!((e.expectation - 5.0).abs() < 1e-4, "{}", e.expectation);
+    }
+
+    #[test]
+    fn estimates_match_naive_oracle() {
+        let multi = vec![
+            MultiDimStatistic::rect2d(a(0), (0, 1), a(1), (0, 1)).unwrap(),
+            MultiDimStatistic::rect2d(a(0), (2, 2), a(1), (1, 2)).unwrap(),
+        ];
+        let s = summary(multi.clone());
+        let naive = NaivePolynomial::build(&[3, 4], &multi).unwrap();
+        for x in 0..3u32 {
+            for y in 0..4u32 {
+                let pred = Predicate::new().eq(a(0), x).eq(a(1), y);
+                let fast = s.estimate_count(&pred).unwrap().expectation;
+                let oracle = naive.expected_count(s.assignment(), &pred, s.n());
+                assert!(
+                    (fast - oracle).abs() < 1e-8 * oracle.max(1.0),
+                    "({x},{y}): {fast} vs {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expectations_partition_n() {
+        let s = summary(vec![MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap()]);
+        // Σ_v E[x = v] = n (overcompleteness).
+        let total: f64 = (0..3u32)
+            .map(|v| {
+                s.estimate_count(&Predicate::new().eq(a(0), v))
+                    .unwrap()
+                    .expectation
+            })
+            .sum();
+        assert!((total - s.n() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_by_matches_individual_estimates() {
+        let s = summary(vec![MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap()]);
+        let pred = Predicate::new().between(a(1), 1, 3);
+        let groups = s.estimate_group_by(&pred, a(0)).unwrap();
+        assert_eq!(groups.len(), 3);
+        for v in 0..3u32 {
+            let single = s
+                .estimate_count(&Predicate::new().eq(a(0), v).between(a(1), 1, 3))
+                .unwrap();
+            assert!(
+                (groups[v as usize].expectation - single.expectation).abs() < 1e-8,
+                "v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_orders_by_expectation() {
+        let s = summary(vec![]);
+        let top = s.top_k(&Predicate::all(), a(1), 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1.expectation >= top[1].1.expectation);
+        // y marginals are (9, 6, 9, 6): top-2 are values 0 and 2.
+        let top_vals: Vec<u32> = top.iter().map(|(v, _)| *v).collect();
+        assert!(top_vals.contains(&0) && top_vals.contains(&2));
+    }
+
+    #[test]
+    fn sum_and_avg_on_binned_attribute() {
+        let schema = Schema::new(vec![
+            Attribute::categorical("g", 2).unwrap(),
+            Attribute::binned("val", Binner::new(0.0, 100.0, 4).unwrap()),
+        ]);
+        let mut t = Table::new(schema);
+        // Group 0: values in buckets 0 and 1; group 1: buckets 2, 3.
+        for (g, b, c) in [(0u32, 0u32, 4), (0, 1, 2), (1, 2, 3), (1, 3, 1)] {
+            for _ in 0..c {
+                t.push_row(&[g, b]).unwrap();
+            }
+        }
+        let s = MaxEntSummary::build(&t, vec![], &SolverConfig::default()).unwrap();
+        // Bucket midpoints: 12.5, 37.5, 62.5, 87.5. 1D model is exact on
+        // single-attribute queries, so SUM over everything is exact.
+        let total = s.estimate_sum(&Predicate::all(), a(1)).unwrap();
+        let expected = 4.0 * 12.5 + 2.0 * 37.5 + 3.0 * 62.5 + 1.0 * 87.5;
+        assert!((total.expectation - expected).abs() < 1e-6);
+        let avg = s.estimate_avg(&Predicate::all(), a(1)).unwrap().unwrap();
+        assert!((avg - expected / 10.0).abs() < 1e-6);
+        // AVG of an impossible predicate is None.
+        let none = s
+            .estimate_avg(&Predicate::new().eq(a(0), 0).eq(a(0), 1), a(1))
+            .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn variance_is_binomial() {
+        let s = summary(vec![]);
+        let pred = Predicate::new().eq(a(0), 0);
+        let est = s.estimate_count(&pred).unwrap();
+        let p = 9.0 / 30.0;
+        assert!((est.variance - 30.0 * p * (1.0 - p)).abs() < 1e-6);
+        let (lo, hi) = est.ci95();
+        assert!(lo < est.expectation && est.expectation < hi);
+    }
+
+    #[test]
+    fn invalid_predicates_rejected() {
+        let s = summary(vec![]);
+        assert!(s.estimate_count(&Predicate::new().eq(a(0), 99)).is_err());
+        assert!(s.estimate_count(&Predicate::new().eq(a(9), 0)).is_err());
+        assert!(s.estimate_group_by(&Predicate::all(), a(9)).is_err());
+    }
+
+    #[test]
+    fn probability_of_everything_is_one() {
+        let s = summary(vec![MultiDimStatistic::cell2d(a(0), 1, a(1), 1).unwrap()]);
+        assert!((s.probability(&Predicate::all()).unwrap() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+    use crate::naive::NaivePolynomial;
+    use entropydb_storage::{Attribute, Schema};
+
+    fn a(i: usize) -> AttrId {
+        AttrId(i)
+    }
+
+    fn summary() -> MaxEntSummary {
+        let schema = Schema::new(vec![
+            Attribute::categorical("x", 3).unwrap(),
+            Attribute::categorical("y", 2).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, y, c) in [(0u32, 0u32, 6), (0, 1, 2), (1, 0, 1), (1, 1, 5), (2, 0, 4), (2, 1, 2)] {
+            for _ in 0..c {
+                t.push_row(&[x, y]).unwrap();
+            }
+        }
+        let stat = MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap();
+        MaxEntSummary::build(&t, vec![stat], &SolverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sampled_rows_are_schema_valid_and_deterministic() {
+        let s = summary();
+        let rows = s.sample_rows(500, 11).unwrap();
+        assert_eq!(rows.num_rows(), 500);
+        for i in 0..rows.num_rows() {
+            let row = rows.row(i).unwrap();
+            assert!(row[0] < 3 && row[1] < 2);
+        }
+        let rows2 = s.sample_rows(500, 11).unwrap();
+        assert_eq!(rows.row(3), rows2.row(3));
+    }
+
+    #[test]
+    fn sampled_frequencies_match_model_probabilities() {
+        let s = summary();
+        let naive = NaivePolynomial::build(s.statistics().domain_sizes(), s.statistics().multi())
+            .unwrap();
+        let probs = naive.tuple_probabilities(s.assignment());
+        let k = 40_000;
+        let rows = s.sample_rows(k, 5).unwrap();
+        let groups = entropydb_storage::exec::GroupCounts::compute(&rows, &[a(0), a(1)]).unwrap();
+        for (idx, &p) in probs.iter().enumerate() {
+            let (x, y) = ((idx / 2) as u32, (idx % 2) as u32);
+            let freq = groups.get(&[x, y]) as f64 / k as f64;
+            assert!(
+                (freq - p).abs() < 0.02,
+                "tuple ({x},{y}): freq {freq} vs model {p}"
+            );
+        }
+    }
+
+    /// Monte-Carlo validation of the Binomial variance formula: the spread
+    /// of counts across many model-sampled instances matches n·p(1−p).
+    #[test]
+    fn monte_carlo_variance_matches_formula() {
+        let s = summary();
+        let pred = Predicate::new().eq(a(0), 0).eq(a(1), 0);
+        let est = s.estimate_count(&pred).unwrap();
+        let n = s.n() as usize;
+        let runs = 800;
+        let mut counts = Vec::with_capacity(runs);
+        for seed in 0..runs as u64 {
+            let instance = s.sample_rows(n, 1000 + seed).unwrap();
+            counts.push(entropydb_storage::exec::count(&instance, &pred).unwrap() as f64);
+        }
+        let mean: f64 = counts.iter().sum::<f64>() / runs as f64;
+        let var: f64 =
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (runs - 1) as f64;
+        assert!(
+            (mean - est.expectation).abs() < 0.3,
+            "mean {mean} vs {}",
+            est.expectation
+        );
+        assert!(
+            (var - est.variance).abs() < 0.5 * est.variance.max(0.5),
+            "var {var} vs {}",
+            est.variance
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! The naive sum-of-products polynomial (paper Eq. 5) — a test oracle.
+//!
+//! One monomial per possible tuple: `P = Σ_{t ∈ Tup} ∏_j α_j^{⟨c_j,t⟩}`.
+//! Materializing it is exactly what Sec. 4.1 exists to avoid, but for small
+//! domains it is the ground truth that the compressed polynomial, the
+//! derivative passes, and the query-answering identities are verified
+//! against (both in unit tests and property tests).
+
+use crate::assignment::{Mask, VarAssignment};
+use crate::error::{ModelError, Result};
+use crate::statistics::MultiDimStatistic;
+use entropydb_storage::Predicate;
+
+/// Hard cap on the enumerable tuple space.
+pub const NAIVE_TUPLE_CAP: u128 = 4_000_000;
+
+/// The uncompressed polynomial: an explicit monomial per possible tuple.
+#[derive(Debug, Clone)]
+pub struct NaivePolynomial {
+    domain_sizes: Vec<usize>,
+    /// Tuples in row-major (mixed-radix) order; `tuples[k]` is tuple `k`'s
+    /// codes, `deltas[k]` the multi statistics containing it.
+    tuples: Vec<Vec<u32>>,
+    deltas: Vec<Vec<u32>>,
+}
+
+impl NaivePolynomial {
+    /// Enumerates the tuple space and tags every tuple with the
+    /// multi-dimensional statistics containing it.
+    pub fn build(domain_sizes: &[usize], stats: &[MultiDimStatistic]) -> Result<Self> {
+        let size: u128 = domain_sizes
+            .iter()
+            .fold(1u128, |acc, &n| acc.saturating_mul(n as u128));
+        if size > NAIVE_TUPLE_CAP {
+            return Err(ModelError::TupleSpaceTooLarge {
+                size,
+                cap: NAIVE_TUPLE_CAP,
+            });
+        }
+        let mut tuples = Vec::with_capacity(size as usize);
+        let mut deltas = Vec::with_capacity(size as usize);
+        let mut current = vec![0u32; domain_sizes.len()];
+        loop {
+            let d: Vec<u32> = stats
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.matches(&current))
+                .map(|(j, _)| j as u32)
+                .collect();
+            tuples.push(current.clone());
+            deltas.push(d);
+            // Mixed-radix increment; stop after the last tuple.
+            let mut idx = domain_sizes.len();
+            loop {
+                if idx == 0 {
+                    return Ok(NaivePolynomial {
+                        domain_sizes: domain_sizes.to_vec(),
+                        tuples,
+                        deltas,
+                    });
+                }
+                idx -= 1;
+                current[idx] += 1;
+                if (current[idx] as usize) < domain_sizes[idx] {
+                    break;
+                }
+                current[idx] = 0;
+            }
+        }
+    }
+
+    /// Number of monomials (`|Tup|`).
+    pub fn num_monomials(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The monomial value of tuple `k` under `a` and `mask`.
+    fn monomial(&self, k: usize, a: &VarAssignment, mask: &Mask) -> f64 {
+        let mut prod = 1.0;
+        for (i, &v) in self.tuples[k].iter().enumerate() {
+            prod *= mask.weight(i, v) * a.one_dim[i][v as usize];
+        }
+        for &j in &self.deltas[k] {
+            prod *= a.multi[j as usize];
+        }
+        prod
+    }
+
+    /// Evaluates `P` at `a`.
+    pub fn eval(&self, a: &VarAssignment) -> f64 {
+        self.eval_masked(a, &Mask::identity(self.domain_sizes.len()))
+    }
+
+    /// Evaluates `P` with masked 1D variables.
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        (0..self.tuples.len())
+            .map(|k| self.monomial(k, a, mask))
+            .sum()
+    }
+
+    /// `dP/dvar` by monomial differentiation (each monomial is multilinear).
+    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: crate::polynomial::Var) -> f64 {
+        let mut d = 0.0;
+        for k in 0..self.tuples.len() {
+            let contains = match var {
+                crate::polynomial::Var::OneDim { attr, code } => self.tuples[k][attr] == code,
+                crate::polynomial::Var::Multi(j) => self.deltas[k].contains(&(j as u32)),
+            };
+            if !contains {
+                continue;
+            }
+            // monomial / var (the variable has degree exactly 1).
+            let mut prod = 1.0;
+            for (i, &v) in self.tuples[k].iter().enumerate() {
+                match var {
+                    crate::polynomial::Var::OneDim { attr, code } if i == attr && v == code => {
+                        prod *= mask.weight(i, v);
+                    }
+                    _ => prod *= mask.weight(i, v) * a.one_dim[i][v as usize],
+                }
+            }
+            for &j in &self.deltas[k] {
+                if !matches!(var, crate::polynomial::Var::Multi(jj) if jj == j as usize) {
+                    prod *= a.multi[j as usize];
+                }
+            }
+            d += prod;
+        }
+        d
+    }
+
+    /// The MaxEnt tuple probabilities `p_t = monomial_t / P` (the model is
+    /// `n` i.i.d. tuple draws because `Z = P^n`, Lemma 3.1).
+    pub fn tuple_probabilities(&self, a: &VarAssignment) -> Vec<f64> {
+        let mask = Mask::identity(self.domain_sizes.len());
+        let p = self.eval(a);
+        (0..self.tuples.len())
+            .map(|k| self.monomial(k, a, &mask) / p)
+            .collect()
+    }
+
+    /// Oracle for query answering: `E[⟨q,I⟩] = n · Σ_{t ⊨ π} p_t`, computed
+    /// by explicit enumeration (Eq. 10 applied monomial by monomial).
+    pub fn expected_count(&self, a: &VarAssignment, pred: &Predicate, n: u64) -> f64 {
+        let probs = self.tuple_probabilities(a);
+        let mut total = 0.0;
+        for (k, t) in self.tuples.iter().enumerate() {
+            if pred.matches_row(t) {
+                total += probs[k];
+            }
+        }
+        n as f64 * total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::{CompressedPolynomial, Var};
+    use entropydb_storage::AttrId;
+
+    fn a(i: usize) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn fig1_data_and_query_model() {
+        // Fig. 1: D1 = {a1,a2}, D2 = {b1,b2}, instance of 5 tuples with
+        // frequency vector (2, 1, 0, 2); q = COUNT(*) WHERE A = a1 → 3.
+        let rows = [
+            [0u32, 0],
+            [0, 1],
+            [0, 0],
+            [1, 1],
+            [1, 1],
+        ];
+        let freq: Vec<u64> = {
+            let mut f = vec![0u64; 4];
+            for r in &rows {
+                f[(r[0] * 2 + r[1]) as usize] += 1;
+            }
+            f
+        };
+        assert_eq!(freq, vec![2, 1, 0, 2]);
+        let q_answer: u64 = rows.iter().filter(|r| r[0] == 0).count() as u64;
+        assert_eq!(q_answer, 3);
+    }
+
+    #[test]
+    fn enumerates_full_tuple_space() {
+        let p = NaivePolynomial::build(&[2, 3], &[]).unwrap();
+        assert_eq!(p.num_monomials(), 6);
+        let ones = VarAssignment::ones(&[2, 3], 0);
+        assert_eq!(p.eval(&ones), 6.0);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let result = NaivePolynomial::build(&[100_000, 100_000], &[]);
+        assert!(matches!(result, Err(ModelError::TupleSpaceTooLarge { .. })));
+    }
+
+    #[test]
+    fn example_3_2_probability() {
+        // Example 3.2: three binary attributes, only 1D statistics. The
+        // polynomial has 8 monomials, each the product of its three 1D vars.
+        let p = NaivePolynomial::build(&[2, 2, 2], &[]).unwrap();
+        assert_eq!(p.num_monomials(), 8);
+        let mut asn = VarAssignment::ones(&[2, 2, 2], 0);
+        asn.one_dim[0] = vec![0.3, 0.7];
+        asn.one_dim[1] = vec![0.8, 0.2];
+        asn.one_dim[2] = vec![0.6, 0.4];
+        let expected: f64 = [0.3, 0.7]
+            .iter()
+            .flat_map(|&x| [0.8, 0.2].iter().map(move |&y| x * y))
+            .flat_map(|xy| [0.6, 0.4].iter().map(move |&z| xy * z))
+            .sum();
+        assert!((p.eval(&asn) - expected).abs() < 1e-12);
+        // Probabilities sum to one.
+        let probs = p.tuple_probabilities(&asn);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_and_compressed_agree_with_stats() {
+        let stats = vec![
+            MultiDimStatistic::rect2d(a(0), (0, 1), a(1), (1, 2)).unwrap(),
+            MultiDimStatistic::rect2d(a(1), (2, 2), a(2), (0, 1)).unwrap(),
+        ];
+        let naive = NaivePolynomial::build(&[3, 4, 2], &stats).unwrap();
+        let comp = CompressedPolynomial::build(&[3, 4, 2], &stats).unwrap();
+        let mut asn = VarAssignment::ones(&[3, 4, 2], 2);
+        asn.one_dim[0] = vec![0.2, 0.5, 0.9];
+        asn.one_dim[1] = vec![1.1, 0.3, 0.8, 0.05];
+        asn.one_dim[2] = vec![0.4, 0.6];
+        asn.multi = vec![1.9, 0.2];
+        let (pn, pc) = (naive.eval(&asn), comp.eval(&asn));
+        assert!((pn - pc).abs() < 1e-12 * pn.abs().max(1.0), "{pn} vs {pc}");
+        // Derivatives agree too.
+        let mask = Mask::identity(3);
+        for var in [
+            Var::OneDim { attr: 0, code: 1 },
+            Var::OneDim { attr: 1, code: 2 },
+            Var::Multi(0),
+            Var::Multi(1),
+        ] {
+            let dn = naive.derivative(&asn, &mask, var);
+            let dc = comp.derivative(&asn, &mask, var);
+            assert!((dn - dc).abs() < 1e-12 * dn.abs().max(1.0), "{var:?}: {dn} vs {dc}");
+        }
+    }
+
+    #[test]
+    fn masked_eval_matches_predicate_restriction() {
+        let stats = vec![MultiDimStatistic::rect2d(a(0), (0, 0), a(1), (0, 1)).unwrap()];
+        let naive = NaivePolynomial::build(&[2, 3], &stats).unwrap();
+        let mut asn = VarAssignment::ones(&[2, 3], 1);
+        asn.one_dim[0] = vec![0.4, 0.6];
+        asn.one_dim[1] = vec![0.1, 0.7, 0.2];
+        asn.multi = vec![3.0];
+        let pred = Predicate::new().eq(a(1), 1);
+        let mask = Mask::from_predicate(&pred, &[2, 3]).unwrap();
+        // Masked P = Σ over tuples with B = 1 of their monomials.
+        let by_mask = naive.eval_masked(&asn, &mask);
+        let manual = 0.4 * 0.7 * 3.0 + 0.6 * 0.7;
+        assert!((by_mask - manual).abs() < 1e-12);
+        // Eq. 10 / Sec. 4.2: E[q] = n * P_masked / P.
+        let e = naive.expected_count(&asn, &pred, 100);
+        assert!((e - 100.0 * manual / naive.eval(&asn)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,666 @@
+//! The compressed MaxEnt polynomial (paper Sec. 4.1, Theorem 4.1).
+//!
+//! The naive polynomial `P` (Eq. 5) has one monomial per possible tuple —
+//! `∏ N_i` of them, infeasible to materialize. Expanding every
+//! multi-dimensional variable `δ_j` as `(δ_j − 1) + 1` and distributing gives
+//! the exact identity
+//!
+//! ```text
+//! P = Σ_{S ⊆ multi-stats, π_S ≢ false}  ∏_{j∈S} (δ_j − 1) · ∏_{i=1..m} ( Σ_{v ∈ ρ_iS} α_{i,v} )
+//! ```
+//!
+//! where `π_S` is the conjunction of the predicates in `S` and `ρ_iS` its
+//! projection on attribute `i` (the full domain when unconstrained). Each
+//! compatible subset `S` becomes one compressed *term*: `m` interval-sum
+//! factors plus `|S|` `(δ−1)` factors. `S = ∅` is the base term. This is
+//! Theorem 4.1 with the `J_I` bookkeeping flattened out; compatibility is
+//! downward-closed, so subsets are enumerated by a fix-point closure that
+//! extends each compatible set with statistics of larger index only.
+//!
+//! Because every variable has degree ≤ 1 in `P` (monomials are multilinear),
+//! evaluation under a [`Mask`] plus *all* derivatives with respect to one
+//! attribute's variables can be fused into a single pass
+//! ([`CompressedPolynomial::eval_with_attr_derivatives`]) — the workhorse of
+//! both the solver (Sec. 3.3) and batched group-by estimation (Sec. 4.2).
+
+use crate::assignment::{Mask, VarAssignment};
+use crate::error::{ModelError, Result};
+use crate::statistics::MultiDimStatistic;
+
+/// Identifies one model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Var {
+    /// The 1D variable `α_{attr,code}` of statistic `A_attr = code`.
+    OneDim {
+        /// Attribute index.
+        attr: usize,
+        /// Dense value code.
+        code: u32,
+    },
+    /// The variable of the `j`-th multi-dimensional statistic.
+    Multi(usize),
+}
+
+/// Size accounting for a compressed polynomial, mirroring the numbers the
+/// paper reports (e.g. "4.4 million terms uncompressed vs 9,000 compressed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolynomialSizeStats {
+    /// Number of compressed terms (compatible statistic subsets + base).
+    pub num_terms: usize,
+    /// Interval-sum factors that constrain fewer values than the full domain.
+    pub constrained_factors: usize,
+    /// Total `(δ − 1)` factors across terms.
+    pub delta_factors: usize,
+    /// Monomials of the equivalent uncompressed sum-of-products form
+    /// (`∏ N_i`), saturating.
+    pub uncompressed_monomials: u128,
+}
+
+/// A term under construction: a compatible set of statistics and the
+/// intersected projection ranges over its combined attributes.
+#[derive(Debug, Clone)]
+struct Entry {
+    deltas: Vec<u32>,
+    /// Sorted by attribute: `(attr, lo, hi)`, intersected across `deltas`.
+    ranges: Vec<(usize, u32, u32)>,
+}
+
+/// The compressed multilinear polynomial `P`.
+///
+/// Storage is flat and term-major: `intervals` holds `m` inclusive value
+/// ranges per term (the interval-sum factors), `delta_ids`/`delta_offsets`
+/// hold each term's multi-statistic set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedPolynomial {
+    domain_sizes: Vec<usize>,
+    num_multi: usize,
+    intervals: Vec<(u32, u32)>,
+    delta_offsets: Vec<u32>,
+    delta_ids: Vec<u32>,
+    /// For each multi statistic, the terms containing its `(δ−1)` factor.
+    terms_with_delta: Vec<Vec<u32>>,
+}
+
+/// Default cap on the closure size; exceeding it means the statistics
+/// overlap too much across attribute sets for this summary to be practical.
+pub const DEFAULT_TERM_CAP: usize = 5_000_000;
+
+impl CompressedPolynomial {
+    /// Builds the compressed polynomial for the given domains and
+    /// multi-dimensional statistics with the default term cap.
+    pub fn build(domain_sizes: &[usize], stats: &[MultiDimStatistic]) -> Result<Self> {
+        Self::build_with_cap(domain_sizes, stats, DEFAULT_TERM_CAP)
+    }
+
+    /// Builds the compressed polynomial with an explicit term cap.
+    ///
+    /// Unlike [`crate::statistics::Statistics`], this does **not** require
+    /// same-attribute-set statistics to be disjoint — the identity holds for
+    /// arbitrary rectangle statistics; disjointness only keeps the closure
+    /// small.
+    pub fn build_with_cap(
+        domain_sizes: &[usize],
+        stats: &[MultiDimStatistic],
+        cap: usize,
+    ) -> Result<Self> {
+        let m = domain_sizes.len();
+        for stat in stats {
+            for c in stat.clauses() {
+                let size = *domain_sizes.get(c.attr.0).ok_or(ModelError::ShapeMismatch)?;
+                if c.hi as usize >= size {
+                    return Err(ModelError::Storage(
+                        entropydb_storage::StorageError::CodeOutOfDomain {
+                            attr: format!("A{}", c.attr.0),
+                            code: c.hi,
+                            domain_size: size,
+                        },
+                    ));
+                }
+            }
+        }
+
+        // Fix-point closure over compatible statistic subsets. Compatibility
+        // (non-empty intersection of every shared projection) is
+        // downward-closed, so growing sets by strictly increasing statistic
+        // index enumerates each compatible subset exactly once.
+        let mut entries: Vec<Entry> = stats
+            .iter()
+            .enumerate()
+            .map(|(j, s)| Entry {
+                deltas: vec![j as u32],
+                ranges: s
+                    .clauses()
+                    .iter()
+                    .map(|c| (c.attr.0, c.lo, c.hi))
+                    .collect(),
+            })
+            .collect();
+        let mut next = 0;
+        while next < entries.len() {
+            let last = *entries[next].deltas.last().expect("non-empty") as usize;
+            for (j, stat) in stats.iter().enumerate().skip(last + 1) {
+                if let Some(ranges) = intersect_ranges(&entries[next].ranges, stat) {
+                    if entries.len() + 1 >= cap {
+                        return Err(ModelError::CompressionTooLarge { cap });
+                    }
+                    let mut deltas = entries[next].deltas.clone();
+                    deltas.push(j as u32);
+                    entries.push(Entry { deltas, ranges });
+                }
+            }
+            next += 1;
+        }
+
+        // Flatten: base term first, then one term per compatible subset.
+        let num_terms = entries.len() + 1;
+        let full: Vec<(u32, u32)> = domain_sizes
+            .iter()
+            .map(|&n| (0u32, n.saturating_sub(1) as u32))
+            .collect();
+        let mut intervals = Vec::with_capacity(num_terms * m);
+        let mut delta_offsets = Vec::with_capacity(num_terms + 1);
+        let mut delta_ids = Vec::new();
+        let mut terms_with_delta = vec![Vec::new(); stats.len()];
+
+        delta_offsets.push(0u32);
+        intervals.extend_from_slice(&full); // base term: S = ∅
+        delta_offsets.push(0u32);
+
+        for (t, e) in entries.iter().enumerate() {
+            let term_id = (t + 1) as u32;
+            let mut row = full.clone();
+            for &(attr, lo, hi) in &e.ranges {
+                row[attr] = (lo, hi);
+            }
+            intervals.extend_from_slice(&row);
+            for &d in &e.deltas {
+                delta_ids.push(d);
+                terms_with_delta[d as usize].push(term_id);
+            }
+            delta_offsets.push(delta_ids.len() as u32);
+        }
+
+        Ok(CompressedPolynomial {
+            domain_sizes: domain_sizes.to_vec(),
+            num_multi: stats.len(),
+            intervals,
+            delta_offsets,
+            delta_ids,
+            terms_with_delta,
+        })
+    }
+
+    /// Number of attributes `m`.
+    pub fn arity(&self) -> usize {
+        self.domain_sizes.len()
+    }
+
+    /// Active-domain sizes.
+    pub fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
+    /// Number of multi-dimensional statistic variables.
+    pub fn num_multi(&self) -> usize {
+        self.num_multi
+    }
+
+    /// Number of compressed terms (including the base term).
+    pub fn num_terms(&self) -> usize {
+        self.delta_offsets.len() - 1
+    }
+
+    /// Size accounting (paper Sec. 4.1 / Theorem 4.2 discussion).
+    pub fn size_stats(&self) -> PolynomialSizeStats {
+        let m = self.arity();
+        let mut constrained = 0;
+        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
+            let _ = t;
+            for (i, &(lo, hi)) in row.iter().enumerate() {
+                if lo != 0 || (hi as usize) + 1 != self.domain_sizes[i] {
+                    constrained += 1;
+                }
+            }
+        }
+        PolynomialSizeStats {
+            num_terms: self.num_terms(),
+            constrained_factors: constrained,
+            delta_factors: self.delta_ids.len(),
+            uncompressed_monomials: self
+                .domain_sizes
+                .iter()
+                .fold(1u128, |acc, &n| acc.saturating_mul(n as u128)),
+        }
+    }
+
+    /// Validates that an assignment matches this polynomial's shape.
+    pub fn check_shape(&self, a: &VarAssignment) -> Result<()> {
+        if a.one_dim.len() != self.arity()
+            || a.multi.len() != self.num_multi
+            || a.one_dim
+                .iter()
+                .zip(&self.domain_sizes)
+                .any(|(v, &n)| v.len() != n)
+        {
+            return Err(ModelError::ShapeMismatch);
+        }
+        Ok(())
+    }
+
+    /// Per-attribute prefix sums of masked variables:
+    /// `prefix[i][v+1] − prefix[i][lo]` is the interval sum `Σ w·α`.
+    fn prefix_sums(&self, a: &VarAssignment, mask: &Mask) -> Vec<Vec<f64>> {
+        self.domain_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let vals = &a.one_dim[i];
+                let mut prefix = Vec::with_capacity(n + 1);
+                let mut acc = 0.0;
+                prefix.push(0.0);
+                match mask.attr_weights(i) {
+                    Some(w) => {
+                        for (&wv, &xv) in w.iter().zip(vals).take(n) {
+                            acc += wv * xv;
+                            prefix.push(acc);
+                        }
+                    }
+                    None => {
+                        for &xv in vals.iter().take(n) {
+                            acc += xv;
+                            prefix.push(acc);
+                        }
+                    }
+                }
+                prefix
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn delta_product(&self, term: usize, multi: &[f64]) -> f64 {
+        let lo = self.delta_offsets[term] as usize;
+        let hi = self.delta_offsets[term + 1] as usize;
+        self.delta_ids[lo..hi]
+            .iter()
+            .fold(1.0, |acc, &j| acc * (multi[j as usize] - 1.0))
+    }
+
+    /// Evaluates `P` at `a`.
+    pub fn eval(&self, a: &VarAssignment) -> f64 {
+        self.eval_masked(a, &Mask::identity(self.arity()))
+    }
+
+    /// Evaluates `P` with 1D variables scaled by `mask` — the Sec. 4.2 query
+    /// evaluation (and its `SUM`-weight generalization).
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        debug_assert!(self.check_shape(a).is_ok());
+        let prefix = self.prefix_sums(a, mask);
+        let m = self.arity();
+        let mut p = 0.0;
+        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
+            let mut prod = self.delta_product(t, &a.multi);
+            if prod == 0.0 {
+                continue;
+            }
+            for (i, &(lo, hi)) in row.iter().enumerate() {
+                prod *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            p += prod;
+        }
+        p
+    }
+
+    /// Fused pass returning `(P, dP/dα_{attr,v} for every v)` under `mask`.
+    ///
+    /// Derivatives are with respect to the *raw* variable `α`, so the mask
+    /// weight multiplies in: `dP/dα_{attr,v} = w_v · Σ_{terms covering v}
+    /// (product of the term's other factors)`. The per-term exclusive
+    /// products are accumulated into a difference array over the term's
+    /// value interval, so the pass costs `O(terms·m + N_attr)`.
+    ///
+    /// By overcompleteness (Eq. 7), `P = Σ_v α_v · dP/dα_v`, which is how the
+    /// returned `P` is assembled.
+    pub fn eval_with_attr_derivatives(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+    ) -> (f64, Vec<f64>) {
+        debug_assert!(attr < self.arity());
+        let prefix = self.prefix_sums(a, mask);
+        let m = self.arity();
+        let n_attr = self.domain_sizes[attr];
+        let mut diff = vec![0.0f64; n_attr + 1];
+
+        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
+            let mut excl = self.delta_product(t, &a.multi);
+            if excl == 0.0 {
+                continue;
+            }
+            for (i, &(lo, hi)) in row.iter().enumerate() {
+                if i == attr {
+                    continue;
+                }
+                excl *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+                if excl == 0.0 {
+                    break;
+                }
+            }
+            if excl == 0.0 {
+                continue;
+            }
+            let (lo, hi) = row[attr];
+            diff[lo as usize] += excl;
+            diff[hi as usize + 1] -= excl;
+        }
+
+        let mut derivs = vec![0.0f64; n_attr];
+        let mut acc = 0.0;
+        let mut p = 0.0;
+        for v in 0..n_attr {
+            acc += diff[v];
+            let w = mask.weight(attr, v as u32);
+            derivs[v] = w * acc;
+            p += a.one_dim[attr][v] * derivs[v];
+        }
+        (p, derivs)
+    }
+
+    /// Per-term products of the `m` interval-sum factors only (no `(δ−1)`
+    /// factors). Cached by the solver's multi-variable sweep: while only `δ`
+    /// values change, these stay valid.
+    pub fn interval_products(&self, a: &VarAssignment, mask: &Mask) -> Vec<f64> {
+        let prefix = self.prefix_sums(a, mask);
+        let m = self.arity();
+        self.intervals
+            .chunks_exact(m)
+            .map(|row| {
+                let mut prod = 1.0;
+                for (i, &(lo, hi)) in row.iter().enumerate() {
+                    prod *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+                    if prod == 0.0 {
+                        break;
+                    }
+                }
+                prod
+            })
+            .collect()
+    }
+
+    /// Evaluates `P` from cached interval products and current `δ` values.
+    pub fn eval_from_interval_products(&self, iprods: &[f64], multi: &[f64]) -> f64 {
+        debug_assert_eq!(iprods.len(), self.num_terms());
+        iprods
+            .iter()
+            .enumerate()
+            .map(|(t, &ip)| ip * self.delta_product(t, multi))
+            .sum()
+    }
+
+    /// `dP/dδ_j` from cached interval products: only terms containing `δ_j`
+    /// contribute, each with its other `(δ−1)` factors.
+    pub fn delta_derivative(&self, iprods: &[f64], multi: &[f64], j: usize) -> f64 {
+        let mut d = 0.0;
+        for &t in &self.terms_with_delta[j] {
+            let t = t as usize;
+            let lo = self.delta_offsets[t] as usize;
+            let hi = self.delta_offsets[t + 1] as usize;
+            let mut prod = iprods[t];
+            for &other in &self.delta_ids[lo..hi] {
+                if other as usize != j {
+                    prod *= multi[other as usize] - 1.0;
+                }
+            }
+            d += prod;
+        }
+        d
+    }
+
+    /// Generic single-variable derivative `dP/dvar` under `mask` (reference
+    /// path used by tests and the gradient-ascent baseline solver).
+    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
+        match var {
+            Var::OneDim { attr, code } => {
+                let (_, d) = self.eval_with_attr_derivatives(a, mask, attr);
+                d[code as usize]
+            }
+            Var::Multi(j) => {
+                let iprods = self.interval_products(a, mask);
+                self.delta_derivative(&iprods, &a.multi, j)
+            }
+        }
+    }
+}
+
+/// Intersects an entry's ranges with a statistic's clauses; `None` when any
+/// shared attribute's intersection is empty.
+fn intersect_ranges(
+    ranges: &[(usize, u32, u32)],
+    stat: &MultiDimStatistic,
+) -> Option<Vec<(usize, u32, u32)>> {
+    let mut out = Vec::with_capacity(ranges.len() + stat.clauses().len());
+    let mut ai = 0;
+    let mut bi = 0;
+    let clauses = stat.clauses();
+    while ai < ranges.len() && bi < clauses.len() {
+        let (attr_a, lo_a, hi_a) = ranges[ai];
+        let c = &clauses[bi];
+        match attr_a.cmp(&c.attr.0) {
+            std::cmp::Ordering::Less => {
+                out.push(ranges[ai]);
+                ai += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((c.attr.0, c.lo, c.hi));
+                bi += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let lo = lo_a.max(c.lo);
+                let hi = hi_a.min(c.hi);
+                if lo > hi {
+                    return None;
+                }
+                out.push((attr_a, lo, hi));
+                ai += 1;
+                bi += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&ranges[ai..]);
+    for c in &clauses[bi..] {
+        out.push((c.attr.0, c.lo, c.hi));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::AttrId;
+
+    fn a(i: usize) -> AttrId {
+        AttrId(i)
+    }
+
+    fn rect(ax: usize, x: (u32, u32), ay: usize, y: (u32, u32)) -> MultiDimStatistic {
+        MultiDimStatistic::rect2d(a(ax), x, a(ay), y).unwrap()
+    }
+
+    #[test]
+    fn no_stats_single_base_term() {
+        let p = CompressedPolynomial::build(&[3, 4], &[]).unwrap();
+        assert_eq!(p.num_terms(), 1);
+        let ones = VarAssignment::ones(&[3, 4], 0);
+        // P(1,...,1) counts tuples: 3 * 4.
+        assert_eq!(p.eval(&ones), 12.0);
+    }
+
+    #[test]
+    fn single_stat_two_terms() {
+        let stats = vec![rect(0, (1, 2), 1, (0, 0))];
+        let p = CompressedPolynomial::build(&[4, 3], &stats).unwrap();
+        assert_eq!(p.num_terms(), 2);
+        // With δ = 1 the correction vanishes.
+        let ones = VarAssignment::ones(&[4, 3], 1);
+        assert_eq!(p.eval(&ones), 12.0);
+        // With δ = 2 the 2 covered cells are double-counted once more.
+        let mut two = ones.clone();
+        two.multi[0] = 2.0;
+        assert_eq!(p.eval(&two), 12.0 + 2.0);
+    }
+
+    #[test]
+    fn disjoint_same_pair_stats_do_not_combine() {
+        let stats = vec![rect(0, (0, 1), 1, (0, 1)), rect(0, (2, 3), 1, (0, 1))];
+        let p = CompressedPolynomial::build(&[4, 3], &stats).unwrap();
+        // base + 2 singletons; the pair has empty intersection on attr 0.
+        assert_eq!(p.num_terms(), 3);
+    }
+
+    #[test]
+    fn overlapping_cross_pair_stats_combine() {
+        // AB stat and BC stat overlapping on B (the paper's Eq. 13-15 shape).
+        let ab = rect(0, (1, 2), 1, (5, 6));
+        let bc = rect(1, (5, 5), 2, (0, 3));
+        let p = CompressedPolynomial::build(&[10, 10, 10], &[ab, bc]).unwrap();
+        // base + {ab} + {bc} + {ab,bc}.
+        assert_eq!(p.num_terms(), 4);
+    }
+
+    #[test]
+    fn incompatible_cross_pair_stats_do_not_combine() {
+        let ab = rect(0, (1, 2), 1, (5, 6));
+        let bc = rect(1, (7, 9), 2, (0, 3));
+        let p = CompressedPolynomial::build(&[10, 10, 10], &[ab, bc]).unwrap();
+        assert_eq!(p.num_terms(), 3);
+    }
+
+    #[test]
+    fn paper_example_3_2_and_3_3_term_count() {
+        // Example 3.3: R(A,B,C), two values each, four 2D cell statistics:
+        // (A=a1,B=b1), (A=a2,B=b2), (B=b1,C=c1), (B=b2,C=c1).
+        let stats = vec![
+            MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap(),
+            MultiDimStatistic::cell2d(a(0), 1, a(1), 1).unwrap(),
+            MultiDimStatistic::cell2d(a(1), 0, a(2), 0).unwrap(),
+            MultiDimStatistic::cell2d(a(1), 1, a(2), 0).unwrap(),
+        ];
+        let p = CompressedPolynomial::build(&[2, 2, 2], &stats).unwrap();
+        // Compatible subsets: 4 singletons + {ab11, bc11} + {ab22, bc21}
+        // (AB and BC stats combine only when the B projections agree).
+        assert_eq!(p.num_terms(), 1 + 4 + 2);
+
+        // Eq. 6 check: with concrete values, compare against the hand-
+        // expanded sum-of-products polynomial.
+        let mut asn = VarAssignment::ones(&[2, 2, 2], 4);
+        asn.one_dim[0] = vec![0.3, 0.7]; // α1, α2
+        asn.one_dim[1] = vec![0.8, 0.2]; // β1, β2
+        asn.one_dim[2] = vec![0.6, 0.4]; // γ1, γ2
+        asn.multi = vec![2.0, 3.0, 5.0, 7.0]; // [αβ]11, [αβ]22, [βγ]11, [βγ]21
+        let (al, be, ga) = (&asn.one_dim[0], &asn.one_dim[1], &asn.one_dim[2]);
+        let (ab11, ab22, bc11, bc21) = (2.0, 3.0, 5.0, 7.0);
+        let expected = al[0] * be[0] * ga[0] * ab11 * bc11
+            + al[0] * be[0] * ga[1] * ab11
+            + al[0] * be[1] * ga[0] * bc21
+            + al[0] * be[1] * ga[1]
+            + al[1] * be[0] * ga[0] * bc11
+            + al[1] * be[0] * ga[1]
+            + al[1] * be[1] * ga[0] * ab22 * bc21
+            + al[1] * be[1] * ga[1] * ab22;
+        assert!((p.eval(&asn) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_eval_zeroes_values() {
+        let stats = vec![rect(0, (1, 2), 1, (0, 0))];
+        let p = CompressedPolynomial::build(&[4, 3], &stats).unwrap();
+        let ones = VarAssignment::ones(&[4, 3], 1);
+        // Query A ∈ [0,1]: 2 of 4 A-values stay, all B stay → 6 tuples.
+        let pred = entropydb_storage::Predicate::new().between(a(0), 0, 1);
+        let mask = Mask::from_predicate(&pred, &[4, 3]).unwrap();
+        assert_eq!(p.eval_masked(&ones, &mask), 6.0);
+    }
+
+    #[test]
+    fn attr_derivatives_match_generic_derivative() {
+        let stats = vec![rect(0, (1, 2), 1, (0, 1)), rect(1, (1, 2), 2, (2, 4))];
+        let p = CompressedPolynomial::build(&[4, 3, 5], &stats).unwrap();
+        let mut asn = VarAssignment::ones(&[4, 3, 5], 2);
+        for (i, vs) in asn.one_dim.iter_mut().enumerate() {
+            for (v, x) in vs.iter_mut().enumerate() {
+                *x = 0.1 + 0.07 * (i + 1) as f64 * (v + 1) as f64;
+            }
+        }
+        asn.multi = vec![0.5, 1.7];
+        let mask = Mask::identity(3);
+        for attr in 0..3 {
+            let (pv, derivs) = p.eval_with_attr_derivatives(&asn, &mask, attr);
+            assert!((pv - p.eval(&asn)).abs() < 1e-12 * pv.abs().max(1.0));
+            for (code, &d) in derivs.iter().enumerate() {
+                // Finite difference check.
+                let mut plus = asn.clone();
+                plus.one_dim[attr][code] += 1e-6;
+                let fd = (p.eval(&plus) - p.eval(&asn)) / 1e-6;
+                assert!(
+                    (d - fd).abs() < 1e-5 * d.abs().max(1.0),
+                    "attr {attr} code {code}: {d} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_derivative_matches_finite_difference() {
+        let stats = vec![rect(0, (1, 2), 1, (0, 1)), rect(1, (0, 1), 2, (2, 4))];
+        let p = CompressedPolynomial::build(&[4, 3, 5], &stats).unwrap();
+        let mut asn = VarAssignment::ones(&[4, 3, 5], 2);
+        asn.multi = vec![0.4, 2.2];
+        let mask = Mask::identity(3);
+        let iprods = p.interval_products(&asn, &mask);
+        for j in 0..2 {
+            let d = p.delta_derivative(&iprods, &asn.multi, j);
+            let mut plus = asn.clone();
+            plus.multi[j] += 1e-6;
+            let fd = (p.eval(&plus) - p.eval(&asn)) / 1e-6;
+            assert!((d - fd).abs() < 1e-5 * d.abs().max(1.0), "δ{j}: {d} vs {fd}");
+        }
+        // eval_from_interval_products agrees with eval.
+        let pv = p.eval_from_interval_products(&iprods, &asn.multi);
+        assert!((pv - p.eval(&asn)).abs() < 1e-12 * pv.abs().max(1.0));
+    }
+
+    #[test]
+    fn term_cap_enforced() {
+        // Heavily overlapping stats across attribute pairs blow up the
+        // closure; a tiny cap must trigger the error.
+        let mut stats = Vec::new();
+        for i in 0..6u32 {
+            stats.push(rect(0, (0, 9), 1, (i, i)));
+            stats.push(rect(1, (i, i), 2, (0, 9)));
+        }
+        let result = CompressedPolynomial::build_with_cap(&[10, 10, 10], &stats, 10);
+        assert!(matches!(result, Err(ModelError::CompressionTooLarge { cap: 10 })));
+    }
+
+    #[test]
+    fn size_stats_report() {
+        let stats = vec![rect(0, (1, 2), 1, (0, 0))];
+        let p = CompressedPolynomial::build(&[4, 3], &stats).unwrap();
+        let s = p.size_stats();
+        assert_eq!(s.num_terms, 2);
+        assert_eq!(s.uncompressed_monomials, 12);
+        assert_eq!(s.delta_factors, 1);
+        assert_eq!(s.constrained_factors, 2);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let p = CompressedPolynomial::build(&[3, 4], &[]).unwrap();
+        let bad = VarAssignment::ones(&[3, 5], 0);
+        assert!(p.check_shape(&bad).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Query estimates and their uncertainty.
+//!
+//! Because `Z = P^n` (Lemma 3.1), the MaxEnt distribution over instances of
+//! size `n` is exactly `n` i.i.d. tuple draws with `p_t ∝ ∏_j α_j^{⟨c_j,t⟩}`.
+//! A counting query `q = |σ_π(I)|` is therefore Binomial(`n`, `p`) with
+//! `p = P[masked] / P` — which gives both the paper's expectation
+//! `E[q] = n·p` (Sec. 4.2) and the closed-form variance `n·p(1−p)` that the
+//! paper's Sec. 7 lists as future work. Weighted (SUM-style) linear queries
+//! get the i.i.d. variance `n(E[w²] − E[w]²)` the same way.
+
+/// An approximate query answer with its model-implied uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The expected value `E[⟨q, I⟩]`.
+    pub expectation: f64,
+    /// The model variance of `⟨q, I⟩`.
+    pub variance: f64,
+}
+
+impl Estimate {
+    /// Creates an estimate, clamping tiny negative values produced by
+    /// floating-point cancellation to zero.
+    pub fn new(expectation: f64, variance: f64) -> Self {
+        Estimate {
+            expectation: expectation.max(0.0),
+            variance: variance.max(0.0),
+        }
+    }
+
+    /// The integer-rounded answer. The paper rounds expectations below 0.5
+    /// to 0 — this is what distinguishes "rare" from "nonexistent" in the
+    /// F-measure experiments.
+    pub fn rounded(&self) -> u64 {
+        self.expectation.round().max(0.0) as u64
+    }
+
+    /// Whether the model believes the queried population exists at all.
+    pub fn exists(&self) -> bool {
+        self.rounded() > 0
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// A normal-approximation 95% confidence interval, clamped at zero.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_dev();
+        ((self.expectation - half).max(0.0), self.expectation + half)
+    }
+}
+
+/// Counting-query estimate from a Binomial(`n`, `p`) model.
+pub fn count_estimate(n: u64, p: f64) -> Estimate {
+    let p = p.clamp(0.0, 1.0);
+    let nf = n as f64;
+    Estimate::new(nf * p, nf * p * (1.0 - p))
+}
+
+/// Weighted linear-query estimate from per-draw moments: `mean_w = E[w·1_π]`
+/// and `mean_w2 = E[w²·1_π]` over single-tuple draws.
+pub fn weighted_estimate(n: u64, mean_w: f64, mean_w2: f64) -> Estimate {
+    let nf = n as f64;
+    Estimate::new(nf * mean_w, nf * (mean_w2 - mean_w * mean_w).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_matches_paper_convention() {
+        assert_eq!(Estimate::new(0.49, 0.0).rounded(), 0);
+        assert_eq!(Estimate::new(0.5, 0.0).rounded(), 1);
+        assert_eq!(Estimate::new(2.4, 0.0).rounded(), 2);
+        assert!(!Estimate::new(0.2, 0.0).exists());
+        assert!(Estimate::new(0.7, 0.0).exists());
+    }
+
+    #[test]
+    fn count_estimate_is_binomial() {
+        let e = count_estimate(100, 0.25);
+        assert_eq!(e.expectation, 25.0);
+        assert_eq!(e.variance, 100.0 * 0.25 * 0.75);
+        let (lo, hi) = e.ci95();
+        assert!(lo < 25.0 && hi > 25.0);
+    }
+
+    #[test]
+    fn count_estimate_clamps_probability() {
+        let e = count_estimate(10, 1.5);
+        assert_eq!(e.expectation, 10.0);
+        assert_eq!(e.variance, 0.0);
+        let e = count_estimate(10, -0.1);
+        assert_eq!(e.expectation, 0.0);
+    }
+
+    #[test]
+    fn weighted_estimate_moments() {
+        // Per-draw weight has mean 2 and second moment 5 → var 1 per draw.
+        let e = weighted_estimate(50, 2.0, 5.0);
+        assert_eq!(e.expectation, 100.0);
+        assert_eq!(e.variance, 50.0);
+    }
+
+    #[test]
+    fn negative_cancellation_clamped() {
+        let e = Estimate::new(-1e-15, -1e-18);
+        assert_eq!(e.expectation, 0.0);
+        assert_eq!(e.variance, 0.0);
+    }
+}

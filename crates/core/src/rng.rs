@@ -1,0 +1,100 @@
+//! A small deterministic PRNG (SplitMix64) for model sampling.
+//!
+//! The core crate avoids external dependencies; SplitMix64 passes BigCrush
+//! and is more than adequate for drawing tuples from the fitted model.
+
+/// SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Samples an index proportionally to non-negative `weights` given a uniform
+/// draw `u ∈ [0, 1)`. Returns `None` when the total weight is zero.
+pub fn sample_weighted(weights: &[f64], u: f64) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || total.is_nan() || !total.is_finite() {
+        return None;
+    }
+    let mut target = u * total;
+    let mut last_positive = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            last_positive = Some(i);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    last_positive // floating-point edge: u ≈ 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let weights = [1.0, 0.0, 3.0];
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[sample_weighted(&weights, rng.next_f64()).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "{ratio}");
+    }
+
+    #[test]
+    fn zero_weights_return_none() {
+        assert_eq!(sample_weighted(&[0.0, 0.0], 0.5), None);
+        assert_eq!(sample_weighted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn edge_u_near_one() {
+        assert_eq!(sample_weighted(&[1.0, 1.0], 0.999_999_999), Some(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! The three 2D-statistic heuristics of Sec. 4.3: LARGE single cell, ZERO
+//! single cell, and COMPOSITE (KD-tree rectangles).
+
+use crate::selection::kdtree;
+use crate::statistics::MultiDimStatistic;
+use entropydb_storage::{AttrId, Histogram2D, Result as StorageResult, Table};
+
+/// Which heuristic picks the `Bs` statistics for one attribute pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// The `Bs` most frequent cells as point statistics ("LARGE SINGLE
+    /// CELL").
+    Large,
+    /// `Bs` empty cells as zero point statistics, topping up with frequent
+    /// cells when fewer empty cells exist ("ZERO SINGLE CELL"). Fights the
+    /// MaxEnt model's phantom tuples.
+    Zero,
+    /// A KD-tree partition of the whole pair domain into `Bs` disjoint
+    /// rectangles ("COMPOSITE") — the paper's overall winner.
+    Composite,
+}
+
+impl Heuristic {
+    /// All heuristics, for sweep-style experiments.
+    pub const ALL: [Heuristic; 3] = [Heuristic::Large, Heuristic::Zero, Heuristic::Composite];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Heuristic::Large => "Large",
+            Heuristic::Zero => "Zero",
+            Heuristic::Composite => "Composite",
+        }
+    }
+}
+
+/// Selects `budget` 2D statistics over the attribute pair `(x, y)` of
+/// `table` using `heuristic`.
+pub fn select_pair_statistics(
+    table: &Table,
+    x: AttrId,
+    y: AttrId,
+    budget: usize,
+    heuristic: Heuristic,
+) -> StorageResult<Vec<MultiDimStatistic>> {
+    let hist = Histogram2D::compute(table, x, y)?;
+    Ok(match heuristic {
+        Heuristic::Large => large_cells(&hist, budget),
+        Heuristic::Zero => zero_cells(&hist, budget),
+        Heuristic::Composite => composite_rectangles(&hist, budget),
+    })
+}
+
+/// The `budget` heaviest cells as point statistics, heaviest first (ties
+/// broken by cell position for determinism).
+pub fn large_cells(hist: &Histogram2D, budget: usize) -> Vec<MultiDimStatistic> {
+    let (x, y) = hist.attrs();
+    let mut cells: Vec<(u32, u32, u64)> = hist.iter_nonzero().collect();
+    cells.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+    cells
+        .into_iter()
+        .take(budget)
+        .map(|(cx, cy, _)| MultiDimStatistic::cell2d(x, cx, y, cy).expect("valid cell"))
+        .collect()
+}
+
+/// Up to `budget` empty cells as zero statistics (scan order), topping up
+/// with heavy cells when fewer empty cells exist.
+pub fn zero_cells(hist: &Histogram2D, budget: usize) -> Vec<MultiDimStatistic> {
+    let (x, y) = hist.attrs();
+    let (nx, ny) = hist.dims();
+    let mut stats = Vec::with_capacity(budget);
+    'outer: for cx in 0..nx as u32 {
+        for cy in 0..ny as u32 {
+            if hist.get(cx, cy) == 0 {
+                stats.push(MultiDimStatistic::cell2d(x, cx, y, cy).expect("valid cell"));
+                if stats.len() == budget {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    if stats.len() < budget {
+        // Paper: "If there are fewer than Bs such points, we choose the
+        // remaining points as in SINGLE CELL."
+        stats.extend(large_cells(hist, budget - stats.len()));
+    }
+    stats
+}
+
+/// A KD-tree partition of the full pair domain into at most `budget`
+/// disjoint rectangles, one statistic per rectangle. A rectangle covering
+/// the *entire* pair domain (possible when the histogram is uniform and no
+/// split helps) is dropped: its count would equal `n`, which is degenerate
+/// and adds no information beyond the 1D statistics.
+pub fn composite_rectangles(hist: &Histogram2D, budget: usize) -> Vec<MultiDimStatistic> {
+    let (x, y) = hist.attrs();
+    let (nx, ny) = hist.dims();
+    kdtree::partition(hist, budget)
+        .into_iter()
+        .filter(|r| {
+            !(r.x == (0, nx.saturating_sub(1) as u32) && r.y == (0, ny.saturating_sub(1) as u32))
+        })
+        .map(|r| MultiDimStatistic::rect2d(x, r.x, y, r.y).expect("valid rectangle"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::{Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("x", 3).unwrap(),
+            Attribute::categorical("y", 3).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, y, c) in [(0u32, 0u32, 9), (0, 1, 4), (1, 1, 6), (2, 2, 1)] {
+            for _ in 0..c {
+                t.push_row(&[x, y]).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn large_picks_heaviest_cells() {
+        let stats =
+            select_pair_statistics(&table(), AttrId(0), AttrId(1), 2, Heuristic::Large).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].projection(AttrId(0)), Some((0, 0)));
+        assert_eq!(stats[0].projection(AttrId(1)), Some((0, 0)));
+        assert_eq!(stats[1].projection(AttrId(0)), Some((1, 1)));
+        assert_eq!(stats[1].projection(AttrId(1)), Some((1, 1)));
+    }
+
+    #[test]
+    fn large_never_exceeds_nonzero_cells() {
+        let stats =
+            select_pair_statistics(&table(), AttrId(0), AttrId(1), 100, Heuristic::Large).unwrap();
+        assert_eq!(stats.len(), 4);
+    }
+
+    #[test]
+    fn zero_picks_empty_cells_first() {
+        // 9 cells, 4 non-empty → 5 empty.
+        let stats =
+            select_pair_statistics(&table(), AttrId(0), AttrId(1), 5, Heuristic::Zero).unwrap();
+        assert_eq!(stats.len(), 5);
+        let t = table();
+        for s in &stats {
+            let c = entropydb_storage::exec::count(&t, &s.to_predicate()).unwrap();
+            assert_eq!(c, 0, "{s:?} should be an empty cell");
+        }
+    }
+
+    #[test]
+    fn zero_tops_up_with_large_cells() {
+        let stats =
+            select_pair_statistics(&table(), AttrId(0), AttrId(1), 7, Heuristic::Zero).unwrap();
+        assert_eq!(stats.len(), 7);
+        // The 6th and 7th must be the two heaviest cells.
+        let t = table();
+        let c5 = entropydb_storage::exec::count(&t, &stats[5].to_predicate()).unwrap();
+        let c6 = entropydb_storage::exec::count(&t, &stats[6].to_predicate()).unwrap();
+        assert_eq!((c5, c6), (9, 6));
+    }
+
+    #[test]
+    fn composite_is_a_partition() {
+        let stats =
+            select_pair_statistics(&table(), AttrId(0), AttrId(1), 4, Heuristic::Composite)
+                .unwrap();
+        assert!(!stats.is_empty() && stats.len() <= 4);
+        // Disjoint and covering: every cell in exactly one rectangle.
+        for x in 0..3u32 {
+            for y in 0..3u32 {
+                let hits = stats.iter().filter(|s| s.matches(&[x, y])).count();
+                assert_eq!(hits, 1, "cell ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_names() {
+        assert_eq!(Heuristic::Large.name(), "Large");
+        assert_eq!(Heuristic::Zero.name(), "Zero");
+        assert_eq!(Heuristic::Composite.name(), "Composite");
+        assert_eq!(Heuristic::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,296 @@
+//! The modified KD-tree of Sec. 4.3 (COMPOSITE heuristic).
+//!
+//! A standard KD-tree splits a region at the median. The paper instead
+//! splits "on the value that has the lowest sum squared average value
+//! difference": for every candidate split position, compute the within-part
+//! sum of squared deviations from each part's mean cell count, and take the
+//! position minimizing the total (Fig. 2(a)). Split axes alternate; the
+//! region with the largest remaining variance is refined next, until the
+//! budget `Bs` of leaves is exhausted. Each leaf becomes one 2D range
+//! statistic.
+
+use entropydb_storage::Histogram2D;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An inclusive bucket rectangle `[x_lo, x_hi] × [y_lo, y_hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Inclusive x-range (first attribute's codes).
+    pub x: (u32, u32),
+    /// Inclusive y-range (second attribute's codes).
+    pub y: (u32, u32),
+}
+
+impl Rect {
+    /// Number of cells covered.
+    pub fn area(&self) -> u64 {
+        (self.x.1 - self.x.0 + 1) as u64 * (self.y.1 - self.y.0 + 1) as u64
+    }
+}
+
+/// 2D prefix sums of counts and squared counts, for O(1) region SSE.
+struct Grid {
+    ny: usize,
+    sum: Vec<f64>,   // (nx+1) x (ny+1)
+    sumsq: Vec<f64>, // (nx+1) x (ny+1)
+}
+
+impl Grid {
+    fn new(hist: &Histogram2D) -> Self {
+        let (nx, ny) = hist.dims();
+        let w = ny + 1;
+        let mut sum = vec![0.0; (nx + 1) * w];
+        let mut sumsq = vec![0.0; (nx + 1) * w];
+        for x in 0..nx {
+            for y in 0..ny {
+                let c = hist.get(x as u32, y as u32) as f64;
+                sum[(x + 1) * w + (y + 1)] =
+                    c + sum[x * w + (y + 1)] + sum[(x + 1) * w + y] - sum[x * w + y];
+                sumsq[(x + 1) * w + (y + 1)] =
+                    c * c + sumsq[x * w + (y + 1)] + sumsq[(x + 1) * w + y] - sumsq[x * w + y];
+            }
+        }
+        Grid { ny, sum, sumsq }
+    }
+
+    fn region_sum(&self, r: &Rect, squared: bool) -> f64 {
+        let w = self.ny + 1;
+        let table = if squared { &self.sumsq } else { &self.sum };
+        let (x0, x1) = (r.x.0 as usize, r.x.1 as usize + 1);
+        let (y0, y1) = (r.y.0 as usize, r.y.1 as usize + 1);
+        table[x1 * w + y1] - table[x0 * w + y1] - table[x1 * w + y0] + table[x0 * w + y0]
+    }
+
+    /// Sum of squared deviations of cell counts from the region mean.
+    fn sse(&self, r: &Rect) -> f64 {
+        let s = self.region_sum(r, false);
+        let sq = self.region_sum(r, true);
+        (sq - s * s / r.area() as f64).max(0.0)
+    }
+}
+
+#[derive(Debug)]
+struct Leaf {
+    rect: Rect,
+    sse: f64,
+    depth: usize,
+}
+
+impl PartialEq for Leaf {
+    fn eq(&self, other: &Self) -> bool {
+        self.sse == other.sse
+    }
+}
+impl Eq for Leaf {}
+impl PartialOrd for Leaf {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Leaf {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sse.total_cmp(&other.sse)
+    }
+}
+
+/// Finds the min-cost split of `rect` along `axis` (0 = x, 1 = y);
+/// returns `(position, cost)` where the left part ends at `position`
+/// inclusive. `None` when the axis has width 1.
+fn best_split(grid: &Grid, rect: &Rect, axis: usize) -> Option<(u32, f64)> {
+    let (lo, hi) = if axis == 0 { rect.x } else { rect.y };
+    if lo == hi {
+        return None;
+    }
+    let mut best: Option<(u32, f64)> = None;
+    for t in lo..hi {
+        let (left, right) = split_at(rect, axis, t);
+        let cost = grid.sse(&left) + grid.sse(&right);
+        if best.is_none_or(|(_, c)| cost < c) {
+            best = Some((t, cost));
+        }
+    }
+    best
+}
+
+fn split_at(rect: &Rect, axis: usize, t: u32) -> (Rect, Rect) {
+    if axis == 0 {
+        (
+            Rect { x: (rect.x.0, t), y: rect.y },
+            Rect { x: (t + 1, rect.x.1), y: rect.y },
+        )
+    } else {
+        (
+            Rect { x: rect.x, y: (rect.y.0, t) },
+            Rect { x: rect.x, y: (t + 1, rect.y.1) },
+        )
+    }
+}
+
+/// Builds the KD-tree partition of the full histogram domain into at most
+/// `budget` leaf rectangles, using the paper's min-SSE split rule with
+/// alternating axes and largest-SSE-first refinement.
+pub fn partition(hist: &Histogram2D, budget: usize) -> Vec<Rect> {
+    let (nx, ny) = hist.dims();
+    let root = Rect {
+        x: (0, nx.saturating_sub(1) as u32),
+        y: (0, ny.saturating_sub(1) as u32),
+    };
+    if budget <= 1 {
+        return vec![root];
+    }
+    let grid = Grid::new(hist);
+    let mut heap = BinaryHeap::new();
+    let mut done: Vec<Rect> = Vec::new();
+    heap.push(Leaf {
+        sse: grid.sse(&root),
+        rect: root,
+        depth: 0,
+    });
+
+    while heap.len() + done.len() < budget {
+        let Some(leaf) = heap.pop() else { break };
+        // A perfectly uniform region gains nothing from splitting.
+        if leaf.sse <= 0.0 {
+            done.push(leaf.rect);
+            continue;
+        }
+        // Alternate axes by depth; fall back to the other axis when the
+        // preferred one cannot split.
+        let preferred = leaf.depth % 2;
+        let split = best_split(&grid, &leaf.rect, preferred)
+            .map(|s| (preferred, s))
+            .or_else(|| best_split(&grid, &leaf.rect, 1 - preferred).map(|s| (1 - preferred, s)));
+        match split {
+            Some((axis, (t, _))) => {
+                let (l, r) = split_at(&leaf.rect, axis, t);
+                for part in [l, r] {
+                    heap.push(Leaf {
+                        sse: grid.sse(&part),
+                        rect: part,
+                        depth: leaf.depth + 1,
+                    });
+                }
+            }
+            None => done.push(leaf.rect), // single cell
+        }
+    }
+    done.extend(heap.into_iter().map(|l| l.rect));
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::{AttrId, Attribute, Schema, Table};
+
+    /// Builds a table whose (A0, A1) histogram equals `counts[x][y]`.
+    fn table_from_grid(counts: &[Vec<u64>]) -> Table {
+        let nx = counts.len();
+        let ny = counts[0].len();
+        let schema = Schema::new(vec![
+            Attribute::categorical("x", nx).unwrap(),
+            Attribute::categorical("y", ny).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, row) in counts.iter().enumerate() {
+            for (y, &c) in row.iter().enumerate() {
+                for _ in 0..c {
+                    t.push_row(&[x as u32, y as u32]).unwrap();
+                }
+            }
+        }
+        t
+    }
+
+    fn hist(counts: &[Vec<u64>]) -> Histogram2D {
+        let t = table_from_grid(counts);
+        Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap()
+    }
+
+    #[test]
+    fn paper_fig2a_split() {
+        // Fig 2(a): columns u1..u4 of A (x-axis), rows u1'..u3' of A'
+        // (y-axis). Stored here as counts[x][y].
+        //        u1' u2' u3'
+        // u1      2   1   1
+        // u2     10  10  12
+        // u3     10  10  10
+        // u4     10  10  10
+        let counts = vec![
+            vec![2, 1, 1],
+            vec![10, 10, 12],
+            vec![10, 10, 10],
+            vec![10, 10, 10],
+        ];
+        let h = hist(&counts);
+        let grid = Grid::new(&h);
+        let root = Rect { x: (0, 3), y: (0, 2) };
+        // The best vertical split (along A) separates column u1 from the
+        // rest — the paper's "best split for data summary" — not the median
+        // split a traditional KD-tree would use.
+        let (pos, _) = best_split(&grid, &root, 0).unwrap();
+        assert_eq!(pos, 0);
+    }
+
+    #[test]
+    fn partition_tiles_the_domain() {
+        let counts = vec![
+            vec![5, 0, 2, 2],
+            vec![9, 1, 2, 2],
+            vec![0, 0, 7, 2],
+            vec![1, 1, 2, 30],
+            vec![1, 1, 2, 2],
+        ];
+        let h = hist(&counts);
+        for budget in [1, 2, 3, 5, 8, 20, 100] {
+            let rects = partition(&h, budget);
+            assert!(rects.len() <= budget.max(1));
+            // Every cell covered exactly once.
+            let mut covered = vec![vec![0u32; 4]; 5];
+            for r in &rects {
+                for x in r.x.0..=r.x.1 {
+                    for y in r.y.0..=r.y.1 {
+                        covered[x as usize][y as usize] += 1;
+                    }
+                }
+            }
+            for row in &covered {
+                assert!(row.iter().all(|&c| c == 1), "budget {budget}: {covered:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_of_cell_count_isolates_every_cell() {
+        let counts = vec![vec![1, 2], vec![3, 4]];
+        let h = hist(&counts);
+        let rects = partition(&h, 4);
+        assert_eq!(rects.len(), 4);
+        assert!(rects.iter().all(|r| r.area() == 1));
+    }
+
+    #[test]
+    fn uniform_grid_stops_early() {
+        let counts = vec![vec![3, 3, 3], vec![3, 3, 3], vec![3, 3, 3]];
+        let h = hist(&counts);
+        // All regions have zero SSE: no split is worth making.
+        let rects = partition(&h, 9);
+        assert_eq!(rects.len(), 1);
+    }
+
+    #[test]
+    fn splits_chase_variance() {
+        // A single huge cell in a flat background: the first splits must
+        // isolate the hot corner region.
+        let mut counts = vec![vec![1u64; 8]; 8];
+        counts[0][0] = 1000;
+        let h = hist(&counts);
+        let rects = partition(&h, 4);
+        // Some leaf must be exactly the hot cell.
+        assert!(
+            rects.iter().any(|r| r.x == (0, 0) && r.y == (0, 0)),
+            "{rects:?}"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! Plain-text persistence for summaries.
+//!
+//! The paper's prototype "stored the polynomial variables in a Postgres
+//! database and stored the polynomial factorization in a text file"
+//! (Sec. 5). We persist the statistics and solved variables in one
+//! line-oriented text file; the compressed polynomial is rebuilt
+//! deterministically on load (rebuilding is cheap relative to solving and
+//! keeps the format small — the summary is the *model*, not the term list).
+//!
+//! Format (line-oriented, `#`-prefixed comments ignored):
+//!
+//! ```text
+//! entropydb-summary v1
+//! n <cardinality>
+//! attrs <m>
+//! attr <index> <domain_size> <name>           (m lines)
+//! onedim <attr> <count> <alpha> ... per value (m lines, run-length free)
+//! multis <k>
+//! multi <count> <alpha> <clauses> attr lo hi [attr lo hi ...]
+//! report <sweeps> <max_residual> <converged>
+//! end
+//! ```
+//!
+//! Floats are written with Rust's shortest-round-trip formatting, so a
+//! save/load cycle reproduces the exact same `f64`s.
+
+use crate::assignment::VarAssignment;
+use crate::error::{ModelError, Result};
+use crate::model::MaxEntSummary;
+use crate::solver::SolverReport;
+use crate::statistics::{MultiDimStatistic, RangeClause, Statistics};
+use entropydb_storage::{AttrId, Attribute, Schema};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serializes a summary to the text format.
+pub fn to_string(summary: &MaxEntSummary) -> String {
+    let stats = summary.statistics();
+    let asn = summary.assignment();
+    let report = summary.solver_report();
+    let mut out = String::new();
+    out.push_str("entropydb-summary v1\n");
+    let _ = writeln!(out, "n {}", stats.n());
+    let _ = writeln!(out, "attrs {}", stats.arity());
+    for (i, attr) in summary.schema().attributes().iter().enumerate() {
+        let _ = writeln!(out, "attr {} {} {}", i, attr.domain_size(), attr.name());
+    }
+    for (i, (counts, alphas)) in stats.one_dim().iter().zip(&asn.one_dim).enumerate() {
+        let _ = write!(out, "onedim {i}");
+        for (c, a) in counts.iter().zip(alphas) {
+            let _ = write!(out, " {c} {a}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "multis {}", stats.multi().len());
+    for ((stat, &count), &alpha) in stats
+        .multi()
+        .iter()
+        .zip(stats.multi_counts())
+        .zip(&asn.multi)
+    {
+        let _ = write!(out, "multi {count} {alpha} {}", stat.clauses().len());
+        for c in stat.clauses() {
+            let _ = write!(out, " {} {} {}", c.attr.0, c.lo, c.hi);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "report {} {} {}",
+        report.sweeps, report.max_residual, report.converged
+    );
+    out.push_str("end\n");
+    out
+}
+
+/// Writes a summary to a file.
+pub fn save_file(summary: &MaxEntSummary, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_string(summary))
+}
+
+/// Reads a summary from a file.
+pub fn load_file(path: &Path) -> Result<MaxEntSummary> {
+    let text = std::fs::read_to_string(path).map_err(|e| ModelError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    from_str(&text)
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn next_line(&mut self) -> Result<(usize, &'a str)> {
+        for (idx, raw) in self.lines.by_ref() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Ok((idx + 1, line));
+        }
+        Err(ModelError::Parse {
+            line: 0,
+            message: "unexpected end of input".to_string(),
+        })
+    }
+
+    fn expect_tagged(&mut self, tag: &str) -> Result<(usize, Vec<&'a str>)> {
+        let (line_no, line) = self.next_line()?;
+        let mut parts = line.split_whitespace();
+        let found = parts.next().unwrap_or("");
+        if found != tag {
+            return Err(ModelError::Parse {
+                line: line_no,
+                message: format!("expected {tag:?}, found {found:?}"),
+            });
+        }
+        Ok((line_no, parts.collect()))
+    }
+}
+
+fn parse<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T> {
+    token.parse().map_err(|_| ModelError::Parse {
+        line,
+        message: format!("cannot parse {what} from {token:?}"),
+    })
+}
+
+/// Parses a summary from the text format, rebuilding the compressed
+/// polynomial and validating shapes.
+pub fn from_str(text: &str) -> Result<MaxEntSummary> {
+    let mut p = Parser {
+        lines: text.lines().enumerate(),
+    };
+
+    let (line_no, header) = p.next_line()?;
+    if header != "entropydb-summary v1" {
+        return Err(ModelError::Parse {
+            line: line_no,
+            message: format!("unrecognized header {header:?}"),
+        });
+    }
+
+    let (ln, toks) = p.expect_tagged("n")?;
+    let n: u64 = parse(toks.first().copied().unwrap_or(""), ln, "n")?;
+    let (ln, toks) = p.expect_tagged("attrs")?;
+    let m: usize = parse(toks.first().copied().unwrap_or(""), ln, "attr count")?;
+
+    let mut attributes = Vec::with_capacity(m);
+    let mut domain_sizes = Vec::with_capacity(m);
+    for expected in 0..m {
+        let (ln, toks) = p.expect_tagged("attr")?;
+        if toks.len() < 3 {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: "attr needs: index size name".to_string(),
+            });
+        }
+        let idx: usize = parse(toks[0], ln, "attr index")?;
+        if idx != expected {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!("attr index {idx}, expected {expected}"),
+            });
+        }
+        let size: usize = parse(toks[1], ln, "domain size")?;
+        let name = toks[2..].join(" ");
+        attributes.push(Attribute::categorical(name, size).map_err(ModelError::Storage)?);
+        domain_sizes.push(size);
+    }
+
+    let mut one_dim_counts = Vec::with_capacity(m);
+    let mut one_dim_alphas = Vec::with_capacity(m);
+    for (expected, &size) in domain_sizes.iter().enumerate() {
+        let (ln, toks) = p.expect_tagged("onedim")?;
+        let idx: usize = parse(toks.first().copied().unwrap_or(""), ln, "onedim index")?;
+        if idx != expected {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!("onedim index {idx}, expected {expected}"),
+            });
+        }
+        let body = &toks[1..];
+        if body.len() != 2 * size {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!(
+                    "onedim {idx}: expected {size} (count, alpha) pairs, found {} tokens",
+                    body.len()
+                ),
+            });
+        }
+        let mut counts = Vec::with_capacity(size);
+        let mut alphas = Vec::with_capacity(size);
+        for pair in body.chunks_exact(2) {
+            counts.push(parse::<u64>(pair[0], ln, "1D count")?);
+            alphas.push(parse::<f64>(pair[1], ln, "1D alpha")?);
+        }
+        one_dim_counts.push(counts);
+        one_dim_alphas.push(alphas);
+    }
+
+    let (ln, toks) = p.expect_tagged("multis")?;
+    let k: usize = parse(toks.first().copied().unwrap_or(""), ln, "multi count")?;
+    let mut multi = Vec::with_capacity(k);
+    let mut multi_counts = Vec::with_capacity(k);
+    let mut multi_alphas = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (ln, toks) = p.expect_tagged("multi")?;
+        if toks.len() < 3 {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: "multi needs: count alpha clauses ...".to_string(),
+            });
+        }
+        multi_counts.push(parse::<u64>(toks[0], ln, "multi count")?);
+        multi_alphas.push(parse::<f64>(toks[1], ln, "multi alpha")?);
+        let num_clauses: usize = parse(toks[2], ln, "clause count")?;
+        let body = &toks[3..];
+        if body.len() != 3 * num_clauses {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!("multi: expected {num_clauses} clauses"),
+            });
+        }
+        let clauses = body
+            .chunks_exact(3)
+            .map(|c| {
+                Ok(RangeClause {
+                    attr: AttrId(parse::<usize>(c[0], ln, "clause attr")?),
+                    lo: parse::<u32>(c[1], ln, "clause lo")?,
+                    hi: parse::<u32>(c[2], ln, "clause hi")?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        multi.push(MultiDimStatistic::new(clauses)?);
+    }
+
+    let (ln, toks) = p.expect_tagged("report")?;
+    if toks.len() != 3 {
+        return Err(ModelError::Parse {
+            line: ln,
+            message: "report needs: sweeps residual converged".to_string(),
+        });
+    }
+    let report = SolverReport {
+        sweeps: parse(toks[0], ln, "sweeps")?,
+        max_residual: parse(toks[1], ln, "residual")?,
+        converged: parse(toks[2], ln, "converged")?,
+        skipped_updates: 0,
+        dual_trajectory: Vec::new(),
+        seconds: 0.0,
+    };
+    p.expect_tagged("end")?;
+
+    let stats = Statistics::from_parts(n, domain_sizes, one_dim_counts, multi, multi_counts)?;
+    let assignment = VarAssignment {
+        one_dim: one_dim_alphas,
+        multi: multi_alphas,
+    };
+    MaxEntSummary::from_solved_parts(Schema::new(attributes), stats, assignment, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverConfig;
+    use entropydb_storage::{Predicate, Table};
+
+    fn a(i: usize) -> AttrId {
+        AttrId(i)
+    }
+
+    fn build_summary() -> MaxEntSummary {
+        let schema = Schema::new(vec![
+            Attribute::categorical("origin", 3).unwrap(),
+            Attribute::categorical("dest", 4).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for (x, y, c) in [
+            (0u32, 0u32, 4),
+            (0, 1, 2),
+            (0, 2, 1),
+            (1, 1, 5),
+            (1, 3, 2),
+            (2, 0, 1),
+            (2, 2, 3),
+            (2, 3, 2),
+        ] {
+            for _ in 0..c {
+                t.push_row(&[x, y]).unwrap();
+            }
+        }
+        let multi = vec![
+            MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap(),
+            MultiDimStatistic::rect2d(a(0), (1, 2), a(1), (2, 3)).unwrap(),
+        ];
+        MaxEntSummary::build(&t, multi, &SolverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_estimates_exactly() {
+        let original = build_summary();
+        let text = to_string(&original);
+        let loaded = from_str(&text).unwrap();
+        assert_eq!(loaded.n(), original.n());
+        assert_eq!(loaded.assignment(), original.assignment());
+        for x in 0..3u32 {
+            for y in 0..4u32 {
+                let pred = Predicate::new().eq(a(0), x).eq(a(1), y);
+                let e0 = original.estimate_count(&pred).unwrap().expectation;
+                let e1 = loaded.estimate_count(&pred).unwrap().expectation;
+                assert_eq!(e0.to_bits(), e1.to_bits(), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_schema_names() {
+        let original = build_summary();
+        let loaded = from_str(&to_string(&original)).unwrap();
+        assert_eq!(loaded.schema().attr_by_name("origin").unwrap(), a(0));
+        assert_eq!(loaded.schema().attr_by_name("dest").unwrap(), a(1));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let original = build_summary();
+        let dir = std::env::temp_dir().join("entropydb-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.txt");
+        save_file(&original, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(loaded.assignment(), original.assignment());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let original = build_summary();
+        let text = to_string(&original);
+        let with_noise = format!("# a comment\n\n{}", text.replace("multis", "# x\nmultis"));
+        let loaded = from_str(&with_noise).unwrap();
+        assert_eq!(loaded.n(), original.n());
+    }
+
+    #[test]
+    fn corrupted_inputs_rejected_with_line_numbers() {
+        assert!(matches!(
+            from_str("bogus"),
+            Err(ModelError::Parse { .. })
+        ));
+        let original = build_summary();
+        let text = to_string(&original);
+        // Truncate: drop the last two lines (report + end).
+        let truncated: Vec<&str> = text.lines().collect();
+        let truncated = truncated[..truncated.len() - 2].join("\n");
+        assert!(from_str(&truncated).is_err());
+        // Corrupt a number.
+        let bad = text.replace("n 20", "n twenty");
+        assert!(matches!(from_str(&bad), Err(ModelError::Parse { .. })));
+    }
+
+    #[test]
+    fn inconsistent_statistics_rejected_on_load() {
+        let original = build_summary();
+        // Claim a multi count larger than n.
+        let text = to_string(&original);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("multi "))
+            .unwrap()
+            .to_string();
+        let mut parts: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parts[1] = "999999".to_string();
+        let bad = text.replace(&line, &parts.join(" "));
+        assert!(matches!(
+            from_str(&bad),
+            Err(ModelError::StatisticExceedsN { .. })
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+//! Property-based tests for the core model invariants.
+//!
+//! The central correctness claim of the implementation is Theorem 4.1: the
+//! compressed polynomial is *identically equal* to the naive one-monomial-
+//! per-tuple polynomial, for arbitrary rectangle statistics (overlapping or
+//! not). These tests exercise that identity — values, masked values, and
+//! derivatives — on randomized configurations, plus the solver's constraint
+//! satisfaction and the query-answering identities.
+
+use entropydb_core::assignment::{Mask, VarAssignment};
+use entropydb_core::naive::NaivePolynomial;
+use entropydb_core::polynomial::{CompressedPolynomial, Var};
+use entropydb_core::prelude::*;
+use entropydb_core::statistics::RangeClause;
+use proptest::prelude::*;
+use entropydb_storage::{AttrId, Attribute, Predicate, Schema, Table};
+
+/// A random model configuration: domain sizes, rectangle statistics, and an
+/// assignment. Kept small so the naive oracle stays cheap.
+#[derive(Debug, Clone)]
+struct Config {
+    sizes: Vec<usize>,
+    stats: Vec<MultiDimStatistic>,
+    assignment: VarAssignment,
+}
+
+fn arb_sizes() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 2..5)
+}
+
+/// A random rectangle statistic over ≥ 2 distinct attributes of `sizes`.
+fn arb_stat(sizes: Vec<usize>) -> impl Strategy<Value = MultiDimStatistic> {
+    let m = sizes.len();
+    prop::sample::subsequence((0..m).collect::<Vec<_>>(), 2..=m).prop_flat_map(move |attrs| {
+        let ranges: Vec<_> = attrs
+            .iter()
+            .map(|&a| {
+                let n = sizes[a] as u32;
+                (0..n).prop_flat_map(move |lo| (Just(lo), lo..n))
+            })
+            .collect();
+        let attrs2 = attrs.clone();
+        ranges.prop_map(move |bounds| {
+            let clauses = attrs2
+                .iter()
+                .zip(&bounds)
+                .map(|(&a, &(lo, hi))| RangeClause {
+                    attr: AttrId(a),
+                    lo,
+                    hi,
+                })
+                .collect();
+            MultiDimStatistic::new(clauses).expect("valid statistic")
+        })
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = Config> {
+    arb_sizes().prop_flat_map(|sizes| {
+        let stat_count = 0usize..5;
+        let sizes2 = sizes.clone();
+        let stats = stat_count
+            .prop_flat_map(move |k| prop::collection::vec(arb_stat(sizes2.clone()), k..=k));
+        (Just(sizes), stats).prop_flat_map(|(sizes, stats)| {
+            let one_dim: Vec<_> = sizes
+                .iter()
+                .map(|&n| prop::collection::vec(0.0f64..2.0, n..=n))
+                .collect();
+            let multi = prop::collection::vec(0.0f64..3.0, stats.len()..=stats.len());
+            (Just(sizes), Just(stats), one_dim, multi).prop_map(
+                |(sizes, stats, one_dim, multi)| Config {
+                    sizes,
+                    stats,
+                    assignment: VarAssignment { one_dim, multi },
+                },
+            )
+        })
+    })
+}
+
+/// A random conjunctive range predicate over the schema.
+fn arb_predicate(sizes: Vec<usize>) -> impl Strategy<Value = Predicate> {
+    let m = sizes.len();
+    prop::collection::vec(prop::option::of((0usize..m, 0u32..6, 0u32..6)), 0..3).prop_map(
+        move |clauses| {
+            let mut p = Predicate::new();
+            for c in clauses.into_iter().flatten() {
+                let (attr, a, b) = c;
+                let n = sizes[attr] as u32;
+                let (lo, hi) = (a.min(b).min(n - 1), a.max(b).min(n - 1));
+                p = p.between(AttrId(attr), lo, hi);
+            }
+            p
+        },
+    )
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 4.1: compressed P ≡ naive P for arbitrary rectangles.
+    #[test]
+    fn compressed_equals_naive(config in arb_config()) {
+        let naive = NaivePolynomial::build(&config.sizes, &config.stats).unwrap();
+        let comp = CompressedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        prop_assert!(close(naive.eval(&config.assignment), comp.eval(&config.assignment)));
+    }
+
+    /// The component factorization is also identical to the naive form.
+    #[test]
+    fn factorized_equals_naive(config in arb_config()) {
+        let naive = NaivePolynomial::build(&config.sizes, &config.stats).unwrap();
+        let fact = FactorizedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        prop_assert!(close(naive.eval(&config.assignment), fact.eval(&config.assignment)));
+        // And never has more terms than the flat closure.
+        let flat = CompressedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        prop_assert!(fact.num_terms() <= flat.num_terms() + config.sizes.len());
+    }
+
+    /// The identity also holds under arbitrary query masks (Sec. 4.2).
+    #[test]
+    fn masked_evaluation_agrees((config, pred) in arb_config().prop_flat_map(|c| {
+        let sizes = c.sizes.clone();
+        (Just(c), arb_predicate(sizes))
+    })) {
+        let naive = NaivePolynomial::build(&config.sizes, &config.stats).unwrap();
+        let comp = CompressedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        let mask = Mask::from_predicate(&pred, &config.sizes).unwrap();
+        prop_assert!(close(
+            naive.eval_masked(&config.assignment, &mask),
+            comp.eval_masked(&config.assignment, &mask)
+        ));
+    }
+
+    /// Fused per-attribute derivatives match the naive monomial derivative.
+    #[test]
+    fn derivatives_agree(config in arb_config()) {
+        let naive = NaivePolynomial::build(&config.sizes, &config.stats).unwrap();
+        let comp = CompressedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        let mask = Mask::identity(config.sizes.len());
+        for attr in 0..config.sizes.len() {
+            let (p, derivs) = comp.eval_with_attr_derivatives(&config.assignment, &mask, attr);
+            prop_assert!(close(p, naive.eval(&config.assignment)));
+            for (code, &d) in derivs.iter().enumerate() {
+                let expected = naive.derivative(
+                    &config.assignment,
+                    &mask,
+                    Var::OneDim { attr, code: code as u32 },
+                );
+                prop_assert!(close(d, expected), "attr {} code {}: {} vs {}", attr, code, d, expected);
+            }
+        }
+        let iprods = comp.interval_products(&config.assignment, &mask);
+        for j in 0..config.stats.len() {
+            let d = comp.delta_derivative(&iprods, &config.assignment.multi, j);
+            let expected = naive.derivative(&config.assignment, &mask, Var::Multi(j));
+            prop_assert!(close(d, expected), "multi {}: {} vs {}", j, d, expected);
+        }
+    }
+
+    /// Degree ≤ 1 per variable: P is an affine function of every variable.
+    #[test]
+    fn multilinearity(config in arb_config(), idx in 0usize..64, v0 in 0.0f64..2.0, v1 in 0.0f64..2.0) {
+        let comp = CompressedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        // Pick a variable (1D or multi) deterministically from idx.
+        let total_1d: usize = config.sizes.iter().sum();
+        let k = total_1d + config.stats.len();
+        let flat = idx % k;
+        let set = |a: &mut VarAssignment, value: f64| {
+            if flat < total_1d {
+                let mut rest = flat;
+                for (i, &n) in config.sizes.iter().enumerate() {
+                    if rest < n {
+                        a.one_dim[i][rest] = value;
+                        return;
+                    }
+                    rest -= n;
+                }
+            } else {
+                a.multi[flat - total_1d] = value;
+            }
+        };
+        let mut a0 = config.assignment.clone();
+        let mut a1 = config.assignment.clone();
+        let mut ah = config.assignment.clone();
+        set(&mut a0, v0);
+        set(&mut a1, v1);
+        set(&mut ah, (v0 + v1) / 2.0);
+        let (p0, p1, ph) = (comp.eval(&a0), comp.eval(&a1), comp.eval(&ah));
+        prop_assert!(close(ph, (p0 + p1) / 2.0), "{} vs {}", ph, (p0 + p1) / 2.0);
+    }
+
+    /// Term count never exceeds the number of compatible subsets bound and
+    /// the polynomial's size stats are internally consistent.
+    #[test]
+    fn size_stats_consistent(config in arb_config()) {
+        let comp = CompressedPolynomial::build(&config.sizes, &config.stats).unwrap();
+        let s = comp.size_stats();
+        prop_assert_eq!(s.num_terms, comp.num_terms());
+        // Every singleton statistic is a compatible subset, plus the base.
+        prop_assert!(s.num_terms > config.stats.len());
+        let space: u128 = config.sizes.iter().map(|&n| n as u128).product();
+        prop_assert_eq!(s.uncompressed_monomials, space);
+    }
+}
+
+/// Random small tables: solver constraint satisfaction and query identities.
+mod end_to_end {
+    use super::*;
+
+    fn arb_table() -> impl Strategy<Value = Table> {
+        (2usize..4, 2usize..4, 5usize..40).prop_flat_map(|(nx, ny, rows)| {
+            prop::collection::vec((0u32..nx as u32, 0u32..ny as u32), rows).prop_map(
+                move |pairs| {
+                    let schema = Schema::new(vec![
+                        Attribute::categorical("x", nx).unwrap(),
+                        Attribute::categorical("y", ny).unwrap(),
+                    ]);
+                    let mut t = Table::new(schema);
+                    for (x, y) in pairs {
+                        t.push_row(&[x, y]).unwrap();
+                    }
+                    t
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// 1D-only summaries answer single-attribute queries exactly and
+        /// partition n across any attribute.
+        #[test]
+        fn one_dim_summary_exact_on_marginals(table in arb_table()) {
+            let summary =
+                MaxEntSummary::build(&table, vec![], &SolverConfig::default()).unwrap();
+            let n = table.num_rows() as f64;
+            for attr in [AttrId(0), AttrId(1)] {
+                let sizes = table.schema().domain_size(attr).unwrap();
+                let mut total = 0.0;
+                for v in 0..sizes as u32 {
+                    let pred = Predicate::new().eq(attr, v);
+                    let truth =
+                        entropydb_storage::exec::count(&table, &pred).unwrap() as f64;
+                    let est = summary.estimate_count(&pred).unwrap().expectation;
+                    prop_assert!((est - truth).abs() < 1e-6 * n.max(1.0),
+                        "attr {:?} v {}: {} vs {}", attr, v, est, truth);
+                    total += est;
+                }
+                prop_assert!((total - n).abs() < 1e-6 * n.max(1.0));
+            }
+        }
+
+        /// The masked-evaluation fast path (Sec. 4.2) equals the naive
+        /// enumeration oracle (Eq. 10) on every point query.
+        #[test]
+        fn fast_query_path_matches_oracle(table in arb_table()) {
+            // One real 2D statistic: the heaviest cell.
+            let hist = entropydb_storage::Histogram2D::compute(
+                &table, AttrId(0), AttrId(1)).unwrap();
+            let stats = entropydb_core::selection::heuristics::large_cells(&hist, 1);
+            let summary =
+                MaxEntSummary::build(&table, stats.clone(), &SolverConfig::default()).unwrap();
+            let naive = NaivePolynomial::build(
+                summary.statistics().domain_sizes(), &stats).unwrap();
+            let (nx, ny) = hist.dims();
+            for x in 0..nx as u32 {
+                for y in 0..ny as u32 {
+                    let pred = Predicate::new().eq(AttrId(0), x).eq(AttrId(1), y);
+                    let fast = summary.estimate_count(&pred).unwrap().expectation;
+                    let oracle = naive.expected_count(summary.assignment(), &pred, summary.n());
+                    prop_assert!((fast - oracle).abs() < 1e-8 * oracle.max(1.0),
+                        "({},{}): {} vs {}", x, y, fast, oracle);
+                }
+            }
+        }
+
+        /// Serialization round-trips bit-exactly.
+        #[test]
+        fn serialize_round_trip(table in arb_table()) {
+            let hist = entropydb_storage::Histogram2D::compute(
+                &table, AttrId(0), AttrId(1)).unwrap();
+            let stats = entropydb_core::selection::heuristics::composite_rectangles(&hist, 3);
+            let summary =
+                MaxEntSummary::build(&table, stats, &SolverConfig::default()).unwrap();
+            let loaded =
+                entropydb_core::serialize::from_str(&entropydb_core::serialize::to_string(&summary))
+                    .unwrap();
+            prop_assert_eq!(loaded.assignment(), summary.assignment());
+            prop_assert_eq!(loaded.n(), summary.n());
+        }
+    }
+}

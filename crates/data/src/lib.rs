@@ -1,0 +1,22 @@
+//! # entropydb-data
+//!
+//! Synthetic datasets and query workloads for the EntropyDB-rs evaluation.
+//!
+//! The paper evaluates on two real datasets we cannot redistribute: 5 GB of
+//! US flight records and a 210 GB astronomy particle simulation. The
+//! generators here ([`flights`], [`particles`]) reproduce the *properties
+//! the evaluation exercises* — exact Fig. 3 active-domain sizes, the
+//! measured correlation ranking among attribute pairs, Zipf-skewed
+//! popularity (so heavy/light/nonexistent workloads exist), and a
+//! near-uniform date attribute — at configurable row counts. [`workload`]
+//! derives the paper's heavy-hitter / light-hitter / null query sets from
+//! any table.
+
+pub mod flights;
+pub mod particles;
+pub mod workload;
+pub mod zipf;
+
+pub use flights::{FlightsConfig, FlightsDataset};
+pub use particles::{ParticlesConfig, ParticlesDataset};
+pub use workload::Workload;

@@ -1,0 +1,329 @@
+//! Synthetic N-body particle dataset (the paper's 210 GB ChaNGa astronomy
+//! simulation [15]).
+//!
+//! The real simulation snapshots are not distributable, so this generator
+//! produces a cosmological-looking particle cloud with the Fig. 3 domains:
+//!
+//! | attribute | bins |
+//! |---|---|
+//! | `density` | 58 |
+//! | `mass` | 52 |
+//! | `x`, `y`, `z` | 21 each |
+//! | `grp` | 2 |
+//! | `type` | 3 |
+//! | `snapshot` | 3 |
+//!
+//! Structure: a fixed set of halos (Gaussian clumps) in the unit cube plus a
+//! uniform background. Halo particles are flagged `grp = 1` and have high
+//! `density` (decaying with distance from the halo center); background
+//! particles are `grp = 0` with low density — so `(density, grp)` is
+//! strongly correlated, which is why the paper stratifies its Particles
+//! baseline on exactly that pair. Particle `type` (gas/dark/star) has
+//! type-dependent `mass` scales, and star formation is biased into halos.
+//! Across `snapshot`s, halos drift and deepen, so per-snapshot subsets have
+//! the same shape but different details — matching the paper's scale-up
+//! experiment over one, two, or three snapshots (Sec. 6.3).
+
+use crate::zipf::WeightedSampler;
+use entropydb_storage::{AttrId, Attribute, Binner, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fig. 3 domain sizes.
+pub const DENSITY_DOMAIN: usize = 58;
+/// Mass bucket count.
+pub const MASS_DOMAIN: usize = 52;
+/// Position bucket count per axis.
+pub const POSITION_DOMAIN: usize = 21;
+/// Cluster-membership flag domain.
+pub const GRP_DOMAIN: usize = 2;
+/// Particle type domain (gas / dark matter / star).
+pub const TYPE_DOMAIN: usize = 3;
+/// Snapshot count.
+pub const SNAPSHOT_DOMAIN: usize = 3;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct ParticlesConfig {
+    /// Particles per snapshot.
+    pub rows_per_snapshot: usize,
+    /// How many snapshots to include (1..=3). The paper's scalability
+    /// experiment grows the dataset one ~70 GB snapshot at a time.
+    pub snapshots: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of halos.
+    pub halos: usize,
+}
+
+impl Default for ParticlesConfig {
+    fn default() -> Self {
+        ParticlesConfig {
+            rows_per_snapshot: 500_000,
+            snapshots: SNAPSHOT_DOMAIN,
+            seed: 0xA57,
+            halos: 24,
+        }
+    }
+}
+
+/// A generated particles dataset with attribute handles.
+#[derive(Debug, Clone)]
+pub struct ParticlesDataset {
+    /// The relation instance (all requested snapshots concatenated).
+    pub table: Table,
+    /// `density` attribute.
+    pub density: AttrId,
+    /// `mass` attribute.
+    pub mass: AttrId,
+    /// `x` position attribute.
+    pub x: AttrId,
+    /// `y` position attribute.
+    pub y: AttrId,
+    /// `z` position attribute.
+    pub z: AttrId,
+    /// `grp` (in-cluster flag) attribute.
+    pub grp: AttrId,
+    /// `type` (gas/dark/star) attribute.
+    pub ptype: AttrId,
+    /// `snapshot` attribute.
+    pub snapshot: AttrId,
+}
+
+struct Halo {
+    center: [f64; 3],
+    drift: [f64; 3],
+    sigma: f64,
+    weight: f64,
+}
+
+/// Generates the dataset.
+pub fn generate(config: &ParticlesConfig) -> ParticlesDataset {
+    assert!(
+        (1..=SNAPSHOT_DOMAIN).contains(&config.snapshots),
+        "snapshots must be 1..=3"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let halos: Vec<Halo> = (0..config.halos.max(1))
+        .map(|i| Halo {
+            center: [rng.gen(), rng.gen(), rng.gen()],
+            drift: [
+                rng.gen_range(-0.04..0.04),
+                rng.gen_range(-0.04..0.04),
+                rng.gen_range(-0.04..0.04),
+            ],
+            sigma: rng.gen_range(0.015..0.05),
+            // Halo masses are heavy-tailed.
+            weight: 1.0 / (i + 1) as f64,
+        })
+        .collect();
+    let halo_sampler =
+        WeightedSampler::new(&halos.iter().map(|h| h.weight).collect::<Vec<_>>());
+
+    let density_binner = Binner::new(0.0, 12.0, DENSITY_DOMAIN).expect("valid");
+    let mass_binner = Binner::new(0.0, 10.0, MASS_DOMAIN).expect("valid");
+    let pos_binner = Binner::new(0.0, 1.0, POSITION_DOMAIN).expect("valid");
+    let schema = Schema::new(vec![
+        Attribute::binned("density", density_binner.clone()),
+        Attribute::binned("mass", mass_binner.clone()),
+        Attribute::binned("x", pos_binner.clone()),
+        Attribute::binned("y", pos_binner.clone()),
+        Attribute::binned("z", pos_binner.clone()),
+        Attribute::categorical("grp", GRP_DOMAIN).expect("valid"),
+        Attribute::categorical("type", TYPE_DOMAIN).expect("valid"),
+        Attribute::categorical("snapshot", SNAPSHOT_DOMAIN).expect("valid"),
+    ]);
+
+    let mut table = Table::with_capacity(schema, config.rows_per_snapshot * config.snapshots);
+    for snap in 0..config.snapshots {
+        let time = snap as f64;
+        for _ in 0..config.rows_per_snapshot {
+            // Clustering strengthens over time (gravitational collapse).
+            let in_halo = rng.gen::<f64>() < 0.35 + 0.08 * time;
+            let (pos, density, grp) = if in_halo {
+                let h = &halos[halo_sampler.sample(&mut rng)];
+                let mut pos = [0.0f64; 3];
+                let mut r2: f64 = 0.0;
+                for (d, p) in pos.iter_mut().enumerate() {
+                    let c = (h.center[d] + h.drift[d] * time).rem_euclid(1.0);
+                    let offset = gaussian(&mut rng) * h.sigma;
+                    *p = (c + offset).rem_euclid(1.0);
+                    r2 += offset * offset;
+                }
+                // Density peaks at the halo center and deepens over time.
+                let density = (1.0 + time * 0.6)
+                    * (8.0 * (-r2 / (2.0 * h.sigma * h.sigma)).exp() + 1.0)
+                    * rng.gen_range(0.8..1.2);
+                (pos, density.min(12.0), 1u32)
+            } else {
+                let pos = [rng.gen(), rng.gen(), rng.gen()];
+                (pos, rng.gen_range(0.0..1.2), 0u32)
+            };
+
+            // Types: gas / dark matter / star; stars form inside halos.
+            let ptype = if grp == 1 {
+                *[0u32, 1, 1, 2, 2].get(rng.gen_range(0..5)).expect("index")
+            } else {
+                *[0u32, 0, 1, 1, 1].get(rng.gen_range(0..5)).expect("index")
+            };
+            // Mass depends on type: dark ≫ gas ≫ star.
+            let mass = match ptype {
+                0 => rng.gen_range(0.5..2.0),
+                1 => rng.gen_range(3.0..9.5),
+                _ => rng.gen_range(0.1..1.0),
+            };
+
+            table.push_row_unchecked(&[
+                density_binner.bin(density),
+                mass_binner.bin(mass),
+                pos_binner.bin(pos[0]),
+                pos_binner.bin(pos[1]),
+                pos_binner.bin(pos[2]),
+                grp,
+                ptype,
+                snap as u32,
+            ]);
+        }
+    }
+
+    ParticlesDataset {
+        table,
+        density: AttrId(0),
+        mass: AttrId(1),
+        x: AttrId(2),
+        y: AttrId(3),
+        z: AttrId(4),
+        grp: AttrId(5),
+        ptype: AttrId(6),
+        snapshot: AttrId(7),
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::correlation::cramers_v;
+    use entropydb_storage::{exec, Histogram2D, Predicate};
+
+    fn small() -> ParticlesDataset {
+        generate(&ParticlesConfig {
+            rows_per_snapshot: 20_000,
+            snapshots: 3,
+            seed: 9,
+            halos: 12,
+        })
+    }
+
+    #[test]
+    fn domain_sizes_match_fig3() {
+        let d = small();
+        assert_eq!(
+            d.table.schema().domain_sizes(),
+            vec![58, 52, 21, 21, 21, 2, 3, 3]
+        );
+        // ~5.0e8 possible tuples, matching Fig. 3.
+        let space = d.table.schema().tuple_space_size();
+        assert!((4.0e8..6.0e8).contains(&(space as f64)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        for attr in a.table.schema().attr_ids() {
+            assert_eq!(
+                a.table.column(attr).unwrap().codes(),
+                b.table.column(attr).unwrap().codes()
+            );
+        }
+    }
+
+    #[test]
+    fn density_grp_strongly_correlated() {
+        let d = small();
+        let v = cramers_v(&Histogram2D::compute(&d.table, d.density, d.grp).unwrap());
+        assert!(v > 0.5, "density/grp correlation {v}");
+        // Mass and type are correlated too.
+        let v2 = cramers_v(&Histogram2D::compute(&d.table, d.mass, d.ptype).unwrap());
+        assert!(v2 > 0.5, "mass/type correlation {v2}");
+    }
+
+    #[test]
+    fn positions_cover_the_cube_with_clumps() {
+        let d = small();
+        // Every position bucket is populated...
+        for attr in [d.x, d.y, d.z] {
+            let h = entropydb_storage::Histogram1D::compute(&d.table, attr).unwrap();
+            assert_eq!(h.support(), POSITION_DOMAIN);
+            // ...but not uniformly: clumps make some buckets much heavier.
+            let mut counts = h.counts().to_vec();
+            counts.sort_unstable();
+            assert!(counts[counts.len() - 1] > 2 * counts[0]);
+        }
+    }
+
+    #[test]
+    fn snapshots_are_balanced() {
+        let d = small();
+        for s in 0..3u32 {
+            let c = exec::count(&d.table, &Predicate::new().eq(d.snapshot, s)).unwrap();
+            assert_eq!(c, 20_000);
+        }
+    }
+
+    #[test]
+    fn clustering_grows_over_time() {
+        let d = small();
+        let grp1_snap0 = exec::count(
+            &d.table,
+            &Predicate::new().eq(d.grp, 1).eq(d.snapshot, 0),
+        )
+        .unwrap();
+        let grp1_snap2 = exec::count(
+            &d.table,
+            &Predicate::new().eq(d.grp, 1).eq(d.snapshot, 2),
+        )
+        .unwrap();
+        assert!(grp1_snap2 > grp1_snap0);
+    }
+
+    #[test]
+    fn single_snapshot_subset() {
+        let d = generate(&ParticlesConfig {
+            rows_per_snapshot: 5_000,
+            snapshots: 1,
+            seed: 9,
+            halos: 12,
+        });
+        assert_eq!(d.table.num_rows(), 5_000);
+        let max_snap = d
+            .table
+            .column(d.snapshot)
+            .unwrap()
+            .codes()
+            .iter()
+            .max()
+            .copied()
+            .unwrap();
+        assert_eq!(max_snap, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_snapshots_rejected() {
+        generate(&ParticlesConfig {
+            rows_per_snapshot: 10,
+            snapshots: 4,
+            seed: 1,
+            halos: 2,
+        });
+    }
+}

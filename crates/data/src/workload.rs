@@ -1,0 +1,200 @@
+//! Query workload generation (paper Sec. 6.2).
+//!
+//! Every accuracy experiment uses the same workload recipe over a chosen
+//! attribute set: the values with the *largest* exact counts (heavy
+//! hitters), the values with the *smallest non-zero* counts (light hitters),
+//! and value combinations with a *zero* true count (nonexistent/null
+//! values). This module derives all three from one group-by scan.
+
+use entropydb_storage::exec::GroupCounts;
+use entropydb_storage::{AttrId, Predicate, Result as StorageResult, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point query workload over one attribute set.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queried attributes, in predicate order.
+    pub attrs: Vec<AttrId>,
+    /// `(values, true_count)` for the heaviest combinations, heaviest first.
+    pub heavy: Vec<(Vec<u32>, u64)>,
+    /// `(values, true_count)` for the lightest non-zero combinations,
+    /// lightest first.
+    pub light: Vec<(Vec<u32>, u64)>,
+    /// Value combinations with a true count of zero.
+    pub nulls: Vec<Vec<u32>>,
+}
+
+impl Workload {
+    /// Builds a workload: `num_heavy` heavy hitters, `num_light` light
+    /// hitters, and `num_null` nonexistent combinations (paper defaults:
+    /// 100 / 100 / 200). Null combinations are sampled deterministically
+    /// from `seed`; when the value space is small it is enumerated, when
+    /// large it is rejection-sampled.
+    pub fn generate(
+        table: &Table,
+        attrs: &[AttrId],
+        num_heavy: usize,
+        num_light: usize,
+        num_null: usize,
+        seed: u64,
+    ) -> StorageResult<Self> {
+        let groups = GroupCounts::compute(table, attrs)?;
+        let sorted = groups.sorted_desc();
+
+        let heavy: Vec<(Vec<u32>, u64)> =
+            sorted.iter().take(num_heavy).cloned().collect();
+        let mut light: Vec<(Vec<u32>, u64)> = sorted
+            .iter()
+            .rev()
+            .filter(|(_, c)| *c > 0)
+            .take(num_light)
+            .cloned()
+            .collect();
+        // Keep "lightest first" but avoid overlapping the heavy set when the
+        // support is small.
+        light.retain(|entry| !heavy.contains(entry));
+
+        let domain_sizes: Vec<usize> = attrs
+            .iter()
+            .map(|&a| table.schema().domain_size(a))
+            .collect::<StorageResult<_>>()?;
+        let space: u128 = domain_sizes.iter().map(|&d| d as u128).product();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let nulls = if space <= 2_000_000 {
+            // Enumerate all zero combinations and sample without
+            // replacement.
+            let mut zeros = groups.zero_combinations(&domain_sizes);
+            sample_without_replacement(&mut zeros, num_null, &mut rng)
+        } else {
+            // Rejection-sample: the zero set is dense in sparse cubes.
+            let mut found = Vec::with_capacity(num_null);
+            let mut seen = std::collections::HashSet::new();
+            let mut attempts = 0usize;
+            while found.len() < num_null && attempts < num_null * 1000 {
+                attempts += 1;
+                let candidate: Vec<u32> = domain_sizes
+                    .iter()
+                    .map(|&d| rng.gen_range(0..d as u32))
+                    .collect();
+                if groups.get(&candidate) == 0 && seen.insert(candidate.clone()) {
+                    found.push(candidate);
+                }
+            }
+            found
+        };
+
+        Ok(Workload {
+            attrs: attrs.to_vec(),
+            heavy,
+            light,
+            nulls,
+        })
+    }
+
+    /// The point predicate for one value combination of this workload.
+    pub fn predicate(&self, values: &[u32]) -> Predicate {
+        assert_eq!(values.len(), self.attrs.len());
+        let mut p = Predicate::new();
+        for (&attr, &v) in self.attrs.iter().zip(values) {
+            p = p.eq(attr, v);
+        }
+        p
+    }
+}
+
+fn sample_without_replacement(
+    pool: &mut Vec<Vec<u32>>,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<u32>> {
+    let k = k.min(pool.len());
+    // Partial Fisher–Yates.
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    std::mem::take(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::{exec, Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 5).unwrap(),
+            Attribute::categorical("b", 5).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for (a, b, c) in [
+            (0u32, 0u32, 50),
+            (0, 1, 30),
+            (1, 1, 20),
+            (2, 2, 5),
+            (3, 3, 2),
+            (4, 4, 1),
+        ] {
+            for _ in 0..c {
+                t.push_row(&[a, b]).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn heavy_and_light_are_correct_extremes() {
+        let t = table();
+        let w = Workload::generate(&t, &[AttrId(0), AttrId(1)], 2, 2, 5, 1).unwrap();
+        assert_eq!(w.heavy[0], (vec![0, 0], 50));
+        assert_eq!(w.heavy[1], (vec![0, 1], 30));
+        assert_eq!(w.light[0], (vec![4, 4], 1));
+        assert_eq!(w.light[1], (vec![3, 3], 2));
+    }
+
+    #[test]
+    fn nulls_have_zero_true_count() {
+        let t = table();
+        let w = Workload::generate(&t, &[AttrId(0), AttrId(1)], 2, 2, 10, 1).unwrap();
+        assert_eq!(w.nulls.len(), 10);
+        for null in &w.nulls {
+            let c = exec::count(&t, &w.predicate(null)).unwrap();
+            assert_eq!(c, 0, "{null:?}");
+        }
+        // Deterministic under the same seed.
+        let w2 = Workload::generate(&t, &[AttrId(0), AttrId(1)], 2, 2, 10, 1).unwrap();
+        assert_eq!(w.nulls, w2.nulls);
+    }
+
+    #[test]
+    fn predicates_reproduce_counts() {
+        let t = table();
+        let w = Workload::generate(&t, &[AttrId(0), AttrId(1)], 3, 3, 5, 7).unwrap();
+        for (values, count) in w.heavy.iter().chain(&w.light) {
+            let c = exec::count(&t, &w.predicate(values)).unwrap();
+            assert_eq!(c, *count);
+        }
+    }
+
+    #[test]
+    fn small_support_does_not_overlap() {
+        let t = table();
+        // Only 6 non-zero groups; ask for 6 heavy and 6 light.
+        let w = Workload::generate(&t, &[AttrId(0), AttrId(1)], 6, 6, 2, 3).unwrap();
+        assert_eq!(w.heavy.len(), 6);
+        // All light entries were claimed by heavy; none remain.
+        assert!(w.light.is_empty());
+    }
+
+    #[test]
+    fn single_attribute_workload() {
+        let t = table();
+        let w = Workload::generate(&t, &[AttrId(0)], 2, 2, 1, 3).unwrap();
+        assert_eq!(w.heavy[0].0, vec![0]);
+        assert_eq!(w.heavy[0].1, 80);
+        assert_eq!(w.nulls.len(), 0); // every a-value occurs
+    }
+}

@@ -1,0 +1,160 @@
+//! Skewed categorical sampling.
+//!
+//! Real datasets (airport popularity, halo masses) are heavy-tailed; the
+//! paper's heavy-hitter / light-hitter workloads only exist because of that
+//! skew. [`ZipfSampler`] draws from a Zipf(`s`) distribution over ranked
+//! items; [`WeightedSampler`] draws from arbitrary non-negative weights.
+//! Both use inverse-CDF sampling with binary search over cumulative weights.
+
+use rand::Rng;
+
+/// Samples indices `0..k` with probability proportional to arbitrary
+/// non-negative weights.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// Creates a sampler; at least one weight must be positive.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        WeightedSampler { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has no items (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        // First cumulative value strictly greater than x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// The normalized probability of item `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+/// Zipf distribution over `k` ranked items: `P(rank r) ∝ 1 / (r+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    inner: WeightedSampler,
+}
+
+impl ZipfSampler {
+    /// Creates a Zipf sampler with exponent `s >= 0` (0 = uniform).
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(k > 0 && s >= 0.0);
+        let weights: Vec<f64> = (0..k).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        ZipfSampler {
+            inner: WeightedSampler::new(&weights),
+        }
+    }
+
+    /// Draws one rank in `0..k`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.inner.sample(rng)
+    }
+
+    /// Probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        self.inner.probability(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_respects_weights() {
+        let s = WeightedSampler::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let s = WeightedSampler::new(&[2.0, 5.0, 1.0, 0.5]);
+        let total: f64 = (0..4).map(|i| s.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = ZipfSampler::new(10, 1.2);
+        for r in 1..10 {
+            assert!(z.probability(r) < z.probability(r - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(5, 0.0);
+        for r in 0..5 {
+            assert!((z.probability(r) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_cover_support() {
+        let z = ZipfSampler::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_weights_panic() {
+        WeightedSampler::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn all_zero_weights_panic() {
+        WeightedSampler::new(&[0.0, 0.0]);
+    }
+}

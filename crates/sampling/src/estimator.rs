@@ -1,0 +1,214 @@
+//! Weighted samples and their Horvitz–Thompson estimators.
+//!
+//! Both baselines (uniform and stratified) reduce to the same object: a bag
+//! of sampled rows, each carrying the number of population rows it
+//! represents. A counting query is estimated by summing the weights of
+//! matching sampled rows — the textbook scale-up estimator AQP systems use.
+
+use entropydb_storage::{AttrId, Predicate, Result as StorageResult, Table};
+use std::collections::HashMap;
+
+/// A materialized sample: rows plus per-row scale-up weights.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    rows: Table,
+    weights: Vec<f64>,
+    population: u64,
+}
+
+impl Sample {
+    /// Wraps sampled rows with their weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` does not have one entry per sampled row.
+    pub fn new(rows: Table, weights: Vec<f64>, population: u64) -> Self {
+        assert_eq!(rows.num_rows(), weights.len());
+        Sample {
+            rows,
+            weights,
+            population,
+        }
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.num_rows()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.num_rows() == 0
+    }
+
+    /// Size of the population the sample was drawn from.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// The sampled rows.
+    pub fn rows(&self) -> &Table {
+        &self.rows
+    }
+
+    /// Per-row scale-up weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Approximate in-memory size (codes + weights).
+    pub fn payload_bytes(&self) -> usize {
+        self.rows.payload_bytes() + self.weights.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Estimates `SELECT COUNT(*) WHERE pred` by summed weights.
+    pub fn estimate_count(&self, pred: &Predicate) -> StorageResult<f64> {
+        pred.validate(self.rows.schema())?;
+        let clauses: Vec<_> = pred
+            .clauses()
+            .iter()
+            .filter(|(_, p)| !p.is_all())
+            .collect();
+        let columns: Vec<&[u32]> = clauses
+            .iter()
+            .map(|(a, _)| self.rows.column(*a).map(|c| c.codes()))
+            .collect::<StorageResult<_>>()?;
+        let mut total = 0.0;
+        'rows: for (i, &w) in self.weights.iter().enumerate() {
+            for ((_, p), col) in clauses.iter().zip(&columns) {
+                if !p.matches(col[i]) {
+                    continue 'rows;
+                }
+            }
+            total += w;
+        }
+        Ok(total)
+    }
+
+    /// Estimates `SELECT attr, COUNT(*) GROUP BY attr WHERE pred` over the
+    /// sample, returning per-value estimates for the whole domain.
+    pub fn estimate_group_by(
+        &self,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> StorageResult<Vec<f64>> {
+        pred.validate(self.rows.schema())?;
+        let n = self.rows.schema().domain_size(attr)?;
+        let target = self.rows.column(attr)?.codes();
+        let mut out = vec![0.0; n];
+        'rows: for (i, &w) in self.weights.iter().enumerate() {
+            for (a, p) in pred.clauses() {
+                if !p.matches(self.rows.column(*a)?.codes()[i]) {
+                    continue 'rows;
+                }
+            }
+            out[target[i] as usize] += w;
+        }
+        Ok(out)
+    }
+}
+
+/// Groups row indices of `table` by the packed value of `strata` attributes.
+pub(crate) fn group_rows_by(
+    table: &Table,
+    strata: &[AttrId],
+) -> StorageResult<HashMap<u64, Vec<u32>>> {
+    let mut radices = Vec::with_capacity(strata.len());
+    for &a in strata {
+        radices.push(table.schema().domain_size(a)? as u64);
+    }
+    let columns: Vec<&[u32]> = strata
+        .iter()
+        .map(|&a| table.column(a).map(|c| c.codes()))
+        .collect::<StorageResult<_>>()?;
+    let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+    for i in 0..table.num_rows() {
+        let mut key = 0u64;
+        for (col, &radix) in columns.iter().zip(&radices) {
+            key = key * radix + col[i] as u64;
+        }
+        groups.entry(key).or_default().push(i as u32);
+    }
+    Ok(groups)
+}
+
+/// Copies the selected row indices of `table` into a new table.
+pub(crate) fn materialize_rows(table: &Table, indices: &[u32]) -> Table {
+    let mut out = Table::with_capacity(table.schema().clone(), indices.len());
+    let columns: Vec<&[u32]> = table
+        .schema()
+        .attr_ids()
+        .map(|a| table.column(a).expect("valid attr").codes())
+        .collect();
+    let mut row = vec![0u32; columns.len()];
+    for &i in indices {
+        for (slot, col) in row.iter_mut().zip(&columns) {
+            *slot = col[i as usize];
+        }
+        out.push_row_unchecked(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::{Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 3).unwrap(),
+            Attribute::categorical("b", 2).unwrap(),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![vec![0, 0], vec![1, 1], vec![2, 0], vec![0, 1]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn weighted_count_estimation() {
+        let t = table();
+        let s = Sample::new(t, vec![10.0, 20.0, 5.0, 1.0], 100);
+        assert_eq!(s.estimate_count(&Predicate::all()).unwrap(), 36.0);
+        assert_eq!(
+            s.estimate_count(&Predicate::new().eq(AttrId(0), 0)).unwrap(),
+            11.0
+        );
+        assert_eq!(
+            s.estimate_count(&Predicate::new().eq(AttrId(1), 1)).unwrap(),
+            21.0
+        );
+    }
+
+    #[test]
+    fn group_by_estimation() {
+        let t = table();
+        let s = Sample::new(t, vec![10.0, 20.0, 5.0, 1.0], 100);
+        let groups = s.estimate_group_by(&Predicate::all(), AttrId(0)).unwrap();
+        assert_eq!(groups, vec![11.0, 20.0, 5.0]);
+    }
+
+    #[test]
+    fn group_rows_by_partitions_indices() {
+        let t = table();
+        let groups = group_rows_by(&t, &[AttrId(1)]).unwrap();
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.values().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn materialize_preserves_rows() {
+        let t = table();
+        let sub = materialize_rows(&t, &[2, 0]);
+        assert_eq!(sub.row(0), Some(vec![2, 0]));
+        assert_eq!(sub.row(1), Some(vec![0, 0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn weight_length_mismatch_panics() {
+        Sample::new(table(), vec![1.0], 4);
+    }
+}

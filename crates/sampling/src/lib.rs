@@ -1,0 +1,16 @@
+//! # entropydb-sampling
+//!
+//! The sampling baselines EntropyDB is evaluated against (paper Sec. 6):
+//! uniform samples and stratified samples with Horvitz–Thompson scale-up
+//! estimation. The paper's stratified samples are built over the same
+//! attribute pairs the MaxEnt summaries hold 2D statistics for, which is
+//! how the evaluation isolates "stratification matches the query" from
+//! "stratification misses the query".
+
+pub mod estimator;
+pub mod stratified;
+pub mod uniform;
+
+pub use estimator::Sample;
+pub use stratified::stratified_sample;
+pub use uniform::uniform_sample;

@@ -1,0 +1,172 @@
+//! Stratified sampling over an attribute set (the paper's second baseline).
+//!
+//! Strata are the distinct value combinations of the stratification
+//! attributes (the paper stratifies on the same attribute *pairs* its MaxEnt
+//! summaries hold 2D statistics for). The row budget `⌈fraction · n⌉` is
+//! allocated with a per-stratum cap chosen so small strata are kept *whole*
+//! — the property that makes stratified samples excel exactly when the
+//! stratification matches the query attributes (Sec. 6.2) and useless when
+//! it does not.
+
+use crate::estimator::{group_rows_by, materialize_rows, Sample};
+use crate::uniform::sample_indices;
+use entropydb_storage::{AttrId, Result as StorageResult, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Draws a stratified sample over `strata` attributes with total budget
+/// `⌈fraction · n⌉` rows. Rows in a stratum of size `g` receive weight
+/// `g / sampled(g)`.
+pub fn stratified_sample(
+    table: &Table,
+    strata: &[AttrId],
+    fraction: f64,
+    seed: u64,
+) -> StorageResult<Sample> {
+    assert!(
+        (0.0..=1.0).contains(&fraction) && fraction > 0.0,
+        "fraction must be in (0, 1]"
+    );
+    assert!(!strata.is_empty(), "need at least one stratification attribute");
+    let n = table.num_rows();
+    let budget = ((n as f64 * fraction).ceil() as usize).clamp(1, n.max(1));
+
+    let groups = group_rows_by(table, strata)?;
+    let mut sizes: Vec<usize> = groups.values().map(Vec::len).collect();
+    sizes.sort_unstable();
+    let cap = allocation_cap(&sizes, budget);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<u32> = Vec::with_capacity(budget + groups.len());
+    let mut weights: Vec<f64> = Vec::with_capacity(budget + groups.len());
+    // Deterministic iteration order: sort groups by key.
+    let mut ordered: Vec<(&u64, &Vec<u32>)> = groups.iter().collect();
+    ordered.sort_by_key(|(k, _)| **k);
+    for (_, rows) in ordered {
+        let take = rows.len().min(cap);
+        let chosen = sample_indices(rows.len(), take, &mut rng);
+        let w = rows.len() as f64 / take as f64;
+        for c in chosen {
+            indices.push(rows[c as usize]);
+            weights.push(w);
+        }
+    }
+    let rows = materialize_rows(table, &indices);
+    Ok(Sample::new(rows, weights, n as u64))
+}
+
+/// Finds the largest per-stratum cap `C` such that `Σ min(size, C)` stays
+/// within the budget (every stratum keeps at least one row, so tiny strata
+/// are preserved even under tight budgets).
+fn allocation_cap(sorted_sizes: &[usize], budget: usize) -> usize {
+    let (mut lo, mut hi) = (1usize, sorted_sizes.last().copied().unwrap_or(1).max(1));
+    // Total at cap=1 is the stratum count; if even that exceeds the budget,
+    // keep cap=1 (paper's stratified samples also exceed nominal size when
+    // there are more strata than budget rows).
+    let total_at = |cap: usize| -> usize {
+        sorted_sizes.iter().map(|&s| s.min(cap)).sum()
+    };
+    if total_at(1) >= budget {
+        return 1;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if total_at(mid) <= budget {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::{exec, Attribute, Predicate, Schema};
+
+    /// 3 strata over attribute a: sizes 900, 90, 10.
+    fn skewed_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 3).unwrap(),
+            Attribute::categorical("b", 5).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for (a, count) in [(0u32, 900), (1, 90), (2, 10)] {
+            for i in 0..count {
+                t.push_row(&[a, (i % 5) as u32]).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn small_strata_fully_kept() {
+        let t = skewed_table();
+        let s = stratified_sample(&t, &[AttrId(0)], 0.05, 3).unwrap();
+        // Budget 50; strata get min(size, cap). The size-10 stratum must be
+        // complete, making its queries exact.
+        let est = s
+            .estimate_count(&Predicate::new().eq(AttrId(0), 2))
+            .unwrap();
+        assert_eq!(est, 10.0);
+    }
+
+    #[test]
+    fn stratum_estimates_are_exact_on_stratification_attrs() {
+        let t = skewed_table();
+        let s = stratified_sample(&t, &[AttrId(0)], 0.05, 3).unwrap();
+        // Per-stratum scale-up makes COUNT per stratum exact.
+        for v in 0..3u32 {
+            let truth = exec::count(&t, &Predicate::new().eq(AttrId(0), v)).unwrap() as f64;
+            let est = s.estimate_count(&Predicate::new().eq(AttrId(0), v)).unwrap();
+            assert!((est - truth).abs() < 1e-9, "v={v}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn budget_respected_up_to_stratum_count() {
+        let t = skewed_table();
+        let s = stratified_sample(&t, &[AttrId(0)], 0.05, 3).unwrap();
+        // 5% of 1000 = 50; allocation may round but stays close.
+        assert!(s.len() <= 55, "{}", s.len());
+        assert!(s.len() >= 40, "{}", s.len());
+    }
+
+    #[test]
+    fn allocation_cap_binary_search() {
+        // sizes 10, 90, 900, budget 50 → cap must keep 10 whole.
+        assert_eq!(allocation_cap(&[10, 90, 900], 50), 20);
+        // 10 + min(90,20) + min(900,20) = 10+20+20 = 50 ✓
+        assert_eq!(allocation_cap(&[1, 1, 1], 2), 1);
+        assert_eq!(allocation_cap(&[100], 1000), 100);
+    }
+
+    #[test]
+    fn pair_stratification() {
+        let t = skewed_table();
+        let s = stratified_sample(&t, &[AttrId(0), AttrId(1)], 0.1, 3).unwrap();
+        // All 15 (a, b) strata exist; the estimate for any stratum cell is
+        // exact because stratification matches the query.
+        for a in 0..3u32 {
+            for b in 0..5u32 {
+                let pred = Predicate::new().eq(AttrId(0), a).eq(AttrId(1), b);
+                let truth = exec::count(&t, &pred).unwrap() as f64;
+                let est = s.estimate_count(&pred).unwrap();
+                assert!((est - truth).abs() < 1e-9, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = skewed_table();
+        let a = stratified_sample(&t, &[AttrId(0)], 0.05, 11).unwrap();
+        let b = stratified_sample(&t, &[AttrId(0)], 0.05, 11).unwrap();
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(
+            a.rows().column(AttrId(1)).unwrap().codes(),
+            b.rows().column(AttrId(1)).unwrap().codes()
+        );
+    }
+}

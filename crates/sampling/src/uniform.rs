@@ -1,0 +1,120 @@
+//! Uniform sampling (the paper's first baseline: "one percent samples").
+
+use crate::estimator::{materialize_rows, Sample};
+use entropydb_storage::{Result as StorageResult, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a uniform sample of `⌈fraction · n⌉` rows without replacement and
+/// wraps it with the scale-up weight `n / k`.
+pub fn uniform_sample(table: &Table, fraction: f64, seed: u64) -> StorageResult<Sample> {
+    assert!(
+        (0.0..=1.0).contains(&fraction) && fraction > 0.0,
+        "fraction must be in (0, 1]"
+    );
+    let n = table.num_rows();
+    let k = ((n as f64 * fraction).ceil() as usize).clamp(1, n.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let indices = sample_indices(n, k, &mut rng);
+    let rows = materialize_rows(table, &indices);
+    let weight = n as f64 / k.max(1) as f64;
+    Ok(Sample::new(rows, vec![weight; k.min(n)], n as u64))
+}
+
+/// Chooses `k` distinct indices from `0..n` by partial Fisher–Yates.
+pub(crate) fn sample_indices(n: usize, k: usize, rng: &mut StdRng) -> Vec<u32> {
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    // For small k relative to n, Floyd's algorithm avoids the O(n) shuffle
+    // array; for large k, partial Fisher–Yates is cheaper. Use Floyd under
+    // 10% density.
+    if k * 10 < n {
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..=j as u64) as usize;
+            let pick = if chosen.insert(t) { t } else { j };
+            if pick != t {
+                chosen.insert(pick);
+            }
+            out.push(pick as u32);
+        }
+        out
+    } else {
+        let mut all: Vec<u32> = (0..n as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_storage::{Attribute, Predicate, Schema};
+
+    fn table(rows: usize) -> Table {
+        let schema = Schema::new(vec![Attribute::categorical("a", 4).unwrap()]);
+        let mut t = Table::new(schema);
+        for i in 0..rows {
+            t.push_row(&[(i % 4) as u32]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sample_size_and_weights() {
+        let t = table(1000);
+        let s = uniform_sample(&t, 0.01, 1).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.weights().iter().all(|&w| w == 100.0));
+        assert_eq!(s.population(), 1000);
+    }
+
+    #[test]
+    fn estimates_are_unbiased_in_aggregate() {
+        let t = table(10_000);
+        // Average estimate over many seeds should approach the truth (2500
+        // rows per value).
+        let mut total = 0.0;
+        let runs = 50;
+        for seed in 0..runs {
+            let s = uniform_sample(&t, 0.01, seed).unwrap();
+            total += s
+                .estimate_count(&Predicate::new().eq(entropydb_storage::AttrId(0), 1))
+                .unwrap();
+        }
+        let avg = total / runs as f64;
+        assert!((avg - 2500.0).abs() < 250.0, "avg {avg}");
+    }
+
+    #[test]
+    fn indices_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (n, k) in [(100, 5), (100, 50), (100, 100), (10, 20)] {
+            let idx = sample_indices(n, k, &mut rng);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), idx.len(), "n={n} k={k}");
+            assert_eq!(idx.len(), k.min(n));
+            assert!(idx.iter().all(|&i| (i as usize) < n));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table(500);
+        let a = uniform_sample(&t, 0.1, 9).unwrap();
+        let b = uniform_sample(&t, 0.1, 9).unwrap();
+        assert_eq!(
+            a.rows().column(entropydb_storage::AttrId(0)).unwrap().codes(),
+            b.rows().column(entropydb_storage::AttrId(0)).unwrap().codes()
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the sampling baselines.
+
+use entropydb_sampling::{stratified_sample, uniform_sample};
+use entropydb_storage::{AttrId, Attribute, Predicate, Schema, Table};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (2usize..5, 2usize..5, 1usize..300).prop_flat_map(|(nx, ny, rows)| {
+        prop::collection::vec((0u32..nx as u32, 0u32..ny as u32), rows).prop_map(move |pairs| {
+            let schema = Schema::new(vec![
+                Attribute::categorical("x", nx).unwrap(),
+                Attribute::categorical("y", ny).unwrap(),
+            ]);
+            let mut t = Table::new(schema);
+            for (x, y) in pairs {
+                t.push_row(&[x, y]).unwrap();
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The uniform sample's total weight always equals the population size
+    /// (the COUNT(*) estimate is exact).
+    #[test]
+    fn uniform_total_weight_is_population(table in arb_table(),
+                                          frac in 0.01f64..1.0, seed in 0u64..50) {
+        let s = uniform_sample(&table, frac, seed).unwrap();
+        let total = s.estimate_count(&Predicate::all()).unwrap();
+        prop_assert!((total - table.num_rows() as f64).abs() < 1e-6 * table.num_rows() as f64 + 1e-9);
+    }
+
+    /// Stratified samples answer any query on the stratification attributes
+    /// exactly (per-stratum scale-up).
+    #[test]
+    fn stratified_exact_on_strata(table in arb_table(),
+                                  frac in 0.05f64..1.0, seed in 0u64..50) {
+        let s = stratified_sample(&table, &[AttrId(0), AttrId(1)], frac, seed).unwrap();
+        let nx = table.schema().domain_size(AttrId(0)).unwrap() as u32;
+        let ny = table.schema().domain_size(AttrId(1)).unwrap() as u32;
+        for x in 0..nx {
+            for y in 0..ny {
+                let pred = Predicate::new().eq(AttrId(0), x).eq(AttrId(1), y);
+                let truth = entropydb_storage::exec::count(&table, &pred).unwrap() as f64;
+                let est = s.estimate_count(&pred).unwrap();
+                prop_assert!((est - truth).abs() < 1e-9, "({}, {}): {} vs {}", x, y, est, truth);
+            }
+        }
+    }
+
+    /// Sample sizes respect their budgets (stratified may exceed by at most
+    /// one row per stratum due to the minimum-one guarantee).
+    #[test]
+    fn sample_sizes_bounded(table in arb_table(), frac in 0.01f64..1.0, seed in 0u64..20) {
+        let n = table.num_rows();
+        let budget = (n as f64 * frac).ceil() as usize;
+        let u = uniform_sample(&table, frac, seed).unwrap();
+        prop_assert!(u.len() <= budget.max(1));
+        let s = stratified_sample(&table, &[AttrId(0)], frac, seed).unwrap();
+        let strata = table.schema().domain_size(AttrId(0)).unwrap();
+        prop_assert!(s.len() <= budget + strata);
+    }
+
+    /// Group-by estimates sum to the total estimate.
+    #[test]
+    fn group_by_sums_to_total(table in arb_table(), seed in 0u64..20) {
+        let s = uniform_sample(&table, 0.5, seed).unwrap();
+        let groups = s.estimate_group_by(&Predicate::all(), AttrId(0)).unwrap();
+        let total: f64 = groups.iter().sum();
+        let all = s.estimate_count(&Predicate::all()).unwrap();
+        prop_assert!((total - all).abs() < 1e-9 * all.max(1.0));
+    }
+}

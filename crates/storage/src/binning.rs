@@ -1,0 +1,146 @@
+//! Equi-width bucketization of continuous domains.
+//!
+//! The paper bucketizes every real-valued attribute into equi-width bins
+//! ("We use equi-width buckets to facilitate transforming a user's query into
+//! our domain and to avoid hiding outliers", Sec. 6.1). A [`Binner`] maps raw
+//! values to bin codes and query ranges to bin ranges.
+
+use crate::error::{Result, StorageError};
+
+/// An equi-width bucketizer over the closed interval `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binner {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    width: f64,
+}
+
+impl Binner {
+    /// Creates a binner splitting `[lo, hi]` into `bins` equal-width buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StorageError::InvalidBinSpec { lo, hi, bins });
+        }
+        Ok(Binner {
+            lo,
+            hi,
+            bins,
+            width: (hi - lo) / bins as f64,
+        })
+    }
+
+    /// Number of buckets (the bucketized attribute's domain size).
+    #[inline]
+    pub fn num_bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Lower bound of the binned interval.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the binned interval.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Maps a raw value to its bucket code, clamping values outside
+    /// `[lo, hi]` into the first/last bucket (outliers stay visible rather
+    /// than being dropped).
+    #[inline]
+    pub fn bin(&self, x: f64) -> u32 {
+        if x <= self.lo {
+            return 0;
+        }
+        let b = ((x - self.lo) / self.width) as usize;
+        b.min(self.bins - 1) as u32
+    }
+
+    /// The half-open value interval `[lo, hi)` covered by bucket `b`
+    /// (the final bucket is closed at the top).
+    pub fn bin_bounds(&self, b: u32) -> (f64, f64) {
+        let lo = self.lo + self.width * b as f64;
+        (lo, lo + self.width)
+    }
+
+    /// Midpoint of bucket `b`, used as the bucket-representative value for
+    /// `SUM`/`AVG` estimation.
+    pub fn midpoint(&self, b: u32) -> f64 {
+        let (lo, hi) = self.bin_bounds(b);
+        (lo + hi) / 2.0
+    }
+
+    /// Maps a raw value range `[vlo, vhi]` to the inclusive bucket range
+    /// covering it. Returns `None` when the range misses `[lo, hi]` entirely.
+    pub fn bin_range(&self, vlo: f64, vhi: f64) -> Option<(u32, u32)> {
+        if vlo > vhi || vhi < self.lo || vlo > self.hi {
+            return None;
+        }
+        Some((self.bin(vlo.max(self.lo)), self.bin(vhi.min(self.hi))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(Binner::new(0.0, 1.0, 0).is_err());
+        assert!(Binner::new(1.0, 1.0, 4).is_err());
+        assert!(Binner::new(2.0, 1.0, 4).is_err());
+        assert!(Binner::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bins_are_equi_width() {
+        let b = Binner::new(0.0, 100.0, 10).unwrap();
+        assert_eq!(b.num_bins(), 10);
+        assert_eq!(b.bin(0.0), 0);
+        assert_eq!(b.bin(9.99), 0);
+        assert_eq!(b.bin(10.0), 1);
+        assert_eq!(b.bin(99.99), 9);
+        assert_eq!(b.bin(100.0), 9); // top edge included in last bin
+    }
+
+    #[test]
+    fn outliers_clamp() {
+        let b = Binner::new(0.0, 100.0, 10).unwrap();
+        assert_eq!(b.bin(-5.0), 0);
+        assert_eq!(b.bin(1e9), 9);
+    }
+
+    #[test]
+    fn bounds_and_midpoints() {
+        let b = Binner::new(0.0, 100.0, 4).unwrap();
+        assert_eq!(b.bin_bounds(1), (25.0, 50.0));
+        assert_eq!(b.midpoint(1), 37.5);
+    }
+
+    #[test]
+    fn range_mapping() {
+        let b = Binner::new(0.0, 100.0, 10).unwrap();
+        assert_eq!(b.bin_range(15.0, 34.0), Some((1, 3)));
+        assert_eq!(b.bin_range(-50.0, -1.0), None);
+        assert_eq!(b.bin_range(200.0, 300.0), None);
+        // Partially overlapping ranges clamp to the domain.
+        assert_eq!(b.bin_range(-10.0, 5.0), Some((0, 0)));
+        assert_eq!(b.bin_range(95.0, 500.0), Some((9, 9)));
+    }
+
+    #[test]
+    fn every_value_round_trips_into_its_bin_bounds() {
+        let b = Binner::new(-3.0, 7.0, 13).unwrap();
+        for i in 0..1000 {
+            let x = -3.0 + 10.0 * (i as f64) / 999.0;
+            let code = b.bin(x);
+            let (lo, hi) = b.bin_bounds(code);
+            assert!(
+                x >= lo - 1e-9 && (x <= hi + 1e-9),
+                "value {x} not within bounds of bin {code}: [{lo}, {hi})"
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Attribute-pair correlation measures.
+//!
+//! Sec. 4.3 of the paper picks which attribute pairs get 2D statistics using
+//! pairwise correlation ("This can be checked by calculating the chi-squared
+//! coefficient and seeing if it is close to 0"). We implement the chi-squared
+//! statistic and its normalized form, Cramér's V, plus a uniformity test used
+//! to skip near-uniform attributes (like `fl_date`).
+
+use crate::error::Result;
+use crate::histogram::{Histogram1D, Histogram2D};
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// Pearson's chi-squared statistic of independence for a contingency table.
+///
+/// Cells whose expected count is zero (an empty marginal row/column) are
+/// skipped: they carry no evidence about dependence.
+pub fn chi_squared(hist: &Histogram2D) -> f64 {
+    let n = hist.total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mx = hist.marginal_x();
+    let my = hist.marginal_y();
+    let (nx, ny) = hist.dims();
+    let mut chi2 = 0.0;
+    let _ = (nx, ny);
+    for (x, &mxc) in mx.iter().enumerate() {
+        if mxc == 0 {
+            continue;
+        }
+        for (y, &myc) in my.iter().enumerate() {
+            if myc == 0 {
+                continue;
+            }
+            let expected = mxc as f64 * myc as f64 / n;
+            let observed = hist.get(x as u32, y as u32) as f64;
+            let d = observed - expected;
+            chi2 += d * d / expected;
+        }
+    }
+    chi2
+}
+
+/// Cramér's V: chi-squared normalized to `[0, 1]`, comparable across pairs
+/// with different domain sizes. `0` means independent, `1` means perfectly
+/// associated.
+pub fn cramers_v(hist: &Histogram2D) -> f64 {
+    let n = hist.total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    // Effective category counts: only values that actually occur.
+    let rx = hist.marginal_x().iter().filter(|&&c| c > 0).count();
+    let ry = hist.marginal_y().iter().filter(|&&c| c > 0).count();
+    let k = rx.min(ry);
+    if k <= 1 {
+        return 0.0;
+    }
+    (chi_squared(hist) / (n * (k - 1) as f64)).sqrt().min(1.0)
+}
+
+/// Chi-squared distance of a 1D histogram from the uniform distribution,
+/// normalized per-row. Small values (≈0) mean the attribute is near-uniform
+/// and — per the paper — does not need 2D statistics to correct the MaxEnt
+/// uniformity assumption.
+pub fn uniformity_deviation(hist: &Histogram1D) -> f64 {
+    let n = hist.total() as f64;
+    let k = hist.counts().len() as f64;
+    if n == 0.0 || k == 0.0 {
+        return 0.0;
+    }
+    let expected = n / k;
+    let chi2: f64 = hist
+        .counts()
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    chi2 / n
+}
+
+/// A scored attribute pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairScore {
+    /// First attribute of the pair (lower id).
+    pub x: AttrId,
+    /// Second attribute of the pair (higher id).
+    pub y: AttrId,
+    /// Cramér's V association strength in `[0, 1]`.
+    pub cramers_v: f64,
+    /// Raw chi-squared statistic.
+    pub chi_squared: f64,
+}
+
+/// Scores every attribute pair among `attrs` by association strength,
+/// strongest first. This is the input to the pair-selection strategies of
+/// Sec. 4.3 (correlation-only vs. attribute-cover).
+pub fn rank_pairs(table: &Table, attrs: &[AttrId]) -> Result<Vec<PairScore>> {
+    let mut scores = Vec::new();
+    for (i, &x) in attrs.iter().enumerate() {
+        for &y in &attrs[i + 1..] {
+            let hist = Histogram2D::compute(table, x, y)?;
+            scores.push(PairScore {
+                x,
+                y,
+                cramers_v: cramers_v(&hist),
+                chi_squared: chi_squared(&hist),
+            });
+        }
+    }
+    scores.sort_by(|a, b| b.cramers_v.total_cmp(&a.cramers_v));
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn two_attr_table(rows: Vec<Vec<u32>>, nx: usize, ny: usize) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("x", nx).unwrap(),
+            Attribute::categorical("y", ny).unwrap(),
+        ]);
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn independent_attributes_score_zero() {
+        // Perfectly independent 2x2: every cell has the product marginal.
+        let mut rows = Vec::new();
+        for x in 0..2u32 {
+            for y in 0..2u32 {
+                for _ in 0..25 {
+                    rows.push(vec![x, y]);
+                }
+            }
+        }
+        let t = two_attr_table(rows, 2, 2);
+        let h = Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap();
+        assert!(chi_squared(&h).abs() < 1e-9);
+        assert!(cramers_v(&h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_correlated_attributes_score_one() {
+        // y == x for all rows.
+        let mut rows = Vec::new();
+        for x in 0..3u32 {
+            for _ in 0..10 {
+                rows.push(vec![x, x]);
+            }
+        }
+        let t = two_attr_table(rows, 3, 3);
+        let h = Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap();
+        assert!((cramers_v(&h) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniformity_of_flat_histogram_is_zero() {
+        let rows: Vec<Vec<u32>> = (0..40).map(|i| vec![i % 4, 0]).collect();
+        let t = two_attr_table(rows, 4, 1);
+        let h = Histogram1D::compute(&t, AttrId(0)).unwrap();
+        assert!(uniformity_deviation(&h) < 1e-9);
+    }
+
+    #[test]
+    fn skewed_histogram_deviates_from_uniform() {
+        let mut rows: Vec<Vec<u32>> = (0..40).map(|_| vec![0, 0]).collect();
+        rows.push(vec![1, 0]);
+        let t = two_attr_table(rows, 4, 1);
+        let h = Histogram1D::compute(&t, AttrId(0)).unwrap();
+        assert!(uniformity_deviation(&h) > 1.0);
+    }
+
+    #[test]
+    fn rank_pairs_orders_by_association() {
+        // x0 and x1 perfectly correlated; x2 independent of both.
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 2).unwrap(),
+            Attribute::categorical("b", 2).unwrap(),
+            Attribute::categorical("c", 2).unwrap(),
+        ]);
+        let mut rows = Vec::new();
+        for i in 0..200u32 {
+            let a = i % 2;
+            let c = (i / 2) % 2;
+            rows.push(vec![a, a, c]);
+        }
+        let t = Table::from_rows(schema, rows).unwrap();
+        let ranked =
+            rank_pairs(&t, &[AttrId(0), AttrId(1), AttrId(2)]).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!((ranked[0].x, ranked[0].y), (AttrId(0), AttrId(1)));
+        assert!((ranked[0].cramers_v - 1.0).abs() < 1e-9);
+        assert!(ranked[1].cramers_v < 0.2);
+    }
+
+    #[test]
+    fn empty_table_is_safe() {
+        let t = two_attr_table(vec![], 2, 2);
+        let h = Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap();
+        assert_eq!(chi_squared(&h), 0.0);
+        assert_eq!(cramers_v(&h), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! String dictionaries for categorical attributes.
+//!
+//! Categorical values (states, city names, particle types) are interned to
+//! dense `u32` codes. The paper's city binning — "the two most popular cities
+//! in each state are separated and the remaining less popular cities are
+//! grouped into a city called 'Other'" — is performed by generators before
+//! interning.
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between strings and dense codes `0..len`.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Creates a dictionary from a list of distinct values, coded in order.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Dictionary::new();
+        for v in values {
+            d.intern(v);
+        }
+        d
+    }
+
+    /// Returns the code for `value`, interning it if new.
+    pub fn intern(&mut self, value: impl Into<String>) -> u32 {
+        let value = value.into();
+        if let Some(&code) = self.index.get(&value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.index.insert(value.clone(), code);
+        self.values.push(value);
+        code
+    }
+
+    /// Looks up the code of an already-interned value.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// The value for a code, if in range.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("CA");
+        let b = d.intern("NY");
+        assert_eq!(d.intern("CA"), a);
+        assert_eq!(d.intern("NY"), b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn codes_are_dense_and_ordered() {
+        let d = Dictionary::from_values(["x", "y", "z"]);
+        assert_eq!(d.code("x"), Some(0));
+        assert_eq!(d.code("z"), Some(2));
+        assert_eq!(d.value(1), Some("y"));
+        assert_eq!(d.value(3), None);
+        assert_eq!(d.code("missing"), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! Exact query execution over columnar tables.
+//!
+//! This is the ground-truth engine for every experiment: counting queries
+//! (`|σ_π(I)|`), grouped counts for workload selection, and weighted sums
+//! for `SUM`/`AVG` baselines. Execution is clause-at-a-time over a selection
+//! vector, the classic columnar strategy.
+
+use crate::error::Result;
+use crate::predicate::Predicate;
+use crate::schema::AttrId;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// Exact answer to the counting query `SELECT COUNT(*) WHERE pred`.
+pub fn count(table: &Table, pred: &Predicate) -> Result<u64> {
+    pred.validate(table.schema())?;
+    let clauses: Vec<_> = pred
+        .clauses()
+        .iter()
+        .filter(|(_, p)| !p.is_all())
+        .collect();
+    if clauses.is_empty() {
+        return Ok(table.num_rows() as u64);
+    }
+
+    // First clause: scan the full column, producing the initial selection.
+    let (first_attr, first_pred) = clauses[0];
+    let first_codes = table.column(*first_attr)?.codes();
+    let mut selection: Vec<u32> = Vec::new();
+    for (i, &v) in first_codes.iter().enumerate() {
+        if first_pred.matches(v) {
+            selection.push(i as u32);
+        }
+    }
+
+    // Remaining clauses: refine the selection vector.
+    for (attr, p) in &clauses[1..] {
+        if selection.is_empty() {
+            break;
+        }
+        let codes = table.column(*attr)?.codes();
+        selection.retain(|&i| p.matches(codes[i as usize]));
+    }
+    Ok(selection.len() as u64)
+}
+
+/// Exact answer to `SELECT SUM(weight(attr)) WHERE pred`, where `weights[v]`
+/// is the contribution of a row whose `attr` code is `v` (e.g. bucket
+/// midpoints for a binned numeric attribute).
+pub fn sum_by(table: &Table, pred: &Predicate, attr: AttrId, weights: &[f64]) -> Result<f64> {
+    pred.validate(table.schema())?;
+    let target = table.column(attr)?.codes();
+    let mut total = 0.0;
+    'rows: for (i, &v) in target.iter().enumerate() {
+        for (a, p) in pred.clauses() {
+            if !p.matches(table.column(*a)?.codes()[i]) {
+                continue 'rows;
+            }
+        }
+        total += weights.get(v as usize).copied().unwrap_or(0.0);
+    }
+    Ok(total)
+}
+
+/// Grouped exact counts over a set of attributes, with keys packed into `u64`
+/// by mixed-radix encoding (domains are small, so this always fits for up to
+/// ~8 realistic attributes).
+#[derive(Debug, Clone)]
+pub struct GroupCounts {
+    attrs: Vec<AttrId>,
+    radices: Vec<u64>,
+    counts: HashMap<u64, u64>,
+}
+
+impl GroupCounts {
+    /// Computes `SELECT attrs, COUNT(*) GROUP BY attrs` in one scan.
+    pub fn compute(table: &Table, attrs: &[AttrId]) -> Result<Self> {
+        let mut radices = Vec::with_capacity(attrs.len());
+        let mut space = 1u128;
+        for &a in attrs {
+            let n = table.schema().domain_size(a)? as u64;
+            radices.push(n);
+            space = space.saturating_mul(n as u128);
+        }
+        assert!(
+            space <= u64::MAX as u128,
+            "group-by key space exceeds u64; group fewer attributes"
+        );
+
+        let columns: Vec<&[u32]> = attrs
+            .iter()
+            .map(|&a| table.column(a).map(|c| c.codes()))
+            .collect::<Result<_>>()?;
+
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for i in 0..table.num_rows() {
+            let mut key = 0u64;
+            for (col, &radix) in columns.iter().zip(&radices) {
+                key = key * radix + col[i] as u64;
+            }
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Ok(GroupCounts {
+            attrs: attrs.to_vec(),
+            radices,
+            counts,
+        })
+    }
+
+    /// The grouped attributes, in key order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of non-empty groups.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count for a specific value combination (0 when absent).
+    pub fn get(&self, values: &[u32]) -> u64 {
+        assert_eq!(values.len(), self.attrs.len());
+        let mut key = 0u64;
+        for (&v, &radix) in values.iter().zip(&self.radices) {
+            key = key * radix + v as u64;
+        }
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(values, count)` over non-empty groups in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<u32>, u64)> + '_ {
+        self.counts.iter().map(move |(&key, &cnt)| {
+            let mut vals = vec![0u32; self.radices.len()];
+            let mut k = key;
+            for idx in (0..self.radices.len()).rev() {
+                vals[idx] = (k % self.radices[idx]) as u32;
+                k /= self.radices[idx];
+            }
+            (vals, cnt)
+        })
+    }
+
+    /// Groups sorted by descending count (ties broken by value), i.e. the
+    /// paper's "heavy hitters first" ordering.
+    pub fn sorted_desc(&self) -> Vec<(Vec<u32>, u64)> {
+        let mut v: Vec<(Vec<u32>, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All value combinations in the cross product of the grouped domains
+    /// that have a zero count ("nonexistent values"). Only call for group-by
+    /// spaces small enough to enumerate.
+    pub fn zero_combinations(&self, domain_sizes: &[usize]) -> Vec<Vec<u32>> {
+        assert_eq!(domain_sizes.len(), self.attrs.len());
+        let total: u128 = domain_sizes.iter().map(|&d| d as u128).product();
+        assert!(total <= 50_000_000, "zero-combination space too large");
+        let mut result = Vec::new();
+        let mut values = vec![0u32; domain_sizes.len()];
+        loop {
+            if self.get(&values) == 0 {
+                result.push(values.clone());
+            }
+            // Mixed-radix increment.
+            let mut idx = domain_sizes.len();
+            loop {
+                if idx == 0 {
+                    return result;
+                }
+                idx -= 1;
+                values[idx] += 1;
+                if (values[idx] as usize) < domain_sizes[idx] {
+                    break;
+                }
+                values[idx] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 3).unwrap(),
+            Attribute::categorical("b", 4).unwrap(),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![1, 1],
+                vec![1, 1],
+                vec![2, 3],
+                vec![0, 0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        let t = table();
+        assert_eq!(count(&t, &Predicate::all()).unwrap(), 6);
+        assert_eq!(count(&t, &Predicate::new().eq(AttrId(0), 0)).unwrap(), 3);
+        assert_eq!(
+            count(&t, &Predicate::new().eq(AttrId(0), 1).eq(AttrId(1), 1)).unwrap(),
+            2
+        );
+        assert_eq!(
+            count(&t, &Predicate::new().between(AttrId(1), 1, 3)).unwrap(),
+            4
+        );
+        assert_eq!(
+            count(&t, &Predicate::new().eq(AttrId(0), 2).eq(AttrId(1), 0)).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn count_validates_predicate() {
+        let t = table();
+        assert!(count(&t, &Predicate::new().eq(AttrId(0), 99)).is_err());
+    }
+
+    #[test]
+    fn sum_by_weights() {
+        let t = table();
+        // weight(b) = b as f64
+        let w = [0.0, 1.0, 2.0, 3.0];
+        let total = sum_by(&t, &Predicate::all(), AttrId(1), &w).unwrap();
+        assert_eq!(total, 0.0 + 1.0 + 1.0 + 1.0 + 3.0 + 0.0);
+        let only_a0 = sum_by(&t, &Predicate::new().eq(AttrId(0), 0), AttrId(1), &w).unwrap();
+        assert_eq!(only_a0, 1.0);
+    }
+
+    #[test]
+    fn group_counts_roundtrip() {
+        let t = table();
+        let g = GroupCounts::compute(&t, &[AttrId(0), AttrId(1)]).unwrap();
+        assert_eq!(g.get(&[0, 0]), 2);
+        assert_eq!(g.get(&[1, 1]), 2);
+        assert_eq!(g.get(&[2, 3]), 1);
+        assert_eq!(g.get(&[2, 0]), 0);
+        assert_eq!(g.num_groups(), 4);
+        let total: u64 = g.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn sorted_desc_orders_heavy_first() {
+        let t = table();
+        let g = GroupCounts::compute(&t, &[AttrId(0), AttrId(1)]).unwrap();
+        let sorted = g.sorted_desc();
+        assert_eq!(sorted[0].1, 2);
+        assert_eq!(sorted[1].1, 2);
+        assert!(sorted.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn zero_combinations_found() {
+        let t = table();
+        let g = GroupCounts::compute(&t, &[AttrId(0), AttrId(1)]).unwrap();
+        let zeros = g.zero_combinations(&[3, 4]);
+        // 12 combinations, 4 non-empty.
+        assert_eq!(zeros.len(), 8);
+        assert!(zeros.contains(&vec![2, 0]));
+        assert!(!zeros.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn group_counts_match_per_group_count_queries() {
+        let t = table();
+        let g = GroupCounts::compute(&t, &[AttrId(0)]).unwrap();
+        for v in 0..3u32 {
+            let c = count(&t, &Predicate::new().eq(AttrId(0), v)).unwrap();
+            assert_eq!(g.get(&[v]), c);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! One- and two-dimensional frequency histograms.
+//!
+//! The MaxEnt summary is parameterized by observed statistics: the complete
+//! set of 1D value counts per attribute, plus selected 2D counts. These
+//! histograms compute those observed values exactly in a single scan.
+
+use crate::error::Result;
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// Exact per-value counts for one attribute: `counts[v] = |σ_{A=v}(I)|`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram1D {
+    attr: AttrId,
+    counts: Vec<u64>,
+}
+
+impl Histogram1D {
+    /// Scans `table` and counts every value of `attr`.
+    pub fn compute(table: &Table, attr: AttrId) -> Result<Self> {
+        let n = table.schema().domain_size(attr)?;
+        let mut counts = vec![0u64; n];
+        for &v in table.column(attr)?.codes() {
+            counts[v as usize] += 1;
+        }
+        Ok(Histogram1D { attr, counts })
+    }
+
+    /// The attribute this histogram describes.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Per-value counts, indexed by code.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of one value.
+    pub fn get(&self, v: u32) -> u64 {
+        self.counts.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// Total row count (`n`).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of values with non-zero count.
+    pub fn support(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Exact contingency table for an attribute pair, row-major over the first
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram2D {
+    attr_x: AttrId,
+    attr_y: AttrId,
+    nx: usize,
+    ny: usize,
+    counts: Vec<u64>,
+}
+
+impl Histogram2D {
+    /// Scans `table` and counts every `(x, y)` combination.
+    pub fn compute(table: &Table, attr_x: AttrId, attr_y: AttrId) -> Result<Self> {
+        let nx = table.schema().domain_size(attr_x)?;
+        let ny = table.schema().domain_size(attr_y)?;
+        let xs = table.column(attr_x)?.codes();
+        let ys = table.column(attr_y)?.codes();
+        let mut counts = vec![0u64; nx * ny];
+        for (&x, &y) in xs.iter().zip(ys) {
+            counts[x as usize * ny + y as usize] += 1;
+        }
+        Ok(Histogram2D {
+            attr_x,
+            attr_y,
+            nx,
+            ny,
+            counts,
+        })
+    }
+
+    /// The (x, y) attribute pair.
+    pub fn attrs(&self) -> (AttrId, AttrId) {
+        (self.attr_x, self.attr_y)
+    }
+
+    /// Domain sizes `(N_x, N_y)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Count of one cell.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u64 {
+        self.counts[x as usize * self.ny + y as usize]
+    }
+
+    /// Count of the rectangle `[x_lo, x_hi] × [y_lo, y_hi]` (inclusive).
+    pub fn rectangle_count(&self, x_lo: u32, x_hi: u32, y_lo: u32, y_hi: u32) -> u64 {
+        let mut total = 0;
+        for x in x_lo..=x_hi.min(self.nx as u32 - 1) {
+            let row = &self.counts[x as usize * self.ny..(x as usize + 1) * self.ny];
+            for y in y_lo..=y_hi.min(self.ny as u32 - 1) {
+                total += row[y as usize];
+            }
+        }
+        total
+    }
+
+    /// Marginal counts over the first attribute.
+    pub fn marginal_x(&self) -> Vec<u64> {
+        self.counts
+            .chunks_exact(self.ny)
+            .map(|row| row.iter().sum())
+            .collect()
+    }
+
+    /// Marginal counts over the second attribute.
+    pub fn marginal_y(&self) -> Vec<u64> {
+        let mut m = vec![0u64; self.ny];
+        for row in self.counts.chunks_exact(self.ny) {
+            for (slot, &c) in m.iter_mut().zip(row) {
+                *slot += c;
+            }
+        }
+        m
+    }
+
+    /// Total row count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates non-empty cells as `(x, y, count)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(move |(i, &c)| {
+            if c == 0 {
+                None
+            } else {
+                Some(((i / self.ny) as u32, (i % self.ny) as u32, c))
+            }
+        })
+    }
+
+    /// Number of non-empty cells (the paper reports e.g. "1,334 of 5,022
+    /// possible 2D statistics exist in Flights").
+    pub fn support(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 3).unwrap(),
+            Attribute::categorical("b", 2).unwrap(),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![1, 1],
+                vec![1, 1],
+                vec![2, 0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn histogram_1d() {
+        let t = table();
+        let h = Histogram1D::compute(&t, AttrId(0)).unwrap();
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.support(), 3);
+        assert_eq!(h.get(1), 2);
+        assert_eq!(h.get(99), 0);
+    }
+
+    #[test]
+    fn histogram_2d_cells_and_marginals() {
+        let t = table();
+        let h = Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap();
+        assert_eq!(h.get(0, 0), 1);
+        assert_eq!(h.get(1, 1), 2);
+        assert_eq!(h.get(2, 1), 0);
+        assert_eq!(h.marginal_x(), vec![2, 2, 1]);
+        assert_eq!(h.marginal_y(), vec![2, 3]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.support(), 4);
+    }
+
+    #[test]
+    fn rectangle_counts() {
+        let t = table();
+        let h = Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap();
+        assert_eq!(h.rectangle_count(0, 2, 0, 1), 5);
+        assert_eq!(h.rectangle_count(0, 1, 1, 1), 3);
+        assert_eq!(h.rectangle_count(2, 2, 0, 0), 1);
+        // Clamping beyond the domain is safe.
+        assert_eq!(h.rectangle_count(0, 99, 0, 99), 5);
+    }
+
+    #[test]
+    fn marginals_match_1d_histograms() {
+        let t = table();
+        let h2 = Histogram2D::compute(&t, AttrId(0), AttrId(1)).unwrap();
+        let hx = Histogram1D::compute(&t, AttrId(0)).unwrap();
+        let hy = Histogram1D::compute(&t, AttrId(1)).unwrap();
+        assert_eq!(h2.marginal_x(), hx.counts());
+        assert_eq!(h2.marginal_y(), hy.counts());
+    }
+}

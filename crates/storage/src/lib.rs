@@ -1,0 +1,42 @@
+//! # entropydb-storage
+//!
+//! The storage substrate for EntropyDB-rs: an in-memory, dictionary-encoded
+//! column store playing the role PostgreSQL plays in the paper
+//! ("Probabilistic Database Summarization for Interactive Data Exploration",
+//! VLDB 2017). It holds the relation instance `I`, answers exact counting
+//! queries (the ground truth of every experiment), and computes the
+//! 1D/2D statistics the MaxEnt model is fitted to.
+//!
+//! Main types:
+//! * [`Schema`] / [`Attribute`] — relations over discrete ordered domains.
+//! * [`Binner`] — equi-width bucketization of continuous attributes.
+//! * [`Table`] — columnar instance (an ordered bag of tuples).
+//! * [`Predicate`] — conjunctive per-attribute predicates (paper Eq. 16).
+//! * [`exec`] — exact `COUNT`/`SUM`/group-by execution.
+//! * [`Histogram1D`] / [`Histogram2D`] — observed statistics.
+//! * [`correlation`] — chi-squared / Cramér's V pair ranking (Sec. 4.3).
+//! * [`csv`] — delimited-file ingestion with schema inference.
+//! * [`parser`] — a small textual predicate language for interactive use.
+
+pub mod binning;
+pub mod correlation;
+pub mod csv;
+pub mod dictionary;
+pub mod error;
+pub mod exec;
+pub mod histogram;
+pub mod parser;
+pub mod predicate;
+pub mod schema;
+pub mod table;
+
+pub use binning::Binner;
+pub use dictionary::Dictionary;
+pub use error::{Result, StorageError};
+pub use csv::{CsvDataset, CsvOptions};
+pub use exec::GroupCounts;
+pub use parser::parse_predicate;
+pub use histogram::{Histogram1D, Histogram2D};
+pub use predicate::{AttrPredicate, Predicate};
+pub use schema::{AttrId, AttrKind, Attribute, Schema};
+pub use table::{Column, Table};

@@ -1,0 +1,308 @@
+//! Conjunctive predicates over dense-coded attributes.
+//!
+//! The paper's queries (Eq. 16) are conjunctions `ρ_1 ∧ ... ∧ ρ_m` with one
+//! predicate per attribute (`true` for ignored attributes). [`AttrPredicate`]
+//! is one `ρ_i`; [`Predicate`] is the conjunction. Both the exact executor
+//! and the MaxEnt query translator consume this representation.
+
+use crate::error::{Result, StorageError};
+use crate::schema::{AttrId, Schema};
+
+/// A predicate over one attribute's dense codes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrPredicate {
+    /// Always true (the attribute is ignored by the query).
+    All,
+    /// `A = v`.
+    Point(u32),
+    /// `A ∈ [lo, hi]`, inclusive on both ends.
+    Range { lo: u32, hi: u32 },
+    /// `A ∈ {vs}`; values are kept sorted and deduplicated.
+    Set(Vec<u32>),
+}
+
+impl AttrPredicate {
+    /// Builds a range predicate, validating `lo <= hi`.
+    pub fn range(lo: u32, hi: u32) -> Result<Self> {
+        if lo > hi {
+            return Err(StorageError::InvalidRange { lo, hi });
+        }
+        Ok(AttrPredicate::Range { lo, hi })
+    }
+
+    /// Builds a set predicate from arbitrary values (sorted, deduped).
+    pub fn set(mut vs: Vec<u32>) -> Self {
+        vs.sort_unstable();
+        vs.dedup();
+        AttrPredicate::Set(vs)
+    }
+
+    /// Whether code `v` satisfies this predicate.
+    #[inline]
+    pub fn matches(&self, v: u32) -> bool {
+        match self {
+            AttrPredicate::All => true,
+            AttrPredicate::Point(p) => v == *p,
+            AttrPredicate::Range { lo, hi } => *lo <= v && v <= *hi,
+            AttrPredicate::Set(vs) => vs.binary_search(&v).is_ok(),
+        }
+    }
+
+    /// Whether this predicate is trivially true.
+    pub fn is_all(&self) -> bool {
+        matches!(self, AttrPredicate::All)
+    }
+
+    /// Number of codes in `0..domain_size` satisfying the predicate.
+    pub fn selectivity(&self, domain_size: usize) -> usize {
+        match self {
+            AttrPredicate::All => domain_size,
+            AttrPredicate::Point(p) => usize::from((*p as usize) < domain_size),
+            AttrPredicate::Range { lo, hi } => {
+                let hi = (*hi as usize).min(domain_size.saturating_sub(1));
+                let lo = *lo as usize;
+                if lo > hi {
+                    0
+                } else {
+                    hi - lo + 1
+                }
+            }
+            AttrPredicate::Set(vs) => vs.iter().filter(|&&v| (v as usize) < domain_size).count(),
+        }
+    }
+
+    /// Iterates the codes within `0..domain_size` satisfying the predicate.
+    pub fn matching_codes(&self, domain_size: usize) -> Vec<u32> {
+        match self {
+            AttrPredicate::All => (0..domain_size as u32).collect(),
+            AttrPredicate::Point(p) => {
+                if (*p as usize) < domain_size {
+                    vec![*p]
+                } else {
+                    vec![]
+                }
+            }
+            AttrPredicate::Range { lo, hi } => {
+                let hi = (*hi).min(domain_size.saturating_sub(1) as u32);
+                if *lo > hi {
+                    vec![]
+                } else {
+                    (*lo..=hi).collect()
+                }
+            }
+            AttrPredicate::Set(vs) => vs
+                .iter()
+                .copied()
+                .filter(|&v| (v as usize) < domain_size)
+                .collect(),
+        }
+    }
+}
+
+/// A conjunction of per-attribute predicates; attributes not mentioned are
+/// unconstrained.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Predicate {
+    clauses: Vec<(AttrId, AttrPredicate)>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn all() -> Self {
+        Predicate::default()
+    }
+
+    /// Starts building a predicate.
+    pub fn new() -> Self {
+        Predicate::default()
+    }
+
+    /// Adds an equality clause `attr = v`.
+    pub fn eq(mut self, attr: AttrId, v: u32) -> Self {
+        self.clauses.push((attr, AttrPredicate::Point(v)));
+        self
+    }
+
+    /// Adds an inclusive range clause `attr ∈ [lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`; use [`AttrPredicate::range`] + [`Predicate::with`]
+    /// for fallible construction.
+    pub fn between(mut self, attr: AttrId, lo: u32, hi: u32) -> Self {
+        self.clauses
+            .push((attr, AttrPredicate::range(lo, hi).expect("lo <= hi")));
+        self
+    }
+
+    /// Adds a set-membership clause.
+    pub fn in_set(mut self, attr: AttrId, vs: Vec<u32>) -> Self {
+        self.clauses.push((attr, AttrPredicate::set(vs)));
+        self
+    }
+
+    /// Adds an arbitrary clause.
+    pub fn with(mut self, attr: AttrId, p: AttrPredicate) -> Self {
+        self.clauses.push((attr, p));
+        self
+    }
+
+    /// The clauses in insertion order (trivial `All` clauses included).
+    pub fn clauses(&self) -> &[(AttrId, AttrPredicate)] {
+        &self.clauses
+    }
+
+    /// The attributes constrained by a non-trivial clause.
+    pub fn constrained_attrs(&self) -> Vec<AttrId> {
+        let mut v: Vec<AttrId> = self
+            .clauses
+            .iter()
+            .filter(|(_, p)| !p.is_all())
+            .map(|(a, _)| *a)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The effective predicate for `attr`: the conjunction of all clauses on
+    /// it, or `All` when unconstrained. Multiple clauses on one attribute are
+    /// intersected by materializing matching code sets.
+    pub fn attr_predicate(&self, attr: AttrId, domain_size: usize) -> AttrPredicate {
+        let mut relevant: Vec<&AttrPredicate> = self
+            .clauses
+            .iter()
+            .filter(|(a, p)| *a == attr && !p.is_all())
+            .map(|(_, p)| p)
+            .collect();
+        match relevant.len() {
+            0 => AttrPredicate::All,
+            1 => relevant.pop().unwrap().clone(),
+            _ => {
+                let codes: Vec<u32> = (0..domain_size as u32)
+                    .filter(|&v| relevant.iter().all(|p| p.matches(v)))
+                    .collect();
+                AttrPredicate::Set(codes)
+            }
+        }
+    }
+
+    /// Whether `row` satisfies every clause.
+    pub fn matches_row(&self, row: &[u32]) -> bool {
+        self.clauses
+            .iter()
+            .all(|(a, p)| row.get(a.0).is_some_and(|&v| p.matches(v)))
+    }
+
+    /// Validates that all referenced attributes exist and all ranges fall
+    /// within their domains.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for (attr, p) in &self.clauses {
+            let n = schema.domain_size(*attr)?;
+            let ok = match p {
+                AttrPredicate::All => true,
+                AttrPredicate::Point(v) => (*v as usize) < n,
+                AttrPredicate::Range { lo, hi } => *lo <= *hi && (*hi as usize) < n,
+                AttrPredicate::Set(vs) => vs.iter().all(|&v| (v as usize) < n),
+            };
+            if !ok {
+                return Err(StorageError::CodeOutOfDomain {
+                    attr: schema.attr(*attr)?.name().to_string(),
+                    code: match p {
+                        AttrPredicate::Point(v) => *v,
+                        AttrPredicate::Range { hi, .. } => *hi,
+                        AttrPredicate::Set(vs) => vs.last().copied().unwrap_or(0),
+                        AttrPredicate::All => 0,
+                    },
+                    domain_size: n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("a", 4).unwrap(),
+            Attribute::categorical("b", 6).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn attr_predicate_matching() {
+        assert!(AttrPredicate::All.matches(99));
+        assert!(AttrPredicate::Point(3).matches(3));
+        assert!(!AttrPredicate::Point(3).matches(4));
+        let r = AttrPredicate::range(2, 5).unwrap();
+        assert!(r.matches(2) && r.matches(5) && !r.matches(6) && !r.matches(1));
+        let s = AttrPredicate::set(vec![5, 1, 5, 3]);
+        assert!(s.matches(1) && s.matches(3) && s.matches(5) && !s.matches(2));
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        assert!(AttrPredicate::range(5, 2).is_err());
+    }
+
+    #[test]
+    fn selectivity_counts_matching_codes() {
+        assert_eq!(AttrPredicate::All.selectivity(10), 10);
+        assert_eq!(AttrPredicate::Point(3).selectivity(10), 1);
+        assert_eq!(AttrPredicate::Point(12).selectivity(10), 0);
+        assert_eq!(AttrPredicate::range(2, 5).unwrap().selectivity(10), 4);
+        assert_eq!(AttrPredicate::range(8, 20).unwrap().selectivity(10), 2);
+        assert_eq!(AttrPredicate::set(vec![1, 2, 99]).selectivity(10), 2);
+    }
+
+    #[test]
+    fn matching_codes_agree_with_matches() {
+        let preds = [
+            AttrPredicate::All,
+            AttrPredicate::Point(2),
+            AttrPredicate::range(1, 3).unwrap(),
+            AttrPredicate::set(vec![0, 4]),
+        ];
+        for p in preds {
+            let codes = p.matching_codes(5);
+            for v in 0..5u32 {
+                assert_eq!(codes.contains(&v), p.matches(v), "{p:?} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_matches_rows() {
+        let p = Predicate::new().eq(AttrId(0), 1).between(AttrId(1), 2, 4);
+        assert!(p.matches_row(&[1, 3]));
+        assert!(!p.matches_row(&[0, 3]));
+        assert!(!p.matches_row(&[1, 5]));
+        assert_eq!(p.constrained_attrs(), vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn repeated_clauses_intersect() {
+        let p = Predicate::new()
+            .between(AttrId(1), 0, 3)
+            .between(AttrId(1), 2, 5);
+        let eff = p.attr_predicate(AttrId(1), 6);
+        assert_eq!(eff, AttrPredicate::Set(vec![2, 3]));
+        assert_eq!(p.attr_predicate(AttrId(0), 4), AttrPredicate::All);
+    }
+
+    #[test]
+    fn validate_against_schema() {
+        let s = schema();
+        assert!(Predicate::new().eq(AttrId(0), 3).validate(&s).is_ok());
+        assert!(Predicate::new().eq(AttrId(0), 4).validate(&s).is_err());
+        assert!(Predicate::new().eq(AttrId(7), 0).validate(&s).is_err());
+        assert!(Predicate::new()
+            .between(AttrId(1), 4, 9)
+            .validate(&s)
+            .is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Relation schemas over discrete, ordered active domains.
+//!
+//! EntropyDB models a single relation `R(A_1, ..., A_m)` where every
+//! attribute has a finite, ordered active domain `D_i` (continuous attributes
+//! are bucketized first; see [`crate::binning`]). Values are stored as dense
+//! dictionary codes `0..N_i`, which is also the variable indexing the MaxEnt
+//! model uses.
+
+use crate::binning::Binner;
+use crate::error::{Result, StorageError};
+use std::fmt;
+
+/// Identifier of an attribute within a [`Schema`] (its position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The position of this attribute in the schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// How the dense codes of an attribute map back to user-facing values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// Categorical attribute: codes index into an external dictionary.
+    Categorical,
+    /// Numeric attribute bucketized into equi-width bins.
+    Binned(Binner),
+}
+
+/// One attribute of a relation: a name, an active-domain size, and a kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    domain_size: usize,
+    kind: AttrKind,
+}
+
+impl Attribute {
+    /// Creates a categorical attribute with `domain_size` distinct codes.
+    pub fn categorical(name: impl Into<String>, domain_size: usize) -> Result<Self> {
+        let name = name.into();
+        if domain_size == 0 {
+            return Err(StorageError::EmptyDomain(name));
+        }
+        Ok(Attribute {
+            name,
+            domain_size,
+            kind: AttrKind::Categorical,
+        })
+    }
+
+    /// Creates a numeric attribute bucketized by `binner`; the domain size is
+    /// the number of bins.
+    pub fn binned(name: impl Into<String>, binner: Binner) -> Self {
+        Attribute {
+            name: name.into(),
+            domain_size: binner.num_bins(),
+            kind: AttrKind::Binned(binner),
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size of the active domain (`N_i` in the paper).
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// The attribute kind (categorical or binned numeric).
+    pub fn kind(&self) -> &AttrKind {
+        &self.kind
+    }
+
+    /// The binner, if this is a binned numeric attribute.
+    pub fn binner(&self) -> Option<&Binner> {
+        match &self.kind {
+            AttrKind::Binned(b) => Some(b),
+            AttrKind::Categorical => None,
+        }
+    }
+}
+
+/// An ordered list of attributes describing a single relation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of attributes.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        Schema { attributes }
+    }
+
+    /// Number of attributes (`m` in the paper).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Ids of all attributes in declaration order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attributes.len()).map(AttrId)
+    }
+
+    /// The attribute with the given id.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
+        self.attributes
+            .get(id.0)
+            .ok_or(StorageError::AttrIdOutOfRange {
+                id: id.0,
+                arity: self.attributes.len(),
+            })
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_by_name(&self, name: &str) -> Result<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttrId)
+            .ok_or_else(|| StorageError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Active-domain size of attribute `id` (`N_i`).
+    pub fn domain_size(&self, id: AttrId) -> Result<usize> {
+        Ok(self.attr(id)?.domain_size())
+    }
+
+    /// Domain sizes of all attributes in order.
+    pub fn domain_sizes(&self) -> Vec<usize> {
+        self.attributes.iter().map(|a| a.domain_size()).collect()
+    }
+
+    /// `|Tup| = ∏ N_i`: the number of possible tuples. Saturates at
+    /// `u128::MAX` for absurdly large schemas.
+    pub fn tuple_space_size(&self) -> u128 {
+        self.attributes
+            .iter()
+            .fold(1u128, |acc, a| acc.saturating_mul(a.domain_size() as u128))
+    }
+
+    /// Validates that `row` is a legal tuple for this schema.
+    pub fn validate_row(&self, row: &[u32]) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for (attr, &code) in self.attributes.iter().zip(row) {
+            if code as usize >= attr.domain_size {
+                return Err(StorageError::CodeOutOfDomain {
+                    attr: attr.name.clone(),
+                    code,
+                    domain_size: attr.domain_size,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("a", 2).unwrap(),
+            Attribute::categorical("b", 3).unwrap(),
+            Attribute::categorical("c", 4).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn arity_and_domains() {
+        let s = abc_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.domain_sizes(), vec![2, 3, 4]);
+        assert_eq!(s.tuple_space_size(), 24);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = abc_schema();
+        assert_eq!(s.attr_by_name("b").unwrap(), AttrId(1));
+        assert!(matches!(
+            s.attr_by_name("zz"),
+            Err(StorageError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        assert!(matches!(
+            Attribute::categorical("x", 0),
+            Err(StorageError::EmptyDomain(_))
+        ));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = abc_schema();
+        assert!(s.validate_row(&[1, 2, 3]).is_ok());
+        assert!(matches!(
+            s.validate_row(&[1, 2]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_row(&[2, 0, 0]),
+            Err(StorageError::CodeOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn attr_id_out_of_range() {
+        let s = abc_schema();
+        assert!(matches!(
+            s.attr(AttrId(9)),
+            Err(StorageError::AttrIdOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! In-memory, dictionary-encoded columnar tables.
+//!
+//! A [`Table`] is an ordered bag of `n` tuples over a [`Schema`] — exactly the
+//! paper's instance `I`. Storage is column-major `Vec<u32>` of dense codes,
+//! which makes exact counting queries (the ground truth for every experiment)
+//! a sequential scan per referenced column.
+
+use crate::error::{Result, StorageError};
+use crate::schema::{AttrId, Schema};
+
+/// A single dictionary-encoded column.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    codes: Vec<u32>,
+}
+
+impl Column {
+    fn with_capacity(cap: usize) -> Self {
+        Column {
+            codes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The dense codes of this column, one per row.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// A columnar relation instance: the ordered bag of tuples `I`.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Column::default()).collect();
+        Table { schema, columns }
+    }
+
+    /// Creates an empty table with row capacity pre-reserved.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let columns = (0..schema.arity())
+            .map(|_| Column::with_capacity(rows))
+            .collect();
+        Table { schema, columns }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows (`n`, the instance cardinality).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Appends one tuple, validating arity and domain membership.
+    pub fn push_row(&mut self, row: &[u32]) -> Result<()> {
+        self.schema.validate_row(row)?;
+        for (col, &code) in self.columns.iter_mut().zip(row) {
+            col.codes.push(code);
+        }
+        Ok(())
+    }
+
+    /// Appends one tuple without validation.
+    ///
+    /// Callers (bulk generators) must guarantee `row` is schema-valid; debug
+    /// builds still assert it.
+    pub fn push_row_unchecked(&mut self, row: &[u32]) {
+        debug_assert!(self.schema.validate_row(row).is_ok());
+        for (col, &code) in self.columns.iter_mut().zip(row) {
+            col.codes.push(code);
+        }
+    }
+
+    /// Builds a table from an iterator of rows.
+    pub fn from_rows<I>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<u32>>,
+    {
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.push_row(&row)?;
+        }
+        Ok(t)
+    }
+
+    /// The column for attribute `id`.
+    pub fn column(&self, id: AttrId) -> Result<&Column> {
+        self.columns
+            .get(id.0)
+            .ok_or(StorageError::AttrIdOutOfRange {
+                id: id.0,
+                arity: self.schema.arity(),
+            })
+    }
+
+    /// Materializes row `r` (mostly for tests and small examples).
+    pub fn row(&self, r: usize) -> Option<Vec<u32>> {
+        if r >= self.num_rows() {
+            return None;
+        }
+        Some(self.columns.iter().map(|c| c.codes[r]).collect())
+    }
+
+    /// Appends all rows of `other`; schemas must match.
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(StorageError::SchemaMismatch);
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.codes.extend_from_slice(&src.codes);
+        }
+        Ok(())
+    }
+
+    /// Approximate in-memory footprint in bytes (code payload only).
+    pub fn payload_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.codes.len() * std::mem::size_of::<u32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("a", 2).unwrap(),
+            Attribute::categorical("b", 3).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut t = Table::new(schema());
+        t.push_row(&[0, 2]).unwrap();
+        t.push_row(&[1, 1]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0), Some(vec![0, 2]));
+        assert_eq!(t.row(1), Some(vec![1, 1]));
+        assert_eq!(t.row(2), None);
+        assert_eq!(t.column(AttrId(1)).unwrap().codes(), &[2, 1]);
+    }
+
+    #[test]
+    fn invalid_rows_rejected() {
+        let mut t = Table::new(schema());
+        assert!(t.push_row(&[0]).is_err());
+        assert!(t.push_row(&[0, 3]).is_err());
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![vec![0, 0], vec![1, 2], vec![0, 1]];
+        let t = Table::from_rows(schema(), rows.clone()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(t.row(i).as_ref(), Some(row));
+        }
+    }
+
+    #[test]
+    fn append_requires_same_schema() {
+        let mut a = Table::from_rows(schema(), vec![vec![0, 0]]).unwrap();
+        let b = Table::from_rows(schema(), vec![vec![1, 1]]).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.num_rows(), 2);
+
+        let other = Table::new(Schema::new(vec![Attribute::categorical("x", 2).unwrap()]));
+        assert!(matches!(a.append(&other), Err(StorageError::SchemaMismatch)));
+    }
+}

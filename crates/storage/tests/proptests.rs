@@ -1,0 +1,137 @@
+//! Property tests for the storage substrate: binning, predicates, exact
+//! execution, histograms, and correlation measures.
+
+use entropydb_storage::exec::{count, GroupCounts};
+use entropydb_storage::{
+    AttrId, AttrPredicate, Attribute, Binner, Histogram1D, Histogram2D, Predicate, Schema, Table,
+};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (2usize..6, 2usize..6, 0usize..60).prop_flat_map(|(nx, ny, rows)| {
+        prop::collection::vec((0u32..nx as u32, 0u32..ny as u32), rows).prop_map(move |pairs| {
+            let schema = Schema::new(vec![
+                Attribute::categorical("x", nx).unwrap(),
+                Attribute::categorical("y", ny).unwrap(),
+            ]);
+            let mut t = Table::new(schema);
+            for (x, y) in pairs {
+                t.push_row(&[x, y]).unwrap();
+            }
+            t
+        })
+    })
+}
+
+fn arb_attr_predicate(domain: u32) -> impl Strategy<Value = AttrPredicate> {
+    prop_oneof![
+        Just(AttrPredicate::All),
+        (0..domain).prop_map(AttrPredicate::Point),
+        (0..domain, 0..domain).prop_map(|(a, b)| AttrPredicate::Range {
+            lo: a.min(b),
+            hi: a.max(b)
+        }),
+        prop::collection::vec(0..domain, 0..4).prop_map(AttrPredicate::set),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Binning is monotone and maps into range.
+    #[test]
+    fn binner_monotone(lo in -1e3f64..1e3, width in 1e-3f64..1e3, bins in 1usize..100,
+                       a in -2e3f64..2e3, b in -2e3f64..2e3) {
+        let binner = Binner::new(lo, lo + width, bins).unwrap();
+        let (x, y) = (a.min(b), a.max(b));
+        prop_assert!(binner.bin(x) <= binner.bin(y));
+        prop_assert!((binner.bin(y) as usize) < bins);
+    }
+
+    /// bin_range covers exactly the bins of the values inside the range.
+    #[test]
+    fn bin_range_consistent(bins in 1usize..50, a in 0f64..100.0, b in 0f64..100.0) {
+        let binner = Binner::new(0.0, 100.0, bins).unwrap();
+        let (vlo, vhi) = (a.min(b), a.max(b));
+        let (blo, bhi) = binner.bin_range(vlo, vhi).unwrap();
+        prop_assert_eq!(blo, binner.bin(vlo));
+        prop_assert_eq!(bhi, binner.bin(vhi));
+        prop_assert!(blo <= bhi);
+    }
+
+    /// Exact count equals the brute-force row filter for any predicate.
+    #[test]
+    fn count_matches_brute_force(
+        (table, px, py) in arb_table().prop_flat_map(|t| {
+            let nx = t.schema().domain_size(AttrId(0)).unwrap() as u32;
+            let ny = t.schema().domain_size(AttrId(1)).unwrap() as u32;
+            (Just(t), arb_attr_predicate(nx), arb_attr_predicate(ny))
+        })
+    ) {
+        let pred = Predicate::new()
+            .with(AttrId(0), px.clone())
+            .with(AttrId(1), py.clone());
+        let fast = count(&table, &pred).unwrap();
+        let mut brute = 0u64;
+        for i in 0..table.num_rows() {
+            let row = table.row(i).unwrap();
+            if px.matches(row[0]) && py.matches(row[1]) {
+                brute += 1;
+            }
+        }
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Group counts partition the table: totals match, and each group's
+    /// count equals the point-predicate count.
+    #[test]
+    fn group_counts_partition(table in arb_table()) {
+        let g = GroupCounts::compute(&table, &[AttrId(0), AttrId(1)]).unwrap();
+        let total: u64 = g.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, table.num_rows() as u64);
+        for (values, c) in g.iter() {
+            let pred = Predicate::new().eq(AttrId(0), values[0]).eq(AttrId(1), values[1]);
+            prop_assert_eq!(count(&table, &pred).unwrap(), c);
+        }
+    }
+
+    /// 1D histograms equal 2D marginals and sum to n.
+    #[test]
+    fn histogram_consistency(table in arb_table()) {
+        let h2 = Histogram2D::compute(&table, AttrId(0), AttrId(1)).unwrap();
+        let hx = Histogram1D::compute(&table, AttrId(0)).unwrap();
+        let hy = Histogram1D::compute(&table, AttrId(1)).unwrap();
+        prop_assert_eq!(h2.marginal_x(), hx.counts().to_vec());
+        prop_assert_eq!(h2.marginal_y(), hy.counts().to_vec());
+        prop_assert_eq!(hx.total(), table.num_rows() as u64);
+        // Rectangle count over the whole domain is n.
+        let (nx, ny) = h2.dims();
+        prop_assert_eq!(
+            h2.rectangle_count(0, nx as u32 - 1, 0, ny as u32 - 1),
+            table.num_rows() as u64
+        );
+    }
+
+    /// Cramér's V stays in [0, 1].
+    #[test]
+    fn cramers_v_bounded(table in arb_table()) {
+        let h = Histogram2D::compute(&table, AttrId(0), AttrId(1)).unwrap();
+        let v = entropydb_storage::correlation::cramers_v(&h);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// Zero combinations plus non-empty groups tile the full cross product.
+    #[test]
+    fn zeros_and_groups_tile_the_space(table in arb_table()) {
+        let sizes = vec![
+            table.schema().domain_size(AttrId(0)).unwrap(),
+            table.schema().domain_size(AttrId(1)).unwrap(),
+        ];
+        let g = GroupCounts::compute(&table, &[AttrId(0), AttrId(1)]).unwrap();
+        let zeros = g.zero_combinations(&sizes);
+        prop_assert_eq!(zeros.len() + g.num_groups(), sizes[0] * sizes[1]);
+        for z in &zeros {
+            prop_assert_eq!(g.get(z), 0);
+        }
+    }
+}

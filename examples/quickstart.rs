@@ -1,0 +1,74 @@
+//! Quickstart: summarize a tiny relation and explore it.
+//!
+//! Walks the Sec. 2 motivating example: a flights table, a MaxEnt summary,
+//! and approximate answers that sharpen as statistics are added.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use entropydb::prelude::*;
+
+fn main() -> Result<()> {
+    // --- 1. A small relation R(origin, dest, distance). -------------------
+    let schema = Schema::new(vec![
+        Attribute::categorical("origin", 4).expect("valid"),
+        Attribute::categorical("dest", 4).expect("valid"),
+        Attribute::binned("distance", Binner::new(0.0, 3000.0, 6).expect("valid")),
+    ]);
+    let mut table = Table::new(schema);
+    // (origin, dest, miles): CA↔NY heavy, CA→FL medium, WA rare.
+    let miles = Binner::new(0.0, 3000.0, 6).expect("valid");
+    for (o, d, m, copies) in [
+        (0u32, 1u32, 2_500.0, 40), // CA → NY
+        (1, 0, 2_500.0, 35),       // NY → CA
+        (0, 2, 2_300.0, 15),       // CA → FL
+        (2, 1, 950.0, 8),          // FL → NY
+        (3, 0, 700.0, 2),          // WA → CA (rare)
+    ] {
+        for _ in 0..copies {
+            table.push_row(&[o, d, miles.bin(m)]).expect("valid row");
+        }
+    }
+    let origin = table.schema().attr_by_name("origin").expect("exists");
+    let dest = table.schema().attr_by_name("dest").expect("exists");
+    println!("relation: {} flights over {} possible tuples", table.num_rows(),
+        table.schema().tuple_space_size());
+
+    // --- 2. Summarize with 1D statistics only (pure uniformity). ----------
+    let no2d = MaxEntSummary::build(&table, vec![], &SolverConfig::default())?;
+    let ca_ny = Predicate::new().eq(origin, 0).eq(dest, 1);
+    let est = no2d.estimate_count(&ca_ny)?;
+    println!("\n[1D only]   CA→NY ≈ {:.1} ± {:.1} (true 40)", est.expectation, est.std_dev());
+
+    // --- 3. Add a 2D statistic on (origin, dest): the estimate sharpens. --
+    let stat = MultiDimStatistic::cell2d(origin, 0, dest, 1)?;
+    let with2d = MaxEntSummary::build(&table, vec![stat], &SolverConfig::default())?;
+    let est = with2d.estimate_count(&ca_ny)?;
+    println!("[with 2D]   CA→NY ≈ {:.1} ± {:.1} (true 40)", est.expectation, est.std_dev());
+
+    // --- 4. Rare vs nonexistent: the MaxEnt advantage over samples. -------
+    let wa_ca = Predicate::new().eq(origin, 3).eq(dest, 0); // rare (2 rows)
+    let wa_ny = Predicate::new().eq(origin, 3).eq(dest, 1); // nonexistent
+    println!("\nrare  WA→CA ≈ {:.2} (true 2)", with2d.estimate_count(&wa_ca)?.expectation);
+    println!("null  WA→NY ≈ {:.2} (true 0)", with2d.estimate_count(&wa_ny)?.expectation);
+
+    // --- 5. Group-by and top-k, the interactive exploration queries. ------
+    println!("\ntop destinations (est flights):");
+    for (v, est) in with2d.top_k(&Predicate::all(), dest, 3)? {
+        println!("  dest {v}: {:.1}", est.expectation);
+    }
+
+    // --- 6. SUM/AVG over the binned attribute. -----------------------------
+    let distance = table.schema().attr_by_name("distance").expect("exists");
+    let avg = with2d.estimate_avg(&Predicate::new().eq(origin, 0), distance)?;
+    println!("\navg distance from CA ≈ {:.0} miles", avg.unwrap_or(0.0));
+
+    // --- 7. Persist and reload. --------------------------------------------
+    let text = entropydb::core::serialize::to_string(&with2d);
+    let reloaded = entropydb::core::serialize::from_str(&text)?;
+    println!(
+        "\nsummary serialized to {} bytes; reloaded CA→NY ≈ {:.1}",
+        text.len(),
+        reloaded.estimate_count(&ca_ny)?.expectation
+    );
+    Ok(())
+}

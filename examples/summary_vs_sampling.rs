@@ -1,0 +1,99 @@
+//! Head-to-head: EntropyDB summary vs uniform and stratified sampling.
+//!
+//! The paper's core comparison (Sec. 6.2) in miniature: same space budget,
+//! three workload classes — heavy hitters, light hitters, nonexistent
+//! values — and the punchline that only the MaxEnt summary reliably tells
+//! "rare" apart from "does not exist".
+//!
+//! Run with: `cargo run --release --example summary_vs_sampling [-- rows]`
+
+use entropydb::core::metrics::{f_measure, relative_error};
+use entropydb::core::selection::heuristics::select_pair_statistics;
+use entropydb::data::flights::{generate, FlightsConfig};
+use entropydb::data::workload::Workload;
+use entropydb::prelude::*;
+use entropydb::sampling::{stratified_sample, uniform_sample};
+
+fn main() -> Result<()> {
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let dataset = generate(&FlightsConfig {
+        rows,
+        fine: false,
+        seed: 21,
+    });
+    let table = &dataset.table;
+    println!("dataset: {} flights", table.num_rows());
+
+    // Build all three approaches.
+    let mut stats = Vec::new();
+    for (x, y) in [
+        (dataset.dest, dataset.distance),
+        (dataset.fl_time, dataset.distance),
+    ] {
+        stats.extend(select_pair_statistics(table, x, y, 500, Heuristic::Composite)?);
+    }
+    let summary = MaxEntSummary::build(table, stats, &SolverConfig::default())?;
+    let uni = uniform_sample(table, 0.01, 5).expect("uniform sample");
+    let strat = stratified_sample(table, &[dataset.dest, dataset.distance], 0.01, 5)
+        .expect("stratified sample");
+    println!(
+        "summary: {} bytes serialized | uniform sample: {} rows | stratified: {} rows",
+        entropydb::core::serialize::to_string(&summary).len(),
+        uni.len(),
+        strat.len()
+    );
+
+    // Workload over (dest, distance): matches the stratification, so this
+    // is sampling's best case.
+    let workload = Workload::generate(table, &[dataset.dest, dataset.distance], 50, 50, 100, 7)
+        .expect("workload generates");
+
+    let estimate = |name: &str, pred: &Predicate| -> f64 {
+        match name {
+            "EntropyDB" => summary.estimate_count(pred).expect("query").expectation,
+            "Uniform" => uni.estimate_count(pred).expect("query"),
+            _ => strat.estimate_count(pred).expect("query"),
+        }
+    };
+
+    println!("\n{:<12} {:>10} {:>10} {:>10} {:>7}", "method", "heavy_err", "light_err", "null_err", "F");
+    for name in ["EntropyDB", "Uniform", "Stratified"] {
+        let avg = |items: &[(Vec<u32>, u64)]| -> f64 {
+            items
+                .iter()
+                .map(|(v, t)| relative_error(*t as f64, estimate(name, &workload.predicate(v))))
+                .sum::<f64>()
+                / items.len().max(1) as f64
+        };
+        let heavy = avg(&workload.heavy);
+        let light = avg(&workload.light);
+        let null_err = workload
+            .nulls
+            .iter()
+            .map(|v| relative_error(0.0, estimate(name, &workload.predicate(v)).round()))
+            .sum::<f64>()
+            / workload.nulls.len().max(1) as f64;
+        let light_ests: Vec<f64> = workload
+            .light
+            .iter()
+            .map(|(v, _)| estimate(name, &workload.predicate(v)))
+            .collect();
+        let null_ests: Vec<f64> = workload
+            .nulls
+            .iter()
+            .map(|v| estimate(name, &workload.predicate(v)))
+            .collect();
+        let fm = f_measure(&light_ests, &null_ests);
+        println!("{name:<12} {heavy:>10.3} {light:>10.3} {null_err:>10.3} {:>7.3}", fm.f);
+    }
+
+    println!(
+        "\nNote: the stratification (dest, distance) matches this workload — sampling's\n\
+         best case. Rerun the workload on (origin, fl_time) and the stratified sample\n\
+         degrades to the uniform one, while the summary is unchanged (Sec. 6.2)."
+    );
+    Ok(())
+}

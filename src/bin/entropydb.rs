@@ -1,0 +1,173 @@
+//! `entropydb` — a small CLI over the library: summarize a CSV file, then
+//! explore it with approximate queries.
+//!
+//! ```text
+//! entropydb summarize <data.csv> [--pairs K] [--budget B] [--out summary.txt]
+//! entropydb query <data.csv> <summary.txt> "<predicate>" [--exact]
+//! entropydb info <summary.txt>
+//! ```
+//!
+//! Predicates use the textual language of `entropydb_storage::parser`:
+//! `origin = CA AND distance BETWEEN 100 AND 800 AND dest IN (NY, FL)`.
+//! The CSV is re-read at query time to recover the value dictionaries (the
+//! summary file stores only the model).
+
+use entropydb::core::selection::heuristics::select_pair_statistics;
+use entropydb::core::selection::{choose_pairs, PairStrategy};
+use entropydb::prelude::*;
+use entropydb::storage::correlation::rank_pairs;
+use entropydb::storage::csv::{load_file, CsvOptions};
+use entropydb::storage::parser::parse_predicate;
+use entropydb::storage::exec;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  entropydb summarize <data.csv> [--pairs K] [--budget B] [--out summary.txt]\n  \
+         entropydb query <data.csv> <summary.txt> \"<predicate>\" [--exact]\n  \
+         entropydb info <summary.txt>"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn summarize(args: &[String]) -> Result<ExitCode> {
+    let Some(csv_path) = args.first() else {
+        return Ok(usage());
+    };
+    let pairs: usize = flag_value(args, "--pairs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let budget: usize = flag_value(args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let out = flag_value(args, "--out").unwrap_or_else(|| "summary.txt".to_string());
+
+    eprintln!("loading {csv_path}...");
+    let dataset = load_file(Path::new(csv_path), &CsvOptions::default())?;
+    let table = &dataset.table;
+    eprintln!(
+        "  {} rows, {} attributes, {} possible tuples",
+        table.num_rows(),
+        table.schema().arity(),
+        table.schema().tuple_space_size()
+    );
+
+    let attrs: Vec<_> = table.schema().attr_ids().collect();
+    let scores = rank_pairs(table, &attrs)?;
+    let chosen = choose_pairs(&scores, pairs, PairStrategy::AttributeCover);
+    eprintln!("choosing {} attribute pairs (attribute-cover):", chosen.len());
+    let mut stats = Vec::new();
+    for p in &chosen {
+        let (nx, ny) = (
+            table.schema().attr(p.x)?.name().to_string(),
+            table.schema().attr(p.y)?.name().to_string(),
+        );
+        eprintln!("  ({nx}, {ny}) V = {:.3}, {budget} COMPOSITE statistics", p.cramers_v);
+        stats.extend(select_pair_statistics(table, p.x, p.y, budget, Heuristic::Composite)?);
+    }
+
+    eprintln!("solving the MaxEnt model...");
+    let summary = MaxEntSummary::build(table, stats, &SolverConfig::default())?;
+    let report = summary.solver_report();
+    eprintln!(
+        "  {} sweeps, residual {:.1e}, {:.2}s, {} polynomial terms",
+        report.sweeps,
+        report.max_residual,
+        report.seconds,
+        summary.size_stats().num_terms
+    );
+    entropydb::core::serialize::save_file(&summary, Path::new(&out)).map_err(|e| {
+        ModelError::Parse {
+            line: 0,
+            message: format!("cannot write {out}: {e}"),
+        }
+    })?;
+    eprintln!("summary written to {out} ({} bytes)", std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn query(args: &[String]) -> Result<ExitCode> {
+    let (Some(csv_path), Some(summary_path), Some(expr)) =
+        (args.first(), args.get(1), args.get(2))
+    else {
+        return Ok(usage());
+    };
+    let exact = args.iter().any(|a| a == "--exact");
+
+    let dataset = load_file(Path::new(csv_path), &CsvOptions::default())?;
+    let summary = entropydb::core::serialize::load_file(Path::new(summary_path))?;
+    if summary.statistics().domain_sizes() != dataset.table.schema().domain_sizes() {
+        return Err(ModelError::ShapeMismatch);
+    }
+
+    let pred = parse_predicate(expr, &dataset)?;
+    let start = std::time::Instant::now();
+    let est = summary.estimate_count(&pred)?;
+    let elapsed = start.elapsed();
+    let (lo, hi) = est.ci95();
+    println!(
+        "estimate: {:.1}   (95% CI {:.0}..{:.0}, rounded {})   [{elapsed:.2?}]",
+        est.expectation,
+        lo,
+        hi,
+        est.rounded()
+    );
+    if exact {
+        let start = std::time::Instant::now();
+        let truth = exec::count(&dataset.table, &pred)?;
+        println!("exact:    {truth}   [{:.2?}]", start.elapsed());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn info(args: &[String]) -> Result<ExitCode> {
+    let Some(summary_path) = args.first() else {
+        return Ok(usage());
+    };
+    let summary = entropydb::core::serialize::load_file(Path::new(summary_path))?;
+    let stats = summary.statistics();
+    println!("n = {} tuples over {} attributes", summary.n(), stats.arity());
+    for (i, attr) in summary.schema().attributes().iter().enumerate() {
+        println!("  A{i} {} (domain {})", attr.name(), attr.domain_size());
+    }
+    let s = summary.size_stats();
+    println!(
+        "{} multi-dimensional statistics; {} polynomial terms (vs {:.2e} uncompressed)",
+        stats.multi().len(),
+        s.num_terms,
+        s.uncompressed_monomials as f64
+    );
+    let r = summary.solver_report();
+    println!(
+        "solver: {} sweeps, residual {:.1e}, converged = {}",
+        r.sweeps, r.max_residual, r.converged
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let result = match command {
+        "summarize" => summarize(&args[1..]),
+        "query" => query(&args[1..]),
+        "info" => info(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

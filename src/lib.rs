@@ -1,0 +1,27 @@
+//! # entropydb
+//!
+//! Facade crate for **EntropyDB-rs**, a Rust reproduction of
+//! "Probabilistic Database Summarization for Interactive Data Exploration"
+//! (Orr, Balazinska, Suciu; VLDB 2017).
+//!
+//! Re-exports the workspace crates:
+//! * [`core`] — the MaxEnt summary model (the paper's contribution).
+//! * [`storage`] — the in-memory column store substrate.
+//! * [`data`] — synthetic flights/particles generators and workloads.
+//! * [`sampling`] — uniform and stratified sampling baselines.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `entropydb-bench` crate for the paper's full evaluation.
+
+pub use entropydb_core as core;
+pub use entropydb_data as data;
+pub use entropydb_sampling as sampling;
+pub use entropydb_storage as storage;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use entropydb_core::prelude::*;
+    pub use entropydb_storage::{
+        AttrId, AttrPredicate, Attribute, Binner, Predicate, Schema, Table,
+    };
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration tests of the paper's mathematical identities,
+//! exercised through the public facade on realistic generated data.
+
+use entropydb::core::selection::heuristics::select_pair_statistics;
+use entropydb::data::flights::{generate, FlightsConfig};
+use entropydb::prelude::*;
+use entropydb::storage::exec;
+
+fn small_flights() -> entropydb::data::flights::FlightsDataset {
+    generate(&FlightsConfig {
+        rows: 20_000,
+        fine: false,
+        seed: 3,
+    })
+}
+
+fn summary_with_pairs(
+    d: &entropydb::data::flights::FlightsDataset,
+    budget: usize,
+) -> MaxEntSummary {
+    let mut stats = Vec::new();
+    for (x, y) in [(d.dest, d.distance), (d.fl_time, d.distance)] {
+        stats.extend(
+            select_pair_statistics(&d.table, x, y, budget, Heuristic::Composite)
+                .expect("selection"),
+        );
+    }
+    MaxEntSummary::build(&d.table, stats, &SolverConfig::default()).expect("summary builds")
+}
+
+/// Overcompleteness: for every attribute, the per-value expectations
+/// partition the relation cardinality.
+#[test]
+fn expectations_partition_n_for_every_attribute() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 60);
+    let n = summary.n() as f64;
+    for attr in d.table.schema().attr_ids() {
+        let groups = summary
+            .estimate_group_by(&Predicate::all(), attr)
+            .expect("group by");
+        let total: f64 = groups.iter().map(|e| e.expectation).sum();
+        assert!(
+            (total - n).abs() < 1e-6 * n,
+            "attribute {attr}: {total} vs {n}"
+        );
+    }
+}
+
+/// Every fitted statistic is reproduced by the model: querying a statistic's
+/// own predicate returns (approximately) its observed count.
+#[test]
+fn fitted_statistics_are_reproduced_by_queries() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 40);
+    let stats = summary.statistics();
+    let n = summary.n() as f64;
+    for (stat, &count) in stats.multi().iter().zip(stats.multi_counts()) {
+        let est = summary
+            .estimate_count(&stat.to_predicate())
+            .expect("query")
+            .expectation;
+        assert!(
+            (est - count as f64).abs() < 1e-3 * n,
+            "{stat:?}: {est} vs {count}"
+        );
+    }
+}
+
+/// 1D statistics are complete, so single-attribute queries are exact — for
+/// any summary configuration.
+#[test]
+fn single_attribute_queries_are_exact() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 40);
+    for v in 0..54u32 {
+        let pred = Predicate::new().eq(d.origin, v);
+        let truth = exec::count(&d.table, &pred).expect("exact") as f64;
+        let est = summary.estimate_count(&pred).expect("query").expectation;
+        assert!((est - truth).abs() < 1e-5 * (truth + 1.0), "origin {v}");
+    }
+}
+
+/// Corollary 4.4(2): a range query equals the sum of its point queries.
+#[test]
+fn range_query_equals_sum_of_points() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 40);
+    let range = Predicate::new()
+        .between(d.distance, 10, 25)
+        .eq(d.dest, 1);
+    let whole = summary.estimate_count(&range).expect("query").expectation;
+    let sum: f64 = (10..=25u32)
+        .map(|v| {
+            summary
+                .estimate_count(&Predicate::new().eq(d.distance, v).eq(d.dest, 1))
+                .expect("query")
+                .expectation
+        })
+        .sum();
+    assert!(
+        (whole - sum).abs() < 1e-6 * whole.max(1.0),
+        "{whole} vs {sum}"
+    );
+}
+
+/// The probability of the always-true predicate is 1, and of a contradictory
+/// predicate is 0.
+#[test]
+fn probability_bounds() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 40);
+    let p_all = summary.probability(&Predicate::all()).expect("query");
+    assert!((p_all - 1.0).abs() < 1e-12);
+    let contradiction = Predicate::new().eq(d.origin, 0).eq(d.origin, 1);
+    let p_none = summary.probability(&contradiction).expect("query");
+    assert_eq!(p_none, 0.0);
+}
+
+/// ZERO statistics pin their cells: the model answers exactly 0 for them
+/// (no phantom tuples — the Sec. 4.3 motivation).
+#[test]
+fn zero_statistics_eliminate_phantoms() {
+    let d = small_flights();
+    let zero_stats = select_pair_statistics(&d.table, d.origin, d.dest, 50, Heuristic::Zero)
+        .expect("selection");
+    let summary = MaxEntSummary::build(&d.table, zero_stats.clone(), &SolverConfig::default())
+        .expect("summary builds");
+    for stat in zero_stats.iter().take(20) {
+        let truth = exec::count(&d.table, &stat.to_predicate()).expect("exact");
+        if truth == 0 {
+            let est = summary
+                .estimate_count(&stat.to_predicate())
+                .expect("query")
+                .expectation;
+            assert!(est.abs() < 1e-9, "{stat:?} estimated {est}");
+        }
+    }
+}
+
+/// Serialization through a file preserves all estimates bit-exactly.
+#[test]
+fn file_round_trip_preserves_estimates() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 30);
+    let dir = std::env::temp_dir().join("entropydb-integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("flights-summary.txt");
+    entropydb::core::serialize::save_file(&summary, &path).expect("save");
+    let loaded = entropydb::core::serialize::load_file(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    for v in [0u32, 5, 17] {
+        let pred = Predicate::new().eq(d.dest, v).between(d.distance, 5, 40);
+        let a = summary.estimate_count(&pred).expect("query").expectation;
+        let b = loaded.estimate_count(&pred).expect("query").expectation;
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// The variance formula is coherent: a CI95 built from it contains the
+/// expectation, and deterministic queries (1D, fully covered) have small
+/// relative deviation.
+#[test]
+fn variance_and_confidence_intervals() {
+    let d = small_flights();
+    let summary = summary_with_pairs(&d, 40);
+    let pred = Predicate::new().between(d.fl_time, 5, 30);
+    let est = summary.estimate_count(&pred).expect("query");
+    let (lo, hi) = est.ci95();
+    assert!(lo <= est.expectation && est.expectation <= hi);
+    assert!(est.variance <= summary.n() as f64);
+}
