@@ -60,7 +60,11 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| summary.estimate_count(black_box(&range)).unwrap())
     });
     g.bench_function("summary_group_by_origin", |b| {
-        b.iter(|| summary.estimate_group_by(black_box(&range), d.origin).unwrap())
+        b.iter(|| {
+            summary
+                .estimate_group_by(black_box(&range), d.origin)
+                .unwrap()
+        })
     });
     g.bench_function("uniform_sample_range", |b| {
         b.iter(|| sample.estimate_count(black_box(&range)).unwrap())
@@ -85,7 +89,10 @@ fn bench_point_expansion(c: &mut Criterion) {
             let mut total = 0.0;
             for v in lo..=hi {
                 let point = Predicate::new().eq(d.distance, v).eq(d.origin, 0);
-                total += summary.estimate_count(black_box(&point)).unwrap().expectation;
+                total += summary
+                    .estimate_count(black_box(&point))
+                    .unwrap()
+                    .expectation;
             }
             total
         })

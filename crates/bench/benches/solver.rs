@@ -51,7 +51,7 @@ fn bench_solver(c: &mut Criterion) {
             solve(black_box(&poly), black_box(&stats), &config).unwrap()
         })
     });
-    g.bench_function("gradient_per_sweep", |b| {
+    g.bench_function("naive_gradient_per_sweep", |b| {
         b.iter(|| solve_gradient(black_box(&poly), black_box(&stats), 1.0, 1, 0.0).unwrap())
     });
     g.finish();

@@ -5,7 +5,10 @@ use entropydb_bench::experiments;
 fn main() {
     let scale = entropydb_bench::Scale::from_args();
     for (name, run) in [
-        ("tables", experiments::tables::run as fn(&entropydb_bench::Scale) -> String),
+        (
+            "tables",
+            experiments::tables::run as fn(&entropydb_bench::Scale) -> String,
+        ),
         ("fig2", experiments::fig2::run),
         ("fig5", experiments::fig5::run),
         ("fig6", experiments::fig6::run),

@@ -251,12 +251,7 @@ pub fn f_measure_on(method: &Method, workload: &Workload) -> FMeasure {
 }
 
 /// Builds a workload for a template over `table`.
-pub fn template_workload(
-    table: &Table,
-    attrs: &[AttrId],
-    scale: &Scale,
-    seed: u64,
-) -> Workload {
+pub fn template_workload(table: &Table, attrs: &[AttrId], scale: &Scale, seed: u64) -> Workload {
     Workload::generate(table, attrs, scale.heavy, scale.light, scale.nulls, seed)
         .expect("workload generates")
 }

@@ -38,8 +38,8 @@ pub fn run(scale: &Scale) -> String {
 
     for &budget in &scale.fig2_budgets {
         for heuristic in Heuristic::ALL {
-            let stats = select_pair_statistics(&table, et, dt, budget, heuristic)
-                .expect("selection");
+            let stats =
+                select_pair_statistics(&table, et, dt, budget, heuristic).expect("selection");
             let summary = MaxEntSummary::build(&table, stats, &SolverConfig::default())
                 .expect("summary builds");
             let terms = summary.size_stats().num_terms;

@@ -110,7 +110,10 @@ pub fn run(scale: &Scale) -> String {
         ];
 
         let mut report = Report::new(
-            format!("Fig 7: Particles, {snapshots} snapshot(s), n = {}", table.num_rows()),
+            format!(
+                "Fig 7: Particles, {snapshots} snapshot(s), n = {}",
+                table.num_rows()
+            ),
             &[
                 "template",
                 "method",

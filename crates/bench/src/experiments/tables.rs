@@ -103,7 +103,10 @@ fn compression(scale: &Scale) -> String {
             budget.to_string(),
             format!("{:.2e}", s.uncompressed_monomials as f64),
             s.num_terms.to_string(),
-            format!("{:.1e}x", s.uncompressed_monomials as f64 / s.num_terms as f64),
+            format!(
+                "{:.1e}x",
+                s.uncompressed_monomials as f64 / s.num_terms as f64
+            ),
             bytes.to_string(),
         ]);
     }
@@ -117,7 +120,10 @@ fn compression(scale: &Scale) -> String {
             "-".into(),
             format!("{:.2e}", s.uncompressed_monomials as f64),
             s.num_terms.to_string(),
-            format!("{:.1e}x", s.uncompressed_monomials as f64 / s.num_terms as f64),
+            format!(
+                "{:.1e}x",
+                s.uncompressed_monomials as f64 / s.num_terms as f64
+            ),
             bytes.to_string(),
         ]);
     }
@@ -129,7 +135,14 @@ fn solver_table(scale: &Scale) -> String {
     let pairs = flights_pairs(&dataset);
     let mut report = Report::new(
         "Sec 5: model solving (sweeps to converge, residual, wall time)",
-        &["summary", "variables", "sweeps", "residual", "seconds"],
+        &[
+            "summary",
+            "variables",
+            "sweeps",
+            "residual",
+            "skipped",
+            "seconds",
+        ],
     );
     for (name, summary) in build_flights_summaries(&dataset, scale) {
         let r = summary.solver_report();
@@ -138,6 +151,7 @@ fn solver_table(scale: &Scale) -> String {
             summary.statistics().num_variables().to_string(),
             r.sweeps.to_string(),
             format!("{:.1e}", r.max_residual),
+            r.skipped_updates.to_string(),
             f3(r.seconds),
         ]);
     }

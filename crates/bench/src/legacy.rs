@@ -1,0 +1,473 @@
+//! The pre-arena evaluation kernel, retained verbatim as a benchmark
+//! baseline.
+//!
+//! This is the nested-`Vec` implementation the arena kernel replaced:
+//! per-call `Vec<Vec<f64>>` prefix sums, dense `m`-intervals-per-term
+//! storage, cloned per-component assignments and masks, and no scratch
+//! reuse or parallelism. The criterion benches (and the emitted
+//! `BENCH_*.json` speedup entries) measure the current kernel against this
+//! baseline, so the perf win of the arena layout stays visible run over
+//! run. Do not "optimize" this module.
+
+use entropydb_core::assignment::{Mask, VarAssignment};
+use entropydb_core::statistics::MultiDimStatistic;
+use entropydb_storage::AttrId;
+
+/// A term: a compatible set of statistics and the intersected projection
+/// ranges over its combined attributes.
+#[derive(Debug, Clone)]
+struct Entry {
+    deltas: Vec<u32>,
+    ranges: Vec<(usize, u32, u32)>,
+}
+
+/// The pre-refactor compressed polynomial: dense `m` intervals per term,
+/// nested per-statistic term lists, prefix sums rebuilt on every call.
+#[derive(Debug, Clone)]
+pub struct LegacyPolynomial {
+    domain_sizes: Vec<usize>,
+    intervals: Vec<(u32, u32)>,
+    delta_offsets: Vec<u32>,
+    delta_ids: Vec<u32>,
+}
+
+impl LegacyPolynomial {
+    /// Builds the polynomial (same closure as the current kernel; only the
+    /// storage layout and evaluation differ).
+    pub fn build(domain_sizes: &[usize], stats: &[MultiDimStatistic]) -> Self {
+        let m = domain_sizes.len();
+        let mut entries: Vec<Entry> = stats
+            .iter()
+            .enumerate()
+            .map(|(j, s)| Entry {
+                deltas: vec![j as u32],
+                ranges: s.clauses().iter().map(|c| (c.attr.0, c.lo, c.hi)).collect(),
+            })
+            .collect();
+        let mut next = 0;
+        while next < entries.len() {
+            let last = *entries[next].deltas.last().expect("non-empty") as usize;
+            for (j, stat) in stats.iter().enumerate().skip(last + 1) {
+                if let Some(ranges) = intersect_ranges(&entries[next].ranges, stat) {
+                    let mut deltas = entries[next].deltas.clone();
+                    deltas.push(j as u32);
+                    entries.push(Entry { deltas, ranges });
+                }
+            }
+            next += 1;
+        }
+
+        let num_terms = entries.len() + 1;
+        let full: Vec<(u32, u32)> = domain_sizes
+            .iter()
+            .map(|&n| (0u32, n.saturating_sub(1) as u32))
+            .collect();
+        let mut intervals = Vec::with_capacity(num_terms * m);
+        let mut delta_offsets = Vec::with_capacity(num_terms + 1);
+        let mut delta_ids = Vec::new();
+        delta_offsets.push(0u32);
+        intervals.extend_from_slice(&full);
+        delta_offsets.push(0u32);
+        for e in &entries {
+            let mut row = full.clone();
+            for &(attr, lo, hi) in &e.ranges {
+                row[attr] = (lo, hi);
+            }
+            intervals.extend_from_slice(&row);
+            for &d in &e.deltas {
+                delta_ids.push(d);
+            }
+            delta_offsets.push(delta_ids.len() as u32);
+        }
+
+        LegacyPolynomial {
+            domain_sizes: domain_sizes.to_vec(),
+            intervals,
+            delta_offsets,
+            delta_ids,
+        }
+    }
+
+    /// Number of compressed terms.
+    pub fn num_terms(&self) -> usize {
+        self.delta_offsets.len() - 1
+    }
+
+    /// Per-attribute prefix sums, allocated fresh on every call (the
+    /// allocation the arena kernel's scratch eliminates).
+    fn prefix_sums(&self, a: &VarAssignment, mask: &Mask) -> Vec<Vec<f64>> {
+        self.domain_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let vals = &a.one_dim[i];
+                let mut prefix = Vec::with_capacity(n + 1);
+                let mut acc = 0.0;
+                prefix.push(0.0);
+                match mask.attr_weights(i) {
+                    Some(w) => {
+                        for (&wv, &xv) in w.iter().zip(vals).take(n) {
+                            acc += wv * xv;
+                            prefix.push(acc);
+                        }
+                    }
+                    None => {
+                        for &xv in vals.iter().take(n) {
+                            acc += xv;
+                            prefix.push(acc);
+                        }
+                    }
+                }
+                prefix
+            })
+            .collect()
+    }
+
+    #[inline]
+    fn delta_product(&self, term: usize, multi: &[f64]) -> f64 {
+        let lo = self.delta_offsets[term] as usize;
+        let hi = self.delta_offsets[term + 1] as usize;
+        self.delta_ids[lo..hi]
+            .iter()
+            .fold(1.0, |acc, &j| acc * (multi[j as usize] - 1.0))
+    }
+
+    /// Masked evaluation: dense per-term interval loop over all `m` factors.
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        let prefix = self.prefix_sums(a, mask);
+        let m = self.domain_sizes.len();
+        let mut p = 0.0;
+        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
+            let mut prod = self.delta_product(t, &a.multi);
+            if prod == 0.0 {
+                continue;
+            }
+            for (i, &(lo, hi)) in row.iter().enumerate() {
+                prod *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            p += prod;
+        }
+        p
+    }
+
+    /// The fused derivative pass, nested-`Vec` edition: fresh prefix sums,
+    /// fresh difference array, fresh output vector per call.
+    pub fn eval_with_attr_derivatives(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+    ) -> (f64, Vec<f64>) {
+        let prefix = self.prefix_sums(a, mask);
+        let m = self.domain_sizes.len();
+        let n_attr = self.domain_sizes[attr];
+        let mut diff = vec![0.0f64; n_attr + 1];
+
+        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
+            let mut excl = self.delta_product(t, &a.multi);
+            if excl == 0.0 {
+                continue;
+            }
+            for (i, &(lo, hi)) in row.iter().enumerate() {
+                if i == attr {
+                    continue;
+                }
+                excl *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+                if excl == 0.0 {
+                    break;
+                }
+            }
+            if excl == 0.0 {
+                continue;
+            }
+            let (lo, hi) = row[attr];
+            diff[lo as usize] += excl;
+            diff[hi as usize + 1] -= excl;
+        }
+
+        let mut derivs = vec![0.0f64; n_attr];
+        let mut acc = 0.0;
+        let mut p = 0.0;
+        for v in 0..n_attr {
+            acc += diff[v];
+            let w = mask.weight(attr, v as u32);
+            derivs[v] = w * acc;
+            p += a.one_dim[attr][v] * derivs[v];
+        }
+        (p, derivs)
+    }
+}
+
+/// The pre-refactor component factorization: clones per-component
+/// assignments and masks on every evaluation.
+#[derive(Debug, Clone)]
+pub struct LegacyFactorized {
+    components: Vec<(Vec<usize>, Vec<usize>, LegacyPolynomial)>,
+    attr_home: Vec<(usize, usize)>,
+}
+
+impl LegacyFactorized {
+    /// Builds per-component legacy polynomials (same union-find grouping as
+    /// the current kernel).
+    pub fn build(domain_sizes: &[usize], stats: &[MultiDimStatistic]) -> Self {
+        let m = domain_sizes.len();
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for stat in stats {
+            let attrs = stat.attrs();
+            let first = attrs[0].0;
+            for a in &attrs[1..] {
+                let (ra, rb) = (find(&mut parent, first), find(&mut parent, a.0));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        let mut root_to_comp: Vec<Option<usize>> = vec![None; m];
+        let mut comp_attrs: Vec<Vec<usize>> = Vec::new();
+        for attr in 0..m {
+            let root = find(&mut parent, attr);
+            match root_to_comp[root] {
+                Some(c) => comp_attrs[c].push(attr),
+                None => {
+                    root_to_comp[root] = Some(comp_attrs.len());
+                    comp_attrs.push(vec![attr]);
+                }
+            }
+        }
+        let mut attr_home = vec![(0usize, 0usize); m];
+        for (c, attrs) in comp_attrs.iter().enumerate() {
+            for (local, &global) in attrs.iter().enumerate() {
+                attr_home[global] = (c, local);
+            }
+        }
+        let mut comp_stats: Vec<Vec<MultiDimStatistic>> = vec![Vec::new(); comp_attrs.len()];
+        let mut comp_multis: Vec<Vec<usize>> = vec![Vec::new(); comp_attrs.len()];
+        for (j, stat) in stats.iter().enumerate() {
+            let (c, _) = attr_home[stat.attrs()[0].0];
+            let local_clauses = stat
+                .clauses()
+                .iter()
+                .map(|cl| entropydb_core::statistics::RangeClause {
+                    attr: AttrId(attr_home[cl.attr.0].1),
+                    lo: cl.lo,
+                    hi: cl.hi,
+                })
+                .collect();
+            comp_stats[c].push(MultiDimStatistic::new(local_clauses).expect("valid"));
+            comp_multis[c].push(j);
+        }
+        let components = comp_attrs
+            .into_iter()
+            .zip(comp_stats)
+            .zip(comp_multis)
+            .map(|((attrs, stats_c), multis)| {
+                let local_sizes: Vec<usize> = attrs.iter().map(|&a| domain_sizes[a]).collect();
+                let poly = LegacyPolynomial::build(&local_sizes, &stats_c);
+                (attrs, multis, poly)
+            })
+            .collect();
+        LegacyFactorized {
+            components,
+            attr_home,
+        }
+    }
+
+    fn local_assignment(
+        &self,
+        attrs: &[usize],
+        multis: &[usize],
+        a: &VarAssignment,
+    ) -> VarAssignment {
+        VarAssignment {
+            one_dim: attrs.iter().map(|&g| a.one_dim[g].clone()).collect(),
+            multi: multis.iter().map(|&g| a.multi[g]).collect(),
+        }
+    }
+
+    fn local_mask(&self, attrs: &[usize], mask: &Mask) -> Mask {
+        let mut local = Mask::identity(attrs.len());
+        for (li, &g) in attrs.iter().enumerate() {
+            if let Some(w) = mask.attr_weights(g) {
+                local = local.scale_attr(AttrId(li), w).expect("shape verified");
+            }
+        }
+        local
+    }
+
+    /// Masked evaluation through cloned local assignments.
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        self.components
+            .iter()
+            .map(|(attrs, multis, poly)| {
+                poly.eval_masked(
+                    &self.local_assignment(attrs, multis, a),
+                    &self.local_mask(attrs, mask),
+                )
+            })
+            .product()
+    }
+
+    /// The fused derivative pass lifted through the product rule, with
+    /// every other component fully re-evaluated (and re-cloned).
+    pub fn eval_with_attr_derivatives(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+    ) -> (f64, Vec<f64>) {
+        let (home, local_attr) = self.attr_home[attr];
+        let mut others = 1.0;
+        for (ci, (attrs, multis, poly)) in self.components.iter().enumerate() {
+            if ci != home {
+                others *= poly.eval_masked(
+                    &self.local_assignment(attrs, multis, a),
+                    &self.local_mask(attrs, mask),
+                );
+            }
+        }
+        let (attrs, multis, poly) = &self.components[home];
+        let (pc, mut derivs) = poly.eval_with_attr_derivatives(
+            &self.local_assignment(attrs, multis, a),
+            &self.local_mask(attrs, mask),
+            local_attr,
+        );
+        for d in &mut derivs {
+            *d *= others;
+        }
+        (pc * others, derivs)
+    }
+
+    /// The pre-refactor `estimate_group_by` body: one batched pass, fresh
+    /// vectors throughout.
+    pub fn group_by(&self, a: &VarAssignment, mask: &Mask, attr: usize, p_full: f64) -> Vec<f64> {
+        let (_, derivs) = self.eval_with_attr_derivatives(a, mask, attr);
+        derivs
+            .iter()
+            .enumerate()
+            .map(|(v, &d)| (a.one_dim[attr][v] * d / p_full).clamp(0.0, 1.0))
+            .collect()
+    }
+}
+
+fn intersect_ranges(
+    ranges: &[(usize, u32, u32)],
+    stat: &MultiDimStatistic,
+) -> Option<Vec<(usize, u32, u32)>> {
+    let mut out = Vec::with_capacity(ranges.len() + stat.clauses().len());
+    let mut ai = 0;
+    let mut bi = 0;
+    let clauses = stat.clauses();
+    while ai < ranges.len() && bi < clauses.len() {
+        let (attr_a, lo_a, hi_a) = ranges[ai];
+        let c = &clauses[bi];
+        match attr_a.cmp(&c.attr.0) {
+            std::cmp::Ordering::Less => {
+                out.push(ranges[ai]);
+                ai += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((c.attr.0, c.lo, c.hi));
+                bi += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let lo = lo_a.max(c.lo);
+                let hi = hi_a.min(c.hi);
+                if lo > hi {
+                    return None;
+                }
+                out.push((attr_a, lo, hi));
+                ai += 1;
+                bi += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&ranges[ai..]);
+    for c in &clauses[bi..] {
+        out.push((c.attr.0, c.lo, c.hi));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entropydb_core::polynomial::CompressedPolynomial;
+    use entropydb_core::prelude::FactorizedPolynomial;
+    use entropydb_core::statistics::RangeClause;
+
+    fn stats3() -> (Vec<usize>, Vec<MultiDimStatistic>) {
+        let sizes = vec![6, 5, 4, 3];
+        let mk = |a1: usize, r1: (u32, u32), a2: usize, r2: (u32, u32)| {
+            MultiDimStatistic::new(vec![
+                RangeClause {
+                    attr: AttrId(a1),
+                    lo: r1.0,
+                    hi: r1.1,
+                },
+                RangeClause {
+                    attr: AttrId(a2),
+                    lo: r2.0,
+                    hi: r2.1,
+                },
+            ])
+            .unwrap()
+        };
+        let stats = vec![
+            mk(0, (0, 2), 1, (1, 3)),
+            mk(0, (2, 4), 1, (0, 2)),
+            mk(2, (0, 1), 3, (1, 2)),
+            mk(2, (1, 3), 3, (0, 1)),
+        ];
+        (sizes, stats)
+    }
+
+    /// The baseline must agree with the current kernel — otherwise the
+    /// benchmark comparison is meaningless.
+    #[test]
+    fn legacy_matches_current_kernel() {
+        let (sizes, stats) = stats3();
+        let legacy = LegacyPolynomial::build(&sizes, &stats);
+        let current = CompressedPolynomial::build(&sizes, &stats).unwrap();
+        assert_eq!(legacy.num_terms(), current.num_terms());
+        let legacy_f = LegacyFactorized::build(&sizes, &stats);
+        let current_f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+
+        let mut a = VarAssignment::ones(&sizes, stats.len());
+        for (i, vs) in a.one_dim.iter_mut().enumerate() {
+            for (v, x) in vs.iter_mut().enumerate() {
+                *x = 0.07 + ((i + 2) * (v + 1) % 13) as f64 / 13.0;
+            }
+        }
+        a.multi = vec![0.3, 1.6, 2.2, 0.9];
+        let pred = entropydb_storage::Predicate::new().between(AttrId(1), 1, 3);
+        let mask = Mask::from_predicate(&pred, &sizes).unwrap();
+
+        let close = |x: f64, y: f64| (x - y).abs() < 1e-10 * x.abs().max(y.abs()).max(1.0);
+        assert!(close(
+            legacy.eval_masked(&a, &mask),
+            current.eval_masked(&a, &mask)
+        ));
+        assert!(close(
+            legacy_f.eval_masked(&a, &mask),
+            current_f.eval_masked(&a, &mask)
+        ));
+        for attr in 0..sizes.len() {
+            let (pl, dl) = legacy_f.eval_with_attr_derivatives(&a, &mask, attr);
+            let (pc, dc) = current_f.eval_with_attr_derivatives(&a, &mask, attr);
+            assert!(close(pl, pc), "attr {attr}: {pl} vs {pc}");
+            for (v, (&l, &c)) in dl.iter().zip(&dc).enumerate() {
+                assert!(close(l, c), "attr {attr} v {v}: {l} vs {c}");
+            }
+        }
+    }
+}

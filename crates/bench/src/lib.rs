@@ -20,6 +20,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod legacy;
 pub mod report;
 
 pub use common::{Method, Scale};

@@ -56,7 +56,9 @@ impl VarAssignment {
         for vs in &self.one_dim {
             for &v in vs {
                 if !v.is_finite() || v < 0.0 {
-                    return Err(ModelError::NumericalFailure("non-finite or negative 1D variable"));
+                    return Err(ModelError::NumericalFailure(
+                        "non-finite or negative 1D variable",
+                    ));
                 }
             }
         }
@@ -144,14 +146,35 @@ impl Mask {
     /// Restricts attribute `attr` to the single code `v` (used by batched
     /// group-by estimation).
     pub fn restrict_to_value(mut self, attr: AttrId, v: u32, domain_size: usize) -> Self {
-        let mut w = vec![0.0; domain_size];
-        let keep = match &self.weights[attr.0] {
-            Some(old) => old[v as usize],
-            None => 1.0,
-        };
-        w[v as usize] = keep;
-        self.weights[attr.0] = Some(w);
+        self.restrict_in_place(attr, v, domain_size);
         self
+    }
+
+    /// In-place form of [`Mask::restrict_to_value`]: reuses the attribute's
+    /// existing weight buffer when present (the sequential-conditional
+    /// sampler tightens one mask attribute per step and would otherwise
+    /// reallocate per attribute).
+    pub fn restrict_in_place(&mut self, attr: AttrId, v: u32, domain_size: usize) {
+        match &mut self.weights[attr.0] {
+            Some(w) => {
+                let keep = w[v as usize];
+                w.fill(0.0);
+                w[v as usize] = keep;
+            }
+            None => {
+                let mut w = vec![0.0; domain_size];
+                w[v as usize] = 1.0;
+                self.weights[attr.0] = Some(w);
+            }
+        }
+    }
+
+    /// Resets every attribute to unconstrained, keeping the allocated
+    /// weight buffers for reuse. The mask arity is unchanged.
+    pub fn clear(&mut self) {
+        for w in &mut self.weights {
+            *w = None;
+        }
     }
 
     /// The weight applied to the 1D variable (attr `i`, code `v`).
@@ -185,9 +208,7 @@ mod tests {
 
     #[test]
     fn mask_from_predicate_zeroes_nonmatching() {
-        let pred = Predicate::new()
-            .between(AttrId(0), 1, 2)
-            .eq(AttrId(2), 0);
+        let pred = Predicate::new().between(AttrId(0), 1, 2).eq(AttrId(2), 0);
         let mask = Mask::from_predicate(&pred, &[4, 3, 2]).unwrap();
         assert_eq!(mask.attr_weights(0), Some(&[0.0, 1.0, 1.0, 0.0][..]));
         assert_eq!(mask.attr_weights(1), None);
@@ -220,6 +241,20 @@ mod tests {
     }
 
     #[test]
+    fn restrict_in_place_and_clear() {
+        let pred = Predicate::new().between(AttrId(0), 2, 3);
+        let mut mask = Mask::from_predicate(&pred, &[4]).unwrap();
+        mask.restrict_in_place(AttrId(0), 3, 4);
+        assert_eq!(mask.attr_weights(0), Some(&[0.0, 0.0, 0.0, 1.0][..]));
+        mask.restrict_in_place(AttrId(0), 1, 4);
+        // Code 1 was already masked out, so nothing survives.
+        assert_eq!(mask.attr_weights(0), Some(&[0.0, 0.0, 0.0, 0.0][..]));
+        mask.clear();
+        assert!(mask.is_identity());
+        assert_eq!(mask.arity(), 1);
+    }
+
+    #[test]
     fn restrict_to_value_respects_existing_mask() {
         let pred = Predicate::new().between(AttrId(0), 2, 3);
         let mask = Mask::from_predicate(&pred, &[4])
@@ -234,14 +269,9 @@ mod tests {
     #[test]
     fn init_assignment_matches_marginals() {
         use crate::statistics::Statistics;
-        let stats = Statistics::from_parts(
-            10,
-            vec![2, 2],
-            vec![vec![3, 7], vec![5, 5]],
-            vec![],
-            vec![],
-        )
-        .unwrap();
+        let stats =
+            Statistics::from_parts(10, vec![2, 2], vec![vec![3, 7], vec![5, 5]], vec![], vec![])
+                .unwrap();
         let a = VarAssignment::init_from(&stats);
         assert_eq!(a.one_dim[0], vec![0.3, 0.7]);
         assert_eq!(a.one_dim[1], vec![0.5, 0.5]);

@@ -40,7 +40,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::Storage(e) => write!(f, "storage error: {e}"),
             ModelError::NotMultiDimensional => {
-                write!(f, "multi-dimensional statistics need at least two attributes")
+                write!(
+                    f,
+                    "multi-dimensional statistics need at least two attributes"
+                )
             }
             ModelError::DuplicateAttribute(a) => {
                 write!(f, "statistic references attribute A{a} more than once")

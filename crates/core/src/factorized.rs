@@ -19,22 +19,38 @@
 //! gets its own [`CompressedPolynomial`]; evaluation, masked evaluation,
 //! and derivative passes lift through the product rule. Every variable
 //! still has degree ≤ 1, so the solver's closed-form updates are unchanged.
+//!
+//! ## Scratch reuse and parallelism
+//!
+//! Evaluation never materializes per-component assignments or masks: each
+//! component's kernel reads the *global* assignment and mask directly
+//! through its attribute mapping, filling a per-component [`EvalScratch`]
+//! held in a reusable [`FactorizedScratch`]. Steady-state evaluation is
+//! allocation-free, and components — which are fully independent — are
+//! evaluated in parallel (see [`crate::par`]) once the model is large
+//! enough for threads to pay off. Chunking is deterministic, so parallel
+//! and serial evaluation produce bitwise identical results.
 
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
-use crate::polynomial::{CompressedPolynomial, PolynomialSizeStats, Var};
+use crate::par;
+use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats, Var};
 use crate::statistics::MultiDimStatistic;
+
+/// Minimum combined term count before component-parallel evaluation is
+/// worth the thread-spawn overhead.
+const PAR_MIN_TERMS: usize = 4096;
 
 /// One independent attribute group and its polynomial.
 #[derive(Debug, Clone, PartialEq)]
-struct Component {
+pub(crate) struct Component {
     /// Global attribute indices, sorted; local attribute `i` is
     /// `attrs[i]` globally.
-    attrs: Vec<usize>,
+    pub(crate) attrs: Vec<usize>,
     /// Global multi-statistic indices owned by this component; local multi
     /// `j` is `multis[j]` globally.
-    multis: Vec<usize>,
-    poly: CompressedPolynomial,
+    pub(crate) multis: Vec<usize>,
+    pub(crate) poly: CompressedPolynomial,
 }
 
 /// The product-of-components polynomial used by the solver and the summary.
@@ -47,6 +63,28 @@ pub struct FactorizedPolynomial {
     attr_home: Vec<(usize, usize)>,
     /// Per global multi statistic: (component, local multi index).
     multi_home: Vec<(usize, usize)>,
+    /// Total compressed terms across components (parallelism threshold).
+    total_terms: usize,
+}
+
+/// Per-component evaluation state inside a [`FactorizedScratch`].
+#[derive(Debug, Clone)]
+struct CompScratch {
+    eval: EvalScratch,
+    /// The component's multi values, gathered from the global assignment.
+    local_multi: Vec<f64>,
+    /// The component's value from the last evaluation pass.
+    val: f64,
+}
+
+/// Reusable workspace for evaluating a [`FactorizedPolynomial`]: one
+/// [`EvalScratch`] per component plus a global derivative buffer. Steady-
+/// state evaluation against a warmed scratch performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct FactorizedScratch {
+    comps: Vec<CompScratch>,
+    /// Derivative output buffer sized for the largest attribute domain.
+    derivs: Vec<f64>,
 }
 
 /// Cached state for one multi-variable solver sweep: per-component interval
@@ -82,10 +120,7 @@ impl FactorizedPolynomial {
         }
         for stat in stats {
             let attrs = stat.attrs();
-            let first = attrs
-                .first()
-                .ok_or(ModelError::NotMultiDimensional)?
-                .0;
+            let first = attrs.first().ok_or(ModelError::NotMultiDimensional)?.0;
             if first >= m || attrs.iter().any(|a| a.0 >= m) {
                 return Err(ModelError::ShapeMismatch);
             }
@@ -153,12 +188,14 @@ impl FactorizedPolynomial {
             })
             .collect::<Result<Vec<_>>>()?;
 
+        let total_terms = components.iter().map(|c| c.poly.num_terms()).sum();
         Ok(FactorizedPolynomial {
             domain_sizes: domain_sizes.to_vec(),
             num_multi: stats.len(),
             components,
             attr_home,
             multi_home,
+            total_terms,
         })
     }
 
@@ -184,7 +221,11 @@ impl FactorizedPolynomial {
 
     /// Total compressed terms across components.
     pub fn num_terms(&self) -> usize {
-        self.components.iter().map(|c| c.poly.num_terms()).sum()
+        self.total_terms
+    }
+
+    pub(crate) fn components(&self) -> &[Component] {
+        &self.components
     }
 
     /// Aggregated size statistics. `uncompressed_monomials` is the full
@@ -223,7 +264,174 @@ impl FactorizedPolynomial {
         Ok(())
     }
 
-    /// Extracts the local assignment of component `c`.
+    /// Allocates a reusable evaluation workspace sized for this polynomial.
+    pub fn make_scratch(&self) -> FactorizedScratch {
+        FactorizedScratch {
+            comps: self
+                .components
+                .iter()
+                .map(|c| CompScratch {
+                    eval: c.poly.make_scratch(),
+                    local_multi: vec![0.0; c.multis.len()],
+                    val: 0.0,
+                })
+                .collect(),
+            derivs: vec![0.0; self.domain_sizes.iter().copied().max().unwrap_or(0)],
+        }
+    }
+
+    /// Whether component-level parallelism is worth spawning threads for.
+    #[inline]
+    fn use_par(&self) -> bool {
+        self.components.len() > 1 && self.total_terms >= PAR_MIN_TERMS && par::max_threads() > 1
+    }
+
+    /// Fills one component's scratch from the global assignment and mask
+    /// (no local assignment/mask materialization) and evaluates it.
+    fn eval_component(c: &Component, a: &VarAssignment, mask: &Mask, cs: &mut CompScratch) -> f64 {
+        for (slot, &g) in cs.local_multi.iter_mut().zip(&c.multis) {
+            *slot = a.multi[g];
+        }
+        c.poly.fill_scratch_with(&mut cs.eval, |li| {
+            let g = c.attrs[li];
+            (a.one_dim[g].as_slice(), mask.attr_weights(g))
+        });
+        c.poly.eval_prefilled(&cs.local_multi, &mut cs.eval)
+    }
+
+    /// Evaluates `P = ∏ P_c` (convenience wrapper; allocates a scratch).
+    pub fn eval(&self, a: &VarAssignment) -> f64 {
+        self.eval_masked(a, &Mask::identity(self.arity()))
+    }
+
+    /// Evaluates `P` under a query mask (convenience wrapper; allocates).
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        self.eval_masked_with(a, mask, &mut self.make_scratch())
+    }
+
+    /// Allocation-free masked evaluation; components run in parallel when
+    /// the model is large enough.
+    pub fn eval_masked_with(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        fs: &mut FactorizedScratch,
+    ) -> f64 {
+        debug_assert!(self.check_shape(a).is_ok());
+        debug_assert_eq!(fs.comps.len(), self.components.len());
+        let components = &self.components;
+        if self.use_par() {
+            par::for_each_chunk_mut(&mut fs.comps, 1, |base, chunk| {
+                for (off, cs) in chunk.iter_mut().enumerate() {
+                    cs.val = Self::eval_component(&components[base + off], a, mask, cs);
+                }
+            });
+        } else {
+            for (c, cs) in components.iter().zip(&mut fs.comps) {
+                cs.val = Self::eval_component(c, a, mask, cs);
+            }
+        }
+        fs.comps.iter().map(|cs| cs.val).product()
+    }
+
+    /// Fused pass: `(P, dP/dα_{attr,v} for all v)` under `mask` (convenience
+    /// wrapper; allocates a scratch and an output vector).
+    pub fn eval_with_attr_derivatives(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+    ) -> (f64, Vec<f64>) {
+        let mut fs = self.make_scratch();
+        let (p, derivs) = self.eval_with_attr_derivatives_with(a, mask, attr, &mut fs);
+        (p, derivs.to_vec())
+    }
+
+    /// Allocation-free fused evaluation + derivative pass. The product rule
+    /// lifts the component pass: `dP/dα = (∏_{c'≠c} P_{c'}) · dP_c/dα`.
+    /// Components run in parallel when the model is large enough; the
+    /// derivative slice borrows the scratch.
+    pub fn eval_with_attr_derivatives_with<'s>(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+        fs: &'s mut FactorizedScratch,
+    ) -> (f64, &'s [f64]) {
+        debug_assert!(attr < self.arity());
+        debug_assert_eq!(fs.comps.len(), self.components.len());
+        let (home, local_attr) = self.attr_home[attr];
+        let components = &self.components;
+        let run = |base: usize, cs: &mut CompScratch| {
+            let c = &components[base];
+            if base == home {
+                let CompScratch {
+                    eval,
+                    local_multi,
+                    val,
+                } = cs;
+                for (slot, &g) in local_multi.iter_mut().zip(&c.multis) {
+                    *slot = a.multi[g];
+                }
+                c.poly.fill_scratch_with(eval, |li| {
+                    let g = c.attrs[li];
+                    (a.one_dim[g].as_slice(), mask.attr_weights(g))
+                });
+                let (p, _) = c.poly.derivs_prefilled(
+                    local_multi,
+                    &a.one_dim[attr],
+                    mask.attr_weights(attr),
+                    local_attr,
+                    eval,
+                );
+                *val = p;
+            } else {
+                cs.val = Self::eval_component(c, a, mask, cs);
+            }
+        };
+        if self.use_par() {
+            par::for_each_chunk_mut(&mut fs.comps, 1, |base, chunk| {
+                for (off, cs) in chunk.iter_mut().enumerate() {
+                    run(base + off, cs);
+                }
+            });
+        } else {
+            for (ci, cs) in fs.comps.iter_mut().enumerate() {
+                run(ci, cs);
+            }
+        }
+
+        let FactorizedScratch { comps, derivs } = fs;
+        let mut others = 1.0;
+        for (ci, cs) in comps.iter().enumerate() {
+            if ci != home {
+                others *= cs.val;
+            }
+        }
+        let n_attr = self.domain_sizes[attr];
+        let home_derivs = comps[home].eval.derivs_slice(n_attr);
+        for (out, &d) in derivs[..n_attr].iter_mut().zip(home_derivs) {
+            *out = d * others;
+        }
+        (comps[home].val * others, &derivs[..n_attr])
+    }
+
+    /// Generic single-variable derivative (reference path for tests).
+    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
+        match var {
+            Var::OneDim { attr, code } => {
+                let (_, d) = self.eval_with_attr_derivatives(a, mask, attr);
+                d[code as usize]
+            }
+            Var::Multi(j) => {
+                let sweep = self.begin_multi_sweep(a, mask);
+                self.multi_derivative(&sweep, a, j).0
+            }
+        }
+    }
+
+    /// Extracts the local assignment of component `c` (sweep API only; the
+    /// evaluation kernels read the global assignment directly).
     fn local_assignment(&self, c: &Component, a: &VarAssignment) -> VarAssignment {
         VarAssignment {
             one_dim: c.attrs.iter().map(|&g| a.one_dim[g].clone()).collect(),
@@ -244,67 +452,6 @@ impl FactorizedPolynomial {
         local
     }
 
-    /// Evaluates `P = ∏ P_c`.
-    pub fn eval(&self, a: &VarAssignment) -> f64 {
-        self.eval_masked(a, &Mask::identity(self.arity()))
-    }
-
-    /// Evaluates `P` under a query mask.
-    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
-        debug_assert!(self.check_shape(a).is_ok());
-        self.components
-            .iter()
-            .map(|c| {
-                c.poly
-                    .eval_masked(&self.local_assignment(c, a), &self.local_mask(c, mask))
-            })
-            .product()
-    }
-
-    /// Fused pass: `(P, dP/dα_{attr,v} for all v)` under `mask`. The product
-    /// rule lifts the component pass: `dP/dα = (∏_{c'≠c} P_{c'}) · dP_c/dα`.
-    pub fn eval_with_attr_derivatives(
-        &self,
-        a: &VarAssignment,
-        mask: &Mask,
-        attr: usize,
-    ) -> (f64, Vec<f64>) {
-        debug_assert!(attr < self.arity());
-        let (home, local_attr) = self.attr_home[attr];
-        let mut others = 1.0;
-        for (ci, c) in self.components.iter().enumerate() {
-            if ci != home {
-                others *= c
-                    .poly
-                    .eval_masked(&self.local_assignment(c, a), &self.local_mask(c, mask));
-            }
-        }
-        let c = &self.components[home];
-        let (pc, mut derivs) = c.poly.eval_with_attr_derivatives(
-            &self.local_assignment(c, a),
-            &self.local_mask(c, mask),
-            local_attr,
-        );
-        for d in &mut derivs {
-            *d *= others;
-        }
-        (pc * others, derivs)
-    }
-
-    /// Generic single-variable derivative (reference path for tests).
-    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
-        match var {
-            Var::OneDim { attr, code } => {
-                let (_, d) = self.eval_with_attr_derivatives(a, mask, attr);
-                d[code as usize]
-            }
-            Var::Multi(j) => {
-                let sweep = self.begin_multi_sweep(a, mask);
-                self.multi_derivative(&sweep, a, j).0
-            }
-        }
-    }
-
     /// Prepares a multi-variable sweep: interval products and current value
     /// per component (under `mask`, typically identity during solving).
     pub fn begin_multi_sweep(&self, a: &VarAssignment, mask: &Mask) -> MultiSweep {
@@ -312,7 +459,9 @@ impl FactorizedPolynomial {
         let mut comp_values = Vec::with_capacity(self.components.len());
         for c in &self.components {
             let local_a = self.local_assignment(c, a);
-            let ip = c.poly.interval_products(&local_a, &self.local_mask(c, mask));
+            let ip = c
+                .poly
+                .interval_products(&local_a, &self.local_mask(c, mask));
             comp_values.push(c.poly.eval_from_interval_products(&ip, &local_a.multi));
             iprods.push(ip);
         }
@@ -348,13 +497,7 @@ impl FactorizedPolynomial {
 
     /// Records that `δ_j` changed by `change`; updates the home component's
     /// cached value (`P_c` is affine in `δ_j` with slope `local_pd`).
-    pub fn apply_multi_update(
-        &self,
-        sweep: &mut MultiSweep,
-        j: usize,
-        change: f64,
-        local_pd: f64,
-    ) {
+    pub fn apply_multi_update(&self, sweep: &mut MultiSweep, j: usize, change: f64, local_pd: f64) {
         let (home, _) = self.multi_home[j];
         sweep.comp_values[home] += change * local_pd;
     }
@@ -434,8 +577,14 @@ mod tests {
             let (p, derivs) = f.eval_with_attr_derivatives(&asn, &mask, attr);
             assert!((p - naive.eval(&asn)).abs() < 1e-10 * p.abs().max(1.0));
             for (code, &d) in derivs.iter().enumerate() {
-                let expected =
-                    naive.derivative(&asn, &mask, Var::OneDim { attr, code: code as u32 });
+                let expected = naive.derivative(
+                    &asn,
+                    &mask,
+                    Var::OneDim {
+                        attr,
+                        code: code as u32,
+                    },
+                );
                 assert!(
                     (d - expected).abs() < 1e-10 * expected.abs().max(1.0),
                     "attr {attr} code {code}: {d} vs {expected}"
@@ -449,6 +598,28 @@ mod tests {
                 (d - expected).abs() < 1e-10 * expected.abs().max(1.0),
                 "multi {j}: {d} vs {expected}"
             );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        let (sizes, stats) = disjoint_setup();
+        let f = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+        let mut asn = VarAssignment::ones(&sizes, stats.len());
+        asn.multi = vec![1.2, 0.8, 1.5, 0.5];
+        let pred = Predicate::new().between(a(1), 1, 3);
+        let mask = Mask::from_predicate(&pred, &sizes).unwrap();
+        let mut fs = f.make_scratch();
+        let fresh_eval = f.eval_masked(&asn, &mask);
+        let (fresh_p, fresh_derivs) = f.eval_with_attr_derivatives(&asn, &mask, 1);
+        for _ in 0..3 {
+            assert_eq!(
+                f.eval_masked_with(&asn, &mask, &mut fs).to_bits(),
+                fresh_eval.to_bits()
+            );
+            let (p, derivs) = f.eval_with_attr_derivatives_with(&asn, &mask, 1, &mut fs);
+            assert_eq!(p.to_bits(), fresh_p.to_bits());
+            assert_eq!(derivs, fresh_derivs.as_slice());
         }
     }
 
@@ -468,9 +639,7 @@ mod tests {
         let old = asn.multi[j];
         asn.multi[j] = 3.3;
         f.apply_multi_update(&mut sweep, j, asn.multi[j] - old, local_pd);
-        assert!(
-            (f.sweep_value(&sweep) - f.eval(&asn)).abs() < 1e-10 * f.eval(&asn).abs().max(1.0)
-        );
+        assert!((f.sweep_value(&sweep) - f.eval(&asn)).abs() < 1e-10 * f.eval(&asn).abs().max(1.0));
     }
 
     #[test]

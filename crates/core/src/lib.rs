@@ -60,6 +60,7 @@ pub mod factorized;
 pub mod metrics;
 pub mod model;
 pub mod naive;
+pub mod par;
 pub mod polynomial;
 pub mod query;
 pub mod rng;
@@ -72,9 +73,9 @@ pub mod statistics;
 pub mod prelude {
     pub use crate::assignment::{Mask, VarAssignment};
     pub use crate::error::{ModelError, Result};
+    pub use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
     pub use crate::model::MaxEntSummary;
-    pub use crate::factorized::FactorizedPolynomial;
-    pub use crate::polynomial::CompressedPolynomial;
+    pub use crate::polynomial::{CompressedPolynomial, EvalScratch};
     pub use crate::query::Estimate;
     pub use crate::selection::{Heuristic, PairStrategy, SelectionPlan};
     pub use crate::solver::{SolverConfig, SolverReport};

@@ -4,16 +4,41 @@
 //! polynomial, solved variables — behind the query API of Sec. 3.2/4.2:
 //! every estimate is one masked evaluation of `P` (no polynomial rebuilding,
 //! no per-point expansion), multiplied by the precomputed constant `n / P`.
+//!
+//! Query paths share a pool of [`FactorizedScratch`] workspaces, so steady-
+//! state estimation allocates only the query mask; batched entry points
+//! (`estimate_count_batch`, `estimate_group_by2`, `top_k_multi`,
+//! `sample_rows`) additionally fan their independent cells out across
+//! threads (see [`crate::par`]), each cell drawing its own scratch from the
+//! pool. Parallel and serial execution return identical estimates.
 
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
-use crate::factorized::FactorizedPolynomial;
+use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
+use crate::par;
 use crate::polynomial::PolynomialSizeStats;
 use crate::query::{count_estimate, weighted_estimate, Estimate};
-use crate::rng::{sample_weighted, SplitMix64};
+use crate::rng::{sample_weighted_scaled, SplitMix64};
 use crate::solver::{solve, SolverConfig, SolverReport};
 use crate::statistics::{MultiDimStatistic, Statistics};
 use entropydb_storage::{AttrId, Predicate, Schema, Table};
+use std::sync::Mutex;
+
+/// A pool of evaluation workspaces shared across query calls. Queries pop a
+/// scratch (or build one on first use), run allocation-free, and return it;
+/// the pool grows to the number of concurrently querying threads and then
+/// stays fixed.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    pool: Mutex<Vec<FactorizedScratch>>,
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        // Scratches are cheap, shape-bound caches; a clone starts empty.
+        ScratchPool::default()
+    }
+}
 
 /// A queryable maximum-entropy summary of one relation.
 #[derive(Debug, Clone)]
@@ -24,6 +49,7 @@ pub struct MaxEntSummary {
     assignment: VarAssignment,
     p_full: f64,
     report: SolverReport,
+    scratch: ScratchPool,
 }
 
 impl MaxEntSummary {
@@ -62,6 +88,7 @@ impl MaxEntSummary {
             assignment,
             p_full,
             report,
+            scratch: ScratchPool::default(),
         })
     }
 
@@ -78,7 +105,9 @@ impl MaxEntSummary {
         assignment.validate()?;
         let p_full = poly.eval(&assignment);
         if !p_full.is_finite() || p_full <= 0.0 {
-            return Err(ModelError::NumericalFailure("P not positive in loaded summary"));
+            return Err(ModelError::NumericalFailure(
+                "P not positive in loaded summary",
+            ));
         }
         Ok(MaxEntSummary {
             schema,
@@ -87,7 +116,26 @@ impl MaxEntSummary {
             assignment,
             p_full,
             report,
+            scratch: ScratchPool::default(),
         })
+    }
+
+    /// Runs `f` against a pooled evaluation scratch.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut FactorizedScratch) -> R) -> R {
+        let mut s = self
+            .scratch
+            .pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| self.poly.make_scratch());
+        let out = f(&mut s);
+        self.scratch
+            .pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(s);
+        out
     }
 
     /// Relation cardinality `n`.
@@ -135,12 +183,28 @@ impl MaxEntSummary {
     pub fn probability(&self, pred: &Predicate) -> Result<f64> {
         pred.validate(&self.schema)?;
         let mask = Mask::from_predicate(pred, self.stats.domain_sizes())?;
-        Ok((self.poly.eval_masked(&self.assignment, &mask) / self.p_full).clamp(0.0, 1.0))
+        Ok(self.mask_probability(&mask))
+    }
+
+    /// `P[masked] / P`, clamped into `[0, 1]`, against a pooled scratch.
+    fn mask_probability(&self, mask: &Mask) -> f64 {
+        self.with_scratch(|s| {
+            (self.poly.eval_masked_with(&self.assignment, mask, s) / self.p_full).clamp(0.0, 1.0)
+        })
     }
 
     /// Estimates `SELECT COUNT(*) WHERE pred` with its Binomial variance.
     pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
         Ok(count_estimate(self.n(), self.probability(pred)?))
+    }
+
+    /// Estimates one COUNT per predicate, fanning the batch out across
+    /// threads — the shape of a dashboard refresh or a high-traffic query
+    /// front-end. Identical to mapping [`MaxEntSummary::estimate_count`].
+    pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
+        par::map(preds, 8, |_, pred| self.estimate_count(pred))
+            .into_iter()
+            .collect()
     }
 
     /// Estimates `SELECT SUM(value(attr)) WHERE pred`, where the per-row
@@ -155,8 +219,12 @@ impl MaxEntSummary {
         let sum_mask = base.clone().scale_attr(attr, &values)?;
         let squares: Vec<f64> = values.iter().map(|v| v * v).collect();
         let sq_mask = base.scale_attr(attr, &squares)?;
-        let mean_w = self.poly.eval_masked(&self.assignment, &sum_mask) / self.p_full;
-        let mean_w2 = self.poly.eval_masked(&self.assignment, &sq_mask) / self.p_full;
+        let (mean_w, mean_w2) = self.with_scratch(|s| {
+            (
+                self.poly.eval_masked_with(&self.assignment, &sum_mask, s) / self.p_full,
+                self.poly.eval_masked_with(&self.assignment, &sq_mask, s) / self.p_full,
+            )
+        });
         Ok(weighted_estimate(self.n(), mean_w, mean_w2))
     }
 
@@ -182,17 +250,49 @@ impl MaxEntSummary {
             return Err(ModelError::ShapeMismatch);
         }
         let mask = Mask::from_predicate(pred, sizes)?;
-        let (_, derivs) = self
-            .poly
-            .eval_with_attr_derivatives(&self.assignment, &mask, attr.0);
-        Ok(derivs
-            .iter()
-            .enumerate()
-            .map(|(v, &d)| {
-                let p = (self.assignment.one_dim[attr.0][v] * d / self.p_full).clamp(0.0, 1.0);
-                count_estimate(self.n(), p)
-            })
-            .collect())
+        Ok(self.group_by_with_mask(&mask, attr))
+    }
+
+    /// The batched group-by pass against a pooled scratch: one fused
+    /// derivative evaluation yields every cell of the grouped attribute.
+    fn group_by_with_mask(&self, mask: &Mask, attr: AttrId) -> Vec<Estimate> {
+        self.with_scratch(|s| {
+            let (_, derivs) =
+                self.poly
+                    .eval_with_attr_derivatives_with(&self.assignment, mask, attr.0, s);
+            derivs
+                .iter()
+                .enumerate()
+                .map(|(v, &d)| {
+                    let p = (self.assignment.one_dim[attr.0][v] * d / self.p_full).clamp(0.0, 1.0);
+                    count_estimate(self.n(), p)
+                })
+                .collect()
+        })
+    }
+
+    /// Estimates the two-attribute group-by
+    /// `SELECT attr_a, attr_b, COUNT(*) WHERE pred GROUP BY attr_a, attr_b`.
+    /// Returns `rows[v_b][v_a]`: one batched derivative pass per `attr_b`
+    /// cell, with the cells fanned out across threads.
+    pub fn estimate_group_by2(
+        &self,
+        pred: &Predicate,
+        attr_a: AttrId,
+        attr_b: AttrId,
+    ) -> Result<Vec<Vec<Estimate>>> {
+        pred.validate(&self.schema)?;
+        let sizes = self.stats.domain_sizes();
+        if attr_a.0 >= sizes.len() || attr_b.0 >= sizes.len() || attr_a == attr_b {
+            return Err(ModelError::ShapeMismatch);
+        }
+        let base = Mask::from_predicate(pred, sizes)?;
+        let n_b = sizes[attr_b.0];
+        Ok(par::map_indexed(n_b, 4, |v_b| {
+            let mut mask = base.clone();
+            mask.restrict_in_place(attr_b, v_b as u32, n_b);
+            self.group_by_with_mask(&mask, attr_a)
+        }))
     }
 
     /// `SELECT attr, COUNT(*) ... GROUP BY attr ORDER BY count DESC LIMIT k`
@@ -204,9 +304,27 @@ impl MaxEntSummary {
             .enumerate()
             .map(|(v, e)| (v as u32, e))
             .collect();
-        ranked.sort_by(|a, b| b.1.expectation.total_cmp(&a.1.expectation).then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| {
+            b.1.expectation
+                .total_cmp(&a.1.expectation)
+                .then(a.0.cmp(&b.0))
+        });
         ranked.truncate(k);
         Ok(ranked)
+    }
+
+    /// Top-k per attribute for several candidate attributes at once — the
+    /// "top values of every column" dashboard sweep. Candidates are scored
+    /// in parallel; element `i` is `top_k(pred, attrs[i], k)`.
+    pub fn top_k_multi(
+        &self,
+        pred: &Predicate,
+        attrs: &[AttrId],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, Estimate)>>> {
+        par::map(attrs, 1, |_, &attr| self.top_k(pred, attr, k))
+            .into_iter()
+            .collect()
     }
 
     /// Draws `k` synthetic tuples from the fitted MaxEnt distribution
@@ -215,29 +333,43 @@ impl MaxEntSummary {
     /// distribution of attribute `i` given fixed earlier attributes is
     /// `P(A_i = v | fixed) ∝ α_{i,v} · ∂P[masked]/∂α_{i,v}` — one batched
     /// derivative pass per attribute per tuple.
+    ///
+    /// Each tuple draws from its own seed-derived SplitMix64 stream, so the
+    /// output is deterministic in `seed` and independent of how the tuples
+    /// are fanned out across threads.
     pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
         let sizes = self.stats.domain_sizes();
         let m = sizes.len();
-        let mut rng = SplitMix64::new(seed);
-        let mut table = Table::with_capacity(self.schema.clone(), k);
-        let mut row = vec![0u32; m];
-        for _ in 0..k {
+        let rows: Result<Vec<Vec<u32>>> = par::map_indexed(k, 64, |i| {
+            // Weyl-sequence offset gives every tuple a distinct stream.
+            let mut rng =
+                SplitMix64::new(seed.wrapping_add((i as u64 + 1).wrapping_mul(0xD1B54A32D192ED03)));
+            let mut row = vec![0u32; m];
             let mut mask = Mask::identity(m);
-            for attr in 0..m {
-                let (_, derivs) = self
-                    .poly
-                    .eval_with_attr_derivatives(&self.assignment, &mask, attr);
-                let weights: Vec<f64> = derivs
-                    .iter()
-                    .zip(&self.assignment.one_dim[attr])
-                    .map(|(&d, &a)| (a * d).max(0.0))
-                    .collect();
-                let v = sample_weighted(&weights, rng.next_f64())
-                    .ok_or(ModelError::NumericalFailure("zero conditional mass"))?
-                    as u32;
-                row[attr] = v;
-                mask = mask.restrict_to_value(AttrId(attr), v, sizes[attr]);
-            }
+            self.with_scratch(|s| {
+                for attr in 0..m {
+                    let v = {
+                        let (_, derivs) = self.poly.eval_with_attr_derivatives_with(
+                            &self.assignment,
+                            &mask,
+                            attr,
+                            s,
+                        );
+                        let u = rng.next_f64();
+                        sample_weighted_scaled(derivs, &self.assignment.one_dim[attr], u)
+                            .ok_or(ModelError::NumericalFailure("zero conditional mass"))?
+                            as u32
+                    };
+                    row[attr] = v;
+                    mask.restrict_in_place(AttrId(attr), v, sizes[attr]);
+                }
+                Ok(row)
+            })
+        })
+        .into_iter()
+        .collect();
+        let mut table = Table::with_capacity(self.schema.clone(), k);
+        for row in rows? {
             table.push_row_unchecked(&row);
         }
         Ok(table)
@@ -379,6 +511,69 @@ mod tests {
     }
 
     #[test]
+    fn count_batch_matches_individual_estimates() {
+        let s = summary(vec![MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap()]);
+        let preds: Vec<Predicate> = (0..3u32)
+            .flat_map(|x| (0..4u32).map(move |y| Predicate::new().eq(a(0), x).eq(a(1), y)))
+            .collect();
+        let batch = s.estimate_count_batch(&preds).unwrap();
+        assert_eq!(batch.len(), preds.len());
+        for (pred, est) in preds.iter().zip(&batch) {
+            let single = s.estimate_count(pred).unwrap();
+            assert_eq!(est.expectation.to_bits(), single.expectation.to_bits());
+        }
+        // An invalid predicate anywhere in the batch surfaces as an error.
+        let mut bad = preds;
+        bad.push(Predicate::new().eq(a(9), 0));
+        assert!(s.estimate_count_batch(&bad).is_err());
+    }
+
+    #[test]
+    fn group_by2_matches_pointwise_counts() {
+        let s = summary(vec![MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap()]);
+        let pred = Predicate::new().between(a(1), 0, 2);
+        let rows = s.estimate_group_by2(&pred, a(0), a(1)).unwrap();
+        assert_eq!(rows.len(), 4); // indexed by attr_b = y
+        for (y, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), 3); // attr_a = x cells
+            for (x, est) in row.iter().enumerate() {
+                let single = s
+                    .estimate_count(
+                        &Predicate::new()
+                            .eq(a(0), x as u32)
+                            .eq(a(1), y as u32)
+                            .between(a(1), 0, 2),
+                    )
+                    .unwrap();
+                assert!(
+                    (est.expectation - single.expectation).abs() < 1e-9,
+                    "({x},{y}): {} vs {}",
+                    est.expectation,
+                    single.expectation
+                );
+            }
+        }
+        // Same attribute twice is rejected.
+        assert!(s.estimate_group_by2(&pred, a(0), a(0)).is_err());
+    }
+
+    #[test]
+    fn top_k_multi_matches_per_attribute_top_k() {
+        let s = summary(vec![]);
+        let attrs = [a(0), a(1)];
+        let multi = s.top_k_multi(&Predicate::all(), &attrs, 2).unwrap();
+        assert_eq!(multi.len(), 2);
+        for (attr, got) in attrs.iter().zip(&multi) {
+            let single = s.top_k(&Predicate::all(), *attr, 2).unwrap();
+            assert_eq!(got.len(), single.len());
+            for ((v1, e1), (v2, e2)) in got.iter().zip(&single) {
+                assert_eq!(v1, v2);
+                assert_eq!(e1.expectation.to_bits(), e2.expectation.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn top_k_orders_by_expectation() {
         let s = summary(vec![]);
         let top = s.top_k(&Predicate::all(), a(1), 2).unwrap();
@@ -459,7 +654,14 @@ mod sampling_tests {
             Attribute::categorical("y", 2).unwrap(),
         ]);
         let mut t = Table::new(schema);
-        for (x, y, c) in [(0u32, 0u32, 6), (0, 1, 2), (1, 0, 1), (1, 1, 5), (2, 0, 4), (2, 1, 2)] {
+        for (x, y, c) in [
+            (0u32, 0u32, 6),
+            (0, 1, 2),
+            (1, 0, 1),
+            (1, 1, 5),
+            (2, 0, 4),
+            (2, 1, 2),
+        ] {
             for _ in 0..c {
                 t.push_row(&[x, y]).unwrap();
             }
@@ -484,8 +686,8 @@ mod sampling_tests {
     #[test]
     fn sampled_frequencies_match_model_probabilities() {
         let s = summary();
-        let naive = NaivePolynomial::build(s.statistics().domain_sizes(), s.statistics().multi())
-            .unwrap();
+        let naive =
+            NaivePolynomial::build(s.statistics().domain_sizes(), s.statistics().multi()).unwrap();
         let probs = naive.tuple_probabilities(s.assignment());
         let k = 40_000;
         let rows = s.sample_rows(k, 5).unwrap();

@@ -167,13 +167,7 @@ mod tests {
     fn fig1_data_and_query_model() {
         // Fig. 1: D1 = {a1,a2}, D2 = {b1,b2}, instance of 5 tuples with
         // frequency vector (2, 1, 0, 2); q = COUNT(*) WHERE A = a1 → 3.
-        let rows = [
-            [0u32, 0],
-            [0, 1],
-            [0, 0],
-            [1, 1],
-            [1, 1],
-        ];
+        let rows = [[0u32, 0], [0, 1], [0, 0], [1, 1], [1, 1]];
         let freq: Vec<u64> = {
             let mut f = vec![0u64; 4];
             for r in &rows {
@@ -247,7 +241,10 @@ mod tests {
         ] {
             let dn = naive.derivative(&asn, &mask, var);
             let dc = comp.derivative(&asn, &mask, var);
-            assert!((dn - dc).abs() < 1e-12 * dn.abs().max(1.0), "{var:?}: {dn} vs {dc}");
+            assert!(
+                (dn - dc).abs() < 1e-12 * dn.abs().max(1.0),
+                "{var:?}: {dn} vs {dc}"
+            );
         }
     }
 

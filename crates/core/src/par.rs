@@ -1,0 +1,160 @@
+//! Coarse-grained data parallelism on scoped threads.
+//!
+//! crates.io is unreachable from the build environment, so this module is a
+//! small stand-in for the rayon idioms the kernel needs: chunked
+//! `for_each`/`map` over slices. Parallelism is only applied at coarse
+//! granularity (independent polynomial components, group-by cells, sampled
+//! tuples), where per-spawn overhead is negligible against the work per
+//! chunk; fine-grained term loops stay serial and allocation-free.
+//!
+//! Work is split into at most [`max_threads`] contiguous chunks, each at
+//! least `min_chunk` items, so results are bitwise identical to the serial
+//! order regardless of thread count — every item is processed independently
+//! and written to its own slot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = uninitialized; any other value = cached thread budget.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread budget: `ENTROPYDB_THREADS` env var when set, otherwise the
+/// machine's available parallelism. Always at least 1.
+pub fn max_threads() -> usize {
+    let cached = MAX_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let detected = std::env::var("ENTROPYDB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    MAX_THREADS.store(detected, Ordering::Relaxed);
+    detected
+}
+
+/// Overrides the thread budget (`0` restores auto-detection). Used by tests
+/// to compare serial and parallel execution.
+pub fn set_max_threads(n: usize) {
+    if n == 0 {
+        MAX_THREADS.store(0, Ordering::Relaxed);
+        let _ = max_threads();
+    } else {
+        MAX_THREADS.store(n, Ordering::Relaxed);
+    }
+}
+
+/// Splits `items` into contiguous chunks of at least `min_chunk` items and
+/// runs `f(base_index, chunk)` on each, in parallel when more than one chunk
+/// results. `f` sees every item exactly once, in order within a chunk.
+pub fn for_each_chunk_mut<U, F>(items: &mut [U], min_chunk: usize, f: F)
+where
+    U: Send,
+    F: Fn(usize, &mut [U]) + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    // Floor division keeps every chunk at least `min_chunk` items.
+    let threads = max_threads().min(len / min_chunk.max(1)).max(1);
+    if threads == 1 {
+        f(0, items);
+        return;
+    }
+    let chunk_size = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut base = 0;
+        for chunk in items.chunks_mut(chunk_size) {
+            let start = base;
+            base += chunk.len();
+            let f = &f;
+            scope.spawn(move || f(start, chunk));
+        }
+    });
+}
+
+/// Parallel indexed map: `out[i] = f(i, &items[i])`, chunked as in
+/// [`for_each_chunk_mut`]. The output order is the input order.
+pub fn map<T, R, F>(items: &[T], min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for_each_chunk_mut(&mut out, min_chunk, |base, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let i = base + off;
+            *slot = Some(f(i, &items[i]));
+        }
+    });
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Parallel indexed map over `0..len` without a source slice.
+pub fn map_indexed<R, F>(len: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for_each_chunk_mut(&mut out, min_chunk, |base, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(base + off));
+        }
+    });
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_for_each_covers_all_items_once() {
+        let mut items: Vec<u64> = vec![0; 1000];
+        for_each_chunk_mut(&mut items, 8, |base, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x += (base + off) as u64 + 1;
+            }
+        });
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..517).collect();
+        let out = map(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..517).map(|x| x * 3).collect::<Vec<_>>());
+        let out2 = map_indexed(37, 1, |i| i + 1);
+        assert_eq!(out2, (1..=37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_min_chunk_when_serial() {
+        // With min_chunk larger than the input, exactly one chunk runs.
+        let mut calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut items = vec![(); 10];
+        for_each_chunk_mut(&mut items, 100, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(*calls.get_mut(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let mut items: Vec<u8> = Vec::new();
+        for_each_chunk_mut(&mut items, 1, |_, _| panic!("no chunks expected"));
+        assert!(map_indexed(0, 1, |_| 0u8).is_empty());
+    }
+}

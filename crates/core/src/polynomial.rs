@@ -11,11 +11,33 @@
 //!
 //! where `π_S` is the conjunction of the predicates in `S` and `ρ_iS` its
 //! projection on attribute `i` (the full domain when unconstrained). Each
-//! compatible subset `S` becomes one compressed *term*: `m` interval-sum
-//! factors plus `|S|` `(δ−1)` factors. `S = ∅` is the base term. This is
-//! Theorem 4.1 with the `J_I` bookkeeping flattened out; compatibility is
+//! compatible subset `S` becomes one compressed *term*: interval-sum factors
+//! plus `|S|` `(δ−1)` factors. `S = ∅` is the base term. This is Theorem 4.1
+//! with the `J_I` bookkeeping flattened out; compatibility is
 //! downward-closed, so subsets are enumerated by a fix-point closure that
 //! extends each compatible set with statistics of larger index only.
+//!
+//! ## Arena layout
+//!
+//! Storage is a flat CSR arena, sized once at build time:
+//!
+//! * term → `(δ−1)`-factor slice (`delta_offsets` / `delta_ids`),
+//! * multi statistic → containing-term slice (`delta_term_offsets` /
+//!   `delta_terms`),
+//! * term → *constrained* interval-factor slice (`constr_offsets` /
+//!   `constr_attrs` / `constr_lo` / `constr_hi`) — factors spanning an
+//!   attribute's full domain are folded into a per-term *complement
+//!   product* of whole-attribute totals, indexed through a small set of
+//!   deduplicated constrained-attribute sets (`term_attrset` /
+//!   `attrset_offsets` / `attrset_attrs`),
+//! * attribute → row offset into a single prefix-sum slab
+//!   (`prefix_starts`).
+//!
+//! Evaluation-time state (the prefix-sum slab, attribute totals, complement
+//! products, difference/derivative buffers, cached interval products) lives
+//! in a reusable [`EvalScratch`], so `eval`, `eval_masked`, and
+//! `eval_with_attr_derivatives` perform **zero heap allocation in steady
+//! state** once a scratch has been warmed up.
 //!
 //! Because every variable has degree ≤ 1 in `P` (monomials are multilinear),
 //! evaluation under a [`Mask`] plus *all* derivatives with respect to one
@@ -26,6 +48,7 @@
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
 use crate::statistics::MultiDimStatistic;
+use std::collections::HashMap;
 
 /// Identifies one model variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,20 +88,75 @@ struct Entry {
     ranges: Vec<(usize, u32, u32)>,
 }
 
-/// The compressed multilinear polynomial `P`.
-///
-/// Storage is flat and term-major: `intervals` holds `m` inclusive value
-/// ranges per term (the interval-sum factors), `delta_ids`/`delta_offsets`
-/// hold each term's multi-statistic set.
+/// The compressed multilinear polynomial `P` in flat CSR arena form (see
+/// the module docs for the layout).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedPolynomial {
     domain_sizes: Vec<usize>,
     num_multi: usize,
-    intervals: Vec<(u32, u32)>,
+    /// CSR term → `(δ−1)` factor statistic ids.
     delta_offsets: Vec<u32>,
     delta_ids: Vec<u32>,
-    /// For each multi statistic, the terms containing its `(δ−1)` factor.
-    terms_with_delta: Vec<Vec<u32>>,
+    /// CSR multi statistic → ids of terms containing its `(δ−1)` factor.
+    delta_term_offsets: Vec<u32>,
+    delta_terms: Vec<u32>,
+    /// CSR term → constrained interval factors (struct-of-arrays).
+    constr_offsets: Vec<u32>,
+    constr_attrs: Vec<u32>,
+    constr_lo: Vec<u32>,
+    constr_hi: Vec<u32>,
+    /// Term → id of its constrained-attribute set.
+    term_attrset: Vec<u32>,
+    /// CSR attrset → sorted attribute indices.
+    attrset_offsets: Vec<u32>,
+    attrset_attrs: Vec<u32>,
+    /// Attribute → row start in the prefix-sum slab; `prefix_starts[m]` is
+    /// the slab length (`Σ (N_i + 1)`).
+    prefix_starts: Vec<u32>,
+    /// Largest attribute domain (sizes the derivative buffers).
+    max_domain: usize,
+}
+
+/// Reusable evaluation workspace for one [`CompressedPolynomial`] shape.
+///
+/// All kernels write into these fixed-size buffers, so steady-state
+/// evaluation allocates nothing. A scratch built by
+/// [`CompressedPolynomial::make_scratch`] fits exactly that polynomial;
+/// sharing one across polynomials of different shapes is a logic error
+/// (checked by `debug_assert`).
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    /// Prefix-sum slab: row `i` spans `prefix_starts[i] .. prefix_starts[i+1]`.
+    prefix: Vec<f64>,
+    /// Whole-domain masked total per attribute.
+    totals: Vec<f64>,
+    /// Complement product per constrained-attribute set.
+    set_comp: Vec<f64>,
+    /// Difference-array accumulator for the fused derivative pass.
+    diff: Vec<f64>,
+    /// Derivative output buffer (first `N_attr` entries valid).
+    derivs: Vec<f64>,
+    /// Cached per-term interval products (multi-variable sweeps).
+    iprods: Vec<f64>,
+    /// Cached per-term `(δ−1)` products, valid while `multi_cache` matches
+    /// the current multi values (query-time evaluation holds them fixed, so
+    /// repeated passes skip the per-term fold entirely).
+    dprod: Vec<f64>,
+    multi_cache: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// The cached per-term interval products written by
+    /// [`CompressedPolynomial::interval_products_prefilled`].
+    pub fn iprods(&self) -> &[f64] {
+        &self.iprods
+    }
+
+    /// The first `n` entries of the derivative buffer (valid after a
+    /// derivative pass over an attribute with domain size `n`).
+    pub fn derivs_slice(&self, n: usize) -> &[f64] {
+        &self.derivs[..n]
+    }
 }
 
 /// Default cap on the closure size; exceeding it means the statistics
@@ -106,7 +184,9 @@ impl CompressedPolynomial {
         let m = domain_sizes.len();
         for stat in stats {
             for c in stat.clauses() {
-                let size = *domain_sizes.get(c.attr.0).ok_or(ModelError::ShapeMismatch)?;
+                let size = *domain_sizes
+                    .get(c.attr.0)
+                    .ok_or(ModelError::ShapeMismatch)?;
                 if c.hi as usize >= size {
                     return Err(ModelError::Storage(
                         entropydb_storage::StorageError::CodeOutOfDomain {
@@ -128,11 +208,7 @@ impl CompressedPolynomial {
             .enumerate()
             .map(|(j, s)| Entry {
                 deltas: vec![j as u32],
-                ranges: s
-                    .clauses()
-                    .iter()
-                    .map(|c| (c.attr.0, c.lo, c.hi))
-                    .collect(),
+                ranges: s.clauses().iter().map(|c| (c.attr.0, c.lo, c.hi)).collect(),
             })
             .collect();
         let mut next = 0;
@@ -151,28 +227,55 @@ impl CompressedPolynomial {
             next += 1;
         }
 
-        // Flatten: base term first, then one term per compatible subset.
+        // Flatten into the CSR arena: base term first, then one term per
+        // compatible subset. Factors spanning an attribute's full domain are
+        // dropped from the constrained lists — the evaluation kernels supply
+        // them through the complement product of whole-attribute totals.
         let num_terms = entries.len() + 1;
-        let full: Vec<(u32, u32)> = domain_sizes
-            .iter()
-            .map(|&n| (0u32, n.saturating_sub(1) as u32))
-            .collect();
-        let mut intervals = Vec::with_capacity(num_terms * m);
         let mut delta_offsets = Vec::with_capacity(num_terms + 1);
         let mut delta_ids = Vec::new();
+        let mut constr_offsets = Vec::with_capacity(num_terms + 1);
+        let mut constr_attrs = Vec::new();
+        let mut constr_lo = Vec::new();
+        let mut constr_hi = Vec::new();
+        let mut term_attrset = Vec::with_capacity(num_terms);
+        let mut attrset_lookup: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut attrset_offsets: Vec<u32> = vec![0];
+        let mut attrset_attrs: Vec<u32> = Vec::new();
         let mut terms_with_delta = vec![Vec::new(); stats.len()];
 
+        let mut intern_attrset = |attrs: Vec<u32>| -> u32 {
+            if let Some(&id) = attrset_lookup.get(&attrs) {
+                return id;
+            }
+            let id = attrset_lookup.len() as u32;
+            attrset_attrs.extend_from_slice(&attrs);
+            attrset_offsets.push(attrset_attrs.len() as u32);
+            attrset_lookup.insert(attrs, id);
+            id
+        };
+
+        // Base term: S = ∅, no constrained factors.
         delta_offsets.push(0u32);
-        intervals.extend_from_slice(&full); // base term: S = ∅
         delta_offsets.push(0u32);
+        constr_offsets.push(0u32);
+        constr_offsets.push(0u32);
+        term_attrset.push(intern_attrset(Vec::new()));
 
         for (t, e) in entries.iter().enumerate() {
             let term_id = (t + 1) as u32;
-            let mut row = full.clone();
+            let mut set = Vec::with_capacity(e.ranges.len());
             for &(attr, lo, hi) in &e.ranges {
-                row[attr] = (lo, hi);
+                if lo == 0 && (hi as usize) + 1 == domain_sizes[attr] {
+                    continue; // full-domain factor → complement product
+                }
+                set.push(attr as u32);
+                constr_attrs.push(attr as u32);
+                constr_lo.push(lo);
+                constr_hi.push(hi);
             }
-            intervals.extend_from_slice(&row);
+            constr_offsets.push(constr_attrs.len() as u32);
+            term_attrset.push(intern_attrset(set));
             for &d in &e.deltas {
                 delta_ids.push(d);
                 terms_with_delta[d as usize].push(term_id);
@@ -180,13 +283,39 @@ impl CompressedPolynomial {
             delta_offsets.push(delta_ids.len() as u32);
         }
 
+        // CSR multi → terms.
+        let mut delta_term_offsets = Vec::with_capacity(stats.len() + 1);
+        let mut delta_terms = Vec::new();
+        delta_term_offsets.push(0u32);
+        for terms in &terms_with_delta {
+            delta_terms.extend_from_slice(terms);
+            delta_term_offsets.push(delta_terms.len() as u32);
+        }
+
+        let mut prefix_starts = Vec::with_capacity(m + 1);
+        let mut acc = 0u32;
+        for &n in domain_sizes {
+            prefix_starts.push(acc);
+            acc += n as u32 + 1;
+        }
+        prefix_starts.push(acc);
+
         Ok(CompressedPolynomial {
             domain_sizes: domain_sizes.to_vec(),
             num_multi: stats.len(),
-            intervals,
             delta_offsets,
             delta_ids,
-            terms_with_delta,
+            delta_term_offsets,
+            delta_terms,
+            constr_offsets,
+            constr_attrs,
+            constr_lo,
+            constr_hi,
+            term_attrset,
+            attrset_offsets,
+            attrset_attrs,
+            prefix_starts,
+            max_domain: domain_sizes.iter().copied().max().unwrap_or(0),
         })
     }
 
@@ -212,19 +341,9 @@ impl CompressedPolynomial {
 
     /// Size accounting (paper Sec. 4.1 / Theorem 4.2 discussion).
     pub fn size_stats(&self) -> PolynomialSizeStats {
-        let m = self.arity();
-        let mut constrained = 0;
-        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
-            let _ = t;
-            for (i, &(lo, hi)) in row.iter().enumerate() {
-                if lo != 0 || (hi as usize) + 1 != self.domain_sizes[i] {
-                    constrained += 1;
-                }
-            }
-        }
         PolynomialSizeStats {
             num_terms: self.num_terms(),
-            constrained_factors: constrained,
+            constrained_factors: self.constr_attrs.len(),
             delta_factors: self.delta_ids.len(),
             uncompressed_monomials: self
                 .domain_sizes
@@ -247,34 +366,112 @@ impl CompressedPolynomial {
         Ok(())
     }
 
-    /// Per-attribute prefix sums of masked variables:
-    /// `prefix[i][v+1] − prefix[i][lo]` is the interval sum `Σ w·α`.
-    fn prefix_sums(&self, a: &VarAssignment, mask: &Mask) -> Vec<Vec<f64>> {
-        self.domain_sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| {
-                let vals = &a.one_dim[i];
-                let mut prefix = Vec::with_capacity(n + 1);
-                let mut acc = 0.0;
-                prefix.push(0.0);
-                match mask.attr_weights(i) {
-                    Some(w) => {
-                        for (&wv, &xv) in w.iter().zip(vals).take(n) {
-                            acc += wv * xv;
-                            prefix.push(acc);
-                        }
-                    }
-                    None => {
-                        for &xv in vals.iter().take(n) {
-                            acc += xv;
-                            prefix.push(acc);
-                        }
+    /// Allocates an evaluation workspace sized for this polynomial. Reuse it
+    /// across calls: every kernel below runs allocation-free against a
+    /// matching scratch.
+    pub fn make_scratch(&self) -> EvalScratch {
+        EvalScratch {
+            prefix: vec![0.0; *self.prefix_starts.last().expect("non-empty") as usize],
+            totals: vec![0.0; self.arity()],
+            set_comp: vec![0.0; self.attrset_offsets.len() - 1],
+            diff: vec![0.0; self.max_domain + 1],
+            derivs: vec![0.0; self.max_domain],
+            iprods: vec![0.0; self.num_terms()],
+            // With no multi statistics every delta product is the empty
+            // product 1.0 and the (empty) cache is valid from the start;
+            // otherwise the NaN sentinel forces the first pass to compute.
+            dprod: vec![1.0; self.num_terms()],
+            multi_cache: vec![f64::NAN; self.num_multi],
+        }
+    }
+
+    /// Refreshes the cached per-term `(δ−1)` products when the multi values
+    /// changed since the last pass against this scratch.
+    fn ensure_delta_products(&self, multi: &[f64], s: &mut EvalScratch) {
+        if s.multi_cache.as_slice() == multi {
+            return;
+        }
+        for t in 0..self.num_terms() {
+            s.dprod[t] = self.delta_product(t, multi);
+        }
+        s.multi_cache.copy_from_slice(multi);
+    }
+
+    #[inline]
+    fn scratch_fits(&self, s: &EvalScratch) -> bool {
+        s.prefix.len() == *self.prefix_starts.last().expect("non-empty") as usize
+            && s.totals.len() == self.arity()
+            && s.set_comp.len() == self.attrset_offsets.len() - 1
+            && s.diff.len() == self.max_domain + 1
+            && s.derivs.len() == self.max_domain
+            && s.iprods.len() == self.num_terms()
+            && s.dprod.len() == self.num_terms()
+            && s.multi_cache.len() == self.num_multi
+    }
+
+    /// Fills the scratch's prefix-sum slab and attribute totals from
+    /// per-attribute value slices: `get(i)` returns attribute `i`'s variable
+    /// values and optional mask weights. `prefix[start+v+1] − prefix[start+lo]`
+    /// is then the interval sum `Σ w·α` over `[lo, v]`.
+    pub fn fill_scratch_with<'a>(
+        &self,
+        s: &mut EvalScratch,
+        get: impl Fn(usize) -> (&'a [f64], Option<&'a [f64]>),
+    ) {
+        debug_assert!(self.scratch_fits(s));
+        for (i, &n) in self.domain_sizes.iter().enumerate() {
+            let start = self.prefix_starts[i] as usize;
+            let row = &mut s.prefix[start..start + n + 1];
+            let (vals, weights) = get(i);
+            let mut acc = 0.0;
+            row[0] = 0.0;
+            match weights {
+                Some(w) => {
+                    for (slot, (&wv, &xv)) in row[1..].iter_mut().zip(w.iter().zip(vals)) {
+                        acc += wv * xv;
+                        *slot = acc;
                     }
                 }
-                prefix
-            })
-            .collect()
+                None => {
+                    for (slot, &xv) in row[1..].iter_mut().zip(vals) {
+                        acc += xv;
+                        *slot = acc;
+                    }
+                }
+            }
+            s.totals[i] = acc;
+        }
+    }
+
+    /// Fills the scratch from a full assignment and mask.
+    pub fn fill_scratch(&self, s: &mut EvalScratch, a: &VarAssignment, mask: &Mask) {
+        debug_assert!(self.check_shape(a).is_ok());
+        self.fill_scratch_with(s, |i| (a.one_dim[i].as_slice(), mask.attr_weights(i)));
+    }
+
+    /// Computes the complement products: for every constrained-attribute
+    /// set, the product of whole-attribute totals over attributes *outside*
+    /// the set (and not equal to `excl`, when given).
+    fn compute_set_products(&self, s: &mut EvalScratch, excl: Option<usize>) {
+        let m = self.arity();
+        for set in 0..self.attrset_offsets.len() - 1 {
+            let lo = self.attrset_offsets[set] as usize;
+            let hi = self.attrset_offsets[set + 1] as usize;
+            let members = &self.attrset_attrs[lo..hi];
+            let mut k = 0;
+            let mut prod = 1.0;
+            for (attr, &total) in s.totals[..m].iter().enumerate() {
+                if k < members.len() && members[k] as usize == attr {
+                    k += 1;
+                    continue;
+                }
+                if excl == Some(attr) {
+                    continue;
+                }
+                prod *= total;
+            }
+            s.set_comp[set] = prod;
+        }
     }
 
     #[inline]
@@ -286,27 +483,28 @@ impl CompressedPolynomial {
             .fold(1.0, |acc, &j| acc * (multi[j as usize] - 1.0))
     }
 
-    /// Evaluates `P` at `a`.
-    pub fn eval(&self, a: &VarAssignment) -> f64 {
-        self.eval_masked(a, &Mask::identity(self.arity()))
-    }
-
-    /// Evaluates `P` with 1D variables scaled by `mask` — the Sec. 4.2 query
-    /// evaluation (and its `SUM`-weight generalization).
-    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
-        debug_assert!(self.check_shape(a).is_ok());
-        let prefix = self.prefix_sums(a, mask);
-        let m = self.arity();
+    /// Sum over terms of delta product × complement product × constrained
+    /// interval sums. Requires a filled scratch with complement products
+    /// and refreshed delta products.
+    fn sum_terms(&self, s: &EvalScratch) -> f64 {
         let mut p = 0.0;
-        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
-            let mut prod = self.delta_product(t, &a.multi);
+        'terms: for t in 0..self.num_terms() {
+            let mut prod = s.dprod[t];
             if prod == 0.0 {
                 continue;
             }
-            for (i, &(lo, hi)) in row.iter().enumerate() {
-                prod *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+            prod *= s.set_comp[self.term_attrset[t] as usize];
+            if prod == 0.0 {
+                continue;
+            }
+            let lo = self.constr_offsets[t] as usize;
+            let hi = self.constr_offsets[t + 1] as usize;
+            for k in lo..hi {
+                let base = self.prefix_starts[self.constr_attrs[k] as usize] as usize;
+                prod *= s.prefix[base + self.constr_hi[k] as usize + 1]
+                    - s.prefix[base + self.constr_lo[k] as usize];
                 if prod == 0.0 {
-                    break;
+                    continue 'terms;
                 }
             }
             p += prod;
@@ -314,81 +512,158 @@ impl CompressedPolynomial {
         p
     }
 
-    /// Fused pass returning `(P, dP/dα_{attr,v} for every v)` under `mask`.
-    ///
-    /// Derivatives are with respect to the *raw* variable `α`, so the mask
-    /// weight multiplies in: `dP/dα_{attr,v} = w_v · Σ_{terms covering v}
-    /// (product of the term's other factors)`. The per-term exclusive
-    /// products are accumulated into a difference array over the term's
-    /// value interval, so the pass costs `O(terms·m + N_attr)`.
-    ///
-    /// By overcompleteness (Eq. 7), `P = Σ_v α_v · dP/dα_v`, which is how the
-    /// returned `P` is assembled.
+    /// Evaluates `P` at `a` (convenience wrapper; allocates a scratch).
+    pub fn eval(&self, a: &VarAssignment) -> f64 {
+        self.eval_masked(a, &Mask::identity(self.arity()))
+    }
+
+    /// Evaluates `P` with 1D variables scaled by `mask` — the Sec. 4.2 query
+    /// evaluation (and its `SUM`-weight generalization). Convenience
+    /// wrapper; allocates a scratch.
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        self.eval_masked_with(a, mask, &mut self.make_scratch())
+    }
+
+    /// Allocation-free masked evaluation against a reusable scratch.
+    pub fn eval_masked_with(&self, a: &VarAssignment, mask: &Mask, s: &mut EvalScratch) -> f64 {
+        self.fill_scratch(s, a, mask);
+        self.eval_prefilled(&a.multi, s)
+    }
+
+    /// Evaluates `P` against an already-filled scratch (the prefix slab
+    /// encodes the 1D variables and mask; only `multi` is taken from the
+    /// caller). Used by the solver, which refills the slab once per sweep.
+    pub fn eval_prefilled(&self, multi: &[f64], s: &mut EvalScratch) -> f64 {
+        self.ensure_delta_products(multi, s);
+        self.compute_set_products(s, None);
+        self.sum_terms(s)
+    }
+
+    /// Fused pass returning `(P, dP/dα_{attr,v} for every v)` under `mask`
+    /// (convenience wrapper; allocates a scratch and an output vector).
     pub fn eval_with_attr_derivatives(
         &self,
         a: &VarAssignment,
         mask: &Mask,
         attr: usize,
     ) -> (f64, Vec<f64>) {
-        debug_assert!(attr < self.arity());
-        let prefix = self.prefix_sums(a, mask);
-        let m = self.arity();
-        let n_attr = self.domain_sizes[attr];
-        let mut diff = vec![0.0f64; n_attr + 1];
+        let mut s = self.make_scratch();
+        let (p, derivs) = self.eval_with_attr_derivatives_with(a, mask, attr, &mut s);
+        (p, derivs.to_vec())
+    }
 
-        for (t, row) in self.intervals.chunks_exact(m).enumerate() {
-            let mut excl = self.delta_product(t, &a.multi);
+    /// Allocation-free fused evaluation + per-attribute derivative pass.
+    ///
+    /// Derivatives are with respect to the *raw* variable `α`, so the mask
+    /// weight multiplies in: `dP/dα_{attr,v} = w_v · Σ_{terms covering v}
+    /// (product of the term's other factors)`. The per-term exclusive
+    /// products are accumulated into a difference array over the term's
+    /// value interval, so the pass costs `O(Σ constrained factors + N_attr)`.
+    ///
+    /// By overcompleteness (Eq. 7), `P = Σ_v α_v · dP/dα_v`, which is how the
+    /// returned `P` is assembled. The derivative slice borrows the scratch.
+    pub fn eval_with_attr_derivatives_with<'s>(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        attr: usize,
+        s: &'s mut EvalScratch,
+    ) -> (f64, &'s [f64]) {
+        debug_assert!(attr < self.arity());
+        self.fill_scratch(s, a, mask);
+        self.derivs_prefilled(&a.multi, &a.one_dim[attr], mask.attr_weights(attr), attr, s)
+    }
+
+    /// The derivative pass against an already-filled scratch.
+    /// `attr_values` are attribute `attr`'s current variable values and
+    /// `attr_weights` its mask weights (`None` = all 1).
+    pub fn derivs_prefilled<'s>(
+        &self,
+        multi: &[f64],
+        attr_values: &[f64],
+        attr_weights: Option<&[f64]>,
+        attr: usize,
+        s: &'s mut EvalScratch,
+    ) -> (f64, &'s [f64]) {
+        let n_attr = self.domain_sizes[attr];
+        if n_attr == 0 {
+            return (0.0, &s.derivs[..0]);
+        }
+        self.ensure_delta_products(multi, s);
+        self.compute_set_products(s, Some(attr));
+        s.diff[..n_attr + 1].fill(0.0);
+
+        'terms: for t in 0..self.num_terms() {
+            let mut excl = s.dprod[t];
             if excl == 0.0 {
                 continue;
             }
-            for (i, &(lo, hi)) in row.iter().enumerate() {
-                if i == attr {
+            excl *= s.set_comp[self.term_attrset[t] as usize];
+            let mut lo_t = 0u32;
+            let mut hi_t = (n_attr - 1) as u32;
+            let lo = self.constr_offsets[t] as usize;
+            let hi = self.constr_offsets[t + 1] as usize;
+            for k in lo..hi {
+                let a_k = self.constr_attrs[k] as usize;
+                if a_k == attr {
+                    lo_t = self.constr_lo[k];
+                    hi_t = self.constr_hi[k];
                     continue;
                 }
-                excl *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
+                let base = self.prefix_starts[a_k] as usize;
+                excl *= s.prefix[base + self.constr_hi[k] as usize + 1]
+                    - s.prefix[base + self.constr_lo[k] as usize];
                 if excl == 0.0 {
-                    break;
+                    continue 'terms;
                 }
             }
-            if excl == 0.0 {
-                continue;
+            if excl != 0.0 {
+                s.diff[lo_t as usize] += excl;
+                s.diff[hi_t as usize + 1] -= excl;
             }
-            let (lo, hi) = row[attr];
-            diff[lo as usize] += excl;
-            diff[hi as usize + 1] -= excl;
         }
 
-        let mut derivs = vec![0.0f64; n_attr];
         let mut acc = 0.0;
         let mut p = 0.0;
         for v in 0..n_attr {
-            acc += diff[v];
-            let w = mask.weight(attr, v as u32);
-            derivs[v] = w * acc;
-            p += a.one_dim[attr][v] * derivs[v];
+            acc += s.diff[v];
+            let w = attr_weights.map_or(1.0, |w| w[v]);
+            let d = w * acc;
+            s.derivs[v] = d;
+            p += attr_values[v] * d;
         }
-        (p, derivs)
+        (p, &s.derivs[..n_attr])
     }
 
-    /// Per-term products of the `m` interval-sum factors only (no `(δ−1)`
+    /// Per-term products of the interval-sum factors only (no `(δ−1)`
     /// factors). Cached by the solver's multi-variable sweep: while only `δ`
-    /// values change, these stay valid.
+    /// values change, these stay valid. Convenience wrapper; allocates.
     pub fn interval_products(&self, a: &VarAssignment, mask: &Mask) -> Vec<f64> {
-        let prefix = self.prefix_sums(a, mask);
-        let m = self.arity();
-        self.intervals
-            .chunks_exact(m)
-            .map(|row| {
-                let mut prod = 1.0;
-                for (i, &(lo, hi)) in row.iter().enumerate() {
-                    prod *= prefix[i][hi as usize + 1] - prefix[i][lo as usize];
-                    if prod == 0.0 {
-                        break;
-                    }
+        let mut s = self.make_scratch();
+        self.fill_scratch(&mut s, a, mask);
+        self.interval_products_prefilled(&mut s);
+        s.iprods
+    }
+
+    /// Fills `scratch.iprods()` with the per-term interval products from an
+    /// already-filled scratch. Allocation-free. (Interval products contain
+    /// no `(δ−1)` factors, so no delta-product refresh is needed.)
+    pub fn interval_products_prefilled(&self, s: &mut EvalScratch) {
+        self.compute_set_products(s, None);
+        for t in 0..self.num_terms() {
+            let mut prod = s.set_comp[self.term_attrset[t] as usize];
+            let lo = self.constr_offsets[t] as usize;
+            let hi = self.constr_offsets[t + 1] as usize;
+            for k in lo..hi {
+                if prod == 0.0 {
+                    break;
                 }
-                prod
-            })
-            .collect()
+                let base = self.prefix_starts[self.constr_attrs[k] as usize] as usize;
+                prod *= s.prefix[base + self.constr_hi[k] as usize + 1]
+                    - s.prefix[base + self.constr_lo[k] as usize];
+            }
+            s.iprods[t] = prod;
+        }
     }
 
     /// Evaluates `P` from cached interval products and current `δ` values.
@@ -405,12 +680,14 @@ impl CompressedPolynomial {
     /// contribute, each with its other `(δ−1)` factors.
     pub fn delta_derivative(&self, iprods: &[f64], multi: &[f64], j: usize) -> f64 {
         let mut d = 0.0;
-        for &t in &self.terms_with_delta[j] {
+        let lo = self.delta_term_offsets[j] as usize;
+        let hi = self.delta_term_offsets[j + 1] as usize;
+        for &t in &self.delta_terms[lo..hi] {
             let t = t as usize;
-            let lo = self.delta_offsets[t] as usize;
-            let hi = self.delta_offsets[t + 1] as usize;
+            let dlo = self.delta_offsets[t] as usize;
+            let dhi = self.delta_offsets[t + 1] as usize;
             let mut prod = iprods[t];
-            for &other in &self.delta_ids[lo..hi] {
+            for &other in &self.delta_ids[dlo..dhi] {
                 if other as usize != j {
                     prod *= multi[other as usize] - 1.0;
                 }
@@ -626,11 +903,35 @@ mod tests {
             let mut plus = asn.clone();
             plus.multi[j] += 1e-6;
             let fd = (p.eval(&plus) - p.eval(&asn)) / 1e-6;
-            assert!((d - fd).abs() < 1e-5 * d.abs().max(1.0), "δ{j}: {d} vs {fd}");
+            assert!(
+                (d - fd).abs() < 1e-5 * d.abs().max(1.0),
+                "δ{j}: {d} vs {fd}"
+            );
         }
         // eval_from_interval_products agrees with eval.
         let pv = p.eval_from_interval_products(&iprods, &asn.multi);
         assert!((pv - p.eval(&asn)).abs() < 1e-12 * pv.abs().max(1.0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let stats = vec![rect(0, (1, 2), 1, (0, 1)), rect(1, (1, 2), 2, (2, 4))];
+        let p = CompressedPolynomial::build(&[4, 3, 5], &stats).unwrap();
+        let mut asn = VarAssignment::ones(&[4, 3, 5], 2);
+        asn.multi = vec![0.5, 1.7];
+        let mut s = p.make_scratch();
+        let mask = Mask::identity(3);
+        // Interleave different kernels against one scratch; results must be
+        // bitwise identical to one-shot evaluations.
+        for _ in 0..3 {
+            let v = p.eval_masked_with(&asn, &mask, &mut s);
+            assert_eq!(v.to_bits(), p.eval(&asn).to_bits());
+            for attr in 0..3 {
+                let (pv, _) = p.eval_with_attr_derivatives_with(&asn, &mask, attr, &mut s);
+                let (pv2, _) = p.eval_with_attr_derivatives(&asn, &mask, attr);
+                assert_eq!(pv.to_bits(), pv2.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -643,7 +944,10 @@ mod tests {
             stats.push(rect(1, (i, i), 2, (0, 9)));
         }
         let result = CompressedPolynomial::build_with_cap(&[10, 10, 10], &stats, 10);
-        assert!(matches!(result, Err(ModelError::CompressionTooLarge { cap: 10 })));
+        assert!(matches!(
+            result,
+            Err(ModelError::CompressionTooLarge { cap: 10 })
+        ));
     }
 
     #[test]
@@ -655,6 +959,23 @@ mod tests {
         assert_eq!(s.uncompressed_monomials, 12);
         assert_eq!(s.delta_factors, 1);
         assert_eq!(s.constrained_factors, 2);
+    }
+
+    #[test]
+    fn full_domain_statistic_folds_into_complement() {
+        // A clause spanning the whole domain is mathematically the total sum:
+        // it must not count as a constrained factor, and evaluation agrees
+        // with the naive oracle.
+        let stats = vec![rect(0, (0, 3), 1, (1, 1))];
+        let p = CompressedPolynomial::build(&[4, 3], &stats).unwrap();
+        assert_eq!(p.size_stats().constrained_factors, 1);
+        let naive = crate::naive::NaivePolynomial::build(&[4, 3], &stats).unwrap();
+        let mut asn = VarAssignment::ones(&[4, 3], 1);
+        asn.one_dim[0] = vec![0.9, 0.1, 0.4, 0.2];
+        asn.one_dim[1] = vec![0.3, 0.8, 0.5];
+        asn.multi = vec![2.5];
+        let (pc, pn) = (p.eval(&asn), naive.eval(&asn));
+        assert!((pc - pn).abs() < 1e-12 * pn.abs().max(1.0), "{pc} vs {pn}");
     }
 
     #[test]

@@ -52,6 +52,30 @@ pub fn sample_weighted(weights: &[f64], u: f64) -> Option<usize> {
     last_positive // floating-point edge: u ≈ 1.0
 }
 
+/// [`sample_weighted`] with weights `max(a[i] · b[i], 0)` formed on the fly,
+/// so callers sampling `α · ∂P/∂α` conditionals never materialize the
+/// weight vector.
+pub fn sample_weighted_scaled(a: &[f64], b: &[f64], u: f64) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    let total: f64 = a.iter().zip(b).map(|(&x, &y)| (x * y).max(0.0)).sum();
+    if total <= 0.0 || total.is_nan() || !total.is_finite() {
+        return None;
+    }
+    let mut target = u * total;
+    let mut last_positive = None;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let w = (x * y).max(0.0);
+        if w > 0.0 {
+            last_positive = Some(i);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+    }
+    last_positive // floating-point edge: u ≈ 1.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +109,25 @@ mod tests {
         assert_eq!(counts[1], 0);
         let ratio = counts[2] as f64 / counts[0] as f64;
         assert!((ratio - 3.0).abs() < 0.3, "{ratio}");
+    }
+
+    #[test]
+    fn scaled_sampling_matches_materialized_weights() {
+        let a = [0.5, 2.0, -1.0, 3.0];
+        let b = [2.0, 0.0, 4.0, 1.0];
+        let weights: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y): (&f64, &f64)| (x * y).max(0.0))
+            .collect();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1_000 {
+            let u = rng.next_f64();
+            assert_eq!(
+                sample_weighted_scaled(&a, &b, u),
+                sample_weighted(&weights, u)
+            );
+        }
     }
 
     #[test]

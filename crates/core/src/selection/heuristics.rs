@@ -169,9 +169,8 @@ mod tests {
 
     #[test]
     fn composite_is_a_partition() {
-        let stats =
-            select_pair_statistics(&table(), AttrId(0), AttrId(1), 4, Heuristic::Composite)
-                .unwrap();
+        let stats = select_pair_statistics(&table(), AttrId(0), AttrId(1), 4, Heuristic::Composite)
+            .unwrap();
         assert!(!stats.is_empty() && stats.len() <= 4);
         // Disjoint and covering: every cell in exactly one rectangle.
         for x in 0..3u32 {

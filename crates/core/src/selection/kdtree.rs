@@ -116,13 +116,25 @@ fn best_split(grid: &Grid, rect: &Rect, axis: usize) -> Option<(u32, f64)> {
 fn split_at(rect: &Rect, axis: usize, t: u32) -> (Rect, Rect) {
     if axis == 0 {
         (
-            Rect { x: (rect.x.0, t), y: rect.y },
-            Rect { x: (t + 1, rect.x.1), y: rect.y },
+            Rect {
+                x: (rect.x.0, t),
+                y: rect.y,
+            },
+            Rect {
+                x: (t + 1, rect.x.1),
+                y: rect.y,
+            },
         )
     } else {
         (
-            Rect { x: rect.x, y: (rect.y.0, t) },
-            Rect { x: rect.x, y: (t + 1, rect.y.1) },
+            Rect {
+                x: rect.x,
+                y: (rect.y.0, t),
+            },
+            Rect {
+                x: rect.x,
+                y: (t + 1, rect.y.1),
+            },
         )
     }
 }
@@ -225,7 +237,10 @@ mod tests {
         ];
         let h = hist(&counts);
         let grid = Grid::new(&h);
-        let root = Rect { x: (0, 3), y: (0, 2) };
+        let root = Rect {
+            x: (0, 3),
+            y: (0, 2),
+        };
         // The best vertical split (along A) separates column u1 from the
         // rest — the paper's "best split for data summary" — not the median
         // split a traditional KD-tree would use.

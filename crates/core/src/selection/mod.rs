@@ -77,7 +77,11 @@ mod tests {
         assert!(!stats.is_empty());
         assert!(stats.len() <= 6);
         // Statistics exist for both pairs.
-        assert!(stats.iter().any(|s| s.attrs() == vec![AttrId(0), AttrId(1)]));
-        assert!(stats.iter().any(|s| s.attrs() == vec![AttrId(1), AttrId(2)]));
+        assert!(stats
+            .iter()
+            .any(|s| s.attrs() == vec![AttrId(0), AttrId(1)]));
+        assert!(stats
+            .iter()
+            .any(|s| s.attrs() == vec![AttrId(1), AttrId(2)]));
     }
 }

@@ -91,9 +91,7 @@ fn exhaustive_cover(scores: &[PairScore], ba: usize) -> Vec<PairScore> {
         let candidate = (covered.len(), total, indices.clone());
         let better = match &best {
             None => true,
-            Some((c, t, _)) => {
-                candidate.0 > *c || (candidate.0 == *c && candidate.1 > *t + 1e-12)
-            }
+            Some((c, t, _)) => candidate.0 > *c || (candidate.0 == *c && candidate.1 > *t + 1e-12),
         };
         if better {
             best = Some(candidate);
@@ -129,9 +127,12 @@ fn greedy_cover(scores: &[PairScore], ba: usize) -> Vec<PairScore> {
                     + usize::from(!used.contains(&scores[a].y));
                 let new_b = usize::from(!used.contains(&scores[b].x))
                     + usize::from(!used.contains(&scores[b].y));
-                new_a
-                    .cmp(&new_b)
-                    .then(scores[b].cramers_v.total_cmp(&scores[a].cramers_v).reverse())
+                new_a.cmp(&new_b).then(
+                    scores[b]
+                        .cramers_v
+                        .total_cmp(&scores[a].cramers_v)
+                        .reverse(),
+                )
             });
         match next {
             Some(i) => {

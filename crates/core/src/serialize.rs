@@ -348,10 +348,7 @@ mod tests {
 
     #[test]
     fn corrupted_inputs_rejected_with_line_numbers() {
-        assert!(matches!(
-            from_str("bogus"),
-            Err(ModelError::Parse { .. })
-        ));
+        assert!(matches!(from_str("bogus"), Err(ModelError::Parse { .. })));
         let original = build_summary();
         let text = to_string(&original);
         // Truncate: drop the last two lines (report + end).

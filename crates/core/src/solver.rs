@@ -23,8 +23,21 @@
 //! ([`CompressedPolynomial::eval_with_attr_derivatives`]) yields every
 //! `P_{α_j}` of the attribute; `P = Σ_j α_j P_{α_j}` is then maintained in
 //! O(1) per update. The same idea handles multi-dimensional variables with
-//! cached interval products. A full sweep is `O(m · |terms| · m + Σ N_i +
+//! cached interval products. A full sweep is `O(m · |terms| + Σ N_i +
 //! Σ_j |terms ∋ δ_j|)` instead of `O(k · |terms| · m)`.
+//!
+//! ### Component-local parallel solving
+//!
+//! Because `P = ∏_c P_c` factorizes over independent components and every
+//! cross-component factor cancels from both the closed-form update and the
+//! residual (`n α P_α / P = n α P_{α,c} / P_c`), each component is a fully
+//! independent optimization problem. The solver therefore runs one
+//! coordinate-descent loop *per component*, against that component's
+//! [`CompressedPolynomial`] and a reusable [`EvalScratch`] — no
+//! cross-component re-evaluation at all — and solves components in
+//! parallel. Results are bitwise independent of the thread count. The dual
+//! objective also decomposes (`Ψ = Σ_c Ψ_c`), so tracked trajectories are
+//! summed across components.
 //!
 //! A reference full-gradient solver (exponentiated gradient ascent on `Ψ`,
 //! i.e. classic mirror descent with the entropy mirror map) is provided for
@@ -34,8 +47,14 @@
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
 use crate::factorized::FactorizedPolynomial;
+use crate::par;
+use crate::polynomial::CompressedPolynomial;
 use crate::statistics::Statistics;
+use std::fmt;
 use std::time::Instant;
+
+#[allow(unused_imports)] // referenced by the module docs
+use crate::polynomial::EvalScratch;
 
 /// Configuration for the model solver.
 #[derive(Debug, Clone)]
@@ -51,10 +70,16 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        // The paper ran 30 iterations or until error < 1e-6.
+        // The paper stopped after 30 iterations or when the error dropped
+        // below 1e-6. Our sweeps are orders of magnitude cheaper (batched,
+        // component-local, allocation-free), so we keep the paper's 1e-6
+        // relative-residual target but afford a much larger sweep budget —
+        // statistics observed from real data often have empty cells, which
+        // push the dual optimum to the boundary where residuals decay only
+        // slowly.
         SolverConfig {
-            max_sweeps: 100,
-            tolerance: 1e-8,
+            max_sweeps: 400,
+            tolerance: 1e-6,
             track_dual: false,
         }
     }
@@ -63,7 +88,8 @@ impl Default for SolverConfig {
 /// Outcome of a solver run.
 #[derive(Debug, Clone)]
 pub struct SolverReport {
-    /// Sweeps actually executed.
+    /// Sweeps actually executed (the maximum across components; each
+    /// independent component stops as soon as it converges).
     pub sweeps: usize,
     /// Final `max_j |s_j − E[c_j]| / n`.
     pub max_residual: f64,
@@ -77,6 +103,24 @@ pub struct SolverReport {
     pub dual_trajectory: Vec<f64>,
     /// Wall-clock solve time in seconds.
     pub seconds: f64,
+}
+
+impl fmt::Display for SolverReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} sweeps: residual {:.3e}, {} skipped updates, {:.3}s",
+            if self.converged {
+                "converged"
+            } else {
+                "did not converge"
+            },
+            self.sweeps,
+            self.max_residual,
+            self.skipped_updates,
+            self.seconds
+        )
+    }
 }
 
 /// The dual objective `Ψ = Σ_j s_j ln α_j − n ln P` (Eq. 11). Statistics
@@ -99,8 +143,165 @@ pub fn dual_objective(poly: &FactorizedPolynomial, stats: &Statistics, a: &VarAs
     psi - n * poly.eval(a).ln()
 }
 
+/// One component's solved state plus its convergence metadata.
+struct CompSolution {
+    /// Local per-attribute 1D variables (local attribute order).
+    one_dim: Vec<Vec<f64>>,
+    /// Local multi variables.
+    multi: Vec<f64>,
+    sweeps: usize,
+    max_residual: f64,
+    converged: bool,
+    skipped_updates: usize,
+    /// Component dual `Ψ_c` after each sweep (empty unless tracked).
+    dual: Vec<f64>,
+}
+
+/// Coordinate mirror descent on a single component (see module docs): the
+/// closed-form updates and residuals of the global problem restricted to
+/// the component, with every cross-component factor cancelled out.
+fn solve_component(
+    poly: &CompressedPolynomial,
+    attrs: &[usize],
+    multis: &[usize],
+    stats: &Statistics,
+    config: &SolverConfig,
+) -> Result<CompSolution> {
+    let n = stats.n() as f64;
+    let mut one_dim: Vec<Vec<f64>> = attrs
+        .iter()
+        .map(|&g| stats.one_dim()[g].iter().map(|&c| c as f64 / n).collect())
+        .collect();
+    let mut multi = vec![1.0; multis.len()];
+    let mut scratch = poly.make_scratch();
+    let mut sol = CompSolution {
+        one_dim: Vec::new(),
+        multi: Vec::new(),
+        sweeps: 0,
+        max_residual: f64::INFINITY,
+        converged: false,
+        skipped_updates: 0,
+        dual: Vec::new(),
+    };
+
+    for sweep in 0..config.max_sweeps {
+        let mut max_residual = 0.0f64;
+
+        // --- 1D variables, one batched pass per attribute. ---
+        for (li, &g) in attrs.iter().enumerate() {
+            poly.fill_scratch_with(&mut scratch, |i| (one_dim[i].as_slice(), None));
+            let (mut p, derivs) =
+                poly.derivs_prefilled(&multi, &one_dim[li], None, li, &mut scratch);
+            if !p.is_finite() || p <= 0.0 {
+                return Err(ModelError::NumericalFailure("P not positive during solve"));
+            }
+            let counts = &stats.one_dim()[g];
+            let mut new_alphas = std::mem::take(&mut one_dim[li]);
+            for (v, &pd) in derivs.iter().enumerate() {
+                let s = counts[v] as f64;
+                let alpha = new_alphas[v];
+                let current = n * alpha * pd / p;
+                max_residual = max_residual.max((s - current).abs() / n);
+                if s == 0.0 {
+                    // Pin to zero (the ZERO-statistic observation, Sec 4.3).
+                    p -= alpha * pd;
+                    new_alphas[v] = 0.0;
+                    continue;
+                }
+                if (s - n).abs() < f64::EPSILON {
+                    // Every tuple has this value; all competing variables are
+                    // pinned to 0, so the constraint is satisfied for any
+                    // positive α. Leave it.
+                    continue;
+                }
+                if pd <= 0.0 || !pd.is_finite() {
+                    sol.skipped_updates += 1;
+                    continue;
+                }
+                // Eq. 12: α = s (P − α P_α) / ((n − s) P_α).
+                let excl = p - alpha * pd;
+                if excl <= 0.0 {
+                    sol.skipped_updates += 1;
+                    continue;
+                }
+                let new_alpha = s * excl / ((n - s) * pd);
+                p = excl + new_alpha * pd;
+                new_alphas[v] = new_alpha;
+            }
+            one_dim[li] = new_alphas;
+        }
+
+        // --- Multi-dimensional variables: cached interval products stay
+        // valid while only δ values change; P is tracked incrementally. ---
+        if !multis.is_empty() {
+            poly.fill_scratch_with(&mut scratch, |i| (one_dim[i].as_slice(), None));
+            poly.interval_products_prefilled(&mut scratch);
+            let mut p = poly.eval_from_interval_products(scratch.iprods(), &multi);
+            for (lj, &gj) in multis.iter().enumerate() {
+                let s = stats.multi_counts()[gj] as f64;
+                let delta = multi[lj];
+                let pd = poly.delta_derivative(scratch.iprods(), &multi, lj);
+                if !p.is_finite() || p <= 0.0 {
+                    return Err(ModelError::NumericalFailure("P not positive during solve"));
+                }
+                let current = n * delta * pd / p;
+                max_residual = max_residual.max((s - current).abs() / n);
+                if s == 0.0 {
+                    multi[lj] = 0.0;
+                    p -= delta * pd;
+                    continue;
+                }
+                if pd <= 0.0 || !pd.is_finite() {
+                    sol.skipped_updates += 1;
+                    continue;
+                }
+                let excl = p - delta * pd;
+                if excl <= 0.0 {
+                    sol.skipped_updates += 1;
+                    continue;
+                }
+                let new_delta = s * excl / ((n - s) * pd);
+                multi[lj] = new_delta;
+                p = excl + new_delta * pd;
+            }
+        }
+
+        sol.sweeps = sweep + 1;
+        sol.max_residual = max_residual;
+        if config.track_dual {
+            // Ψ_c = Σ_{j ∈ c} s_j ln α_j − n ln P_c.
+            let mut psi = 0.0;
+            for (li, &g) in attrs.iter().enumerate() {
+                for (v, &s) in stats.one_dim()[g].iter().enumerate() {
+                    if s > 0 {
+                        psi += s as f64 * one_dim[li][v].ln();
+                    }
+                }
+            }
+            for (lj, &gj) in multis.iter().enumerate() {
+                let s = stats.multi_counts()[gj];
+                if s > 0 {
+                    psi += s as f64 * multi[lj].ln();
+                }
+            }
+            poly.fill_scratch_with(&mut scratch, |i| (one_dim[i].as_slice(), None));
+            psi -= n * poly.eval_prefilled(&multi, &mut scratch).ln();
+            sol.dual.push(psi);
+        }
+        if max_residual < config.tolerance {
+            sol.converged = true;
+            break;
+        }
+    }
+
+    sol.one_dim = one_dim;
+    sol.multi = multi;
+    Ok(sol)
+}
+
 /// Solves the model by attribute-batched coordinate mirror descent
-/// (Algorithm 1 with the batching optimization described in the module docs).
+/// (Algorithm 1 with the batching and component-decomposition optimizations
+/// described in the module docs). Components are solved in parallel.
 pub fn solve(
     poly: &FactorizedPolynomial,
     stats: &Statistics,
@@ -108,8 +309,6 @@ pub fn solve(
 ) -> Result<(VarAssignment, SolverReport)> {
     let start = Instant::now();
     let mut a = VarAssignment::init_from(stats);
-    let n = stats.n() as f64;
-    let mask = Mask::identity(poly.arity());
     let mut report = SolverReport {
         sweeps: 0,
         max_residual: f64::INFINITY,
@@ -124,91 +323,43 @@ pub fn solve(
         return Ok((a, report));
     }
 
-    for sweep in 0..config.max_sweeps {
-        let mut max_residual = 0.0f64;
+    let components = poly.components();
+    let solutions: Vec<Result<CompSolution>> = par::map(components, 1, |_, c| {
+        solve_component(&c.poly, &c.attrs, &c.multis, stats, config)
+    });
 
-        // --- 1D variables, one batched pass per attribute. ---
-        for attr in 0..poly.arity() {
-            let (mut p, derivs) = poly.eval_with_attr_derivatives(&a, &mask, attr);
-            if !p.is_finite() || p <= 0.0 {
-                return Err(ModelError::NumericalFailure("P not positive during solve"));
-            }
-            for (v, &pd) in derivs.iter().enumerate() {
-                let s = stats.one_dim()[attr][v] as f64;
-                let alpha = a.one_dim[attr][v];
-                let current = n * alpha * pd / p;
-                max_residual = max_residual.max((s - current).abs() / n);
-                if s == 0.0 {
-                    // Pin to zero (the ZERO-statistic observation, Sec 4.3).
-                    p -= alpha * pd;
-                    a.one_dim[attr][v] = 0.0;
-                    continue;
-                }
-                if (s - n).abs() < f64::EPSILON {
-                    // Every tuple has this value; all competing variables are
-                    // pinned to 0, so the constraint is satisfied for any
-                    // positive α. Leave it.
-                    continue;
-                }
-                if pd <= 0.0 || !pd.is_finite() {
-                    report.skipped_updates += 1;
-                    continue;
-                }
-                // Eq. 12: α = s (P − α P_α) / ((n − s) P_α).
-                let excl = p - alpha * pd;
-                if excl <= 0.0 {
-                    report.skipped_updates += 1;
-                    continue;
-                }
-                let new_alpha = s * excl / ((n - s) * pd);
-                p = excl + new_alpha * pd;
-                a.one_dim[attr][v] = new_alpha;
-            }
+    report.converged = true;
+    report.max_residual = 0.0;
+    let mut dual_per_comp: Vec<Vec<f64>> = Vec::new();
+    for (c, solution) in components.iter().zip(solutions) {
+        let sol = solution?;
+        for (li, &g) in c.attrs.iter().enumerate() {
+            a.one_dim[g] = sol.one_dim[li].clone();
         }
-
-        // --- Multi-dimensional variables: cached per-component interval
-        // products; component values tracked incrementally. ---
-        if poly.num_multi() > 0 {
-            let mut sweep_state = poly.begin_multi_sweep(&a, &mask);
-            for j in 0..poly.num_multi() {
-                let s = stats.multi_counts()[j] as f64;
-                let delta = a.multi[j];
-                let p = poly.sweep_value(&sweep_state);
-                let (pd, local_pd) = poly.multi_derivative(&sweep_state, &a, j);
-                if !p.is_finite() || p <= 0.0 {
-                    return Err(ModelError::NumericalFailure("P not positive during solve"));
-                }
-                let current = n * delta * pd / p;
-                max_residual = max_residual.max((s - current).abs() / n);
-                if s == 0.0 {
-                    a.multi[j] = 0.0;
-                    poly.apply_multi_update(&mut sweep_state, j, -delta, local_pd);
-                    continue;
-                }
-                if pd <= 0.0 || !pd.is_finite() {
-                    report.skipped_updates += 1;
-                    continue;
-                }
-                let excl = p - delta * pd;
-                if excl <= 0.0 {
-                    report.skipped_updates += 1;
-                    continue;
-                }
-                let new_delta = s * excl / ((n - s) * pd);
-                a.multi[j] = new_delta;
-                poly.apply_multi_update(&mut sweep_state, j, new_delta - delta, local_pd);
-            }
+        for (lj, &gj) in c.multis.iter().enumerate() {
+            a.multi[gj] = sol.multi[lj];
         }
-
-        report.sweeps = sweep + 1;
-        report.max_residual = max_residual;
+        report.sweeps = report.sweeps.max(sol.sweeps);
+        report.max_residual = report.max_residual.max(sol.max_residual);
+        report.converged &= sol.converged;
+        report.skipped_updates += sol.skipped_updates;
         if config.track_dual {
-            report.dual_trajectory.push(dual_objective(poly, stats, &a));
+            dual_per_comp.push(sol.dual);
         }
-        if max_residual < config.tolerance {
-            report.converged = true;
-            break;
-        }
+    }
+    if config.track_dual {
+        // Ψ = Σ_c Ψ_c; components that converged early hold their final
+        // value for the remaining sweeps.
+        let len = dual_per_comp.iter().map(Vec::len).max().unwrap_or(0);
+        report.dual_trajectory = (0..len)
+            .map(|k| {
+                dual_per_comp
+                    .iter()
+                    .filter(|d| !d.is_empty())
+                    .map(|d| d[k.min(d.len() - 1)])
+                    .sum()
+            })
+            .collect();
     }
 
     a.validate()?;
@@ -245,13 +396,14 @@ pub fn solve_gradient(
         return Ok((a, report));
     }
 
+    let mut scratch = poly.make_scratch();
     for sweep in 0..max_sweeps {
         let mut max_residual = 0.0f64;
         // All expectations at the *current* point (full gradient).
         let mut expectations_1d: Vec<Vec<f64>> = Vec::with_capacity(poly.arity());
         let mut p_val = 0.0;
         for attr in 0..poly.arity() {
-            let (p, derivs) = poly.eval_with_attr_derivatives(&a, &mask, attr);
+            let (p, derivs) = poly.eval_with_attr_derivatives_with(&a, &mask, attr, &mut scratch);
             p_val = p;
             expectations_1d.push(
                 derivs
@@ -478,6 +630,41 @@ mod tests {
         // Same constraints satisfied.
         let e = expectation(&poly, &asn_g, 10.0, crate::polynomial::Var::Multi(0));
         assert!((e - 2.0).abs() < 1e-4, "{e}");
+    }
+
+    #[test]
+    fn parallel_and_serial_solve_agree_bitwise() {
+        let t = full_support_table();
+        let multi = vec![
+            MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap(),
+            MultiDimStatistic::cell2d(a(1), 1, a(2), 0).unwrap(),
+        ];
+        let stats = Statistics::observe(&t, multi.clone()).unwrap();
+        let poly = FactorizedPolynomial::build(stats.domain_sizes(), &multi).unwrap();
+        crate::par::set_max_threads(1);
+        let serial = solve(&poly, &stats, &SolverConfig::default()).unwrap();
+        crate::par::set_max_threads(4);
+        let parallel = solve(&poly, &stats, &SolverConfig::default()).unwrap();
+        crate::par::set_max_threads(0);
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1.sweeps, parallel.1.sweeps);
+        assert_eq!(serial.1.skipped_updates, parallel.1.skipped_updates);
+    }
+
+    #[test]
+    fn report_display_includes_skipped_updates() {
+        let report = SolverReport {
+            sweeps: 12,
+            max_residual: 3.5e-7,
+            converged: true,
+            skipped_updates: 4,
+            dual_trajectory: Vec::new(),
+            seconds: 0.25,
+        };
+        let text = report.to_string();
+        assert!(text.contains("converged"), "{text}");
+        assert!(text.contains("12 sweeps"), "{text}");
+        assert!(text.contains("4 skipped updates"), "{text}");
     }
 
     #[test]

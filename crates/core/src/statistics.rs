@@ -56,8 +56,16 @@ impl MultiDimStatistic {
     /// Convenience constructor for a 2D rectangle statistic.
     pub fn rect2d(ax: AttrId, x: (u32, u32), ay: AttrId, y: (u32, u32)) -> Result<Self> {
         MultiDimStatistic::new(vec![
-            RangeClause { attr: ax, lo: x.0, hi: x.1 },
-            RangeClause { attr: ay, lo: y.0, hi: y.1 },
+            RangeClause {
+                attr: ax,
+                lo: x.0,
+                hi: x.1,
+            },
+            RangeClause {
+                attr: ay,
+                lo: y.0,
+                hi: y.1,
+            },
         ])
     }
 
@@ -312,13 +320,25 @@ mod tests {
     #[test]
     fn statistic_construction_validates() {
         assert!(matches!(
-            MultiDimStatistic::new(vec![RangeClause { attr: a(0), lo: 0, hi: 1 }]),
+            MultiDimStatistic::new(vec![RangeClause {
+                attr: a(0),
+                lo: 0,
+                hi: 1
+            }]),
             Err(ModelError::NotMultiDimensional)
         ));
         assert!(matches!(
             MultiDimStatistic::new(vec![
-                RangeClause { attr: a(0), lo: 0, hi: 1 },
-                RangeClause { attr: a(0), lo: 2, hi: 2 },
+                RangeClause {
+                    attr: a(0),
+                    lo: 0,
+                    hi: 1
+                },
+                RangeClause {
+                    attr: a(0),
+                    lo: 2,
+                    hi: 2
+                },
             ]),
             Err(ModelError::DuplicateAttribute(0))
         ));
@@ -377,7 +397,10 @@ mod tests {
         );
         assert!(matches!(
             result,
-            Err(ModelError::OverlappingStatistics { first: 0, second: 1 })
+            Err(ModelError::OverlappingStatistics {
+                first: 0,
+                second: 1
+            })
         ));
     }
 

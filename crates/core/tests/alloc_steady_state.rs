@@ -1,0 +1,164 @@
+//! Steady-state allocation audit for the arena evaluation kernels.
+//!
+//! The acceptance bar of the arena refactor: once an [`EvalScratch`] /
+//! [`FactorizedScratch`] has been warmed up, `eval_masked` and
+//! `eval_with_attr_derivatives` (and the prefilled kernels under them)
+//! perform **zero heap allocation**. A counting global allocator makes that
+//! a hard test rather than a benchmark observation.
+//!
+//! The audited model stays below the kernel's parallelism threshold so the
+//! passes run on the calling thread (thread spawning allocates by design;
+//! parallel fan-out only happens for models large enough that per-call
+//! spawn cost is noise).
+
+use entropydb_core::assignment::{Mask, VarAssignment};
+use entropydb_core::polynomial::CompressedPolynomial;
+use entropydb_core::prelude::*;
+use entropydb_core::statistics::RangeClause;
+use entropydb_storage::{AttrId, Predicate};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper counting every allocation and reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn model() -> (Vec<usize>, Vec<MultiDimStatistic>, VarAssignment, Mask) {
+    let sizes = vec![12usize, 9, 7, 5];
+    let mk = |a1: usize, r1: (u32, u32), a2: usize, r2: (u32, u32)| {
+        MultiDimStatistic::new(vec![
+            RangeClause {
+                attr: AttrId(a1),
+                lo: r1.0,
+                hi: r1.1,
+            },
+            RangeClause {
+                attr: AttrId(a2),
+                lo: r2.0,
+                hi: r2.1,
+            },
+        ])
+        .unwrap()
+    };
+    let stats = vec![
+        mk(0, (0, 4), 1, (2, 6)),
+        mk(0, (3, 8), 1, (0, 4)),
+        mk(2, (0, 3), 3, (1, 3)),
+        mk(2, (2, 5), 3, (0, 2)),
+    ];
+    let mut a = VarAssignment::ones(&sizes, stats.len());
+    for (i, vs) in a.one_dim.iter_mut().enumerate() {
+        for (v, x) in vs.iter_mut().enumerate() {
+            *x = 0.05 + ((i + 2) * (v + 1) % 11) as f64 / 11.0;
+        }
+    }
+    a.multi = vec![0.7, 1.4, 2.1, 0.4];
+    let pred = Predicate::new()
+        .between(AttrId(1), 1, 6)
+        .between(AttrId(3), 0, 3);
+    let mask = Mask::from_predicate(&pred, &sizes).unwrap();
+    (sizes, stats, a, mask)
+}
+
+/// `eval_masked` and the fused derivative pass allocate nothing against a
+/// warmed scratch, for both the flat and the factorized kernel.
+#[test]
+fn warmed_kernels_allocate_nothing() {
+    let (sizes, stats, a, mask) = model();
+    let flat = CompressedPolynomial::build(&sizes, &stats).unwrap();
+    let fact = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+    let mut scratch = flat.make_scratch();
+    let mut fscratch = fact.make_scratch();
+    let identity = Mask::identity(sizes.len());
+
+    // Warm-up: every kernel once, under both masks (fills the delta-product
+    // cache and touches every buffer).
+    for m in [&identity, &mask] {
+        flat.eval_masked_with(&a, m, &mut scratch);
+        fact.eval_masked_with(&a, m, &mut fscratch);
+        for attr in 0..sizes.len() {
+            flat.eval_with_attr_derivatives_with(&a, m, attr, &mut scratch);
+            fact.eval_with_attr_derivatives_with(&a, m, attr, &mut fscratch);
+        }
+        flat.fill_scratch(&mut scratch, &a, m);
+        flat.interval_products_prefilled(&mut scratch);
+    }
+
+    let mut sink = 0.0;
+    let allocs = allocations_during(|| {
+        for m in [&identity, &mask] {
+            for _ in 0..16 {
+                sink += flat.eval_masked_with(&a, m, &mut scratch);
+                sink += fact.eval_masked_with(&a, m, &mut fscratch);
+                for attr in 0..sizes.len() {
+                    sink += flat
+                        .eval_with_attr_derivatives_with(&a, m, attr, &mut scratch)
+                        .0;
+                    sink += fact
+                        .eval_with_attr_derivatives_with(&a, m, attr, &mut fscratch)
+                        .0;
+                }
+                flat.fill_scratch(&mut scratch, &a, m);
+                flat.interval_products_prefilled(&mut scratch);
+                sink += flat.eval_from_interval_products(scratch.iprods(), &a.multi);
+                sink += flat.delta_derivative(scratch.iprods(), &a.multi, 1);
+            }
+        }
+    });
+    assert!(sink.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "steady-state evaluation must not allocate, saw {allocs} allocations"
+    );
+}
+
+/// The convenience wrappers still work (and obviously allocate) — the
+/// zero-alloc contract is specific to the `_with`/prefilled kernels.
+#[test]
+fn wrappers_agree_with_scratch_kernels() {
+    let (sizes, stats, a, mask) = model();
+    let flat = CompressedPolynomial::build(&sizes, &stats).unwrap();
+    let fact = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+    let mut scratch = flat.make_scratch();
+    let mut fscratch = fact.make_scratch();
+    assert_eq!(
+        flat.eval_masked(&a, &mask).to_bits(),
+        flat.eval_masked_with(&a, &mask, &mut scratch).to_bits()
+    );
+    assert_eq!(
+        fact.eval_masked(&a, &mask).to_bits(),
+        fact.eval_masked_with(&a, &mask, &mut fscratch).to_bits()
+    );
+    for attr in 0..sizes.len() {
+        let (p1, d1) = flat.eval_with_attr_derivatives(&a, &mask, attr);
+        let (p2, d2) = flat.eval_with_attr_derivatives_with(&a, &mask, attr, &mut scratch);
+        assert_eq!(p1.to_bits(), p2.to_bits());
+        assert_eq!(d1.as_slice(), d2);
+    }
+}

@@ -130,7 +130,11 @@ fn build_locations(fine: bool, rng: &mut StdRng) -> (Vec<Location>, Dictionary) 
             dict.intern(format!("ST{s:02}-C{c}"));
         }
     }
-    for (s, state) in states.iter().enumerate().take(CITY_DOMAIN - 2 * STATE_DOMAIN) {
+    for (s, state) in states
+        .iter()
+        .enumerate()
+        .take(CITY_DOMAIN - 2 * STATE_DOMAIN)
+    {
         cities.push(Location {
             x: (state.x + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),
             y: (state.y + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0),
@@ -196,8 +200,7 @@ pub fn generate(config: &FlightsConfig) -> FlightsDataset {
         // (headwinds, holding patterns). The noise keeps (fl_time, distance)
         // the most correlated pair while filling ~25% of the 2D cells, the
         // occupancy regime the paper reports (1,334 of 5,022 cells).
-        let minutes =
-            ((30.0 + miles / 7.5) * rng.gen_range(0.8..1.2)).clamp(20.0, MAX_MINUTES);
+        let minutes = ((30.0 + miles / 7.5) * rng.gen_range(0.8..1.2)).clamp(20.0, MAX_MINUTES);
         table.push_row_unchecked(&[
             date,
             origin as u32,

@@ -118,8 +118,7 @@ pub fn generate(config: &ParticlesConfig) -> ParticlesDataset {
             weight: 1.0 / (i + 1) as f64,
         })
         .collect();
-    let halo_sampler =
-        WeightedSampler::new(&halos.iter().map(|h| h.weight).collect::<Vec<_>>());
+    let halo_sampler = WeightedSampler::new(&halos.iter().map(|h| h.weight).collect::<Vec<_>>());
 
     let density_binner = Binner::new(0.0, 12.0, DENSITY_DOMAIN).expect("valid");
     let mass_binner = Binner::new(0.0, 10.0, MASS_DOMAIN).expect("valid");
@@ -282,16 +281,10 @@ mod tests {
     #[test]
     fn clustering_grows_over_time() {
         let d = small();
-        let grp1_snap0 = exec::count(
-            &d.table,
-            &Predicate::new().eq(d.grp, 1).eq(d.snapshot, 0),
-        )
-        .unwrap();
-        let grp1_snap2 = exec::count(
-            &d.table,
-            &Predicate::new().eq(d.grp, 1).eq(d.snapshot, 2),
-        )
-        .unwrap();
+        let grp1_snap0 =
+            exec::count(&d.table, &Predicate::new().eq(d.grp, 1).eq(d.snapshot, 0)).unwrap();
+        let grp1_snap2 =
+            exec::count(&d.table, &Predicate::new().eq(d.grp, 1).eq(d.snapshot, 2)).unwrap();
         assert!(grp1_snap2 > grp1_snap0);
     }
 

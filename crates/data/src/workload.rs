@@ -42,8 +42,7 @@ impl Workload {
         let groups = GroupCounts::compute(table, attrs)?;
         let sorted = groups.sorted_desc();
 
-        let heavy: Vec<(Vec<u32>, u64)> =
-            sorted.iter().take(num_heavy).cloned().collect();
+        let heavy: Vec<(Vec<u32>, u64)> = sorted.iter().take(num_heavy).cloned().collect();
         let mut light: Vec<(Vec<u32>, u64)> = sorted
             .iter()
             .rev()

@@ -63,11 +63,7 @@ impl Sample {
     /// Estimates `SELECT COUNT(*) WHERE pred` by summed weights.
     pub fn estimate_count(&self, pred: &Predicate) -> StorageResult<f64> {
         pred.validate(self.rows.schema())?;
-        let clauses: Vec<_> = pred
-            .clauses()
-            .iter()
-            .filter(|(_, p)| !p.is_all())
-            .collect();
+        let clauses: Vec<_> = pred.clauses().iter().filter(|(_, p)| !p.is_all()).collect();
         let columns: Vec<&[u32]> = clauses
             .iter()
             .map(|(a, _)| self.rows.column(*a).map(|c| c.codes()))
@@ -86,11 +82,7 @@ impl Sample {
 
     /// Estimates `SELECT attr, COUNT(*) GROUP BY attr WHERE pred` over the
     /// sample, returning per-value estimates for the whole domain.
-    pub fn estimate_group_by(
-        &self,
-        pred: &Predicate,
-        attr: AttrId,
-    ) -> StorageResult<Vec<f64>> {
+    pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> StorageResult<Vec<f64>> {
         pred.validate(self.rows.schema())?;
         let n = self.rows.schema().domain_size(attr)?;
         let target = self.rows.column(attr)?.codes();
@@ -159,11 +151,7 @@ mod tests {
             Attribute::categorical("a", 3).unwrap(),
             Attribute::categorical("b", 2).unwrap(),
         ]);
-        Table::from_rows(
-            schema,
-            vec![vec![0, 0], vec![1, 1], vec![2, 0], vec![0, 1]],
-        )
-        .unwrap()
+        Table::from_rows(schema, vec![vec![0, 0], vec![1, 1], vec![2, 0], vec![0, 1]]).unwrap()
     }
 
     #[test]
@@ -172,11 +160,13 @@ mod tests {
         let s = Sample::new(t, vec![10.0, 20.0, 5.0, 1.0], 100);
         assert_eq!(s.estimate_count(&Predicate::all()).unwrap(), 36.0);
         assert_eq!(
-            s.estimate_count(&Predicate::new().eq(AttrId(0), 0)).unwrap(),
+            s.estimate_count(&Predicate::new().eq(AttrId(0), 0))
+                .unwrap(),
             11.0
         );
         assert_eq!(
-            s.estimate_count(&Predicate::new().eq(AttrId(1), 1)).unwrap(),
+            s.estimate_count(&Predicate::new().eq(AttrId(1), 1))
+                .unwrap(),
             21.0
         );
     }

@@ -27,7 +27,10 @@ pub fn stratified_sample(
         (0.0..=1.0).contains(&fraction) && fraction > 0.0,
         "fraction must be in (0, 1]"
     );
-    assert!(!strata.is_empty(), "need at least one stratification attribute");
+    assert!(
+        !strata.is_empty(),
+        "need at least one stratification attribute"
+    );
     let n = table.num_rows();
     let budget = ((n as f64 * fraction).ceil() as usize).clamp(1, n.max(1));
 
@@ -63,9 +66,7 @@ fn allocation_cap(sorted_sizes: &[usize], budget: usize) -> usize {
     // Total at cap=1 is the stratum count; if even that exceeds the budget,
     // keep cap=1 (paper's stratified samples also exceed nominal size when
     // there are more strata than budget rows).
-    let total_at = |cap: usize| -> usize {
-        sorted_sizes.iter().map(|&s| s.min(cap)).sum()
-    };
+    let total_at = |cap: usize| -> usize { sorted_sizes.iter().map(|&s| s.min(cap)).sum() };
     if total_at(1) >= budget {
         return 1;
     }
@@ -119,7 +120,9 @@ mod tests {
         // Per-stratum scale-up makes COUNT per stratum exact.
         for v in 0..3u32 {
             let truth = exec::count(&t, &Predicate::new().eq(AttrId(0), v)).unwrap() as f64;
-            let est = s.estimate_count(&Predicate::new().eq(AttrId(0), v)).unwrap();
+            let est = s
+                .estimate_count(&Predicate::new().eq(AttrId(0), v))
+                .unwrap();
             assert!((est - truth).abs() < 1e-9, "v={v}: {est} vs {truth}");
         }
     }

@@ -113,8 +113,14 @@ mod tests {
         let a = uniform_sample(&t, 0.1, 9).unwrap();
         let b = uniform_sample(&t, 0.1, 9).unwrap();
         assert_eq!(
-            a.rows().column(entropydb_storage::AttrId(0)).unwrap().codes(),
-            b.rows().column(entropydb_storage::AttrId(0)).unwrap().codes()
+            a.rows()
+                .column(entropydb_storage::AttrId(0))
+                .unwrap()
+                .codes(),
+            b.rows()
+                .column(entropydb_storage::AttrId(0))
+                .unwrap()
+                .codes()
         );
     }
 }

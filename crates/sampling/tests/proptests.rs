@@ -1,44 +1,58 @@
-//! Property tests for the sampling baselines.
+//! Property-style tests for the sampling baselines.
+//!
+//! crates.io is unreachable from the build environment, so instead of
+//! `proptest` these run each property over many SplitMix64-seeded random
+//! tables — deterministic, shrink-free property testing.
 
 use entropydb_sampling::{stratified_sample, uniform_sample};
 use entropydb_storage::{AttrId, Attribute, Predicate, Schema, Table};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_table() -> impl Strategy<Value = Table> {
-    (2usize..5, 2usize..5, 1usize..300).prop_flat_map(|(nx, ny, rows)| {
-        prop::collection::vec((0u32..nx as u32, 0u32..ny as u32), rows).prop_map(move |pairs| {
-            let schema = Schema::new(vec![
-                Attribute::categorical("x", nx).unwrap(),
-                Attribute::categorical("y", ny).unwrap(),
-            ]);
-            let mut t = Table::new(schema);
-            for (x, y) in pairs {
-                t.push_row(&[x, y]).unwrap();
-            }
-            t
-        })
-    })
+fn random_table(g: &mut StdRng) -> Table {
+    let nx = g.gen_range(2..5);
+    let ny = g.gen_range(2..5);
+    let rows = g.gen_range(1..300);
+    let schema = Schema::new(vec![
+        Attribute::categorical("x", nx).unwrap(),
+        Attribute::categorical("y", ny).unwrap(),
+    ]);
+    let mut t = Table::new(schema);
+    for _ in 0..rows {
+        let x = g.gen_range(0..nx as u32);
+        let y = g.gen_range(0..ny as u32);
+        t.push_row(&[x, y]).unwrap();
+    }
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The uniform sample's total weight always equals the population size
-    /// (the COUNT(*) estimate is exact).
-    #[test]
-    fn uniform_total_weight_is_population(table in arb_table(),
-                                          frac in 0.01f64..1.0, seed in 0u64..50) {
-        let s = uniform_sample(&table, frac, seed).unwrap();
+/// The uniform sample's total weight always equals the population size
+/// (the COUNT(*) estimate is exact).
+#[test]
+fn uniform_total_weight_is_population() {
+    let mut g = StdRng::seed_from_u64(21);
+    for case in 0..96 {
+        let table = random_table(&mut g);
+        let frac = g.gen_range(0.01..1.0);
+        let s = uniform_sample(&table, frac, case as u64).unwrap();
         let total = s.estimate_count(&Predicate::all()).unwrap();
-        prop_assert!((total - table.num_rows() as f64).abs() < 1e-6 * table.num_rows() as f64 + 1e-9);
+        assert!(
+            (total - table.num_rows() as f64).abs() < 1e-6 * table.num_rows() as f64 + 1e-9,
+            "case {case}: {total} vs {}",
+            table.num_rows()
+        );
     }
+}
 
-    /// Stratified samples answer any query on the stratification attributes
-    /// exactly (per-stratum scale-up).
-    #[test]
-    fn stratified_exact_on_strata(table in arb_table(),
-                                  frac in 0.05f64..1.0, seed in 0u64..50) {
-        let s = stratified_sample(&table, &[AttrId(0), AttrId(1)], frac, seed).unwrap();
+/// Stratified samples answer any query on the stratification attributes
+/// exactly (per-stratum scale-up).
+#[test]
+fn stratified_exact_on_strata() {
+    let mut g = StdRng::seed_from_u64(22);
+    for case in 0..96 {
+        let table = random_table(&mut g);
+        let frac = g.gen_range(0.05..1.0);
+        let s = stratified_sample(&table, &[AttrId(0), AttrId(1)], frac, case as u64).unwrap();
         let nx = table.schema().domain_size(AttrId(0)).unwrap() as u32;
         let ny = table.schema().domain_size(AttrId(1)).unwrap() as u32;
         for x in 0..nx {
@@ -46,31 +60,40 @@ proptest! {
                 let pred = Predicate::new().eq(AttrId(0), x).eq(AttrId(1), y);
                 let truth = entropydb_storage::exec::count(&table, &pred).unwrap() as f64;
                 let est = s.estimate_count(&pred).unwrap();
-                prop_assert!((est - truth).abs() < 1e-9, "({}, {}): {} vs {}", x, y, est, truth);
+                assert!((est - truth).abs() < 1e-9, "({x}, {y}): {est} vs {truth}");
             }
         }
     }
+}
 
-    /// Sample sizes respect their budgets (stratified may exceed by at most
-    /// one row per stratum due to the minimum-one guarantee).
-    #[test]
-    fn sample_sizes_bounded(table in arb_table(), frac in 0.01f64..1.0, seed in 0u64..20) {
+/// Sample sizes respect their budgets (stratified may exceed by at most one
+/// row per stratum due to the minimum-one guarantee).
+#[test]
+fn sample_sizes_bounded() {
+    let mut g = StdRng::seed_from_u64(23);
+    for case in 0..96 {
+        let table = random_table(&mut g);
+        let frac = g.gen_range(0.01..1.0);
         let n = table.num_rows();
         let budget = (n as f64 * frac).ceil() as usize;
-        let u = uniform_sample(&table, frac, seed).unwrap();
-        prop_assert!(u.len() <= budget.max(1));
-        let s = stratified_sample(&table, &[AttrId(0)], frac, seed).unwrap();
+        let u = uniform_sample(&table, frac, case as u64).unwrap();
+        assert!(u.len() <= budget.max(1));
+        let s = stratified_sample(&table, &[AttrId(0)], frac, case as u64).unwrap();
         let strata = table.schema().domain_size(AttrId(0)).unwrap();
-        prop_assert!(s.len() <= budget + strata);
+        assert!(s.len() <= budget + strata);
     }
+}
 
-    /// Group-by estimates sum to the total estimate.
-    #[test]
-    fn group_by_sums_to_total(table in arb_table(), seed in 0u64..20) {
-        let s = uniform_sample(&table, 0.5, seed).unwrap();
+/// Group-by estimates sum to the total estimate.
+#[test]
+fn group_by_sums_to_total() {
+    let mut g = StdRng::seed_from_u64(24);
+    for case in 0..96 {
+        let table = random_table(&mut g);
+        let s = uniform_sample(&table, 0.5, case as u64).unwrap();
         let groups = s.estimate_group_by(&Predicate::all(), AttrId(0)).unwrap();
         let total: f64 = groups.iter().sum();
         let all = s.estimate_count(&Predicate::all()).unwrap();
-        prop_assert!((total - all).abs() < 1e-9 * all.max(1.0));
+        assert!((total - all).abs() < 1e-9 * all.max(1.0));
     }
 }

@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the API subset the bench targets use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-samples timer.
+//!
+//! On top of timing, every bench target writes a machine-readable
+//! `BENCH_<target>.json` (median ns per op for each benchmark, plus
+//! per-group speedups against any `legacy`/`naive` baseline benchmark) into
+//! the invoking crate's directory, so the performance trajectory of the
+//! repository is tracked from run to run.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name (`benchmark_group`), or the id's `group/` prefix.
+    pub group: String,
+    /// Benchmark id inside the group.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+}
+
+/// Benchmark driver holding the timing configuration and results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benches a single function outside any group. An id of the form
+    /// `group/name` is split on the first `/`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let (group, name) = match id.split_once('/') {
+            Some((g, n)) => (g.to_string(), n.to_string()),
+            None => (String::new(), id),
+        };
+        self.run_one(group, name, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, group: String, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let label = if group.is_empty() {
+            id.clone()
+        } else {
+            format!("{group}/{id}")
+        };
+        eprintln!("bench {label:<60} {:>14.1} ns/iter", bencher.median_ns);
+        self.results.push(Measurement {
+            group,
+            id,
+            median_ns: bencher.median_ns,
+        });
+    }
+}
+
+/// A named group of benchmarks (subset of criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benches one function under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let group = self.name.clone();
+        self.criterion.run_one(group, id.into(), f);
+        self
+    }
+
+    /// Ends the group (results were recorded eagerly).
+    pub fn finish(self) {}
+}
+
+/// Runs and times one routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`: adaptive warm-up to estimate cost, then
+    /// `sample_size` timed samples; the median per-iteration time is kept.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up with doubling batches until the budget is spent; the last
+        // batch gives the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        let est_ns = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let est = t.elapsed().as_nanos() as f64 / batch as f64;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break est;
+            }
+            batch = batch.saturating_mul(2).min(1 << 24);
+        };
+
+        let per_sample = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample / est_ns.max(1.0)).ceil() as u64).clamp(1, 1 << 24);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let mid = samples.len() / 2;
+        self.median_ns = if samples.len() % 2 == 0 {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        } else {
+            samples[mid]
+        };
+    }
+}
+
+/// Accumulates measurements across groups and writes `BENCH_<target>.json`.
+#[derive(Debug)]
+pub struct BenchReport {
+    target: String,
+    results: Vec<Measurement>,
+}
+
+impl BenchReport {
+    /// Creates a report for one bench target (e.g. `polynomial`).
+    pub fn new(target: &str) -> Self {
+        BenchReport {
+            target: target.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Takes the measurements out of a finished `Criterion`.
+    pub fn absorb(&mut self, criterion: Criterion) {
+        self.results.extend(criterion.results);
+    }
+
+    /// Renders the JSON document.
+    pub fn to_json(&self) -> String {
+        let mut groups: Vec<&str> = Vec::new();
+        for m in &self.results {
+            if !groups.contains(&m.group.as_str()) {
+                groups.push(&m.group);
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"target\": {},\n", json_str(&self.target)));
+        out.push_str("  \"unit\": \"ns/op\",\n");
+        out.push_str("  \"groups\": {\n");
+        for (gi, group) in groups.iter().enumerate() {
+            let members: Vec<&Measurement> =
+                self.results.iter().filter(|m| &m.group == group).collect();
+            out.push_str(&format!("    {}: {{\n", json_str(group)));
+            out.push_str("      \"median_ns\": {\n");
+            for (i, m) in members.iter().enumerate() {
+                let comma = if i + 1 < members.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "        {}: {:.2}{comma}\n",
+                    json_str(&m.id),
+                    m.median_ns
+                ));
+            }
+            out.push_str("      }");
+            // Per-group speedups against a baseline benchmark, when present:
+            // `legacy` (the pre-refactor implementation) wins over `naive`
+            // (the uncompressed oracle).
+            let baseline = members
+                .iter()
+                .find(|m| m.id.contains("legacy"))
+                .or_else(|| members.iter().find(|m| m.id.contains("naive")));
+            if let Some(base) = baseline {
+                let others: Vec<&&Measurement> =
+                    members.iter().filter(|m| m.id != base.id).collect();
+                if !others.is_empty() && base.median_ns > 0.0 {
+                    out.push_str(",\n      \"speedup\": {\n");
+                    out.push_str(&format!("        \"baseline\": {},\n", json_str(&base.id)));
+                    for (i, m) in others.iter().enumerate() {
+                        let comma = if i + 1 < others.len() { "," } else { "" };
+                        out.push_str(&format!(
+                            "        {}: {:.3}{comma}\n",
+                            json_str(&m.id),
+                            base.median_ns / m.median_ns.max(1e-9)
+                        ));
+                    }
+                    out.push_str("      }");
+                }
+            }
+            out.push('\n');
+            let comma = if gi + 1 < groups.len() { "," } else { "" };
+            out.push_str(&format!("    }}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<target>.json` next to the invoking crate's manifest
+    /// (falling back to the current directory).
+    pub fn write_json(&self) {
+        let dir = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.target);
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds one bench-group function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(report: &mut $crate::BenchReport) {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            report.absorb(criterion);
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Builds the bench `main`, running every group and writing the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut report = $crate::BenchReport::new(env!("CARGO_CRATE_NAME"));
+            $( $group(&mut report); )+
+            report.write_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("demo");
+        g.bench_function("naive_sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_function("fast_sum", |b| b.iter(|| 499_500u64));
+        g.finish();
+        c.bench_function("other/one", |b| b.iter(|| 1 + 1));
+
+        let mut report = BenchReport::new("unit");
+        report.absorb(c);
+        let json = report.to_json();
+        assert!(json.contains("\"demo\""));
+        assert!(json.contains("\"naive_sum\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"baseline\": \"naive_sum\""));
+        assert!(json.contains("\"other\""));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -191,8 +191,7 @@ mod tests {
             rows.push(vec![a, a, c]);
         }
         let t = Table::from_rows(schema, rows).unwrap();
-        let ranked =
-            rank_pairs(&t, &[AttrId(0), AttrId(1), AttrId(2)]).unwrap();
+        let ranked = rank_pairs(&t, &[AttrId(0), AttrId(1), AttrId(2)]).unwrap();
         assert_eq!(ranked.len(), 3);
         assert_eq!((ranked[0].x, ranked[0].y), (AttrId(0), AttrId(1)));
         assert!((ranked[0].cramers_v - 1.0).abs() < 1e-9);

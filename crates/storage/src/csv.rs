@@ -97,7 +97,9 @@ impl CsvDataset {
 /// Splits one CSV line (no quoting support — the evaluation datasets are
 /// plain numeric/word fields; quoted-field support is future work).
 fn split_line(line: &str, delimiter: char) -> Vec<String> {
-    line.split(delimiter).map(|s| s.trim().to_string()).collect()
+    line.split(delimiter)
+        .map(|s| s.trim().to_string())
+        .collect()
 }
 
 /// Parses CSV text into a dataset.
@@ -159,11 +161,12 @@ pub fn load_str(text: &str, options: &CsvOptions) -> Result<CsvDataset> {
                 let values: Vec<f64> = raw
                     .iter()
                     .map(|r| {
-                        r[i].parse::<f64>().map_err(|_| StorageError::CodeOutOfDomain {
-                            attr: names[i].clone(),
-                            code: 0,
-                            domain_size: 0,
-                        })
+                        r[i].parse::<f64>()
+                            .map_err(|_| StorageError::CodeOutOfDomain {
+                                attr: names[i].clone(),
+                                code: 0,
+                                domain_size: 0,
+                            })
                     })
                     .collect::<Result<_>>()?;
                 let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
@@ -277,7 +280,11 @@ CA,NY,2450
         assert!(d.dictionaries[2].is_some());
         assert_eq!(d.table.schema().domain_size(AttrId(2)).unwrap(), 4); // 2500,2300,700,2450
 
-        options.columns = vec![ColumnSpec::Auto, ColumnSpec::Auto, ColumnSpec::Numeric { bins: 4 }];
+        options.columns = vec![
+            ColumnSpec::Auto,
+            ColumnSpec::Auto,
+            ColumnSpec::Numeric { bins: 4 },
+        ];
         let d = load_str(SAMPLE, &options).unwrap();
         assert_eq!(d.table.schema().domain_size(AttrId(2)).unwrap(), 4);
         assert!(d.dictionaries[2].is_none());
@@ -318,7 +325,13 @@ CA,NY,2450
         let d = load_str(text, &CsvOptions::default()).unwrap();
         assert_eq!(d.table.num_rows(), 3);
         // All rows land in bin 0.
-        assert!(d.table.column(AttrId(0)).unwrap().codes().iter().all(|&c| c == 0));
+        assert!(d
+            .table
+            .column(AttrId(0))
+            .unwrap()
+            .codes()
+            .iter()
+            .all(|&c| c == 0));
     }
 
     #[test]

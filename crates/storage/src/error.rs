@@ -34,12 +34,22 @@ impl fmt::Display for StorageError {
                 write!(f, "unknown attribute: {name:?}")
             }
             StorageError::AttrIdOutOfRange { id, arity } => {
-                write!(f, "attribute id {id} out of range for schema of arity {arity}")
+                write!(
+                    f,
+                    "attribute id {id} out of range for schema of arity {arity}"
+                )
             }
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, got {got}"
+                )
             }
-            StorageError::CodeOutOfDomain { attr, code, domain_size } => {
+            StorageError::CodeOutOfDomain {
+                attr,
+                code,
+                domain_size,
+            } => {
                 write!(
                     f,
                     "code {code} out of domain for attribute {attr:?} (domain size {domain_size})"

@@ -14,11 +14,7 @@ use std::collections::HashMap;
 /// Exact answer to the counting query `SELECT COUNT(*) WHERE pred`.
 pub fn count(table: &Table, pred: &Predicate) -> Result<u64> {
     pred.validate(table.schema())?;
-    let clauses: Vec<_> = pred
-        .clauses()
-        .iter()
-        .filter(|(_, p)| !p.is_all())
-        .collect();
+    let clauses: Vec<_> = pred.clauses().iter().filter(|(_, p)| !p.is_all()).collect();
     if clauses.is_empty() {
         return Ok(table.num_rows() as u64);
     }

@@ -165,13 +165,7 @@ mod tests {
         ]);
         Table::from_rows(
             schema,
-            vec![
-                vec![0, 0],
-                vec![0, 1],
-                vec![1, 1],
-                vec![1, 1],
-                vec![2, 0],
-            ],
+            vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 1], vec![2, 0]],
         )
         .unwrap()
     }

@@ -31,12 +31,12 @@ pub mod schema;
 pub mod table;
 
 pub use binning::Binner;
+pub use csv::{CsvDataset, CsvOptions};
 pub use dictionary::Dictionary;
 pub use error::{Result, StorageError};
-pub use csv::{CsvDataset, CsvOptions};
 pub use exec::GroupCounts;
-pub use parser::parse_predicate;
 pub use histogram::{Histogram1D, Histogram2D};
+pub use parser::parse_predicate;
 pub use predicate::{AttrPredicate, Predicate};
 pub use schema::{AttrId, AttrKind, Attribute, Schema};
 pub use table::{Column, Table};

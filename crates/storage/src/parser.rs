@@ -84,11 +84,10 @@ impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
     }
 
     fn next(&mut self) -> Result<Token> {
-        let t = self
-            .tokens
-            .get(self.pos)
-            .cloned()
-            .ok_or_else(|| StorageError::UnknownAttribute("unexpected end of predicate".into()))?;
+        let t =
+            self.tokens.get(self.pos).cloned().ok_or_else(|| {
+                StorageError::UnknownAttribute("unexpected end of predicate".into())
+            })?;
         self.pos += 1;
         Ok(t)
     }

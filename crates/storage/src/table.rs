@@ -190,6 +190,9 @@ mod tests {
         assert_eq!(a.num_rows(), 2);
 
         let other = Table::new(Schema::new(vec![Attribute::categorical("x", 2).unwrap()]));
-        assert!(matches!(a.append(&other), Err(StorageError::SchemaMismatch)));
+        assert!(matches!(
+            a.append(&other),
+            Err(StorageError::SchemaMismatch)
+        ));
     }
 }

@@ -1,73 +1,97 @@
-//! Property tests for the storage substrate: binning, predicates, exact
-//! execution, histograms, and correlation measures.
+//! Property-style tests for the storage substrate: binning, predicates,
+//! exact execution, histograms, and correlation measures.
+//!
+//! crates.io is unreachable from the build environment, so instead of
+//! `proptest` these run each property over many SplitMix64-seeded random
+//! configurations — deterministic, shrink-free property testing.
 
 use entropydb_storage::exec::{count, GroupCounts};
 use entropydb_storage::{
     AttrId, AttrPredicate, Attribute, Binner, Histogram1D, Histogram2D, Predicate, Schema, Table,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_table() -> impl Strategy<Value = Table> {
-    (2usize..6, 2usize..6, 0usize..60).prop_flat_map(|(nx, ny, rows)| {
-        prop::collection::vec((0u32..nx as u32, 0u32..ny as u32), rows).prop_map(move |pairs| {
-            let schema = Schema::new(vec![
-                Attribute::categorical("x", nx).unwrap(),
-                Attribute::categorical("y", ny).unwrap(),
-            ]);
-            let mut t = Table::new(schema);
-            for (x, y) in pairs {
-                t.push_row(&[x, y]).unwrap();
-            }
-            t
-        })
-    })
-}
-
-fn arb_attr_predicate(domain: u32) -> impl Strategy<Value = AttrPredicate> {
-    prop_oneof![
-        Just(AttrPredicate::All),
-        (0..domain).prop_map(AttrPredicate::Point),
-        (0..domain, 0..domain).prop_map(|(a, b)| AttrPredicate::Range {
-            lo: a.min(b),
-            hi: a.max(b)
-        }),
-        prop::collection::vec(0..domain, 0..4).prop_map(AttrPredicate::set),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// Binning is monotone and maps into range.
-    #[test]
-    fn binner_monotone(lo in -1e3f64..1e3, width in 1e-3f64..1e3, bins in 1usize..100,
-                       a in -2e3f64..2e3, b in -2e3f64..2e3) {
-        let binner = Binner::new(lo, lo + width, bins).unwrap();
-        let (x, y) = (a.min(b), a.max(b));
-        prop_assert!(binner.bin(x) <= binner.bin(y));
-        prop_assert!((binner.bin(y) as usize) < bins);
+fn random_table(g: &mut StdRng) -> Table {
+    let nx = g.gen_range(2..6);
+    let ny = g.gen_range(2..6);
+    let rows = g.gen_range(0..60);
+    let schema = Schema::new(vec![
+        Attribute::categorical("x", nx).unwrap(),
+        Attribute::categorical("y", ny).unwrap(),
+    ]);
+    let mut t = Table::new(schema);
+    for _ in 0..rows {
+        let x = g.gen_range(0..nx as u32);
+        let y = g.gen_range(0..ny as u32);
+        t.push_row(&[x, y]).unwrap();
     }
+    t
+}
 
-    /// bin_range covers exactly the bins of the values inside the range.
-    #[test]
-    fn bin_range_consistent(bins in 1usize..50, a in 0f64..100.0, b in 0f64..100.0) {
+fn random_attr_predicate(g: &mut StdRng, domain: u32) -> AttrPredicate {
+    match g.gen_range(0..4) {
+        0 => AttrPredicate::All,
+        1 => AttrPredicate::Point(g.gen_range(0..domain)),
+        2 => {
+            let a = g.gen_range(0..domain);
+            let b = g.gen_range(0..domain);
+            AttrPredicate::Range {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        }
+        _ => {
+            let k = g.gen_range(0..4);
+            AttrPredicate::set((0..k).map(|_| g.gen_range(0..domain)).collect::<Vec<_>>())
+        }
+    }
+}
+
+/// Binning is monotone and maps into range.
+#[test]
+fn binner_monotone() {
+    let mut g = StdRng::seed_from_u64(11);
+    for _ in 0..192 {
+        let lo = g.gen_range(-1e3..1e3);
+        let width = g.gen_range(1e-3..1e3);
+        let bins = g.gen_range(1..100);
+        let binner = Binner::new(lo, lo + width, bins).unwrap();
+        let a = g.gen_range(-2e3..2e3);
+        let b = g.gen_range(-2e3..2e3);
+        let (x, y) = (a.min(b), a.max(b));
+        assert!(binner.bin(x) <= binner.bin(y));
+        assert!((binner.bin(y) as usize) < bins);
+    }
+}
+
+/// bin_range covers exactly the bins of the values inside the range.
+#[test]
+fn bin_range_consistent() {
+    let mut g = StdRng::seed_from_u64(12);
+    for _ in 0..192 {
+        let bins = g.gen_range(1..50);
         let binner = Binner::new(0.0, 100.0, bins).unwrap();
+        let a = g.gen_range(0.0..100.0);
+        let b = g.gen_range(0.0..100.0);
         let (vlo, vhi) = (a.min(b), a.max(b));
         let (blo, bhi) = binner.bin_range(vlo, vhi).unwrap();
-        prop_assert_eq!(blo, binner.bin(vlo));
-        prop_assert_eq!(bhi, binner.bin(vhi));
-        prop_assert!(blo <= bhi);
+        assert_eq!(blo, binner.bin(vlo));
+        assert_eq!(bhi, binner.bin(vhi));
+        assert!(blo <= bhi);
     }
+}
 
-    /// Exact count equals the brute-force row filter for any predicate.
-    #[test]
-    fn count_matches_brute_force(
-        (table, px, py) in arb_table().prop_flat_map(|t| {
-            let nx = t.schema().domain_size(AttrId(0)).unwrap() as u32;
-            let ny = t.schema().domain_size(AttrId(1)).unwrap() as u32;
-            (Just(t), arb_attr_predicate(nx), arb_attr_predicate(ny))
-        })
-    ) {
+/// Exact count equals the brute-force row filter for any predicate.
+#[test]
+fn count_matches_brute_force() {
+    let mut g = StdRng::seed_from_u64(13);
+    for _ in 0..192 {
+        let table = random_table(&mut g);
+        let nx = table.schema().domain_size(AttrId(0)).unwrap() as u32;
+        let ny = table.schema().domain_size(AttrId(1)).unwrap() as u32;
+        let px = random_attr_predicate(&mut g, nx);
+        let py = random_attr_predicate(&mut g, ny);
         let pred = Predicate::new()
             .with(AttrId(0), px.clone())
             .with(AttrId(1), py.clone());
@@ -79,59 +103,76 @@ proptest! {
                 brute += 1;
             }
         }
-        prop_assert_eq!(fast, brute);
+        assert_eq!(fast, brute);
     }
+}
 
-    /// Group counts partition the table: totals match, and each group's
-    /// count equals the point-predicate count.
-    #[test]
-    fn group_counts_partition(table in arb_table()) {
-        let g = GroupCounts::compute(&table, &[AttrId(0), AttrId(1)]).unwrap();
-        let total: u64 = g.iter().map(|(_, c)| c).sum();
-        prop_assert_eq!(total, table.num_rows() as u64);
-        for (values, c) in g.iter() {
-            let pred = Predicate::new().eq(AttrId(0), values[0]).eq(AttrId(1), values[1]);
-            prop_assert_eq!(count(&table, &pred).unwrap(), c);
+/// Group counts partition the table: totals match, and each group's count
+/// equals the point-predicate count.
+#[test]
+fn group_counts_partition() {
+    let mut g = StdRng::seed_from_u64(14);
+    for _ in 0..96 {
+        let table = random_table(&mut g);
+        let gc = GroupCounts::compute(&table, &[AttrId(0), AttrId(1)]).unwrap();
+        let total: u64 = gc.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, table.num_rows() as u64);
+        for (values, c) in gc.iter() {
+            let pred = Predicate::new()
+                .eq(AttrId(0), values[0])
+                .eq(AttrId(1), values[1]);
+            assert_eq!(count(&table, &pred).unwrap(), c);
         }
     }
+}
 
-    /// 1D histograms equal 2D marginals and sum to n.
-    #[test]
-    fn histogram_consistency(table in arb_table()) {
+/// 1D histograms equal 2D marginals and sum to n.
+#[test]
+fn histogram_consistency() {
+    let mut g = StdRng::seed_from_u64(15);
+    for _ in 0..96 {
+        let table = random_table(&mut g);
         let h2 = Histogram2D::compute(&table, AttrId(0), AttrId(1)).unwrap();
         let hx = Histogram1D::compute(&table, AttrId(0)).unwrap();
         let hy = Histogram1D::compute(&table, AttrId(1)).unwrap();
-        prop_assert_eq!(h2.marginal_x(), hx.counts().to_vec());
-        prop_assert_eq!(h2.marginal_y(), hy.counts().to_vec());
-        prop_assert_eq!(hx.total(), table.num_rows() as u64);
-        // Rectangle count over the whole domain is n.
+        assert_eq!(h2.marginal_x(), hx.counts().to_vec());
+        assert_eq!(h2.marginal_y(), hy.counts().to_vec());
+        assert_eq!(hx.total(), table.num_rows() as u64);
         let (nx, ny) = h2.dims();
-        prop_assert_eq!(
+        assert_eq!(
             h2.rectangle_count(0, nx as u32 - 1, 0, ny as u32 - 1),
             table.num_rows() as u64
         );
     }
+}
 
-    /// Cramér's V stays in [0, 1].
-    #[test]
-    fn cramers_v_bounded(table in arb_table()) {
+/// Cramér's V stays in [0, 1].
+#[test]
+fn cramers_v_bounded() {
+    let mut g = StdRng::seed_from_u64(16);
+    for _ in 0..96 {
+        let table = random_table(&mut g);
         let h = Histogram2D::compute(&table, AttrId(0), AttrId(1)).unwrap();
         let v = entropydb_storage::correlation::cramers_v(&h);
-        prop_assert!((0.0..=1.0).contains(&v));
+        assert!((0.0..=1.0).contains(&v));
     }
+}
 
-    /// Zero combinations plus non-empty groups tile the full cross product.
-    #[test]
-    fn zeros_and_groups_tile_the_space(table in arb_table()) {
+/// Zero combinations plus non-empty groups tile the full cross product.
+#[test]
+fn zeros_and_groups_tile_the_space() {
+    let mut g = StdRng::seed_from_u64(17);
+    for _ in 0..96 {
+        let table = random_table(&mut g);
         let sizes = vec![
             table.schema().domain_size(AttrId(0)).unwrap(),
             table.schema().domain_size(AttrId(1)).unwrap(),
         ];
-        let g = GroupCounts::compute(&table, &[AttrId(0), AttrId(1)]).unwrap();
-        let zeros = g.zero_combinations(&sizes);
-        prop_assert_eq!(zeros.len() + g.num_groups(), sizes[0] * sizes[1]);
+        let gc = GroupCounts::compute(&table, &[AttrId(0), AttrId(1)]).unwrap();
+        let zeros = gc.zero_combinations(&sizes);
+        assert_eq!(zeros.len() + gc.num_groups(), sizes[0] * sizes[1]);
         for z in &zeros {
-            prop_assert_eq!(g.get(z), 0);
+            assert_eq!(gc.get(z), 0);
         }
     }
 }

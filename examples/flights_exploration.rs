@@ -35,7 +35,13 @@ fn main() -> Result<()> {
         (dataset.dest, dataset.distance),
         (dataset.fl_time, dataset.distance),
     ] {
-        stats.extend(select_pair_statistics(table, x, y, 400, Heuristic::Composite)?);
+        stats.extend(select_pair_statistics(
+            table,
+            x,
+            y,
+            400,
+            Heuristic::Composite,
+        )?);
     }
     let (summary, build_time) = {
         let start = Instant::now();
@@ -45,7 +51,10 @@ fn main() -> Result<()> {
     let report = summary.solver_report();
     println!(
         "  solved in {:.2}s ({} sweeps, residual {:.1e}); total build {:.2}s",
-        report.seconds, report.sweeps, report.max_residual, build_time.as_secs_f64()
+        report.seconds,
+        report.sweeps,
+        report.max_residual,
+        build_time.as_secs_f64()
     );
     println!(
         "  polynomial: {} terms (uncompressed form would have {:.1e} monomials)",
@@ -62,7 +71,9 @@ fn main() -> Result<()> {
         ),
         (
             "long flights arriving at the busiest state",
-            Predicate::new().between(dataset.distance, 54, 80).eq(dataset.dest, 0),
+            Predicate::new()
+                .between(dataset.distance, 54, 80)
+                .eq(dataset.dest, 0),
         ),
         (
             "short quick hops (low distance, low time)",

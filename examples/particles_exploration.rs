@@ -52,7 +52,13 @@ fn main() -> Result<()> {
 
     let mut stats = Vec::new();
     for pair in &chosen {
-        stats.extend(select_pair_statistics(table, pair.x, pair.y, 80, Heuristic::Composite)?);
+        stats.extend(select_pair_statistics(
+            table,
+            pair.x,
+            pair.y,
+            80,
+            Heuristic::Composite,
+        )?);
     }
     println!("\nfitting the summary ({} 2D statistics)...", stats.len());
     let summary = MaxEntSummary::build(table, stats, &SolverConfig::default())?;
@@ -81,12 +87,13 @@ fn main() -> Result<()> {
     // statistics exist to fix (paper Sec. 2).
     println!("\nclustered particles per snapshot (no 2D stat on (grp, snapshot)):");
     let per_snapshot = |s: &MaxEntSummary| -> Result<()> {
-        let groups =
-            s.estimate_group_by(&Predicate::new().eq(dataset.grp, 1), dataset.snapshot)?;
+        let groups = s.estimate_group_by(&Predicate::new().eq(dataset.grp, 1), dataset.snapshot)?;
         for (snap, est) in groups.iter().enumerate() {
             let truth = exec::count(
                 table,
-                &Predicate::new().eq(dataset.grp, 1).eq(dataset.snapshot, snap as u32),
+                &Predicate::new()
+                    .eq(dataset.grp, 1)
+                    .eq(dataset.snapshot, snap as u32),
             )?;
             println!("  snapshot {snap}: {:>9.1} (true {truth})", est.expectation);
         }
@@ -97,7 +104,13 @@ fn main() -> Result<()> {
     // Add the missing statistic and watch the trend come back.
     let mut stats2 = Vec::new();
     for pair in &chosen {
-        stats2.extend(select_pair_statistics(table, pair.x, pair.y, 80, Heuristic::Composite)?);
+        stats2.extend(select_pair_statistics(
+            table,
+            pair.x,
+            pair.y,
+            80,
+            Heuristic::Composite,
+        )?);
     }
     stats2.extend(select_pair_statistics(
         table,

@@ -30,26 +30,43 @@ fn main() -> Result<()> {
     }
     let origin = table.schema().attr_by_name("origin").expect("exists");
     let dest = table.schema().attr_by_name("dest").expect("exists");
-    println!("relation: {} flights over {} possible tuples", table.num_rows(),
-        table.schema().tuple_space_size());
+    println!(
+        "relation: {} flights over {} possible tuples",
+        table.num_rows(),
+        table.schema().tuple_space_size()
+    );
 
     // --- 2. Summarize with 1D statistics only (pure uniformity). ----------
     let no2d = MaxEntSummary::build(&table, vec![], &SolverConfig::default())?;
     let ca_ny = Predicate::new().eq(origin, 0).eq(dest, 1);
     let est = no2d.estimate_count(&ca_ny)?;
-    println!("\n[1D only]   CA→NY ≈ {:.1} ± {:.1} (true 40)", est.expectation, est.std_dev());
+    println!(
+        "\n[1D only]   CA→NY ≈ {:.1} ± {:.1} (true 40)",
+        est.expectation,
+        est.std_dev()
+    );
 
     // --- 3. Add a 2D statistic on (origin, dest): the estimate sharpens. --
     let stat = MultiDimStatistic::cell2d(origin, 0, dest, 1)?;
     let with2d = MaxEntSummary::build(&table, vec![stat], &SolverConfig::default())?;
     let est = with2d.estimate_count(&ca_ny)?;
-    println!("[with 2D]   CA→NY ≈ {:.1} ± {:.1} (true 40)", est.expectation, est.std_dev());
+    println!(
+        "[with 2D]   CA→NY ≈ {:.1} ± {:.1} (true 40)",
+        est.expectation,
+        est.std_dev()
+    );
 
     // --- 4. Rare vs nonexistent: the MaxEnt advantage over samples. -------
     let wa_ca = Predicate::new().eq(origin, 3).eq(dest, 0); // rare (2 rows)
     let wa_ny = Predicate::new().eq(origin, 3).eq(dest, 1); // nonexistent
-    println!("\nrare  WA→CA ≈ {:.2} (true 2)", with2d.estimate_count(&wa_ca)?.expectation);
-    println!("null  WA→NY ≈ {:.2} (true 0)", with2d.estimate_count(&wa_ny)?.expectation);
+    println!(
+        "\nrare  WA→CA ≈ {:.2} (true 2)",
+        with2d.estimate_count(&wa_ca)?.expectation
+    );
+    println!(
+        "null  WA→NY ≈ {:.2} (true 0)",
+        with2d.estimate_count(&wa_ny)?.expectation
+    );
 
     // --- 5. Group-by and top-k, the interactive exploration queries. ------
     println!("\ntop destinations (est flights):");

@@ -33,7 +33,13 @@ fn main() -> Result<()> {
         (dataset.dest, dataset.distance),
         (dataset.fl_time, dataset.distance),
     ] {
-        stats.extend(select_pair_statistics(table, x, y, 500, Heuristic::Composite)?);
+        stats.extend(select_pair_statistics(
+            table,
+            x,
+            y,
+            500,
+            Heuristic::Composite,
+        )?);
     }
     let summary = MaxEntSummary::build(table, stats, &SolverConfig::default())?;
     let uni = uniform_sample(table, 0.01, 5).expect("uniform sample");
@@ -59,7 +65,10 @@ fn main() -> Result<()> {
         }
     };
 
-    println!("\n{:<12} {:>10} {:>10} {:>10} {:>7}", "method", "heavy_err", "light_err", "null_err", "F");
+    println!(
+        "\n{:<12} {:>10} {:>10} {:>10} {:>7}",
+        "method", "heavy_err", "light_err", "null_err", "F"
+    );
     for name in ["EntropyDB", "Uniform", "Stratified"] {
         let avg = |items: &[(Vec<u32>, u64)]| -> f64 {
             items
@@ -87,7 +96,10 @@ fn main() -> Result<()> {
             .map(|v| estimate(name, &workload.predicate(v)))
             .collect();
         let fm = f_measure(&light_ests, &null_ests);
-        println!("{name:<12} {heavy:>10.3} {light:>10.3} {null_err:>10.3} {:>7.3}", fm.f);
+        println!(
+            "{name:<12} {heavy:>10.3} {light:>10.3} {null_err:>10.3} {:>7.3}",
+            fm.f
+        );
     }
 
     println!(

@@ -17,8 +17,8 @@ use entropydb::core::selection::{choose_pairs, PairStrategy};
 use entropydb::prelude::*;
 use entropydb::storage::correlation::rank_pairs;
 use entropydb::storage::csv::{load_file, CsvOptions};
-use entropydb::storage::parser::parse_predicate;
 use entropydb::storage::exec;
+use entropydb::storage::parser::parse_predicate;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -62,25 +62,34 @@ fn summarize(args: &[String]) -> Result<ExitCode> {
     let attrs: Vec<_> = table.schema().attr_ids().collect();
     let scores = rank_pairs(table, &attrs)?;
     let chosen = choose_pairs(&scores, pairs, PairStrategy::AttributeCover);
-    eprintln!("choosing {} attribute pairs (attribute-cover):", chosen.len());
+    eprintln!(
+        "choosing {} attribute pairs (attribute-cover):",
+        chosen.len()
+    );
     let mut stats = Vec::new();
     for p in &chosen {
         let (nx, ny) = (
             table.schema().attr(p.x)?.name().to_string(),
             table.schema().attr(p.y)?.name().to_string(),
         );
-        eprintln!("  ({nx}, {ny}) V = {:.3}, {budget} COMPOSITE statistics", p.cramers_v);
-        stats.extend(select_pair_statistics(table, p.x, p.y, budget, Heuristic::Composite)?);
+        eprintln!(
+            "  ({nx}, {ny}) V = {:.3}, {budget} COMPOSITE statistics",
+            p.cramers_v
+        );
+        stats.extend(select_pair_statistics(
+            table,
+            p.x,
+            p.y,
+            budget,
+            Heuristic::Composite,
+        )?);
     }
 
     eprintln!("solving the MaxEnt model...");
     let summary = MaxEntSummary::build(table, stats, &SolverConfig::default())?;
     let report = summary.solver_report();
     eprintln!(
-        "  {} sweeps, residual {:.1e}, {:.2}s, {} polynomial terms",
-        report.sweeps,
-        report.max_residual,
-        report.seconds,
+        "  {report}, {} polynomial terms",
         summary.size_stats().num_terms
     );
     entropydb::core::serialize::save_file(&summary, Path::new(&out)).map_err(|e| {
@@ -89,13 +98,15 @@ fn summarize(args: &[String]) -> Result<ExitCode> {
             message: format!("cannot write {out}: {e}"),
         }
     })?;
-    eprintln!("summary written to {out} ({} bytes)", std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0));
+    eprintln!(
+        "summary written to {out} ({} bytes)",
+        std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0)
+    );
     Ok(ExitCode::SUCCESS)
 }
 
 fn query(args: &[String]) -> Result<ExitCode> {
-    let (Some(csv_path), Some(summary_path), Some(expr)) =
-        (args.first(), args.get(1), args.get(2))
+    let (Some(csv_path), Some(summary_path), Some(expr)) = (args.first(), args.get(1), args.get(2))
     else {
         return Ok(usage());
     };
@@ -133,7 +144,11 @@ fn info(args: &[String]) -> Result<ExitCode> {
     };
     let summary = entropydb::core::serialize::load_file(Path::new(summary_path))?;
     let stats = summary.statistics();
-    println!("n = {} tuples over {} attributes", summary.n(), stats.arity());
+    println!(
+        "n = {} tuples over {} attributes",
+        summary.n(),
+        stats.arity()
+    );
     for (i, attr) in summary.schema().attributes().iter().enumerate() {
         println!("  A{i} {} (domain {})", attr.name(), attr.domain_size());
     }
@@ -144,11 +159,7 @@ fn info(args: &[String]) -> Result<ExitCode> {
         s.num_terms,
         s.uncompressed_monomials as f64
     );
-    let r = summary.solver_report();
-    println!(
-        "solver: {} sweeps, residual {:.1e}, converged = {}",
-        r.sweeps, r.max_residual, r.converged
-    );
+    println!("solver: {}", summary.solver_report());
     Ok(ExitCode::SUCCESS)
 }
 

@@ -37,7 +37,11 @@ fn csv_to_summary_to_query_pipeline() {
     // Summarize with statistics over (origin, distance) and (dest, distance).
     let o = dataset.table.schema().attr_by_name("origin").expect("attr");
     let d = dataset.table.schema().attr_by_name("dest").expect("attr");
-    let dist = dataset.table.schema().attr_by_name("distance").expect("attr");
+    let dist = dataset
+        .table
+        .schema()
+        .attr_by_name("distance")
+        .expect("attr");
     let mut stats = Vec::new();
     for (x, y) in [(o, dist), (d, dist)] {
         stats.extend(
@@ -48,7 +52,10 @@ fn csv_to_summary_to_query_pipeline() {
 
     // Textual BETWEEN query over the binned numeric column.
     let range = parse_predicate("distance BETWEEN 300 AND 800", &dataset).expect("parses");
-    let est = summary.estimate_count(&range).expect("estimates").expectation;
+    let est = summary
+        .estimate_count(&range)
+        .expect("estimates")
+        .expectation;
     let exact = exec::count(table, &range).expect("counts") as f64;
     // The (·, distance) statistics plus complete 1D stats make pure
     // distance ranges essentially exact.
@@ -60,7 +67,10 @@ fn csv_to_summary_to_query_pipeline() {
     // Persist, reload, and re-answer through the text format.
     let text = entropydb::core::serialize::to_string(&summary);
     let loaded = entropydb::core::serialize::from_str(&text).expect("round trips");
-    let again = loaded.estimate_count(&range).expect("estimates").expectation;
+    let again = loaded
+        .estimate_count(&range)
+        .expect("estimates")
+        .expectation;
     assert_eq!(est.to_bits(), again.to_bits());
 
     // Dictionary translation consistency: the label of a code parses back.

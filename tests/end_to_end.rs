@@ -51,8 +51,7 @@ fn summary_has_no_false_negatives_where_small_samples_do() {
     });
     let workload = Workload::generate(&d.table, &[d.origin, d.dest], 30, 60, 0, 9)
         .expect("workload generates");
-    let summary =
-        MaxEntSummary::build(&d.table, vec![], &SolverConfig::default()).expect("builds");
+    let summary = MaxEntSummary::build(&d.table, vec![], &SolverConfig::default()).expect("builds");
     let sample = uniform_sample(&d.table, 0.002, 8).expect("sample"); // 60 rows
 
     let mut summary_zeroes = 0;
@@ -87,8 +86,7 @@ fn two_d_statistics_improve_covered_queries() {
     let no2d = MaxEntSummary::build(&d.table, vec![], &SolverConfig::default()).expect("builds");
     let stats = select_pair_statistics(&d.table, d.fl_time, d.distance, 300, Heuristic::Composite)
         .expect("selection");
-    let with2d =
-        MaxEntSummary::build(&d.table, stats, &SolverConfig::default()).expect("builds");
+    let with2d = MaxEntSummary::build(&d.table, stats, &SolverConfig::default()).expect("builds");
 
     let err = |s: &MaxEntSummary| -> f64 {
         workload
@@ -97,7 +95,9 @@ fn two_d_statistics_improve_covered_queries() {
             .map(|(v, t)| {
                 relative_error(
                     *t as f64,
-                    s.estimate_count(&workload.predicate(v)).expect("query").expectation,
+                    s.estimate_count(&workload.predicate(v))
+                        .expect("query")
+                        .expectation,
                 )
             })
             .sum::<f64>()
@@ -131,11 +131,17 @@ fn particles_pipeline_with_automatic_pair_selection() {
                 .expect("selection"),
         );
     }
-    let summary =
-        MaxEntSummary::build(&d.table, stats, &SolverConfig::default()).expect("builds");
+    let summary = MaxEntSummary::build(&d.table, stats, &SolverConfig::default()).expect("builds");
     assert!(summary.solver_report().max_residual < 1e-3);
 
-    let mass_binner = d.table.schema().attr(d.mass).expect("attr").binner().expect("binned").clone();
+    let mass_binner = d
+        .table
+        .schema()
+        .attr(d.mass)
+        .expect("attr")
+        .binner()
+        .expect("binned")
+        .clone();
     let weights: Vec<f64> = (0..52u32).map(|v| mass_binner.midpoint(v)).collect();
     let exact_avg = |pred: &Predicate| -> f64 {
         let sum = exec::sum_by(&d.table, pred, d.mass, &weights).expect("sum");
@@ -187,7 +193,9 @@ fn section_2_walkthrough() {
         table.push_row(&[0, 1 + (i % 3)]).expect("valid");
     }
     for i in 0..4_500u32 {
-        table.push_row(&[1 + (i % 49), (i * 7) % 50]).expect("valid");
+        table
+            .push_row(&[1 + (i % 49), (i * 7) % 50])
+            .expect("valid");
     }
     let origin = AttrId(0);
     let dest = AttrId(1);
@@ -209,5 +217,8 @@ fn section_2_walkthrough() {
         (informed_est - 500.0 / 3.0).abs() < 25.0,
         "informed {informed_est}"
     );
-    assert!(informed_est > 2.0 * uniform_est, "{uniform_est} -> {informed_est}");
+    assert!(
+        informed_est > 2.0 * uniform_est,
+        "{uniform_est} -> {informed_est}"
+    );
 }

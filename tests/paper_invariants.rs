@@ -86,9 +86,7 @@ fn single_attribute_queries_are_exact() {
 fn range_query_equals_sum_of_points() {
     let d = small_flights();
     let summary = summary_with_pairs(&d, 40);
-    let range = Predicate::new()
-        .between(d.distance, 10, 25)
-        .eq(d.dest, 1);
+    let range = Predicate::new().between(d.distance, 10, 25).eq(d.dest, 1);
     let whole = summary.estimate_count(&range).expect("query").expectation;
     let sum: f64 = (10..=25u32)
         .map(|v| {
@@ -122,8 +120,8 @@ fn probability_bounds() {
 #[test]
 fn zero_statistics_eliminate_phantoms() {
     let d = small_flights();
-    let zero_stats = select_pair_statistics(&d.table, d.origin, d.dest, 50, Heuristic::Zero)
-        .expect("selection");
+    let zero_stats =
+        select_pair_statistics(&d.table, d.origin, d.dest, 50, Heuristic::Zero).expect("selection");
     let summary = MaxEntSummary::build(&d.table, zero_stats.clone(), &SolverConfig::default())
         .expect("summary builds");
     for stat in zero_stats.iter().take(20) {
