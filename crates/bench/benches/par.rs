@@ -1,0 +1,66 @@
+//! Pool-overhead benchmarks: the persistent worker pool in
+//! `entropydb_core::par` against the retained spawn-per-call scoped-thread
+//! baseline (`entropydb_bench::legacy::scoped_spawn_map`).
+//!
+//! The workload is deliberately small — the kind of fan-out (a handful of
+//! group-by cells, a small predicate batch) that the old implementation had
+//! to run serially because a thread spawn per call cost more than the work.
+//! The pool dispatches the same chunks through a persistent job queue, so
+//! the fixed cost per parallel call drops from thread-spawn to
+//! queue-push + condvar-signal. `BENCH_par.json` records the speedup
+//! against the spawn baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use entropydb_bench::legacy::scoped_spawn_map;
+use entropydb_core::par;
+use std::hint::black_box;
+
+const ITEMS: usize = 64;
+const THREADS: usize = 4;
+
+/// ~1 µs of register-only work per item.
+fn work(i: usize) -> u64 {
+    let mut acc = i as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    for k in 0..400u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+    }
+    acc
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    par::set_max_threads(THREADS);
+    let items: Vec<usize> = (0..ITEMS).collect();
+
+    // The two dispatchers must agree before their costs are compared.
+    let expected: Vec<u64> = items.iter().map(|&i| work(i)).collect();
+    assert_eq!(par::map(&items, 1, |_, &i| work(i)), expected);
+    assert_eq!(
+        scoped_spawn_map(&items, 1, THREADS, |_, &i| work(i)),
+        expected
+    );
+
+    let mut g = c.benchmark_group("pool_overhead");
+    g.bench_function("legacy_spawn_per_call", |b| {
+        b.iter(|| scoped_spawn_map(black_box(&items), 1, THREADS, |_, &i| work(i)))
+    });
+    g.bench_function("persistent_pool", |b| {
+        b.iter(|| par::map(black_box(&items), 1, |_, &i| work(i)))
+    });
+    g.bench_function("serial_reference", |b| {
+        b.iter(|| {
+            black_box(&items)
+                .iter()
+                .map(|&i| work(i))
+                .collect::<Vec<u64>>()
+        })
+    });
+    g.finish();
+    par::set_max_threads(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_pool_overhead
+}
+criterion_main!(benches);

@@ -185,11 +185,18 @@ fn bench_derivative_sweep(c: &mut Criterion) {
             total
         })
     });
+    // The deprecated per-variable slow path, kept measured so the cost of
+    // NOT batching stays visible in BENCH_polynomial.json (0.198× the
+    // batched pass at last measurement). All production callers route
+    // through `derivs_prefilled`.
     g.bench_function("per_variable", |b| {
         b.iter(|| {
             let mut total = 0.0;
             for code in 0..sizes[1] as u32 {
-                total += flat.derivative(black_box(&a), &mask, Var::OneDim { attr: 1, code });
+                #[allow(deprecated)]
+                {
+                    total += flat.derivative(black_box(&a), &mask, Var::OneDim { attr: 1, code });
+                }
             }
             total
         })

@@ -359,6 +359,47 @@ impl LegacyFactorized {
     }
 }
 
+/// The pre-pool parallel map, retained verbatim as the pool-overhead
+/// baseline: scoped threads spawned on every call, contiguous chunks of at
+/// least `min_chunk` items, at most `threads` of them. This is what
+/// `entropydb_core::par` did before the persistent worker pool; the
+/// `pool_overhead` bench group measures the current dispatch against it.
+pub fn scoped_spawn_map<T, R, F>(items: &[T], min_chunk: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(len / min_chunk.max(1)).max(1);
+    let chunk_size = len.div_ceil(threads);
+    if threads == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Some(f(i, &items[i]));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let mut base = 0;
+            for chunk in out.chunks_mut(chunk_size) {
+                let start = base;
+                base += chunk.len();
+                let f = &f;
+                scope.spawn(move || {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let i = start + off;
+                        *slot = Some(f(i, &items[i]));
+                    }
+                });
+            }
+        });
+    }
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
 fn intersect_ranges(
     ranges: &[(usize, u32, u32)],
     stat: &MultiDimStatistic,

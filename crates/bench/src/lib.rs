@@ -20,6 +20,7 @@
 
 pub mod common;
 pub mod experiments;
+pub mod jsonv;
 pub mod legacy;
 pub mod report;
 

@@ -38,8 +38,11 @@ use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats, 
 use crate::statistics::MultiDimStatistic;
 
 /// Minimum combined term count before component-parallel evaluation is
-/// worth the thread-spawn overhead.
-const PAR_MIN_TERMS: usize = 4096;
+/// worth dispatching to the worker pool. With the persistent pool
+/// (`crate::par`) dispatch costs a queue push + condvar signal instead of a
+/// per-call thread spawn, so fan-out pays off at far finer granularity than
+/// the old spawn-per-call threshold (4096).
+const PAR_MIN_TERMS: usize = 512;
 
 /// One independent attribute group and its polynomial.
 #[derive(Debug, Clone, PartialEq)]
@@ -417,6 +420,10 @@ impl FactorizedPolynomial {
     }
 
     /// Generic single-variable derivative (reference path for tests).
+    #[deprecated(note = "per-variable slow path: one full batched pass per variable; \
+                use eval_with_attr_derivatives_with for all of an attribute's \
+                derivatives in one pass, or begin_multi_sweep + \
+                multi_derivative for multi variables")]
     pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
         match var {
             Var::OneDim { attr, code } => {
@@ -591,8 +598,9 @@ mod tests {
                 );
             }
         }
+        let sweep = f.begin_multi_sweep(&asn, &mask);
         for j in 0..stats.len() {
-            let d = f.derivative(&asn, &mask, Var::Multi(j));
+            let d = f.multi_derivative(&sweep, &asn, j).0;
             let expected = naive.derivative(&asn, &mask, Var::Multi(j));
             assert!(
                 (d - expected).abs() < 1e-10 * expected.abs().max(1.0),

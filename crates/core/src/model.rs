@@ -202,7 +202,9 @@ impl MaxEntSummary {
     /// threads — the shape of a dashboard refresh or a high-traffic query
     /// front-end. Identical to mapping [`MaxEntSummary::estimate_count`].
     pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
-        par::map(preds, 8, |_, pred| self.estimate_count(pred))
+        // Pool dispatch is cheap (no per-call thread spawn), so even small
+        // batches fan out.
+        par::map(preds, 2, |_, pred| self.estimate_count(pred))
             .into_iter()
             .collect()
     }
@@ -288,7 +290,7 @@ impl MaxEntSummary {
         }
         let base = Mask::from_predicate(pred, sizes)?;
         let n_b = sizes[attr_b.0];
-        Ok(par::map_indexed(n_b, 4, |v_b| {
+        Ok(par::map_indexed(n_b, 2, |v_b| {
             let mut mask = base.clone();
             mask.restrict_in_place(attr_b, v_b as u32, n_b);
             self.group_by_with_mask(&mask, attr_a)
@@ -340,7 +342,7 @@ impl MaxEntSummary {
     pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
         let sizes = self.stats.domain_sizes();
         let m = sizes.len();
-        let rows: Result<Vec<Vec<u32>>> = par::map_indexed(k, 64, |i| {
+        let rows: Result<Vec<Vec<u32>>> = par::map_indexed(k, 16, |i| {
             // Weyl-sequence offset gives every tuple a distinct stream.
             let mut rng =
                 SplitMix64::new(seed.wrapping_add((i as u64 + 1).wrapping_mul(0xD1B54A32D192ED03)));

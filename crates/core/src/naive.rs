@@ -240,7 +240,17 @@ mod tests {
             Var::Multi(1),
         ] {
             let dn = naive.derivative(&asn, &mask, var);
-            let dc = comp.derivative(&asn, &mask, var);
+            // Routed through the batched passes (the per-variable
+            // `derivative` wrapper is deprecated).
+            let dc = match var {
+                Var::OneDim { attr, code } => {
+                    comp.eval_with_attr_derivatives(&asn, &mask, attr).1[code as usize]
+                }
+                Var::Multi(j) => {
+                    let iprods = comp.interval_products(&asn, &mask);
+                    comp.delta_derivative(&iprods, &asn.multi, j)
+                }
+            };
             assert!(
                 (dn - dc).abs() < 1e-12 * dn.abs().max(1.0),
                 "{var:?}: {dn} vs {dc}"

@@ -1,18 +1,30 @@
-//! Coarse-grained data parallelism on scoped threads.
+//! Data parallelism on a persistent worker pool.
 //!
 //! crates.io is unreachable from the build environment, so this module is a
 //! small stand-in for the rayon idioms the kernel needs: chunked
-//! `for_each`/`map` over slices. Parallelism is only applied at coarse
-//! granularity (independent polynomial components, group-by cells, sampled
-//! tuples), where per-spawn overhead is negligible against the work per
-//! chunk; fine-grained term loops stay serial and allocation-free.
+//! `for_each`/`map` over slices. Earlier revisions spawned scoped threads on
+//! every call, which priced parallelism out of everything but very coarse
+//! work; the pool below keeps a set of lazily-spawned persistent workers
+//! behind a job queue, so dispatch costs a queue push and a condvar signal
+//! instead of a thread spawn. That lets fan-out pay off at much finer
+//! granularity (see the lowered thresholds in `factorized.rs`/`model.rs`
+//! and the per-term loops in `polynomial.rs`).
 //!
 //! Work is split into at most [`max_threads`] contiguous chunks, each at
 //! least `min_chunk` items, so results are bitwise identical to the serial
 //! order regardless of thread count — every item is processed independently
-//! and written to its own slot.
+//! and written to its own slot. The calling thread executes the first chunk
+//! itself and then blocks on a per-call latch until the workers drain the
+//! rest.
+//!
+//! Nested parallel calls (a worker's job itself calling into this module)
+//! run serially on the worker: a worker blocked on a latch while the queue
+//! holds the jobs it is waiting for would deadlock the pool.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// 0 = uninitialized; any other value = cached thread budget.
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -38,7 +50,8 @@ pub fn max_threads() -> usize {
 }
 
 /// Overrides the thread budget (`0` restores auto-detection). Used by tests
-/// to compare serial and parallel execution.
+/// to compare serial and parallel execution. Workers already spawned for a
+/// larger budget stay alive but idle; the pool never shrinks.
 pub fn set_max_threads(n: usize) {
     if n == 0 {
         MAX_THREADS.store(0, Ordering::Relaxed);
@@ -48,9 +61,136 @@ pub fn set_max_threads(n: usize) {
     }
 }
 
+/// A unit of queued work: one chunk of one parallel call, type-erased and
+/// lifetime-erased. Sound because the submitting call blocks on its latch
+/// until every one of its jobs has completed, so the borrowed closure,
+/// latch, and item chunks outlive the job (see `for_each_chunk_mut`).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide persistent worker pool.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    /// Names of the workers spawned so far, in spawn order. The pool grows
+    /// lazily up to the largest `threads − 1` any call has needed and then
+    /// stays fixed — repeated calls reuse the same workers.
+    worker_names: Mutex<Vec<String>>,
+    spawned_total: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        worker_names: Mutex::new(Vec::new()),
+        spawned_total: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// True inside pool workers; nested parallel calls run serially.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+impl Pool {
+    /// Spawns workers until at least `want` exist. Workers are daemon
+    /// threads that live for the process; they block on the queue condvar
+    /// while idle.
+    fn ensure_workers(&self, want: usize) {
+        let mut names = self.worker_names.lock().expect("pool worker registry");
+        while names.len() < want {
+            let name = format!("entropydb-par-{}", names.len());
+            std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(|| {
+                    IS_POOL_WORKER.with(|w| w.set(true));
+                    worker_loop();
+                })
+                .expect("spawn pool worker");
+            names.push(name);
+            self.spawned_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.queue.lock().expect("pool queue").push_back(job);
+        self.work_ready.notify_one();
+    }
+}
+
+fn worker_loop() -> ! {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = pool.work_ready.wait(queue).expect("pool queue");
+            }
+        };
+        job();
+    }
+}
+
+/// Per-call countdown latch; also records whether any job panicked (the
+/// panic is caught on the worker so the worker survives, and re-raised on
+/// the calling thread).
+struct Latch {
+    state: Mutex<(usize, bool)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new((count, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panicked: bool) {
+        let mut st = self.state.lock().expect("latch");
+        st.0 -= 1;
+        st.1 |= panicked;
+        if st.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job completed; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock().expect("latch");
+        while st.0 > 0 {
+            st = self.done.wait(st).expect("latch");
+        }
+        st.1
+    }
+}
+
+/// Names of the persistent workers spawned so far (test introspection: the
+/// set must stay stable across repeated parallel calls).
+pub fn worker_names() -> Vec<String> {
+    pool()
+        .worker_names
+        .lock()
+        .expect("pool worker registry")
+        .clone()
+}
+
+/// Total pool threads ever spawned (test introspection: equals the live
+/// worker count — workers are reused, never respawned).
+pub fn threads_spawned_total() -> usize {
+    pool().spawned_total.load(Ordering::Relaxed)
+}
+
 /// Splits `items` into contiguous chunks of at least `min_chunk` items and
-/// runs `f(base_index, chunk)` on each, in parallel when more than one chunk
-/// results. `f` sees every item exactly once, in order within a chunk.
+/// runs `f(base_index, chunk)` on each, fanning out across the worker pool
+/// when more than one chunk results. `f` sees every item exactly once, in
+/// order within a chunk; chunk boundaries depend only on `max_threads()`
+/// and the input length, never on scheduling.
 pub fn for_each_chunk_mut<U, F>(items: &mut [U], min_chunk: usize, f: F)
 where
     U: Send,
@@ -60,22 +200,63 @@ where
     if len == 0 {
         return;
     }
-    // Floor division keeps every chunk at least `min_chunk` items.
-    let threads = max_threads().min(len / min_chunk.max(1)).max(1);
+    // Floor division keeps every chunk at least `min_chunk` items. Nested
+    // calls from inside a pool worker stay serial (deadlock avoidance).
+    let nested = IS_POOL_WORKER.with(|w| w.get());
+    let threads = if nested {
+        1
+    } else {
+        max_threads().min(len / min_chunk.max(1)).max(1)
+    };
     if threads == 1 {
         f(0, items);
         return;
     }
     let chunk_size = len.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut base = 0;
-        for chunk in items.chunks_mut(chunk_size) {
-            let start = base;
-            base += chunk.len();
-            let f = &f;
-            scope.spawn(move || f(start, chunk));
-        }
-    });
+    let pool = pool();
+
+    let mut chunks = items.chunks_mut(chunk_size);
+    let first = chunks.next().expect("non-empty input");
+    let rest: Vec<(usize, &mut [U])> = {
+        let mut base = first.len();
+        chunks
+            .map(|chunk| {
+                let start = base;
+                base += chunk.len();
+                (start, chunk)
+            })
+            .collect()
+    };
+    pool.ensure_workers(rest.len());
+
+    let latch = Latch::new(rest.len());
+    let latch_ref: &Latch = &latch;
+    let f_ref: &(dyn Fn(usize, &mut [U]) + Sync) = &f;
+    for (start, chunk) in rest {
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| f_ref(start, chunk)));
+            latch_ref.complete(result.is_err());
+        });
+        // SAFETY: lifetime erasure only. This call always blocks on `latch`
+        // below until every submitted job has run to completion — including
+        // when the locally-executed chunk panics — so the borrows of `f`,
+        // `latch`, and the item chunks strictly outlive the jobs.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        pool.submit(job);
+    }
+
+    let local = catch_unwind(AssertUnwindSafe(|| f(0, first)));
+    let worker_panicked = latch.wait();
+    if let Err(payload) = local {
+        resume_unwind(payload);
+    }
+    if worker_panicked {
+        panic!("parallel worker task panicked");
+    }
 }
 
 /// Parallel indexed map: `out[i] = f(i, &items[i])`, chunked as in

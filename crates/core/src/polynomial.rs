@@ -31,13 +31,41 @@
 //!   deduplicated constrained-attribute sets (`term_attrset` /
 //!   `attrset_offsets` / `attrset_attrs`),
 //! * attribute → row offset into a single prefix-sum slab
-//!   (`prefix_starts`).
+//!   (`prefix_starts`),
+//! * constrained factor → precomputed **absolute** slab indices of its two
+//!   prefix cells (`pair_lo` / `pair_hi`), factor-major — every term pass
+//!   first materializes all interval sums `prefix[hi] − prefix[lo]` into a
+//!   contiguous factor-major buffer with one flat, branch-free subtraction
+//!   loop (the auto-vectorization target), then folds per-term products
+//!   over contiguous slices of that buffer.
 //!
 //! Evaluation-time state (the prefix-sum slab, attribute totals, complement
 //! products, difference/derivative buffers, cached interval products) lives
 //! in a reusable [`EvalScratch`], so `eval`, `eval_masked`, and
 //! `eval_with_attr_derivatives` perform **zero heap allocation in steady
 //! state** once a scratch has been warmed up.
+//!
+//! ## Incremental slab maintenance
+//!
+//! The solver's coordinate sweeps change one attribute's variables at a
+//! time, so refilling the whole slab before every per-attribute pass is
+//! O(all attributes) of wasted work. The scratch therefore tracks per-row
+//! dirty flags: [`EvalScratch::mark_attr_dirty`] flags a row whose
+//! variables changed, [`CompressedPolynomial::refill_attr`] recomputes
+//! exactly one row (bitwise identical to the row a full
+//! [`CompressedPolynomial::fill_scratch_with`] would produce), and
+//! [`CompressedPolynomial::refresh_dirty_with`] refreshes only the flagged
+//! rows — everything else is carried forward across passes and sweeps.
+//!
+//! For very large closures the per-term loops (delta products, interval
+//! products, the blocked term sum) fan out across the persistent worker
+//! pool ([`crate::par`]); block boundaries are fixed by the model size, so
+//! results stay bitwise independent of the thread count. Fan-out dispatch
+//! boxes one job per chunk, so the zero-allocation steady-state guarantee
+//! is scoped to the serial paths (models below the `PAR_MIN_*` thresholds,
+//! or any model under a single-thread budget) — for closures large enough
+//! to fan out, a handful of per-pass dispatch allocations is noise against
+//! the term work.
 //!
 //! Because every variable has degree ≤ 1 in `P` (monomials are multilinear),
 //! evaluation under a [`Mask`] plus *all* derivatives with respect to one
@@ -47,8 +75,22 @@
 
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
+use crate::par;
 use crate::statistics::MultiDimStatistic;
 use std::collections::HashMap;
+
+/// Fixed block width for the blocked term reduction: partial sums are
+/// computed per block (in parallel for very large closures) and folded in
+/// block order, so the float association — and therefore the result bits —
+/// depend only on the model size, never on the thread count.
+const TERM_BLOCK: usize = 8192;
+
+/// Minimum term count before the per-term loops fan out across the pool.
+const PAR_MIN_TERMS: usize = 1 << 15;
+
+/// Minimum constrained-factor count before the factor-difference pass fans
+/// out across the pool.
+const PAR_MIN_FACTORS: usize = 1 << 16;
 
 /// Identifies one model variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +147,12 @@ pub struct CompressedPolynomial {
     constr_attrs: Vec<u32>,
     constr_lo: Vec<u32>,
     constr_hi: Vec<u32>,
+    /// Per constrained factor: absolute slab index of the lower prefix cell
+    /// (`prefix_starts[attr] + lo`), factor-major, aligned with `constr_*`.
+    pair_lo: Vec<u32>,
+    /// Per constrained factor: absolute slab index of the upper prefix cell
+    /// (`prefix_starts[attr] + hi + 1`).
+    pair_hi: Vec<u32>,
     /// Term → id of its constrained-attribute set.
     term_attrset: Vec<u32>,
     /// CSR attrset → sorted attribute indices.
@@ -138,6 +186,15 @@ pub struct EvalScratch {
     derivs: Vec<f64>,
     /// Cached per-term interval products (multi-variable sweeps).
     iprods: Vec<f64>,
+    /// Factor-major interval differences `prefix[hi] − prefix[lo]`, one per
+    /// constrained factor — stage 1 of every term pass.
+    fdiff: Vec<f64>,
+    /// Fixed-width block partials for the blocked term reduction.
+    block_sums: Vec<f64>,
+    /// Per-attribute dirty flags for incremental slab maintenance: `true`
+    /// means the attribute's prefix row is stale relative to the variables
+    /// the caller intends to evaluate against.
+    dirty: Vec<bool>,
     /// Cached per-term `(δ−1)` products, valid while `multi_cache` matches
     /// the current multi values (query-time evaluation holds them fixed, so
     /// repeated passes skip the per-term fold entirely).
@@ -156,6 +213,18 @@ impl EvalScratch {
     /// derivative pass over an attribute with domain size `n`).
     pub fn derivs_slice(&self, n: usize) -> &[f64] {
         &self.derivs[..n]
+    }
+
+    /// Flags attribute `attr`'s prefix row as stale. The next
+    /// [`CompressedPolynomial::refresh_dirty_with`] recomputes exactly the
+    /// flagged rows and carries every other row forward.
+    pub fn mark_attr_dirty(&mut self, attr: usize) {
+        self.dirty[attr] = true;
+    }
+
+    /// Whether any prefix row is flagged stale.
+    pub fn has_dirty_rows(&self) -> bool {
+        self.dirty.iter().any(|&d| d)
     }
 }
 
@@ -231,6 +300,14 @@ impl CompressedPolynomial {
         // compatible subset. Factors spanning an attribute's full domain are
         // dropped from the constrained lists — the evaluation kernels supply
         // them through the complement product of whole-attribute totals.
+        let mut prefix_starts = Vec::with_capacity(m + 1);
+        let mut acc = 0u32;
+        for &n in domain_sizes {
+            prefix_starts.push(acc);
+            acc += n as u32 + 1;
+        }
+        prefix_starts.push(acc);
+
         let num_terms = entries.len() + 1;
         let mut delta_offsets = Vec::with_capacity(num_terms + 1);
         let mut delta_ids = Vec::new();
@@ -238,6 +315,8 @@ impl CompressedPolynomial {
         let mut constr_attrs = Vec::new();
         let mut constr_lo = Vec::new();
         let mut constr_hi = Vec::new();
+        let mut pair_lo = Vec::new();
+        let mut pair_hi = Vec::new();
         let mut term_attrset = Vec::with_capacity(num_terms);
         let mut attrset_lookup: HashMap<Vec<u32>, u32> = HashMap::new();
         let mut attrset_offsets: Vec<u32> = vec![0];
@@ -273,6 +352,8 @@ impl CompressedPolynomial {
                 constr_attrs.push(attr as u32);
                 constr_lo.push(lo);
                 constr_hi.push(hi);
+                pair_lo.push(prefix_starts[attr] + lo);
+                pair_hi.push(prefix_starts[attr] + hi + 1);
             }
             constr_offsets.push(constr_attrs.len() as u32);
             term_attrset.push(intern_attrset(set));
@@ -292,14 +373,6 @@ impl CompressedPolynomial {
             delta_term_offsets.push(delta_terms.len() as u32);
         }
 
-        let mut prefix_starts = Vec::with_capacity(m + 1);
-        let mut acc = 0u32;
-        for &n in domain_sizes {
-            prefix_starts.push(acc);
-            acc += n as u32 + 1;
-        }
-        prefix_starts.push(acc);
-
         Ok(CompressedPolynomial {
             domain_sizes: domain_sizes.to_vec(),
             num_multi: stats.len(),
@@ -311,6 +384,8 @@ impl CompressedPolynomial {
             constr_attrs,
             constr_lo,
             constr_hi,
+            pair_lo,
+            pair_hi,
             term_attrset,
             attrset_offsets,
             attrset_attrs,
@@ -377,11 +452,15 @@ impl CompressedPolynomial {
             diff: vec![0.0; self.max_domain + 1],
             derivs: vec![0.0; self.max_domain],
             iprods: vec![0.0; self.num_terms()],
+            fdiff: vec![0.0; self.constr_attrs.len()],
+            block_sums: vec![0.0; self.num_terms().div_ceil(TERM_BLOCK)],
             // With no multi statistics every delta product is the empty
             // product 1.0 and the (empty) cache is valid from the start;
             // otherwise the NaN sentinel forces the first pass to compute.
             dprod: vec![1.0; self.num_terms()],
             multi_cache: vec![f64::NAN; self.num_multi],
+            // Every row is stale until the first fill.
+            dirty: vec![true; self.arity()],
         }
     }
 
@@ -391,8 +470,16 @@ impl CompressedPolynomial {
         if s.multi_cache.as_slice() == multi {
             return;
         }
-        for t in 0..self.num_terms() {
-            s.dprod[t] = self.delta_product(t, multi);
+        if self.num_terms() >= PAR_MIN_TERMS {
+            par::for_each_chunk_mut(&mut s.dprod, 4096, |base, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = self.delta_product(base + off, multi);
+                }
+            });
+        } else {
+            for (t, slot) in s.dprod.iter_mut().enumerate() {
+                *slot = self.delta_product(t, multi);
+            }
         }
         s.multi_cache.copy_from_slice(multi);
     }
@@ -405,14 +492,41 @@ impl CompressedPolynomial {
             && s.diff.len() == self.max_domain + 1
             && s.derivs.len() == self.max_domain
             && s.iprods.len() == self.num_terms()
+            && s.fdiff.len() == self.constr_attrs.len()
             && s.dprod.len() == self.num_terms()
             && s.multi_cache.len() == self.num_multi
+            && s.dirty.len() == self.arity()
+    }
+
+    /// Computes one prefix row from values and optional weights; returns the
+    /// row total. Shared by the full fill and the incremental refill so both
+    /// produce bitwise-identical rows.
+    #[inline]
+    fn fill_row(row: &mut [f64], vals: &[f64], weights: Option<&[f64]>) -> f64 {
+        let mut acc = 0.0;
+        row[0] = 0.0;
+        match weights {
+            Some(w) => {
+                for (slot, (&wv, &xv)) in row[1..].iter_mut().zip(w.iter().zip(vals)) {
+                    acc += wv * xv;
+                    *slot = acc;
+                }
+            }
+            None => {
+                for (slot, &xv) in row[1..].iter_mut().zip(vals) {
+                    acc += xv;
+                    *slot = acc;
+                }
+            }
+        }
+        acc
     }
 
     /// Fills the scratch's prefix-sum slab and attribute totals from
     /// per-attribute value slices: `get(i)` returns attribute `i`'s variable
     /// values and optional mask weights. `prefix[start+v+1] − prefix[start+lo]`
-    /// is then the interval sum `Σ w·α` over `[lo, v]`.
+    /// is then the interval sum `Σ w·α` over `[lo, v]`. Clears every dirty
+    /// flag.
     pub fn fill_scratch_with<'a>(
         &self,
         s: &mut EvalScratch,
@@ -421,25 +535,53 @@ impl CompressedPolynomial {
         debug_assert!(self.scratch_fits(s));
         for (i, &n) in self.domain_sizes.iter().enumerate() {
             let start = self.prefix_starts[i] as usize;
-            let row = &mut s.prefix[start..start + n + 1];
             let (vals, weights) = get(i);
-            let mut acc = 0.0;
-            row[0] = 0.0;
-            match weights {
-                Some(w) => {
-                    for (slot, (&wv, &xv)) in row[1..].iter_mut().zip(w.iter().zip(vals)) {
-                        acc += wv * xv;
-                        *slot = acc;
-                    }
-                }
-                None => {
-                    for (slot, &xv) in row[1..].iter_mut().zip(vals) {
-                        acc += xv;
-                        *slot = acc;
-                    }
-                }
+            s.totals[i] = Self::fill_row(&mut s.prefix[start..start + n + 1], vals, weights);
+        }
+        s.dirty.fill(false);
+    }
+
+    /// Incremental slab maintenance: recomputes only attribute `attr`'s
+    /// prefix row and total — bitwise identical to the row a full
+    /// [`CompressedPolynomial::fill_scratch_with`] would produce from the
+    /// same values — and clears its dirty flag. Every other row is carried
+    /// forward untouched.
+    pub fn refill_attr(
+        &self,
+        s: &mut EvalScratch,
+        attr: usize,
+        vals: &[f64],
+        weights: Option<&[f64]>,
+    ) {
+        debug_assert!(self.scratch_fits(s));
+        debug_assert!(attr < self.arity());
+        let n = self.domain_sizes[attr];
+        // A short slice would leave trailing prefix cells stale while
+        // clearing the dirty flag — silent corruption; fail loudly instead.
+        debug_assert_eq!(vals.len(), n, "refill_attr: values/domain mismatch");
+        debug_assert!(
+            weights.is_none_or(|w| w.len() == n),
+            "refill_attr: weights/domain mismatch"
+        );
+        let start = self.prefix_starts[attr] as usize;
+        s.totals[attr] = Self::fill_row(&mut s.prefix[start..start + n + 1], vals, weights);
+        s.dirty[attr] = false;
+    }
+
+    /// Refreshes every row flagged by [`EvalScratch::mark_attr_dirty`] from
+    /// `get`, leaving clean rows untouched. A no-op when nothing is dirty —
+    /// the solver's steady state, where one coordinate pass dirties exactly
+    /// one row.
+    pub fn refresh_dirty_with<'a>(
+        &self,
+        s: &mut EvalScratch,
+        get: impl Fn(usize) -> (&'a [f64], Option<&'a [f64]>),
+    ) {
+        for attr in 0..self.arity() {
+            if s.dirty[attr] {
+                let (vals, weights) = get(attr);
+                self.refill_attr(s, attr, vals, weights);
             }
-            s.totals[i] = acc;
         }
     }
 
@@ -483,33 +625,74 @@ impl CompressedPolynomial {
             .fold(1.0, |acc, &j| acc * (multi[j as usize] - 1.0))
     }
 
+    /// Stage 1 of every term pass: materializes every constrained factor's
+    /// interval sum `prefix[hi] − prefix[lo]` into the factor-major `fdiff`
+    /// buffer. One flat, branch-free subtraction loop over precomputed
+    /// absolute slab indices (contiguous stores — the auto-vectorization
+    /// target), fanned out across the pool for very large closures.
+    fn compute_factor_diffs(&self, s: &mut EvalScratch) {
+        let EvalScratch { prefix, fdiff, .. } = s;
+        let prefix: &[f64] = prefix;
+        if fdiff.len() >= PAR_MIN_FACTORS {
+            par::for_each_chunk_mut(fdiff, 4096, |base, chunk| {
+                for (off, d) in chunk.iter_mut().enumerate() {
+                    let k = base + off;
+                    *d = prefix[self.pair_hi[k] as usize] - prefix[self.pair_lo[k] as usize];
+                }
+            });
+        } else {
+            for ((d, &hi), &lo) in fdiff.iter_mut().zip(&self.pair_hi).zip(&self.pair_lo) {
+                *d = prefix[hi as usize] - prefix[lo as usize];
+            }
+        }
+    }
+
     /// Sum over terms of delta product × complement product × constrained
     /// interval sums. Requires a filled scratch with complement products
-    /// and refreshed delta products.
-    fn sum_terms(&self, s: &EvalScratch) -> f64 {
-        let mut p = 0.0;
-        'terms: for t in 0..self.num_terms() {
-            let mut prod = s.dprod[t];
-            if prod == 0.0 {
-                continue;
-            }
-            prod *= s.set_comp[self.term_attrset[t] as usize];
-            if prod == 0.0 {
-                continue;
-            }
-            let lo = self.constr_offsets[t] as usize;
-            let hi = self.constr_offsets[t + 1] as usize;
-            for k in lo..hi {
-                let base = self.prefix_starts[self.constr_attrs[k] as usize] as usize;
-                prod *= s.prefix[base + self.constr_hi[k] as usize + 1]
-                    - s.prefix[base + self.constr_lo[k] as usize];
+    /// and refreshed delta products. Large closures reduce in fixed-width
+    /// blocks (partials folded in block order), so the result is bitwise
+    /// independent of the thread count.
+    fn sum_terms(&self, s: &mut EvalScratch) -> f64 {
+        self.compute_factor_diffs(s);
+        let EvalScratch {
+            set_comp,
+            dprod,
+            fdiff,
+            block_sums,
+            ..
+        } = s;
+        let (set_comp, dprod, fdiff): (&[f64], &[f64], &[f64]) = (set_comp, dprod, fdiff);
+        let sum_range = |range: std::ops::Range<usize>| -> f64 {
+            let mut p = 0.0;
+            for t in range {
+                let mut prod = dprod[t];
                 if prod == 0.0 {
-                    continue 'terms;
+                    continue;
                 }
+                prod *= set_comp[self.term_attrset[t] as usize];
+                if prod == 0.0 {
+                    continue;
+                }
+                let lo = self.constr_offsets[t] as usize;
+                let hi = self.constr_offsets[t + 1] as usize;
+                for &d in &fdiff[lo..hi] {
+                    prod *= d;
+                }
+                p += prod;
             }
-            p += prod;
+            p
+        };
+        let n = self.num_terms();
+        if n < PAR_MIN_TERMS {
+            return sum_range(0..n);
         }
-        p
+        par::for_each_chunk_mut(block_sums, 1, |base, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let b = base + off;
+                *slot = sum_range(b * TERM_BLOCK..((b + 1) * TERM_BLOCK).min(n));
+            }
+        });
+        block_sums.iter().sum()
     }
 
     /// Evaluates `P` at `a` (convenience wrapper; allocates a scratch).
@@ -591,9 +774,10 @@ impl CompressedPolynomial {
         }
         self.ensure_delta_products(multi, s);
         self.compute_set_products(s, Some(attr));
+        self.compute_factor_diffs(s);
         s.diff[..n_attr + 1].fill(0.0);
 
-        'terms: for t in 0..self.num_terms() {
+        for t in 0..self.num_terms() {
             let mut excl = s.dprod[t];
             if excl == 0.0 {
                 continue;
@@ -604,17 +788,11 @@ impl CompressedPolynomial {
             let lo = self.constr_offsets[t] as usize;
             let hi = self.constr_offsets[t + 1] as usize;
             for k in lo..hi {
-                let a_k = self.constr_attrs[k] as usize;
-                if a_k == attr {
+                if self.constr_attrs[k] as usize == attr {
                     lo_t = self.constr_lo[k];
                     hi_t = self.constr_hi[k];
-                    continue;
-                }
-                let base = self.prefix_starts[a_k] as usize;
-                excl *= s.prefix[base + self.constr_hi[k] as usize + 1]
-                    - s.prefix[base + self.constr_lo[k] as usize];
-                if excl == 0.0 {
-                    continue 'terms;
+                } else {
+                    excl *= s.fdiff[k];
                 }
             }
             if excl != 0.0 {
@@ -647,22 +825,35 @@ impl CompressedPolynomial {
 
     /// Fills `scratch.iprods()` with the per-term interval products from an
     /// already-filled scratch. Allocation-free. (Interval products contain
-    /// no `(δ−1)` factors, so no delta-product refresh is needed.)
+    /// no `(δ−1)` factors, so no delta-product refresh is needed.) Each term
+    /// writes its own slot, so the loop fans out across the pool for very
+    /// large closures with bitwise-identical results.
     pub fn interval_products_prefilled(&self, s: &mut EvalScratch) {
         self.compute_set_products(s, None);
-        for t in 0..self.num_terms() {
-            let mut prod = s.set_comp[self.term_attrset[t] as usize];
-            let lo = self.constr_offsets[t] as usize;
-            let hi = self.constr_offsets[t + 1] as usize;
-            for k in lo..hi {
-                if prod == 0.0 {
-                    break;
+        self.compute_factor_diffs(s);
+        let EvalScratch {
+            set_comp,
+            fdiff,
+            iprods,
+            ..
+        } = s;
+        let (set_comp, fdiff): (&[f64], &[f64]) = (set_comp, fdiff);
+        let fill = |base: usize, chunk: &mut [f64]| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let t = base + off;
+                let mut prod = set_comp[self.term_attrset[t] as usize];
+                let lo = self.constr_offsets[t] as usize;
+                let hi = self.constr_offsets[t + 1] as usize;
+                for &d in &fdiff[lo..hi] {
+                    prod *= d;
                 }
-                let base = self.prefix_starts[self.constr_attrs[k] as usize] as usize;
-                prod *= s.prefix[base + self.constr_hi[k] as usize + 1]
-                    - s.prefix[base + self.constr_lo[k] as usize];
+                *slot = prod;
             }
-            s.iprods[t] = prod;
+        };
+        if iprods.len() >= PAR_MIN_TERMS {
+            par::for_each_chunk_mut(iprods, 4096, fill);
+        } else {
+            fill(0, iprods);
         }
     }
 
@@ -698,7 +889,12 @@ impl CompressedPolynomial {
     }
 
     /// Generic single-variable derivative `dP/dvar` under `mask` (reference
-    /// path used by tests and the gradient-ascent baseline solver).
+    /// path used by tests only).
+    #[deprecated(note = "per-variable slow path: one full batched pass (and a scratch \
+                allocation) per variable; use eval_with_attr_derivatives_with \
+                for all of an attribute's derivatives in one pass, or \
+                interval_products_prefilled + delta_derivative for multi \
+                variables")]
     pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
         match var {
             Var::OneDim { attr, code } => {

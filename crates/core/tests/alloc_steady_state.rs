@@ -138,6 +138,55 @@ fn warmed_kernels_allocate_nothing() {
     );
 }
 
+/// The incremental slab-maintenance path (the solver's hot loop): in-place
+/// variable updates, dirty-row refills, and the prefilled kernels allocate
+/// nothing in steady state.
+#[test]
+fn incremental_refill_path_allocates_nothing() {
+    let (sizes, stats, a, _) = model();
+    let flat = CompressedPolynomial::build(&sizes, &stats).unwrap();
+    let mut scratch = flat.make_scratch();
+    let mut vars = a.one_dim.clone();
+
+    // Warm-up: full fill plus one round of every kernel.
+    flat.fill_scratch_with(&mut scratch, |i| (vars[i].as_slice(), None));
+    flat.eval_prefilled(&a.multi, &mut scratch);
+    for (attr, vals) in vars.iter().enumerate() {
+        flat.derivs_prefilled(&a.multi, vals, None, attr, &mut scratch);
+    }
+    flat.interval_products_prefilled(&mut scratch);
+
+    let mut sink = 0.0;
+    let allocs = allocations_during(|| {
+        for round in 0..16 {
+            for attr in 0..sizes.len() {
+                // In-place update of one attribute's variables, then an
+                // O(one row) refresh — the solver's per-pass pattern.
+                for (v, x) in vars[attr].iter_mut().enumerate() {
+                    *x = 0.03 + ((round + 2) * (v + 1) % 13) as f64 / 13.0;
+                }
+                if round % 2 == 0 {
+                    flat.refill_attr(&mut scratch, attr, &vars[attr], None);
+                } else {
+                    scratch.mark_attr_dirty(attr);
+                    flat.refresh_dirty_with(&mut scratch, |i| (vars[i].as_slice(), None));
+                }
+                sink += flat
+                    .derivs_prefilled(&a.multi, &vars[attr], None, attr, &mut scratch)
+                    .0;
+            }
+            sink += flat.eval_prefilled(&a.multi, &mut scratch);
+            flat.interval_products_prefilled(&mut scratch);
+            sink += flat.eval_from_interval_products(scratch.iprods(), &a.multi);
+        }
+    });
+    assert!(sink.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "incremental refill path must not allocate, saw {allocs} allocations"
+    );
+}
+
 /// The convenience wrappers still work (and obviously allocate) — the
 /// zero-alloc contract is specific to the `_with`/prefilled kernels.
 #[test]

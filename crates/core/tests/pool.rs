@@ -1,0 +1,204 @@
+//! Behavioral tests for the persistent worker pool (`entropydb_core::par`).
+//!
+//! Covered here: bitwise parallel == serial determinism across thread
+//! budgets, pool reuse (no thread churn — the worker-name set stays stable
+//! across calls), `set_max_threads(0)` re-detection, nested-call safety,
+//! and worker-panic propagation without killing the pool.
+//!
+//! `set_max_threads` and the pool are process-global, so the tests in this
+//! binary serialize on a mutex.
+
+use entropydb_core::par;
+use entropydb_core::prelude::*;
+use entropydb_storage::{AttrId, Attribute, Predicate, Schema, Table};
+use std::sync::{Mutex, MutexGuard};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    // A panicking test (see worker_panic below) must not wedge the rest.
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn test_table() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::categorical("A", 3).unwrap(),
+        Attribute::categorical("B", 4).unwrap(),
+        Attribute::categorical("C", 2).unwrap(),
+    ]);
+    let mut t = Table::new(schema);
+    for (row, copies) in [
+        ([0u32, 0u32, 0u32], 4),
+        ([0, 1, 1], 2),
+        ([0, 3, 0], 1),
+        ([1, 0, 1], 3),
+        ([1, 2, 0], 2),
+        ([2, 1, 0], 2),
+        ([2, 2, 1], 5),
+        ([2, 3, 1], 1),
+    ] {
+        for _ in 0..copies {
+            t.push_row(&row).unwrap();
+        }
+    }
+    t
+}
+
+/// Solve + batched query paths are bitwise identical at every thread
+/// budget the satellite requires: 1, 2, 4, 8.
+#[test]
+fn parallel_equals_serial_bitwise_across_thread_counts() {
+    let _lock = serialized();
+    let table = test_table();
+    let specs = vec![
+        MultiDimStatistic::cell2d(AttrId(0), 0, AttrId(1), 0).unwrap(),
+        MultiDimStatistic::cell2d(AttrId(1), 2, AttrId(2), 0).unwrap(),
+    ];
+    let stats = Statistics::observe(&table, specs).unwrap();
+    let poly = FactorizedPolynomial::build(stats.domain_sizes(), stats.multi()).unwrap();
+    let preds: Vec<Predicate> = (0..3u32)
+        .flat_map(|x| (0..4u32).map(move |y| Predicate::new().eq(AttrId(0), x).eq(AttrId(1), y)))
+        .collect();
+
+    par::set_max_threads(1);
+    let baseline_solve =
+        entropydb_core::solver::solve(&poly, &stats, &SolverConfig::default()).unwrap();
+    let summary =
+        MaxEntSummary::build(&table, stats.multi().to_vec(), &SolverConfig::default()).unwrap();
+    let baseline_batch = summary.estimate_count_batch(&preds).unwrap();
+    let baseline_g2 = summary
+        .estimate_group_by2(&Predicate::all(), AttrId(0), AttrId(1))
+        .unwrap();
+    let baseline_rows = summary.sample_rows(64, 9).unwrap();
+
+    for threads in [2, 4, 8] {
+        par::set_max_threads(threads);
+        let solved =
+            entropydb_core::solver::solve(&poly, &stats, &SolverConfig::default()).unwrap();
+        assert_eq!(solved.0, baseline_solve.0, "solve diverged at {threads}");
+        assert_eq!(solved.1.sweeps, baseline_solve.1.sweeps);
+
+        let batch = summary.estimate_count_batch(&preds).unwrap();
+        for (b, s) in batch.iter().zip(&baseline_batch) {
+            assert_eq!(
+                b.expectation.to_bits(),
+                s.expectation.to_bits(),
+                "batch diverged at {threads} threads"
+            );
+        }
+        let g2 = summary
+            .estimate_group_by2(&Predicate::all(), AttrId(0), AttrId(1))
+            .unwrap();
+        for (row_p, row_s) in g2.iter().zip(&baseline_g2) {
+            for (p, s) in row_p.iter().zip(row_s) {
+                assert_eq!(p.expectation.to_bits(), s.expectation.to_bits());
+            }
+        }
+        let rows = summary.sample_rows(64, 9).unwrap();
+        for i in 0..64 {
+            assert_eq!(rows.row(i), baseline_rows.row(i), "sample {i} at {threads}");
+        }
+    }
+    par::set_max_threads(0);
+}
+
+/// The pool spawns workers once and reuses them: the worker-name set is
+/// stable across many parallel calls, and the total-spawn counter matches
+/// the live set (no churn, no leaks).
+#[test]
+fn pool_reuses_workers_across_calls() {
+    let _lock = serialized();
+    par::set_max_threads(4);
+    // Warm the pool.
+    for _ in 0..4 {
+        let out = par::map_indexed(64, 1, |i| i * 2);
+        assert_eq!(out[33], 66);
+    }
+    let names_before = par::worker_names();
+    let spawned_before = par::threads_spawned_total();
+    assert!(
+        !names_before.is_empty(),
+        "parallel calls at 4 threads must have spawned workers"
+    );
+    assert!(names_before.iter().all(|n| n.starts_with("entropydb-par-")));
+
+    for round in 0..100 {
+        let out = par::map_indexed(256, 1, |i| i + round);
+        assert_eq!(out[17], 17 + round);
+    }
+    assert_eq!(
+        par::worker_names(),
+        names_before,
+        "worker-name set changed across calls (thread churn)"
+    );
+    assert_eq!(
+        par::threads_spawned_total(),
+        spawned_before,
+        "pool spawned new threads for repeat calls (leak)"
+    );
+    par::set_max_threads(0);
+}
+
+/// `set_max_threads(0)` restores auto-detection (env override or the
+/// machine's available parallelism).
+#[test]
+fn set_zero_restores_detection() {
+    let _lock = serialized();
+    par::set_max_threads(3);
+    assert_eq!(par::max_threads(), 3);
+    par::set_max_threads(0);
+    let expected = std::env::var("ENTROPYDB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    assert_eq!(par::max_threads(), expected);
+}
+
+/// Nested parallel calls (a pool job calling back into `par`) complete with
+/// correct results instead of deadlocking the pool.
+#[test]
+fn nested_parallel_calls_complete() {
+    let _lock = serialized();
+    par::set_max_threads(4);
+    let out = par::map_indexed(8, 1, |i| {
+        let inner = par::map_indexed(16, 1, |j| (i * 100 + j) as u64);
+        inner.iter().sum::<u64>()
+    });
+    for (i, &total) in out.iter().enumerate() {
+        let expected: u64 = (0..16).map(|j| (i * 100 + j) as u64).sum();
+        assert_eq!(total, expected, "outer item {i}");
+    }
+    par::set_max_threads(0);
+}
+
+/// A panic inside a worker job propagates to the caller, and the pool
+/// stays usable afterwards (the worker catches the panic and survives).
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    let _lock = serialized();
+    par::set_max_threads(4);
+    let result = std::panic::catch_unwind(|| {
+        let mut items = vec![0u32; 64];
+        par::for_each_chunk_mut(&mut items, 1, |base, chunk| {
+            if base > 0 {
+                panic!("boom in worker chunk");
+            }
+            for x in chunk.iter_mut() {
+                *x = 1;
+            }
+        });
+    });
+    assert!(result.is_err(), "worker panic must propagate to the caller");
+
+    // The pool is still functional with the same workers.
+    let names = par::worker_names();
+    let out = par::map_indexed(128, 1, |i| i * 3);
+    assert_eq!(out, (0..128).map(|i| i * 3).collect::<Vec<_>>());
+    assert_eq!(par::worker_names(), names, "panic must not kill workers");
+    par::set_max_threads(0);
+}

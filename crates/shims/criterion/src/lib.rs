@@ -12,7 +12,17 @@
 //! repository is tracked from run to run.
 
 pub use std::hint::black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// CI smoke mode: when `ENTROPYDB_BENCH_FAST` is set (and not `"0"`), every
+/// benchmark runs a minimal warm-up and two short samples — enough to
+/// exercise the code path and emit a structurally complete
+/// `BENCH_<target>.json`, without the full measurement budget.
+fn fast_mode() -> bool {
+    static FAST: OnceLock<bool> = OnceLock::new();
+    *FAST.get_or_init(|| std::env::var_os("ENTROPYDB_BENCH_FAST").is_some_and(|v| v != *"0"))
+}
 
 /// One measured benchmark.
 #[derive(Debug, Clone)]
@@ -32,6 +42,7 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     results: Vec<Measurement>,
+    metrics: Vec<(String, String, f64)>,
 }
 
 impl Default for Criterion {
@@ -41,6 +52,7 @@ impl Default for Criterion {
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 }
@@ -83,11 +95,25 @@ impl Criterion {
         self.run_one(group, name, f);
     }
 
+    /// Records a non-timing metric (e.g. sweeps-to-converge, a final
+    /// objective value) under a group; emitted into the group's `"metrics"`
+    /// object in `BENCH_<target>.json`. Not part of the real criterion API —
+    /// the bench targets use it so perf artifacts carry convergence
+    /// side-channels alongside ns/op.
+    pub fn record_metric(&mut self, group: impl Into<String>, name: impl Into<String>, value: f64) {
+        self.metrics.push((group.into(), name.into(), value));
+    }
+
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, group: String, id: String, mut f: F) {
+        let (sample_size, measurement_time, warm_up_time) = if fast_mode() {
+            (2, Duration::from_millis(20), Duration::from_millis(1))
+        } else {
+            (self.sample_size, self.measurement_time, self.warm_up_time)
+        };
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-            warm_up_time: self.warm_up_time,
+            sample_size,
+            measurement_time,
+            warm_up_time,
             median_ns: 0.0,
         };
         f(&mut bencher);
@@ -180,6 +206,7 @@ impl Bencher {
 pub struct BenchReport {
     target: String,
     results: Vec<Measurement>,
+    metrics: Vec<(String, String, f64)>,
 }
 
 impl BenchReport {
@@ -188,12 +215,14 @@ impl BenchReport {
         BenchReport {
             target: target.to_string(),
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
-    /// Takes the measurements out of a finished `Criterion`.
+    /// Takes the measurements and metrics out of a finished `Criterion`.
     pub fn absorb(&mut self, criterion: Criterion) {
         self.results.extend(criterion.results);
+        self.metrics.extend(criterion.metrics);
     }
 
     /// Renders the JSON document.
@@ -202,6 +231,11 @@ impl BenchReport {
         for m in &self.results {
             if !groups.contains(&m.group.as_str()) {
                 groups.push(&m.group);
+            }
+        }
+        for (g, _, _) in &self.metrics {
+            if !groups.contains(&g.as_str()) {
+                groups.push(g);
             }
         }
         let mut out = String::new();
@@ -246,6 +280,22 @@ impl BenchReport {
                     }
                     out.push_str("      }");
                 }
+            }
+            // Non-timing metrics recorded for this group.
+            let group_metrics: Vec<&(String, String, f64)> =
+                self.metrics.iter().filter(|(g, _, _)| g == group).collect();
+            if !group_metrics.is_empty() {
+                out.push_str(",\n      \"metrics\": {\n");
+                for (i, (_, name, value)) in group_metrics.iter().enumerate() {
+                    let comma = if i + 1 < group_metrics.len() { "," } else { "" };
+                    let rendered = if value.is_finite() {
+                        format!("{value}")
+                    } else {
+                        "null".to_string()
+                    };
+                    out.push_str(&format!("        {}: {rendered}{comma}\n", json_str(name)));
+                }
+                out.push_str("      }");
             }
             out.push('\n');
             let comma = if gi + 1 < groups.len() { "," } else { "" };
@@ -343,5 +393,24 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn metrics_rendered_per_group() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("g/timed", |b| b.iter(|| 1 + 1));
+        c.record_metric("g", "sweeps_to_converge", 12.0);
+        c.record_metric("extra", "final_psi", -3.5);
+        let mut report = BenchReport::new("unit");
+        report.absorb(c);
+        let json = report.to_json();
+        assert!(json.contains("\"metrics\""), "{json}");
+        assert!(json.contains("\"sweeps_to_converge\": 12"), "{json}");
+        // A metrics-only group still renders.
+        assert!(json.contains("\"extra\""), "{json}");
+        assert!(json.contains("\"final_psi\": -3.5"), "{json}");
     }
 }
