@@ -1,0 +1,485 @@
+//! The query-engine layer: summary backends behind one generic engine.
+//!
+//! Historically every query path (`estimate_count`, `estimate_group_by`,
+//! `top_k`, `sample_rows`, ...) was hard-wired onto
+//! [`MaxEntSummary`](crate::model::MaxEntSummary). This module factors those
+//! paths into three pieces:
+//!
+//! * [`SummaryBackend`] — the estimator primitives a summary representation
+//!   must provide, all phrased against a query [`Mask`] and an explicit
+//!   reusable scratch. [`MaxEntSummary`](crate::model::MaxEntSummary) is one
+//!   backend (a single fitted model);
+//!   [`ShardedSummary`](crate::sharded::ShardedSummary) is another (per-shard
+//!   models with merged estimates).
+//! * [`QueryEngine`] — the generic front-end owning the scratch pool and the
+//!   batching/fan-out logic (predicate validation, mask construction,
+//!   parallel batch dispatch through [`crate::par`]). It works with any
+//!   backend and is what an async serving layer would hold per summary.
+//! * shared path functions (`paths`) — one implementation of every query
+//!   path, used both by [`QueryEngine`] and by the backends' inherent
+//!   convenience APIs, so the two surfaces cannot drift apart.
+//!
+//! Backends answer under a *mask* rather than a predicate so the engine can
+//! derive many masked evaluations from one validated predicate (group-by
+//! cells, top-k re-probes, sequential-conditional sampling) without
+//! re-validating or re-translating.
+
+use crate::assignment::Mask;
+use crate::error::{ModelError, Result};
+use crate::par;
+use crate::query::Estimate;
+use entropydb_storage::{AttrId, Predicate, Schema, Table};
+use std::sync::Mutex;
+
+/// A pool of evaluation workspaces shared across query calls. Queries pop a
+/// scratch (or build one on first use), run allocation-free, and return it;
+/// the pool grows to the number of concurrently querying threads and then
+/// stays fixed.
+pub struct ScratchPool<S> {
+    pool: Mutex<Vec<S>>,
+}
+
+impl<S> ScratchPool<S> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f` against a pooled scratch, creating one with `make` when the
+    /// pool is empty (first use, or contention above the current pool size).
+    pub fn with<R>(&self, make: impl FnOnce() -> S, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut s = self
+            .pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(make);
+        let out = f(&mut s);
+        self.pool.lock().expect("scratch pool poisoned").push(s);
+        out
+    }
+
+    /// Number of idle scratches currently pooled (introspection for tests).
+    pub fn idle(&self) -> usize {
+        self.pool.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+impl<S> Default for ScratchPool<S> {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+// `Debug` without requiring `S: Debug` — scratches are opaque shape-bound
+// caches; the pool's only observable state is how many sit idle.
+impl<S> std::fmt::Debug for ScratchPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+impl<S> Clone for ScratchPool<S> {
+    fn clone(&self) -> Self {
+        // Scratches are cheap, shape-bound caches; a clone starts empty.
+        ScratchPool::new()
+    }
+}
+
+/// The estimator primitives a summary representation provides to the
+/// [`QueryEngine`]. All methods take a caller-supplied scratch so the engine
+/// can pool workspaces and keep steady-state querying allocation-free.
+///
+/// Masks passed in are already validated against the backend's schema (the
+/// engine does that once per query).
+pub trait SummaryBackend: Send + Sync {
+    /// The reusable evaluation workspace of this backend.
+    type Scratch: Send;
+    /// Per-call context for [`SummaryBackend::sample_tuple`], computed once
+    /// per `sample_rows` call (e.g. a per-tuple shard assignment).
+    type SamplePlan: Send + Sync;
+
+    /// The summarized relation's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Relation cardinality `n`.
+    fn n(&self) -> u64;
+
+    /// Active-domain sizes per attribute.
+    fn domain_sizes(&self) -> &[usize];
+
+    /// Builds a fresh evaluation scratch.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// The model probability that a single tuple draw satisfies the mask,
+    /// clamped into `[0, 1]`.
+    fn probability_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> f64;
+
+    /// `SELECT COUNT(*)` estimate (expectation + variance) under the mask.
+    fn count_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Estimate;
+
+    /// `SELECT SUM(values[code(attr)])` estimate under the `base` COUNT
+    /// mask. `values` holds the per-code numeric weight of `attr` (bucket
+    /// midpoints for binned attributes, the code itself for categorical
+    /// ones); the backend derives the weighted masks it needs.
+    fn sum_under_mask(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Estimate>;
+
+    /// One estimate per value of `attr` under the mask — the batched
+    /// group-by pass.
+    fn group_by_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        scratch: &mut Self::Scratch,
+    ) -> Vec<Estimate>;
+
+    /// Top-`k` values of `attr` by estimated count under the mask. The
+    /// default ranks the full group-by pass; backends with a cheaper or
+    /// merge-aware strategy (per-shard candidates + re-probe) override it.
+    fn top_k_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        scratch: &mut Self::Scratch,
+    ) -> Vec<(u32, Estimate)> {
+        rank_top_k(self.group_by_under_mask(mask, attr, scratch), k)
+    }
+
+    /// Computes the per-call context shared by every [`Self::sample_tuple`]
+    /// of one `sample_rows(k, seed)` call.
+    fn plan_samples(&self, k: usize, seed: u64) -> Self::SamplePlan;
+
+    /// Draws synthetic tuple `index` of a `sample_rows` call into `row`.
+    ///
+    /// Implementations must derive their randomness only from `(seed,
+    /// index)` — never from call order or thread identity — so sampling is
+    /// deterministic and independent of how tuples are fanned out.
+    fn sample_tuple(
+        &self,
+        plan: &Self::SamplePlan,
+        index: usize,
+        seed: u64,
+        row: &mut [u32],
+        scratch: &mut Self::Scratch,
+    ) -> Result<()>;
+}
+
+/// Ranks a group-by result set by expectation (descending, ties broken by
+/// value ascending) and keeps the first `k` — the shared top-k ordering of
+/// every backend.
+pub fn rank_top_k(groups: Vec<Estimate>, k: usize) -> Vec<(u32, Estimate)> {
+    let mut ranked: Vec<(u32, Estimate)> = groups
+        .into_iter()
+        .enumerate()
+        .map(|(v, e)| (v as u32, e))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.expectation
+            .total_cmp(&a.1.expectation)
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// The generic query front-end: owns the backend, the scratch pool, and the
+/// batching/fan-out logic. Every public estimator of
+/// [`MaxEntSummary`](crate::model::MaxEntSummary) and
+/// [`ShardedSummary`](crate::sharded::ShardedSummary) routes through the
+/// same path functions this engine uses, so an engine wrapped around a
+/// backend answers bit-identically to the backend's inherent API.
+#[derive(Debug)]
+pub struct QueryEngine<B: SummaryBackend> {
+    backend: B,
+    scratch: ScratchPool<B::Scratch>,
+}
+
+impl<B: SummaryBackend> QueryEngine<B> {
+    /// Wraps a backend with a fresh scratch pool.
+    pub fn new(backend: B) -> Self {
+        QueryEngine {
+            backend,
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Unwraps the backend, dropping the pooled scratches.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// Relation cardinality `n`.
+    pub fn n(&self) -> u64 {
+        self.backend.n()
+    }
+
+    /// The summarized relation's schema.
+    pub fn schema(&self) -> &Schema {
+        self.backend.schema()
+    }
+
+    /// The model probability that a single tuple draw satisfies `pred`.
+    pub fn probability(&self, pred: &Predicate) -> Result<f64> {
+        paths::probability(&self.backend, &self.scratch, pred)
+    }
+
+    /// Estimates `SELECT COUNT(*) WHERE pred` with its variance.
+    pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
+        paths::estimate_count(&self.backend, &self.scratch, pred)
+    }
+
+    /// Estimates one COUNT per predicate, fanning the batch out across
+    /// threads. Identical to mapping [`QueryEngine::estimate_count`].
+    pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
+        paths::estimate_count_batch(&self.backend, &self.scratch, preds)
+    }
+
+    /// Estimates `SELECT SUM(value(attr)) WHERE pred`.
+    pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
+        paths::estimate_sum(&self.backend, &self.scratch, pred, attr)
+    }
+
+    /// Estimates `SELECT AVG(value(attr)) WHERE pred`; `None` when the
+    /// model gives the predicate zero probability.
+    pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
+        paths::estimate_avg(&self.backend, &self.scratch, pred, attr)
+    }
+
+    /// Estimates `SELECT attr, COUNT(*) WHERE pred GROUP BY attr` for every
+    /// value of `attr` in one batched pass.
+    pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
+        paths::estimate_group_by(&self.backend, &self.scratch, pred, attr)
+    }
+
+    /// Estimates the two-attribute group-by; returns `rows[v_b][v_a]` with
+    /// the `attr_b` cells fanned out across threads.
+    pub fn estimate_group_by2(
+        &self,
+        pred: &Predicate,
+        attr_a: AttrId,
+        attr_b: AttrId,
+    ) -> Result<Vec<Vec<Estimate>>> {
+        paths::estimate_group_by2(&self.backend, &self.scratch, pred, attr_a, attr_b)
+    }
+
+    /// `SELECT attr, COUNT(*) ... GROUP BY attr ORDER BY count DESC LIMIT k`.
+    pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
+        paths::top_k(&self.backend, &self.scratch, pred, attr, k)
+    }
+
+    /// Top-k per attribute for several candidate attributes, scored in
+    /// parallel; element `i` is `top_k(pred, attrs[i], k)`.
+    pub fn top_k_multi(
+        &self,
+        pred: &Predicate,
+        attrs: &[AttrId],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, Estimate)>>> {
+        paths::top_k_multi(&self.backend, &self.scratch, pred, attrs, k)
+    }
+
+    /// Draws `k` synthetic tuples from the summarized distribution,
+    /// deterministic in `seed` and independent of thread fan-out.
+    pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
+        paths::sample_rows(&self.backend, &self.scratch, k, seed)
+    }
+}
+
+/// The single implementation of every query path, shared by [`QueryEngine`]
+/// and the backends' inherent APIs.
+pub(crate) mod paths {
+    use super::*;
+
+    fn with_scratch<B: SummaryBackend, R>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        f: impl FnOnce(&mut B::Scratch) -> R,
+    ) -> R {
+        pool.with(|| backend.make_scratch(), f)
+    }
+
+    /// Validates `pred` against the backend schema and translates it into a
+    /// query mask.
+    fn query_mask<B: SummaryBackend>(backend: &B, pred: &Predicate) -> Result<Mask> {
+        pred.validate(backend.schema())?;
+        Mask::from_predicate(pred, backend.domain_sizes())
+    }
+
+    pub fn probability<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+    ) -> Result<f64> {
+        let mask = query_mask(backend, pred)?;
+        Ok(with_scratch(backend, pool, |s| {
+            backend.probability_under_mask(&mask, s)
+        }))
+    }
+
+    pub fn estimate_count<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+    ) -> Result<Estimate> {
+        let mask = query_mask(backend, pred)?;
+        Ok(with_scratch(backend, pool, |s| {
+            backend.count_under_mask(&mask, s)
+        }))
+    }
+
+    pub fn estimate_count_batch<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        preds: &[Predicate],
+    ) -> Result<Vec<Estimate>> {
+        // Pool dispatch is cheap (no per-call thread spawn), so even small
+        // batches fan out; each cell draws its own scratch from the pool.
+        par::map(preds, 2, |_, pred| estimate_count(backend, pool, pred))
+            .into_iter()
+            .collect()
+    }
+
+    pub fn estimate_sum<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> Result<Estimate> {
+        let base = query_mask(backend, pred)?;
+        let values = attr_values(backend.schema(), attr)?;
+        with_scratch(backend, pool, |s| {
+            backend.sum_under_mask(&base, attr, &values, s)
+        })
+    }
+
+    pub fn estimate_avg<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> Result<Option<f64>> {
+        let count = estimate_count(backend, pool, pred)?;
+        if count.expectation <= 0.0 {
+            return Ok(None);
+        }
+        let sum = estimate_sum(backend, pool, pred, attr)?;
+        Ok(Some(sum.expectation / count.expectation))
+    }
+
+    pub fn estimate_group_by<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> Result<Vec<Estimate>> {
+        let sizes = backend.domain_sizes();
+        if attr.0 >= sizes.len() {
+            return Err(ModelError::ShapeMismatch);
+        }
+        let mask = query_mask(backend, pred)?;
+        Ok(with_scratch(backend, pool, |s| {
+            backend.group_by_under_mask(&mask, attr, s)
+        }))
+    }
+
+    pub fn estimate_group_by2<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr_a: AttrId,
+        attr_b: AttrId,
+    ) -> Result<Vec<Vec<Estimate>>> {
+        let sizes = backend.domain_sizes();
+        if attr_a.0 >= sizes.len() || attr_b.0 >= sizes.len() || attr_a == attr_b {
+            return Err(ModelError::ShapeMismatch);
+        }
+        let base = query_mask(backend, pred)?;
+        let n_b = sizes[attr_b.0];
+        Ok(par::map_indexed(n_b, 2, |v_b| {
+            let mut mask = base.clone();
+            mask.restrict_in_place(attr_b, v_b as u32, n_b);
+            with_scratch(backend, pool, |s| {
+                backend.group_by_under_mask(&mask, attr_a, s)
+            })
+        }))
+    }
+
+    pub fn top_k<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+        k: usize,
+    ) -> Result<Vec<(u32, Estimate)>> {
+        let sizes = backend.domain_sizes();
+        if attr.0 >= sizes.len() {
+            return Err(ModelError::ShapeMismatch);
+        }
+        let mask = query_mask(backend, pred)?;
+        Ok(with_scratch(backend, pool, |s| {
+            backend.top_k_under_mask(&mask, attr, k, s)
+        }))
+    }
+
+    pub fn top_k_multi<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attrs: &[AttrId],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, Estimate)>>> {
+        par::map(attrs, 1, |_, &attr| top_k(backend, pool, pred, attr, k))
+            .into_iter()
+            .collect()
+    }
+
+    pub fn sample_rows<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        k: usize,
+        seed: u64,
+    ) -> Result<Table> {
+        let m = backend.domain_sizes().len();
+        let plan = backend.plan_samples(k, seed);
+        let rows: Result<Vec<Vec<u32>>> = par::map_indexed(k, 16, |i| {
+            let mut row = vec![0u32; m];
+            with_scratch(backend, pool, |s| {
+                backend.sample_tuple(&plan, i, seed, &mut row, s)
+            })?;
+            Ok(row)
+        })
+        .into_iter()
+        .collect();
+        let mut table = Table::with_capacity(backend.schema().clone(), k);
+        for row in rows? {
+            table.push_row_unchecked(&row);
+        }
+        Ok(table)
+    }
+
+    /// Per-value numeric weights of an attribute: bucket midpoints for
+    /// binned attributes, the code itself for categorical ones.
+    pub fn attr_values(schema: &Schema, attr: AttrId) -> Result<Vec<f64>> {
+        let a = schema.attr(attr)?;
+        Ok(match a.binner() {
+            Some(b) => (0..a.domain_size() as u32).map(|v| b.midpoint(v)).collect(),
+            None => (0..a.domain_size()).map(|v| v as f64).collect(),
+        })
+    }
+}

@@ -34,7 +34,9 @@
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
 use crate::par;
-use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats, Var};
+#[cfg(any(test, feature = "legacy-bench"))]
+use crate::polynomial::Var;
+use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats};
 use crate::statistics::MultiDimStatistic;
 
 /// Minimum combined term count before component-parallel evaluation is
@@ -419,7 +421,10 @@ impl FactorizedPolynomial {
         (comps[home].val * others, &derivs[..n_attr])
     }
 
-    /// Generic single-variable derivative (reference path for tests).
+    /// Generic single-variable derivative (reference path, compiled for
+    /// tests and the retained `legacy-bench` baseline only — no production
+    /// caller remains).
+    #[cfg(any(test, feature = "legacy-bench"))]
     #[deprecated(note = "per-variable slow path: one full batched pass per variable; \
                 use eval_with_attr_derivatives_with for all of an attribute's \
                 derivatives in one pass, or begin_multi_sweep + \

@@ -50,11 +50,14 @@
 //! | [`solver`] | §3.3 Alg. 1 | coordinate mirror descent + gradient baseline |
 //! | [`assignment`] | §4.2 | variable values, query masks |
 //! | [`model`] / [`query`] | §3.2, §4.2 | `MaxEntSummary`, estimates with variance |
+//! | [`engine`] | — | `SummaryBackend` trait + generic `QueryEngine` (scratch pool, batching) |
+//! | [`sharded`] | — | `ShardedSummary`: per-partition models with merged estimates |
 //! | [`selection`] | §4.3 | LARGE / ZERO / COMPOSITE, KD-tree, pair choice |
 //! | [`metrics`] | §6.2 | relative error, F-measure |
 //! | [`serialize`] | §5 | text-format persistence |
 
 pub mod assignment;
+pub mod engine;
 pub mod error;
 pub mod factorized;
 pub mod metrics;
@@ -66,18 +69,21 @@ pub mod query;
 pub mod rng;
 pub mod selection;
 pub mod serialize;
+pub mod sharded;
 pub mod solver;
 pub mod statistics;
 
 /// The types most users need.
 pub mod prelude {
     pub use crate::assignment::{Mask, VarAssignment};
+    pub use crate::engine::{QueryEngine, SummaryBackend};
     pub use crate::error::{ModelError, Result};
     pub use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
     pub use crate::model::MaxEntSummary;
     pub use crate::polynomial::{CompressedPolynomial, EvalScratch};
     pub use crate::query::Estimate;
     pub use crate::selection::{Heuristic, PairStrategy, SelectionPlan};
+    pub use crate::sharded::{ShardedBuildConfig, ShardedSummary};
     pub use crate::solver::{SolverConfig, SolverReport};
     pub use crate::statistics::{MultiDimStatistic, RangeClause, Statistics};
 }

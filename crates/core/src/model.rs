@@ -1,44 +1,33 @@
 //! The public summary type: build once, query interactively.
 //!
 //! [`MaxEntSummary`] packages the fitted model — statistics, compressed
-//! polynomial, solved variables — behind the query API of Sec. 3.2/4.2:
-//! every estimate is one masked evaluation of `P` (no polynomial rebuilding,
-//! no per-point expansion), multiplied by the precomputed constant `n / P`.
+//! polynomial, solved variables — and implements the
+//! [`SummaryBackend`](crate::engine::SummaryBackend) estimator primitives of
+//! Sec. 3.2/4.2: every estimate is one masked evaluation of `P` (no
+//! polynomial rebuilding, no per-point expansion), multiplied by the
+//! precomputed constant `n / P`.
 //!
-//! Query paths share a pool of [`FactorizedScratch`] workspaces, so steady-
-//! state estimation allocates only the query mask; batched entry points
-//! (`estimate_count_batch`, `estimate_group_by2`, `top_k_multi`,
-//! `sample_rows`) additionally fan their independent cells out across
-//! threads (see [`crate::par`]), each cell drawing its own scratch from the
-//! pool. Parallel and serial execution return identical estimates.
+//! The query *paths* (predicate validation, batching, fan-out, sampling
+//! orchestration) live in [`crate::engine`]; the inherent convenience API
+//! below routes through the same shared path functions a generic
+//! [`QueryEngine`](crate::engine::QueryEngine) uses, against a private pool
+//! of [`FactorizedScratch`] workspaces, so steady-state estimation allocates
+//! only the query mask. Batched entry points (`estimate_count_batch`,
+//! `estimate_group_by2`, `top_k_multi`, `sample_rows`) fan their independent
+//! cells out across threads (see [`crate::par`]), each cell drawing its own
+//! scratch from the pool. Parallel and serial execution return identical
+//! estimates.
 
 use crate::assignment::{Mask, VarAssignment};
+use crate::engine::{paths, ScratchPool, SummaryBackend};
 use crate::error::{ModelError, Result};
 use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
-use crate::par;
 use crate::polynomial::PolynomialSizeStats;
 use crate::query::{count_estimate, weighted_estimate, Estimate};
 use crate::rng::{sample_weighted_scaled, SplitMix64};
 use crate::solver::{solve, SolverConfig, SolverReport};
 use crate::statistics::{MultiDimStatistic, Statistics};
 use entropydb_storage::{AttrId, Predicate, Schema, Table};
-use std::sync::Mutex;
-
-/// A pool of evaluation workspaces shared across query calls. Queries pop a
-/// scratch (or build one on first use), run allocation-free, and return it;
-/// the pool grows to the number of concurrently querying threads and then
-/// stays fixed.
-#[derive(Debug, Default)]
-struct ScratchPool {
-    pool: Mutex<Vec<FactorizedScratch>>,
-}
-
-impl Clone for ScratchPool {
-    fn clone(&self) -> Self {
-        // Scratches are cheap, shape-bound caches; a clone starts empty.
-        ScratchPool::default()
-    }
-}
 
 /// A queryable maximum-entropy summary of one relation.
 #[derive(Debug, Clone)]
@@ -49,7 +38,7 @@ pub struct MaxEntSummary {
     assignment: VarAssignment,
     p_full: f64,
     report: SolverReport,
-    scratch: ScratchPool,
+    scratch: ScratchPool<FactorizedScratch>,
 }
 
 impl MaxEntSummary {
@@ -120,24 +109,6 @@ impl MaxEntSummary {
         })
     }
 
-    /// Runs `f` against a pooled evaluation scratch.
-    fn with_scratch<R>(&self, f: impl FnOnce(&mut FactorizedScratch) -> R) -> R {
-        let mut s = self
-            .scratch
-            .pool
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_else(|| self.poly.make_scratch());
-        let out = f(&mut s);
-        self.scratch
-            .pool
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(s);
-        out
-    }
-
     /// Relation cardinality `n`.
     pub fn n(&self) -> u64 {
         self.stats.n()
@@ -181,32 +152,19 @@ impl MaxEntSummary {
     /// The model probability that a single tuple draw satisfies `pred`:
     /// `p = P[masked] / P` (Sec. 4.2).
     pub fn probability(&self, pred: &Predicate) -> Result<f64> {
-        pred.validate(&self.schema)?;
-        let mask = Mask::from_predicate(pred, self.stats.domain_sizes())?;
-        Ok(self.mask_probability(&mask))
-    }
-
-    /// `P[masked] / P`, clamped into `[0, 1]`, against a pooled scratch.
-    fn mask_probability(&self, mask: &Mask) -> f64 {
-        self.with_scratch(|s| {
-            (self.poly.eval_masked_with(&self.assignment, mask, s) / self.p_full).clamp(0.0, 1.0)
-        })
+        paths::probability(self, &self.scratch, pred)
     }
 
     /// Estimates `SELECT COUNT(*) WHERE pred` with its Binomial variance.
     pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
-        Ok(count_estimate(self.n(), self.probability(pred)?))
+        paths::estimate_count(self, &self.scratch, pred)
     }
 
     /// Estimates one COUNT per predicate, fanning the batch out across
     /// threads — the shape of a dashboard refresh or a high-traffic query
     /// front-end. Identical to mapping [`MaxEntSummary::estimate_count`].
     pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
-        // Pool dispatch is cheap (no per-call thread spawn), so even small
-        // batches fan out.
-        par::map(preds, 2, |_, pred| self.estimate_count(pred))
-            .into_iter()
-            .collect()
+        paths::estimate_count_batch(self, &self.scratch, preds)
     }
 
     /// Estimates `SELECT SUM(value(attr)) WHERE pred`, where the per-row
@@ -214,63 +172,21 @@ impl MaxEntSummary {
     /// dense code itself (categorical attributes — useful when codes are
     /// meaningful ordinals).
     pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
-        pred.validate(&self.schema)?;
-        let values = self.attr_values(attr)?;
-        let sizes = self.stats.domain_sizes();
-        let base = Mask::from_predicate(pred, sizes)?;
-        let sum_mask = base.clone().scale_attr(attr, &values)?;
-        let squares: Vec<f64> = values.iter().map(|v| v * v).collect();
-        let sq_mask = base.scale_attr(attr, &squares)?;
-        let (mean_w, mean_w2) = self.with_scratch(|s| {
-            (
-                self.poly.eval_masked_with(&self.assignment, &sum_mask, s) / self.p_full,
-                self.poly.eval_masked_with(&self.assignment, &sq_mask, s) / self.p_full,
-            )
-        });
-        Ok(weighted_estimate(self.n(), mean_w, mean_w2))
+        paths::estimate_sum(self, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT AVG(value(attr)) WHERE pred` as the ratio of the
     /// SUM and COUNT estimates. Returns `None` when the model gives the
     /// predicate zero probability.
     pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
-        let count = self.estimate_count(pred)?;
-        if count.expectation <= 0.0 {
-            return Ok(None);
-        }
-        let sum = self.estimate_sum(pred, attr)?;
-        Ok(Some(sum.expectation / count.expectation))
+        paths::estimate_avg(self, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT attr, COUNT(*) WHERE pred GROUP BY attr` for every
     /// value of `attr` in one batched derivative pass (`E[v] = n·α_v·P_{α_v}
     /// [masked] / P`, Eq. 8 under the query mask).
     pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
-        pred.validate(&self.schema)?;
-        let sizes = self.stats.domain_sizes();
-        if attr.0 >= sizes.len() {
-            return Err(ModelError::ShapeMismatch);
-        }
-        let mask = Mask::from_predicate(pred, sizes)?;
-        Ok(self.group_by_with_mask(&mask, attr))
-    }
-
-    /// The batched group-by pass against a pooled scratch: one fused
-    /// derivative evaluation yields every cell of the grouped attribute.
-    fn group_by_with_mask(&self, mask: &Mask, attr: AttrId) -> Vec<Estimate> {
-        self.with_scratch(|s| {
-            let (_, derivs) =
-                self.poly
-                    .eval_with_attr_derivatives_with(&self.assignment, mask, attr.0, s);
-            derivs
-                .iter()
-                .enumerate()
-                .map(|(v, &d)| {
-                    let p = (self.assignment.one_dim[attr.0][v] * d / self.p_full).clamp(0.0, 1.0);
-                    count_estimate(self.n(), p)
-                })
-                .collect()
-        })
+        paths::estimate_group_by(self, &self.scratch, pred, attr)
     }
 
     /// Estimates the two-attribute group-by
@@ -283,36 +199,13 @@ impl MaxEntSummary {
         attr_a: AttrId,
         attr_b: AttrId,
     ) -> Result<Vec<Vec<Estimate>>> {
-        pred.validate(&self.schema)?;
-        let sizes = self.stats.domain_sizes();
-        if attr_a.0 >= sizes.len() || attr_b.0 >= sizes.len() || attr_a == attr_b {
-            return Err(ModelError::ShapeMismatch);
-        }
-        let base = Mask::from_predicate(pred, sizes)?;
-        let n_b = sizes[attr_b.0];
-        Ok(par::map_indexed(n_b, 2, |v_b| {
-            let mut mask = base.clone();
-            mask.restrict_in_place(attr_b, v_b as u32, n_b);
-            self.group_by_with_mask(&mask, attr_a)
-        }))
+        paths::estimate_group_by2(self, &self.scratch, pred, attr_a, attr_b)
     }
 
     /// `SELECT attr, COUNT(*) ... GROUP BY attr ORDER BY count DESC LIMIT k`
     /// — the paper's Sec. 3.1 example query shape.
     pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
-        let groups = self.estimate_group_by(pred, attr)?;
-        let mut ranked: Vec<(u32, Estimate)> = groups
-            .into_iter()
-            .enumerate()
-            .map(|(v, e)| (v as u32, e))
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.1.expectation
-                .total_cmp(&a.1.expectation)
-                .then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(k);
-        Ok(ranked)
+        paths::top_k(self, &self.scratch, pred, attr, k)
     }
 
     /// Top-k per attribute for several candidate attributes at once — the
@@ -324,9 +217,7 @@ impl MaxEntSummary {
         attrs: &[AttrId],
         k: usize,
     ) -> Result<Vec<Vec<(u32, Estimate)>>> {
-        par::map(attrs, 1, |_, &attr| self.top_k(pred, attr, k))
-            .into_iter()
-            .collect()
+        paths::top_k_multi(self, &self.scratch, pred, attrs, k)
     }
 
     /// Draws `k` synthetic tuples from the fitted MaxEnt distribution
@@ -340,51 +231,111 @@ impl MaxEntSummary {
     /// output is deterministic in `seed` and independent of how the tuples
     /// are fanned out across threads.
     pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
-        let sizes = self.stats.domain_sizes();
-        let m = sizes.len();
-        let rows: Result<Vec<Vec<u32>>> = par::map_indexed(k, 16, |i| {
-            // Weyl-sequence offset gives every tuple a distinct stream.
-            let mut rng =
-                SplitMix64::new(seed.wrapping_add((i as u64 + 1).wrapping_mul(0xD1B54A32D192ED03)));
-            let mut row = vec![0u32; m];
-            let mut mask = Mask::identity(m);
-            self.with_scratch(|s| {
-                for attr in 0..m {
-                    let v = {
-                        let (_, derivs) = self.poly.eval_with_attr_derivatives_with(
-                            &self.assignment,
-                            &mask,
-                            attr,
-                            s,
-                        );
-                        let u = rng.next_f64();
-                        sample_weighted_scaled(derivs, &self.assignment.one_dim[attr], u)
-                            .ok_or(ModelError::NumericalFailure("zero conditional mass"))?
-                            as u32
-                    };
-                    row[attr] = v;
-                    mask.restrict_in_place(AttrId(attr), v, sizes[attr]);
-                }
-                Ok(row)
-            })
-        })
-        .into_iter()
-        .collect();
-        let mut table = Table::with_capacity(self.schema.clone(), k);
-        for row in rows? {
-            table.push_row_unchecked(&row);
-        }
-        Ok(table)
+        paths::sample_rows(self, &self.scratch, k, seed)
+    }
+}
+
+/// Weyl-sequence increment giving every sampled tuple a distinct SplitMix64
+/// stream derived only from `(seed, tuple index)`.
+pub(crate) const SAMPLE_STREAM_WEYL: u64 = 0xD1B54A32D192ED03;
+
+/// The SplitMix64 stream of sampled tuple `index` under `seed`. Shared by
+/// every backend so a tuple's randomness never depends on which shard or
+/// thread draws it.
+pub(crate) fn sample_stream(seed: u64, index: usize) -> SplitMix64 {
+    SplitMix64::new(seed.wrapping_add((index as u64 + 1).wrapping_mul(SAMPLE_STREAM_WEYL)))
+}
+
+impl SummaryBackend for MaxEntSummary {
+    type Scratch = FactorizedScratch;
+    type SamplePlan = ();
+
+    fn schema(&self) -> &Schema {
+        &self.schema
     }
 
-    /// Per-value numeric weights of an attribute: bucket midpoints for
-    /// binned attributes, the code itself for categorical ones.
-    fn attr_values(&self, attr: AttrId) -> Result<Vec<f64>> {
-        let a = self.schema.attr(attr)?;
-        Ok(match a.binner() {
-            Some(b) => (0..a.domain_size() as u32).map(|v| b.midpoint(v)).collect(),
-            None => (0..a.domain_size()).map(|v| v as f64).collect(),
-        })
+    fn n(&self) -> u64 {
+        self.stats.n()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.stats.domain_sizes()
+    }
+
+    fn make_scratch(&self) -> FactorizedScratch {
+        self.poly.make_scratch()
+    }
+
+    /// `P[masked] / P`, clamped into `[0, 1]`.
+    fn probability_under_mask(&self, mask: &Mask, s: &mut FactorizedScratch) -> f64 {
+        (self.poly.eval_masked_with(&self.assignment, mask, s) / self.p_full).clamp(0.0, 1.0)
+    }
+
+    fn count_under_mask(&self, mask: &Mask, s: &mut FactorizedScratch) -> Estimate {
+        count_estimate(self.n(), self.probability_under_mask(mask, s))
+    }
+
+    fn sum_under_mask(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        s: &mut FactorizedScratch,
+    ) -> Result<Estimate> {
+        let sum_mask = base.clone().scale_attr(attr, values)?;
+        let squares: Vec<f64> = values.iter().map(|v| v * v).collect();
+        let sq_mask = base.clone().scale_attr(attr, &squares)?;
+        let mean_w = self.poly.eval_masked_with(&self.assignment, &sum_mask, s) / self.p_full;
+        let mean_w2 = self.poly.eval_masked_with(&self.assignment, &sq_mask, s) / self.p_full;
+        Ok(weighted_estimate(self.n(), mean_w, mean_w2))
+    }
+
+    /// The batched group-by pass: one fused derivative evaluation yields
+    /// every cell of the grouped attribute.
+    fn group_by_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        s: &mut FactorizedScratch,
+    ) -> Vec<Estimate> {
+        let (_, derivs) =
+            self.poly
+                .eval_with_attr_derivatives_with(&self.assignment, mask, attr.0, s);
+        derivs
+            .iter()
+            .enumerate()
+            .map(|(v, &d)| {
+                let p = (self.assignment.one_dim[attr.0][v] * d / self.p_full).clamp(0.0, 1.0);
+                count_estimate(self.n(), p)
+            })
+            .collect()
+    }
+
+    fn plan_samples(&self, _k: usize, _seed: u64) {}
+
+    fn sample_tuple(
+        &self,
+        _plan: &(),
+        index: usize,
+        seed: u64,
+        row: &mut [u32],
+        s: &mut FactorizedScratch,
+    ) -> Result<()> {
+        let sizes = self.stats.domain_sizes();
+        let mut rng = sample_stream(seed, index);
+        let mut mask = Mask::identity(sizes.len());
+        for attr in 0..sizes.len() {
+            let (_, derivs) =
+                self.poly
+                    .eval_with_attr_derivatives_with(&self.assignment, &mask, attr, s);
+            let u = rng.next_f64();
+            let v = sample_weighted_scaled(derivs, &self.assignment.one_dim[attr], u)
+                .ok_or(ModelError::NumericalFailure("zero conditional mass"))?
+                as u32;
+            row[attr] = v;
+            mask.restrict_in_place(AttrId(attr), v, sizes[attr]);
+        }
+        Ok(())
     }
 }
 

@@ -889,7 +889,9 @@ impl CompressedPolynomial {
     }
 
     /// Generic single-variable derivative `dP/dvar` under `mask` (reference
-    /// path used by tests only).
+    /// path, compiled for tests and the retained `legacy-bench` baseline
+    /// only — no production caller remains).
+    #[cfg(any(test, feature = "legacy-bench"))]
     #[deprecated(note = "per-variable slow path: one full batched pass (and a scratch \
                 allocation) per variable; use eval_with_attr_derivatives_with \
                 for all of an attribute's derivatives in one pass, or \

@@ -7,18 +7,39 @@
 //! deterministically on load (rebuilding is cheap relative to solving and
 //! keeps the format small — the summary is the *model*, not the term list).
 //!
-//! Format (line-oriented, `#`-prefixed comments ignored):
+//! Format v2 (line-oriented, `#`-prefixed comments ignored):
 //!
 //! ```text
-//! entropydb-summary v1
+//! entropydb-summary v2
 //! n <cardinality>
 //! attrs <m>
-//! attr <index> <domain_size> <name>           (m lines)
+//! attr <index> <domain_size> cat <name>       (m lines; binned numeric
+//! attr <index> <domain_size> bin <lo> <hi> <name>   attrs keep their binner)
 //! onedim <attr> <count> <alpha> ... per value (m lines, run-length free)
 //! multis <k>
 //! multi <count> <alpha> <clauses> attr lo hi [attr lo hi ...]
 //! report <sweeps> <max_residual> <converged>
 //! end
+//! ```
+//!
+//! The v2 bump records each attribute's *kind*: v1 collapsed binned numeric
+//! attributes into categorical ones on load, losing bucket midpoints (and
+//! with them `SUM`/`AVG` semantics). v1 blobs still load with the old
+//! collapsing behavior (backward compatibility is covered by tests).
+//!
+//! A [`ShardedSummary`] persists as a *manifest* plus one embedded
+//! per-shard blob each (the same single-summary format), either in one
+//! document ([`sharded_to_string`] / [`sharded_from_str`]) or as a manifest
+//! file next to per-shard blob files ([`save_sharded_dir`] /
+//! [`load_sharded_dir`]):
+//!
+//! ```text
+//! entropydb-sharded-summary v2
+//! shards <k>
+//! shard <index> <cardinality>
+//! <embedded or referenced single-summary blob>
+//! ...
+//! endshards
 //! ```
 //!
 //! Floats are written with Rust's shortest-round-trip formatting, so a
@@ -27,23 +48,39 @@
 use crate::assignment::VarAssignment;
 use crate::error::{ModelError, Result};
 use crate::model::MaxEntSummary;
+use crate::sharded::ShardedSummary;
 use crate::solver::SolverReport;
 use crate::statistics::{MultiDimStatistic, RangeClause, Statistics};
-use entropydb_storage::{AttrId, Attribute, Schema};
+use entropydb_storage::{AttrId, Attribute, Binner, Schema};
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Serializes a summary to the text format.
+/// Serializes a summary to the text format (current version: v2).
 pub fn to_string(summary: &MaxEntSummary) -> String {
     let stats = summary.statistics();
     let asn = summary.assignment();
     let report = summary.solver_report();
     let mut out = String::new();
-    out.push_str("entropydb-summary v1\n");
+    out.push_str("entropydb-summary v2\n");
     let _ = writeln!(out, "n {}", stats.n());
     let _ = writeln!(out, "attrs {}", stats.arity());
     for (i, attr) in summary.schema().attributes().iter().enumerate() {
-        let _ = writeln!(out, "attr {} {} {}", i, attr.domain_size(), attr.name());
+        match attr.binner() {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "attr {} {} bin {} {} {}",
+                    i,
+                    attr.domain_size(),
+                    b.lo(),
+                    b.hi(),
+                    attr.name()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "attr {} {} cat {}", i, attr.domain_size(), attr.name());
+            }
+        }
     }
     for (i, (counts, alphas)) in stats.one_dim().iter().zip(&asn.one_dim).enumerate() {
         let _ = write!(out, "onedim {i}");
@@ -128,20 +165,29 @@ fn parse<T: std::str::FromStr>(token: &str, line: usize, what: &str) -> Result<T
     })
 }
 
-/// Parses a summary from the text format, rebuilding the compressed
-/// polynomial and validating shapes.
+/// Parses a summary from the text format (v1 or v2), rebuilding the
+/// compressed polynomial and validating shapes.
 pub fn from_str(text: &str) -> Result<MaxEntSummary> {
     let mut p = Parser {
         lines: text.lines().enumerate(),
     };
+    parse_single(&mut p)
+}
 
+/// Parses one single-summary blob starting at the parser's next line (used
+/// for standalone blobs and for the embedded shard blobs of a manifest).
+fn parse_single(p: &mut Parser) -> Result<MaxEntSummary> {
     let (line_no, header) = p.next_line()?;
-    if header != "entropydb-summary v1" {
-        return Err(ModelError::Parse {
-            line: line_no,
-            message: format!("unrecognized header {header:?}"),
-        });
-    }
+    let version = match header {
+        "entropydb-summary v1" => 1,
+        "entropydb-summary v2" => 2,
+        _ => {
+            return Err(ModelError::Parse {
+                line: line_no,
+                message: format!("unrecognized header {header:?}"),
+            })
+        }
+    };
 
     let (ln, toks) = p.expect_tagged("n")?;
     let n: u64 = parse(toks.first().copied().unwrap_or(""), ln, "n")?;
@@ -155,7 +201,7 @@ pub fn from_str(text: &str) -> Result<MaxEntSummary> {
         if toks.len() < 3 {
             return Err(ModelError::Parse {
                 line: ln,
-                message: "attr needs: index size name".to_string(),
+                message: "attr needs: index size [kind] name".to_string(),
             });
         }
         let idx: usize = parse(toks[0], ln, "attr index")?;
@@ -166,8 +212,38 @@ pub fn from_str(text: &str) -> Result<MaxEntSummary> {
             });
         }
         let size: usize = parse(toks[1], ln, "domain size")?;
-        let name = toks[2..].join(" ");
-        attributes.push(Attribute::categorical(name, size).map_err(ModelError::Storage)?);
+        let attribute = if version == 1 {
+            // v1 recorded no kind; every attribute loads as categorical.
+            let name = toks[2..].join(" ");
+            Attribute::categorical(name, size).map_err(ModelError::Storage)?
+        } else {
+            match toks[2] {
+                "cat" => {
+                    let name = toks[3..].join(" ");
+                    Attribute::categorical(name, size).map_err(ModelError::Storage)?
+                }
+                "bin" => {
+                    if toks.len() < 6 {
+                        return Err(ModelError::Parse {
+                            line: ln,
+                            message: "binned attr needs: index size bin lo hi name".to_string(),
+                        });
+                    }
+                    let lo: f64 = parse(toks[3], ln, "bin lo")?;
+                    let hi: f64 = parse(toks[4], ln, "bin hi")?;
+                    let name = toks[5..].join(" ");
+                    let binner = Binner::new(lo, hi, size).map_err(ModelError::Storage)?;
+                    Attribute::binned(name, binner)
+                }
+                kind => {
+                    return Err(ModelError::Parse {
+                        line: ln,
+                        message: format!("unknown attribute kind {kind:?}"),
+                    })
+                }
+            }
+        };
+        attributes.push(attribute);
         domain_sizes.push(size);
     }
 
@@ -261,6 +337,150 @@ pub fn from_str(text: &str) -> Result<MaxEntSummary> {
         multi: multi_alphas,
     };
     MaxEntSummary::from_solved_parts(Schema::new(attributes), stats, assignment, report)
+}
+
+/// Serializes a sharded summary: a manifest followed by one embedded
+/// per-shard blob each (the single-summary format, verbatim).
+pub fn sharded_to_string(summary: &ShardedSummary) -> String {
+    let mut out = String::new();
+    out.push_str("entropydb-sharded-summary v2\n");
+    let _ = writeln!(out, "shards {}", summary.num_shards());
+    for (i, shard) in summary.shards().iter().enumerate() {
+        let _ = writeln!(out, "shard {} {}", i, shard.n());
+        out.push_str(&to_string(shard));
+    }
+    out.push_str("endshards\n");
+    out
+}
+
+/// Parses a sharded summary from the manifest format.
+pub fn sharded_from_str(text: &str) -> Result<ShardedSummary> {
+    let mut p = Parser {
+        lines: text.lines().enumerate(),
+    };
+    let (line_no, header) = p.next_line()?;
+    if header != "entropydb-sharded-summary v2" {
+        return Err(ModelError::Parse {
+            line: line_no,
+            message: format!("unrecognized sharded header {header:?}"),
+        });
+    }
+    let (ln, toks) = p.expect_tagged("shards")?;
+    let k: usize = parse(toks.first().copied().unwrap_or(""), ln, "shard count")?;
+    if k == 0 {
+        return Err(ModelError::Parse {
+            line: ln,
+            message: "sharded summary needs at least one shard".to_string(),
+        });
+    }
+    let mut shards = Vec::with_capacity(k);
+    for expected in 0..k {
+        let (ln, toks) = p.expect_tagged("shard")?;
+        let idx: usize = parse(toks.first().copied().unwrap_or(""), ln, "shard index")?;
+        if idx != expected {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!("shard index {idx}, expected {expected}"),
+            });
+        }
+        let declared_n: u64 = parse(toks.get(1).copied().unwrap_or(""), ln, "shard n")?;
+        let shard = parse_single(&mut p)?;
+        if shard.n() != declared_n {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!(
+                    "shard {idx} manifest cardinality {declared_n} but blob holds {}",
+                    shard.n()
+                ),
+            });
+        }
+        shards.push(shard);
+    }
+    p.expect_tagged("endshards")?;
+    ShardedSummary::from_shards(shards)
+}
+
+/// Writes a sharded summary to one file (manifest + embedded blobs).
+pub fn save_sharded_file(summary: &ShardedSummary, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, sharded_to_string(summary))
+}
+
+/// Reads a sharded summary from one file.
+pub fn load_sharded_file(path: &Path) -> Result<ShardedSummary> {
+    let text = std::fs::read_to_string(path).map_err(|e| ModelError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    sharded_from_str(&text)
+}
+
+/// Writes a sharded summary as a directory: `manifest.txt` plus one
+/// `shard-<i>.summary` blob per shard (the deployment-friendly layout — a
+/// shard blob can be fetched, cached, or replaced independently).
+pub fn save_sharded_dir(summary: &ShardedSummary, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = String::new();
+    manifest.push_str("entropydb-sharded-manifest v2\n");
+    let _ = writeln!(manifest, "shards {}", summary.num_shards());
+    for (i, shard) in summary.shards().iter().enumerate() {
+        let file = format!("shard-{i}.summary");
+        let _ = writeln!(manifest, "shard {} {} {}", i, shard.n(), file);
+        std::fs::write(dir.join(&file), to_string(shard))?;
+    }
+    manifest.push_str("end\n");
+    std::fs::write(dir.join("manifest.txt"), manifest)
+}
+
+/// Reads a sharded summary from a [`save_sharded_dir`] directory.
+pub fn load_sharded_dir(dir: &Path) -> Result<ShardedSummary> {
+    let manifest_path = dir.join("manifest.txt");
+    let text = std::fs::read_to_string(&manifest_path).map_err(|e| ModelError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", manifest_path.display()),
+    })?;
+    let mut p = Parser {
+        lines: text.lines().enumerate(),
+    };
+    let (line_no, header) = p.next_line()?;
+    if header != "entropydb-sharded-manifest v2" {
+        return Err(ModelError::Parse {
+            line: line_no,
+            message: format!("unrecognized manifest header {header:?}"),
+        });
+    }
+    let (ln, toks) = p.expect_tagged("shards")?;
+    let k: usize = parse(toks.first().copied().unwrap_or(""), ln, "shard count")?;
+    let mut shards = Vec::with_capacity(k);
+    for expected in 0..k {
+        let (ln, toks) = p.expect_tagged("shard")?;
+        if toks.len() < 3 {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: "manifest shard needs: index n file".to_string(),
+            });
+        }
+        let idx: usize = parse(toks[0], ln, "shard index")?;
+        if idx != expected {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!("shard index {idx}, expected {expected}"),
+            });
+        }
+        let declared_n: u64 = parse(toks[1], ln, "shard n")?;
+        let shard = load_file(&dir.join(toks[2]))?;
+        if shard.n() != declared_n {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!(
+                    "shard {idx} manifest cardinality {declared_n} but blob holds {}",
+                    shard.n()
+                ),
+            });
+        }
+        shards.push(shard);
+    }
+    p.expect_tagged("end")?;
+    ShardedSummary::from_shards(shards)
 }
 
 #[cfg(test)]
@@ -358,6 +578,157 @@ mod tests {
         // Corrupt a number.
         let bad = text.replace("n 20", "n twenty");
         assert!(matches!(from_str(&bad), Err(ModelError::Parse { .. })));
+    }
+
+    #[test]
+    fn v1_blobs_still_load() {
+        let original = build_summary();
+        // Reconstruct the v1 rendering of this summary: old header, attr
+        // lines without a kind token.
+        let v2 = to_string(&original);
+        let v1: String = v2
+            .lines()
+            .map(|l| {
+                let line = if l == "entropydb-summary v2" {
+                    "entropydb-summary v1".to_string()
+                } else if l.starts_with("attr ") {
+                    l.replace(" cat ", " ")
+                } else {
+                    l.to_string()
+                };
+                line + "\n"
+            })
+            .collect();
+        let loaded = from_str(&v1).unwrap();
+        assert_eq!(loaded.n(), original.n());
+        assert_eq!(loaded.assignment(), original.assignment());
+        let pred = Predicate::new().eq(a(0), 1).eq(a(1), 1);
+        assert_eq!(
+            loaded.estimate_count(&pred).unwrap().expectation.to_bits(),
+            original
+                .estimate_count(&pred)
+                .unwrap()
+                .expectation
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn v2_preserves_binned_attributes() {
+        use entropydb_storage::Binner;
+        let schema = Schema::new(vec![
+            Attribute::categorical("g", 2).unwrap(),
+            Attribute::binned("val", Binner::new(-5.0, 95.0, 4).unwrap()),
+        ]);
+        let mut t = Table::new(schema);
+        for (g, b, c) in [(0u32, 0u32, 3), (0, 1, 2), (1, 2, 4), (1, 3, 1)] {
+            for _ in 0..c {
+                t.push_row(&[g, b]).unwrap();
+            }
+        }
+        let original = MaxEntSummary::build(&t, vec![], &SolverConfig::default()).unwrap();
+        let loaded = from_str(&to_string(&original)).unwrap();
+        let binner = loaded
+            .schema()
+            .attr(a(1))
+            .unwrap()
+            .binner()
+            .expect("v2 round trip must keep the binner (v1 collapsed it to categorical)");
+        assert_eq!(binner.lo(), -5.0);
+        assert_eq!(binner.hi(), 95.0);
+        assert_eq!(binner.num_bins(), 4);
+        // SUM semantics survive the round trip bit-for-bit.
+        let s0 = original.estimate_sum(&Predicate::all(), a(1)).unwrap();
+        let s1 = loaded.estimate_sum(&Predicate::all(), a(1)).unwrap();
+        assert_eq!(s0.expectation.to_bits(), s1.expectation.to_bits());
+    }
+
+    fn build_sharded() -> crate::sharded::ShardedSummary {
+        use crate::sharded::{ShardedBuildConfig, ShardedSummary};
+        use entropydb_storage::Partitioning;
+        let schema = Schema::new(vec![
+            Attribute::categorical("origin", 3).unwrap(),
+            Attribute::categorical("dest", 4).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        let mut v = 0u32;
+        for _ in 0..60 {
+            t.push_row(&[v % 3, (v / 3) % 4]).unwrap();
+            v = v.wrapping_mul(7).wrapping_add(3);
+        }
+        let multi = vec![MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap()];
+        ShardedSummary::build(
+            &t,
+            &Partitioning::hash(3),
+            multi,
+            &ShardedBuildConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_estimates_exactly() {
+        let original = build_sharded();
+        let text = sharded_to_string(&original);
+        let loaded = sharded_from_str(&text).unwrap();
+        assert_eq!(loaded.num_shards(), original.num_shards());
+        assert_eq!(loaded.n(), original.n());
+        for x in 0..3u32 {
+            for y in 0..4u32 {
+                let pred = Predicate::new().eq(a(0), x).eq(a(1), y);
+                let e0 = original.estimate_count(&pred).unwrap();
+                let e1 = loaded.estimate_count(&pred).unwrap();
+                assert_eq!(e0.expectation.to_bits(), e1.expectation.to_bits());
+                assert_eq!(e0.variance.to_bits(), e1.variance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_file_and_dir_round_trips() {
+        let original = build_sharded();
+        let base = std::env::temp_dir().join("entropydb-sharded-serialize-test");
+        std::fs::create_dir_all(&base).unwrap();
+
+        let file = base.join("sharded.summary");
+        save_sharded_file(&original, &file).unwrap();
+        let loaded = load_sharded_file(&file).unwrap();
+        assert_eq!(loaded.num_shards(), original.num_shards());
+
+        let dir = base.join("sharded-dir");
+        save_sharded_dir(&original, &dir).unwrap();
+        assert!(dir.join("manifest.txt").exists());
+        assert!(dir.join("shard-0.summary").exists());
+        let loaded = load_sharded_dir(&dir).unwrap();
+        assert_eq!(loaded.num_shards(), original.num_shards());
+        let pred = Predicate::new().eq(a(0), 0);
+        assert_eq!(
+            loaded.estimate_count(&pred).unwrap().expectation.to_bits(),
+            original
+                .estimate_count(&pred)
+                .unwrap()
+                .expectation
+                .to_bits()
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn corrupted_sharded_inputs_rejected() {
+        let original = build_sharded();
+        let text = sharded_to_string(&original);
+        assert!(matches!(
+            sharded_from_str("bogus"),
+            Err(ModelError::Parse { .. })
+        ));
+        // Truncated: drop the trailing endshards.
+        let truncated = text.replace("endshards", "");
+        assert!(sharded_from_str(&truncated).is_err());
+        // Manifest/blob cardinality mismatch.
+        let lied = text.replacen("shard 0 ", "shard 0 99", 1);
+        assert!(sharded_from_str(&lied).is_err());
+        // A single-summary blob is not a sharded document.
+        assert!(sharded_from_str(&to_string(&build_summary())).is_err());
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! Horizontally sharded summaries: one MaxEnt model per row partition.
+//!
+//! Summary build time is dominated by solving one monolithic max-ent
+//! program. [`ShardedSummary`] sidesteps that: the relation is split into
+//! horizontal shards ([`Table::partition`]), one [`MaxEntSummary`] is fitted
+//! per shard (in parallel on the persistent worker pool), and queries are
+//! answered by fanning out over the shard models and merging:
+//!
+//! * COUNT / SUM expectations add, and — because the shard models are
+//!   independent distributions over disjoint row sets — their variances add
+//!   too (tighter than a single Binomial over the merged probability).
+//! * Tuple-draw probability is the shard mixture `Σ (n_s / n) · p_s`.
+//! * Group-by cells merge by value (per-value estimates add).
+//! * Top-k unions per-shard candidates, then re-probes every candidate
+//!   exactly across all shards before ranking, so a value that is popular
+//!   overall but below `k` in some shard is still scored correctly.
+//! * `sample_rows` stratifies the draw across shards proportionally to
+//!   shard cardinality (largest-remainder apportionment), with every tuple's
+//!   SplitMix64 stream derived only from `(seed, global tuple index)` —
+//!   output is deterministic and never depends on thread fan-out.
+//!
+//! Sharding also *bounds per-shard closures*: with range sharding, a shard
+//! only sees rows in its code range, so any multi statistic whose range on
+//! some attribute has no support in the shard constrains a region the
+//! shard's complete 1D statistics already force to zero mass. Such
+//! statistics are dropped from that shard's model (`P` is independent of
+//! their variables — the distribution is unchanged), which shrinks the
+//! per-shard polynomial and is where the monolithic-vs-sharded build-time
+//! win comes from even on a single core (see `crates/bench/benches/shard.rs`).
+//!
+//! A `ShardedSummary` built with **one** shard answers every
+//! [`QueryEngine`](crate::engine::QueryEngine) path bit-identically to the
+//! equivalent [`MaxEntSummary`]: the single-shard merge paths are structured
+//! so no floating-point operation is added (enforced by
+//! `crates/core/tests/sharded.rs`).
+
+use crate::assignment::Mask;
+use crate::engine::{paths, rank_top_k, ScratchPool, SummaryBackend};
+use crate::error::{ModelError, Result};
+use crate::factorized::FactorizedScratch;
+use crate::model::MaxEntSummary;
+use crate::par;
+use crate::query::Estimate;
+use crate::solver::SolverConfig;
+use crate::statistics::MultiDimStatistic;
+use entropydb_storage::{AttrId, Histogram1D, Partitioning, Predicate, Schema, Table};
+
+/// How [`ShardedSummary::build`] fits the per-shard models.
+#[derive(Debug, Clone)]
+pub struct ShardedBuildConfig {
+    /// Solver configuration for every per-shard solve.
+    pub solver: SolverConfig,
+    /// Drop, per shard, multi statistics with an unsupported clause range
+    /// (all 1D counts zero across the range): the shard's 1D statistics
+    /// already force that region to zero mass, so the fitted distribution
+    /// is *exactly* unchanged while the shard polynomial shrinks. Only
+    /// applies with two or more shards — a 1-shard summary always keeps the
+    /// full statistic set so it stays bit-identical to the monolithic model.
+    pub prune_unsupported_stats: bool,
+    /// With two or more shards, drop a statistic from a shard when it
+    /// covers *every* shard row (`s_j = n_s`) — the coordinate update is
+    /// degenerate for such a statistic and the monolithic builder rejects
+    /// it outright; per shard it is merely uninformative there.
+    pub drop_degenerate_stats: bool,
+}
+
+impl Default for ShardedBuildConfig {
+    fn default() -> Self {
+        ShardedBuildConfig {
+            solver: SolverConfig::default(),
+            prune_unsupported_stats: true,
+            drop_degenerate_stats: true,
+        }
+    }
+}
+
+/// Per-call scratch of a sharded summary: one shard-model scratch per shard.
+pub type ShardedScratch = Vec<FactorizedScratch>;
+
+/// A queryable summary sharded across horizontal row partitions.
+#[derive(Debug, Clone)]
+pub struct ShardedSummary {
+    schema: Schema,
+    shards: Vec<MaxEntSummary>,
+    n: u64,
+    /// `n_s / n` per shard (mixture weights; all 1.0-free arithmetic is
+    /// arranged so the 1-shard case stays bitwise exact).
+    weights: Vec<f64>,
+    scratch: ScratchPool<ShardedScratch>,
+}
+
+impl ShardedSummary {
+    /// Builds a sharded summary of `table`: partitions the rows, fits one
+    /// [`MaxEntSummary`] per non-empty shard in parallel (each over the
+    /// given multi-dimensional statistics, possibly pruned per shard — see
+    /// [`ShardedBuildConfig`]), and wraps them behind the merged query API.
+    pub fn build(
+        table: &Table,
+        partitioning: &Partitioning,
+        multi: Vec<MultiDimStatistic>,
+        config: &ShardedBuildConfig,
+    ) -> Result<Self> {
+        let parts: Vec<Table> = table
+            .partition(partitioning)
+            .map_err(ModelError::Storage)?
+            .into_iter()
+            .filter(|p| p.num_rows() > 0)
+            .collect();
+        if parts.is_empty() {
+            return Err(ModelError::NumericalFailure(
+                "cannot summarize an empty relation",
+            ));
+        }
+        let multi_shard = parts.len() > 1;
+        let shards: Result<Vec<MaxEntSummary>> =
+            par::map(&parts, 1, |_, part| -> Result<MaxEntSummary> {
+                if !multi_shard {
+                    // Single shard: the monolithic build path, bit for bit.
+                    return MaxEntSummary::build(part, multi.clone(), &config.solver);
+                }
+                let mut keep = if config.prune_unsupported_stats {
+                    stats_with_support(part, &multi)?
+                } else {
+                    multi.clone()
+                };
+                loop {
+                    match MaxEntSummary::build(part, keep.clone(), &config.solver) {
+                        Err(ModelError::DegenerateStatistic { stat })
+                            if config.drop_degenerate_stats =>
+                        {
+                            keep.remove(stat);
+                        }
+                        other => return other,
+                    }
+                }
+            })
+            .into_iter()
+            .collect();
+        Self::from_shards(shards?)
+    }
+
+    /// Wraps already-fitted shard models. All shards must share one schema.
+    pub fn from_shards(shards: Vec<MaxEntSummary>) -> Result<Self> {
+        let Some(first) = shards.first() else {
+            return Err(ModelError::ShapeMismatch);
+        };
+        let schema = first.schema().clone();
+        for s in &shards[1..] {
+            if s.schema() != &schema {
+                return Err(ModelError::ShapeMismatch);
+            }
+        }
+        let n: u64 = shards.iter().map(MaxEntSummary::n).sum();
+        if n == 0 {
+            return Err(ModelError::NumericalFailure(
+                "cannot summarize an empty relation",
+            ));
+        }
+        let weights = shards.iter().map(|s| s.n() as f64 / n as f64).collect();
+        Ok(ShardedSummary {
+            schema,
+            shards,
+            n,
+            weights,
+            scratch: ScratchPool::new(),
+        })
+    }
+
+    /// Total relation cardinality `n` (sum of shard cardinalities).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The summarized relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The per-shard models, in shard order.
+    pub fn shards(&self) -> &[MaxEntSummary] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fans `f` out over `(shard index, shard, shard scratch)` on the
+    /// worker pool and collects the per-shard results in shard order. Each
+    /// shard owns its scratch slot, so results are deterministic and
+    /// identical to serial execution.
+    fn fan_out<R: Send>(
+        &self,
+        scratches: &mut ShardedScratch,
+        f: impl Fn(usize, &MaxEntSummary, &mut FactorizedScratch) -> R + Sync,
+    ) -> Vec<R> {
+        let mut work: Vec<(usize, &MaxEntSummary, &mut FactorizedScratch, Option<R>)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .zip(scratches.iter_mut())
+            .map(|((i, shard), scratch)| (i, shard, scratch, None))
+            .collect();
+        par::for_each_chunk_mut(&mut work, 1, |_, chunk| {
+            for (i, shard, scratch, slot) in chunk.iter_mut() {
+                *slot = Some(f(*i, shard, scratch));
+            }
+        });
+        work.into_iter()
+            .map(|(_, _, _, r)| r.expect("fan-out slot filled"))
+            .collect()
+    }
+
+    // ---- Inherent query API (mirrors `MaxEntSummary`; same shared paths) ----
+
+    /// The mixture probability that a single tuple draw satisfies `pred`.
+    pub fn probability(&self, pred: &Predicate) -> Result<f64> {
+        paths::probability(self, &self.scratch, pred)
+    }
+
+    /// Estimates `SELECT COUNT(*) WHERE pred`; expectations and variances
+    /// are summed across shards.
+    pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
+        paths::estimate_count(self, &self.scratch, pred)
+    }
+
+    /// Estimates one COUNT per predicate, fanning the batch out across
+    /// threads.
+    pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
+        paths::estimate_count_batch(self, &self.scratch, preds)
+    }
+
+    /// Estimates `SELECT SUM(value(attr)) WHERE pred` (shard sums add).
+    pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
+        paths::estimate_sum(self, &self.scratch, pred, attr)
+    }
+
+    /// Estimates `SELECT AVG(value(attr)) WHERE pred` as merged SUM over
+    /// merged COUNT.
+    pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
+        paths::estimate_avg(self, &self.scratch, pred, attr)
+    }
+
+    /// Estimates the one-attribute group-by; cells merge by value.
+    pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
+        paths::estimate_group_by(self, &self.scratch, pred, attr)
+    }
+
+    /// Estimates the two-attribute group-by.
+    pub fn estimate_group_by2(
+        &self,
+        pred: &Predicate,
+        attr_a: AttrId,
+        attr_b: AttrId,
+    ) -> Result<Vec<Vec<Estimate>>> {
+        paths::estimate_group_by2(self, &self.scratch, pred, attr_a, attr_b)
+    }
+
+    /// Top-k via per-shard candidates plus an exact cross-shard re-probe.
+    pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
+        paths::top_k(self, &self.scratch, pred, attr, k)
+    }
+
+    /// Top-k per attribute for several candidate attributes at once.
+    pub fn top_k_multi(
+        &self,
+        pred: &Predicate,
+        attrs: &[AttrId],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, Estimate)>>> {
+        paths::top_k_multi(self, &self.scratch, pred, attrs, k)
+    }
+
+    /// Draws `k` synthetic tuples, stratified across shards proportionally
+    /// to shard cardinality; deterministic in `seed`.
+    pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
+        paths::sample_rows(self, &self.scratch, k, seed)
+    }
+}
+
+/// Sums two independent estimates (expectations add, variances add).
+fn add_estimates(a: Estimate, b: Estimate) -> Estimate {
+    Estimate::new(a.expectation + b.expectation, a.variance + b.variance)
+}
+
+/// Merges per-shard results with `combine`, returning the sole result
+/// unchanged when there is one shard (the bitwise 1-shard guarantee).
+fn merge<R>(results: Vec<R>, combine: impl Fn(R, R) -> R) -> R {
+    results
+        .into_iter()
+        .reduce(combine)
+        .expect("at least one shard")
+}
+
+/// The multi statistics of `multi` that have 1D support in `table` on every
+/// clause range. A statistic failing this is annihilated by the shard's
+/// complete 1D statistics (all tuples in its region carry an `α = 0`
+/// factor), so dropping it leaves the fitted distribution exactly unchanged.
+fn stats_with_support(
+    table: &Table,
+    multi: &[MultiDimStatistic],
+) -> Result<Vec<MultiDimStatistic>> {
+    let hists: Vec<Histogram1D> = table
+        .schema()
+        .attr_ids()
+        .map(|a| Histogram1D::compute(table, a))
+        .collect::<entropydb_storage::Result<_>>()
+        .map_err(ModelError::Storage)?;
+    Ok(multi
+        .iter()
+        .filter(|stat| {
+            stat.clauses().iter().all(|c| {
+                hists[c.attr.0].counts()[c.lo as usize..=c.hi as usize]
+                    .iter()
+                    .any(|&count| count > 0)
+            })
+        })
+        .cloned()
+        .collect())
+}
+
+/// Largest-remainder (Hamilton) apportionment of `k` draws proportional to
+/// `weights`; deterministic, ties broken by lower index.
+fn proportional_quota(weights: &[u64], k: usize) -> Vec<usize> {
+    let total: u64 = weights.iter().sum();
+    let mut quota = vec![0usize; weights.len()];
+    if total == 0 || weights.is_empty() {
+        if let Some(first) = quota.first_mut() {
+            *first = k;
+        }
+        return quota;
+    }
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = k as u128 * w as u128;
+        quota[i] = (exact / total as u128) as usize;
+        assigned += quota[i];
+        remainders.push(((exact % total as u128) as u64, i));
+    }
+    // Highest fractional remainder first; ties to the lower shard index.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(k - assigned) {
+        quota[i] += 1;
+    }
+    quota
+}
+
+impl SummaryBackend for ShardedSummary {
+    type Scratch = ShardedScratch;
+    /// Shard assignment per global tuple index (contiguous by shard, sized
+    /// by largest-remainder apportionment of the shard cardinalities).
+    type SamplePlan = Vec<u32>;
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.shards[0].statistics().domain_sizes()
+    }
+
+    fn make_scratch(&self) -> ShardedScratch {
+        self.shards
+            .iter()
+            .map(SummaryBackend::make_scratch)
+            .collect()
+    }
+
+    /// Mixture probability `Σ (n_s / n) · p_s`, clamped into `[0, 1]`.
+    fn probability_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> f64 {
+        let ps = self.fan_out(scratch, |_, shard, s| shard.probability_under_mask(mask, s));
+        ps.iter()
+            .zip(&self.weights)
+            .fold(0.0, |acc, (&p, &w)| acc + w * p)
+            .clamp(0.0, 1.0)
+    }
+
+    fn count_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> Estimate {
+        let counts = self.fan_out(scratch, |_, shard, s| shard.count_under_mask(mask, s));
+        merge(counts, add_estimates)
+    }
+
+    fn sum_under_mask(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        scratch: &mut ShardedScratch,
+    ) -> Result<Estimate> {
+        let sums: Result<Vec<Estimate>> = self
+            .fan_out(scratch, |_, shard, s| {
+                shard.sum_under_mask(base, attr, values, s)
+            })
+            .into_iter()
+            .collect();
+        Ok(merge(sums?, add_estimates))
+    }
+
+    fn group_by_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        scratch: &mut ShardedScratch,
+    ) -> Vec<Estimate> {
+        let per_shard = self.fan_out(scratch, |_, shard, s| {
+            shard.group_by_under_mask(mask, attr, s)
+        });
+        merge(per_shard, |mut acc, cells| {
+            for (a, b) in acc.iter_mut().zip(cells) {
+                *a = add_estimates(*a, b);
+            }
+            acc
+        })
+    }
+
+    /// Per-shard candidates + exact cross-shard re-probe. With one shard
+    /// this is exactly the default full-ranking path (bitwise parity with
+    /// the monolithic model); with several, each shard nominates its local
+    /// top-k, the candidate values are unioned, and every candidate is
+    /// re-scored against *all* shards before the final ranking — a value
+    /// popular overall but below `k` somewhere is still ranked correctly.
+    fn top_k_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        scratch: &mut ShardedScratch,
+    ) -> Vec<(u32, Estimate)> {
+        if self.shards.len() == 1 {
+            return rank_top_k(self.group_by_under_mask(mask, attr, scratch), k);
+        }
+        let candidate_lists = self.fan_out(scratch, |_, shard, s| {
+            shard.top_k_under_mask(mask, attr, k, s)
+        });
+        let mut candidates: Vec<u32> = candidate_lists
+            .into_iter()
+            .flatten()
+            .map(|(v, _)| v)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let n_attr = self.domain_sizes()[attr.0];
+        let per_shard: Vec<Vec<Estimate>> = self.fan_out(scratch, |_, shard, s| {
+            candidates
+                .iter()
+                .map(|&v| {
+                    let mut probe = mask.clone();
+                    probe.restrict_in_place(attr, v, n_attr);
+                    shard.count_under_mask(&probe, s)
+                })
+                .collect()
+        });
+        let merged = merge(per_shard, |mut acc, cells| {
+            for (a, b) in acc.iter_mut().zip(cells) {
+                *a = add_estimates(*a, b);
+            }
+            acc
+        });
+        let mut ranked: Vec<(u32, Estimate)> = candidates.into_iter().zip(merged).collect();
+        ranked.sort_by(|a, b| {
+            b.1.expectation
+                .total_cmp(&a.1.expectation)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    fn plan_samples(&self, k: usize, _seed: u64) -> Vec<u32> {
+        let ns: Vec<u64> = self.shards.iter().map(MaxEntSummary::n).collect();
+        let quota = proportional_quota(&ns, k);
+        let mut plan = Vec::with_capacity(k);
+        for (shard, &q) in quota.iter().enumerate() {
+            plan.extend(std::iter::repeat_n(shard as u32, q));
+        }
+        plan
+    }
+
+    /// Tuple `index` draws from its stratum's shard model, using the same
+    /// `(seed, global index)`-derived SplitMix64 stream every backend uses —
+    /// so a 1-shard summary samples bit-identical rows to the monolithic
+    /// model, and adding shards never perturbs another tuple's stream.
+    fn sample_tuple(
+        &self,
+        plan: &Vec<u32>,
+        index: usize,
+        seed: u64,
+        row: &mut [u32],
+        scratch: &mut ShardedScratch,
+    ) -> Result<()> {
+        let shard = plan[index] as usize;
+        self.shards[shard].sample_tuple(&(), index, seed, row, &mut scratch[shard])
+    }
+}

@@ -80,6 +80,26 @@ impl Sample {
         Ok(total)
     }
 
+    /// Merges per-shard samples into one sample over the union population —
+    /// the sampling-side analogue of merging sharded summaries. Weights are
+    /// kept per row (each row still represents its own shard's population
+    /// slice) and populations add. Schemas must match; the underlying
+    /// [`Table::append`] rejects any mismatch before touching a column.
+    pub fn merge(parts: Vec<Sample>) -> StorageResult<Sample> {
+        let mut parts = parts.into_iter();
+        let Some(mut merged) = parts.next() else {
+            return Err(entropydb_storage::StorageError::SchemaMismatch {
+                reason: "cannot merge zero samples".to_string(),
+            });
+        };
+        for part in parts {
+            merged.rows.append(part.rows())?;
+            merged.weights.extend_from_slice(part.weights());
+            merged.population += part.population();
+        }
+        Ok(merged)
+    }
+
     /// Estimates `SELECT attr, COUNT(*) GROUP BY attr WHERE pred` over the
     /// sample, returning per-value estimates for the whole domain.
     pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> StorageResult<Vec<f64>> {
@@ -200,5 +220,49 @@ mod tests {
     #[should_panic]
     fn weight_length_mismatch_panics() {
         Sample::new(table(), vec![1.0], 4);
+    }
+
+    #[test]
+    fn merged_shard_samples_estimate_like_the_union() {
+        use entropydb_storage::Partitioning;
+        // A sample per shard at fraction 1.0 is the shard itself (weight 1),
+        // so the merged sample must answer exactly like the full table.
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 4).unwrap(),
+            Attribute::categorical("b", 3).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..120u32 {
+            t.push_row(&[(i * 5 + 1) % 4, i % 3]).unwrap();
+        }
+        let shards = t.partition(&Partitioning::hash(3)).unwrap();
+        let samples: Vec<Sample> = shards
+            .iter()
+            .map(|s| crate::uniform::uniform_sample(s, 1.0, 7).unwrap())
+            .collect();
+        let merged = Sample::merge(samples).unwrap();
+        assert_eq!(merged.population(), 120);
+        assert_eq!(merged.len(), 120);
+        for v in 0..4u32 {
+            let pred = Predicate::new().eq(AttrId(0), v);
+            let truth = entropydb_storage::exec::count(&t, &pred).unwrap() as f64;
+            assert_eq!(merged.estimate_count(&pred).unwrap(), truth);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_schema_mismatch_and_empty_input() {
+        let s1 = Sample::new(table(), vec![1.0; 4], 4);
+        let other_schema = Schema::new(vec![Attribute::categorical("q", 2).unwrap()]);
+        let s2 = Sample::new(
+            Table::from_rows(other_schema, vec![vec![0]]).unwrap(),
+            vec![1.0],
+            1,
+        );
+        assert!(matches!(
+            Sample::merge(vec![s1, s2]),
+            Err(entropydb_storage::StorageError::SchemaMismatch { .. })
+        ));
+        assert!(Sample::merge(vec![]).is_err());
     }
 }

@@ -110,7 +110,9 @@ pub fn load_str(text: &str, options: &CsvOptions) -> Result<CsvDataset> {
         .filter(|l| !l.is_empty() && !l.starts_with('#'));
 
     let (names, first_data): (Vec<String>, Option<Vec<String>>) = if options.header {
-        let header = lines.next().ok_or(StorageError::SchemaMismatch)?;
+        let header = lines.next().ok_or_else(|| StorageError::SchemaMismatch {
+            reason: "CSV input is empty (no header line)".to_string(),
+        })?;
         (split_line(header, options.delimiter), None)
     } else {
         let first = lines.next().map(|l| split_line(l, options.delimiter));
@@ -119,7 +121,9 @@ pub fn load_str(text: &str, options: &CsvOptions) -> Result<CsvDataset> {
     };
     let arity = names.len();
     if arity == 0 {
-        return Err(StorageError::SchemaMismatch);
+        return Err(StorageError::SchemaMismatch {
+            reason: "CSV input has no columns".to_string(),
+        });
     }
 
     // Materialize raw rows.
@@ -138,7 +142,9 @@ pub fn load_str(text: &str, options: &CsvOptions) -> Result<CsvDataset> {
         raw.push(row);
     }
     if raw.is_empty() {
-        return Err(StorageError::SchemaMismatch);
+        return Err(StorageError::SchemaMismatch {
+            reason: "CSV input has no data rows".to_string(),
+        });
     }
 
     // Infer column kinds.

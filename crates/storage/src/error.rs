@@ -23,8 +23,12 @@ pub enum StorageError {
     InvalidRange { lo: u32, hi: u32 },
     /// A binner was configured with a non-positive width interval.
     InvalidBinSpec { lo: f64, hi: f64, bins: usize },
-    /// Two schemas that must match (e.g. for appends) differ.
-    SchemaMismatch,
+    /// Two schemas that must match (e.g. for appends or shard re-assembly)
+    /// differ; `reason` names the first divergence found.
+    SchemaMismatch { reason: String },
+    /// A partitioning specification was invalid for the table it was
+    /// applied to (zero shards, out-of-schema attribute, bad bounds).
+    InvalidPartition(String),
 }
 
 impl fmt::Display for StorageError {
@@ -64,7 +68,12 @@ impl fmt::Display for StorageError {
             StorageError::InvalidBinSpec { lo, hi, bins } => {
                 write!(f, "invalid bin spec: [{lo}, {hi}] with {bins} bins")
             }
-            StorageError::SchemaMismatch => write!(f, "schema mismatch"),
+            StorageError::SchemaMismatch { reason } => {
+                write!(f, "schema mismatch: {reason}")
+            }
+            StorageError::InvalidPartition(reason) => {
+                write!(f, "invalid partitioning: {reason}")
+            }
         }
     }
 }

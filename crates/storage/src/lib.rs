@@ -39,4 +39,4 @@ pub use histogram::{Histogram1D, Histogram2D};
 pub use parser::parse_predicate;
 pub use predicate::{AttrPredicate, Predicate};
 pub use schema::{AttrId, AttrKind, Attribute, Schema};
-pub use table::{Column, Table};
+pub use table::{Column, Partitioning, Table};

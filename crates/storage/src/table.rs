@@ -8,6 +8,127 @@
 use crate::error::{Result, StorageError};
 use crate::schema::{AttrId, Schema};
 
+/// How to split a table into horizontal shards (row partitions).
+///
+/// Both schemes are deterministic functions of the row contents (never of
+/// row order across shards or of any thread schedule), so a partitioning is
+/// reproducible and the shards of equal inputs are equal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioning {
+    /// Rows are assigned to `shards` buckets by an FNV-1a hash. With
+    /// `attr: Some(a)` only that attribute's code is hashed (co-locating
+    /// equal values, e.g. for per-value shard affinity); with `None` the
+    /// whole tuple is hashed (a balanced spread).
+    Hash { shards: usize, attr: Option<AttrId> },
+    /// Rows are assigned by inclusive upper `bounds` on one attribute's
+    /// dense codes: shard `i` holds rows with `code <= bounds[i]` (and
+    /// above `bounds[i-1]`). Bounds must be strictly increasing and the
+    /// last bound must cover the attribute's domain.
+    Range { attr: AttrId, bounds: Vec<u32> },
+}
+
+impl Partitioning {
+    /// Hash partitioning of whole tuples into `shards` buckets.
+    pub fn hash(shards: usize) -> Self {
+        Partitioning::Hash { shards, attr: None }
+    }
+
+    /// Hash partitioning on one attribute's code.
+    pub fn hash_on(attr: AttrId, shards: usize) -> Self {
+        Partitioning::Hash {
+            shards,
+            attr: Some(attr),
+        }
+    }
+
+    /// Equi-width range partitioning of `attr`'s domain into `shards`
+    /// contiguous code ranges.
+    pub fn range(attr: AttrId, shards: usize, domain_size: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(StorageError::InvalidPartition(
+                "range partitioning needs at least one shard".to_string(),
+            ));
+        }
+        if shards > domain_size {
+            return Err(StorageError::InvalidPartition(format!(
+                "{shards} range shards over a domain of {domain_size} codes"
+            )));
+        }
+        // Balanced widths (floor + remainder) keep every shard non-empty
+        // and the bounds strictly increasing for any shards <= domain_size.
+        let base = domain_size / shards;
+        let remainder = domain_size % shards;
+        let mut bounds = Vec::with_capacity(shards);
+        let mut covered = 0usize;
+        for i in 0..shards {
+            covered += base + usize::from(i < remainder);
+            bounds.push((covered - 1) as u32);
+        }
+        Ok(Partitioning::Range { attr, bounds })
+    }
+
+    /// Number of shards this partitioning produces.
+    pub fn num_shards(&self) -> usize {
+        match self {
+            Partitioning::Hash { shards, .. } => *shards,
+            Partitioning::Range { bounds, .. } => bounds.len(),
+        }
+    }
+
+    fn validate(&self, schema: &Schema) -> Result<()> {
+        match self {
+            Partitioning::Hash { shards, attr } => {
+                if *shards == 0 {
+                    return Err(StorageError::InvalidPartition(
+                        "hash partitioning needs at least one shard".to_string(),
+                    ));
+                }
+                if let Some(a) = attr {
+                    schema.attr(*a)?;
+                }
+            }
+            Partitioning::Range { attr, bounds } => {
+                let size = schema.domain_size(*attr)?;
+                if bounds.is_empty() {
+                    return Err(StorageError::InvalidPartition(
+                        "range partitioning needs at least one bound".to_string(),
+                    ));
+                }
+                if bounds.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(StorageError::InvalidPartition(
+                        "range bounds must be strictly increasing".to_string(),
+                    ));
+                }
+                let last = *bounds.last().expect("non-empty bounds") as usize;
+                if last + 1 < size {
+                    return Err(StorageError::InvalidPartition(format!(
+                        "last range bound {last} does not cover domain of {size} codes"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over a sequence of dense codes, finished with an avalanche mix so
+/// low-entropy inputs (small dense codes) still spread across buckets.
+fn fnv1a_mix(codes: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for c in codes {
+        for byte in c.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    // SplitMix64-style finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
 /// A single dictionary-encoded column.
 #[derive(Debug, Clone, Default)]
 pub struct Column {
@@ -120,15 +241,74 @@ impl Table {
         Some(self.columns.iter().map(|c| c.codes[r]).collect())
     }
 
-    /// Appends all rows of `other`; schemas must match.
+    /// Appends all rows of `other`. Schemas must match exactly (same
+    /// arity, names, domain sizes, and kinds); a mismatch is rejected with
+    /// a diagnostic [`StorageError::SchemaMismatch`] before any column is
+    /// touched, so a failed append never leaves columns misaligned. This is
+    /// the re-assembly path for horizontal shards (see [`Table::partition`]).
     pub fn append(&mut self, other: &Table) -> Result<()> {
-        if self.schema != other.schema {
-            return Err(StorageError::SchemaMismatch);
+        if let Some(reason) = schema_divergence(&self.schema, &other.schema) {
+            return Err(StorageError::SchemaMismatch { reason });
         }
         for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
             dst.codes.extend_from_slice(&src.codes);
         }
         Ok(())
+    }
+
+    /// Splits the table into horizontal shards according to `partitioning`.
+    ///
+    /// Every row lands in exactly one shard (shards re-assembled with
+    /// [`Table::append`] hold the same bag of tuples), all shards share this
+    /// table's schema, and the assignment is a deterministic function of row
+    /// contents. Shards may be empty.
+    pub fn partition(&self, partitioning: &Partitioning) -> Result<Vec<Table>> {
+        partitioning.validate(&self.schema)?;
+        let k = partitioning.num_shards();
+        let n = self.num_rows();
+        let mut shards: Vec<Table> = (0..k).map(|_| Table::new(self.schema.clone())).collect();
+
+        // One pass computing every row's shard, then one column-major copy
+        // per shard (cache-friendly for wide tables).
+        let mut assignment: Vec<u32> = Vec::with_capacity(n);
+        match partitioning {
+            Partitioning::Hash { shards: _, attr } => match attr {
+                Some(a) => {
+                    let codes = self.column(*a)?.codes();
+                    assignment.extend(codes.iter().map(|&c| (fnv1a_mix([c]) % k as u64) as u32));
+                }
+                None => {
+                    for r in 0..n {
+                        let h = fnv1a_mix(self.columns.iter().map(|c| c.codes[r]));
+                        assignment.push((h % k as u64) as u32);
+                    }
+                }
+            },
+            Partitioning::Range { attr, bounds } => {
+                let codes = self.column(*attr)?.codes();
+                assignment.extend(
+                    codes
+                        .iter()
+                        .map(|&c| bounds.partition_point(|&b| b < c) as u32),
+                );
+            }
+        }
+
+        let mut counts = vec![0usize; k];
+        for &s in &assignment {
+            counts[s as usize] += 1;
+        }
+        for (shard, &cap) in shards.iter_mut().zip(&counts) {
+            for col in &mut shard.columns {
+                col.codes.reserve(cap);
+            }
+        }
+        for (ci, col) in self.columns.iter().enumerate() {
+            for (r, &s) in assignment.iter().enumerate() {
+                shards[s as usize].columns[ci].codes.push(col.codes[r]);
+            }
+        }
+        Ok(shards)
     }
 
     /// Approximate in-memory footprint in bytes (code payload only).
@@ -138,6 +318,39 @@ impl Table {
             .map(|c| c.codes.len() * std::mem::size_of::<u32>())
             .sum()
     }
+}
+
+/// Describes the first way two schemas diverge, or `None` when they match.
+fn schema_divergence(a: &Schema, b: &Schema) -> Option<String> {
+    if a.arity() != b.arity() {
+        return Some(format!("arity {} vs {}", a.arity(), b.arity()));
+    }
+    for (i, (x, y)) in a.attributes().iter().zip(b.attributes()).enumerate() {
+        if x.name() != y.name() {
+            return Some(format!(
+                "attribute {i} named {:?} vs {:?}",
+                x.name(),
+                y.name()
+            ));
+        }
+        if x.domain_size() != y.domain_size() {
+            return Some(format!(
+                "attribute {i} ({:?}) domain size {} vs {}",
+                x.name(),
+                x.domain_size(),
+                y.domain_size()
+            ));
+        }
+        if x.kind() != y.kind() {
+            return Some(format!(
+                "attribute {i} ({:?}) kind {:?} vs {:?}",
+                x.name(),
+                x.kind(),
+                y.kind()
+            ));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -192,7 +405,167 @@ mod tests {
         let other = Table::new(Schema::new(vec![Attribute::categorical("x", 2).unwrap()]));
         assert!(matches!(
             a.append(&other),
-            Err(StorageError::SchemaMismatch)
+            Err(StorageError::SchemaMismatch { .. })
         ));
+        // The rejection happens before any column is touched.
+        assert_eq!(a.num_rows(), 2);
+    }
+
+    #[test]
+    fn append_mismatch_reasons_are_diagnostic() {
+        let base = Table::from_rows(schema(), vec![vec![0, 0]]).unwrap();
+
+        // Same arity, different domain size on attribute 1.
+        let wider = Schema::new(vec![
+            Attribute::categorical("a", 2).unwrap(),
+            Attribute::categorical("b", 4).unwrap(),
+        ]);
+        let mut t = base.clone();
+        let Err(StorageError::SchemaMismatch { reason }) = t.append(&Table::new(wider)) else {
+            panic!("domain-size mismatch must be rejected");
+        };
+        assert!(reason.contains("domain size 3 vs 4"), "{reason}");
+
+        // Same shape, different name.
+        let renamed = Schema::new(vec![
+            Attribute::categorical("a", 2).unwrap(),
+            Attribute::categorical("z", 3).unwrap(),
+        ]);
+        let Err(StorageError::SchemaMismatch { reason }) = t.append(&Table::new(renamed)) else {
+            panic!("name mismatch must be rejected");
+        };
+        assert!(reason.contains("\"b\" vs \"z\""), "{reason}");
+    }
+
+    fn partition_fixture() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::categorical("a", 8).unwrap(),
+            Attribute::categorical("b", 3).unwrap(),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..200u32 {
+            t.push_row(&[(i * 7 + 3) % 8, i % 3]).unwrap();
+        }
+        t
+    }
+
+    /// Re-assembled shards hold the same bag of tuples as the original.
+    fn assert_partition_covers(t: &Table, shards: &[Table]) {
+        use crate::exec::GroupCounts;
+        let total: usize = shards.iter().map(Table::num_rows).sum();
+        assert_eq!(total, t.num_rows());
+        let mut rebuilt = Table::new(t.schema().clone());
+        for s in shards {
+            assert_eq!(s.schema(), t.schema());
+            rebuilt.append(s).unwrap();
+        }
+        let attrs: Vec<AttrId> = t.schema().attr_ids().collect();
+        let original = GroupCounts::compute(t, &attrs).unwrap();
+        let merged = GroupCounts::compute(&rebuilt, &attrs).unwrap();
+        for (values, count) in original.iter() {
+            assert_eq!(merged.get(&values), count, "cell {values:?}");
+        }
+        assert_eq!(original.num_groups(), merged.num_groups());
+    }
+
+    #[test]
+    fn hash_partition_covers_and_is_deterministic() {
+        let t = partition_fixture();
+        for k in [1usize, 2, 4, 8] {
+            let shards = t.partition(&Partitioning::hash(k)).unwrap();
+            assert_eq!(shards.len(), k);
+            assert_partition_covers(&t, &shards);
+            let again = t.partition(&Partitioning::hash(k)).unwrap();
+            for (s1, s2) in shards.iter().zip(&again) {
+                for a in t.schema().attr_ids() {
+                    assert_eq!(s1.column(a).unwrap().codes(), s2.column(a).unwrap().codes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_on_attr_colocates_values() {
+        let t = partition_fixture();
+        let shards = t.partition(&Partitioning::hash_on(AttrId(0), 4)).unwrap();
+        assert_partition_covers(&t, &shards);
+        // Every attribute-0 value lives in exactly one shard.
+        for v in 0..8u32 {
+            let holders = shards
+                .iter()
+                .filter(|s| s.column(AttrId(0)).unwrap().codes().contains(&v))
+                .count();
+            assert!(holders <= 1, "value {v} split across {holders} shards");
+        }
+    }
+
+    #[test]
+    fn range_partition_respects_bounds() {
+        let t = partition_fixture();
+        let p = Partitioning::range(AttrId(0), 4, 8).unwrap();
+        let Partitioning::Range { ref bounds, .. } = p else {
+            unreachable!()
+        };
+        assert_eq!(bounds, &[1, 3, 5, 7]);
+        let shards = t.partition(&p).unwrap();
+        assert_partition_covers(&t, &shards);
+        let mut lo = 0u32;
+        for (shard, &hi) in shards.iter().zip(bounds) {
+            for &c in shard.column(AttrId(0)).unwrap().codes() {
+                assert!((lo..=hi).contains(&c), "code {c} outside [{lo}, {hi}]");
+            }
+            lo = hi + 1;
+        }
+    }
+
+    #[test]
+    fn range_partition_handles_uneven_widths() {
+        // ceil-width rounding must not exhaust the domain early: 4 shards
+        // over 6 codes needs widths [2, 2, 1, 1], not [2, 2, 2, <empty>].
+        let p = Partitioning::range(AttrId(0), 4, 6).unwrap();
+        let Partitioning::Range { ref bounds, .. } = p else {
+            unreachable!()
+        };
+        assert_eq!(bounds, &[1, 3, 4, 5]);
+        let p = Partitioning::range(AttrId(0), 7, 10).unwrap();
+        let Partitioning::Range { ref bounds, .. } = p else {
+            unreachable!()
+        };
+        assert_eq!(bounds, &[1, 3, 5, 6, 7, 8, 9]);
+        // Every constructed range partitioning passes its own validation.
+        let schema = Schema::new(vec![Attribute::categorical("a", 11).unwrap()]);
+        let t = Table::new(schema);
+        for shards in 1..=11usize {
+            let p = Partitioning::range(AttrId(0), shards, 11).unwrap();
+            let parts = t.partition(&p).unwrap();
+            assert_eq!(parts.len(), shards, "{shards} shards over 11 codes");
+        }
+    }
+
+    #[test]
+    fn invalid_partitionings_rejected() {
+        let t = partition_fixture();
+        assert!(matches!(
+            t.partition(&Partitioning::hash(0)),
+            Err(StorageError::InvalidPartition(_))
+        ));
+        assert!(t.partition(&Partitioning::hash_on(AttrId(9), 2)).is_err());
+        assert!(Partitioning::range(AttrId(0), 0, 8).is_err());
+        assert!(Partitioning::range(AttrId(0), 9, 8).is_err());
+        // Bounds not covering the domain.
+        let bad = Partitioning::Range {
+            attr: AttrId(0),
+            bounds: vec![1, 3],
+        };
+        assert!(matches!(
+            t.partition(&bad),
+            Err(StorageError::InvalidPartition(_))
+        ));
+        // Non-increasing bounds.
+        let bad = Partitioning::Range {
+            attr: AttrId(0),
+            bounds: vec![3, 3, 7],
+        };
+        assert!(t.partition(&bad).is_err());
     }
 }

@@ -22,6 +22,6 @@ pub use entropydb_storage as storage;
 pub mod prelude {
     pub use entropydb_core::prelude::*;
     pub use entropydb_storage::{
-        AttrId, AttrPredicate, Attribute, Binner, Predicate, Schema, Table,
+        AttrId, AttrPredicate, Attribute, Binner, Partitioning, Predicate, Schema, Table,
     };
 }

@@ -176,6 +176,80 @@ fn particles_pipeline_with_automatic_pair_selection() {
     );
 }
 
+/// Sharded end-to-end through the facade: partition a real-shaped dataset,
+/// build a sharded summary, and check the merged engine against exact
+/// ground truth and the monolithic model, then round-trip it through the
+/// manifest serializer.
+#[test]
+fn sharded_pipeline_matches_monolithic_and_round_trips() {
+    let d = generate(&FlightsConfig {
+        rows: 12_000,
+        fine: false,
+        seed: 21,
+    });
+    let stats = select_pair_statistics(&d.table, d.fl_time, d.distance, 120, Heuristic::Composite)
+        .expect("selection");
+
+    let mono =
+        MaxEntSummary::build(&d.table, stats.clone(), &SolverConfig::default()).expect("builds");
+    let sharded = ShardedSummary::build(
+        &d.table,
+        &Partitioning::hash(4),
+        stats,
+        &ShardedBuildConfig::default(),
+    )
+    .expect("sharded builds");
+    assert_eq!(sharded.n(), mono.n());
+
+    // 1D marginals are exact for both engines.
+    for v in 0..5u32 {
+        let pred = Predicate::new().eq(d.origin, v);
+        let truth = exec::count(&d.table, &pred).expect("count") as f64;
+        let est = sharded.estimate_count(&pred).expect("query").expectation;
+        assert!(
+            (est - truth).abs() < 1e-4 * sharded.n() as f64,
+            "origin {v}: {est} vs {truth}"
+        );
+    }
+    // Covered 2D queries: sharded stays close to the monolithic answer.
+    let pred = Predicate::new()
+        .between(d.fl_time, 5, 25)
+        .between(d.distance, 5, 40);
+    let e_mono = mono.estimate_count(&pred).expect("query").expectation;
+    let e_shard = sharded.estimate_count(&pred).expect("query").expectation;
+    assert!(
+        (e_mono - e_shard).abs() < 0.1 * e_mono.max(1.0),
+        "mono {e_mono} vs sharded {e_shard}"
+    );
+
+    // Group-by and top-k run through the merged fan-out paths.
+    let groups = sharded
+        .estimate_group_by(&pred, d.origin)
+        .expect("group-by");
+    let top = sharded.top_k(&pred, d.origin, 3).expect("top-k");
+    assert_eq!(top.len(), 3);
+    let best = groups
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.expectation.total_cmp(&b.1.expectation))
+        .expect("non-empty");
+    assert_eq!(top[0].0, best.0 as u32);
+
+    // Manifest round trip preserves the merged estimates bit for bit.
+    let loaded = entropydb::core::serialize::sharded_from_str(
+        &entropydb::core::serialize::sharded_to_string(&sharded),
+    )
+    .expect("round trip");
+    assert_eq!(
+        loaded
+            .estimate_count(&pred)
+            .expect("query")
+            .expectation
+            .to_bits(),
+        e_shard.to_bits()
+    );
+}
+
 /// The Fig. 1 walk-through from the paper's Sec. 2 intro: with only 1D
 /// information the CA→NY estimate is n/50²-style uniform; telling the model
 /// CA only flies to 3 states concentrates the mass.
