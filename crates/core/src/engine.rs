@@ -27,6 +27,7 @@
 use crate::assignment::Mask;
 use crate::error::{ModelError, Result};
 use crate::par;
+use crate::plan::{QueryRequest, QueryResponse};
 use crate::query::Estimate;
 use entropydb_storage::{AttrId, Predicate, Schema, Table};
 use std::sync::Mutex;
@@ -194,11 +195,14 @@ pub fn rank_top_k(groups: Vec<Estimate>, k: usize) -> Vec<(u32, Estimate)> {
 }
 
 /// The generic query front-end: owns the backend, the scratch pool, and the
-/// batching/fan-out logic. Every public estimator of
-/// [`MaxEntSummary`](crate::model::MaxEntSummary) and
-/// [`ShardedSummary`](crate::sharded::ShardedSummary) routes through the
-/// same path functions this engine uses, so an engine wrapped around a
-/// backend answers bit-identically to the backend's inherent API.
+/// batching/fan-out logic. [`QueryEngine::execute`] /
+/// [`QueryEngine::execute_batch`] over the query IR
+/// ([`QueryRequest`]) are the canonical entry
+/// points; the typed convenience methods below — and every public estimator
+/// of [`MaxEntSummary`](crate::model::MaxEntSummary) and
+/// [`ShardedSummary`](crate::sharded::ShardedSummary) — are thin wrappers
+/// that build the matching request and route through the same IR path, so
+/// every surface answers bit-identically.
 #[derive(Debug)]
 pub struct QueryEngine<B: SummaryBackend> {
     backend: B,
@@ -234,37 +238,53 @@ impl<B: SummaryBackend> QueryEngine<B> {
         self.backend.schema()
     }
 
+    /// Executes one IR request — the canonical entry point every typed
+    /// method routes through. The response variant matches the request
+    /// variant (see [`QueryRequest`]/[`QueryResponse`]).
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        paths::execute(&self.backend, &self.scratch, request)
+    }
+
+    /// Executes a batch of IR requests, fanning them out across the
+    /// persistent worker pool. Element `i` is exactly
+    /// `self.execute(&requests[i])` (bitwise; chunking never changes
+    /// results), with per-request errors kept in place so one bad request
+    /// does not poison a pipelined batch.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        paths::execute_batch(&self.backend, &self.scratch, requests)
+    }
+
     /// The model probability that a single tuple draw satisfies `pred`.
     pub fn probability(&self, pred: &Predicate) -> Result<f64> {
-        paths::probability(&self.backend, &self.scratch, pred)
+        ir::probability(&self.backend, &self.scratch, pred)
     }
 
     /// Estimates `SELECT COUNT(*) WHERE pred` with its variance.
     pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
-        paths::estimate_count(&self.backend, &self.scratch, pred)
+        ir::estimate_count(&self.backend, &self.scratch, pred)
     }
 
     /// Estimates one COUNT per predicate, fanning the batch out across
     /// threads. Identical to mapping [`QueryEngine::estimate_count`].
     pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
-        paths::estimate_count_batch(&self.backend, &self.scratch, preds)
+        ir::estimate_count_batch(&self.backend, &self.scratch, preds)
     }
 
     /// Estimates `SELECT SUM(value(attr)) WHERE pred`.
     pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
-        paths::estimate_sum(&self.backend, &self.scratch, pred, attr)
+        ir::estimate_sum(&self.backend, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT AVG(value(attr)) WHERE pred`; `None` when the
     /// model gives the predicate zero probability.
     pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
-        paths::estimate_avg(&self.backend, &self.scratch, pred, attr)
+        ir::estimate_avg(&self.backend, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT attr, COUNT(*) WHERE pred GROUP BY attr` for every
     /// value of `attr` in one batched pass.
     pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
-        paths::estimate_group_by(&self.backend, &self.scratch, pred, attr)
+        ir::estimate_group_by(&self.backend, &self.scratch, pred, attr)
     }
 
     /// Estimates the two-attribute group-by; returns `rows[v_b][v_a]` with
@@ -275,12 +295,12 @@ impl<B: SummaryBackend> QueryEngine<B> {
         attr_a: AttrId,
         attr_b: AttrId,
     ) -> Result<Vec<Vec<Estimate>>> {
-        paths::estimate_group_by2(&self.backend, &self.scratch, pred, attr_a, attr_b)
+        ir::estimate_group_by2(&self.backend, &self.scratch, pred, attr_a, attr_b)
     }
 
     /// `SELECT attr, COUNT(*) ... GROUP BY attr ORDER BY count DESC LIMIT k`.
     pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
-        paths::top_k(&self.backend, &self.scratch, pred, attr, k)
+        ir::top_k(&self.backend, &self.scratch, pred, attr, k)
     }
 
     /// Top-k per attribute for several candidate attributes, scored in
@@ -291,20 +311,73 @@ impl<B: SummaryBackend> QueryEngine<B> {
         attrs: &[AttrId],
         k: usize,
     ) -> Result<Vec<Vec<(u32, Estimate)>>> {
-        paths::top_k_multi(&self.backend, &self.scratch, pred, attrs, k)
+        ir::top_k_multi(&self.backend, &self.scratch, pred, attrs, k)
     }
 
     /// Draws `k` synthetic tuples from the summarized distribution,
     /// deterministic in `seed` and independent of thread fan-out.
     pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
-        paths::sample_rows(&self.backend, &self.scratch, k, seed)
+        ir::sample_rows(&self.backend, &self.scratch, k, seed)
     }
 }
 
 /// The single implementation of every query path, shared by [`QueryEngine`]
-/// and the backends' inherent APIs.
+/// and the backends' inherent APIs (which route through [`paths::execute`]
+/// via the [`ir`] wrappers).
 pub(crate) mod paths {
     use super::*;
+
+    /// Executes one IR request against a backend — the one dispatch point
+    /// every query surface funnels through.
+    pub fn execute<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse> {
+        match request {
+            QueryRequest::Probability { pred } => {
+                probability(backend, pool, pred).map(QueryResponse::Probability)
+            }
+            QueryRequest::Count { pred } => {
+                estimate_count(backend, pool, pred).map(QueryResponse::Estimate)
+            }
+            QueryRequest::Sum { pred, attr } => {
+                estimate_sum(backend, pool, pred, *attr).map(QueryResponse::Estimate)
+            }
+            QueryRequest::Avg { pred, attr } => {
+                estimate_avg(backend, pool, pred, *attr).map(QueryResponse::Average)
+            }
+            QueryRequest::GroupBy { pred, attr } => {
+                estimate_group_by(backend, pool, pred, *attr).map(QueryResponse::Groups)
+            }
+            QueryRequest::GroupBy2 {
+                pred,
+                attr_a,
+                attr_b,
+            } => estimate_group_by2(backend, pool, pred, *attr_a, *attr_b)
+                .map(QueryResponse::Groups2),
+            QueryRequest::TopK { pred, attr, k } => {
+                top_k(backend, pool, pred, *attr, *k).map(QueryResponse::Ranked)
+            }
+            QueryRequest::SampleRows { k, seed } => {
+                let rows = sample_rows_raw(backend, pool, *k, *seed)?;
+                Ok(QueryResponse::Rows {
+                    arity: backend.domain_sizes().len(),
+                    rows,
+                })
+            }
+        }
+    }
+
+    /// Executes a batch of IR requests across the worker pool, keeping
+    /// per-request errors in place.
+    pub fn execute_batch<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResponse>> {
+        par::map(requests, 1, |_, request| execute(backend, pool, request))
+    }
 
     fn with_scratch<B: SummaryBackend, R>(
         backend: &B,
@@ -341,18 +414,6 @@ pub(crate) mod paths {
         Ok(with_scratch(backend, pool, |s| {
             backend.count_under_mask(&mask, s)
         }))
-    }
-
-    pub fn estimate_count_batch<B: SummaryBackend>(
-        backend: &B,
-        pool: &ScratchPool<B::Scratch>,
-        preds: &[Predicate],
-    ) -> Result<Vec<Estimate>> {
-        // Pool dispatch is cheap (no per-call thread spawn), so even small
-        // batches fan out; each cell draws its own scratch from the pool.
-        par::map(preds, 2, |_, pred| estimate_count(backend, pool, pred))
-            .into_iter()
-            .collect()
     }
 
     pub fn estimate_sum<B: SummaryBackend>(
@@ -437,27 +498,17 @@ pub(crate) mod paths {
         }))
     }
 
-    pub fn top_k_multi<B: SummaryBackend>(
-        backend: &B,
-        pool: &ScratchPool<B::Scratch>,
-        pred: &Predicate,
-        attrs: &[AttrId],
-        k: usize,
-    ) -> Result<Vec<Vec<(u32, Estimate)>>> {
-        par::map(attrs, 1, |_, &attr| top_k(backend, pool, pred, attr, k))
-            .into_iter()
-            .collect()
-    }
-
-    pub fn sample_rows<B: SummaryBackend>(
+    /// Draws the raw dense-coded sample tuples (the IR-transportable form;
+    /// [`ir::sample_rows`] re-attaches the schema into a [`Table`]).
+    pub fn sample_rows_raw<B: SummaryBackend>(
         backend: &B,
         pool: &ScratchPool<B::Scratch>,
         k: usize,
         seed: u64,
-    ) -> Result<Table> {
+    ) -> Result<Vec<Vec<u32>>> {
         let m = backend.domain_sizes().len();
         let plan = backend.plan_samples(k, seed);
-        let rows: Result<Vec<Vec<u32>>> = par::map_indexed(k, 16, |i| {
+        par::map_indexed(k, 16, |i| {
             let mut row = vec![0u32; m];
             with_scratch(backend, pool, |s| {
                 backend.sample_tuple(&plan, i, seed, &mut row, s)
@@ -465,12 +516,7 @@ pub(crate) mod paths {
             Ok(row)
         })
         .into_iter()
-        .collect();
-        let mut table = Table::with_capacity(backend.schema().clone(), k);
-        for row in rows? {
-            table.push_row_unchecked(&row);
-        }
-        Ok(table)
+        .collect()
     }
 
     /// Per-value numeric weights of an attribute: bucket midpoints for
@@ -481,5 +527,136 @@ pub(crate) mod paths {
             Some(b) => (0..a.domain_size() as u32).map(|v| b.midpoint(v)).collect(),
             None => (0..a.domain_size()).map(|v| v as f64).collect(),
         })
+    }
+}
+
+/// Typed wrappers over the IR path: each builds the matching
+/// [`QueryRequest`], routes it through [`paths::execute`], and unwraps the
+/// response variant. [`QueryEngine`]'s convenience methods and the
+/// backends' inherent APIs all call these, so the typed surfaces and the
+/// IR surface cannot drift apart.
+pub(crate) mod ir {
+    use super::*;
+
+    /// The response shape is determined by the request variant, so a
+    /// mismatch can only be an internal dispatch bug.
+    const SHAPE: &str = "response variant matches request variant";
+
+    pub fn probability<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+    ) -> Result<f64> {
+        let resp = paths::execute(backend, pool, &QueryRequest::probability(pred.clone()))?;
+        Ok(resp.probability().expect(SHAPE))
+    }
+
+    pub fn estimate_count<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+    ) -> Result<Estimate> {
+        let resp = paths::execute(backend, pool, &QueryRequest::count(pred.clone()))?;
+        Ok(resp.estimate().expect(SHAPE))
+    }
+
+    pub fn estimate_count_batch<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        preds: &[Predicate],
+    ) -> Result<Vec<Estimate>> {
+        let requests: Vec<QueryRequest> = preds
+            .iter()
+            .map(|p| QueryRequest::count(p.clone()))
+            .collect();
+        paths::execute_batch(backend, pool, &requests)
+            .into_iter()
+            .map(|r| r.map(|resp| resp.estimate().expect(SHAPE)))
+            .collect()
+    }
+
+    pub fn estimate_sum<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> Result<Estimate> {
+        let resp = paths::execute(backend, pool, &QueryRequest::sum(pred.clone(), attr))?;
+        Ok(resp.estimate().expect(SHAPE))
+    }
+
+    pub fn estimate_avg<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> Result<Option<f64>> {
+        let resp = paths::execute(backend, pool, &QueryRequest::avg(pred.clone(), attr))?;
+        Ok(resp.average().expect(SHAPE))
+    }
+
+    pub fn estimate_group_by<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+    ) -> Result<Vec<Estimate>> {
+        let resp = paths::execute(backend, pool, &QueryRequest::group_by(pred.clone(), attr))?;
+        Ok(resp.groups().expect(SHAPE))
+    }
+
+    pub fn estimate_group_by2<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr_a: AttrId,
+        attr_b: AttrId,
+    ) -> Result<Vec<Vec<Estimate>>> {
+        let request = QueryRequest::group_by2(pred.clone(), attr_a, attr_b);
+        let resp = paths::execute(backend, pool, &request)?;
+        Ok(resp.groups2().expect(SHAPE))
+    }
+
+    pub fn top_k<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attr: AttrId,
+        k: usize,
+    ) -> Result<Vec<(u32, Estimate)>> {
+        let resp = paths::execute(backend, pool, &QueryRequest::top_k(pred.clone(), attr, k))?;
+        Ok(resp.ranked().expect(SHAPE))
+    }
+
+    pub fn top_k_multi<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        pred: &Predicate,
+        attrs: &[AttrId],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, Estimate)>>> {
+        let requests: Vec<QueryRequest> = attrs
+            .iter()
+            .map(|&attr| QueryRequest::top_k(pred.clone(), attr, k))
+            .collect();
+        paths::execute_batch(backend, pool, &requests)
+            .into_iter()
+            .map(|r| r.map(|resp| resp.ranked().expect(SHAPE)))
+            .collect()
+    }
+
+    pub fn sample_rows<B: SummaryBackend>(
+        backend: &B,
+        pool: &ScratchPool<B::Scratch>,
+        k: usize,
+        seed: u64,
+    ) -> Result<Table> {
+        let resp = paths::execute(backend, pool, &QueryRequest::sample_rows(k, seed))?;
+        let (_, rows) = resp.rows().expect(SHAPE);
+        let mut table = Table::with_capacity(backend.schema().clone(), rows.len());
+        for row in &rows {
+            table.push_row_unchecked(row);
+        }
+        Ok(table)
     }
 }

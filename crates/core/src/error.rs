@@ -33,6 +33,9 @@ pub enum ModelError {
     Parse { line: usize, message: String },
     /// The model and a query/mask disagree on schema shape.
     ShapeMismatch,
+    /// An error reported by a remote query service (the wire protocol's
+    /// `err` response payload).
+    Remote(String),
 }
 
 impl fmt::Display for ModelError {
@@ -73,6 +76,7 @@ impl fmt::Display for ModelError {
                 write!(f, "parse error at line {line}: {message}")
             }
             ModelError::ShapeMismatch => write!(f, "model/query shape mismatch"),
+            ModelError::Remote(message) => write!(f, "remote query error: {message}"),
         }
     }
 }

@@ -50,7 +50,8 @@
 //! | [`solver`] | §3.3 Alg. 1 | coordinate mirror descent + gradient baseline |
 //! | [`assignment`] | §4.2 | variable values, query masks |
 //! | [`model`] / [`query`] | §3.2, §4.2 | `MaxEntSummary`, estimates with variance |
-//! | [`engine`] | — | `SummaryBackend` trait + generic `QueryEngine` (scratch pool, batching) |
+//! | [`plan`] | — | unified query IR (`QueryRequest`/`QueryResponse`) + wire encoding |
+//! | [`engine`] | — | `SummaryBackend` trait + generic `QueryEngine` (`execute`, scratch pool, batching) |
 //! | [`sharded`] | — | `ShardedSummary`: per-partition models with merged estimates |
 //! | [`selection`] | §4.3 | LARGE / ZERO / COMPOSITE, KD-tree, pair choice |
 //! | [`metrics`] | §6.2 | relative error, F-measure |
@@ -64,6 +65,7 @@ pub mod metrics;
 pub mod model;
 pub mod naive;
 pub mod par;
+pub mod plan;
 pub mod polynomial;
 pub mod query;
 pub mod rng;
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::error::{ModelError, Result};
     pub use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
     pub use crate::model::MaxEntSummary;
+    pub use crate::plan::{parse_request, QueryRequest, QueryResponse};
     pub use crate::polynomial::{CompressedPolynomial, EvalScratch};
     pub use crate::query::Estimate;
     pub use crate::selection::{Heuristic, PairStrategy, SelectionPlan};

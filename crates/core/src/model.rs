@@ -2,7 +2,7 @@
 //!
 //! [`MaxEntSummary`] packages the fitted model — statistics, compressed
 //! polynomial, solved variables — and implements the
-//! [`SummaryBackend`](crate::engine::SummaryBackend) estimator primitives of
+//! [`SummaryBackend`] estimator primitives of
 //! Sec. 3.2/4.2: every estimate is one masked evaluation of `P` (no
 //! polynomial rebuilding, no per-point expansion), multiplied by the
 //! precomputed constant `n / P`.
@@ -19,7 +19,7 @@
 //! estimates.
 
 use crate::assignment::{Mask, VarAssignment};
-use crate::engine::{paths, ScratchPool, SummaryBackend};
+use crate::engine::{ir, ScratchPool, SummaryBackend};
 use crate::error::{ModelError, Result};
 use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
 use crate::polynomial::PolynomialSizeStats;
@@ -152,19 +152,19 @@ impl MaxEntSummary {
     /// The model probability that a single tuple draw satisfies `pred`:
     /// `p = P[masked] / P` (Sec. 4.2).
     pub fn probability(&self, pred: &Predicate) -> Result<f64> {
-        paths::probability(self, &self.scratch, pred)
+        ir::probability(self, &self.scratch, pred)
     }
 
     /// Estimates `SELECT COUNT(*) WHERE pred` with its Binomial variance.
     pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
-        paths::estimate_count(self, &self.scratch, pred)
+        ir::estimate_count(self, &self.scratch, pred)
     }
 
     /// Estimates one COUNT per predicate, fanning the batch out across
     /// threads — the shape of a dashboard refresh or a high-traffic query
     /// front-end. Identical to mapping [`MaxEntSummary::estimate_count`].
     pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
-        paths::estimate_count_batch(self, &self.scratch, preds)
+        ir::estimate_count_batch(self, &self.scratch, preds)
     }
 
     /// Estimates `SELECT SUM(value(attr)) WHERE pred`, where the per-row
@@ -172,21 +172,21 @@ impl MaxEntSummary {
     /// dense code itself (categorical attributes — useful when codes are
     /// meaningful ordinals).
     pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
-        paths::estimate_sum(self, &self.scratch, pred, attr)
+        ir::estimate_sum(self, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT AVG(value(attr)) WHERE pred` as the ratio of the
     /// SUM and COUNT estimates. Returns `None` when the model gives the
     /// predicate zero probability.
     pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
-        paths::estimate_avg(self, &self.scratch, pred, attr)
+        ir::estimate_avg(self, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT attr, COUNT(*) WHERE pred GROUP BY attr` for every
     /// value of `attr` in one batched derivative pass (`E[v] = n·α_v·P_{α_v}
     /// [masked] / P`, Eq. 8 under the query mask).
     pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
-        paths::estimate_group_by(self, &self.scratch, pred, attr)
+        ir::estimate_group_by(self, &self.scratch, pred, attr)
     }
 
     /// Estimates the two-attribute group-by
@@ -199,13 +199,13 @@ impl MaxEntSummary {
         attr_a: AttrId,
         attr_b: AttrId,
     ) -> Result<Vec<Vec<Estimate>>> {
-        paths::estimate_group_by2(self, &self.scratch, pred, attr_a, attr_b)
+        ir::estimate_group_by2(self, &self.scratch, pred, attr_a, attr_b)
     }
 
     /// `SELECT attr, COUNT(*) ... GROUP BY attr ORDER BY count DESC LIMIT k`
     /// — the paper's Sec. 3.1 example query shape.
     pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
-        paths::top_k(self, &self.scratch, pred, attr, k)
+        ir::top_k(self, &self.scratch, pred, attr, k)
     }
 
     /// Top-k per attribute for several candidate attributes at once — the
@@ -217,7 +217,7 @@ impl MaxEntSummary {
         attrs: &[AttrId],
         k: usize,
     ) -> Result<Vec<Vec<(u32, Estimate)>>> {
-        paths::top_k_multi(self, &self.scratch, pred, attrs, k)
+        ir::top_k_multi(self, &self.scratch, pred, attrs, k)
     }
 
     /// Draws `k` synthetic tuples from the fitted MaxEnt distribution
@@ -231,7 +231,7 @@ impl MaxEntSummary {
     /// output is deterministic in `seed` and independent of how the tuples
     /// are fanned out across threads.
     pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
-        paths::sample_rows(self, &self.scratch, k, seed)
+        ir::sample_rows(self, &self.scratch, k, seed)
     }
 }
 

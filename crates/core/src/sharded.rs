@@ -35,7 +35,7 @@
 //! `crates/core/tests/sharded.rs`).
 
 use crate::assignment::Mask;
-use crate::engine::{paths, rank_top_k, ScratchPool, SummaryBackend};
+use crate::engine::{ir, rank_top_k, ScratchPool, SummaryBackend};
 use crate::error::{ModelError, Result};
 use crate::factorized::FactorizedScratch;
 use crate::model::MaxEntSummary;
@@ -216,35 +216,35 @@ impl ShardedSummary {
 
     /// The mixture probability that a single tuple draw satisfies `pred`.
     pub fn probability(&self, pred: &Predicate) -> Result<f64> {
-        paths::probability(self, &self.scratch, pred)
+        ir::probability(self, &self.scratch, pred)
     }
 
     /// Estimates `SELECT COUNT(*) WHERE pred`; expectations and variances
     /// are summed across shards.
     pub fn estimate_count(&self, pred: &Predicate) -> Result<Estimate> {
-        paths::estimate_count(self, &self.scratch, pred)
+        ir::estimate_count(self, &self.scratch, pred)
     }
 
     /// Estimates one COUNT per predicate, fanning the batch out across
     /// threads.
     pub fn estimate_count_batch(&self, preds: &[Predicate]) -> Result<Vec<Estimate>> {
-        paths::estimate_count_batch(self, &self.scratch, preds)
+        ir::estimate_count_batch(self, &self.scratch, preds)
     }
 
     /// Estimates `SELECT SUM(value(attr)) WHERE pred` (shard sums add).
     pub fn estimate_sum(&self, pred: &Predicate, attr: AttrId) -> Result<Estimate> {
-        paths::estimate_sum(self, &self.scratch, pred, attr)
+        ir::estimate_sum(self, &self.scratch, pred, attr)
     }
 
     /// Estimates `SELECT AVG(value(attr)) WHERE pred` as merged SUM over
     /// merged COUNT.
     pub fn estimate_avg(&self, pred: &Predicate, attr: AttrId) -> Result<Option<f64>> {
-        paths::estimate_avg(self, &self.scratch, pred, attr)
+        ir::estimate_avg(self, &self.scratch, pred, attr)
     }
 
     /// Estimates the one-attribute group-by; cells merge by value.
     pub fn estimate_group_by(&self, pred: &Predicate, attr: AttrId) -> Result<Vec<Estimate>> {
-        paths::estimate_group_by(self, &self.scratch, pred, attr)
+        ir::estimate_group_by(self, &self.scratch, pred, attr)
     }
 
     /// Estimates the two-attribute group-by.
@@ -254,12 +254,12 @@ impl ShardedSummary {
         attr_a: AttrId,
         attr_b: AttrId,
     ) -> Result<Vec<Vec<Estimate>>> {
-        paths::estimate_group_by2(self, &self.scratch, pred, attr_a, attr_b)
+        ir::estimate_group_by2(self, &self.scratch, pred, attr_a, attr_b)
     }
 
     /// Top-k via per-shard candidates plus an exact cross-shard re-probe.
     pub fn top_k(&self, pred: &Predicate, attr: AttrId, k: usize) -> Result<Vec<(u32, Estimate)>> {
-        paths::top_k(self, &self.scratch, pred, attr, k)
+        ir::top_k(self, &self.scratch, pred, attr, k)
     }
 
     /// Top-k per attribute for several candidate attributes at once.
@@ -269,13 +269,13 @@ impl ShardedSummary {
         attrs: &[AttrId],
         k: usize,
     ) -> Result<Vec<Vec<(u32, Estimate)>>> {
-        paths::top_k_multi(self, &self.scratch, pred, attrs, k)
+        ir::top_k_multi(self, &self.scratch, pred, attrs, k)
     }
 
     /// Draws `k` synthetic tuples, stratified across shards proportionally
     /// to shard cardinality; deterministic in `seed`.
     pub fn sample_rows(&self, k: usize, seed: u64) -> Result<Table> {
-        paths::sample_rows(self, &self.scratch, k, seed)
+        ir::sample_rows(self, &self.scratch, k, seed)
     }
 }
 

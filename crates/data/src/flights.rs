@@ -1,4 +1,4 @@
-//! Synthetic US-flights dataset (the paper's 5 GB BTS on-time data [1]).
+//! Synthetic US-flights dataset (the paper's 5 GB BTS on-time data \[1\]).
 //!
 //! We cannot ship the real Bureau of Transportation Statistics data, so this
 //! generator reproduces the *structure the paper's evaluation depends on*,

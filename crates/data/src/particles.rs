@@ -1,5 +1,5 @@
 //! Synthetic N-body particle dataset (the paper's 210 GB ChaNGa astronomy
-//! simulation [15]).
+//! simulation \[15\]).
 //!
 //! The real simulation snapshots are not distributable, so this generator
 //! produces a cosmological-looking particle cloud with the Fig. 3 domains:

@@ -1,0 +1,119 @@
+//! An interactive client REPL for a running `entropydb-serve`:
+//!
+//! ```text
+//! cargo run -p entropydb-server --example repl -- 127.0.0.1:4141
+//! > COUNT WHERE origin = 2
+//! count ≈ 118.4   (95% CI 97..140)
+//! > TOP 3 dest WHERE distance >= 500
+//! #1  value 7   ≈ 421.0
+//! ...
+//! ```
+//!
+//! Statements are parsed client-side against the served schema (fetched
+//! once per session): binned attributes take raw numeric values,
+//! categorical attributes take dense codes.
+
+use entropydb_core::plan::QueryResponse;
+use entropydb_server::Client;
+use std::io::{BufRead, Write};
+
+fn print_response(resp: &QueryResponse) {
+    match resp {
+        QueryResponse::Probability(p) => println!("probability = {p:.6}"),
+        QueryResponse::Estimate(e) => {
+            let (lo, hi) = e.ci95();
+            println!(
+                "estimate ≈ {:.1}   (95% CI {:.0}..{:.0}, rounded {})",
+                e.expectation,
+                lo,
+                hi,
+                e.rounded()
+            );
+        }
+        QueryResponse::Average(None) => println!("avg: undefined (zero-probability predicate)"),
+        QueryResponse::Average(Some(v)) => println!("avg ≈ {v:.3}"),
+        QueryResponse::Groups(groups) => {
+            for (v, e) in groups.iter().enumerate() {
+                if e.exists() {
+                    println!("value {v:>4}   ≈ {:.1} ± {:.1}", e.expectation, e.std_dev());
+                }
+            }
+            println!("({} groups, zero-rounded ones hidden)", groups.len());
+        }
+        QueryResponse::Groups2(rows) => {
+            for (vb, row) in rows.iter().enumerate() {
+                for (va, e) in row.iter().enumerate() {
+                    if e.exists() {
+                        println!("({va:>3}, {vb:>3})   ≈ {:.1}", e.expectation);
+                    }
+                }
+            }
+        }
+        QueryResponse::Ranked(entries) => {
+            for (rank, (v, e)) in entries.iter().enumerate() {
+                println!("#{:<3} value {v:>4}   ≈ {:.1}", rank + 1, e.expectation);
+            }
+        }
+        QueryResponse::Rows { arity: _, rows } => {
+            for row in rows.iter().take(20) {
+                println!("{row:?}");
+            }
+            if rows.len() > 20 {
+                println!("... ({} rows total)", rows.len());
+            }
+        }
+    }
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:4141".to_string());
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match client.schema() {
+        Ok(schema) => {
+            println!("connected to {addr}; attributes:");
+            for attr in schema.attributes() {
+                println!("  {} (domain {})", attr.name(), attr.domain_size());
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot fetch schema: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("statements: COUNT / SUM(a) / AVG(a) / GROUP BY a[, b] / TOP k a / SAMPLE k [SEED s]");
+    println!("type 'quit' to exit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let stmt = line.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        let start = std::time::Instant::now();
+        match client.query(stmt) {
+            Ok(resp) => {
+                print_response(&resp);
+                println!("[{:.2?}]", start.elapsed());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    client.quit();
+}

@@ -1,0 +1,120 @@
+//! `entropydb-serve` — serve a persisted summary over TCP.
+//!
+//! ```text
+//! entropydb-serve <summary> [--addr HOST:PORT]
+//! ```
+//!
+//! `<summary>` is any of the persistence layouts of
+//! `entropydb_core::serialize`: a single-summary text file, a sharded
+//! manifest-with-embedded-blobs file, or a `save_sharded_dir` directory
+//! (`manifest.txt` + per-shard blobs). The backend is picked by sniffing
+//! the header, and the server is generic over it — a monolithic and a
+//! sharded summary serve the identical protocol.
+//!
+//! The default address is `127.0.0.1:4141`; use port 0 for an ephemeral
+//! port (printed on startup). The process serves until stdin reaches EOF
+//! or a `quit` line is typed, then shuts down gracefully (all sessions
+//! disconnected and joined).
+
+use entropydb_core::engine::QueryEngine;
+use entropydb_core::serialize;
+use entropydb_server::serve;
+use std::io::BufRead;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: entropydb-serve <summary file or sharded dir> [--addr HOST:PORT]");
+    ExitCode::from(2)
+}
+
+fn wait_for_quit() {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "127.0.0.1:4141".to_string());
+    let path = Path::new(path);
+
+    // Sniff the persistence layout and start the matching backend.
+    let handle = if path.is_dir() {
+        match serialize::load_sharded_dir(path) {
+            Ok(sharded) => {
+                eprintln!(
+                    "loaded sharded summary: {} shards, n = {}",
+                    sharded.num_shards(),
+                    sharded.n()
+                );
+                serve(QueryEngine::new(sharded), addr.as_str())
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let header = std::fs::read_to_string(path)
+            .map(|t| t.lines().next().unwrap_or("").to_string())
+            .unwrap_or_default();
+        if header.starts_with("entropydb-sharded-summary") {
+            match serialize::load_sharded_file(path) {
+                Ok(sharded) => {
+                    eprintln!(
+                        "loaded sharded summary: {} shards, n = {}",
+                        sharded.num_shards(),
+                        sharded.n()
+                    );
+                    serve(QueryEngine::new(sharded), addr.as_str())
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match serialize::load_file(path) {
+                Ok(summary) => {
+                    eprintln!("loaded summary: n = {}", summary.n());
+                    serve(QueryEngine::new(summary), addr.as_str())
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    match handle {
+        Ok(handle) => {
+            println!("listening on {}", handle.local_addr());
+            eprintln!("type 'quit' (or close stdin) to stop");
+            wait_for_quit();
+            eprintln!(
+                "shutting down ({} active sessions)",
+                handle.active_sessions()
+            );
+            handle.shutdown();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A small synchronous client for the line protocol.
+
+use crate::protocol::decode_schema;
+use entropydb_core::error::{ModelError, Result as ModelResult};
+use entropydb_core::plan::{parse_request, QueryRequest, QueryResponse};
+use entropydb_storage::Schema;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce: transport failures or query/protocol
+/// errors (including errors the server reported on the wire error channel,
+/// surfaced as [`ModelError::Remote`]).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP transport failed (connect, read, write, or unexpected EOF).
+    Io(io::Error),
+    /// A query, parse, or protocol error.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ModelError> for ClientError {
+    fn from(e: ModelError) -> Self {
+        ClientError::Model(e)
+    }
+}
+
+/// Convenience alias for client call results.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A connected session against an EntropyDB query server.
+///
+/// The client speaks the query IR directly ([`Client::execute`] /
+/// [`Client::execute_batch`]) or textual statements ([`Client::query`],
+/// parsed against the served schema — values of binned attributes are raw
+/// numbers, values of categorical attributes are dense codes).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    schema: Option<Schema>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            schema: None,
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> ClientResult<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> ClientResult<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Health check.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.send_line("ping")?;
+        let reply = self.read_line()?;
+        if reply == "pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Model(ModelError::Remote(format!(
+                "unexpected ping reply {reply:?}"
+            ))))
+        }
+    }
+
+    /// The served summary's schema (fetched once, then cached).
+    pub fn schema(&mut self) -> ClientResult<&Schema> {
+        if self.schema.is_none() {
+            self.send_line("schema")?;
+            let header = self.read_line()?;
+            // The borrow checker cannot see through `FnMut` captures of
+            // `self`, so read via a local reader handle.
+            let reader = &mut self.reader;
+            let schema = decode_schema(&header, || {
+                let mut line = String::new();
+                if reader
+                    .read_line(&mut line)
+                    .map_err(|e| ModelError::Remote(e.to_string()))?
+                    == 0
+                {
+                    return Err(ModelError::Remote(
+                        "connection closed mid-schema".to_string(),
+                    ));
+                }
+                Ok(line.trim_end_matches(['\n', '\r']).to_string())
+            })?;
+            self.schema = Some(schema);
+        }
+        Ok(self.schema.as_ref().expect("schema cached"))
+    }
+
+    /// Executes one IR request remotely.
+    pub fn execute(&mut self, request: &QueryRequest) -> ClientResult<QueryResponse> {
+        self.send_line(&request.encode())?;
+        let line = self.read_line()?;
+        Ok(QueryResponse::decode(&line)?)
+    }
+
+    /// Executes a batch of IR requests as pipelined frames (split at the
+    /// server's [`MAX_BATCH`](crate::MAX_BATCH) frame limit, so any batch
+    /// size is accepted). The outer result is transport-level; each
+    /// element is that request's outcome (server-side failures decode to
+    /// [`ModelError::Remote`]).
+    pub fn execute_batch(
+        &mut self,
+        requests: &[QueryRequest],
+    ) -> ClientResult<Vec<ModelResult<QueryResponse>>> {
+        let mut responses = Vec::with_capacity(requests.len());
+        for chunk in requests.chunks(crate::protocol::MAX_BATCH) {
+            let mut frame = format!("batch {}\n", chunk.len());
+            for request in chunk {
+                frame.push_str(&request.encode());
+                frame.push('\n');
+            }
+            self.writer.write_all(frame.as_bytes())?;
+            self.writer.flush()?;
+            for _ in 0..chunk.len() {
+                let line = self.read_line()?;
+                responses.push(QueryResponse::decode(&line));
+            }
+        }
+        Ok(responses)
+    }
+
+    /// Parses a textual statement against the served schema and executes
+    /// it: `COUNT WHERE origin = 2`, `TOP 5 dest`, `SAMPLE 100 SEED 7`, ...
+    pub fn query(&mut self, statement: &str) -> ClientResult<QueryResponse> {
+        self.schema()?;
+        let schema = self.schema.as_ref().expect("schema cached");
+        let request = parse_request(statement, schema)?;
+        self.execute(&request)
+    }
+
+    /// Ends the session politely (the server also handles abrupt drops).
+    pub fn quit(mut self) {
+        let _ = self.send_line("quit");
+    }
+}

@@ -1,0 +1,40 @@
+//! # entropydb-server
+//!
+//! A small threaded TCP query service over any EntropyDB summary backend —
+//! the "interactive data exploration" front-end of the paper, serving a
+//! [`QueryEngine`](entropydb_core::engine::QueryEngine) to remote clients.
+//!
+//! The protocol is line-oriented text over TCP, built directly on the query
+//! IR's wire encoding (`entropydb_core::plan`): a client sends one encoded
+//! [`QueryRequest`](entropydb_core::plan::QueryRequest) per line and reads
+//! one encoded [`QueryResponse`](entropydb_core::plan::QueryResponse) line
+//! back. Batches pipeline through the engine's `execute_batch`, which fans
+//! requests out across the persistent worker pool.
+//!
+//! ```text
+//! client → server                 server → client
+//! ---------------                 ---------------
+//! ping                            pong
+//! schema                          s1 <arity> / attr ... / end
+//! q1 <request>                    r1 <response>
+//! batch <n>  (then n q1 lines)    n r1 lines, in order
+//! quit                            (connection closed)
+//! ```
+//!
+//! Malformed or failing requests answer on the error channel
+//! (`r1 err <message>`), which clients surface as
+//! [`ModelError::Remote`](entropydb_core::error::ModelError::Remote); the
+//! connection stays usable. [`ServerHandle::shutdown`] stops accepting,
+//! disconnects every session, and joins all threads.
+//!
+//! See `crates/server/src/bin/entropydb-serve.rs` for a ready-made daemon
+//! over a persisted summary (monolithic or sharded manifest) and
+//! `examples/repl.rs` for an interactive client.
+
+mod client;
+mod protocol;
+mod server;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use protocol::{MAX_BATCH, MAX_SAMPLE_ROWS};
+pub use server::{serve, ServerHandle};

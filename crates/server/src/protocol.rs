@@ -1,0 +1,170 @@
+//! The line-protocol pieces that are not already part of the query IR's
+//! wire encoding: command words and the schema block.
+//!
+//! Requests and responses themselves are encoded by
+//! `entropydb_core::plan` (`q1 ...` / `r1 ...` lines); this module adds the
+//! session-level commands (`ping`, `schema`, `batch <n>`, `quit`) and a
+//! multi-line schema block so clients can resolve attribute names and bin
+//! values without access to the base data:
+//!
+//! ```text
+//! s1 <arity>
+//! attr <index> <domain_size> cat <name>
+//! attr <index> <domain_size> bin <lo> <hi> <name>
+//! end
+//! ```
+//!
+//! Attribute names go last on their line (they may contain spaces), the
+//! same convention as the summary text format (`serialize.rs`).
+
+use entropydb_core::error::{ModelError, Result};
+use entropydb_storage::{Attribute, Binner, Schema};
+use std::fmt::Write as _;
+
+/// Largest accepted `batch <n>`; guards the session loop against absurd
+/// frame counts on a garbled line. [`Client`](crate::Client) transparently
+/// splits larger batches into multiple frames.
+pub const MAX_BATCH: usize = 1 << 16;
+
+/// Largest `SAMPLE k` a served request may ask for. A sample request is
+/// the one wire line whose cost is decoupled from its length (a few bytes
+/// can demand an arbitrarily large allocation), so the server rejects
+/// oversized ones on the error channel instead of attempting them.
+pub const MAX_SAMPLE_ROWS: usize = 1 << 20;
+
+/// Largest request line (bytes, newline included) a session will buffer.
+/// Bounds the per-session read buffer against newline-free streams; any
+/// legitimate request is far smaller (predicates over coded domains).
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Encodes a schema as the multi-line wire block (including the trailing
+/// `end` line, newline-terminated).
+pub fn encode_schema(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "s1 {}", schema.arity());
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        match attr.binner() {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "attr {} {} bin {} {} {}",
+                    i,
+                    attr.domain_size(),
+                    b.lo(),
+                    b.hi(),
+                    attr.name()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "attr {} {} cat {}", i, attr.domain_size(), attr.name());
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn wire_error(message: String) -> ModelError {
+    ModelError::Parse { line: 0, message }
+}
+
+fn parse_token<T: std::str::FromStr>(token: Option<&str>, what: &str) -> Result<T> {
+    let t = token.ok_or_else(|| wire_error(format!("schema block missing {what}")))?;
+    t.parse()
+        .map_err(|_| wire_error(format!("cannot parse {what} from {t:?}")))
+}
+
+/// Decodes a schema block: `header` is the `s1 ...` line already read;
+/// `next_line` yields each following line (the caller reads them off the
+/// connection).
+pub fn decode_schema(
+    header: &str,
+    mut next_line: impl FnMut() -> Result<String>,
+) -> Result<Schema> {
+    let mut toks = header.split_ascii_whitespace();
+    if toks.next() != Some("s1") {
+        return Err(wire_error(format!("unrecognized schema header {header:?}")));
+    }
+    let arity: usize = parse_token(toks.next(), "arity")?;
+    let mut attributes = Vec::with_capacity(arity);
+    for expected in 0..arity {
+        let line = next_line()?;
+        let mut toks = line.split_ascii_whitespace();
+        if toks.next() != Some("attr") {
+            return Err(wire_error(format!("expected attr line, found {line:?}")));
+        }
+        let idx: usize = parse_token(toks.next(), "attr index")?;
+        if idx != expected {
+            return Err(wire_error(format!("attr index {idx}, expected {expected}")));
+        }
+        let size: usize = parse_token(toks.next(), "domain size")?;
+        let kind = toks
+            .next()
+            .ok_or_else(|| wire_error("attr line missing kind".to_string()))?;
+        let rest: Vec<&str> = toks.collect();
+        let attribute = match kind {
+            "cat" => Attribute::categorical(rest.join(" "), size).map_err(ModelError::Storage)?,
+            "bin" => {
+                if rest.len() < 3 {
+                    return Err(wire_error("binned attr needs: lo hi name".to_string()));
+                }
+                let lo: f64 = parse_token(Some(rest[0]), "bin lo")?;
+                let hi: f64 = parse_token(Some(rest[1]), "bin hi")?;
+                let binner = Binner::new(lo, hi, size).map_err(ModelError::Storage)?;
+                Attribute::binned(rest[2..].join(" "), binner)
+            }
+            other => return Err(wire_error(format!("unknown attribute kind {other:?}"))),
+        };
+        attributes.push(attribute);
+    }
+    let end = next_line()?;
+    if end.trim() != "end" {
+        return Err(wire_error(format!("expected end, found {end:?}")));
+    }
+    Ok(Schema::new(attributes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_block_round_trips() {
+        let schema = Schema::new(vec![
+            Attribute::categorical("origin airport", 7).unwrap(),
+            Attribute::binned("distance", Binner::new(-2.5, 800.0, 16).unwrap()),
+        ]);
+        let block = encode_schema(&schema);
+        let mut lines = block.lines();
+        let header = lines.next().unwrap().to_string();
+        let decoded = decode_schema(&header, || Ok(lines.next().unwrap().to_string())).unwrap();
+        assert_eq!(decoded.arity(), 2);
+        assert_eq!(decoded.attr_by_name("origin airport").unwrap().0, 0);
+        let b = decoded.attributes()[1]
+            .binner()
+            .expect("binner survives the round trip");
+        assert_eq!(b.lo(), -2.5);
+        assert_eq!(b.hi(), 800.0);
+        assert_eq!(b.num_bins(), 16);
+    }
+
+    #[test]
+    fn malformed_schema_blocks_rejected() {
+        let err = |text: &str| {
+            let mut lines = text.lines();
+            let header = lines.next().unwrap_or("").to_string();
+            decode_schema(&header, || {
+                lines
+                    .next()
+                    .map(str::to_string)
+                    .ok_or(ModelError::ShapeMismatch)
+            })
+            .is_err()
+        };
+        assert!(err("bogus"));
+        assert!(err("s1 1\nattr 1 4 cat x\nend"));
+        assert!(err("s1 1\nattr 0 4 vec x\nend"));
+        assert!(err("s1 1\nattr 0 4 cat x"));
+        assert!(err("s1 2\nattr 0 4 cat x\nend"));
+    }
+}

@@ -1,0 +1,308 @@
+//! The threaded TCP server: accept loop, per-connection sessions, batch
+//! pipelining, graceful shutdown.
+
+use crate::protocol::{encode_schema, MAX_BATCH, MAX_LINE_BYTES, MAX_SAMPLE_ROWS};
+use entropydb_core::engine::{QueryEngine, SummaryBackend};
+use entropydb_core::error::{ModelError, Result};
+use entropydb_core::plan::{QueryRequest, QueryResponse};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared session bookkeeping: live connection handles (for shutdown) and
+/// thread handles (for joining). Both are bounded by the number of *live*
+/// connections: a session deregisters its connection on exit, and the
+/// accept loop reaps finished session threads.
+struct Shared {
+    stop: AtomicBool,
+    next_conn: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+    active: AtomicUsize,
+}
+
+/// A running server. Dropping the handle shuts the server down (prefer
+/// calling [`ServerHandle::shutdown`] explicitly).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Starts serving `engine` on `addr` (use port 0 for an ephemeral port;
+/// the bound address is available via [`ServerHandle::local_addr`]).
+///
+/// Each accepted connection gets its own session thread; within a session,
+/// `batch` frames route through [`QueryEngine::execute_batch`] and fan out
+/// across the persistent worker pool, so one slow client cannot serialize
+/// another client's batch and a single connection still saturates the
+/// cores.
+pub fn serve<B>(engine: QueryEngine<B>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle>
+where
+    B: SummaryBackend + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        next_conn: AtomicU64::new(0),
+        conns: Mutex::new(HashMap::new()),
+        sessions: Mutex::new(Vec::new()),
+        active: AtomicUsize::new(0),
+    });
+    let engine = Arc::new(engine);
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, engine, shared))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, disconnects every session, and joins all server
+    /// threads. Returns once every session thread has exited.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        // Unblock session readers, then join them.
+        for conn in self.shared.conns.lock().expect("conns lock").values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let sessions: Vec<_> = self
+            .shared
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .drain(..)
+            .collect();
+        for session in sessions {
+            let _ = session.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("active_sessions", &self.active_sessions())
+            .finish()
+    }
+}
+
+fn accept_loop<B>(listener: TcpListener, engine: Arc<QueryEngine<B>>, shared: Arc<Shared>)
+where
+    B: SummaryBackend + 'static,
+{
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        // Reap finished session threads so the handle list stays bounded
+        // by the number of live connections.
+        {
+            let mut sessions = shared.sessions.lock().expect("sessions lock");
+            let mut i = 0;
+            while i < sessions.len() {
+                if sessions[i].is_finished() {
+                    let _ = sessions.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        shared
+            .conns
+            .lock()
+            .expect("conns lock")
+            .insert(conn_id, registered);
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let engine = Arc::clone(&engine);
+        let shared_for_session = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            session(&engine, stream);
+            // Deregister (closing the cloned fd) before going idle.
+            shared_for_session
+                .conns
+                .lock()
+                .expect("conns lock")
+                .remove(&conn_id);
+            shared_for_session.active.fetch_sub(1, Ordering::SeqCst);
+        });
+        shared.sessions.lock().expect("sessions lock").push(handle);
+    }
+}
+
+/// Reads one protocol line with the session's line-length cap applied; a
+/// newline-free stream longer than [`MAX_LINE_BYTES`] errors instead of
+/// growing the buffer without bound.
+fn read_line_limited(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<usize> {
+    let n = io::Read::take(io::Read::by_ref(reader), MAX_LINE_BYTES).read_line(line)?;
+    if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request line too long",
+        ));
+    }
+    Ok(n)
+}
+
+/// One connection's read-dispatch-write loop. Any I/O error ends the
+/// session; any query error answers on the wire error channel and keeps
+/// the session alive.
+fn session<B: SummaryBackend>(engine: &QueryEngine<B>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_limited(&mut reader, &mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let command = line.trim();
+        if command.is_empty() {
+            continue;
+        }
+        let reply = if command == "quit" {
+            break;
+        } else if command == "ping" {
+            "pong\n".to_string()
+        } else if command == "schema" {
+            encode_schema(engine.schema())
+        } else if let Some(count) = command.strip_prefix("batch") {
+            match handle_batch(engine, &mut reader, count.trim()) {
+                Ok(reply) => reply,
+                Err(()) => break, // connection died mid-batch
+            }
+        } else {
+            respond(engine, command)
+        };
+        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Server-side admission check on a decoded request: rejects the shapes
+/// whose execution cost is decoupled from their wire length.
+fn admit(req: QueryRequest) -> Result<QueryRequest> {
+    if let QueryRequest::SampleRows { k, .. } = &req {
+        if *k > MAX_SAMPLE_ROWS {
+            return Err(ModelError::Remote(format!(
+                "sample size {k} exceeds the served maximum {MAX_SAMPLE_ROWS}"
+            )));
+        }
+    }
+    Ok(req)
+}
+
+/// Decodes and executes one request line, encoding the outcome (answer or
+/// error) as one newline-terminated response line.
+fn respond<B: SummaryBackend>(engine: &QueryEngine<B>, command: &str) -> String {
+    let outcome = QueryRequest::decode(command)
+        .and_then(admit)
+        .and_then(|req| engine.execute(&req));
+    encode_outcome(&outcome)
+}
+
+fn encode_outcome(outcome: &Result<QueryResponse>) -> String {
+    let mut line = match outcome {
+        Ok(resp) => resp.encode(),
+        Err(e) => QueryResponse::encode_error(e),
+    };
+    line.push('\n');
+    line
+}
+
+/// Reads the `n` request lines of a `batch <n>` frame, executes the
+/// decodable ones as one engine batch (parallel fan-out), and returns the
+/// `n` response lines in request order. `Err(())` means the connection
+/// dropped mid-frame.
+fn handle_batch<B: SummaryBackend>(
+    engine: &QueryEngine<B>,
+    reader: &mut BufReader<TcpStream>,
+    count: &str,
+) -> std::result::Result<String, ()> {
+    let n: usize = match count.parse() {
+        Ok(n) if n <= MAX_BATCH => n,
+        _ => {
+            let err = ModelError::Parse {
+                line: 0,
+                message: format!("bad batch size {count:?} (max {MAX_BATCH})"),
+            };
+            return Ok(encode_outcome(&Err(err)));
+        }
+    };
+    let mut slots: Vec<Option<Result<QueryResponse>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut requests = Vec::new();
+    let mut line = String::new();
+    for slot in slots.iter_mut() {
+        line.clear();
+        match read_line_limited(reader, &mut line) {
+            Ok(0) | Err(_) => return Err(()),
+            Ok(_) => {}
+        }
+        match QueryRequest::decode(line.trim()).and_then(admit) {
+            Ok(req) => requests.push(req),
+            Err(e) => *slot = Some(Err(e)),
+        }
+    }
+    // Decodable requests executed as one parallel engine batch; results
+    // refill the still-empty slots in order.
+    let mut results = engine.execute_batch(&requests).into_iter();
+    for slot in slots.iter_mut() {
+        if slot.is_none() {
+            *slot = results.next();
+        }
+    }
+    let mut reply = String::new();
+    for slot in &slots {
+        reply.push_str(&encode_outcome(
+            slot.as_ref().expect("every batch slot filled"),
+        ));
+    }
+    Ok(reply)
+}

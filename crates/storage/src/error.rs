@@ -29,6 +29,8 @@ pub enum StorageError {
     /// A partitioning specification was invalid for the table it was
     /// applied to (zero shards, out-of-schema attribute, bad bounds).
     InvalidPartition(String),
+    /// Textual query input (predicate or statement) could not be parsed.
+    Syntax(String),
 }
 
 impl fmt::Display for StorageError {
@@ -73,6 +75,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidPartition(reason) => {
                 write!(f, "invalid partitioning: {reason}")
+            }
+            StorageError::Syntax(reason) => {
+                write!(f, "syntax error: {reason}")
             }
         }
     }

@@ -36,7 +36,7 @@ pub use dictionary::Dictionary;
 pub use error::{Result, StorageError};
 pub use exec::GroupCounts;
 pub use histogram::{Histogram1D, Histogram2D};
-pub use parser::parse_predicate;
+pub use parser::{parse_predicate, parse_statement, Resolver, Statement};
 pub use predicate::{AttrPredicate, Predicate};
 pub use schema::{AttrId, AttrKind, Attribute, Schema};
 pub use table::{Column, Partitioning, Table};

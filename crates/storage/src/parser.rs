@@ -1,22 +1,57 @@
-//! A small textual predicate language for interactive exploration.
+//! A small textual query language for interactive exploration.
+//!
+//! Two entry points share one grammar core: [`parse_predicate`] accepts a
+//! bare conjunctive predicate (the historical surface), and
+//! [`parse_statement`] accepts a full query statement that maps 1:1 onto
+//! the engine's query IR (`entropydb_core::plan::QueryRequest`).
 //!
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
+//! statement := COUNT [ '(' '*' ')' ] [ WHERE predicate ] [ GROUP BY attrs ]
+//!            | SUM '(' attr ')' [ WHERE predicate ]
+//!            | AVG '(' attr ')' [ WHERE predicate ]
+//!            | GROUP BY attrs [ WHERE predicate ]
+//!            | TOP k attr [ WHERE predicate ]
+//!            | SAMPLE k [ SEED s ]
+//! attrs     := attr [ ',' attr ]                (one or two group attributes)
 //! predicate := clause ( AND clause )*
 //! clause    := attr '=' value
+//!            | attr ( '<' | '<=' | '>' | '>=' ) value
 //!            | attr BETWEEN value AND value
-//!            | attr IN '(' value ( ',' value )* ')'
+//!            | attr IN '(' [ value ( ',' value )* ] ')'
 //! ```
 //!
 //! Attribute names and values are resolved through a [`Resolver`] so the
 //! same parser serves dictionary-coded categorical columns ("origin = CA")
 //! and binned numeric columns ("distance BETWEEN 100 AND 800", mapped to
-//! bucket ranges).
+//! bucket ranges). Comparison operators desugar to inclusive code ranges
+//! against the attribute's domain bounds: `d < v` is the range below `v`'s
+//! code (the explicit always-false predicate when `v` maps to code 0), and
+//! `d >= v` runs from `v`'s code to the end of the domain. Values outside
+//! a binned domain resolve through [`ValueBound`] rather than clamping, so
+//! `d > 0` over a domain starting at 700 is `All`, not "above bucket 0".
+//! `IN ()` parses to the explicit always-false
+//! [`AttrPredicate::Never`](crate::predicate::AttrPredicate).
 
 use crate::error::{Result, StorageError};
-use crate::predicate::Predicate;
+use crate::predicate::{AttrPredicate, Predicate};
 use crate::schema::AttrId;
+
+/// Where a comparison value sits relative to an attribute's coded domain.
+/// Binned attributes clamp out-of-range values into the first/last bucket
+/// for *point* lookups (outliers stay visible), but comparisons must know
+/// the difference: `distance > 0` with a domain starting at 700 matches
+/// everything, not "everything above bucket 0".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueBound {
+    /// The value lies below every code of the domain.
+    Below,
+    /// The value maps to this code.
+    Within(u32),
+    /// The value lies above every code of the domain.
+    Above,
+}
 
 /// Resolves attribute names and user-facing values to dense codes.
 pub trait Resolver {
@@ -24,15 +59,77 @@ pub trait Resolver {
     fn attr(&self, name: &str) -> Result<AttrId>;
     /// The dense code for a textual value of `attr`.
     fn code(&self, attr: AttrId, value: &str) -> Result<u32>;
+    /// The attribute's domain size (needed to desugar open comparisons
+    /// like `attr >= v` into inclusive code ranges).
+    fn domain_size(&self, attr: AttrId) -> Result<usize>;
+    /// The value's position relative to the coded domain, for comparison
+    /// desugaring. The default suits resolvers without out-of-domain
+    /// values (e.g. dictionaries, which reject unknown values outright);
+    /// binned resolvers override it to distinguish values beyond the bin
+    /// range from values clamped into the edge buckets.
+    fn bound(&self, attr: AttrId, value: &str) -> Result<ValueBound> {
+        Ok(ValueBound::Within(self.code(attr, value)?))
+    }
+}
+
+/// A parsed query statement: the textual counterpart of the engine's query
+/// IR, with all names and values already resolved to dense codes. The core
+/// crate converts this 1:1 into `entropydb_core::plan::QueryRequest`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `COUNT [WHERE ...]`.
+    Count { pred: Predicate },
+    /// `SUM(attr) [WHERE ...]`.
+    Sum { attr: AttrId, pred: Predicate },
+    /// `AVG(attr) [WHERE ...]`.
+    Avg { attr: AttrId, pred: Predicate },
+    /// `[COUNT ...] GROUP BY attr [, attr2]`.
+    GroupBy {
+        attr: AttrId,
+        by2: Option<AttrId>,
+        pred: Predicate,
+    },
+    /// `TOP k attr [WHERE ...]`.
+    TopK {
+        attr: AttrId,
+        k: usize,
+        pred: Predicate,
+    },
+    /// `SAMPLE k [SEED s]`.
+    Sample { k: usize, seed: u64 },
 }
 
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
     Word(String),
     Equals,
+    Lt,
+    Le,
+    Gt,
+    Ge,
     LParen,
     RParen,
     Comma,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w:?}"),
+            Token::Equals => f.write_str("'='"),
+            Token::Lt => f.write_str("'<'"),
+            Token::Le => f.write_str("'<='"),
+            Token::Gt => f.write_str("'>'"),
+            Token::Ge => f.write_str("'>='"),
+            Token::LParen => f.write_str("'('"),
+            Token::RParen => f.write_str("')'"),
+            Token::Comma => f.write_str("','"),
+        }
+    }
+}
+
+fn syntax(message: impl Into<String>) -> StorageError {
+    StorageError::Syntax(message.into())
 }
 
 fn tokenize(input: &str) -> Result<Vec<Token>> {
@@ -43,11 +140,22 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             tokens.push(Token::Word(std::mem::take(word)));
         }
     };
-    for c in input.chars() {
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
         match c {
             '=' => {
                 flush(&mut word, &mut tokens);
                 tokens.push(Token::Equals);
+            }
+            '<' | '>' => {
+                flush(&mut word, &mut tokens);
+                let strict = chars.next_if_eq(&'=').is_none();
+                tokens.push(match (c, strict) {
+                    ('<', true) => Token::Lt,
+                    ('<', false) => Token::Le,
+                    ('>', true) => Token::Gt,
+                    _ => Token::Ge,
+                });
             }
             '(' => {
                 flush(&mut word, &mut tokens);
@@ -67,7 +175,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
     }
     flush(&mut word, &mut tokens);
     if tokens.is_empty() {
-        return Err(StorageError::UnknownAttribute("empty predicate".into()));
+        return Err(syntax("empty input"));
     }
     Ok(tokens)
 }
@@ -79,15 +187,28 @@ struct Parser<'a, R: Resolver + ?Sized> {
 }
 
 impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
+    fn new(input: &str, resolver: &'a R) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            resolver,
+        })
+    }
+
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
 
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
     fn next(&mut self) -> Result<Token> {
-        let t =
-            self.tokens.get(self.pos).cloned().ok_or_else(|| {
-                StorageError::UnknownAttribute("unexpected end of predicate".into())
-            })?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| syntax("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -95,9 +216,7 @@ impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
     fn expect_word(&mut self, what: &str) -> Result<String> {
         match self.next()? {
             Token::Word(w) => Ok(w),
-            other => Err(StorageError::UnknownAttribute(format!(
-                "expected {what}, found {other:?}"
-            ))),
+            other => Err(syntax(format!("expected {what}, found {other}"))),
         }
     }
 
@@ -106,10 +225,71 @@ impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
         if w.eq_ignore_ascii_case(kw) {
             Ok(())
         } else {
-            Err(StorageError::UnknownAttribute(format!(
-                "expected {kw}, found {w:?}"
-            )))
+            Err(syntax(format!("expected {kw}, found {w:?}")))
         }
+    }
+
+    fn expect_token(&mut self, token: Token) -> Result<()> {
+        let t = self.next()?;
+        if t == token {
+            Ok(())
+        } else {
+            Err(syntax(format!("expected {token}, found {t}")))
+        }
+    }
+
+    /// Consumes the next word if it equals `kw` (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_usize(&mut self, what: &str) -> Result<usize> {
+        let w = self.expect_word(what)?;
+        w.parse().map_err(|_| {
+            syntax(format!(
+                "expected {what} (a non-negative integer), found {w:?}"
+            ))
+        })
+    }
+
+    /// Desugars a comparison operator into an inclusive code range against
+    /// the attribute's domain bounds. Comparisons that exclude every code
+    /// (e.g. `< first-code`, or `>` a value beyond the domain ceiling)
+    /// produce the explicit always-false predicate; comparisons every code
+    /// satisfies (e.g. `>` a value below the domain floor) produce `All`.
+    fn comparison(&mut self, attr: AttrId, op: &Token) -> Result<AttrPredicate> {
+        let value = self.expect_word("value")?;
+        let bound = self.resolver.bound(attr, &value)?;
+        let last = (self.resolver.domain_size(attr)?.saturating_sub(1)) as u32;
+        let below = matches!(op, Token::Lt | Token::Le);
+        Ok(match bound {
+            // The value sits outside the coded domain: the comparison is
+            // decided for every code at once.
+            ValueBound::Below if below => AttrPredicate::Never,
+            ValueBound::Below => AttrPredicate::All,
+            ValueBound::Above if below => AttrPredicate::All,
+            ValueBound::Above => AttrPredicate::Never,
+            ValueBound::Within(code) => match op {
+                Token::Lt if code == 0 => AttrPredicate::Never,
+                Token::Lt => AttrPredicate::Range {
+                    lo: 0,
+                    hi: code - 1,
+                },
+                Token::Le => AttrPredicate::Range { lo: 0, hi: code },
+                Token::Gt if code >= last => AttrPredicate::Never,
+                Token::Gt => AttrPredicate::Range {
+                    lo: code + 1,
+                    hi: last,
+                },
+                _ => AttrPredicate::Range { lo: code, hi: last },
+            },
+        })
     }
 
     fn clause(&mut self, pred: Predicate) -> Result<Predicate> {
@@ -119,6 +299,10 @@ impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
             Token::Equals => {
                 let value = self.expect_word("value")?;
                 Ok(pred.eq(attr, self.resolver.code(attr, &value)?))
+            }
+            op @ (Token::Lt | Token::Le | Token::Gt | Token::Ge) => {
+                let p = self.comparison(attr, &op)?;
+                Ok(pred.with(attr, p))
             }
             Token::Word(w) if w.eq_ignore_ascii_case("between") => {
                 let lo = self.expect_word("lower bound")?;
@@ -134,15 +318,13 @@ impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
                 Ok(pred.between(attr, lo, hi))
             }
             Token::Word(w) if w.eq_ignore_ascii_case("in") => {
-                match self.next()? {
-                    Token::LParen => {}
-                    other => {
-                        return Err(StorageError::UnknownAttribute(format!(
-                            "expected ( after IN, found {other:?}"
-                        )))
-                    }
-                }
+                self.expect_token(Token::LParen)?;
                 let mut values = Vec::new();
+                // `IN ()` is the explicit empty (always-false) predicate.
+                if self.peek() == Some(&Token::RParen) {
+                    self.pos += 1;
+                    return Ok(pred.in_set(attr, values));
+                }
                 loop {
                     let v = self.expect_word("value")?;
                     values.push(self.resolver.code(attr, &v)?);
@@ -150,43 +332,151 @@ impl<'a, R: Resolver + ?Sized> Parser<'a, R> {
                         Token::Comma => continue,
                         Token::RParen => break,
                         other => {
-                            return Err(StorageError::UnknownAttribute(format!(
-                                "expected , or ) in IN list, found {other:?}"
+                            return Err(syntax(format!(
+                                "expected ',' or ')' in IN list, found {other}"
                             )))
                         }
                     }
                 }
                 Ok(pred.in_set(attr, values))
             }
-            other => Err(StorageError::UnknownAttribute(format!(
-                "expected =, BETWEEN, or IN after {attr_name:?}, found {other:?}"
+            other => Err(syntax(format!(
+                "expected =, <, <=, >, >=, BETWEEN, or IN after {attr_name:?}, found {other}"
             ))),
         }
+    }
+
+    /// Parses `clause (AND clause)*`, stopping at end of input or any token
+    /// the clause grammar cannot start (e.g. a trailing GROUP keyword).
+    fn predicate(&mut self) -> Result<Predicate> {
+        let mut pred = self.clause(Predicate::new())?;
+        while self.eat_keyword("and") {
+            pred = self.clause(pred)?;
+        }
+        Ok(pred)
+    }
+
+    /// Parses the optional `WHERE predicate` suffix.
+    fn optional_where(&mut self) -> Result<Predicate> {
+        if self.eat_keyword("where") {
+            self.predicate()
+        } else {
+            Ok(Predicate::all())
+        }
+    }
+
+    /// Parses `attr [, attr]` after GROUP BY.
+    fn group_attrs(&mut self) -> Result<(AttrId, Option<AttrId>)> {
+        let first = self.expect_word("group attribute")?;
+        let first = self.resolver.attr(&first)?;
+        if self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            let second = self.expect_word("group attribute")?;
+            Ok((first, Some(self.resolver.attr(&second)?)))
+        } else {
+            Ok((first, None))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(syntax(format!("unexpected trailing {t}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        let head = self.expect_word("statement keyword")?;
+        let stmt = if head.eq_ignore_ascii_case("count") {
+            // Optional `(*)` after COUNT.
+            if self.peek() == Some(&Token::LParen) {
+                self.pos += 1;
+                let star = self.expect_word("*")?;
+                if star != "*" {
+                    return Err(syntax(format!("expected COUNT(*), found COUNT({star})")));
+                }
+                self.expect_token(Token::RParen)?;
+            }
+            let pred = self.optional_where()?;
+            if self.eat_keyword("group") {
+                self.expect_keyword("by")?;
+                let (attr, by2) = self.group_attrs()?;
+                Statement::GroupBy { attr, by2, pred }
+            } else {
+                Statement::Count { pred }
+            }
+        } else if head.eq_ignore_ascii_case("sum") || head.eq_ignore_ascii_case("avg") {
+            self.expect_token(Token::LParen)?;
+            let name = self.expect_word("aggregated attribute")?;
+            let attr = self.resolver.attr(&name)?;
+            self.expect_token(Token::RParen)?;
+            let pred = self.optional_where()?;
+            if head.eq_ignore_ascii_case("sum") {
+                Statement::Sum { attr, pred }
+            } else {
+                Statement::Avg { attr, pred }
+            }
+        } else if head.eq_ignore_ascii_case("group") {
+            self.expect_keyword("by")?;
+            let (attr, by2) = self.group_attrs()?;
+            let pred = self.optional_where()?;
+            Statement::GroupBy { attr, by2, pred }
+        } else if head.eq_ignore_ascii_case("top") {
+            let k = self.expect_usize("k")?;
+            let name = self.expect_word("ranked attribute")?;
+            let attr = self.resolver.attr(&name)?;
+            let pred = self.optional_where()?;
+            Statement::TopK { attr, k, pred }
+        } else if head.eq_ignore_ascii_case("sample") {
+            let k = self.expect_usize("sample size")?;
+            let seed = if self.eat_keyword("seed") {
+                let w = self.expect_word("seed")?;
+                w.parse()
+                    .map_err(|_| syntax(format!("expected an integer seed, found {w:?}")))?
+            } else {
+                0
+            };
+            Statement::Sample { k, seed }
+        } else {
+            return Err(syntax(format!(
+                "expected COUNT, SUM, AVG, GROUP BY, TOP, or SAMPLE, found {head:?}"
+            )));
+        };
+        self.expect_end()?;
+        Ok(stmt)
     }
 }
 
 /// Parses a textual predicate against a resolver.
 pub fn parse_predicate<R: Resolver + ?Sized>(input: &str, resolver: &R) -> Result<Predicate> {
-    let mut parser = Parser {
-        tokens: tokenize(input)?,
-        pos: 0,
-        resolver,
-    };
-    let mut pred = parser.clause(Predicate::new())?;
-    while let Some(tok) = parser.peek() {
-        match tok {
-            Token::Word(w) if w.eq_ignore_ascii_case("and") => {
-                parser.pos += 1;
-                pred = parser.clause(pred)?;
-            }
-            other => {
-                return Err(StorageError::UnknownAttribute(format!(
-                    "expected AND, found {other:?}"
-                )))
-            }
-        }
+    let mut parser = Parser::new(input, resolver)?;
+    let pred = parser.predicate()?;
+    if !parser.at_end() {
+        return Err(syntax(format!(
+            "expected AND, found {}",
+            parser.peek().expect("not at end")
+        )));
     }
     Ok(pred)
+}
+
+/// Parses a full query statement against a resolver.
+pub fn parse_statement<R: Resolver + ?Sized>(input: &str, resolver: &R) -> Result<Statement> {
+    Parser::new(input, resolver)?.statement()
+}
+
+/// The position of numeric value `value` relative to `binner`'s range.
+fn binned_bound(binner: &crate::binning::Binner, value: &str) -> Result<ValueBound> {
+    let x: f64 = value
+        .parse()
+        .map_err(|_| StorageError::Syntax(format!("expected a numeric value, found {value:?}")))?;
+    Ok(if x < binner.lo() {
+        ValueBound::Below
+    } else if x > binner.hi() {
+        ValueBound::Above
+    } else {
+        ValueBound::Within(binner.bin(x))
+    })
 }
 
 impl Resolver for crate::csv::CsvDataset {
@@ -196,6 +486,74 @@ impl Resolver for crate::csv::CsvDataset {
 
     fn code(&self, attr: AttrId, value: &str) -> Result<u32> {
         self.code_of(attr, value)
+    }
+
+    fn domain_size(&self, attr: AttrId) -> Result<usize> {
+        self.table.schema().domain_size(attr)
+    }
+
+    fn bound(&self, attr: AttrId, value: &str) -> Result<ValueBound> {
+        match self.table.schema().attr(attr)?.binner() {
+            Some(binner) => binned_bound(binner, value),
+            // Dictionary lookups reject unknown values outright, so every
+            // resolvable value is within the domain.
+            None => Ok(ValueBound::Within(self.code(attr, value)?)),
+        }
+    }
+}
+
+/// A dictionary-free resolver over a bare [`Schema`](crate::schema::Schema):
+/// attribute names
+/// resolve through the schema, values of binned attributes map through the
+/// binner, and values of categorical attributes are parsed as dense codes
+/// directly. This is what a query server has available when only the
+/// summary (not the base data) is loaded.
+impl Resolver for crate::schema::Schema {
+    fn attr(&self, name: &str) -> Result<AttrId> {
+        self.attr_by_name(name)
+    }
+
+    fn code(&self, attr: AttrId, value: &str) -> Result<u32> {
+        let attribute = self.attr(attr)?;
+        match attribute.binner() {
+            Some(binner) => {
+                let x: f64 = value.parse().map_err(|_| {
+                    StorageError::Syntax(format!(
+                        "expected a numeric value for {:?}, found {value:?}",
+                        attribute.name()
+                    ))
+                })?;
+                Ok(binner.bin(x))
+            }
+            None => {
+                let code: u32 = value.parse().map_err(|_| {
+                    StorageError::Syntax(format!(
+                        "expected a dense code for {:?}, found {value:?}",
+                        attribute.name()
+                    ))
+                })?;
+                if (code as usize) < attribute.domain_size() {
+                    Ok(code)
+                } else {
+                    Err(StorageError::CodeOutOfDomain {
+                        attr: attribute.name().to_string(),
+                        code,
+                        domain_size: attribute.domain_size(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn domain_size(&self, attr: AttrId) -> Result<usize> {
+        crate::schema::Schema::domain_size(self, attr)
+    }
+
+    fn bound(&self, attr: AttrId, value: &str) -> Result<ValueBound> {
+        match self.attr(attr)?.binner() {
+            Some(binner) => binned_bound(binner, value),
+            None => Ok(ValueBound::Within(Resolver::code(self, attr, value)?)),
+        }
     }
 }
 
@@ -243,11 +601,106 @@ mod tests {
     }
 
     #[test]
+    fn empty_in_list_is_always_false() {
+        let d = dataset();
+        let p = parse_predicate("origin IN ()", &d).unwrap();
+        assert_eq!(p.clauses()[0], (AttrId(0), AttrPredicate::Never));
+        assert_eq!(crate::exec::count(&d.table, &p).unwrap(), 0);
+        // Conjoined with satisfiable clauses it still annihilates.
+        let p = parse_predicate("dest = CA AND origin IN ()", &d).unwrap();
+        assert_eq!(crate::exec::count(&d.table, &p).unwrap(), 0);
+    }
+
+    #[test]
+    fn comparison_operators_match_exact_executor() {
+        let d = dataset();
+        let binner = d
+            .table
+            .schema()
+            .attr(AttrId(2))
+            .unwrap()
+            .binner()
+            .unwrap()
+            .clone();
+        // Rows hold distances 2500, 2300, 2500, 700. Each operator desugars
+        // to an inclusive bin range; expected counts follow from mapping
+        // each raw value through the same binner the parser uses.
+        let raw = [2500.0, 2300.0, 2500.0, 700.0];
+        type Case = (&'static str, u32, fn(u32, u32) -> bool);
+        let cases: [Case; 4] = [
+            ("distance < 2400", binner.bin(2400.0), |b, t| b < t),
+            ("distance <= 2400", binner.bin(2400.0), |b, t| b <= t),
+            ("distance > 700", binner.bin(700.0), |b, t| b > t),
+            ("distance >= 2300", binner.bin(2300.0), |b, t| b >= t),
+        ];
+        for (expr, threshold, bin_pred) in cases {
+            let p = parse_predicate(expr, &d).unwrap();
+            let got = crate::exec::count(&d.table, &p).unwrap();
+            let expected = raw
+                .iter()
+                .filter(|&&v| bin_pred(binner.bin(v), threshold))
+                .count() as u64;
+            assert_eq!(got, expected, "{expr}");
+        }
+        // Concrete counts on this dataset (64 bins over [700, 2500]).
+        let count =
+            |expr: &str| crate::exec::count(&d.table, &parse_predicate(expr, &d).unwrap()).unwrap();
+        assert_eq!(count("distance < 2400"), 2); // 2300 and 700
+        assert_eq!(count("distance > 700"), 3); // everything above bin 0
+        assert_eq!(count("distance >= 2300"), 3); // 2300 and both 2500s
+        assert_eq!(count("distance <= 2500"), 4);
+    }
+
+    #[test]
+    fn comparisons_below_domain_floor_are_never() {
+        let d = dataset();
+        // The smallest distance bin holds 700; anything strictly below the
+        // first code is the explicit empty predicate.
+        let p = parse_predicate("distance < 700", &d).unwrap();
+        assert_eq!(p.clauses()[0].1, AttrPredicate::Never);
+        assert_eq!(crate::exec::count(&d.table, &p).unwrap(), 0);
+        // Strictly above the last code likewise.
+        let p = parse_predicate("distance > 2500", &d).unwrap();
+        assert_eq!(p.clauses()[0].1, AttrPredicate::Never);
+    }
+
+    #[test]
+    fn comparisons_against_out_of_domain_values_are_exact() {
+        let d = dataset();
+        let count =
+            |expr: &str| crate::exec::count(&d.table, &parse_predicate(expr, &d).unwrap()).unwrap();
+        // Values beyond the binned range [700, 2500] must not clamp into
+        // the edge buckets: `> 0` matches everything (including the rows
+        // in bucket 0), `< 99999` likewise.
+        assert_eq!(
+            parse_predicate("distance > 0", &d).unwrap().clauses()[0].1,
+            AttrPredicate::All
+        );
+        assert_eq!(count("distance > 0"), 4);
+        assert_eq!(count("distance >= 0"), 4);
+        assert_eq!(count("distance < 99999"), 4);
+        assert_eq!(count("distance <= 99999"), 4);
+        // And the opposite directions are empty, not "the edge bucket".
+        assert_eq!(count("distance <= 0"), 0);
+        assert_eq!(count("distance < 0"), 0);
+        assert_eq!(count("distance > 99999"), 0);
+        assert_eq!(count("distance >= 99999"), 0);
+        // Same through the dictionary-free schema resolver.
+        let schema = d.table.schema().clone();
+        let p = parse_predicate("distance > 0", &schema).unwrap();
+        assert_eq!(p.clauses()[0].1, AttrPredicate::All);
+        let p = parse_predicate("distance >= 99999", &schema).unwrap();
+        assert_eq!(p.clauses()[0].1, AttrPredicate::Never);
+    }
+
+    #[test]
     fn keywords_are_case_insensitive() {
         let d = dataset();
         assert!(parse_predicate("distance between 700 and 2500", &d).is_ok());
         assert!(parse_predicate("origin in (CA)", &d).is_ok());
         assert!(parse_predicate("origin = CA and dest = NY", &d).is_ok());
+        assert!(parse_statement("count where origin = CA", &d).is_ok());
+        assert!(parse_statement("Top 2 dest Where origin = CA", &d).is_ok());
     }
 
     #[test]
@@ -262,5 +715,116 @@ mod tests {
         assert!(parse_predicate("origin IN CA", &d).is_err());
         assert!(parse_predicate("origin = CA dest = NY", &d).is_err());
         assert!(parse_predicate("distance BETWEEN 2500 AND 700", &d).is_err());
+        assert!(parse_predicate("origin <", &d).is_err());
+    }
+
+    #[test]
+    fn parses_count_statements() {
+        let d = dataset();
+        let s = parse_statement("COUNT", &d).unwrap();
+        assert_eq!(
+            s,
+            Statement::Count {
+                pred: Predicate::all()
+            }
+        );
+        let s = parse_statement("COUNT(*) WHERE origin = CA AND dest = NY", &d).unwrap();
+        let Statement::Count { pred } = s else {
+            panic!("expected Count")
+        };
+        assert_eq!(pred.clauses().len(), 2);
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by() {
+        let d = dataset();
+        let s = parse_statement("SUM(distance) WHERE origin = CA", &d).unwrap();
+        assert!(matches!(
+            s,
+            Statement::Sum {
+                attr: AttrId(2),
+                ..
+            }
+        ));
+        let s = parse_statement("AVG(distance)", &d).unwrap();
+        assert!(matches!(
+            s,
+            Statement::Avg {
+                attr: AttrId(2),
+                ..
+            }
+        ));
+
+        let s = parse_statement("GROUP BY origin WHERE dest = CA", &d).unwrap();
+        assert!(matches!(
+            s,
+            Statement::GroupBy {
+                attr: AttrId(0),
+                by2: None,
+                ..
+            }
+        ));
+        // COUNT-leading form with two group attributes.
+        let s = parse_statement("COUNT WHERE dest = CA GROUP BY origin, dest", &d).unwrap();
+        assert!(matches!(
+            s,
+            Statement::GroupBy {
+                attr: AttrId(0),
+                by2: Some(AttrId(1)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_top_k_and_sample() {
+        let d = dataset();
+        let s = parse_statement("TOP 3 dest WHERE origin IN (CA, NY)", &d).unwrap();
+        assert!(matches!(
+            s,
+            Statement::TopK {
+                attr: AttrId(1),
+                k: 3,
+                ..
+            }
+        ));
+        assert_eq!(
+            parse_statement("SAMPLE 100 SEED 7", &d).unwrap(),
+            Statement::Sample { k: 100, seed: 7 }
+        );
+        assert_eq!(
+            parse_statement("SAMPLE 5", &d).unwrap(),
+            Statement::Sample { k: 5, seed: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        let d = dataset();
+        assert!(parse_statement("", &d).is_err());
+        assert!(parse_statement("EXPLAIN COUNT", &d).is_err());
+        assert!(parse_statement("COUNT(origin)", &d).is_err());
+        assert!(parse_statement("SUM origin", &d).is_err());
+        assert!(parse_statement("SUM(nosuch)", &d).is_err());
+        assert!(parse_statement("GROUP origin", &d).is_err());
+        assert!(parse_statement("GROUP BY origin, dest, distance", &d).is_err());
+        assert!(parse_statement("TOP x dest", &d).is_err());
+        assert!(parse_statement("SAMPLE", &d).is_err());
+        assert!(parse_statement("COUNT WHERE origin = CA trailing", &d).is_err());
+    }
+
+    #[test]
+    fn schema_resolver_parses_codes_and_bins() {
+        let d = dataset();
+        let schema = d.table.schema().clone();
+        // Categorical values are dense codes under the schema resolver.
+        let p = parse_predicate("origin = 1 AND distance >= 700", &schema).unwrap();
+        assert_eq!(p.clauses()[0], (AttrId(0), AttrPredicate::Point(1)));
+        assert!(matches!(p.clauses()[1].1, AttrPredicate::Range { .. }));
+        // Out-of-domain codes and non-numeric values are rejected.
+        assert!(parse_predicate("origin = 99", &schema).is_err());
+        assert!(parse_predicate("origin = CA", &schema).is_err());
+        let s = parse_statement("TOP 2 dest WHERE origin = 0", &schema).unwrap();
+        assert!(matches!(s, Statement::TopK { k: 2, .. }));
     }
 }

@@ -13,11 +13,17 @@ use crate::schema::{AttrId, Schema};
 pub enum AttrPredicate {
     /// Always true (the attribute is ignored by the query).
     All,
+    /// Always false — the explicit empty predicate (`A IN ()`, or a
+    /// comparison below the domain's first code). Distinguished from an
+    /// empty [`AttrPredicate::Set`] so an unsatisfiable clause is visible
+    /// rather than a silent degenerate set.
+    Never,
     /// `A = v`.
     Point(u32),
     /// `A ∈ [lo, hi]`, inclusive on both ends.
     Range { lo: u32, hi: u32 },
-    /// `A ∈ {vs}`; values are kept sorted and deduplicated.
+    /// `A ∈ {vs}`; values are kept sorted and deduplicated, never empty
+    /// (the empty set normalizes to [`AttrPredicate::Never`]).
     Set(Vec<u32>),
 }
 
@@ -30,11 +36,16 @@ impl AttrPredicate {
         Ok(AttrPredicate::Range { lo, hi })
     }
 
-    /// Builds a set predicate from arbitrary values (sorted, deduped).
+    /// Builds a set predicate from arbitrary values (sorted, deduped). The
+    /// empty value list yields the explicit always-false predicate.
     pub fn set(mut vs: Vec<u32>) -> Self {
         vs.sort_unstable();
         vs.dedup();
-        AttrPredicate::Set(vs)
+        if vs.is_empty() {
+            AttrPredicate::Never
+        } else {
+            AttrPredicate::Set(vs)
+        }
     }
 
     /// Whether code `v` satisfies this predicate.
@@ -42,6 +53,7 @@ impl AttrPredicate {
     pub fn matches(&self, v: u32) -> bool {
         match self {
             AttrPredicate::All => true,
+            AttrPredicate::Never => false,
             AttrPredicate::Point(p) => v == *p,
             AttrPredicate::Range { lo, hi } => *lo <= v && v <= *hi,
             AttrPredicate::Set(vs) => vs.binary_search(&v).is_ok(),
@@ -53,10 +65,16 @@ impl AttrPredicate {
         matches!(self, AttrPredicate::All)
     }
 
+    /// Whether this predicate is trivially false.
+    pub fn is_never(&self) -> bool {
+        matches!(self, AttrPredicate::Never)
+    }
+
     /// Number of codes in `0..domain_size` satisfying the predicate.
     pub fn selectivity(&self, domain_size: usize) -> usize {
         match self {
             AttrPredicate::All => domain_size,
+            AttrPredicate::Never => 0,
             AttrPredicate::Point(p) => usize::from((*p as usize) < domain_size),
             AttrPredicate::Range { lo, hi } => {
                 let hi = (*hi as usize).min(domain_size.saturating_sub(1));
@@ -75,6 +93,7 @@ impl AttrPredicate {
     pub fn matching_codes(&self, domain_size: usize) -> Vec<u32> {
         match self {
             AttrPredicate::All => (0..domain_size as u32).collect(),
+            AttrPredicate::Never => vec![],
             AttrPredicate::Point(p) => {
                 if (*p as usize) < domain_size {
                     vec![*p]
@@ -178,10 +197,12 @@ impl Predicate {
             0 => AttrPredicate::All,
             1 => relevant.pop().unwrap().clone(),
             _ => {
+                // An empty intersection normalizes to the explicit
+                // always-false predicate via `set`.
                 let codes: Vec<u32> = (0..domain_size as u32)
                     .filter(|&v| relevant.iter().all(|p| p.matches(v)))
                     .collect();
-                AttrPredicate::Set(codes)
+                AttrPredicate::set(codes)
             }
         }
     }
@@ -199,7 +220,7 @@ impl Predicate {
         for (attr, p) in &self.clauses {
             let n = schema.domain_size(*attr)?;
             let ok = match p {
-                AttrPredicate::All => true,
+                AttrPredicate::All | AttrPredicate::Never => true,
                 AttrPredicate::Point(v) => (*v as usize) < n,
                 AttrPredicate::Range { lo, hi } => *lo <= *hi && (*hi as usize) < n,
                 AttrPredicate::Set(vs) => vs.iter().all(|&v| (v as usize) < n),
@@ -211,7 +232,7 @@ impl Predicate {
                         AttrPredicate::Point(v) => *v,
                         AttrPredicate::Range { hi, .. } => *hi,
                         AttrPredicate::Set(vs) => vs.last().copied().unwrap_or(0),
-                        AttrPredicate::All => 0,
+                        AttrPredicate::All | AttrPredicate::Never => 0,
                     },
                     domain_size: n,
                 });
@@ -247,6 +268,35 @@ mod tests {
     #[test]
     fn invalid_range_rejected() {
         assert!(AttrPredicate::range(5, 2).is_err());
+    }
+
+    #[test]
+    fn empty_set_normalizes_to_never() {
+        let p = AttrPredicate::set(vec![]);
+        assert_eq!(p, AttrPredicate::Never);
+        assert!(p.is_never());
+        assert!(!p.matches(0));
+        assert_eq!(p.selectivity(10), 0);
+        assert!(p.matching_codes(10).is_empty());
+    }
+
+    #[test]
+    fn never_clause_rejects_every_row_and_validates() {
+        let s = schema();
+        let p = Predicate::new().in_set(AttrId(0), vec![]).eq(AttrId(1), 2);
+        assert!(p.clauses()[0].1.is_never());
+        assert!(!p.matches_row(&[0, 2]));
+        assert!(!p.matches_row(&[3, 2]));
+        assert!(p.validate(&s).is_ok());
+        assert_eq!(p.attr_predicate(AttrId(0), 4), AttrPredicate::Never);
+    }
+
+    #[test]
+    fn disjoint_intersection_normalizes_to_never() {
+        let p = Predicate::new()
+            .between(AttrId(1), 0, 1)
+            .between(AttrId(1), 3, 5);
+        assert_eq!(p.attr_predicate(AttrId(1), 6), AttrPredicate::Never);
     }
 
     #[test]

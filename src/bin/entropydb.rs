@@ -118,22 +118,112 @@ fn query(args: &[String]) -> Result<ExitCode> {
         return Err(ModelError::ShapeMismatch);
     }
 
-    let pred = parse_predicate(expr, &dataset)?;
+    // Full statements (COUNT / SUM / AVG / GROUP BY / TOP / SAMPLE) go
+    // through the query IR; a bare predicate is shorthand for COUNT WHERE
+    // (so an attribute literally named "count" stays queryable). When both
+    // parses fail, statement-shaped input reports the statement parser's
+    // diagnostic rather than a misleading "unknown attribute: COUNT".
+    let request = match entropydb::core::plan::parse_request(expr, &dataset) {
+        Ok(request) => request,
+        Err(statement_err) => match parse_predicate(expr, &dataset) {
+            Ok(pred) => QueryRequest::count(pred),
+            Err(predicate_err) => {
+                let head = expr
+                    .split_whitespace()
+                    .next()
+                    .and_then(|w| w.split('(').next())
+                    .unwrap_or("");
+                let statement_shaped = ["count", "sum", "avg", "group", "top", "sample"]
+                    .iter()
+                    .any(|k| head.eq_ignore_ascii_case(k));
+                return Err(if statement_shaped {
+                    statement_err
+                } else {
+                    predicate_err.into()
+                });
+            }
+        },
+    };
+    let engine = QueryEngine::new(summary);
     let start = std::time::Instant::now();
-    let est = summary.estimate_count(&pred)?;
+    let response = engine.execute(&request)?;
     let elapsed = start.elapsed();
-    let (lo, hi) = est.ci95();
-    println!(
-        "estimate: {:.1}   (95% CI {:.0}..{:.0}, rounded {})   [{elapsed:.2?}]",
-        est.expectation,
-        lo,
-        hi,
-        est.rounded()
-    );
+    match &response {
+        QueryResponse::Estimate(est) => {
+            let (lo, hi) = est.ci95();
+            println!(
+                "estimate: {:.1}   (95% CI {:.0}..{:.0}, rounded {})   [{elapsed:.2?}]",
+                est.expectation,
+                lo,
+                hi,
+                est.rounded()
+            );
+        }
+        QueryResponse::Probability(p) => println!("probability: {p:.6}   [{elapsed:.2?}]"),
+        QueryResponse::Average(None) => {
+            println!("avg: undefined (zero-probability predicate)   [{elapsed:.2?}]")
+        }
+        QueryResponse::Average(Some(v)) => println!("avg: {v:.3}   [{elapsed:.2?}]"),
+        QueryResponse::Groups(groups) => {
+            let grouped = match &request {
+                QueryRequest::GroupBy { attr, .. } => *attr,
+                _ => AttrId(0),
+            };
+            for (v, est) in groups.iter().enumerate() {
+                if est.exists() {
+                    println!(
+                        "  {} = {}   ≈ {:.1} ± {:.1}",
+                        engine.schema().attr(grouped)?.name(),
+                        dataset.label_of(grouped, v as u32)?,
+                        est.expectation,
+                        est.std_dev()
+                    );
+                }
+            }
+            println!("({} groups)   [{elapsed:.2?}]", groups.len());
+        }
+        QueryResponse::Groups2(rows) => {
+            let live: usize = rows
+                .iter()
+                .map(|r| r.iter().filter(|e| e.exists()).count())
+                .sum();
+            println!("{live} non-empty cells   [{elapsed:.2?}]");
+        }
+        QueryResponse::Ranked(entries) => {
+            let ranked = match &request {
+                QueryRequest::TopK { attr, .. } => *attr,
+                _ => AttrId(0),
+            };
+            for (rank, (v, est)) in entries.iter().enumerate() {
+                println!(
+                    "#{:<3} {}   ≈ {:.1}",
+                    rank + 1,
+                    dataset.label_of(ranked, *v)?,
+                    est.expectation
+                );
+            }
+            println!("[{elapsed:.2?}]");
+        }
+        QueryResponse::Rows { rows, .. } => {
+            for row in rows.iter().take(20) {
+                let labels: Vec<String> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| dataset.label_of(AttrId(i), v))
+                    .collect::<entropydb::storage::Result<_>>()?;
+                println!("  {}", labels.join(", "));
+            }
+            println!("({} sampled rows)   [{elapsed:.2?}]", rows.len());
+        }
+    }
     if exact {
-        let start = std::time::Instant::now();
-        let truth = exec::count(&dataset.table, &pred)?;
-        println!("exact:    {truth}   [{:.2?}]", start.elapsed());
+        if let Some(pred) = request.predicate() {
+            if matches!(request, QueryRequest::Count { .. }) {
+                let start = std::time::Instant::now();
+                let truth = exec::count(&dataset.table, pred)?;
+                println!("exact:    {truth}   [{:.2?}]", start.elapsed());
+            }
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -9,6 +9,7 @@
 //! * [`storage`] — the in-memory column store substrate.
 //! * [`data`] — synthetic flights/particles generators and workloads.
 //! * [`sampling`] — uniform and stratified sampling baselines.
+//! * [`server`] — the TCP query service + client over the query IR.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `entropydb-bench` crate for the paper's full evaluation.
@@ -16,12 +17,15 @@
 pub use entropydb_core as core;
 pub use entropydb_data as data;
 pub use entropydb_sampling as sampling;
+pub use entropydb_server as server;
 pub use entropydb_storage as storage;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use entropydb_core::prelude::*;
+    pub use entropydb_server::{serve, Client, ServerHandle};
     pub use entropydb_storage::{
-        AttrId, AttrPredicate, Attribute, Binner, Partitioning, Predicate, Schema, Table,
+        parse_predicate, parse_statement, AttrId, AttrPredicate, Attribute, Binner, Partitioning,
+        Predicate, Schema, Statement, Table,
     };
 }

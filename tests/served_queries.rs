@@ -1,0 +1,71 @@
+//! Facade-level serving scenario: a persisted summary served over TCP
+//! answers textual statements identically to in-process execution —
+//! text statement → parser → IR → TCP → engine → response.
+
+use entropydb::core::serialize;
+use entropydb::prelude::*;
+
+fn a(i: usize) -> AttrId {
+    AttrId(i)
+}
+
+fn table() -> Table {
+    let schema = Schema::new(vec![
+        Attribute::categorical("origin", 3).unwrap(),
+        Attribute::categorical("dest", 4).unwrap(),
+        Attribute::binned("distance", Binner::new(0.0, 1000.0, 8).unwrap()),
+    ]);
+    let mut t = Table::new(schema);
+    let mut v = 2u32;
+    for _ in 0..120 {
+        t.push_row(&[v % 3, (v / 3) % 4, (v / 12) % 8]).unwrap();
+        v = v.wrapping_mul(11).wrapping_add(5);
+    }
+    t
+}
+
+#[test]
+fn served_statements_match_in_process_answers() {
+    let stat = MultiDimStatistic::cell2d(a(0), 0, a(1), 0).unwrap();
+    let summary = MaxEntSummary::build(&table(), vec![stat], &SolverConfig::default()).unwrap();
+
+    // Round-trip through the persistence layer, as a deployment would.
+    let blob = serialize::to_string(&summary);
+    let served = serialize::from_str(&blob).unwrap();
+
+    let engine = QueryEngine::new(summary);
+    let handle = serve(QueryEngine::new(served), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    for stmt in [
+        "COUNT WHERE origin = 1 AND distance >= 300",
+        "COUNT WHERE dest IN (0, 2) GROUP BY origin",
+        "SUM(distance) WHERE origin = 0",
+        "AVG(distance)",
+        "TOP 3 dest WHERE distance < 700",
+        "COUNT WHERE origin IN ()",
+        "SAMPLE 20 SEED 9",
+    ] {
+        // Client side: statement parsed against the *served* schema.
+        let remote = client.query(stmt).expect(stmt);
+        // In-process: same statement, same parser, local engine.
+        let request = parse_request(stmt, engine.schema()).expect(stmt);
+        let local = engine.execute(&request).expect(stmt);
+        assert_eq!(remote, local, "{stmt}");
+    }
+
+    // The wire answers are bit-identical, not merely close.
+    let remote = client
+        .query("COUNT WHERE origin = 2")
+        .unwrap()
+        .estimate()
+        .unwrap();
+    let local = engine
+        .estimate_count(&Predicate::new().eq(a(0), 2))
+        .unwrap();
+    assert_eq!(remote.expectation.to_bits(), local.expectation.to_bits());
+    assert_eq!(remote.variance.to_bits(), local.variance.to_bits());
+
+    client.quit();
+    handle.shutdown();
+}
