@@ -8,6 +8,16 @@
 //! every required convergence metric. Run after a (fast-mode) bench sweep;
 //! exits non-zero on the first structural defect so malformed perf
 //! artifacts fail the build.
+//!
+//! With `--min-speedup`, the validator additionally enforces the
+//! **regression gate**: every floor listed in the schema's
+//! `speedup_floors` (entries of a group's `speedup` object) and
+//! `metric_floors` (entries of a group's `metrics` object) must be met by
+//! the recorded value — a speedup that decays below its checked-in floor
+//! fails the build, not just a malformed artifact. Floors are deliberately
+//! looser than the recorded steady-state numbers so fast-mode CI noise
+//! passes while a genuine regression (e.g. the arena falling back to the
+//! legacy kernel's speed) does not.
 
 use entropydb_bench::jsonv::{parse, Json};
 use std::process::ExitCode;
@@ -28,7 +38,52 @@ fn str_list(v: Option<&Json>) -> Vec<String> {
         .unwrap_or_default()
 }
 
+/// Checks the floors of one kind (`speedup_floors` over the `speedup`
+/// object, `metric_floors` over `metrics`) for one artifact.
+fn check_floors(
+    path: &str,
+    groups: &Json,
+    rules: &Json,
+    floors_key: &str,
+    value_key: &str,
+) -> std::result::Result<usize, String> {
+    let Some(floor_groups) = rules.get(floors_key).and_then(Json::members) else {
+        return Ok(0);
+    };
+    let mut checked = 0usize;
+    for (group, floors) in floor_groups {
+        let Some(values) = groups.get(group).and_then(|g| g.get(value_key)) else {
+            return Err(format!("{path}: group {group:?} lacks {value_key:?}"));
+        };
+        let Some(floors) = floors.members() else {
+            return Err(format!(
+                "schema {floors_key} for {group:?} is not an object"
+            ));
+        };
+        for (name, floor) in floors {
+            let Json::Num(floor) = floor else {
+                return Err(format!("schema floor {group:?}.{name:?} is not numeric"));
+            };
+            let Some(Json::Num(got)) = values.get(name) else {
+                return Err(format!(
+                    "{path}: group {group:?} records no numeric {value_key} entry {name:?}"
+                ));
+            };
+            if got < floor {
+                return Err(format!(
+                    "{path}: {group:?} {value_key} {name:?} = {got} fell below \
+                     the checked-in floor {floor} — performance regression"
+                ));
+            }
+            println!("validate_bench: floor ok {path}: {group}/{name} = {got} >= {floor}");
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
 fn main() -> ExitCode {
+    let gate_speedups = std::env::args().any(|a| a == "--min-speedup");
     let dir = env!("CARGO_MANIFEST_DIR");
     let schema_path = format!("{dir}/bench_schema.json");
     let schema_text = match std::fs::read_to_string(&schema_path) {
@@ -119,6 +174,20 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+            }
+        }
+        if gate_speedups {
+            let outcome =
+                check_floors(&path, groups, rules, "speedup_floors", "speedup").and_then(|a| {
+                    check_floors(&path, groups, rules, "metric_floors", "metrics").map(|b| a + b)
+                });
+            match outcome {
+                Ok(n) => {
+                    if n > 0 {
+                        println!("validate_bench: {n} floors met for {path}");
+                    }
+                }
+                Err(msg) => return fail(msg),
             }
         }
         println!("validate_bench: ok {path}");

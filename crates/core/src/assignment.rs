@@ -91,6 +91,13 @@ impl Mask {
         }
     }
 
+    /// Re-assembles a mask from explicit per-attribute weight vectors —
+    /// the wire-decoding counterpart of [`Mask::attr_weights`], used by the
+    /// shard probe protocol to transport masks between nodes verbatim.
+    pub fn from_weights(weights: Vec<Option<Vec<f64>>>) -> Self {
+        Mask { weights }
+    }
+
     /// Builds the Sec. 4.2 query mask for a conjunctive predicate: for every
     /// constrained attribute, matching values weigh 1 and non-matching
     /// values weigh 0; unconstrained attributes are untouched.

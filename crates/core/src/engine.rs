@@ -97,11 +97,20 @@ impl<S> Clone for ScratchPool<S> {
 ///
 /// Masks passed in are already validated against the backend's schema (the
 /// engine does that once per query).
+///
+/// Every primitive is fallible: purely local backends
+/// ([`MaxEntSummary`](crate::model::MaxEntSummary),
+/// [`ShardedSummary`](crate::sharded::ShardedSummary)) never fail outside
+/// genuine shape errors, but a backend whose shards live on other nodes
+/// surfaces transport failures as
+/// [`crate::error::ModelError::Remote`] with the
+/// degraded shard named, and the engine paths propagate them per request.
 pub trait SummaryBackend: Send + Sync {
     /// The reusable evaluation workspace of this backend.
     type Scratch: Send;
     /// Per-call context for [`SummaryBackend::sample_tuple`], computed once
-    /// per `sample_rows` call (e.g. a per-tuple shard assignment).
+    /// per `sample_rows` call (e.g. a per-tuple shard assignment, or a
+    /// prefetched remote batch).
     type SamplePlan: Send + Sync;
 
     /// The summarized relation's schema.
@@ -118,10 +127,10 @@ pub trait SummaryBackend: Send + Sync {
 
     /// The model probability that a single tuple draw satisfies the mask,
     /// clamped into `[0, 1]`.
-    fn probability_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> f64;
+    fn probability_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<f64>;
 
     /// `SELECT COUNT(*)` estimate (expectation + variance) under the mask.
-    fn count_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Estimate;
+    fn count_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<Estimate>;
 
     /// `SELECT SUM(values[code(attr)])` estimate under the `base` COUNT
     /// mask. `values` holds the per-code numeric weight of `attr` (bucket
@@ -142,7 +151,7 @@ pub trait SummaryBackend: Send + Sync {
         mask: &Mask,
         attr: AttrId,
         scratch: &mut Self::Scratch,
-    ) -> Vec<Estimate>;
+    ) -> Result<Vec<Estimate>>;
 
     /// Top-`k` values of `attr` by estimated count under the mask. The
     /// default ranks the full group-by pass; backends with a cheaper or
@@ -153,13 +162,18 @@ pub trait SummaryBackend: Send + Sync {
         attr: AttrId,
         k: usize,
         scratch: &mut Self::Scratch,
-    ) -> Vec<(u32, Estimate)> {
-        rank_top_k(self.group_by_under_mask(mask, attr, scratch), k)
+    ) -> Result<Vec<(u32, Estimate)>> {
+        Ok(rank_top_k(
+            self.group_by_under_mask(mask, attr, scratch)?,
+            k,
+        ))
     }
 
     /// Computes the per-call context shared by every [`Self::sample_tuple`]
-    /// of one `sample_rows(k, seed)` call.
-    fn plan_samples(&self, k: usize, seed: u64) -> Self::SamplePlan;
+    /// of one `sample_rows(k, seed)` call. Remote backends may perform
+    /// transport work here (e.g. prefetch every stratum in one pipelined
+    /// round per shard), hence the fallible signature.
+    fn plan_samples(&self, k: usize, seed: u64) -> Result<Self::SamplePlan>;
 
     /// Draws synthetic tuple `index` of a `sample_rows` call into `row`.
     ///
@@ -252,6 +266,17 @@ impl<B: SummaryBackend> QueryEngine<B> {
     /// does not poison a pipelined batch.
     pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
         paths::execute_batch(&self.backend, &self.scratch, requests)
+    }
+
+    /// Executes one mask-level shard probe ([`crate::probe`]) — the
+    /// primitive a scatter/gather gatherer sends to a shard node. Probes
+    /// bypass predicate translation (the gatherer already built the mask)
+    /// but are still validated against this backend's shape.
+    pub fn probe(
+        &self,
+        request: &crate::probe::ProbeRequest,
+    ) -> Result<crate::probe::ProbeResponse> {
+        crate::probe::execute(&self.backend, &self.scratch, request)
     }
 
     /// The model probability that a single tuple draw satisfies `pred`.
@@ -400,9 +425,7 @@ pub(crate) mod paths {
         pred: &Predicate,
     ) -> Result<f64> {
         let mask = query_mask(backend, pred)?;
-        Ok(with_scratch(backend, pool, |s| {
-            backend.probability_under_mask(&mask, s)
-        }))
+        with_scratch(backend, pool, |s| backend.probability_under_mask(&mask, s))
     }
 
     pub fn estimate_count<B: SummaryBackend>(
@@ -411,9 +434,7 @@ pub(crate) mod paths {
         pred: &Predicate,
     ) -> Result<Estimate> {
         let mask = query_mask(backend, pred)?;
-        Ok(with_scratch(backend, pool, |s| {
-            backend.count_under_mask(&mask, s)
-        }))
+        with_scratch(backend, pool, |s| backend.count_under_mask(&mask, s))
     }
 
     pub fn estimate_sum<B: SummaryBackend>(
@@ -454,9 +475,9 @@ pub(crate) mod paths {
             return Err(ModelError::ShapeMismatch);
         }
         let mask = query_mask(backend, pred)?;
-        Ok(with_scratch(backend, pool, |s| {
+        with_scratch(backend, pool, |s| {
             backend.group_by_under_mask(&mask, attr, s)
-        }))
+        })
     }
 
     pub fn estimate_group_by2<B: SummaryBackend>(
@@ -472,13 +493,15 @@ pub(crate) mod paths {
         }
         let base = query_mask(backend, pred)?;
         let n_b = sizes[attr_b.0];
-        Ok(par::map_indexed(n_b, 2, |v_b| {
+        par::map_indexed(n_b, 2, |v_b| {
             let mut mask = base.clone();
             mask.restrict_in_place(attr_b, v_b as u32, n_b);
             with_scratch(backend, pool, |s| {
                 backend.group_by_under_mask(&mask, attr_a, s)
             })
-        }))
+        })
+        .into_iter()
+        .collect()
     }
 
     pub fn top_k<B: SummaryBackend>(
@@ -493,9 +516,9 @@ pub(crate) mod paths {
             return Err(ModelError::ShapeMismatch);
         }
         let mask = query_mask(backend, pred)?;
-        Ok(with_scratch(backend, pool, |s| {
+        with_scratch(backend, pool, |s| {
             backend.top_k_under_mask(&mask, attr, k, s)
-        }))
+        })
     }
 
     /// Draws the raw dense-coded sample tuples (the IR-transportable form;
@@ -507,7 +530,7 @@ pub(crate) mod paths {
         seed: u64,
     ) -> Result<Vec<Vec<u32>>> {
         let m = backend.domain_sizes().len();
-        let plan = backend.plan_samples(k, seed);
+        let plan = backend.plan_samples(k, seed)?;
         par::map_indexed(k, 16, |i| {
             let mut row = vec![0u32; m];
             with_scratch(backend, pool, |s| {

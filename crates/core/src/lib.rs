@@ -53,6 +53,8 @@
 //! | [`plan`] | — | unified query IR (`QueryRequest`/`QueryResponse`) + wire encoding |
 //! | [`engine`] | — | `SummaryBackend` trait + generic `QueryEngine` (`execute`, scratch pool, batching) |
 //! | [`sharded`] | — | `ShardedSummary`: per-partition models with merged estimates |
+//! | [`scatter`] | — | shard-source-agnostic merge layer (`ShardProbe`, gather drivers) |
+//! | [`probe`] | — | mask-level shard-probe IR + wire encoding |
 //! | [`selection`] | §4.3 | LARGE / ZERO / COMPOSITE, KD-tree, pair choice |
 //! | [`metrics`] | §6.2 | relative error, F-measure |
 //! | [`serialize`] | §5 | text-format persistence |
@@ -67,8 +69,10 @@ pub mod naive;
 pub mod par;
 pub mod plan;
 pub mod polynomial;
+pub mod probe;
 pub mod query;
 pub mod rng;
+pub mod scatter;
 pub mod selection;
 pub mod serialize;
 pub mod sharded;
@@ -84,8 +88,11 @@ pub mod prelude {
     pub use crate::model::MaxEntSummary;
     pub use crate::plan::{parse_request, QueryRequest, QueryResponse};
     pub use crate::polynomial::{CompressedPolynomial, EvalScratch};
+    pub use crate::probe::{ProbeRequest, ProbeResponse};
     pub use crate::query::Estimate;
+    pub use crate::scatter::ShardProbe;
     pub use crate::selection::{Heuristic, PairStrategy, SelectionPlan};
+    pub use crate::serialize::ClusterShard;
     pub use crate::sharded::{ShardedBuildConfig, ShardedSummary};
     pub use crate::solver::{SolverConfig, SolverReport};
     pub use crate::statistics::{MultiDimStatistic, RangeClause, Statistics};

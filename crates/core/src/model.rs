@@ -267,12 +267,15 @@ impl SummaryBackend for MaxEntSummary {
     }
 
     /// `P[masked] / P`, clamped into `[0, 1]`.
-    fn probability_under_mask(&self, mask: &Mask, s: &mut FactorizedScratch) -> f64 {
-        (self.poly.eval_masked_with(&self.assignment, mask, s) / self.p_full).clamp(0.0, 1.0)
+    fn probability_under_mask(&self, mask: &Mask, s: &mut FactorizedScratch) -> Result<f64> {
+        Ok((self.poly.eval_masked_with(&self.assignment, mask, s) / self.p_full).clamp(0.0, 1.0))
     }
 
-    fn count_under_mask(&self, mask: &Mask, s: &mut FactorizedScratch) -> Estimate {
-        count_estimate(self.n(), self.probability_under_mask(mask, s))
+    fn count_under_mask(&self, mask: &Mask, s: &mut FactorizedScratch) -> Result<Estimate> {
+        Ok(count_estimate(
+            self.n(),
+            self.probability_under_mask(mask, s)?,
+        ))
     }
 
     fn sum_under_mask(
@@ -297,21 +300,23 @@ impl SummaryBackend for MaxEntSummary {
         mask: &Mask,
         attr: AttrId,
         s: &mut FactorizedScratch,
-    ) -> Vec<Estimate> {
+    ) -> Result<Vec<Estimate>> {
         let (_, derivs) =
             self.poly
                 .eval_with_attr_derivatives_with(&self.assignment, mask, attr.0, s);
-        derivs
+        Ok(derivs
             .iter()
             .enumerate()
             .map(|(v, &d)| {
                 let p = (self.assignment.one_dim[attr.0][v] * d / self.p_full).clamp(0.0, 1.0);
                 count_estimate(self.n(), p)
             })
-            .collect()
+            .collect())
     }
 
-    fn plan_samples(&self, _k: usize, _seed: u64) {}
+    fn plan_samples(&self, _k: usize, _seed: u64) -> Result<()> {
+        Ok(())
+    }
 
     fn sample_tuple(
         &self,

@@ -502,13 +502,13 @@ impl QueryResponse {
 
 /// Caps pre-allocations derived from untrusted wire lengths; actual decoded
 /// lengths are still exact (a short line fails with "unexpected end").
-const WIRE_PREALLOC_CAP: usize = 1 << 16;
+pub(crate) const WIRE_PREALLOC_CAP: usize = 1 << 16;
 
-fn wire_error(message: String) -> ModelError {
+pub(crate) fn wire_error(message: String) -> ModelError {
     ModelError::Parse { line: 0, message }
 }
 
-fn read_estimate(r: &mut TokenReader<'_>) -> Result<Estimate> {
+pub(crate) fn read_estimate(r: &mut TokenReader<'_>) -> Result<Estimate> {
     // Constructed field-by-field (not via `Estimate::new`) so decoding
     // reproduces the encoded struct bit-for-bit, clamps included.
     Ok(Estimate {
@@ -577,25 +577,26 @@ fn decode_pred(r: &mut TokenReader<'_>) -> Result<Predicate> {
     Ok(pred)
 }
 
-/// Sequential whitespace-token reader over one wire line.
-struct TokenReader<'a> {
+/// Sequential whitespace-token reader over one wire line (shared with the
+/// shard-probe encoding in [`crate::probe`]).
+pub(crate) struct TokenReader<'a> {
     tokens: std::str::SplitAsciiWhitespace<'a>,
 }
 
 impl<'a> TokenReader<'a> {
-    fn new(line: &'a str) -> Self {
+    pub(crate) fn new(line: &'a str) -> Self {
         TokenReader {
             tokens: line.split_ascii_whitespace(),
         }
     }
 
-    fn next(&mut self, what: &str) -> Result<&'a str> {
+    pub(crate) fn next(&mut self, what: &str) -> Result<&'a str> {
         self.tokens
             .next()
             .ok_or_else(|| wire_error(format!("unexpected end of line, expected {what}")))
     }
 
-    fn expect(&mut self, tag: &str) -> Result<()> {
+    pub(crate) fn expect(&mut self, tag: &str) -> Result<()> {
         let t = self.next(tag)?;
         if t == tag {
             Ok(())
@@ -604,13 +605,13 @@ impl<'a> TokenReader<'a> {
         }
     }
 
-    fn parse<T: std::str::FromStr>(&mut self, what: &str) -> Result<T> {
+    pub(crate) fn parse<T: std::str::FromStr>(&mut self, what: &str) -> Result<T> {
         let t = self.next(what)?;
         t.parse()
             .map_err(|_| wire_error(format!("cannot parse {what} from {t:?}")))
     }
 
-    fn finish(&mut self) -> Result<()> {
+    pub(crate) fn finish(&mut self) -> Result<()> {
         match self.tokens.next() {
             None => Ok(()),
             Some(t) => Err(wire_error(format!("trailing token {t:?}"))),

@@ -1,0 +1,632 @@
+//! The shard-probe IR: mask-level requests a scatter/gather gatherer sends
+//! to one shard node.
+//!
+//! The query IR ([`crate::plan`]) speaks *predicates* — the currency of
+//! clients. Shard fan-out speaks *masks*: the gatherer validates a
+//! predicate once, translates it into a [`Mask`], and then derives many
+//! masked evaluations from it (group-by cell restrictions, top-k candidate
+//! re-probes, SUM weightings). A [`ProbeRequest`] transports exactly those
+//! derived evaluations to a remote shard, so a remote scatter/gather
+//! backend can reuse the local merge arithmetic unchanged and answer
+//! bitwise-identically to an in-process
+//! [`ShardedSummary`](crate::sharded::ShardedSummary).
+//!
+//! ## Wire format (version 1)
+//!
+//! One probe or response per line, whitespace-separated tokens, floats in
+//! Rust's shortest-round-trip formatting (encode → decode → encode is the
+//! identity, and transported masks/estimates are bit-identical):
+//!
+//! ```text
+//! probe    := "b1" body
+//! body     := "prob" mask            | "count" mask
+//!           | "countr" attr n value* mask
+//!           | "sum" attr nvalues value* mask
+//!           | "group" attr mask      | "topk" attr k mask
+//!           | "sample" k seed n index*
+//! mask     := "m" arity ( "i" | "w" len weight* )*
+//!
+//! response := "c1" payload
+//! payload  := "prob" f               | "est" expectation variance
+//!           | "ests" len (expectation variance)*
+//!           | "groups" len (expectation variance)*
+//!           | "ranked" len (value expectation variance)*
+//!           | "rows" nrows arity code*
+//!           | "err" message...
+//! ```
+//!
+//! `sample k seed n index*` draws the tuples at the given *global* indices
+//! of a `sample_rows(k, seed)` call: every backend derives a tuple's
+//! randomness only from `(seed, index)`, so a shard node reproduces exactly
+//! the rows the gatherer's stratification assigned to it.
+//!
+//! `countr` is the compact top-k re-probe: one base mask plus the list of
+//! candidate *values* of one attribute; the shard rebuilds each probe mask
+//! with the same `restrict_in_place` step the gatherer would use, so the
+//! wire cost is `O(mask + candidates)` instead of `O(mask × candidates)` —
+//! a candidate batch can never outgrow the serving layer's line cap just
+//! by having many candidates.
+//!
+//! Every probe is one wire line, so a single probe's encoding must fit the
+//! serving layer's line cap (`MAX_LINE_BYTES`, 1 MiB): one mask costs a
+//! few bytes per constrained-attribute bucket, comfortably within the cap
+//! for domains into the tens of thousands of buckets per attribute.
+
+use crate::assignment::Mask;
+use crate::engine::{ScratchPool, SummaryBackend};
+use crate::error::{ModelError, Result};
+use crate::plan::{read_estimate, wire_error, TokenReader, WIRE_PREALLOC_CAP};
+use crate::query::Estimate;
+use entropydb_storage::AttrId;
+use std::fmt::Write as _;
+
+/// One mask-level evaluation request against a single shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeRequest {
+    /// Tuple-draw probability under the mask.
+    Probability {
+        /// The (already validated) query mask.
+        mask: Mask,
+    },
+    /// COUNT estimate under the mask.
+    Count {
+        /// The query mask.
+        mask: Mask,
+    },
+    /// One COUNT estimate per candidate value: the base mask restricted to
+    /// each value of `attr` in turn (`restrict_in_place`) — the top-k
+    /// candidate re-probe, transported as one mask + a value list.
+    CountRestricted {
+        /// The base query mask.
+        mask: Mask,
+        /// The restricted attribute.
+        attr: AttrId,
+        /// Candidate values, answered in order.
+        values: Vec<u32>,
+    },
+    /// SUM estimate under the base mask, weighting `attr` by `values`.
+    Sum {
+        /// The base COUNT mask.
+        mask: Mask,
+        /// The aggregated attribute.
+        attr: AttrId,
+        /// Per-code weights (sent explicitly so gatherer and shard use the
+        /// same floats, bit for bit).
+        values: Vec<f64>,
+    },
+    /// One estimate per value of `attr` under the mask.
+    GroupBy {
+        /// The query mask.
+        mask: Mask,
+        /// The grouped attribute.
+        attr: AttrId,
+    },
+    /// The shard's local top-`k` candidates for `attr` under the mask.
+    TopK {
+        /// The query mask.
+        mask: Mask,
+        /// The ranked attribute.
+        attr: AttrId,
+        /// How many local candidates to nominate.
+        k: usize,
+    },
+    /// Draw the tuples at `indices` of a `sample_rows(k, seed)` call.
+    SampleAt {
+        /// Total draw count of the originating call (shapes the backend's
+        /// sample plan; indices must be `< k`).
+        k: usize,
+        /// The sampling seed.
+        seed: u64,
+        /// Global tuple indices to draw, in response order.
+        indices: Vec<u64>,
+    },
+}
+
+/// A shard's answer to one [`ProbeRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeResponse {
+    /// Answer to [`ProbeRequest::Probability`].
+    Probability(f64),
+    /// Answer to [`ProbeRequest::Count`] and [`ProbeRequest::Sum`].
+    Estimate(Estimate),
+    /// Answer to [`ProbeRequest::CountRestricted`], in candidate order.
+    Estimates(Vec<Estimate>),
+    /// Answer to [`ProbeRequest::GroupBy`], one estimate per value.
+    Groups(Vec<Estimate>),
+    /// Answer to [`ProbeRequest::TopK`], `(value, estimate)` descending.
+    Ranked(Vec<(u32, Estimate)>),
+    /// Answer to [`ProbeRequest::SampleAt`], rows in index order.
+    Rows {
+        /// Number of attributes per row.
+        arity: usize,
+        /// The drawn tuples.
+        rows: Vec<Vec<u32>>,
+    },
+}
+
+impl ProbeRequest {
+    /// Encodes the probe into its one-line wire form.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("b1 ");
+        match self {
+            ProbeRequest::Probability { mask } => {
+                out.push_str("prob ");
+                encode_mask(&mut out, mask);
+            }
+            ProbeRequest::Count { mask } => {
+                out.push_str("count ");
+                encode_mask(&mut out, mask);
+            }
+            ProbeRequest::CountRestricted { mask, attr, values } => {
+                let _ = write!(out, "countr {} {}", attr.0, values.len());
+                for v in values {
+                    let _ = write!(out, " {v}");
+                }
+                out.push(' ');
+                encode_mask(&mut out, mask);
+            }
+            ProbeRequest::Sum { mask, attr, values } => {
+                let _ = write!(out, "sum {} {}", attr.0, values.len());
+                for v in values {
+                    let _ = write!(out, " {v}");
+                }
+                out.push(' ');
+                encode_mask(&mut out, mask);
+            }
+            ProbeRequest::GroupBy { mask, attr } => {
+                let _ = write!(out, "group {} ", attr.0);
+                encode_mask(&mut out, mask);
+            }
+            ProbeRequest::TopK { mask, attr, k } => {
+                let _ = write!(out, "topk {} {k} ", attr.0);
+                encode_mask(&mut out, mask);
+            }
+            ProbeRequest::SampleAt { k, seed, indices } => {
+                let _ = write!(out, "sample {k} {seed} {}", indices.len());
+                for i in indices {
+                    let _ = write!(out, " {i}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a probe from its wire form.
+    pub fn decode(line: &str) -> Result<Self> {
+        let mut r = TokenReader::new(line);
+        r.expect("b1")?;
+        let op = r.next("probe op")?;
+        let req = match op {
+            "prob" => ProbeRequest::Probability {
+                mask: decode_mask(&mut r)?,
+            },
+            "count" => ProbeRequest::Count {
+                mask: decode_mask(&mut r)?,
+            },
+            "countr" => {
+                let attr = AttrId(r.parse("attr")?);
+                let nv: usize = r.parse("value count")?;
+                let mut values = Vec::with_capacity(nv.min(WIRE_PREALLOC_CAP));
+                for _ in 0..nv {
+                    values.push(r.parse("candidate value")?);
+                }
+                ProbeRequest::CountRestricted {
+                    mask: decode_mask(&mut r)?,
+                    attr,
+                    values,
+                }
+            }
+            "sum" => {
+                let attr = AttrId(r.parse("attr")?);
+                let nv: usize = r.parse("value count")?;
+                let mut values = Vec::with_capacity(nv.min(WIRE_PREALLOC_CAP));
+                for _ in 0..nv {
+                    values.push(r.parse("value")?);
+                }
+                ProbeRequest::Sum {
+                    mask: decode_mask(&mut r)?,
+                    attr,
+                    values,
+                }
+            }
+            "group" => ProbeRequest::GroupBy {
+                attr: AttrId(r.parse("attr")?),
+                mask: decode_mask(&mut r)?,
+            },
+            "topk" => ProbeRequest::TopK {
+                attr: AttrId(r.parse("attr")?),
+                k: r.parse("k")?,
+                mask: decode_mask(&mut r)?,
+            },
+            "sample" => {
+                let k: usize = r.parse("k")?;
+                let seed: u64 = r.parse("seed")?;
+                let n: usize = r.parse("index count")?;
+                let mut indices = Vec::with_capacity(n.min(WIRE_PREALLOC_CAP));
+                for _ in 0..n {
+                    indices.push(r.parse("index")?);
+                }
+                ProbeRequest::SampleAt { k, seed, indices }
+            }
+            other => return Err(wire_error(format!("unknown probe op {other:?}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl ProbeResponse {
+    /// The scalar estimate payload, when present.
+    pub fn estimate(&self) -> Option<Estimate> {
+        match self {
+            ProbeResponse::Estimate(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Encodes the response into its one-line wire form.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("c1 ");
+        match self {
+            ProbeResponse::Probability(p) => {
+                let _ = write!(out, "prob {p}");
+            }
+            ProbeResponse::Estimate(e) => {
+                let _ = write!(out, "est {} {}", e.expectation, e.variance);
+            }
+            ProbeResponse::Estimates(list) => {
+                let _ = write!(out, "ests {}", list.len());
+                for e in list {
+                    let _ = write!(out, " {} {}", e.expectation, e.variance);
+                }
+            }
+            ProbeResponse::Groups(list) => {
+                let _ = write!(out, "groups {}", list.len());
+                for e in list {
+                    let _ = write!(out, " {} {}", e.expectation, e.variance);
+                }
+            }
+            ProbeResponse::Ranked(entries) => {
+                let _ = write!(out, "ranked {}", entries.len());
+                for (v, e) in entries {
+                    let _ = write!(out, " {v} {} {}", e.expectation, e.variance);
+                }
+            }
+            ProbeResponse::Rows { arity, rows } => {
+                let _ = write!(out, "rows {} {arity}", rows.len());
+                for row in rows {
+                    for v in row {
+                        let _ = write!(out, " {v}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a response from its wire form. An error payload
+    /// (`c1 err ...`) decodes to [`ModelError::Remote`].
+    pub fn decode(line: &str) -> Result<Self> {
+        let mut r = TokenReader::new(line);
+        r.expect("c1")?;
+        let op = r.next("probe response op")?;
+        let resp = match op {
+            "prob" => ProbeResponse::Probability(r.parse("probability")?),
+            "est" => ProbeResponse::Estimate(read_estimate(&mut r)?),
+            "ests" | "groups" => {
+                let len: usize = r.parse("estimate count")?;
+                let mut list = Vec::with_capacity(len.min(WIRE_PREALLOC_CAP));
+                for _ in 0..len {
+                    list.push(read_estimate(&mut r)?);
+                }
+                if op == "ests" {
+                    ProbeResponse::Estimates(list)
+                } else {
+                    ProbeResponse::Groups(list)
+                }
+            }
+            "ranked" => {
+                let len: usize = r.parse("entry count")?;
+                let mut entries = Vec::with_capacity(len.min(WIRE_PREALLOC_CAP));
+                for _ in 0..len {
+                    let v: u32 = r.parse("ranked value")?;
+                    entries.push((v, read_estimate(&mut r)?));
+                }
+                ProbeResponse::Ranked(entries)
+            }
+            "rows" => {
+                let nrows: usize = r.parse("row count")?;
+                let arity: usize = r.parse("arity")?;
+                let mut rows = Vec::with_capacity(nrows.min(WIRE_PREALLOC_CAP));
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(arity.min(WIRE_PREALLOC_CAP));
+                    for _ in 0..arity {
+                        row.push(r.parse("code")?);
+                    }
+                    rows.push(row);
+                }
+                ProbeResponse::Rows { arity, rows }
+            }
+            "err" => {
+                let msg = line.trim_start();
+                let msg = msg.strip_prefix("c1").unwrap_or(msg).trim_start();
+                let msg = msg.strip_prefix("err").unwrap_or(msg).trim_start();
+                return Err(ModelError::Remote(msg.to_string()));
+            }
+            other => return Err(wire_error(format!("unknown probe response op {other:?}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Encodes an error as the probe error payload (decodes back to
+    /// [`ModelError::Remote`]).
+    pub fn encode_error(err: &ModelError) -> String {
+        format!("c1 err {}", err.to_string().replace('\n', " "))
+    }
+}
+
+fn encode_mask(out: &mut String, mask: &Mask) {
+    let _ = write!(out, "m {}", mask.arity());
+    for attr in 0..mask.arity() {
+        match mask.attr_weights(attr) {
+            None => out.push_str(" i"),
+            Some(w) => {
+                let _ = write!(out, " w {}", w.len());
+                for x in w {
+                    let _ = write!(out, " {x}");
+                }
+            }
+        }
+    }
+}
+
+fn decode_mask(r: &mut TokenReader<'_>) -> Result<Mask> {
+    r.expect("m")?;
+    let arity: usize = r.parse("mask arity")?;
+    let mut weights = Vec::with_capacity(arity.min(WIRE_PREALLOC_CAP));
+    for _ in 0..arity {
+        match r.next("mask item")? {
+            "i" => weights.push(None),
+            "w" => {
+                let len: usize = r.parse("weight count")?;
+                let mut w = Vec::with_capacity(len.min(WIRE_PREALLOC_CAP));
+                for _ in 0..len {
+                    w.push(r.parse("weight")?);
+                }
+                weights.push(Some(w));
+            }
+            other => return Err(wire_error(format!("unknown mask item {other:?}"))),
+        }
+    }
+    Ok(Mask::from_weights(weights))
+}
+
+/// Executes one probe against a backend. Shapes are validated here (mask
+/// arity, attribute bounds, value-vector lengths, index bounds) because
+/// probes bypass the engine's predicate validation by design.
+pub fn execute<B: SummaryBackend>(
+    backend: &B,
+    pool: &ScratchPool<B::Scratch>,
+    request: &ProbeRequest,
+) -> Result<ProbeResponse> {
+    let sizes = backend.domain_sizes();
+    let check_mask = |mask: &Mask| -> Result<()> {
+        if mask.arity() != sizes.len() {
+            return Err(ModelError::ShapeMismatch);
+        }
+        for (attr, &size) in sizes.iter().enumerate() {
+            if let Some(w) = mask.attr_weights(attr) {
+                if w.len() != size {
+                    return Err(ModelError::ShapeMismatch);
+                }
+            }
+        }
+        Ok(())
+    };
+    let check_attr = |attr: AttrId| -> Result<()> {
+        if attr.0 < sizes.len() {
+            Ok(())
+        } else {
+            Err(ModelError::ShapeMismatch)
+        }
+    };
+    let with = |f: &mut dyn FnMut(&mut B::Scratch) -> Result<ProbeResponse>| {
+        pool.with(|| backend.make_scratch(), f)
+    };
+    match request {
+        ProbeRequest::Probability { mask } => {
+            check_mask(mask)?;
+            with(&mut |s| {
+                Ok(ProbeResponse::Probability(
+                    backend.probability_under_mask(mask, s)?,
+                ))
+            })
+        }
+        ProbeRequest::Count { mask } => {
+            check_mask(mask)?;
+            with(&mut |s| Ok(ProbeResponse::Estimate(backend.count_under_mask(mask, s)?)))
+        }
+        ProbeRequest::CountRestricted { mask, attr, values } => {
+            check_mask(mask)?;
+            check_attr(*attr)?;
+            let n_attr = sizes[attr.0];
+            if values.iter().any(|&v| v as usize >= n_attr) {
+                return Err(ModelError::ShapeMismatch);
+            }
+            with(&mut |s| {
+                let list: Result<Vec<Estimate>> = values
+                    .iter()
+                    .map(|&v| {
+                        // The same restriction step the gatherer's local
+                        // merge path applies, so probe masks (and answers)
+                        // are bit-identical to in-process re-probes.
+                        let mut probe = mask.clone();
+                        probe.restrict_in_place(*attr, v, n_attr);
+                        backend.count_under_mask(&probe, s)
+                    })
+                    .collect();
+                Ok(ProbeResponse::Estimates(list?))
+            })
+        }
+        ProbeRequest::Sum { mask, attr, values } => {
+            check_mask(mask)?;
+            check_attr(*attr)?;
+            if values.len() != sizes[attr.0] {
+                return Err(ModelError::ShapeMismatch);
+            }
+            with(&mut |s| {
+                Ok(ProbeResponse::Estimate(
+                    backend.sum_under_mask(mask, *attr, values, s)?,
+                ))
+            })
+        }
+        ProbeRequest::GroupBy { mask, attr } => {
+            check_mask(mask)?;
+            check_attr(*attr)?;
+            with(&mut |s| {
+                Ok(ProbeResponse::Groups(
+                    backend.group_by_under_mask(mask, *attr, s)?,
+                ))
+            })
+        }
+        ProbeRequest::TopK { mask, attr, k } => {
+            check_mask(mask)?;
+            check_attr(*attr)?;
+            with(&mut |s| {
+                Ok(ProbeResponse::Ranked(
+                    backend.top_k_under_mask(mask, *attr, *k, s)?,
+                ))
+            })
+        }
+        ProbeRequest::SampleAt { k, seed, indices } => {
+            for &i in indices {
+                if i >= *k as u64 {
+                    return Err(ModelError::ShapeMismatch);
+                }
+            }
+            let plan = backend.plan_samples(*k, *seed)?;
+            let arity = sizes.len();
+            with(&mut |s| {
+                let rows: Result<Vec<Vec<u32>>> = indices
+                    .iter()
+                    .map(|&i| {
+                        let mut row = vec![0u32; arity];
+                        backend.sample_tuple(&plan, i as usize, *seed, &mut row, s)?;
+                        Ok(row)
+                    })
+                    .collect();
+                Ok(ProbeResponse::Rows { arity, rows: rows? })
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask() -> Mask {
+        Mask::from_weights(vec![
+            None,
+            Some(vec![0.0, 1.0, 0.5]),
+            Some(vec![12.25, -3.5]),
+        ])
+    }
+
+    #[test]
+    fn probe_requests_round_trip() {
+        let reqs = [
+            ProbeRequest::Probability { mask: mask() },
+            ProbeRequest::Count { mask: mask() },
+            ProbeRequest::CountRestricted {
+                mask: mask(),
+                attr: AttrId(1),
+                values: vec![0, 2],
+            },
+            ProbeRequest::Sum {
+                mask: mask(),
+                attr: AttrId(1),
+                values: vec![0.5, 1.5, 2.5],
+            },
+            ProbeRequest::GroupBy {
+                mask: mask(),
+                attr: AttrId(0),
+            },
+            ProbeRequest::TopK {
+                mask: mask(),
+                attr: AttrId(2),
+                k: 4,
+            },
+            ProbeRequest::SampleAt {
+                k: 100,
+                seed: 7,
+                indices: vec![0, 5, 99],
+            },
+        ];
+        for req in reqs {
+            let line = req.encode();
+            let decoded = ProbeRequest::decode(&line).unwrap();
+            assert_eq!(decoded, req, "{line}");
+            assert_eq!(decoded.encode(), line);
+        }
+    }
+
+    #[test]
+    fn probe_responses_round_trip() {
+        let e = |x: f64, v: f64| Estimate {
+            expectation: x,
+            variance: v,
+        };
+        let resps = [
+            ProbeResponse::Probability(0.1 + 0.2),
+            ProbeResponse::Estimate(e(10.0, 2.5)),
+            ProbeResponse::Estimates(vec![e(1.0, 0.0), e(1e-300, 2e300)]),
+            ProbeResponse::Groups(vec![e(3.0, 1.0)]),
+            ProbeResponse::Ranked(vec![(2, e(9.0, 1.0)), (0, e(1.0, 0.5))]),
+            ProbeResponse::Rows {
+                arity: 2,
+                rows: vec![vec![1, 0], vec![2, 3]],
+            },
+            ProbeResponse::Estimates(vec![]),
+        ];
+        for resp in resps {
+            let line = resp.encode();
+            let decoded = ProbeResponse::decode(&line).unwrap();
+            assert_eq!(decoded, resp, "{line}");
+            assert_eq!(decoded.encode(), line);
+        }
+    }
+
+    #[test]
+    fn probe_error_channel_decodes_to_remote() {
+        let line = ProbeResponse::encode_error(&ModelError::ShapeMismatch);
+        match ProbeResponse::decode(&line) {
+            Err(ModelError::Remote(_)) => {}
+            other => panic!("expected remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_probe_lines_rejected() {
+        for line in [
+            "",
+            "b2 count m 0",
+            "b1 count",
+            "b1 count m 1",
+            "b1 count m 1 w 2 0.5",
+            "b1 counts 2 m 0",
+            "b1 countr 0 2 1 m 0",
+            "b1 countr 0 1 1",
+            "b1 sum 0 1 m 0",
+            "b1 sample 5 1 2 0",
+            "b1 count m 0 trailing",
+            "b1 nonsense",
+        ] {
+            assert!(ProbeRequest::decode(line).is_err(), "{line:?}");
+        }
+        for line in ["c1 est 1.0", "c1 rows 1 2 3", "c2 prob 0.5", "c1 what 1"] {
+            assert!(ProbeResponse::decode(line).is_err(), "{line:?}");
+        }
+    }
+}

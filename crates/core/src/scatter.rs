@@ -1,0 +1,430 @@
+//! The shard-source-agnostic scatter/gather layer.
+//!
+//! [`ShardedSummary`](crate::sharded::ShardedSummary) historically merged
+//! per-shard answers by calling its in-process
+//! [`MaxEntSummary`] shards directly. This
+//! module lifts that merge arithmetic off concrete shard references and
+//! onto an abstract per-shard probe interface, [`ShardProbe`]: anything
+//! that can answer mask-level estimator probes for one shard — an
+//! in-process model, or a TCP connection to a remote `entropydb-serve`
+//! instance — can sit under the same merge functions. The local sharded
+//! backend and a remote scatter/gather backend therefore share every
+//! floating-point operation, which is what makes remote answers
+//! bitwise-identical to local ones.
+//!
+//! The merge rules (see the module docs of [`crate::sharded`] for the
+//! statistical argument):
+//!
+//! * probability: shard mixture `Σ (n_s / n) · p_s`, clamped into `[0, 1]`;
+//! * COUNT / SUM: expectations and variances add, folded in shard order;
+//! * group-by: cells add value-wise, folded in shard order;
+//! * top-k: per-shard candidates are unioned and every candidate re-probed
+//!   exactly across all shards before the final ranking;
+//! * sampling: draws stratify across shards by largest-remainder
+//!   apportionment of shard cardinalities, with every tuple's stream
+//!   derived only from `(seed, global index)`.
+//!
+//! A single shard bypasses every merge fold (the sole result is returned
+//! unchanged), preserving the bitwise 1-shard == monolithic guarantee.
+
+use crate::assignment::Mask;
+use crate::engine::{rank_top_k, SummaryBackend};
+use crate::error::{ModelError, Result};
+use crate::model::MaxEntSummary;
+use crate::par;
+use crate::query::Estimate;
+use entropydb_storage::AttrId;
+
+/// The mask-level estimator surface of one shard, as seen by the gather
+/// side. All methods are fallible: in-process probes only fail on genuine
+/// shape errors, remote probes surface transport failures as
+/// [`ModelError::Remote`] with the failing shard named.
+pub trait ShardProbe: Send + Sync {
+    /// Per-probe reusable workspace (an evaluation scratch for in-process
+    /// probes; unit for connection-pooled remote probes).
+    type Scratch: Send;
+
+    /// This shard's relation cardinality `n_s`.
+    fn shard_n(&self) -> u64;
+
+    /// Builds a fresh probe workspace.
+    fn make_probe_scratch(&self) -> Self::Scratch;
+
+    /// Tuple-draw probability under the mask, in this shard's model.
+    fn probe_probability(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<f64>;
+
+    /// COUNT estimate under the mask.
+    fn probe_count(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<Estimate>;
+
+    /// One COUNT estimate per candidate value: the base mask restricted to
+    /// each value of `attr` in turn — the top-k re-probe. The default
+    /// rebuilds each probe mask locally (the same `restrict_in_place` step
+    /// the merge driver historically applied); remote probes transport the
+    /// base mask plus the value list in one compact wire round, rebuilding
+    /// the masks shard-side with identical arithmetic.
+    fn probe_count_restricted(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        values: &[u32],
+        n_attr: usize,
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Estimate>> {
+        values
+            .iter()
+            .map(|&v| {
+                let mut probe = mask.clone();
+                probe.restrict_in_place(attr, v, n_attr);
+                self.probe_count(&probe, scratch)
+            })
+            .collect()
+    }
+
+    /// SUM estimate under the base mask, weighting `attr` by `values`.
+    fn probe_sum(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Estimate>;
+
+    /// One estimate per value of `attr` under the mask.
+    fn probe_group_by(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Estimate>>;
+
+    /// This shard's local top-`k` candidates for `attr` under the mask.
+    fn probe_top_k(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<(u32, Estimate)>>;
+
+    /// Draws the tuples at the given global `indices` of a
+    /// `sample_rows(k, seed)` call, in index order.
+    fn probe_sample_at(
+        &self,
+        k: usize,
+        seed: u64,
+        indices: &[u64],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Vec<u32>>>;
+}
+
+/// An in-process model is the canonical shard probe: every probe is one
+/// local masked evaluation.
+impl ShardProbe for MaxEntSummary {
+    type Scratch = crate::factorized::FactorizedScratch;
+
+    fn shard_n(&self) -> u64 {
+        self.n()
+    }
+
+    fn make_probe_scratch(&self) -> Self::Scratch {
+        SummaryBackend::make_scratch(self)
+    }
+
+    fn probe_probability(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<f64> {
+        self.probability_under_mask(mask, scratch)
+    }
+
+    fn probe_count(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<Estimate> {
+        self.count_under_mask(mask, scratch)
+    }
+
+    fn probe_sum(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Estimate> {
+        self.sum_under_mask(base, attr, values, scratch)
+    }
+
+    fn probe_group_by(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Estimate>> {
+        self.group_by_under_mask(mask, attr, scratch)
+    }
+
+    fn probe_top_k(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<(u32, Estimate)>> {
+        self.top_k_under_mask(mask, attr, k, scratch)
+    }
+
+    fn probe_sample_at(
+        &self,
+        _k: usize,
+        seed: u64,
+        indices: &[u64],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Vec<u32>>> {
+        let arity = self.domain_sizes().len();
+        indices
+            .iter()
+            .map(|&i| {
+                let mut row = vec![0u32; arity];
+                self.sample_tuple(&(), i as usize, seed, &mut row, scratch)?;
+                Ok(row)
+            })
+            .collect()
+    }
+}
+
+/// Fans `f` out over `(shard index, probe, probe scratch)` on the worker
+/// pool and collects the per-shard results in shard order. Each shard owns
+/// its scratch slot, so results are deterministic and identical to serial
+/// execution. `scratches` must hold one workspace per probe.
+pub fn fan_out<P: ShardProbe, R: Send>(
+    probes: &[P],
+    scratches: &mut [P::Scratch],
+    f: impl Fn(usize, &P, &mut P::Scratch) -> R + Sync,
+) -> Vec<R> {
+    assert_eq!(probes.len(), scratches.len(), "one scratch per shard");
+    let mut work: Vec<(usize, &P, &mut P::Scratch, Option<R>)> = probes
+        .iter()
+        .enumerate()
+        .zip(scratches.iter_mut())
+        .map(|((i, probe), scratch)| (i, probe, scratch, None))
+        .collect();
+    par::for_each_chunk_mut(&mut work, 1, |_, chunk| {
+        for (i, probe, scratch, slot) in chunk.iter_mut() {
+            *slot = Some(f(*i, probe, scratch));
+        }
+    });
+    work.into_iter()
+        .map(|(_, _, _, r)| r.expect("fan-out slot filled"))
+        .collect()
+}
+
+/// Sums two independent estimates (expectations add, variances add).
+pub fn add_estimates(a: Estimate, b: Estimate) -> Estimate {
+    Estimate::new(a.expectation + b.expectation, a.variance + b.variance)
+}
+
+/// Merges per-shard results with `combine`, returning the sole result
+/// unchanged when there is one shard (the bitwise 1-shard guarantee).
+fn merge<R>(results: Vec<R>, combine: impl Fn(R, R) -> R) -> R {
+    results
+        .into_iter()
+        .reduce(combine)
+        .expect("at least one shard")
+}
+
+fn collect_fan_out<P: ShardProbe, R: Send>(
+    probes: &[P],
+    scratches: &mut [P::Scratch],
+    f: impl Fn(usize, &P, &mut P::Scratch) -> Result<R> + Sync,
+) -> Result<Vec<R>> {
+    fan_out(probes, scratches, f).into_iter().collect()
+}
+
+/// Merges value-aligned per-shard cell vectors by adding estimates
+/// position-wise; every shard must answer the same number of cells.
+fn merge_cells(per_shard: Vec<Vec<Estimate>>) -> Result<Vec<Estimate>> {
+    let len = per_shard.first().map_or(0, Vec::len);
+    if per_shard.iter().any(|cells| cells.len() != len) {
+        return Err(ModelError::Remote(
+            "shards answered mismatched group-by shapes".to_string(),
+        ));
+    }
+    Ok(merge(per_shard, |mut acc, cells| {
+        for (a, b) in acc.iter_mut().zip(cells) {
+            *a = add_estimates(*a, b);
+        }
+        acc
+    }))
+}
+
+/// Mixture probability `Σ (n_s / n) · p_s`, clamped into `[0, 1]`.
+pub fn mixture_probability<P: ShardProbe>(
+    probes: &[P],
+    weights: &[f64],
+    mask: &Mask,
+    scratches: &mut [P::Scratch],
+) -> Result<f64> {
+    let ps = collect_fan_out(probes, scratches, |_, p, s| p.probe_probability(mask, s))?;
+    Ok(ps
+        .iter()
+        .zip(weights)
+        .fold(0.0, |acc, (&p, &w)| acc + w * p)
+        .clamp(0.0, 1.0))
+}
+
+/// Merged COUNT: per-shard estimates added in shard order.
+pub fn merged_count<P: ShardProbe>(
+    probes: &[P],
+    mask: &Mask,
+    scratches: &mut [P::Scratch],
+) -> Result<Estimate> {
+    let counts = collect_fan_out(probes, scratches, |_, p, s| p.probe_count(mask, s))?;
+    Ok(merge(counts, add_estimates))
+}
+
+/// Merged SUM: per-shard estimates added in shard order.
+pub fn merged_sum<P: ShardProbe>(
+    probes: &[P],
+    base: &Mask,
+    attr: AttrId,
+    values: &[f64],
+    scratches: &mut [P::Scratch],
+) -> Result<Estimate> {
+    let sums = collect_fan_out(probes, scratches, |_, p, s| {
+        p.probe_sum(base, attr, values, s)
+    })?;
+    Ok(merge(sums, add_estimates))
+}
+
+/// Merged group-by: per-shard cells added value-wise.
+pub fn merged_group_by<P: ShardProbe>(
+    probes: &[P],
+    mask: &Mask,
+    attr: AttrId,
+    scratches: &mut [P::Scratch],
+) -> Result<Vec<Estimate>> {
+    let per_shard = collect_fan_out(probes, scratches, |_, p, s| p.probe_group_by(mask, attr, s))?;
+    merge_cells(per_shard)
+}
+
+/// Merged top-k: per-shard candidates + exact cross-shard re-probe. With
+/// one shard this is exactly the full-ranking path (bitwise parity with
+/// the monolithic model); with several, each shard nominates its local
+/// top-k, the candidate values are unioned, and every candidate is
+/// re-scored against *all* shards (one batched
+/// [`ShardProbe::probe_count_restricted`] per shard) before the final
+/// ranking —
+/// a value popular overall but below `k` somewhere is still ranked
+/// correctly.
+pub fn merged_top_k<P: ShardProbe>(
+    probes: &[P],
+    mask: &Mask,
+    attr: AttrId,
+    k: usize,
+    n_attr: usize,
+    scratches: &mut [P::Scratch],
+) -> Result<Vec<(u32, Estimate)>> {
+    if probes.len() == 1 {
+        let groups = probes[0].probe_group_by(mask, attr, &mut scratches[0])?;
+        return Ok(rank_top_k(groups, k));
+    }
+    let candidate_lists =
+        collect_fan_out(probes, scratches, |_, p, s| p.probe_top_k(mask, attr, k, s))?;
+    let mut candidates: Vec<u32> = candidate_lists
+        .into_iter()
+        .flatten()
+        .map(|(v, _)| v)
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let per_shard = collect_fan_out(probes, scratches, |_, p, s| {
+        p.probe_count_restricted(mask, attr, &candidates, n_attr, s)
+    })?;
+    let merged = merge_cells(per_shard)?;
+    if merged.len() != candidates.len() {
+        return Err(ModelError::Remote(
+            "shards answered mismatched candidate counts".to_string(),
+        ));
+    }
+    let mut ranked: Vec<(u32, Estimate)> = candidates.into_iter().zip(merged).collect();
+    ranked.sort_by(|a, b| {
+        b.1.expectation
+            .total_cmp(&a.1.expectation)
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    Ok(ranked)
+}
+
+/// Largest-remainder (Hamilton) apportionment of `k` draws proportional to
+/// `weights`; deterministic, ties broken by lower index.
+pub fn proportional_quota(weights: &[u64], k: usize) -> Vec<usize> {
+    let total: u64 = weights.iter().sum();
+    let mut quota = vec![0usize; weights.len()];
+    if total == 0 || weights.is_empty() {
+        if let Some(first) = quota.first_mut() {
+            *first = k;
+        }
+        return quota;
+    }
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = k as u128 * w as u128;
+        quota[i] = (exact / total as u128) as usize;
+        assigned += quota[i];
+        remainders.push(((exact % total as u128) as u64, i));
+    }
+    // Highest fractional remainder first; ties to the lower shard index.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(k - assigned) {
+        quota[i] += 1;
+    }
+    quota
+}
+
+/// The stratified shard assignment of a `sample_rows(k, ..)` call: element
+/// `i` is the shard that draws global tuple `i` (contiguous by shard, sized
+/// by largest-remainder apportionment of the shard cardinalities `ns`).
+pub fn sample_assignment(ns: &[u64], k: usize) -> Vec<u32> {
+    let quota = proportional_quota(ns, k);
+    let mut plan = Vec::with_capacity(k);
+    for (shard, &q) in quota.iter().enumerate() {
+        plan.extend(std::iter::repeat_n(shard as u32, q));
+    }
+    plan
+}
+
+/// Groups a [`sample_assignment`] into per-shard global-index lists (the
+/// per-shard [`ShardProbe::probe_sample_at`] arguments).
+pub fn shard_index_lists(assignment: &[u32], num_shards: usize) -> Vec<Vec<u64>> {
+    let mut lists = vec![Vec::new(); num_shards];
+    for (i, &shard) in assignment.iter().enumerate() {
+        lists[shard as usize].push(i as u64);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_is_exact_and_deterministic() {
+        assert_eq!(proportional_quota(&[1, 1, 1], 3), vec![1, 1, 1]);
+        assert_eq!(proportional_quota(&[2, 1], 3), vec![2, 1]);
+        let q = proportional_quota(&[5, 3, 2], 7);
+        assert_eq!(q.iter().sum::<usize>(), 7);
+        assert_eq!(q, proportional_quota(&[5, 3, 2], 7));
+        assert_eq!(proportional_quota(&[], 4), Vec::<usize>::new());
+        assert_eq!(proportional_quota(&[0, 0], 4), vec![4, 0]);
+    }
+
+    #[test]
+    fn assignment_round_trips_through_index_lists() {
+        let plan = sample_assignment(&[6, 3, 1], 10);
+        assert_eq!(plan.len(), 10);
+        let lists = shard_index_lists(&plan, 3);
+        assert_eq!(lists.iter().map(Vec::len).sum::<usize>(), 10);
+        for (shard, list) in lists.iter().enumerate() {
+            for &i in list {
+                assert_eq!(plan[i as usize] as usize, shard);
+            }
+        }
+    }
+}

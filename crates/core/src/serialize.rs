@@ -431,6 +431,100 @@ pub fn save_sharded_dir(summary: &ShardedSummary, dir: &Path) -> std::io::Result
     std::fs::write(dir.join("manifest.txt"), manifest)
 }
 
+/// One shard placement of a cluster manifest: which address serves which
+/// shard, and the shard's expected cardinality (verified against the
+/// served summary during the connect handshake, so a node serving the
+/// wrong blob is caught before any query fans out to it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterShard {
+    /// Shard index (dense, `0..k`).
+    pub index: usize,
+    /// Expected shard cardinality `n_s`.
+    pub n: u64,
+    /// `host:port` of the `entropydb-serve` instance holding the shard.
+    pub addr: String,
+}
+
+/// Serializes a cluster manifest — the shard-per-node placement document
+/// consumed by a remote scatter/gather backend:
+///
+/// ```text
+/// entropydb-cluster-manifest v1
+/// shards <k>
+/// shard <index> <cardinality> <host:port>
+/// end
+/// ```
+pub fn cluster_manifest_to_string(shards: &[ClusterShard]) -> String {
+    let mut out = String::new();
+    out.push_str("entropydb-cluster-manifest v1\n");
+    let _ = writeln!(out, "shards {}", shards.len());
+    for s in shards {
+        let _ = writeln!(out, "shard {} {} {}", s.index, s.n, s.addr);
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a cluster manifest; shard indices must be dense and in order.
+pub fn cluster_manifest_from_str(text: &str) -> Result<Vec<ClusterShard>> {
+    let mut p = Parser {
+        lines: text.lines().enumerate(),
+    };
+    let (line_no, header) = p.next_line()?;
+    if header != "entropydb-cluster-manifest v1" {
+        return Err(ModelError::Parse {
+            line: line_no,
+            message: format!("unrecognized cluster manifest header {header:?}"),
+        });
+    }
+    let (ln, toks) = p.expect_tagged("shards")?;
+    let k: usize = parse(toks.first().copied().unwrap_or(""), ln, "shard count")?;
+    if k == 0 {
+        return Err(ModelError::Parse {
+            line: ln,
+            message: "cluster manifest needs at least one shard".to_string(),
+        });
+    }
+    let mut shards = Vec::with_capacity(k);
+    for expected in 0..k {
+        let (ln, toks) = p.expect_tagged("shard")?;
+        if toks.len() != 3 {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: "cluster shard needs: index n addr".to_string(),
+            });
+        }
+        let idx: usize = parse(toks[0], ln, "shard index")?;
+        if idx != expected {
+            return Err(ModelError::Parse {
+                line: ln,
+                message: format!("shard index {idx}, expected {expected}"),
+            });
+        }
+        shards.push(ClusterShard {
+            index: idx,
+            n: parse(toks[1], ln, "shard n")?,
+            addr: toks[2].to_string(),
+        });
+    }
+    p.expect_tagged("end")?;
+    Ok(shards)
+}
+
+/// Writes a cluster manifest file.
+pub fn save_cluster_manifest(shards: &[ClusterShard], path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, cluster_manifest_to_string(shards))
+}
+
+/// Reads a cluster manifest file.
+pub fn load_cluster_manifest(path: &Path) -> Result<Vec<ClusterShard>> {
+    let text = std::fs::read_to_string(path).map_err(|e| ModelError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    cluster_manifest_from_str(&text)
+}
+
 /// Reads a sharded summary from a [`save_sharded_dir`] directory.
 pub fn load_sharded_dir(dir: &Path) -> Result<ShardedSummary> {
     let manifest_path = dir.join("manifest.txt");
@@ -729,6 +823,30 @@ mod tests {
         assert!(sharded_from_str(&lied).is_err());
         // A single-summary blob is not a sharded document.
         assert!(sharded_from_str(&to_string(&build_summary())).is_err());
+    }
+
+    #[test]
+    fn cluster_manifest_round_trips_and_rejects_corruption() {
+        let shards = vec![
+            ClusterShard {
+                index: 0,
+                n: 40,
+                addr: "127.0.0.1:4151".to_string(),
+            },
+            ClusterShard {
+                index: 1,
+                n: 20,
+                addr: "10.0.0.7:4141".to_string(),
+            },
+        ];
+        let text = cluster_manifest_to_string(&shards);
+        assert_eq!(cluster_manifest_from_str(&text).unwrap(), shards);
+        assert!(cluster_manifest_from_str("bogus").is_err());
+        assert!(cluster_manifest_from_str(&text.replace("end", "")).is_err());
+        // Out-of-order shard indices rejected.
+        assert!(cluster_manifest_from_str(&text.replace("shard 1 ", "shard 9 ")).is_err());
+        // Zero shards rejected.
+        assert!(cluster_manifest_from_str("entropydb-cluster-manifest v1\nshards 0\nend").is_err());
     }
 
     #[test]

@@ -35,12 +35,13 @@
 //! `crates/core/tests/sharded.rs`).
 
 use crate::assignment::Mask;
-use crate::engine::{ir, rank_top_k, ScratchPool, SummaryBackend};
+use crate::engine::{ir, ScratchPool, SummaryBackend};
 use crate::error::{ModelError, Result};
 use crate::factorized::FactorizedScratch;
 use crate::model::MaxEntSummary;
 use crate::par;
 use crate::query::Estimate;
+use crate::scatter;
 use crate::solver::SolverConfig;
 use crate::statistics::MultiDimStatistic;
 use entropydb_storage::{AttrId, Histogram1D, Partitioning, Predicate, Schema, Table};
@@ -186,32 +187,6 @@ impl ShardedSummary {
         self.shards.len()
     }
 
-    /// Fans `f` out over `(shard index, shard, shard scratch)` on the
-    /// worker pool and collects the per-shard results in shard order. Each
-    /// shard owns its scratch slot, so results are deterministic and
-    /// identical to serial execution.
-    fn fan_out<R: Send>(
-        &self,
-        scratches: &mut ShardedScratch,
-        f: impl Fn(usize, &MaxEntSummary, &mut FactorizedScratch) -> R + Sync,
-    ) -> Vec<R> {
-        let mut work: Vec<(usize, &MaxEntSummary, &mut FactorizedScratch, Option<R>)> = self
-            .shards
-            .iter()
-            .enumerate()
-            .zip(scratches.iter_mut())
-            .map(|((i, shard), scratch)| (i, shard, scratch, None))
-            .collect();
-        par::for_each_chunk_mut(&mut work, 1, |_, chunk| {
-            for (i, shard, scratch, slot) in chunk.iter_mut() {
-                *slot = Some(f(*i, shard, scratch));
-            }
-        });
-        work.into_iter()
-            .map(|(_, _, _, r)| r.expect("fan-out slot filled"))
-            .collect()
-    }
-
     // ---- Inherent query API (mirrors `MaxEntSummary`; same shared paths) ----
 
     /// The mixture probability that a single tuple draw satisfies `pred`.
@@ -279,20 +254,6 @@ impl ShardedSummary {
     }
 }
 
-/// Sums two independent estimates (expectations add, variances add).
-fn add_estimates(a: Estimate, b: Estimate) -> Estimate {
-    Estimate::new(a.expectation + b.expectation, a.variance + b.variance)
-}
-
-/// Merges per-shard results with `combine`, returning the sole result
-/// unchanged when there is one shard (the bitwise 1-shard guarantee).
-fn merge<R>(results: Vec<R>, combine: impl Fn(R, R) -> R) -> R {
-    results
-        .into_iter()
-        .reduce(combine)
-        .expect("at least one shard")
-}
-
 /// The multi statistics of `multi` that have 1D support in `table` on every
 /// clause range. A statistic failing this is annihilated by the shard's
 /// complete 1D statistics (all tuples in its region carry an `α = 0`
@@ -320,33 +281,6 @@ fn stats_with_support(
         .collect())
 }
 
-/// Largest-remainder (Hamilton) apportionment of `k` draws proportional to
-/// `weights`; deterministic, ties broken by lower index.
-fn proportional_quota(weights: &[u64], k: usize) -> Vec<usize> {
-    let total: u64 = weights.iter().sum();
-    let mut quota = vec![0usize; weights.len()];
-    if total == 0 || weights.is_empty() {
-        if let Some(first) = quota.first_mut() {
-            *first = k;
-        }
-        return quota;
-    }
-    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
-    let mut assigned = 0usize;
-    for (i, &w) in weights.iter().enumerate() {
-        let exact = k as u128 * w as u128;
-        quota[i] = (exact / total as u128) as usize;
-        assigned += quota[i];
-        remainders.push(((exact % total as u128) as u64, i));
-    }
-    // Highest fractional remainder first; ties to the lower shard index.
-    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    for &(_, i) in remainders.iter().take(k - assigned) {
-        quota[i] += 1;
-    }
-    quota
-}
-
 impl SummaryBackend for ShardedSummary {
     type Scratch = ShardedScratch;
     /// Shard assignment per global tuple index (contiguous by shard, sized
@@ -372,18 +306,14 @@ impl SummaryBackend for ShardedSummary {
             .collect()
     }
 
-    /// Mixture probability `Σ (n_s / n) · p_s`, clamped into `[0, 1]`.
-    fn probability_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> f64 {
-        let ps = self.fan_out(scratch, |_, shard, s| shard.probability_under_mask(mask, s));
-        ps.iter()
-            .zip(&self.weights)
-            .fold(0.0, |acc, (&p, &w)| acc + w * p)
-            .clamp(0.0, 1.0)
+    /// Mixture probability `Σ (n_s / n) · p_s`, clamped into `[0, 1]`
+    /// (merged by the shared [`scatter`] layer).
+    fn probability_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> Result<f64> {
+        scatter::mixture_probability(&self.shards, &self.weights, mask, scratch)
     }
 
-    fn count_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> Estimate {
-        let counts = self.fan_out(scratch, |_, shard, s| shard.count_under_mask(mask, s));
-        merge(counts, add_estimates)
+    fn count_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> Result<Estimate> {
+        scatter::merged_count(&self.shards, mask, scratch)
     }
 
     fn sum_under_mask(
@@ -393,13 +323,7 @@ impl SummaryBackend for ShardedSummary {
         values: &[f64],
         scratch: &mut ShardedScratch,
     ) -> Result<Estimate> {
-        let sums: Result<Vec<Estimate>> = self
-            .fan_out(scratch, |_, shard, s| {
-                shard.sum_under_mask(base, attr, values, s)
-            })
-            .into_iter()
-            .collect();
-        Ok(merge(sums?, add_estimates))
+        scatter::merged_sum(&self.shards, base, attr, values, scratch)
     }
 
     fn group_by_under_mask(
@@ -407,80 +331,28 @@ impl SummaryBackend for ShardedSummary {
         mask: &Mask,
         attr: AttrId,
         scratch: &mut ShardedScratch,
-    ) -> Vec<Estimate> {
-        let per_shard = self.fan_out(scratch, |_, shard, s| {
-            shard.group_by_under_mask(mask, attr, s)
-        });
-        merge(per_shard, |mut acc, cells| {
-            for (a, b) in acc.iter_mut().zip(cells) {
-                *a = add_estimates(*a, b);
-            }
-            acc
-        })
+    ) -> Result<Vec<Estimate>> {
+        scatter::merged_group_by(&self.shards, mask, attr, scratch)
     }
 
-    /// Per-shard candidates + exact cross-shard re-probe. With one shard
-    /// this is exactly the default full-ranking path (bitwise parity with
-    /// the monolithic model); with several, each shard nominates its local
-    /// top-k, the candidate values are unioned, and every candidate is
-    /// re-scored against *all* shards before the final ranking — a value
-    /// popular overall but below `k` somewhere is still ranked correctly.
+    /// Per-shard candidates + exact cross-shard re-probe, via the shared
+    /// [`scatter::merged_top_k`] driver (one shard falls back to the exact
+    /// full-ranking path, preserving bitwise parity with the monolithic
+    /// model).
     fn top_k_under_mask(
         &self,
         mask: &Mask,
         attr: AttrId,
         k: usize,
         scratch: &mut ShardedScratch,
-    ) -> Vec<(u32, Estimate)> {
-        if self.shards.len() == 1 {
-            return rank_top_k(self.group_by_under_mask(mask, attr, scratch), k);
-        }
-        let candidate_lists = self.fan_out(scratch, |_, shard, s| {
-            shard.top_k_under_mask(mask, attr, k, s)
-        });
-        let mut candidates: Vec<u32> = candidate_lists
-            .into_iter()
-            .flatten()
-            .map(|(v, _)| v)
-            .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-
+    ) -> Result<Vec<(u32, Estimate)>> {
         let n_attr = self.domain_sizes()[attr.0];
-        let per_shard: Vec<Vec<Estimate>> = self.fan_out(scratch, |_, shard, s| {
-            candidates
-                .iter()
-                .map(|&v| {
-                    let mut probe = mask.clone();
-                    probe.restrict_in_place(attr, v, n_attr);
-                    shard.count_under_mask(&probe, s)
-                })
-                .collect()
-        });
-        let merged = merge(per_shard, |mut acc, cells| {
-            for (a, b) in acc.iter_mut().zip(cells) {
-                *a = add_estimates(*a, b);
-            }
-            acc
-        });
-        let mut ranked: Vec<(u32, Estimate)> = candidates.into_iter().zip(merged).collect();
-        ranked.sort_by(|a, b| {
-            b.1.expectation
-                .total_cmp(&a.1.expectation)
-                .then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(k);
-        ranked
+        scatter::merged_top_k(&self.shards, mask, attr, k, n_attr, scratch)
     }
 
-    fn plan_samples(&self, k: usize, _seed: u64) -> Vec<u32> {
+    fn plan_samples(&self, k: usize, _seed: u64) -> Result<Vec<u32>> {
         let ns: Vec<u64> = self.shards.iter().map(MaxEntSummary::n).collect();
-        let quota = proportional_quota(&ns, k);
-        let mut plan = Vec::with_capacity(k);
-        for (shard, &q) in quota.iter().enumerate() {
-            plan.extend(std::iter::repeat_n(shard as u32, q));
-        }
-        plan
+        Ok(scatter::sample_assignment(&ns, k))
     }
 
     /// Tuple `index` draws from its stratum's shard model, using the same

@@ -1,0 +1,338 @@
+//! `entropydb-cluster` — shard-per-node cluster tooling.
+//!
+//! ```text
+//! entropydb-cluster spawn <sharded summary> [--base-port P] [--manifest FILE]
+//! entropydb-cluster probe <manifest>
+//! entropydb-cluster gateway <manifest> [--addr HOST:PORT]
+//! entropydb-cluster make-demo <dir> [--shards N] [--rows R] [--base-port P]
+//! ```
+//!
+//! * `spawn` loads a sharded summary (single-file manifest or
+//!   `save_sharded_dir` directory) and serves **each shard on its own
+//!   port** (`base-port + shard index`; `--base-port 0` picks ephemeral
+//!   ports), writing the cluster manifest the scatter/gather backend
+//!   consumes. Serves until stdin reaches EOF or a `quit` line.
+//! * `probe` health-checks every shard of a manifest: dials it, runs the
+//!   schema/cardinality handshake, and reports per-shard status; exits
+//!   non-zero if any shard is degraded.
+//! * `gateway` connects a [`RemoteShardedSummary`] over the manifest and
+//!   serves it on one address — a scatter/gather front-end node answering
+//!   the ordinary query protocol while fanning out to the shard nodes.
+//! * `make-demo` builds a small deterministic sharded summary and writes
+//!   everything a localhost cluster walkthrough (or the `cluster-e2e` CI
+//!   job) needs: per-shard blobs for `entropydb-serve`, the combined
+//!   sharded blob as the local parity reference, and a manifest pointing
+//!   at `127.0.0.1:base-port + i`.
+
+use entropydb_core::engine::QueryEngine;
+use entropydb_core::serialize::{self, ClusterShard};
+use entropydb_core::sharded::ShardedSummary;
+use entropydb_server::{demo, serve, Client, RemoteShardedSummary, ServerHandle};
+use std::io::BufRead;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: entropydb-cluster <command>\n\
+         \n\
+         commands:\n\
+         \x20 spawn <sharded summary> [--base-port P] [--manifest FILE]\n\
+         \x20 probe <manifest>\n\
+         \x20 gateway <manifest> [--addr HOST:PORT]\n\
+         \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Checks that `base_port + count - 1` stays a valid port (`base_port` 0
+/// means ephemeral and is always fine).
+fn check_port_range(base_port: u16, count: usize) -> Result<(), String> {
+    if base_port != 0 && (base_port as usize) + count - 1 > u16::MAX as usize {
+        return Err(format!(
+            "--base-port {base_port} + {count} shards overflows the port range"
+        ));
+    }
+    Ok(())
+}
+
+/// Parses an optional numeric flag, erroring (instead of silently falling
+/// back to the default) when the operator passed something unparseable.
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("cannot parse {name} value {raw:?}")),
+    }
+}
+
+fn wait_for_quit() {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+fn load_sharded(path: &Path) -> Result<ShardedSummary, String> {
+    if path.is_dir() {
+        serialize::load_sharded_dir(path).map_err(|e| e.to_string())
+    } else {
+        serialize::load_sharded_file(path).map_err(|e| e.to_string())
+    }
+}
+
+/// Serve every shard of a sharded summary on its own port.
+fn cmd_spawn(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let base_port: u16 = match parsed_flag(args, "--base-port", 4151) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let sharded = match load_sharded(Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = check_port_range(base_port, sharded.num_shards()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut handles: Vec<ServerHandle> = Vec::new();
+    let mut manifest: Vec<ClusterShard> = Vec::new();
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        let port = if base_port == 0 {
+            0
+        } else {
+            base_port + i as u16
+        };
+        let engine = QueryEngine::new(shard.clone());
+        match serve(engine, ("127.0.0.1", port)) {
+            Ok(handle) => {
+                manifest.push(ClusterShard {
+                    index: i,
+                    n: shard.n(),
+                    addr: handle.local_addr().to_string(),
+                });
+                eprintln!(
+                    "shard {i}: n = {}, serving on {}",
+                    shard.n(),
+                    handle.local_addr()
+                );
+                handles.push(handle);
+            }
+            Err(e) => {
+                eprintln!("shard {i}: cannot bind port {port}: {e}");
+                for handle in handles {
+                    handle.shutdown();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let text = serialize::cluster_manifest_to_string(&manifest);
+    print!("{text}");
+    if let Some(file) = flag(args, "--manifest") {
+        if let Err(e) = std::fs::write(&file, &text) {
+            eprintln!("cannot write manifest {file}: {e}");
+            for handle in handles {
+                handle.shutdown();
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("manifest written to {file}");
+    }
+    eprintln!("type 'quit' (or close stdin) to stop all shards");
+    wait_for_quit();
+    for handle in handles {
+        handle.shutdown();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Health-check every shard of a manifest.
+fn cmd_probe(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let manifest = match serialize::load_cluster_manifest(Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut degraded = 0usize;
+    for entry in &manifest {
+        let status = (|| -> Result<String, String> {
+            let mut client = Client::connect(entry.addr.as_str()).map_err(|e| e.to_string())?;
+            client.ping().map_err(|e| e.to_string())?;
+            let arity = client.schema().map_err(|e| e.to_string())?.arity();
+            let n = client
+                .served_n()
+                .map_err(|e| e.to_string())?
+                .ok_or("no cardinality handshake")?;
+            if n != entry.n {
+                return Err(format!("serves n = {n}, manifest declares {}", entry.n));
+            }
+            Ok(format!("ok (n = {n}, arity = {arity})"))
+        })();
+        match status {
+            Ok(msg) => println!("shard {} @ {}: {msg}", entry.index, entry.addr),
+            Err(msg) => {
+                degraded += 1;
+                println!("shard {} @ {}: DEGRADED: {msg}", entry.index, entry.addr);
+            }
+        }
+    }
+    if degraded == 0 {
+        println!("cluster healthy: {} shards", manifest.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "cluster degraded: {degraded}/{} shards failing",
+            manifest.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Serve a scatter/gather gateway over a shard cluster.
+fn cmd_gateway(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:4141".to_string());
+    let manifest = match serialize::load_cluster_manifest(Path::new(path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let remote = match RemoteShardedSummary::connect(&manifest) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot connect cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "connected {} shards, total n = {}",
+        remote.num_shards(),
+        remote.n()
+    );
+    match serve(QueryEngine::new(remote), addr.as_str()) {
+        Ok(handle) => {
+            println!("gateway listening on {}", handle.local_addr());
+            eprintln!("type 'quit' (or close stdin) to stop");
+            wait_for_quit();
+            handle.shutdown();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Write the demo cluster workspace: per-shard blobs, the combined sharded
+/// blob (local parity reference), and a localhost manifest.
+fn cmd_make_demo(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let parsed = (|| -> Result<(usize, usize, u16), String> {
+        Ok((
+            parsed_flag(args, "--shards", 4)?,
+            parsed_flag(args, "--rows", 240)?,
+            parsed_flag(args, "--base-port", 4151)?,
+        ))
+    })();
+    let (shards, rows, base_port) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    if let Err(e) = check_port_range(base_port, shards.max(1)) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let dir = Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let sharded = match demo::demo_summary(rows, shards) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot build demo summary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = serialize::save_sharded_file(&sharded, &dir.join("sharded.summary")) {
+        eprintln!("cannot write sharded.summary: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut manifest = Vec::new();
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        let file = dir.join(format!("shard-{i}.summary"));
+        if let Err(e) = serialize::save_file(shard, &file) {
+            eprintln!("cannot write {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+        manifest.push(ClusterShard {
+            index: i,
+            n: shard.n(),
+            addr: format!("127.0.0.1:{}", base_port + i as u16),
+        });
+    }
+    if let Err(e) = serialize::save_cluster_manifest(&manifest, &dir.join("cluster.manifest")) {
+        eprintln!("cannot write cluster.manifest: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "demo cluster written to {}: {} shards, n = {}, ports {}..{}",
+        dir.display(),
+        sharded.num_shards(),
+        sharded.n(),
+        base_port,
+        base_port + sharded.num_shards() as u16 - 1
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "spawn" => cmd_spawn(rest),
+        "probe" => cmd_probe(rest),
+        "gateway" => cmd_gateway(rest),
+        "make-demo" => cmd_make_demo(rest),
+        _ => usage(),
+    }
+}

@@ -3,9 +3,10 @@
 use crate::protocol::decode_schema;
 use entropydb_core::error::{ModelError, Result as ModelResult};
 use entropydb_core::plan::{parse_request, QueryRequest, QueryResponse};
+use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_storage::Schema;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 /// Errors a client call can produce: transport failures or query/protocol
 /// errors (including errors the server reported on the wire error channel,
@@ -54,14 +55,23 @@ pub type ClientResult<T> = std::result::Result<T, ClientError>;
 /// A connected session against an EntropyDB query server.
 ///
 /// The client speaks the query IR directly ([`Client::execute`] /
-/// [`Client::execute_batch`]) or textual statements ([`Client::query`],
+/// [`Client::execute_batch`]), textual statements ([`Client::query`],
 /// parsed against the served schema — values of binned attributes are raw
-/// numbers, values of categorical attributes are dense codes).
+/// numbers, values of categorical attributes are dense codes), or
+/// mask-level shard probes ([`Client::probe`] /
+/// [`Client::probe_pipelined`], the scatter/gather fan-out primitive).
+///
+/// Queries are read-only, so [`Client::execute`] and the probe calls
+/// transparently reconnect and retry **once** when the transport breaks
+/// mid-call (server restart, idle-connection reset) — a broken pipe
+/// surfaces to the caller only if the retry fails too.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     schema: Option<Schema>,
+    served_n: Option<u64>,
 }
 
 impl Client {
@@ -70,10 +80,28 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
+            addr: stream.peer_addr()?,
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
             schema: None,
+            served_n: None,
         })
+    }
+
+    /// The server address this client dials (and re-dials on reconnect).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drops the current connection and dials the server again. Cached
+    /// schema/cardinality are kept: a reconnect targets the same serving
+    /// address, which serves the same summary.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
     }
 
     fn send_line(&mut self, line: &str) -> ClientResult<()> {
@@ -115,7 +143,7 @@ impl Client {
             // The borrow checker cannot see through `FnMut` captures of
             // `self`, so read via a local reader handle.
             let reader = &mut self.reader;
-            let schema = decode_schema(&header, || {
+            let (schema, n) = decode_schema(&header, || {
                 let mut line = String::new();
                 if reader
                     .read_line(&mut line)
@@ -129,15 +157,82 @@ impl Client {
                 Ok(line.trim_end_matches(['\n', '\r']).to_string())
             })?;
             self.schema = Some(schema);
+            self.served_n = n;
         }
         Ok(self.schema.as_ref().expect("schema cached"))
     }
 
-    /// Executes one IR request remotely.
+    /// The served summary's cardinality `n` from the schema handshake, or
+    /// `None` when the server predates the handshake extension.
+    pub fn served_n(&mut self) -> ClientResult<Option<u64>> {
+        self.schema()?;
+        Ok(self.served_n)
+    }
+
+    fn round_trip(&mut self, line: &str) -> ClientResult<String> {
+        self.send_line(line)?;
+        self.read_line()
+    }
+
+    /// One request line → one response line, reconnecting and retrying
+    /// once on a transport failure (queries are read-only, so a retry
+    /// never double-applies anything).
+    fn round_trip_with_retry(&mut self, line: &str) -> ClientResult<String> {
+        match self.round_trip(line) {
+            Err(ClientError::Io(_)) => {
+                self.reconnect()?;
+                self.round_trip(line)
+            }
+            other => other,
+        }
+    }
+
+    /// Executes one IR request remotely (reconnect-and-retry on a broken
+    /// transport).
     pub fn execute(&mut self, request: &QueryRequest) -> ClientResult<QueryResponse> {
-        self.send_line(&request.encode())?;
-        let line = self.read_line()?;
+        let line = self.round_trip_with_retry(&request.encode())?;
         Ok(QueryResponse::decode(&line)?)
+    }
+
+    /// Executes one mask-level shard probe remotely (reconnect-and-retry
+    /// on a broken transport).
+    pub fn probe(&mut self, probe: &ProbeRequest) -> ClientResult<ProbeResponse> {
+        let line = self.round_trip_with_retry(&probe.encode())?;
+        Ok(ProbeResponse::decode(&line)?)
+    }
+
+    fn probe_pipelined_once(
+        &mut self,
+        probes: &[ProbeRequest],
+    ) -> ClientResult<Vec<ProbeResponse>> {
+        let mut frame = String::new();
+        for probe in probes {
+            frame.push_str(&probe.encode());
+            frame.push('\n');
+        }
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(probes.len());
+        for _ in probes {
+            let line = self.read_line()?;
+            responses.push(ProbeResponse::decode(&line)?);
+        }
+        Ok(responses)
+    }
+
+    /// Executes several shard probes as one pipelined write followed by
+    /// in-order reads (one wire round trip for a whole fan-out step).
+    /// Reconnects and retries the whole frame once on a transport failure;
+    /// a probe the *server* failed (its error channel) fails the call
+    /// without a retry — probe errors are deterministic.
+    pub fn probe_pipelined(&mut self, probes: &[ProbeRequest]) -> ClientResult<Vec<ProbeResponse>> {
+        match self.probe_pipelined_once(probes) {
+            Err(ClientError::Io(_)) => {
+                self.reconnect()?;
+                self.probe_pipelined_once(probes)
+            }
+            other => other,
+        }
     }
 
     /// Executes a batch of IR requests as pipelined frames (split at the

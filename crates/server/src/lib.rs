@@ -27,14 +27,27 @@
 //! connection stays usable. [`ServerHandle::shutdown`] stops accepting,
 //! disconnects every session, and joins all threads.
 //!
+//! Beyond the query IR, sessions answer mask-level *shard probes*
+//! (`b1 ...` / `c1 ...` lines, `entropydb_core::probe`) — the fan-out
+//! primitive of [`RemoteShardedSummary`], the scatter/gather backend that
+//! places each shard of a sharded summary on its own `entropydb-serve`
+//! node and merges wire responses with the same merge layer the local
+//! sharded backend uses (bitwise-identical answers).
+//!
 //! See `crates/server/src/bin/entropydb-serve.rs` for a ready-made daemon
-//! over a persisted summary (monolithic or sharded manifest) and
-//! `examples/repl.rs` for an interactive client.
+//! over a persisted summary (monolithic or sharded manifest),
+//! `crates/server/src/bin/entropydb-cluster.rs` for the shard-per-node
+//! cluster tooling (spawn shard servers, health-probe a manifest, run a
+//! scatter/gather gateway), and `examples/repl.rs` for an interactive
+//! client.
 
 mod client;
+pub mod demo;
 mod protocol;
+mod remote;
 mod server;
 
 pub use client::{Client, ClientError, ClientResult};
 pub use protocol::{MAX_BATCH, MAX_SAMPLE_ROWS};
+pub use remote::{RemoteShard, RemoteShardedSummary};
 pub use server::{serve, ServerHandle};

@@ -2,20 +2,27 @@
 //! wire encoding: command words and the schema block.
 //!
 //! Requests and responses themselves are encoded by
-//! `entropydb_core::plan` (`q1 ...` / `r1 ...` lines); this module adds the
-//! session-level commands (`ping`, `schema`, `batch <n>`, `quit`) and a
-//! multi-line schema block so clients can resolve attribute names and bin
-//! values without access to the base data:
+//! `entropydb_core::plan` (`q1 ...` / `r1 ...` lines) and shard probes by
+//! `entropydb_core::probe` (`b1 ...` / `c1 ...` lines); this module adds
+//! the session-level commands (`ping`, `schema`, `batch <n>`, `quit`) and
+//! a multi-line schema block so clients can resolve attribute names and
+//! bin values without access to the base data:
 //!
 //! ```text
 //! s1 <arity>
 //! attr <index> <domain_size> cat <name>
 //! attr <index> <domain_size> bin <lo> <hi> <name>
+//! n <cardinality>
 //! end
 //! ```
 //!
 //! Attribute names go last on their line (they may contain spaces), the
-//! same convention as the summary text format (`serialize.rs`).
+//! same convention as the summary text format (`serialize.rs`). The `n`
+//! line is the shard-manifest handshake: a scatter/gather gatherer reads
+//! each shard's served cardinality (and schema) before fanning any query
+//! out, verifying the placement manifest against what the node actually
+//! serves. It is optional on decode for compatibility with pre-handshake
+//! servers.
 
 use entropydb_core::error::{ModelError, Result};
 use entropydb_storage::{Attribute, Binner, Schema};
@@ -37,9 +44,10 @@ pub const MAX_SAMPLE_ROWS: usize = 1 << 20;
 /// legitimate request is far smaller (predicates over coded domains).
 pub const MAX_LINE_BYTES: u64 = 1 << 20;
 
-/// Encodes a schema as the multi-line wire block (including the trailing
-/// `end` line, newline-terminated).
-pub fn encode_schema(schema: &Schema) -> String {
+/// Encodes a schema (and the served summary's cardinality — the
+/// shard-manifest handshake) as the multi-line wire block (including the
+/// trailing `end` line, newline-terminated).
+pub fn encode_schema(schema: &Schema, n: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "s1 {}", schema.arity());
     for (i, attr) in schema.attributes().iter().enumerate() {
@@ -60,6 +68,7 @@ pub fn encode_schema(schema: &Schema) -> String {
             }
         }
     }
+    let _ = writeln!(out, "n {n}");
     out.push_str("end\n");
     out
 }
@@ -76,11 +85,12 @@ fn parse_token<T: std::str::FromStr>(token: Option<&str>, what: &str) -> Result<
 
 /// Decodes a schema block: `header` is the `s1 ...` line already read;
 /// `next_line` yields each following line (the caller reads them off the
-/// connection).
+/// connection). Returns the schema plus the served cardinality when the
+/// server sent the handshake `n` line.
 pub fn decode_schema(
     header: &str,
     mut next_line: impl FnMut() -> Result<String>,
-) -> Result<Schema> {
+) -> Result<(Schema, Option<u64>)> {
     let mut toks = header.split_ascii_whitespace();
     if toks.next() != Some("s1") {
         return Err(wire_error(format!("unrecognized schema header {header:?}")));
@@ -117,11 +127,16 @@ pub fn decode_schema(
         };
         attributes.push(attribute);
     }
-    let end = next_line()?;
+    let mut n = None;
+    let mut end = next_line()?;
+    if let Some(rest) = end.trim().strip_prefix("n ") {
+        n = Some(parse_token(Some(rest.trim()), "served cardinality")?);
+        end = next_line()?;
+    }
     if end.trim() != "end" {
         return Err(wire_error(format!("expected end, found {end:?}")));
     }
-    Ok(Schema::new(attributes))
+    Ok((Schema::new(attributes), n))
 }
 
 #[cfg(test)]
@@ -134,10 +149,12 @@ mod tests {
             Attribute::categorical("origin airport", 7).unwrap(),
             Attribute::binned("distance", Binner::new(-2.5, 800.0, 16).unwrap()),
         ]);
-        let block = encode_schema(&schema);
+        let block = encode_schema(&schema, 1234);
         let mut lines = block.lines();
         let header = lines.next().unwrap().to_string();
-        let decoded = decode_schema(&header, || Ok(lines.next().unwrap().to_string())).unwrap();
+        let (decoded, n) =
+            decode_schema(&header, || Ok(lines.next().unwrap().to_string())).unwrap();
+        assert_eq!(n, Some(1234));
         assert_eq!(decoded.arity(), 2);
         assert_eq!(decoded.attr_by_name("origin airport").unwrap().0, 0);
         let b = decoded.attributes()[1]
@@ -166,5 +183,18 @@ mod tests {
         assert!(err("s1 1\nattr 0 4 vec x\nend"));
         assert!(err("s1 1\nattr 0 4 cat x"));
         assert!(err("s1 2\nattr 0 4 cat x\nend"));
+        assert!(err("s1 1\nattr 0 4 cat x\nn twelve\nend"));
+    }
+
+    /// Pre-handshake blocks (no `n` line) still decode — the handshake is
+    /// additive.
+    #[test]
+    fn schema_block_without_cardinality_still_decodes() {
+        let text = "s1 1\nattr 0 4 cat x\nend";
+        let mut lines = text.lines();
+        let header = lines.next().unwrap().to_string();
+        let (schema, n) = decode_schema(&header, || Ok(lines.next().unwrap().to_string())).unwrap();
+        assert_eq!(schema.arity(), 1);
+        assert_eq!(n, None);
     }
 }

@@ -1,0 +1,545 @@
+//! Shard-per-node placement: [`RemoteShardedSummary`], a
+//! [`SummaryBackend`] whose per-shard fan-out goes over the wire.
+//!
+//! A [`ShardedSummary`](entropydb_core::sharded::ShardedSummary) fans
+//! queries out across in-process shard models through the
+//! shard-source-agnostic merge layer (`entropydb_core::scatter`).
+//! [`RemoteShardedSummary`] keeps the *merge side of that layer unchanged*
+//! and swaps the probe side: each shard is an `entropydb-serve` instance
+//! reached over TCP, addressed by a cluster manifest
+//! ([`ClusterShard`]), and every per-shard primitive becomes a mask-level
+//! probe line (`entropydb_core::probe`). Because the gatherer's merge
+//! arithmetic, stratified sampling streams, and candidate re-probe logic
+//! are the very same code paths the local backend runs — and because the
+//! probe wire encoding round-trips floats bit-exactly — remote answers are
+//! **bitwise identical** to a local `ShardedSummary` over the same shard
+//! models, on every `QueryRequest` variant.
+//!
+//! Connections are pooled per shard and reused across queries; a pool
+//! grows to the gatherer's probe concurrency and then stays fixed. On a
+//! broken transport the underlying [`Client`] reconnects and retries once;
+//! if the shard stays unreachable the failure surfaces as
+//! [`ModelError::Remote`] **naming the degraded shard** (index and
+//! address), kept per-request by the engine's batch path so one dead node
+//! cannot poison a pipelined batch.
+//!
+//! Connecting performs the shard-manifest handshake: each node's served
+//! schema and cardinality (the `n` line of the schema block) are fetched
+//! and verified against the manifest before any query fans out, so a node
+//! serving the wrong blob is rejected up front.
+
+use crate::client::{Client, ClientError};
+use entropydb_core::assignment::Mask;
+use entropydb_core::engine::SummaryBackend;
+use entropydb_core::error::{ModelError, Result};
+use entropydb_core::probe::{ProbeRequest, ProbeResponse};
+use entropydb_core::query::Estimate;
+use entropydb_core::scatter::{self, ShardProbe};
+use entropydb_core::serialize::ClusterShard;
+use entropydb_storage::{AttrId, Schema};
+use std::sync::Mutex;
+
+/// One remote shard: the manifest entry plus a pool of reusable probe
+/// connections to its `entropydb-serve` instance.
+#[derive(Debug)]
+pub struct RemoteShard {
+    index: usize,
+    addr: String,
+    n: u64,
+    conns: Mutex<Vec<Client>>,
+}
+
+impl RemoteShard {
+    /// Shard index within the cluster.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard server's address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Shard cardinality `n_s` (verified during the handshake).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of idle pooled connections (introspection for tests).
+    pub fn idle_conns(&self) -> usize {
+        self.conns.lock().expect("conn pool").len()
+    }
+
+    /// Decorates any failure with the degraded shard's identity.
+    fn named(&self, what: impl std::fmt::Display) -> ModelError {
+        ModelError::Remote(format!("shard {} ({}): {what}", self.index, self.addr))
+    }
+
+    fn named_client_err(&self, e: ClientError) -> ModelError {
+        match e {
+            ClientError::Model(ModelError::Remote(msg)) => self.named(msg),
+            ClientError::Model(other) => self.named(other),
+            ClientError::Io(io) => self.named(format!("transport failure: {io}")),
+        }
+    }
+
+    /// Checks a connection out of the pool, dialing a fresh one when the
+    /// pool is empty (first use, or probe concurrency above the current
+    /// pool size).
+    fn checkout(&self) -> Result<Client> {
+        if let Some(client) = self.conns.lock().expect("conn pool").pop() {
+            return Ok(client);
+        }
+        Client::connect(self.addr.as_str()).map_err(|e| self.named(format!("cannot connect: {e}")))
+    }
+
+    fn put_back(&self, client: Client) {
+        self.conns.lock().expect("conn pool").push(client);
+    }
+
+    /// Runs `f` against a pooled connection. The connection returns to the
+    /// pool only on success — a connection involved in any failure is
+    /// dropped, so the pool never caches a broken transport.
+    fn with_conn<R>(&self, f: impl FnOnce(&mut Client) -> ClientResultAlias<R>) -> Result<R> {
+        let mut client = self.checkout()?;
+        match f(&mut client) {
+            Ok(out) => {
+                self.put_back(client);
+                Ok(out)
+            }
+            Err(e) => Err(self.named_client_err(e)),
+        }
+    }
+
+    /// One probe line → one response line, with shape checking of the
+    /// response variant.
+    fn call(&self, probe: &ProbeRequest) -> Result<ProbeResponse> {
+        self.with_conn(|client| client.probe(probe))
+    }
+
+    fn shape_error(&self, got: &ProbeResponse) -> ModelError {
+        self.named(format!(
+            "unexpected probe response shape: {}",
+            got.encode()
+                .split_whitespace()
+                .take(2)
+                .collect::<Vec<_>>()
+                .join(" ")
+        ))
+    }
+}
+
+type ClientResultAlias<T> = std::result::Result<T, ClientError>;
+
+/// Candidate values per `CountRestricted` chunk (each value costs ≤ 11
+/// bytes on the wire, plus one base mask per chunk) — keeps every probe
+/// line well under the serving layer's `MAX_LINE_BYTES` (1 MiB).
+const PROBE_VALUE_CHUNK: usize = 8192;
+
+/// Sample indices per `SampleAt` chunk: bounds the request line (≤ 21
+/// bytes per index) against the line cap.
+const PROBE_INDEX_CHUNK: usize = 8192;
+
+impl ShardProbe for RemoteShard {
+    /// Probe state lives in the per-shard connection pool, not in a
+    /// per-call scratch.
+    type Scratch = ();
+
+    fn shard_n(&self) -> u64 {
+        self.n
+    }
+
+    fn make_probe_scratch(&self) {}
+
+    fn probe_probability(&self, mask: &Mask, _s: &mut ()) -> Result<f64> {
+        match self.call(&ProbeRequest::Probability { mask: mask.clone() })? {
+            ProbeResponse::Probability(p) => Ok(p),
+            other => Err(self.shape_error(&other)),
+        }
+    }
+
+    fn probe_count(&self, mask: &Mask, _s: &mut ()) -> Result<Estimate> {
+        match self.call(&ProbeRequest::Count { mask: mask.clone() })? {
+            ProbeResponse::Estimate(e) => Ok(e),
+            other => Err(self.shape_error(&other)),
+        }
+    }
+
+    /// The compact top-k re-probe: one base mask + the candidate list per
+    /// pipelined chunk — wire cost `O(mask + candidates)`, so a large
+    /// candidate union cannot outgrow the serving layer's line cap.
+    fn probe_count_restricted(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        values: &[u32],
+        _n_attr: usize,
+        _s: &mut (),
+    ) -> Result<Vec<Estimate>> {
+        if values.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probes: Vec<ProbeRequest> = values
+            .chunks(PROBE_VALUE_CHUNK)
+            .map(|chunk| ProbeRequest::CountRestricted {
+                mask: mask.clone(),
+                attr,
+                values: chunk.to_vec(),
+            })
+            .collect();
+        let responses = self.with_conn(|client| client.probe_pipelined(&probes))?;
+        let mut out = Vec::with_capacity(values.len());
+        for resp in responses {
+            match resp {
+                ProbeResponse::Estimates(list) => out.extend(list),
+                other => return Err(self.shape_error(&other)),
+            }
+        }
+        if out.len() != values.len() {
+            return Err(self.named(format!(
+                "answered {} estimates for {} candidates",
+                out.len(),
+                values.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn probe_sum(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        _s: &mut (),
+    ) -> Result<Estimate> {
+        let probe = ProbeRequest::Sum {
+            mask: base.clone(),
+            attr,
+            values: values.to_vec(),
+        };
+        match self.call(&probe)? {
+            ProbeResponse::Estimate(e) => Ok(e),
+            other => Err(self.shape_error(&other)),
+        }
+    }
+
+    fn probe_group_by(&self, mask: &Mask, attr: AttrId, _s: &mut ()) -> Result<Vec<Estimate>> {
+        let probe = ProbeRequest::GroupBy {
+            mask: mask.clone(),
+            attr,
+        };
+        match self.call(&probe)? {
+            ProbeResponse::Groups(groups) => Ok(groups),
+            other => Err(self.shape_error(&other)),
+        }
+    }
+
+    fn probe_top_k(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        _s: &mut (),
+    ) -> Result<Vec<(u32, Estimate)>> {
+        let probe = ProbeRequest::TopK {
+            mask: mask.clone(),
+            attr,
+            k,
+        };
+        match self.call(&probe)? {
+            ProbeResponse::Ranked(ranked) => Ok(ranked),
+            other => Err(self.shape_error(&other)),
+        }
+    }
+
+    /// One pipelined wire round for this shard's whole stratum, chunked so
+    /// neither an index line nor a row-response line outgrows the line cap.
+    /// A zero-quota stratum returns without touching the connection pool —
+    /// a shard owed no rows cannot fail (or slow down) the draw.
+    fn probe_sample_at(
+        &self,
+        k: usize,
+        seed: u64,
+        indices: &[u64],
+        _s: &mut (),
+    ) -> Result<Vec<Vec<u32>>> {
+        if indices.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probes: Vec<ProbeRequest> = indices
+            .chunks(PROBE_INDEX_CHUNK)
+            .map(|chunk| ProbeRequest::SampleAt {
+                k,
+                seed,
+                indices: chunk.to_vec(),
+            })
+            .collect();
+        let responses = self.with_conn(|client| client.probe_pipelined(&probes))?;
+        let mut out = Vec::with_capacity(indices.len());
+        for resp in responses {
+            match resp {
+                ProbeResponse::Rows { rows, .. } => out.extend(rows),
+                other => return Err(self.shape_error(&other)),
+            }
+        }
+        if out.len() != indices.len() {
+            return Err(self.named(format!(
+                "answered {} rows for {} requested tuples",
+                out.len(),
+                indices.len()
+            )));
+        }
+        Ok(out)
+    }
+}
+
+/// A sharded summary whose shards live on other nodes: the remote
+/// scatter/gather backend. See the module docs for the placement model and
+/// the bitwise-parity guarantee.
+#[derive(Debug)]
+pub struct RemoteShardedSummary {
+    schema: Schema,
+    domain_sizes: Vec<usize>,
+    n: u64,
+    /// `n_s / n` per shard — computed with the same arithmetic as the
+    /// local backend so mixture probabilities match bit for bit.
+    weights: Vec<f64>,
+    shards: Vec<RemoteShard>,
+}
+
+impl RemoteShardedSummary {
+    /// Connects to every shard of a cluster manifest and performs the
+    /// shard-manifest handshake: each node must answer `ping`, serve a
+    /// schema identical to shard 0's, and report the cardinality the
+    /// manifest declares for it. Any violation fails the connect with a
+    /// [`ModelError::Remote`] naming the offending shard.
+    pub fn connect(manifest: &[ClusterShard]) -> Result<Self> {
+        if manifest.is_empty() {
+            return Err(ModelError::Remote(
+                "cluster manifest has no shards".to_string(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(manifest.len());
+        let mut schema: Option<Schema> = None;
+        for entry in manifest {
+            let shard = RemoteShard {
+                index: entry.index,
+                addr: entry.addr.clone(),
+                n: entry.n,
+                conns: Mutex::new(Vec::new()),
+            };
+            let mut client = shard.checkout()?;
+            client.ping().map_err(|e| shard.named_client_err(e))?;
+            let served_schema = client
+                .schema()
+                .map_err(|e| shard.named_client_err(e))?
+                .clone();
+            let served_n = client
+                .served_n()
+                .map_err(|e| shard.named_client_err(e))?
+                .ok_or_else(|| {
+                    shard.named("server did not report its cardinality (pre-handshake build?)")
+                })?;
+            if served_n != entry.n {
+                return Err(shard.named(format!(
+                    "serves n = {served_n} but the manifest declares n = {}",
+                    entry.n
+                )));
+            }
+            match &schema {
+                None => schema = Some(served_schema),
+                Some(first) => {
+                    if first != &served_schema {
+                        return Err(
+                            shard.named("served schema differs from shard 0's (wrong blob?)")
+                        );
+                    }
+                }
+            }
+            // The handshake connection seeds the shard's pool.
+            shard.put_back(client);
+            shards.push(shard);
+        }
+        let schema = schema.expect("at least one shard");
+        let n: u64 = shards.iter().map(RemoteShard::n).sum();
+        if n == 0 {
+            return Err(ModelError::Remote(
+                "cluster serves an empty relation".to_string(),
+            ));
+        }
+        let weights = shards.iter().map(|s| s.n() as f64 / n as f64).collect();
+        let domain_sizes = schema.domain_sizes();
+        Ok(RemoteShardedSummary {
+            schema,
+            domain_sizes,
+            n,
+            weights,
+            shards,
+        })
+    }
+
+    /// Total relation cardinality `n` (sum of shard cardinalities).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The served relation's schema (identical on every shard, verified
+    /// during the handshake).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The remote shards, in shard order.
+    pub fn shards(&self) -> &[RemoteShard] {
+        &self.shards
+    }
+
+    /// Number of shards in the cluster.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_ns(&self) -> Vec<u64> {
+        self.shards.iter().map(RemoteShard::n).collect()
+    }
+}
+
+impl SummaryBackend for RemoteShardedSummary {
+    /// One (empty) probe scratch per shard — remote probe state is the
+    /// connection pool, but the scatter fan-out still wants a slot each.
+    type Scratch = Vec<()>;
+    /// The stratified assignment plus lazily fetched per-shard strata —
+    /// each contributing shard costs one pipelined round, on first touch.
+    type SamplePlan = RemoteSamplePlan;
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
+    fn make_scratch(&self) -> Vec<()> {
+        vec![(); self.shards.len()]
+    }
+
+    fn probability_under_mask(&self, mask: &Mask, scratch: &mut Vec<()>) -> Result<f64> {
+        scatter::mixture_probability(&self.shards, &self.weights, mask, scratch)
+    }
+
+    fn count_under_mask(&self, mask: &Mask, scratch: &mut Vec<()>) -> Result<Estimate> {
+        scatter::merged_count(&self.shards, mask, scratch)
+    }
+
+    fn sum_under_mask(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        scratch: &mut Vec<()>,
+    ) -> Result<Estimate> {
+        scatter::merged_sum(&self.shards, base, attr, values, scratch)
+    }
+
+    fn group_by_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        scratch: &mut Vec<()>,
+    ) -> Result<Vec<Estimate>> {
+        scatter::merged_group_by(&self.shards, mask, attr, scratch)
+    }
+
+    fn top_k_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        scratch: &mut Vec<()>,
+    ) -> Result<Vec<(u32, Estimate)>> {
+        let n_attr = self.domain_sizes[attr.0];
+        scatter::merged_top_k(&self.shards, mask, attr, k, n_attr, scratch)
+    }
+
+    /// Computes the stratified shard assignment (the same largest-remainder
+    /// plan the local backend computes) without touching the wire: strata
+    /// are fetched lazily, on first touch, by [`Self::sample_tuple`]. A
+    /// full `sample_rows` draw still costs one pipelined round per
+    /// contributing shard, while a sparse `SampleAt` probe served by a
+    /// gateway fetches only the strata it actually reads — a few-byte probe
+    /// line can no longer demand the whole `k`-row draw.
+    fn plan_samples(&self, k: usize, seed: u64) -> Result<RemoteSamplePlan> {
+        let assignment = scatter::sample_assignment(&self.shard_ns(), k);
+        let index_lists = scatter::shard_index_lists(&assignment, self.shards.len());
+        let strata = (0..self.shards.len()).map(|_| Mutex::new(None)).collect();
+        Ok(RemoteSamplePlan {
+            k,
+            seed,
+            assignment,
+            index_lists,
+            strata,
+        })
+    }
+
+    /// Copies tuple `index` out of its shard's stratum, fetching the
+    /// stratum with one pipelined `SampleAt` probe on first touch. Tuple
+    /// streams are keyed on `(seed, global index)` on the shard side, so
+    /// the fetched rows are bitwise the rows the local backend would draw.
+    fn sample_tuple(
+        &self,
+        plan: &RemoteSamplePlan,
+        index: usize,
+        _seed: u64,
+        row: &mut [u32],
+        _scratch: &mut Vec<()>,
+    ) -> Result<()> {
+        let shard_idx = *plan
+            .assignment
+            .get(index)
+            .ok_or(ModelError::ShapeMismatch)? as usize;
+        let indices = &plan.index_lists[shard_idx];
+        // Index lists are built in ascending global order, so the row's
+        // position within the stratum is found by binary search.
+        let pos = indices
+            .binary_search(&(index as u64))
+            .map_err(|_| ModelError::ShapeMismatch)?;
+        let mut stratum = plan.strata[shard_idx].lock().expect("sample stratum lock");
+        if stratum.is_none() {
+            let rows =
+                self.shards[shard_idx].probe_sample_at(plan.k, plan.seed, indices, &mut ())?;
+            for fetched in &rows {
+                if fetched.len() != row.len() {
+                    return Err(self.shards[shard_idx].named(format!(
+                        "answered a row of arity {} (schema arity {})",
+                        fetched.len(),
+                        row.len()
+                    )));
+                }
+            }
+            *stratum = Some(rows);
+        }
+        row.copy_from_slice(&stratum.as_ref().expect("stratum fetched")[pos]);
+        Ok(())
+    }
+}
+
+/// The per-draw sample plan of the remote backend: the stratified shard
+/// assignment plus lazily fetched per-shard strata (see
+/// [`SummaryBackend::plan_samples`] on [`RemoteShardedSummary`]).
+#[derive(Debug)]
+pub struct RemoteSamplePlan {
+    k: usize,
+    seed: u64,
+    /// Shard per global tuple index.
+    assignment: Vec<u32>,
+    /// Ascending global indices per shard; positions align with the
+    /// fetched stratum rows.
+    index_lists: Vec<Vec<u64>>,
+    /// Fetched rows per shard, populated on first touch.
+    strata: Vec<Mutex<Option<Vec<Vec<u32>>>>>,
+}

@@ -5,12 +5,21 @@ use crate::protocol::{encode_schema, MAX_BATCH, MAX_LINE_BYTES, MAX_SAMPLE_ROWS}
 use entropydb_core::engine::{QueryEngine, SummaryBackend};
 use entropydb_core::error::{ModelError, Result};
 use entropydb_core::plan::{QueryRequest, QueryResponse};
+use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Locks a mutex, recovering the inner value if a session thread panicked
+/// while holding it. The shutdown path runs from `Drop` (possibly during a
+/// panic unwind); propagating lock poison there would turn one panic into
+/// a process abort and leak every still-registered session.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Shared session bookkeeping: live connection handles (for shutdown) and
 /// thread handles (for joining). Both are bounded by the number of *live*
@@ -18,6 +27,14 @@ use std::thread::JoinHandle;
 /// accept loop reaps finished session threads.
 struct Shared {
     stop: AtomicBool,
+    /// A clone of the listening socket, used by shutdown to switch the
+    /// accept loop to non-blocking. The wake-up connection alone is not
+    /// enough: if that connect fails (backlog full, transient network
+    /// refusal), a purely blocking accept would never observe `stop` and
+    /// `shutdown` would hang — and any connection accepted in that window
+    /// would leak its session thread past the join. Non-blocking mode makes
+    /// the accept loop re-check `stop` on its own.
+    listener: TcpListener,
     next_conn: AtomicU64,
     conns: Mutex<HashMap<u64, TcpStream>>,
     sessions: Mutex<Vec<JoinHandle<()>>>,
@@ -48,6 +65,7 @@ where
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
+        listener: listener.try_clone()?,
         next_conn: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
         sessions: Mutex::new(Vec::new()),
@@ -87,23 +105,28 @@ impl ServerHandle {
             return;
         };
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
+        // Two independent wake-ups for the blocking accept: switch the
+        // listener to non-blocking (so any *future* accept attempt returns
+        // immediately and re-checks `stop`) and poke it with a throwaway
+        // connection (to unblock an accept already in progress). Relying on
+        // the connect alone races: if it fails, the accept loop could block
+        // indefinitely, and a session it spawned meanwhile would never be
+        // joined below.
+        let _ = self.shared.listener.set_nonblocking(true);
         let _ = TcpStream::connect(self.addr);
         let _ = accept.join();
-        // Unblock session readers, then join them.
-        for conn in self.shared.conns.lock().expect("conns lock").values() {
+        // The accept thread has exited, so every session that will ever
+        // exist is registered in `conns`/`sessions` — a connection accepted
+        // after shutdown began cannot slip past the joins below. Unblock
+        // session readers, then join them.
+        for conn in lock(&self.shared.conns).values() {
             let _ = conn.shutdown(Shutdown::Both);
         }
-        let sessions: Vec<_> = self
-            .shared
-            .sessions
-            .lock()
-            .expect("sessions lock")
-            .drain(..)
-            .collect();
+        let sessions: Vec<_> = lock(&self.shared.sessions).drain(..).collect();
         for session in sessions {
             let _ = session.join();
         }
+        debug_assert!(lock(&self.shared.sessions).is_empty());
     }
 }
 
@@ -126,11 +149,35 @@ fn accept_loop<B>(listener: TcpListener, engine: Arc<QueryEngine<B>>, shared: Ar
 where
     B: SummaryBackend + 'static,
 {
-    for conn in listener.incoming() {
+    loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Shutdown switched the listener to non-blocking; re-check
+                // `stop` instead of blocking forever (the wake-up connect
+                // may have failed). The sleep only ever runs during the
+                // shutdown window or after a transient accept error.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE under fd
+                // exhaustion): back off briefly instead of spinning a core
+                // while the condition persists.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+        };
+        // A connection accepted after shutdown began is closed here, on the
+        // accept thread, instead of spawning a session that nothing would
+        // join.
+        if shared.stop.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
         let _ = stream.set_nodelay(true);
         let Ok(registered) = stream.try_clone() else {
             continue;
@@ -138,7 +185,7 @@ where
         // Reap finished session threads so the handle list stays bounded
         // by the number of live connections.
         {
-            let mut sessions = shared.sessions.lock().expect("sessions lock");
+            let mut sessions = lock(&shared.sessions);
             let mut i = 0;
             while i < sessions.len() {
                 if sessions[i].is_finished() {
@@ -149,25 +196,17 @@ where
             }
         }
         let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-        shared
-            .conns
-            .lock()
-            .expect("conns lock")
-            .insert(conn_id, registered);
+        lock(&shared.conns).insert(conn_id, registered);
         shared.active.fetch_add(1, Ordering::SeqCst);
         let engine = Arc::clone(&engine);
         let shared_for_session = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
             session(&engine, stream);
             // Deregister (closing the cloned fd) before going idle.
-            shared_for_session
-                .conns
-                .lock()
-                .expect("conns lock")
-                .remove(&conn_id);
+            lock(&shared_for_session.conns).remove(&conn_id);
             shared_for_session.active.fetch_sub(1, Ordering::SeqCst);
         });
-        shared.sessions.lock().expect("sessions lock").push(handle);
+        lock(&shared.sessions).push(handle);
     }
 }
 
@@ -210,7 +249,9 @@ fn session<B: SummaryBackend>(engine: &QueryEngine<B>, stream: TcpStream) {
         } else if command == "ping" {
             "pong\n".to_string()
         } else if command == "schema" {
-            encode_schema(engine.schema())
+            encode_schema(engine.schema(), engine.n())
+        } else if command.starts_with("b1") {
+            respond_probe(engine, command)
         } else if let Some(count) = command.strip_prefix("batch") {
             match handle_batch(engine, &mut reader, count.trim()) {
                 Ok(reply) => reply,
@@ -245,6 +286,41 @@ fn respond<B: SummaryBackend>(engine: &QueryEngine<B>, command: &str) -> String 
         .and_then(admit)
         .and_then(|req| engine.execute(&req));
     encode_outcome(&outcome)
+}
+
+/// Admission check for shard probes, mirroring [`admit`]: the shapes whose
+/// execution cost is decoupled from their wire length are bounded by the
+/// same serving caps.
+fn admit_probe(req: ProbeRequest) -> Result<ProbeRequest> {
+    match &req {
+        ProbeRequest::SampleAt { k, indices, .. }
+            if *k > MAX_SAMPLE_ROWS || indices.len() > MAX_SAMPLE_ROWS =>
+        {
+            Err(ModelError::Remote(format!(
+                "sample probe size exceeds the served maximum {MAX_SAMPLE_ROWS}"
+            )))
+        }
+        ProbeRequest::CountRestricted { values, .. } if values.len() > MAX_BATCH => {
+            Err(ModelError::Remote(format!(
+                "candidate probe batch exceeds the served maximum {MAX_BATCH}"
+            )))
+        }
+        _ => Ok(req),
+    }
+}
+
+/// Decodes and executes one shard-probe line (`b1 ...`), answering on the
+/// probe wire (`c1 ...`, errors on the probe error channel).
+fn respond_probe<B: SummaryBackend>(engine: &QueryEngine<B>, command: &str) -> String {
+    let outcome = ProbeRequest::decode(command)
+        .and_then(admit_probe)
+        .and_then(|req| engine.probe(&req));
+    let mut line = match outcome {
+        Ok(resp) => resp.encode(),
+        Err(e) => ProbeResponse::encode_error(&e),
+    };
+    line.push('\n');
+    line
 }
 
 fn encode_outcome(outcome: &Result<QueryResponse>) -> String {

@@ -1,0 +1,105 @@
+//! Shared fixtures for the scatter/gather integration suites: a
+//! deterministic relation, shard-server spawning, and the bitwise parity
+//! harness comparing a remote cluster against the local sharded backend.
+
+// Each test target compiles its own copy of this module and uses a
+// different subset of the fixtures.
+#![allow(dead_code)]
+
+use entropydb_core::engine::{QueryEngine, SummaryBackend};
+use entropydb_core::plan::QueryRequest;
+use entropydb_core::serialize::ClusterShard;
+use entropydb_core::sharded::ShardedSummary;
+use entropydb_server::{demo, serve, ServerHandle};
+use entropydb_storage::{AttrId, Predicate};
+
+pub fn a(i: usize) -> AttrId {
+    AttrId(i)
+}
+
+/// The deterministic demo relation — the same generator `entropydb-cluster
+/// make-demo` ships, so the fixtures and the walkthrough cannot drift.
+pub fn sharded(num_shards: usize) -> ShardedSummary {
+    demo::demo_summary(240, num_shards).unwrap()
+}
+
+/// Serves every shard of `summary` on its own ephemeral localhost port
+/// (one in-process server per shard — the same protocol surface as N
+/// `entropydb-serve` processes) and returns the handles plus the cluster
+/// manifest pointing at them.
+pub fn serve_shards(summary: &ShardedSummary) -> (Vec<ServerHandle>, Vec<ClusterShard>) {
+    let mut handles = Vec::new();
+    let mut manifest = Vec::new();
+    for (i, shard) in summary.shards().iter().enumerate() {
+        let handle = serve(QueryEngine::new(shard.clone()), "127.0.0.1:0").unwrap();
+        manifest.push(ClusterShard {
+            index: i,
+            n: shard.n(),
+            addr: handle.local_addr().to_string(),
+        });
+        handles.push(handle);
+    }
+    (handles, manifest)
+}
+
+/// Every `QueryRequest` variant, plus edge shapes (empty predicate,
+/// explicit never, multi-clause predicates, a k larger than the domain).
+pub fn requests() -> Vec<QueryRequest> {
+    let pred = Predicate::new().eq(a(0), 1);
+    let range = Predicate::new()
+        .between(a(2), 1, 5)
+        .in_set(a(1), vec![0, 2, 4]);
+    let never = Predicate::new().in_set(a(1), vec![]);
+    vec![
+        QueryRequest::probability(pred.clone()),
+        QueryRequest::probability(Predicate::all()),
+        QueryRequest::count(pred.clone()),
+        QueryRequest::count(range.clone()),
+        QueryRequest::count(never.clone()),
+        QueryRequest::sum(pred.clone(), a(2)),
+        QueryRequest::sum(range.clone(), a(2)),
+        QueryRequest::avg(pred.clone(), a(2)),
+        QueryRequest::avg(never, a(2)),
+        QueryRequest::group_by(pred.clone(), a(1)),
+        QueryRequest::group_by(Predicate::all(), a(2)),
+        QueryRequest::group_by2(range, a(0), a(1)),
+        QueryRequest::top_k(Predicate::all(), a(1), 2),
+        QueryRequest::top_k(pred, a(2), 3),
+        QueryRequest::top_k(Predicate::all(), a(0), 99),
+        QueryRequest::sample_rows(30, 7),
+        QueryRequest::sample_rows(13, 12345),
+    ]
+}
+
+/// Asserts that `remote` answers every request bitwise-identically to
+/// `local`: responses are compared through their wire encodings, which use
+/// shortest-round-trip float formatting — equal strings ⇔ equal bits.
+pub fn assert_bitwise_parity<L, R>(local: &QueryEngine<L>, remote: &QueryEngine<R>)
+where
+    L: SummaryBackend,
+    R: SummaryBackend,
+{
+    for req in requests() {
+        let expected = local.execute(&req).unwrap();
+        let got = remote.execute(&req).unwrap();
+        assert_eq!(
+            got.encode(),
+            expected.encode(),
+            "remote response differs for {}",
+            req.encode()
+        );
+    }
+    // The batch path must agree with the singles, element for element.
+    let reqs = requests();
+    let batched = remote.execute_batch(&reqs);
+    assert_eq!(batched.len(), reqs.len());
+    for (req, outcome) in reqs.iter().zip(batched) {
+        let expected = local.execute(req).unwrap();
+        assert_eq!(
+            outcome.unwrap().encode(),
+            expected.encode(),
+            "batched remote response differs for {}",
+            req.encode()
+        );
+    }
+}

@@ -248,6 +248,57 @@ fn shutdown_joins_sessions_and_closes_listener() {
     }
 }
 
+/// Loop-spawn stress for the shutdown path: many rounds of serve → racing
+/// client connects → shutdown. A connection accepted after shutdown begins
+/// must never leak its session thread: `shutdown` returns only after every
+/// spawned session is joined, so the process thread count cannot grow
+/// across rounds (checked via /proc on Linux) and no round may hang.
+#[test]
+fn shutdown_loop_spawn_stress_leaks_no_sessions() {
+    fn thread_count() -> Option<usize> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+    }
+    let model = summary();
+    let mut baseline: Option<usize> = None;
+    for round in 0..24u64 {
+        let handle = serve(QueryEngine::new(model.clone()), "127.0.0.1:0").unwrap();
+        let addr = handle.local_addr();
+        let spawners: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        // Connects race the shutdown below; failures (refused,
+                        // reset, EOF) are the expected outcome mid-shutdown.
+                        if let Ok(mut c) = Client::connect(addr) {
+                            let _ = c.ping();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Vary the interleaving so shutdown lands before, during, and
+        // after the connect bursts across rounds.
+        std::thread::sleep(std::time::Duration::from_millis(round % 3));
+        handle.shutdown();
+        for s in spawners {
+            s.join().unwrap();
+        }
+        if let Some(n) = thread_count() {
+            // Allow slack for lazily spawned runtime threads, but any
+            // leaked session thread per round would grow this monotonically.
+            let b = *baseline.get_or_insert(n);
+            assert!(
+                n <= b + 4,
+                "thread count grew from {b} to {n} by round {round}: leaked sessions"
+            );
+        }
+    }
+}
+
 /// Unknown command words answer on the error channel (raw-socket check).
 #[test]
 fn unknown_commands_answer_errors() {

@@ -23,7 +23,7 @@ pub use entropydb_storage as storage;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use entropydb_core::prelude::*;
-    pub use entropydb_server::{serve, Client, ServerHandle};
+    pub use entropydb_server::{serve, Client, RemoteShardedSummary, ServerHandle};
     pub use entropydb_storage::{
         parse_predicate, parse_statement, AttrId, AttrPredicate, Attribute, Binner, Partitioning,
         Predicate, Schema, Statement, Table,
