@@ -54,6 +54,92 @@ impl Report {
     }
 }
 
+/// Nearest-rank percentile of `samples` (unsorted, in any order): the
+/// smallest sample with at least `q`% of the distribution at or below it.
+/// With few samples the tail percentiles degrade toward the max — still
+/// the honest estimate for latency reporting.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A fixed-bucket latency histogram with p50/p99 markers — experiment
+/// output reports the distribution, not just a point estimate.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    p50: f64,
+    p99: f64,
+}
+
+impl Histogram {
+    /// Buckets `samples` into `buckets` equal-width bins spanning their
+    /// observed range.
+    pub fn of(samples: &[f64], buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; buckets];
+        if samples.is_empty() {
+            return Histogram {
+                lo: 0.0,
+                hi: 0.0,
+                counts,
+                p50: 0.0,
+                p99: 0.0,
+            };
+        }
+        let width = ((hi - lo) / buckets as f64).max(f64::MIN_POSITIVE);
+        for &x in samples {
+            let b = (((x - lo) / width) as usize).min(buckets - 1);
+            counts[b] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            p50: percentile(samples, 50.0),
+            p99: percentile(samples, 99.0),
+        }
+    }
+
+    /// 50th-percentile sample.
+    pub fn p50(&self) -> f64 {
+        self.p50
+    }
+
+    /// 99th-percentile sample.
+    pub fn p99(&self) -> f64 {
+        self.p99
+    }
+
+    /// Renders the histogram as an aligned bar chart with the percentile
+    /// summary on the title line.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== {title} (p50 {:.0}, p99 {:.0}) ==",
+            self.p50, self.p99
+        );
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            let bucket_lo = self.lo + width * i as f64;
+            let bar = "#".repeat(n * 40 / max);
+            let _ = writeln!(out, "{bucket_lo:>14.0} {n:>6} {bar}");
+        }
+        out
+    }
+}
+
 /// Formats a float with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -108,6 +194,44 @@ mod tests {
         assert_eq!(f3s(-0.5), "-0.500");
         assert_eq!(f3s(0.5), "+0.500");
         assert_eq!(ms(0.0015), "1.50ms");
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        // Unsorted input; nearest-rank on n=100 picks the exact rank.
+        let mut samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        samples.reverse();
+        assert_eq!(percentile(&samples, 50.0), 50.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        // Tail percentiles degrade to the max on tiny sample sets.
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[9.0, 3.0], 99.0), 9.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let h = Histogram::of(&samples, 4);
+        assert_eq!(h.counts, vec![25, 25, 25, 25]);
+        assert_eq!(h.p50(), 50.0);
+        assert_eq!(h.p99(), 99.0);
+        let text = h.render("latency ns");
+        assert!(text.contains("latency ns"), "{text}");
+        assert!(text.contains("p50 50"), "{text}");
+        assert!(text.contains("p99 99"), "{text}");
+        assert!(text.contains('#'), "{text}");
+
+        // A constant distribution lands in one bucket, no div-by-zero.
+        let flat = Histogram::of(&[5.0; 8], 4);
+        assert_eq!(flat.counts.iter().sum::<usize>(), 8);
+        assert_eq!(flat.p99(), 5.0);
+
+        // Empty input renders without panicking.
+        let empty = Histogram::of(&[], 4);
+        assert_eq!(empty.p50(), 0.0);
+        let _ = empty.render("empty");
     }
 
     #[test]

@@ -132,6 +132,40 @@ pub trait SummaryBackend: Send + Sync {
     /// `SELECT COUNT(*)` estimate (expectation + variance) under the mask.
     fn count_under_mask(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<Estimate>;
 
+    /// Batched form of [`SummaryBackend::probability_under_mask`]: one
+    /// probability per mask. The default is the sequential per-mask loop;
+    /// backends with a fused multi-mask kernel
+    /// ([`MaxEntSummary`](crate::model::MaxEntSummary) and the scatter/
+    /// gather backends above it) override this to amortize one model
+    /// traversal across the whole batch. Overrides must stay
+    /// **bitwise-identical** to the loop — the repo's standing determinism
+    /// guarantee extends to fused paths.
+    fn probabilities_under_masks(
+        &self,
+        masks: &[Mask],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<f64>> {
+        masks
+            .iter()
+            .map(|mask| self.probability_under_mask(mask, scratch))
+            .collect()
+    }
+
+    /// Batched form of [`SummaryBackend::count_under_mask`]: one COUNT
+    /// estimate per mask, same contract (and the same bitwise-identity
+    /// requirement on overrides) as
+    /// [`SummaryBackend::probabilities_under_masks`].
+    fn counts_under_masks(
+        &self,
+        masks: &[Mask],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Estimate>> {
+        masks
+            .iter()
+            .map(|mask| self.count_under_mask(mask, scratch))
+            .collect()
+    }
+
     /// `SELECT SUM(values[code(attr)])` estimate under the `base` COUNT
     /// mask. `values` holds the per-code numeric weight of `attr` (bucket
     /// midpoints for binned attributes, the code itself for categorical
@@ -394,14 +428,83 @@ pub(crate) mod paths {
         }
     }
 
-    /// Executes a batch of IR requests across the worker pool, keeping
-    /// per-request errors in place.
+    /// Executes a batch of IR requests, keeping per-request errors in place.
+    ///
+    /// Mask-level requests ([`QueryRequest::Probability`] and
+    /// [`QueryRequest::Count`]) are partitioned out and ride the backend's
+    /// fused multi-mask primitives
+    /// ([`SummaryBackend::probabilities_under_masks`] /
+    /// [`SummaryBackend::counts_under_masks`]), amortizing one model
+    /// traversal across the whole batch; their predicate-validation errors
+    /// stay in the failing request's slot. All other request kinds fan out
+    /// per-request across the worker pool as before. If a batched call
+    /// itself fails, the affected requests fall back to the per-request
+    /// path so error attribution stays per-request.
     pub fn execute_batch<B: SummaryBackend>(
         backend: &B,
         pool: &ScratchPool<B::Scratch>,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResponse>> {
-        par::map(requests, 1, |_, request| execute(backend, pool, request))
+        let mut results: Vec<Option<Result<QueryResponse>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut prob_idx = Vec::new();
+        let mut prob_masks = Vec::new();
+        let mut count_idx = Vec::new();
+        let mut count_masks = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            let (idx, masks, pred) = match request {
+                QueryRequest::Probability { pred } => (&mut prob_idx, &mut prob_masks, pred),
+                QueryRequest::Count { pred } => (&mut count_idx, &mut count_masks, pred),
+                _ => continue,
+            };
+            match query_mask(backend, pred) {
+                Ok(mask) => {
+                    idx.push(i);
+                    masks.push(mask);
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        if !prob_masks.is_empty() {
+            let batched = with_scratch(backend, pool, |s| {
+                backend.probabilities_under_masks(&prob_masks, s)
+            });
+            if let Ok(ps) = batched {
+                if ps.len() == prob_masks.len() {
+                    for (&i, p) in prob_idx.iter().zip(ps) {
+                        results[i] = Some(Ok(QueryResponse::Probability(p)));
+                    }
+                }
+            }
+        }
+        if !count_masks.is_empty() {
+            let batched = with_scratch(backend, pool, |s| {
+                backend.counts_under_masks(&count_masks, s)
+            });
+            if let Ok(es) = batched {
+                if es.len() == count_masks.len() {
+                    for (&i, e) in count_idx.iter().zip(es) {
+                        results[i] = Some(Ok(QueryResponse::Estimate(e)));
+                    }
+                }
+            }
+        }
+        let pending: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if !pending.is_empty() {
+            let executed = par::map(&pending, 1, |_, &i| execute(backend, pool, &requests[i]));
+            for (&i, r) in pending.iter().zip(executed) {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is filled"))
+            .collect()
     }
 
     fn with_scratch<B: SummaryBackend, R>(

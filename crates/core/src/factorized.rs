@@ -36,7 +36,7 @@ use crate::error::{ModelError, Result};
 use crate::par;
 #[cfg(any(test, feature = "legacy-bench"))]
 use crate::polynomial::Var;
-use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats};
+use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats, MAX_FUSED_LANES};
 use crate::statistics::MultiDimStatistic;
 
 /// Minimum combined term count before component-parallel evaluation is
@@ -80,6 +80,8 @@ struct CompScratch {
     local_multi: Vec<f64>,
     /// The component's value from the last evaluation pass.
     val: f64,
+    /// Per-lane component values from the last fused multi-mask pass.
+    val_many: Vec<f64>,
 }
 
 /// Reusable workspace for evaluating a [`FactorizedPolynomial`]: one
@@ -279,6 +281,7 @@ impl FactorizedPolynomial {
                     eval: c.poly.make_scratch(),
                     local_multi: vec![0.0; c.multis.len()],
                     val: 0.0,
+                    val_many: vec![0.0; MAX_FUSED_LANES],
                 })
                 .collect(),
             derivs: vec![0.0; self.domain_sizes.iter().copied().max().unwrap_or(0)],
@@ -309,7 +312,11 @@ impl FactorizedPolynomial {
         self.eval_masked(a, &Mask::identity(self.arity()))
     }
 
-    /// Evaluates `P` under a query mask (convenience wrapper; allocates).
+    /// Evaluates `P` under a query mask. Convenience-only: allocates a fresh
+    /// [`FactorizedScratch`] per call (see the audit note on
+    /// [`CompressedPolynomial::eval_masked`]); production query paths use
+    /// [`FactorizedPolynomial::eval_masked_with`] against a pooled scratch.
+    #[cold]
     pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
         self.eval_masked_with(a, mask, &mut self.make_scratch())
     }
@@ -334,6 +341,100 @@ impl FactorizedPolynomial {
         } else {
             for (c, cs) in components.iter().zip(&mut fs.comps) {
                 cs.val = Self::eval_component(c, a, mask, cs);
+            }
+        }
+        fs.comps.iter().map(|cs| cs.val).product()
+    }
+
+    /// Fused multi-mask evaluation: `out[i] = P[masked by masks[i]]`, with
+    /// each component traversed **once** per [`MAX_FUSED_LANES`]-wide chunk
+    /// of masks instead of once per mask. Per mask the result is
+    /// bitwise-identical to [`FactorizedPolynomial::eval_masked_with`] —
+    /// each lane runs the identical per-component kernel sequence and the
+    /// identical component-order product fold.
+    pub fn eval_masked_many_with(
+        &self,
+        a: &VarAssignment,
+        masks: &[Mask],
+        fs: &mut FactorizedScratch,
+        out: &mut [f64],
+    ) {
+        debug_assert!(self.check_shape(a).is_ok());
+        debug_assert_eq!(fs.comps.len(), self.components.len());
+        assert_eq!(masks.len(), out.len());
+        let components = &self.components;
+        for (mchunk, ochunk) in masks
+            .chunks(MAX_FUSED_LANES)
+            .zip(out.chunks_mut(MAX_FUSED_LANES))
+        {
+            let lanes = mchunk.len();
+            let run = |base: usize, cs: &mut CompScratch| {
+                let c = &components[base];
+                for (slot, &g) in cs.local_multi.iter_mut().zip(&c.multis) {
+                    *slot = a.multi[g];
+                }
+                c.poly.fill_scratch_many_with(&mut cs.eval, lanes, |li, b| {
+                    let g = c.attrs[li];
+                    (a.one_dim[g].as_slice(), mchunk[b].attr_weights(g))
+                });
+                let CompScratch {
+                    eval,
+                    local_multi,
+                    val_many,
+                    ..
+                } = cs;
+                c.poly
+                    .eval_prefilled_many(local_multi, lanes, eval, &mut val_many[..lanes]);
+            };
+            if self.use_par() {
+                par::for_each_chunk_mut(&mut fs.comps, 1, |base, chunk| {
+                    for (off, cs) in chunk.iter_mut().enumerate() {
+                        run(base + off, cs);
+                    }
+                });
+            } else {
+                for (ci, cs) in fs.comps.iter_mut().enumerate() {
+                    run(ci, cs);
+                }
+            }
+            for (b, slot) in ochunk.iter_mut().enumerate() {
+                *slot = fs.comps.iter().map(|cs| cs.val_many[b]).product();
+            }
+        }
+    }
+
+    /// The pre-vectorization masked-eval path, lifted through the component
+    /// product — the `legacy-bench` A/B baseline (see
+    /// [`CompressedPolynomial::eval_prefilled_legacy`]).
+    #[cfg(any(test, feature = "legacy-bench"))]
+    pub fn eval_masked_legacy_with(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        fs: &mut FactorizedScratch,
+    ) -> f64 {
+        debug_assert!(self.check_shape(a).is_ok());
+        let components = &self.components;
+        let run = |base: usize, cs: &mut CompScratch| {
+            let c = &components[base];
+            for (slot, &g) in cs.local_multi.iter_mut().zip(&c.multis) {
+                *slot = a.multi[g];
+            }
+            c.poly.fill_scratch_with(&mut cs.eval, |li| {
+                let g = c.attrs[li];
+                (a.one_dim[g].as_slice(), mask.attr_weights(g))
+            });
+            cs.val = c.poly.eval_prefilled_legacy(&cs.local_multi, &mut cs.eval);
+        };
+        if self.use_par() {
+            par::for_each_chunk_mut(&mut fs.comps, 1, |base, chunk| {
+                for (off, cs) in chunk.iter_mut().enumerate() {
+                    run(base + off, cs);
+                }
+            });
+        } else {
+            for (ci, cs) in fs.comps.iter_mut().enumerate() {
+                run(ci, cs);
             }
         }
         fs.comps.iter().map(|cs| cs.val).product()
@@ -374,6 +475,7 @@ impl FactorizedPolynomial {
                     eval,
                     local_multi,
                     val,
+                    ..
                 } = cs;
                 for (slot, &g) in local_multi.iter_mut().zip(&c.multis) {
                     *slot = a.multi[g];

@@ -92,6 +92,25 @@ const PAR_MIN_TERMS: usize = 1 << 15;
 /// out across the pool.
 const PAR_MIN_FACTORS: usize = 1 << 16;
 
+/// Maximum number of masks one fused multi-mask pass evaluates in lockstep
+/// (the lane width of the lane-major slab in [`EvalScratch`]). Larger
+/// batches are processed in chunks of this size; the per-lane arithmetic is
+/// independent of the chunking, so answers are bitwise-identical at every
+/// batch size.
+pub const MAX_FUSED_LANES: usize = 16;
+
+/// Lane-major buffers for the fused multi-mask kernel
+/// ([`CompressedPolynomial::eval_prefilled_many`]): element `idx·L + b` is
+/// lane `b`'s copy of slab/total/complement cell `idx`, with fixed stride
+/// `L = MAX_FUSED_LANES`. Empty until the first fused call against the
+/// owning scratch, then reused allocation-free.
+#[derive(Debug, Clone, Default)]
+struct ManyBuffers {
+    prefix: Vec<f64>,
+    totals: Vec<f64>,
+    set_comp: Vec<f64>,
+}
+
 /// Identifies one model variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Var {
@@ -153,11 +172,24 @@ pub struct CompressedPolynomial {
     /// Per constrained factor: absolute slab index of the upper prefix cell
     /// (`prefix_starts[attr] + hi + 1`).
     pair_hi: Vec<u32>,
+    /// `pair_lo | pair_hi << 16` when every slab index fits in 16 bits
+    /// (slab length `Σ (N_i + 1)` ≤ 65535 — virtually every real model).
+    /// The eval kernels are factor-index bound at large closures; one
+    /// 4-byte load per factor instead of two halves that stream. `None`
+    /// for huge slabs, where the kernels fall back to the wide pair.
+    pair_packed: Option<Vec<u32>>,
     /// Term → id of its constrained-attribute set.
     term_attrset: Vec<u32>,
     /// CSR attrset → sorted attribute indices.
     attrset_offsets: Vec<u32>,
     attrset_attrs: Vec<u32>,
+    /// Starts of maximal runs of terms sharing one attrset (terms are laid
+    /// out sorted by attrset id, so every run is uniform in constrained-
+    /// factor count). `run_offsets.last()` is the term count. The term-sum
+    /// kernels walk runs, not terms: within a run the complement product and
+    /// the factor count are loop invariants, which is what makes the inner
+    /// loops branch-free.
+    run_offsets: Vec<u32>,
     /// Attribute → row start in the prefix-sum slab; `prefix_starts[m]` is
     /// the slab length (`Σ (N_i + 1)`).
     prefix_starts: Vec<u32>,
@@ -200,6 +232,8 @@ pub struct EvalScratch {
     /// repeated passes skip the per-term fold entirely).
     dprod: Vec<f64>,
     multi_cache: Vec<f64>,
+    /// Lane-major fused-evaluation buffers; grown on the first fused call.
+    many: ManyBuffers,
 }
 
 impl EvalScratch {
@@ -297,9 +331,11 @@ impl CompressedPolynomial {
         }
 
         // Flatten into the CSR arena: base term first, then one term per
-        // compatible subset. Factors spanning an attribute's full domain are
-        // dropped from the constrained lists — the evaluation kernels supply
-        // them through the complement product of whole-attribute totals.
+        // compatible subset, **sorted by constrained-attribute set** so the
+        // term walk sees maximal runs of uniform shape (run_offsets below).
+        // Factors spanning an attribute's full domain are dropped from the
+        // constrained lists — the evaluation kernels supply them through the
+        // complement product of whole-attribute totals.
         let mut prefix_starts = Vec::with_capacity(m + 1);
         let mut acc = 0u32;
         for &n in domain_sizes {
@@ -334,21 +370,43 @@ impl CompressedPolynomial {
             id
         };
 
+        // Pre-pass: intern each entry's constrained-attribute set (the base
+        // term's empty set first, so it keeps id 0) in first-appearance
+        // order, then order the entries by attrset id. The sort is stable,
+        // so within a run terms keep their closure-enumeration order.
+        let base_set = intern_attrset(Vec::new());
+        debug_assert_eq!(base_set, 0);
+        let entry_sets: Vec<u32> = entries
+            .iter()
+            .map(|e| {
+                let set: Vec<u32> = e
+                    .ranges
+                    .iter()
+                    .filter(|&&(attr, lo, hi)| {
+                        !(lo == 0 && (hi as usize) + 1 == domain_sizes[attr])
+                    })
+                    .map(|&(attr, _, _)| attr as u32)
+                    .collect();
+                intern_attrset(set)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by_key(|&i| entry_sets[i]);
+
         // Base term: S = ∅, no constrained factors.
         delta_offsets.push(0u32);
         delta_offsets.push(0u32);
         constr_offsets.push(0u32);
         constr_offsets.push(0u32);
-        term_attrset.push(intern_attrset(Vec::new()));
+        term_attrset.push(0u32);
 
-        for (t, e) in entries.iter().enumerate() {
+        for (t, &ei) in order.iter().enumerate() {
+            let e = &entries[ei];
             let term_id = (t + 1) as u32;
-            let mut set = Vec::with_capacity(e.ranges.len());
             for &(attr, lo, hi) in &e.ranges {
                 if lo == 0 && (hi as usize) + 1 == domain_sizes[attr] {
                     continue; // full-domain factor → complement product
                 }
-                set.push(attr as u32);
                 constr_attrs.push(attr as u32);
                 constr_lo.push(lo);
                 constr_hi.push(hi);
@@ -356,13 +414,23 @@ impl CompressedPolynomial {
                 pair_hi.push(prefix_starts[attr] + hi + 1);
             }
             constr_offsets.push(constr_attrs.len() as u32);
-            term_attrset.push(intern_attrset(set));
+            term_attrset.push(entry_sets[ei]);
             for &d in &e.deltas {
                 delta_ids.push(d);
                 terms_with_delta[d as usize].push(term_id);
             }
             delta_offsets.push(delta_ids.len() as u32);
         }
+
+        // Maximal runs of equal attrset (the base term merges into the first
+        // run when the first sorted entries share its empty set).
+        let mut run_offsets: Vec<u32> = vec![0];
+        for t in 1..num_terms {
+            if term_attrset[t] != term_attrset[t - 1] {
+                run_offsets.push(t as u32);
+            }
+        }
+        run_offsets.push(num_terms as u32);
 
         // CSR multi → terms.
         let mut delta_term_offsets = Vec::with_capacity(stats.len() + 1);
@@ -372,6 +440,32 @@ impl CompressedPolynomial {
             delta_terms.extend_from_slice(terms);
             delta_term_offsets.push(delta_terms.len() as u32);
         }
+
+        // The segment kernels gather `prefix[hi] − prefix[lo]` without
+        // per-factor bounds checks; every constrained-factor index must land
+        // inside the prefix slab. The layout above guarantees it
+        // (`pair_hi ≤ prefix_starts[attr + 1] − 1`) — enforced here once per
+        // build so the kernels' safety never rests on a debug build.
+        let slab = *prefix_starts.last().unwrap();
+        assert!(
+            pair_lo
+                .iter()
+                .zip(&pair_hi)
+                .all(|(&l, &h)| l < h && h < slab),
+            "constrained-factor indices must land inside the prefix slab"
+        );
+
+        let pair_packed = if slab <= u16::MAX as u32 {
+            Some(
+                pair_lo
+                    .iter()
+                    .zip(&pair_hi)
+                    .map(|(&lo, &hi)| lo | (hi << 16))
+                    .collect(),
+            )
+        } else {
+            None
+        };
 
         Ok(CompressedPolynomial {
             domain_sizes: domain_sizes.to_vec(),
@@ -386,9 +480,11 @@ impl CompressedPolynomial {
             constr_hi,
             pair_lo,
             pair_hi,
+            pair_packed,
             term_attrset,
             attrset_offsets,
             attrset_attrs,
+            run_offsets,
             prefix_starts,
             max_domain: domain_sizes.iter().copied().max().unwrap_or(0),
         })
@@ -461,6 +557,19 @@ impl CompressedPolynomial {
             multi_cache: vec![f64::NAN; self.num_multi],
             // Every row is stale until the first fill.
             dirty: vec![true; self.arity()],
+            many: ManyBuffers::default(),
+        }
+    }
+
+    /// Grows the lane-major fused buffers to this polynomial's shape (a
+    /// one-time warm-up; steady-state fused evaluation allocates nothing).
+    fn ensure_many(&self, s: &mut EvalScratch) {
+        const L: usize = MAX_FUSED_LANES;
+        let slab = *self.prefix_starts.last().expect("non-empty") as usize;
+        if s.many.prefix.len() != slab * L {
+            s.many.prefix = vec![0.0; slab * L];
+            s.many.totals = vec![0.0; self.arity() * L];
+            s.many.set_comp = vec![0.0; (self.attrset_offsets.len() - 1) * L];
         }
     }
 
@@ -647,12 +756,181 @@ impl CompressedPolynomial {
         }
     }
 
+    /// Branch-free term sum over a term range: runs of terms sharing one
+    /// attrset are summed by width-specialized segment kernels. Within a
+    /// run the complement product `sc` and the per-term factor count `K`
+    /// are loop invariants, so the inner loop is a fixed-shape multiply
+    /// chain with **no per-term branching** (no zero early-outs, no mask
+    /// membership tests) feeding four striped accumulators — the shape
+    /// LLVM auto-vectorizes and the shape whose FP op sequence the fused
+    /// multi-mask kernel mirrors lane-for-lane.
+    ///
+    /// Interval sums are gathered inline (`prefix[hi] − prefix[lo]` on the
+    /// L1-resident slab) rather than read from a materialized `fdiff`
+    /// buffer: at large closures the kernel is memory-bound, and skipping
+    /// the factor-major store+reload pass roughly halves the streamed
+    /// bytes per evaluation. The subtraction and multiply order are
+    /// exactly the ones `compute_factor_diffs` + the old `fdiff` read
+    /// performed, so results stay bitwise identical.
+    fn sum_terms_range(
+        &self,
+        range: std::ops::Range<usize>,
+        prefix: &[f64],
+        set_comp: &[f64],
+        dprod: &[f64],
+    ) -> f64 {
+        match &self.pair_packed {
+            Some(packed) => {
+                self.sum_terms_range_with(range, prefix, set_comp, dprod, PackedPairs(packed))
+            }
+            None => self.sum_terms_range_with(
+                range,
+                prefix,
+                set_comp,
+                dprod,
+                WidePairs {
+                    lo: &self.pair_lo,
+                    hi: &self.pair_hi,
+                },
+            ),
+        }
+    }
+
+    fn sum_terms_range_with<P: PairLookup>(
+        &self,
+        range: std::ops::Range<usize>,
+        prefix: &[f64],
+        set_comp: &[f64],
+        dprod: &[f64],
+        pairs: P,
+    ) -> f64 {
+        let mut p = 0.0;
+        if range.is_empty() {
+            return p;
+        }
+        // One release-mode slab-length check per call covers every unchecked
+        // gather below: `build` asserts all pair indices below the slab
+        // length, so any index the kernels decode lands inside `prefix`.
+        assert!(prefix.len() >= *self.prefix_starts.last().expect("non-empty") as usize);
+        // Run containing `range.start` (run_offsets[0] == 0 ≤ start).
+        let mut r = self
+            .run_offsets
+            .partition_point(|&start| (start as usize) <= range.start)
+            - 1;
+        let mut t = range.start;
+        while t < range.end {
+            let seg_end = (self.run_offsets[r + 1] as usize).min(range.end);
+            let aset = self.term_attrset[t] as usize;
+            let sc = set_comp[aset];
+            let k = (self.attrset_offsets[aset + 1] - self.attrset_offsets[aset]) as usize;
+            let f0 = self.constr_offsets[t] as usize;
+            debug_assert_eq!(
+                self.constr_offsets[seg_end] as usize,
+                f0 + (seg_end - t) * k,
+                "run not uniform in factor count"
+            );
+            p += match k {
+                0 => seg_sum::<0, P>(dprod, sc, prefix, pairs, f0, t..seg_end),
+                1 => seg_sum::<1, P>(dprod, sc, prefix, pairs, f0, t..seg_end),
+                2 => seg_sum::<2, P>(dprod, sc, prefix, pairs, f0, t..seg_end),
+                3 => seg_sum::<3, P>(dprod, sc, prefix, pairs, f0, t..seg_end),
+                4 => seg_sum::<4, P>(dprod, sc, prefix, pairs, f0, t..seg_end),
+                _ => seg_sum_generic(dprod, sc, prefix, pairs, f0, k, t..seg_end),
+            };
+            t = seg_end;
+            r += 1;
+        }
+        p
+    }
+
     /// Sum over terms of delta product × complement product × constrained
     /// interval sums. Requires a filled scratch with complement products
     /// and refreshed delta products. Large closures reduce in fixed-width
     /// blocks (partials folded in block order), so the result is bitwise
     /// independent of the thread count.
     fn sum_terms(&self, s: &mut EvalScratch) -> f64 {
+        let EvalScratch {
+            prefix,
+            set_comp,
+            dprod,
+            block_sums,
+            ..
+        } = s;
+        let (prefix, set_comp, dprod): (&[f64], &[f64], &[f64]) = (prefix, set_comp, dprod);
+        let n = self.num_terms();
+        if n < PAR_MIN_TERMS {
+            return self.sum_terms_range(0..n, prefix, set_comp, dprod);
+        }
+        par::for_each_chunk_mut(block_sums, 1, |base, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let b = base + off;
+                *slot = self.sum_terms_range(
+                    b * TERM_BLOCK..((b + 1) * TERM_BLOCK).min(n),
+                    prefix,
+                    set_comp,
+                    dprod,
+                );
+            }
+        });
+        block_sums.iter().sum()
+    }
+
+    /// Evaluates `P` at `a` (convenience wrapper; allocates a scratch).
+    pub fn eval(&self, a: &VarAssignment) -> f64 {
+        self.eval_masked(a, &Mask::identity(self.arity()))
+    }
+
+    /// Evaluates `P` with 1D variables scaled by `mask` — the Sec. 4.2 query
+    /// evaluation (and its `SUM`-weight generalization).
+    ///
+    /// Convenience-only: **allocates a fresh [`EvalScratch`] per call**, so
+    /// it must never sit on a query hot path — every production caller
+    /// routes through [`CompressedPolynomial::eval_masked_with`] against a
+    /// pooled scratch (see `ScratchPool` in `crate::engine`). Kept for
+    /// one-shot uses (the build-time `p_full` constant, tests) and marked
+    /// `#[cold]` so the optimizer keeps it off the fast path.
+    #[cold]
+    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
+        self.eval_masked_with(a, mask, &mut self.make_scratch())
+    }
+
+    /// Allocation-free masked evaluation against a reusable scratch.
+    pub fn eval_masked_with(&self, a: &VarAssignment, mask: &Mask, s: &mut EvalScratch) -> f64 {
+        self.fill_scratch(s, a, mask);
+        self.eval_prefilled(&a.multi, s)
+    }
+
+    /// Evaluates `P` against an already-filled scratch (the prefix slab
+    /// encodes the 1D variables and mask; only `multi` is taken from the
+    /// caller). Used by the solver, which refills the slab once per sweep.
+    pub fn eval_prefilled(&self, multi: &[f64], s: &mut EvalScratch) -> f64 {
+        self.ensure_delta_products(multi, s);
+        self.compute_set_products(s, None);
+        self.sum_terms(s)
+    }
+
+    /// The pre-vectorization masked-eval kernel, retained verbatim as the
+    /// A/B baseline for the `legacy-bench` benchmarks: a single-accumulator
+    /// term walk with per-term zero early-outs and a data-dependent inner
+    /// factor loop. Same blocked reduction structure as [`sum_terms`], so
+    /// the comparison isolates the kernel shape, not the parallel split.
+    #[cfg(any(test, feature = "legacy-bench"))]
+    pub fn eval_masked_legacy_with(
+        &self,
+        a: &VarAssignment,
+        mask: &Mask,
+        s: &mut EvalScratch,
+    ) -> f64 {
+        self.fill_scratch(s, a, mask);
+        self.eval_prefilled_legacy(&a.multi, s)
+    }
+
+    /// Legacy term sum against an already-filled scratch (see
+    /// [`CompressedPolynomial::eval_masked_legacy_with`]).
+    #[cfg(any(test, feature = "legacy-bench"))]
+    pub fn eval_prefilled_legacy(&self, multi: &[f64], s: &mut EvalScratch) -> f64 {
+        self.ensure_delta_products(multi, s);
+        self.compute_set_products(s, None);
         self.compute_factor_diffs(s);
         let EvalScratch {
             set_comp,
@@ -695,31 +973,267 @@ impl CompressedPolynomial {
         block_sums.iter().sum()
     }
 
-    /// Evaluates `P` at `a` (convenience wrapper; allocates a scratch).
-    pub fn eval(&self, a: &VarAssignment) -> f64 {
-        self.eval_masked(a, &Mask::identity(self.arity()))
+    /// Fills the lane-major fused slab for `lanes` masks: `get(i, b)`
+    /// returns attribute `i`'s variable values and lane `b`'s mask weights.
+    /// Each lane runs the exact [`CompressedPolynomial::fill_row`] update
+    /// sequence, so lane `b`'s slab cells are bitwise-identical to the
+    /// row-major slab a scalar [`CompressedPolynomial::fill_scratch_with`]
+    /// would produce for that mask.
+    pub fn fill_scratch_many_with<'a>(
+        &self,
+        s: &mut EvalScratch,
+        lanes: usize,
+        get: impl Fn(usize, usize) -> (&'a [f64], Option<&'a [f64]>),
+    ) {
+        const L: usize = MAX_FUSED_LANES;
+        assert!(lanes <= L, "fused batch wider than MAX_FUSED_LANES");
+        self.ensure_many(s);
+        let many = &mut s.many;
+        for (i, &n) in self.domain_sizes.iter().enumerate() {
+            let start = self.prefix_starts[i] as usize;
+            for b in 0..lanes {
+                let (vals, weights) = get(i, b);
+                debug_assert_eq!(vals.len(), n);
+                let mut acc = 0.0;
+                many.prefix[start * L + b] = 0.0;
+                match weights {
+                    Some(w) => {
+                        debug_assert_eq!(w.len(), n);
+                        for (v, (&wv, &xv)) in w.iter().zip(vals).enumerate() {
+                            acc += wv * xv;
+                            many.prefix[(start + v + 1) * L + b] = acc;
+                        }
+                    }
+                    None => {
+                        for (v, &xv) in vals.iter().enumerate() {
+                            acc += xv;
+                            many.prefix[(start + v + 1) * L + b] = acc;
+                        }
+                    }
+                }
+                many.totals[i * L + b] = acc;
+            }
+        }
     }
 
-    /// Evaluates `P` with 1D variables scaled by `mask` — the Sec. 4.2 query
-    /// evaluation (and its `SUM`-weight generalization). Convenience
-    /// wrapper; allocates a scratch.
-    pub fn eval_masked(&self, a: &VarAssignment, mask: &Mask) -> f64 {
-        self.eval_masked_with(a, mask, &mut self.make_scratch())
+    /// Per-lane complement products, mirroring
+    /// [`CompressedPolynomial::compute_set_products`] (no exclusion) with an
+    /// identical per-lane multiply order.
+    fn compute_set_products_many(&self, s: &mut EvalScratch, lanes: usize) {
+        const L: usize = MAX_FUSED_LANES;
+        let m = self.arity();
+        let ManyBuffers {
+            totals, set_comp, ..
+        } = &mut s.many;
+        for set in 0..self.attrset_offsets.len() - 1 {
+            let lo = self.attrset_offsets[set] as usize;
+            let hi = self.attrset_offsets[set + 1] as usize;
+            let members = &self.attrset_attrs[lo..hi];
+            let row = &mut set_comp[set * L..set * L + lanes];
+            row.fill(1.0);
+            let mut k = 0;
+            for attr in 0..m {
+                if k < members.len() && members[k] as usize == attr {
+                    k += 1;
+                    continue;
+                }
+                let tot = &totals[attr * L..attr * L + lanes];
+                for (r, &t) in row.iter_mut().zip(tot) {
+                    *r *= t;
+                }
+            }
+        }
     }
 
-    /// Allocation-free masked evaluation against a reusable scratch.
-    pub fn eval_masked_with(&self, a: &VarAssignment, mask: &Mask, s: &mut EvalScratch) -> f64 {
-        self.fill_scratch(s, a, mask);
-        self.eval_prefilled(&a.multi, s)
+    /// Fused counterpart of [`CompressedPolynomial::sum_terms_range`]: one
+    /// walk over the term metadata evaluates all `lanes` masks. Interval
+    /// sums are formed inline from the lane-major slab
+    /// (`prefix[hi] − prefix[lo]` — the identical subtraction the scalar
+    /// kernel materializes into `fdiff`), and each lane's multiply/stripe/
+    /// fold sequence matches the scalar kernel op-for-op, so lane `b`'s
+    /// partial is bitwise-identical to a scalar pass over lane `b`'s mask.
+    fn sum_terms_range_many(
+        &self,
+        range: std::ops::Range<usize>,
+        lanes: usize,
+        prefix: &[f64],
+        set_comp: &[f64],
+        dprod: &[f64],
+        out: &mut [f64; MAX_FUSED_LANES],
+    ) {
+        match &self.pair_packed {
+            Some(packed) => self.sum_terms_range_many_with(
+                range,
+                lanes,
+                prefix,
+                set_comp,
+                dprod,
+                PackedPairs(packed),
+                out,
+            ),
+            None => self.sum_terms_range_many_with(
+                range,
+                lanes,
+                prefix,
+                set_comp,
+                dprod,
+                WidePairs {
+                    lo: &self.pair_lo,
+                    hi: &self.pair_hi,
+                },
+                out,
+            ),
+        }
     }
 
-    /// Evaluates `P` against an already-filled scratch (the prefix slab
-    /// encodes the 1D variables and mask; only `multi` is taken from the
-    /// caller). Used by the solver, which refills the slab once per sweep.
-    pub fn eval_prefilled(&self, multi: &[f64], s: &mut EvalScratch) -> f64 {
+    #[allow(clippy::too_many_arguments)]
+    fn sum_terms_range_many_with<P: PairLookup>(
+        &self,
+        range: std::ops::Range<usize>,
+        lanes: usize,
+        prefix: &[f64],
+        set_comp: &[f64],
+        dprod: &[f64],
+        pairs: P,
+        out: &mut [f64; MAX_FUSED_LANES],
+    ) {
+        const L: usize = MAX_FUSED_LANES;
+        out.fill(0.0);
+        if range.is_empty() {
+            return;
+        }
+        // Release-mode bound for the unchecked lane gathers below: `build`
+        // asserts every pair index below the slab length, so every decoded
+        // lane row `f·L .. f·L + L` lands inside the lane-major slab.
+        assert!(
+            prefix.len() >= *self.prefix_starts.last().expect("non-empty") as usize * L
+                && range.end <= dprod.len()
+                && lanes <= L
+        );
+        let mut r = self
+            .run_offsets
+            .partition_point(|&start| (start as usize) <= range.start)
+            - 1;
+        let mut t = range.start;
+        while t < range.end {
+            let seg_end = (self.run_offsets[r + 1] as usize).min(range.end);
+            let aset = self.term_attrset[t] as usize;
+            // All lane loops below run full-width with fixed `L`-length
+            // arrays — fixed trip counts and contiguous slice zips are the
+            // shape LLVM turns into straight SIMD. Lanes past `lanes`
+            // multiply whatever the slab holds there; nothing ever crosses
+            // between lanes and `out` past `lanes` is never read.
+            let sc: &[f64; L] = set_comp[aset * L..(aset + 1) * L]
+                .try_into()
+                .expect("lane row");
+            let k = (self.attrset_offsets[aset + 1] - self.attrset_offsets[aset]) as usize;
+            let f0 = self.constr_offsets[t] as usize;
+            assert!(f0 + (seg_end - t) * k <= pairs.len());
+            let t0 = t;
+            let mut stripes = [[0.0f64; L]; 4];
+            for tt in t..seg_end {
+                let i = tt - t0;
+                // SAFETY: `tt`, the factor window, and the decoded
+                // lane-major slab rows are covered by the asserts above,
+                // exactly as in `seg_sum`.
+                let d = unsafe { *dprod.get_unchecked(tt) };
+                let mut prod = [0.0f64; L];
+                for (p, &s) in prod.iter_mut().zip(sc) {
+                    *p = d * s;
+                }
+                let base = f0 + i * k;
+                for j in 0..k {
+                    let (flo, fhi) = unsafe { pairs.get(base + j) };
+                    let (rlo, rhi) = unsafe {
+                        (
+                            prefix.get_unchecked(flo * L..flo * L + L),
+                            prefix.get_unchecked(fhi * L..fhi * L + L),
+                        )
+                    };
+                    for ((p, &h), &l) in prod.iter_mut().zip(rhi).zip(rlo) {
+                        *p *= h - l;
+                    }
+                }
+                let srow = &mut stripes[i & 3];
+                for (s, &p) in srow.iter_mut().zip(&prod) {
+                    *s += p;
+                }
+            }
+            for (b, slot) in out.iter_mut().enumerate() {
+                *slot += (stripes[0][b] + stripes[1][b]) + (stripes[2][b] + stripes[3][b]);
+            }
+            t = seg_end;
+            r += 1;
+        }
+    }
+
+    /// Fused masked evaluation against a slab filled by
+    /// [`CompressedPolynomial::fill_scratch_many_with`]: writes lane `b`'s
+    /// `P[masked_b]` into `out[b]`, amortizing one term-metadata traversal
+    /// across all lanes. Per lane the result is **bitwise-identical** to
+    /// [`CompressedPolynomial::eval_prefilled`] over that lane's mask —
+    /// same blocked reduction, same fold order, no value-dependent
+    /// skipping anywhere.
+    pub fn eval_prefilled_many(
+        &self,
+        multi: &[f64],
+        lanes: usize,
+        s: &mut EvalScratch,
+        out: &mut [f64],
+    ) {
+        assert!(lanes <= MAX_FUSED_LANES && out.len() == lanes);
         self.ensure_delta_products(multi, s);
-        self.compute_set_products(s, None);
-        self.sum_terms(s)
+        self.compute_set_products_many(s, lanes);
+        let EvalScratch { many, dprod, .. } = s;
+        let (prefix, set_comp, dprod): (&[f64], &[f64], &[f64]) =
+            (&many.prefix, &many.set_comp, dprod);
+        let n = self.num_terms();
+        if n < PAR_MIN_TERMS {
+            let mut part = [0.0f64; MAX_FUSED_LANES];
+            self.sum_terms_range_many(0..n, lanes, prefix, set_comp, dprod, &mut part);
+            out.copy_from_slice(&part[..lanes]);
+            return;
+        }
+        let partials: Vec<[f64; MAX_FUSED_LANES]> =
+            par::map_indexed(n.div_ceil(TERM_BLOCK), 1, |b| {
+                let mut part = [0.0f64; MAX_FUSED_LANES];
+                self.sum_terms_range_many(
+                    b * TERM_BLOCK..((b + 1) * TERM_BLOCK).min(n),
+                    lanes,
+                    prefix,
+                    set_comp,
+                    dprod,
+                    &mut part,
+                );
+                part
+            });
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = partials.iter().map(|p| p[b]).sum();
+        }
+    }
+
+    /// Fused masked evaluation over any number of masks (chunked into
+    /// [`MAX_FUSED_LANES`]-wide passes): `out[i] = P[masked by masks[i]]`,
+    /// bitwise-identical to calling
+    /// [`CompressedPolynomial::eval_masked_with`] per mask.
+    pub fn eval_masked_many_with(
+        &self,
+        a: &VarAssignment,
+        masks: &[Mask],
+        s: &mut EvalScratch,
+        out: &mut [f64],
+    ) {
+        debug_assert!(self.check_shape(a).is_ok());
+        assert_eq!(masks.len(), out.len());
+        for (mchunk, ochunk) in masks
+            .chunks(MAX_FUSED_LANES)
+            .zip(out.chunks_mut(MAX_FUSED_LANES))
+        {
+            self.fill_scratch_many_with(s, mchunk.len(), |i, b| {
+                (a.one_dim[i].as_slice(), mchunk[b].attr_weights(i))
+            });
+            self.eval_prefilled_many(&a.multi, mchunk.len(), s, ochunk);
+        }
     }
 
     /// Fused pass returning `(P, dP/dα_{attr,v} for every v)` under `mask`
@@ -907,6 +1421,142 @@ impl CompressedPolynomial {
                 let iprods = self.interval_products(a, mask);
                 self.delta_derivative(&iprods, &a.multi, j)
             }
+        }
+    }
+}
+
+/// Width-specialized segment sum:
+/// `Σ_t dprod[t]·sc·∏_{j<K} (prefix[hi] − prefix[lo])` over a run segment
+/// whose terms all carry exactly `K` constrained factors and one shared
+/// complement product `sc`. Four striped accumulators break the
+/// floating-point add latency chain (the old single-accumulator walk was
+/// latency-bound at ~4 cycles/term); the final fold is
+/// `(acc0 + acc1) + (acc2 + acc3)`. Interval sums are gathered straight
+/// from the prefix slab (cache-resident, a few KB) instead of a
+/// materialized diff buffer — same subtraction, same multiply order, half
+/// the streamed bytes. No value-dependent skipping: every term takes the
+/// identical op sequence, which keeps the result bits a pure function of
+/// the inputs — the property the fused multi-mask kernel relies on to
+/// stay bitwise-identical per lane.
+#[inline]
+fn seg_sum<const K: usize, P: PairLookup>(
+    dprod: &[f64],
+    sc: f64,
+    prefix: &[f64],
+    pairs: P,
+    f0: usize,
+    seg: std::ops::Range<usize>,
+) -> f64 {
+    let t0 = seg.start;
+    assert!(seg.end <= dprod.len() && f0 + (seg.end - t0) * K <= pairs.len());
+    let mut acc = [0.0f64; 4];
+    for t in seg {
+        let i = t - t0;
+        // SAFETY: `t` and the factor window `f0 + i·K + j` sit below the
+        // lengths asserted above, and the decoded slab indices sit below
+        // `prefix.len()` (every index is asserted against the slab length
+        // in `build`, and the slab length against `prefix.len()` at the
+        // `sum_terms_range_with` entry). Checked indexing here is ~13
+        // predictable branches per term on the point-query hot path.
+        unsafe {
+            let mut prod = *dprod.get_unchecked(t) * sc;
+            let base = f0 + i * K;
+            for j in 0..K {
+                let (lo, hi) = pairs.get(base + j);
+                prod *= *prefix.get_unchecked(hi) - *prefix.get_unchecked(lo);
+            }
+            acc[i & 3] += prod;
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Fallback for runs with more than four constrained factors per term; same
+/// accumulator discipline as [`seg_sum`].
+fn seg_sum_generic<P: PairLookup>(
+    dprod: &[f64],
+    sc: f64,
+    prefix: &[f64],
+    pairs: P,
+    f0: usize,
+    k: usize,
+    seg: std::ops::Range<usize>,
+) -> f64 {
+    let t0 = seg.start;
+    assert!(seg.end <= dprod.len() && f0 + (seg.end - t0) * k <= pairs.len());
+    let mut acc = [0.0f64; 4];
+    for t in seg {
+        let i = t - t0;
+        // SAFETY: as in `seg_sum` — covered by the segment assert above
+        // plus the build-time/entry slab-length asserts.
+        unsafe {
+            let mut prod = *dprod.get_unchecked(t) * sc;
+            let base = f0 + i * k;
+            for j in base..base + k {
+                let (lo, hi) = pairs.get(j);
+                prod *= *prefix.get_unchecked(hi) - *prefix.get_unchecked(lo);
+            }
+            acc[i & 3] += prod;
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Constrained-factor slab-index lookup, monomorphized into the segment
+/// kernels: either one packed `lo | hi << 16` word per factor (the common
+/// case — half the index stream) or the two wide `u32` arrays. Decoding
+/// never touches the FP values, so both layouts produce bitwise-identical
+/// sums.
+trait PairLookup: Copy {
+    /// Number of factors in the stream (bounds for [`PairLookup::get`]).
+    fn len(self) -> usize;
+
+    /// The factor's `(lo, hi)` absolute prefix-slab indices, without a
+    /// bounds check.
+    ///
+    /// # Safety
+    /// `j` must be below [`PairLookup::len`]. Callers in the segment
+    /// kernels assert this over each whole segment up front; the per-factor
+    /// check would otherwise be ~13 predictable branches per term on the
+    /// point-query hot path.
+    unsafe fn get(self, j: usize) -> (usize, usize);
+}
+
+#[derive(Clone, Copy)]
+struct PackedPairs<'a>(&'a [u32]);
+
+impl PairLookup for PackedPairs<'_> {
+    #[inline(always)]
+    fn len(self) -> usize {
+        self.0.len()
+    }
+
+    #[inline(always)]
+    unsafe fn get(self, j: usize) -> (usize, usize) {
+        let v = unsafe { *self.0.get_unchecked(j) };
+        ((v & 0xFFFF) as usize, (v >> 16) as usize)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct WidePairs<'a> {
+    lo: &'a [u32],
+    hi: &'a [u32],
+}
+
+impl PairLookup for WidePairs<'_> {
+    #[inline(always)]
+    fn len(self) -> usize {
+        self.lo.len().min(self.hi.len())
+    }
+
+    #[inline(always)]
+    unsafe fn get(self, j: usize) -> (usize, usize) {
+        unsafe {
+            (
+                *self.lo.get_unchecked(j) as usize,
+                *self.hi.get_unchecked(j) as usize,
+            )
         }
     }
 }

@@ -20,6 +20,7 @@
 //! ```text
 //! probe    := "b1" body
 //! body     := "prob" mask            | "count" mask
+//!           | "probm" nmasks mask*   | "countm" nmasks mask*
 //!           | "countr" attr n value* mask
 //!           | "sum" attr nvalues value* mask
 //!           | "group" attr mask      | "topk" attr k mask
@@ -28,12 +29,20 @@
 //!
 //! response := "c1" payload
 //! payload  := "prob" f               | "est" expectation variance
+//!           | "probs" len f*
 //!           | "ests" len (expectation variance)*
 //!           | "groups" len (expectation variance)*
 //!           | "ranked" len (value expectation variance)*
 //!           | "rows" nrows arity code*
 //!           | "err" message...
 //! ```
+//!
+//! `probm` / `countm` are the fused-batch probes: one line carries a whole
+//! mask batch, the shard answers it through the backend's batched
+//! primitives (one fused slab traversal per
+//! [`MAX_FUSED_LANES`](crate::polynomial::MAX_FUSED_LANES)-mask chunk), and
+//! the answers come back in mask order — bitwise-identical to sending the
+//! masks one probe at a time.
 //!
 //! `sample k seed n index*` draws the tuples at the given *global* indices
 //! of a `sample_rows(k, seed)` call: every backend derives a tuple's
@@ -72,6 +81,17 @@ pub enum ProbeRequest {
     Count {
         /// The query mask.
         mask: Mask,
+    },
+    /// One tuple-draw probability per mask, answered through the backend's
+    /// fused batched primitive — one wire line per mask batch.
+    ProbabilityMany {
+        /// The query masks, answered in order.
+        masks: Vec<Mask>,
+    },
+    /// One COUNT estimate per mask (fused batched form of `Count`).
+    CountMany {
+        /// The query masks, answered in order.
+        masks: Vec<Mask>,
     },
     /// One COUNT estimate per candidate value: the base mask restricted to
     /// each value of `attr` in turn (`restrict_in_place`) — the top-k
@@ -127,9 +147,12 @@ pub enum ProbeRequest {
 pub enum ProbeResponse {
     /// Answer to [`ProbeRequest::Probability`].
     Probability(f64),
+    /// Answer to [`ProbeRequest::ProbabilityMany`], in mask order.
+    Probabilities(Vec<f64>),
     /// Answer to [`ProbeRequest::Count`] and [`ProbeRequest::Sum`].
     Estimate(Estimate),
-    /// Answer to [`ProbeRequest::CountRestricted`], in candidate order.
+    /// Answer to [`ProbeRequest::CountRestricted`] and
+    /// [`ProbeRequest::CountMany`], in candidate/mask order.
     Estimates(Vec<Estimate>),
     /// Answer to [`ProbeRequest::GroupBy`], one estimate per value.
     Groups(Vec<Estimate>),
@@ -156,6 +179,20 @@ impl ProbeRequest {
             ProbeRequest::Count { mask } => {
                 out.push_str("count ");
                 encode_mask(&mut out, mask);
+            }
+            ProbeRequest::ProbabilityMany { masks } => {
+                let _ = write!(out, "probm {}", masks.len());
+                for mask in masks {
+                    out.push(' ');
+                    encode_mask(&mut out, mask);
+                }
+            }
+            ProbeRequest::CountMany { masks } => {
+                let _ = write!(out, "countm {}", masks.len());
+                for mask in masks {
+                    out.push(' ');
+                    encode_mask(&mut out, mask);
+                }
             }
             ProbeRequest::CountRestricted { mask, attr, values } => {
                 let _ = write!(out, "countr {} {}", attr.0, values.len());
@@ -203,6 +240,18 @@ impl ProbeRequest {
             "count" => ProbeRequest::Count {
                 mask: decode_mask(&mut r)?,
             },
+            "probm" | "countm" => {
+                let n: usize = r.parse("mask count")?;
+                let mut masks = Vec::with_capacity(n.min(WIRE_PREALLOC_CAP));
+                for _ in 0..n {
+                    masks.push(decode_mask(&mut r)?);
+                }
+                if op == "probm" {
+                    ProbeRequest::ProbabilityMany { masks }
+                } else {
+                    ProbeRequest::CountMany { masks }
+                }
+            }
             "countr" => {
                 let attr = AttrId(r.parse("attr")?);
                 let nv: usize = r.parse("value count")?;
@@ -271,6 +320,12 @@ impl ProbeResponse {
             ProbeResponse::Probability(p) => {
                 let _ = write!(out, "prob {p}");
             }
+            ProbeResponse::Probabilities(ps) => {
+                let _ = write!(out, "probs {}", ps.len());
+                for p in ps {
+                    let _ = write!(out, " {p}");
+                }
+            }
             ProbeResponse::Estimate(e) => {
                 let _ = write!(out, "est {} {}", e.expectation, e.variance);
             }
@@ -312,6 +367,14 @@ impl ProbeResponse {
         let op = r.next("probe response op")?;
         let resp = match op {
             "prob" => ProbeResponse::Probability(r.parse("probability")?),
+            "probs" => {
+                let len: usize = r.parse("probability count")?;
+                let mut ps = Vec::with_capacity(len.min(WIRE_PREALLOC_CAP));
+                for _ in 0..len {
+                    ps.push(r.parse("probability")?);
+                }
+                ProbeResponse::Probabilities(ps)
+            }
             "est" => ProbeResponse::Estimate(read_estimate(&mut r)?),
             "ests" | "groups" => {
                 let len: usize = r.parse("estimate count")?;
@@ -447,6 +510,26 @@ pub fn execute<B: SummaryBackend>(
             check_mask(mask)?;
             with(&mut |s| Ok(ProbeResponse::Estimate(backend.count_under_mask(mask, s)?)))
         }
+        ProbeRequest::ProbabilityMany { masks } => {
+            for mask in masks {
+                check_mask(mask)?;
+            }
+            with(&mut |s| {
+                Ok(ProbeResponse::Probabilities(
+                    backend.probabilities_under_masks(masks, s)?,
+                ))
+            })
+        }
+        ProbeRequest::CountMany { masks } => {
+            for mask in masks {
+                check_mask(mask)?;
+            }
+            with(&mut |s| {
+                Ok(ProbeResponse::Estimates(
+                    backend.counts_under_masks(masks, s)?,
+                ))
+            })
+        }
         ProbeRequest::CountRestricted { mask, attr, values } => {
             check_mask(mask)?;
             check_attr(*attr)?;
@@ -539,6 +622,13 @@ mod tests {
         let reqs = [
             ProbeRequest::Probability { mask: mask() },
             ProbeRequest::Count { mask: mask() },
+            ProbeRequest::ProbabilityMany {
+                masks: vec![mask(), Mask::identity(3)],
+            },
+            ProbeRequest::CountMany {
+                masks: vec![mask()],
+            },
+            ProbeRequest::CountMany { masks: vec![] },
             ProbeRequest::CountRestricted {
                 mask: mask(),
                 attr: AttrId(1),
@@ -580,6 +670,8 @@ mod tests {
         };
         let resps = [
             ProbeResponse::Probability(0.1 + 0.2),
+            ProbeResponse::Probabilities(vec![0.25, 1e-12, 1.0]),
+            ProbeResponse::Probabilities(vec![]),
             ProbeResponse::Estimate(e(10.0, 2.5)),
             ProbeResponse::Estimates(vec![e(1.0, 0.0), e(1e-300, 2e300)]),
             ProbeResponse::Groups(vec![e(3.0, 1.0)]),

@@ -56,6 +56,35 @@ pub trait ShardProbe: Send + Sync {
     /// COUNT estimate under the mask.
     fn probe_count(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<Estimate>;
 
+    /// Batched form of [`ShardProbe::probe_probability`]: one probability
+    /// per mask. The default is the sequential per-mask loop; in-process
+    /// probes override it to ride the fused multi-mask kernel, remote
+    /// probes to transport the whole batch in few wire rounds. Overrides
+    /// must stay bitwise-identical to the loop.
+    fn probe_probability_many(
+        &self,
+        masks: &[Mask],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<f64>> {
+        masks
+            .iter()
+            .map(|mask| self.probe_probability(mask, scratch))
+            .collect()
+    }
+
+    /// Batched form of [`ShardProbe::probe_count`], same contract as
+    /// [`ShardProbe::probe_probability_many`].
+    fn probe_count_many(
+        &self,
+        masks: &[Mask],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Estimate>> {
+        masks
+            .iter()
+            .map(|mask| self.probe_count(mask, scratch))
+            .collect()
+    }
+
     /// One COUNT estimate per candidate value: the base mask restricted to
     /// each value of `attr` in turn — the top-k re-probe. The default
     /// rebuilds each probe mask locally (the same `restrict_in_place` step
@@ -136,6 +165,22 @@ impl ShardProbe for MaxEntSummary {
 
     fn probe_count(&self, mask: &Mask, scratch: &mut Self::Scratch) -> Result<Estimate> {
         self.count_under_mask(mask, scratch)
+    }
+
+    fn probe_probability_many(
+        &self,
+        masks: &[Mask],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<f64>> {
+        self.probabilities_under_masks(masks, scratch)
+    }
+
+    fn probe_count_many(
+        &self,
+        masks: &[Mask],
+        scratch: &mut Self::Scratch,
+    ) -> Result<Vec<Estimate>> {
+        self.counts_under_masks(masks, scratch)
     }
 
     fn probe_sum(
@@ -274,6 +319,61 @@ pub fn merged_count<P: ShardProbe>(
 ) -> Result<Estimate> {
     let counts = collect_fan_out(probes, scratches, |_, p, s| p.probe_count(mask, s))?;
     Ok(merge(counts, add_estimates))
+}
+
+/// Batched mixture probability: one batched per-shard pass (the fused
+/// kernel in-process, few wire rounds remotely) answers every mask; each
+/// mask then gets exactly the [`mixture_probability`] shard-order fold and
+/// clamp, so results are bitwise-identical to probing the masks one at a
+/// time.
+pub fn mixture_probability_many<P: ShardProbe>(
+    probes: &[P],
+    weights: &[f64],
+    masks: &[Mask],
+    scratches: &mut [P::Scratch],
+) -> Result<Vec<f64>> {
+    let per_shard = collect_fan_out(probes, scratches, |_, p, s| {
+        p.probe_probability_many(masks, s)
+    })?;
+    if per_shard.iter().any(|ps| ps.len() != masks.len()) {
+        return Err(ModelError::Remote(
+            "shards answered mismatched batch shapes".to_string(),
+        ));
+    }
+    Ok((0..masks.len())
+        .map(|m| {
+            per_shard
+                .iter()
+                .zip(weights)
+                .fold(0.0, |acc, (ps, &w)| acc + w * ps[m])
+                .clamp(0.0, 1.0)
+        })
+        .collect())
+}
+
+/// Batched merged COUNT: one batched per-shard pass, then the
+/// [`merged_count`] shard-order fold per mask (a single shard returns its
+/// sole estimate unchanged — the bitwise 1-shard guarantee).
+pub fn merged_count_many<P: ShardProbe>(
+    probes: &[P],
+    masks: &[Mask],
+    scratches: &mut [P::Scratch],
+) -> Result<Vec<Estimate>> {
+    let per_shard = collect_fan_out(probes, scratches, |_, p, s| p.probe_count_many(masks, s))?;
+    if per_shard.iter().any(|es| es.len() != masks.len()) {
+        return Err(ModelError::Remote(
+            "shards answered mismatched batch shapes".to_string(),
+        ));
+    }
+    Ok((0..masks.len())
+        .map(|m| {
+            per_shard
+                .iter()
+                .map(|es| es[m])
+                .reduce(add_estimates)
+                .expect("at least one shard")
+        })
+        .collect())
 }
 
 /// Merged SUM: per-shard estimates added in shard order.

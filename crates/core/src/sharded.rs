@@ -316,6 +316,25 @@ impl SummaryBackend for ShardedSummary {
         scatter::merged_count(&self.shards, mask, scratch)
     }
 
+    /// Batched mixture probability: every shard answers the whole mask
+    /// batch through its fused kernel, then each mask gets the standard
+    /// shard-order mixture fold — bitwise-identical to the per-mask loop.
+    fn probabilities_under_masks(
+        &self,
+        masks: &[Mask],
+        scratch: &mut ShardedScratch,
+    ) -> Result<Vec<f64>> {
+        scatter::mixture_probability_many(&self.shards, &self.weights, masks, scratch)
+    }
+
+    fn counts_under_masks(
+        &self,
+        masks: &[Mask],
+        scratch: &mut ShardedScratch,
+    ) -> Result<Vec<Estimate>> {
+        scatter::merged_count_many(&self.shards, masks, scratch)
+    }
+
     fn sum_under_mask(
         &self,
         base: &Mask,

@@ -187,6 +187,49 @@ fn incremental_refill_path_allocates_nothing() {
     );
 }
 
+/// The fused multi-mask path allocates nothing against a warmed scratch:
+/// after one `eval_masked_many_with` warm-up (which sizes the lane-major
+/// slab buffers), further fused batches — including ones mixing masks and
+/// straddling the lane width — stay on the stack and the scratch.
+#[test]
+fn warmed_fused_path_allocates_nothing() {
+    let (sizes, stats, a, mask) = model();
+    let flat = CompressedPolynomial::build(&sizes, &stats).unwrap();
+    let fact = FactorizedPolynomial::build(&sizes, &stats).unwrap();
+    let mut scratch = flat.make_scratch();
+    let mut fscratch = fact.make_scratch();
+    let identity = Mask::identity(sizes.len());
+    let masks: Vec<Mask> = (0..entropydb_core::polynomial::MAX_FUSED_LANES + 3)
+        .map(|i| {
+            if i % 2 == 0 {
+                identity.clone()
+            } else {
+                mask.clone()
+            }
+        })
+        .collect();
+    let mut out = vec![0.0; masks.len()];
+
+    // Warm-up sizes the lane-major fused buffers.
+    flat.eval_masked_many_with(&a, &masks, &mut scratch, &mut out);
+    fact.eval_masked_many_with(&a, &masks, &mut fscratch, &mut out);
+
+    let mut sink = 0.0;
+    let allocs = allocations_during(|| {
+        for _ in 0..16 {
+            flat.eval_masked_many_with(&a, &masks, &mut scratch, &mut out);
+            sink += out.iter().sum::<f64>();
+            fact.eval_masked_many_with(&a, &masks, &mut fscratch, &mut out);
+            sink += out.iter().sum::<f64>();
+        }
+    });
+    assert!(sink.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "steady-state fused evaluation must not allocate, saw {allocs} allocations"
+    );
+}
+
 /// The convenience wrappers still work (and obviously allocate) — the
 /// zero-alloc contract is specific to the `_with`/prefilled kernels.
 #[test]

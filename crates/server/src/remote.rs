@@ -140,6 +140,14 @@ const PROBE_VALUE_CHUNK: usize = 8192;
 /// bytes per index) against the line cap.
 const PROBE_INDEX_CHUNK: usize = 8192;
 
+/// Masks per `ProbabilityMany`/`CountMany` chunk. A mask is the heavy
+/// token (it spells out every bucket weight of every constrained
+/// attribute), so the chunk is small: 32 masks keep a batch line under the
+/// line cap even for domains in the thousands of buckets per attribute,
+/// while still amortizing the per-chunk fused slab traversal shard-side
+/// (2 × `MAX_FUSED_LANES`).
+const PROBE_MASK_CHUNK: usize = 32;
+
 impl ShardProbe for RemoteShard {
     /// Probe state lives in the per-shard connection pool, not in a
     /// per-call scratch.
@@ -163,6 +171,68 @@ impl ShardProbe for RemoteShard {
             ProbeResponse::Estimate(e) => Ok(e),
             other => Err(self.shape_error(&other)),
         }
+    }
+
+    /// The fused-batch probability probe: the mask batch rides a few
+    /// pipelined `probm` lines (chunked against the line cap) and the shard
+    /// answers each chunk through its fused kernel — bitwise-identical to
+    /// one `prob` probe per mask, at a fraction of the wire rounds.
+    fn probe_probability_many(&self, masks: &[Mask], _s: &mut ()) -> Result<Vec<f64>> {
+        if masks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probes: Vec<ProbeRequest> = masks
+            .chunks(PROBE_MASK_CHUNK)
+            .map(|chunk| ProbeRequest::ProbabilityMany {
+                masks: chunk.to_vec(),
+            })
+            .collect();
+        let responses = self.with_conn(|client| client.probe_pipelined(&probes))?;
+        let mut out = Vec::with_capacity(masks.len());
+        for resp in responses {
+            match resp {
+                ProbeResponse::Probabilities(ps) => out.extend(ps),
+                other => return Err(self.shape_error(&other)),
+            }
+        }
+        if out.len() != masks.len() {
+            return Err(self.named(format!(
+                "answered {} probabilities for {} masks",
+                out.len(),
+                masks.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// The fused-batch COUNT probe (`countm` lines); same contract as
+    /// [`RemoteShard::probe_probability_many`].
+    fn probe_count_many(&self, masks: &[Mask], _s: &mut ()) -> Result<Vec<Estimate>> {
+        if masks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let probes: Vec<ProbeRequest> = masks
+            .chunks(PROBE_MASK_CHUNK)
+            .map(|chunk| ProbeRequest::CountMany {
+                masks: chunk.to_vec(),
+            })
+            .collect();
+        let responses = self.with_conn(|client| client.probe_pipelined(&probes))?;
+        let mut out = Vec::with_capacity(masks.len());
+        for resp in responses {
+            match resp {
+                ProbeResponse::Estimates(list) => out.extend(list),
+                other => return Err(self.shape_error(&other)),
+            }
+        }
+        if out.len() != masks.len() {
+            return Err(self.named(format!(
+                "answered {} estimates for {} masks",
+                out.len(),
+                masks.len()
+            )));
+        }
+        Ok(out)
     }
 
     /// The compact top-k re-probe: one base mask + the candidate list per
@@ -434,6 +504,17 @@ impl SummaryBackend for RemoteShardedSummary {
 
     fn count_under_mask(&self, mask: &Mask, scratch: &mut Vec<()>) -> Result<Estimate> {
         scatter::merged_count(&self.shards, mask, scratch)
+    }
+
+    /// Batched mixture probability over the wire: every shard answers the
+    /// whole mask batch in a few pipelined lines, then the standard
+    /// shard-order mixture fold runs per mask.
+    fn probabilities_under_masks(&self, masks: &[Mask], scratch: &mut Vec<()>) -> Result<Vec<f64>> {
+        scatter::mixture_probability_many(&self.shards, &self.weights, masks, scratch)
+    }
+
+    fn counts_under_masks(&self, masks: &[Mask], scratch: &mut Vec<()>) -> Result<Vec<Estimate>> {
+        scatter::merged_count_many(&self.shards, masks, scratch)
     }
 
     fn sum_under_mask(

@@ -305,6 +305,13 @@ fn admit_probe(req: ProbeRequest) -> Result<ProbeRequest> {
                 "candidate probe batch exceeds the served maximum {MAX_BATCH}"
             )))
         }
+        ProbeRequest::ProbabilityMany { masks } | ProbeRequest::CountMany { masks }
+            if masks.len() > MAX_BATCH =>
+        {
+            Err(ModelError::Remote(format!(
+                "mask probe batch exceeds the served maximum {MAX_BATCH}"
+            )))
+        }
         _ => Ok(req),
     }
 }

@@ -6,10 +6,10 @@
 //! `criterion_main!` macros — with a simple median-of-samples timer.
 //!
 //! On top of timing, every bench target writes a machine-readable
-//! `BENCH_<target>.json` (median ns per op for each benchmark, plus
-//! per-group speedups against any `legacy`/`naive` baseline benchmark) into
-//! the invoking crate's directory, so the performance trajectory of the
-//! repository is tracked from run to run.
+//! `BENCH_<target>.json` (median, p50, and p99 ns per op for each
+//! benchmark, plus per-group speedups against any `legacy`/`naive`
+//! baseline benchmark) into the invoking crate's directory, so the
+//! performance trajectory of the repository is tracked from run to run.
 
 pub use std::hint::black_box;
 use std::sync::OnceLock;
@@ -33,6 +33,21 @@ pub struct Measurement {
     pub id: String,
     /// Median nanoseconds per iteration.
     pub median_ns: f64,
+    /// 50th-percentile (nearest-rank) nanoseconds per iteration.
+    pub p50_ns: f64,
+    /// 99th-percentile (nearest-rank) nanoseconds per iteration. With few
+    /// samples this degrades to the max — still the honest tail estimate.
+    pub p99_ns: f64,
+}
+
+/// Nearest-rank percentile of **sorted** samples: the smallest sample with
+/// at least `q`% of the distribution at or below it.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Benchmark driver holding the timing configuration and results.
@@ -115,6 +130,8 @@ impl Criterion {
             measurement_time,
             warm_up_time,
             median_ns: 0.0,
+            p50_ns: 0.0,
+            p99_ns: 0.0,
         };
         f(&mut bencher);
         let label = if group.is_empty() {
@@ -122,11 +139,16 @@ impl Criterion {
         } else {
             format!("{group}/{id}")
         };
-        eprintln!("bench {label:<60} {:>14.1} ns/iter", bencher.median_ns);
+        eprintln!(
+            "bench {label:<60} {:>14.1} ns/iter (p99 {:>14.1})",
+            bencher.median_ns, bencher.p99_ns
+        );
         self.results.push(Measurement {
             group,
             id,
             median_ns: bencher.median_ns,
+            p50_ns: bencher.p50_ns,
+            p99_ns: bencher.p99_ns,
         });
     }
 }
@@ -159,6 +181,8 @@ pub struct Bencher {
     measurement_time: Duration,
     warm_up_time: Duration,
     median_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
 }
 
 impl Bencher {
@@ -198,6 +222,8 @@ impl Bencher {
         } else {
             samples[mid]
         };
+        self.p50_ns = percentile_sorted(&samples, 50.0);
+        self.p99_ns = percentile_sorted(&samples, 99.0);
     }
 }
 
@@ -247,16 +273,27 @@ impl BenchReport {
             let members: Vec<&Measurement> =
                 self.results.iter().filter(|m| &m.group == group).collect();
             out.push_str(&format!("    {}: {{\n", json_str(group)));
-            out.push_str("      \"median_ns\": {\n");
-            for (i, m) in members.iter().enumerate() {
-                let comma = if i + 1 < members.len() { "," } else { "" };
-                out.push_str(&format!(
-                    "        {}: {:.2}{comma}\n",
-                    json_str(&m.id),
-                    m.median_ns
-                ));
+            let stat_block = |out: &mut String, key: &str, stat: fn(&Measurement) -> f64| {
+                out.push_str(&format!("      \"{key}\": {{\n"));
+                for (i, m) in members.iter().enumerate() {
+                    let comma = if i + 1 < members.len() { "," } else { "" };
+                    out.push_str(&format!(
+                        "        {}: {:.2}{comma}\n",
+                        json_str(&m.id),
+                        stat(m)
+                    ));
+                }
+                out.push_str("      }");
+            };
+            stat_block(&mut out, "median_ns", |m| m.median_ns);
+            // Latency distribution, not just the median: nearest-rank p50
+            // and p99 from the same timed samples.
+            if !members.is_empty() {
+                out.push_str(",\n");
+                stat_block(&mut out, "p50_ns", |m| m.p50_ns);
+                out.push_str(",\n");
+                stat_block(&mut out, "p99_ns", |m| m.p99_ns);
             }
-            out.push_str("      }");
             // Per-group speedups against a baseline benchmark, when present:
             // `legacy` (the pre-refactor implementation) wins over `naive`
             // (the uncompressed oracle).
@@ -388,6 +425,21 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"baseline\": \"naive_sum\""));
         assert!(json.contains("\"other\""));
+        // The latency distribution rides along with the medians.
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"p99_ns\""));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 99.0), 99.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 100.0);
+        // Degenerate sizes: the tail percentile falls back to the max.
+        assert_eq!(percentile_sorted(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile_sorted(&[3.0, 9.0], 99.0), 9.0);
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
     }
 
     #[test]
