@@ -34,8 +34,29 @@ pub enum ModelError {
     /// The model and a query/mask disagree on schema shape.
     ShapeMismatch,
     /// An error reported by a remote query service (the wire protocol's
-    /// `err` response payload).
+    /// `err` response payload). Remote errors are *deterministic*: the
+    /// server executed (or rejected) the request and answered — re-sending
+    /// the same line would produce the same error, so callers must not
+    /// retry or fail over on it.
     Remote(String),
+    /// The server deliberately shed load (session capacity, admission
+    /// control) instead of executing the request — the wire protocol's
+    /// `busy` response payload. Unlike [`ModelError::Remote`], a busy
+    /// answer is *transient*: the same request is expected to succeed
+    /// after a backoff, on this node or a replica.
+    Busy(String),
+    /// A sharded fan-out lost a shard: every live replica of the named
+    /// shard failed (transport, protocol, or exhausted retry budget).
+    /// Carries the shard identity so operators can see exactly which
+    /// placement is degraded.
+    Degraded {
+        /// Index of the degraded shard within the cluster.
+        shard: usize,
+        /// Address of the last replica tried.
+        addr: String,
+        /// The underlying failure, in wire-safe prose.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -77,6 +98,12 @@ impl fmt::Display for ModelError {
             }
             ModelError::ShapeMismatch => write!(f, "model/query shape mismatch"),
             ModelError::Remote(message) => write!(f, "remote query error: {message}"),
+            ModelError::Busy(message) => write!(f, "server busy: {message}"),
+            ModelError::Degraded {
+                shard,
+                addr,
+                detail,
+            } => write!(f, "shard {shard} ({addr}) degraded: {detail}"),
         }
     }
 }

@@ -32,11 +32,14 @@
 //!           | "ranked" len (value expectation variance)*
 //!           | "rows" nrows arity code*
 //!           | "err" message...
+//!           | "busy" message...
 //! ```
 //!
 //! The `err` payload is the serving layer's error channel: decoding it
 //! yields [`ModelError::Remote`] so client-side callers see one `Result`
-//! type for local and served execution.
+//! type for local and served execution. `busy` is the load-shedding
+//! channel — it decodes to [`ModelError::Busy`], which (unlike `err`)
+//! marks a *transient* condition a caller may retry after a backoff.
 
 use crate::error::{ModelError, Result};
 use crate::query::Estimate;
@@ -479,12 +482,16 @@ impl QueryResponse {
                 }
                 QueryResponse::Rows { arity, rows }
             }
-            "err" => {
-                // The message is the raw line after the "r1 err " prefix.
+            "err" | "busy" => {
+                // The message is the raw line after the "r1 err|busy " prefix.
                 let msg = line.trim_start();
                 let msg = msg.strip_prefix("r1").unwrap_or(msg).trim_start();
-                let msg = msg.strip_prefix("err").unwrap_or(msg).trim_start();
-                return Err(ModelError::Remote(msg.to_string()));
+                let msg = msg.strip_prefix(op).unwrap_or(msg).trim_start();
+                return Err(if op == "busy" {
+                    ModelError::Busy(msg.to_string())
+                } else {
+                    ModelError::Remote(msg.to_string())
+                });
             }
             other => return Err(wire_error(format!("unknown response op {other:?}"))),
         };
@@ -493,10 +500,16 @@ impl QueryResponse {
     }
 
     /// Encodes an error as the wire error payload, the serving layer's
-    /// error channel (decodes back to [`ModelError::Remote`]).
+    /// error channel. [`ModelError::Busy`] keeps its type across the wire
+    /// (the `busy` payload, decoding back to `Busy`) so clients can tell a
+    /// retryable load-shed from a deterministic failure; every other error
+    /// decodes back to [`ModelError::Remote`].
     pub fn encode_error(err: &ModelError) -> String {
         // Newlines would break the line protocol.
-        format!("r1 err {}", err.to_string().replace('\n', " "))
+        match err {
+            ModelError::Busy(msg) => format!("r1 busy {}", msg.replace('\n', " ")),
+            _ => format!("r1 err {}", err.to_string().replace('\n', " ")),
+        }
     }
 }
 

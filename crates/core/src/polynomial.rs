@@ -912,7 +912,7 @@ impl CompressedPolynomial {
     /// The pre-vectorization masked-eval kernel, retained verbatim as the
     /// A/B baseline for the `legacy-bench` benchmarks: a single-accumulator
     /// term walk with per-term zero early-outs and a data-dependent inner
-    /// factor loop. Same blocked reduction structure as [`sum_terms`], so
+    /// factor loop. Same blocked reduction structure as `sum_terms`, so
     /// the comparison isolates the kernel shape, not the parallel split.
     #[cfg(any(test, feature = "legacy-bench"))]
     pub fn eval_masked_legacy_with(
@@ -975,7 +975,7 @@ impl CompressedPolynomial {
 
     /// Fills the lane-major fused slab for `lanes` masks: `get(i, b)`
     /// returns attribute `i`'s variable values and lane `b`'s mask weights.
-    /// Each lane runs the exact [`CompressedPolynomial::fill_row`] update
+    /// Each lane runs the exact `CompressedPolynomial::fill_row` update
     /// sequence, so lane `b`'s slab cells are bitwise-identical to the
     /// row-major slab a scalar [`CompressedPolynomial::fill_scratch_with`]
     /// would produce for that mask.

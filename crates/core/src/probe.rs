@@ -35,6 +35,7 @@
 //!           | "ranked" len (value expectation variance)*
 //!           | "rows" nrows arity code*
 //!           | "err" message...
+//!           | "busy" message...
 //! ```
 //!
 //! `probm` / `countm` are the fused-batch probes: one line carries a whole
@@ -360,7 +361,8 @@ impl ProbeResponse {
     }
 
     /// Decodes a response from its wire form. An error payload
-    /// (`c1 err ...`) decodes to [`ModelError::Remote`].
+    /// (`c1 err ...`) decodes to [`ModelError::Remote`]; a load-shed
+    /// payload (`c1 busy ...`) to [`ModelError::Busy`].
     pub fn decode(line: &str) -> Result<Self> {
         let mut r = TokenReader::new(line);
         r.expect("c1")?;
@@ -410,11 +412,15 @@ impl ProbeResponse {
                 }
                 ProbeResponse::Rows { arity, rows }
             }
-            "err" => {
+            "err" | "busy" => {
                 let msg = line.trim_start();
                 let msg = msg.strip_prefix("c1").unwrap_or(msg).trim_start();
-                let msg = msg.strip_prefix("err").unwrap_or(msg).trim_start();
-                return Err(ModelError::Remote(msg.to_string()));
+                let msg = msg.strip_prefix(op).unwrap_or(msg).trim_start();
+                return Err(if op == "busy" {
+                    ModelError::Busy(msg.to_string())
+                } else {
+                    ModelError::Remote(msg.to_string())
+                });
             }
             other => return Err(wire_error(format!("unknown probe response op {other:?}"))),
         };
@@ -422,10 +428,15 @@ impl ProbeResponse {
         Ok(resp)
     }
 
-    /// Encodes an error as the probe error payload (decodes back to
-    /// [`ModelError::Remote`]).
+    /// Encodes an error as the probe error payload. [`ModelError::Busy`]
+    /// keeps its type across the wire (the `busy` payload) so a gatherer
+    /// can back off and retry a shedding shard instead of degrading it;
+    /// every other error decodes back to [`ModelError::Remote`].
     pub fn encode_error(err: &ModelError) -> String {
-        format!("c1 err {}", err.to_string().replace('\n', " "))
+        match err {
+            ModelError::Busy(msg) => format!("c1 busy {}", msg.replace('\n', " ")),
+            _ => format!("c1 err {}", err.to_string().replace('\n', " ")),
+        }
     }
 }
 

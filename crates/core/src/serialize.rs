@@ -431,47 +431,79 @@ pub fn save_sharded_dir(summary: &ShardedSummary, dir: &Path) -> std::io::Result
     std::fs::write(dir.join("manifest.txt"), manifest)
 }
 
-/// One shard placement of a cluster manifest: which address serves which
+/// One shard placement of a cluster manifest: which addresses serve which
 /// shard, and the shard's expected cardinality (verified against the
 /// served summary during the connect handshake, so a node serving the
 /// wrong blob is caught before any query fans out to it).
+///
+/// A shard may list several **replica** endpoints, all serving the same
+/// shard blob; a gatherer fails over between them, so a killed or wedged
+/// node degrades latency instead of correctness.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterShard {
     /// Shard index (dense, `0..k`).
     pub index: usize,
     /// Expected shard cardinality `n_s`.
     pub n: u64,
-    /// `host:port` of the `entropydb-serve` instance holding the shard.
-    pub addr: String,
+    /// `host:port` of every `entropydb-serve` replica holding the shard,
+    /// in preference order. At least one.
+    pub addrs: Vec<String>,
+}
+
+impl ClusterShard {
+    /// A single-replica placement (the v1 manifest shape).
+    pub fn single(index: usize, n: u64, addr: impl Into<String>) -> ClusterShard {
+        ClusterShard {
+            index,
+            n,
+            addrs: vec![addr.into()],
+        }
+    }
+
+    /// The preferred (first-listed) replica address.
+    pub fn primary(&self) -> &str {
+        self.addrs.first().map(String::as_str).unwrap_or("")
+    }
 }
 
 /// Serializes a cluster manifest — the shard-per-node placement document
 /// consumed by a remote scatter/gather backend:
 ///
 /// ```text
-/// entropydb-cluster-manifest v1
+/// entropydb-cluster-manifest v2
 /// shards <k>
-/// shard <index> <cardinality> <host:port>
+/// shard <index> <cardinality> <host:port> [<host:port> ...]
 /// end
 /// ```
+///
+/// Every address on a `shard` line is a replica serving the same shard
+/// blob. The v1 format (exactly one address per shard) is still parsed by
+/// [`cluster_manifest_from_str`].
 pub fn cluster_manifest_to_string(shards: &[ClusterShard]) -> String {
     let mut out = String::new();
-    out.push_str("entropydb-cluster-manifest v1\n");
+    out.push_str("entropydb-cluster-manifest v2\n");
     let _ = writeln!(out, "shards {}", shards.len());
     for s in shards {
-        let _ = writeln!(out, "shard {} {} {}", s.index, s.n, s.addr);
+        let _ = write!(out, "shard {} {}", s.index, s.n);
+        for addr in &s.addrs {
+            let _ = write!(out, " {addr}");
+        }
+        out.push('\n');
     }
     out.push_str("end\n");
     out
 }
 
-/// Parses a cluster manifest; shard indices must be dense and in order.
+/// Parses a cluster manifest (v2 replica lists, or the single-address v1
+/// format); shard indices must be dense and in order, and every shard must
+/// list at least one replica address.
 pub fn cluster_manifest_from_str(text: &str) -> Result<Vec<ClusterShard>> {
     let mut p = Parser {
         lines: text.lines().enumerate(),
     };
     let (line_no, header) = p.next_line()?;
-    if header != "entropydb-cluster-manifest v1" {
+    let v1 = header == "entropydb-cluster-manifest v1";
+    if !v1 && header != "entropydb-cluster-manifest v2" {
         return Err(ModelError::Parse {
             line: line_no,
             message: format!("unrecognized cluster manifest header {header:?}"),
@@ -488,10 +520,11 @@ pub fn cluster_manifest_from_str(text: &str) -> Result<Vec<ClusterShard>> {
     let mut shards = Vec::with_capacity(k);
     for expected in 0..k {
         let (ln, toks) = p.expect_tagged("shard")?;
-        if toks.len() != 3 {
+        // v1 lines carry exactly one address; v2 lines one or more.
+        if toks.len() < 3 || (v1 && toks.len() != 3) {
             return Err(ModelError::Parse {
                 line: ln,
-                message: "cluster shard needs: index n addr".to_string(),
+                message: "cluster shard needs: index n addr [addr ...]".to_string(),
             });
         }
         let idx: usize = parse(toks[0], ln, "shard index")?;
@@ -504,7 +537,7 @@ pub fn cluster_manifest_from_str(text: &str) -> Result<Vec<ClusterShard>> {
         shards.push(ClusterShard {
             index: idx,
             n: parse(toks[1], ln, "shard n")?,
-            addr: toks[2].to_string(),
+            addrs: toks[2..].iter().map(|t| t.to_string()).collect(),
         });
     }
     p.expect_tagged("end")?;
@@ -828,16 +861,8 @@ mod tests {
     #[test]
     fn cluster_manifest_round_trips_and_rejects_corruption() {
         let shards = vec![
-            ClusterShard {
-                index: 0,
-                n: 40,
-                addr: "127.0.0.1:4151".to_string(),
-            },
-            ClusterShard {
-                index: 1,
-                n: 20,
-                addr: "10.0.0.7:4141".to_string(),
-            },
+            ClusterShard::single(0, 40, "127.0.0.1:4151"),
+            ClusterShard::single(1, 20, "10.0.0.7:4141"),
         ];
         let text = cluster_manifest_to_string(&shards);
         assert_eq!(cluster_manifest_from_str(&text).unwrap(), shards);
@@ -846,7 +871,90 @@ mod tests {
         // Out-of-order shard indices rejected.
         assert!(cluster_manifest_from_str(&text.replace("shard 1 ", "shard 9 ")).is_err());
         // Zero shards rejected.
-        assert!(cluster_manifest_from_str("entropydb-cluster-manifest v1\nshards 0\nend").is_err());
+        assert!(cluster_manifest_from_str("entropydb-cluster-manifest v2\nshards 0\nend").is_err());
+    }
+
+    /// The v2 manifest carries replica lists: round-trip identity, replica
+    /// order preserved, and mixed replica counts per shard.
+    #[test]
+    fn replicated_cluster_manifest_round_trips() {
+        let shards = vec![
+            ClusterShard {
+                index: 0,
+                n: 40,
+                addrs: vec![
+                    "127.0.0.1:4151".to_string(),
+                    "127.0.0.1:5151".to_string(),
+                    "10.0.0.9:4151".to_string(),
+                ],
+            },
+            ClusterShard::single(1, 20, "10.0.0.7:4141"),
+        ];
+        let text = cluster_manifest_to_string(&shards);
+        assert!(text.starts_with("entropydb-cluster-manifest v2\n"));
+        let parsed = cluster_manifest_from_str(&text).unwrap();
+        assert_eq!(parsed, shards);
+        assert_eq!(parsed[0].primary(), "127.0.0.1:4151");
+        // Encode → decode → encode is the identity.
+        assert_eq!(cluster_manifest_to_string(&parsed), text);
+    }
+
+    /// v1 manifests (exactly one address per shard) still load, and the v1
+    /// header rejects replica lists it could never have produced.
+    #[test]
+    fn cluster_manifest_v1_back_compat() {
+        let v1 = "entropydb-cluster-manifest v1\n\
+                  shards 2\n\
+                  shard 0 40 127.0.0.1:4151\n\
+                  shard 1 20 10.0.0.7:4141\n\
+                  end\n";
+        let parsed = cluster_manifest_from_str(v1).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ClusterShard::single(0, 40, "127.0.0.1:4151"),
+                ClusterShard::single(1, 20, "10.0.0.7:4141"),
+            ]
+        );
+        // A v1 header with a v2-style replica list is malformed.
+        let bad = v1.replace("shard 0 40 127.0.0.1:4151", "shard 0 40 a:1 b:2");
+        assert!(cluster_manifest_from_str(&bad).is_err());
+    }
+
+    /// Truncation and field corruption anywhere in a v2 manifest fail the
+    /// parse with a line-numbered diagnostic instead of loading garbage.
+    #[test]
+    fn replicated_cluster_manifest_rejects_corruption_and_truncation() {
+        let shards = vec![
+            ClusterShard {
+                index: 0,
+                n: 40,
+                addrs: vec!["127.0.0.1:4151".to_string(), "127.0.0.1:5151".to_string()],
+            },
+            ClusterShard::single(1, 20, "10.0.0.7:4141"),
+        ];
+        let text = cluster_manifest_to_string(&shards);
+        // Every proper prefix of the document is rejected (the parser
+        // never accepts a truncated manifest).
+        for cut in 1..text.lines().count() {
+            let truncated: String = text
+                .lines()
+                .take(cut)
+                .map(|l| format!("{l}\n"))
+                .collect::<String>();
+            assert!(
+                cluster_manifest_from_str(&truncated).is_err(),
+                "truncated manifest at {cut} lines must not parse"
+            );
+        }
+        // A shard line missing its addresses is rejected.
+        assert!(
+            cluster_manifest_from_str(&text.replace(" 127.0.0.1:4151 127.0.0.1:5151", "")).is_err()
+        );
+        // Unparseable cardinality is rejected.
+        assert!(cluster_manifest_from_str(&text.replace("shard 1 20", "shard 1 twenty")).is_err());
+        // Declared shard count larger than the body is rejected.
+        assert!(cluster_manifest_from_str(&text.replace("shards 2", "shards 3")).is_err());
     }
 
     #[test]

@@ -2,35 +2,64 @@
 //!
 //! ```text
 //! entropydb-cluster spawn <sharded summary> [--base-port P] [--manifest FILE]
+//!                         [--replicas R] [--control-file FILE]
+//!                         [--idle-timeout SECS]
+//! entropydb-cluster restart <control file or HOST:PORT>
 //! entropydb-cluster probe <manifest>
 //! entropydb-cluster gateway <manifest> [--addr HOST:PORT]
+//!                           [--connect-timeout SECS] [--probe-timeout SECS]
+//!                           [--rehandshake-secs SECS]
 //! entropydb-cluster make-demo <dir> [--shards N] [--rows R] [--base-port P]
+//!                             [--replicas R]
 //! ```
 //!
 //! * `spawn` loads a sharded summary (single-file manifest or
 //!   `save_sharded_dir` directory) and serves **each shard on its own
-//!   port** (`base-port + shard index`; `--base-port 0` picks ephemeral
-//!   ports), writing the cluster manifest the scatter/gather backend
-//!   consumes. Serves until stdin reaches EOF or a `quit` line.
-//! * `probe` health-checks every shard of a manifest: dials it, runs the
-//!   schema/cardinality handshake, and reports per-shard status; exits
-//!   non-zero if any shard is degraded.
+//!   port** — `--replicas R` serves each shard from `R` independent
+//!   server instances (ports `base-port + shard*R + replica`;
+//!   `--base-port 0` picks ephemeral ports) and the written manifest
+//!   lists every replica, so a gateway fails over between them.
+//!   `--control-file FILE` additionally opens a localhost control
+//!   channel (its address is written to `FILE`) accepting `status`,
+//!   `restart` (rolling, see below), and `quit` lines. Serves until
+//!   stdin reaches EOF or a `quit` line.
+//! * `restart` dials a spawn's control channel and triggers a **rolling
+//!   restart**: one replica at a time is drained, shut down, and
+//!   respawned while the remaining replicas keep answering — a gateway
+//!   over the manifest keeps serving throughout (with `--replicas` ≥ 2).
+//!   A respawned replica first tries its old port; if the OS still holds
+//!   it (TIME_WAIT — std listeners cannot set `SO_REUSEADDR`), it falls
+//!   back to an ephemeral port and the manifest file is rewritten.
+//! * `probe` health-checks every **replica** of a manifest: dials it,
+//!   runs the schema/cardinality handshake, and reports per-replica
+//!   status; exits non-zero if any replica is dead or serving the wrong
+//!   blob.
 //! * `gateway` connects a [`RemoteShardedSummary`] over the manifest and
 //!   serves it on one address — a scatter/gather front-end node answering
-//!   the ordinary query protocol while fanning out to the shard nodes.
+//!   the ordinary query protocol while fanning out to the shard nodes,
+//!   failing over between replicas per its `FailoverConfig` (deadlines
+//!   configurable via the flags above). `--rehandshake-secs` starts the
+//!   background re-handshake that evicts replicas caught serving a
+//!   changed blob.
 //! * `make-demo` builds a small deterministic sharded summary and writes
 //!   everything a localhost cluster walkthrough (or the `cluster-e2e` CI
 //!   job) needs: per-shard blobs for `entropydb-serve`, the combined
-//!   sharded blob as the local parity reference, and a manifest pointing
-//!   at `127.0.0.1:base-port + i`.
+//!   sharded blob as the local parity reference, and a manifest listing
+//!   `--replicas` endpoints per shard.
 
 use entropydb_core::engine::QueryEngine;
 use entropydb_core::serialize::{self, ClusterShard};
 use entropydb_core::sharded::ShardedSummary;
-use entropydb_server::{demo, serve, Client, RemoteShardedSummary, ServerHandle};
-use std::io::BufRead;
-use std::path::Path;
+use entropydb_server::{
+    serve_with, Client, FailoverConfig, RemoteShardedSummary, ServerConfig, ServerHandle,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -38,9 +67,12 @@ fn usage() -> ExitCode {
          \n\
          commands:\n\
          \x20 spawn <sharded summary> [--base-port P] [--manifest FILE]\n\
+         \x20       [--replicas R] [--control-file FILE] [--idle-timeout SECS]\n\
+         \x20 restart <control file or HOST:PORT>\n\
          \x20 probe <manifest>\n\
-         \x20 gateway <manifest> [--addr HOST:PORT]\n\
-         \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P]"
+         \x20 gateway <manifest> [--addr HOST:PORT] [--connect-timeout SECS]\n\
+         \x20         [--probe-timeout SECS] [--rehandshake-secs SECS]\n\
+         \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P] [--replicas R]"
     );
     ExitCode::from(2)
 }
@@ -51,12 +83,12 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Checks that `base_port + count - 1` stays a valid port (`base_port` 0
-/// means ephemeral and is always fine).
+/// Checks that the highest assigned port stays valid (`base_port` 0 means
+/// ephemeral and is always fine).
 fn check_port_range(base_port: u16, count: usize) -> Result<(), String> {
     if base_port != 0 && (base_port as usize) + count - 1 > u16::MAX as usize {
         return Err(format!(
-            "--base-port {base_port} + {count} shards overflows the port range"
+            "--base-port {base_port} + {count} listeners overflows the port range"
         ));
     }
     Ok(())
@@ -73,14 +105,15 @@ fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) ->
     }
 }
 
-fn wait_for_quit() {
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        match line {
-            Ok(l) if l.trim() == "quit" => break,
-            Ok(_) => continue,
-            Err(_) => break,
-        }
+/// Parses an optional duration flag given in (possibly fractional)
+/// seconds; `None` when the flag is absent.
+fn duration_flag(args: &[String], name: &str) -> Result<Option<Duration>, String> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Ok(Some(Duration::from_secs_f64(secs))),
+            _ => Err(format!("cannot parse {name} value {raw:?}")),
+        },
     }
 }
 
@@ -92,18 +125,214 @@ fn load_sharded(path: &Path) -> Result<ShardedSummary, String> {
     }
 }
 
-/// Serve every shard of a sharded summary on its own port.
+/// One serving replica of one shard.
+struct Slot {
+    addr: String,
+    handle: Option<ServerHandle>,
+}
+
+/// Everything `spawn` keeps alive: the shard models (for respawning),
+/// the serving slots, and the manifest bookkeeping.
+struct ClusterState {
+    sharded: ShardedSummary,
+    /// `slots[shard][replica]`.
+    slots: Vec<Vec<Slot>>,
+    manifest_path: Option<PathBuf>,
+    server_config: ServerConfig,
+}
+
+impl ClusterState {
+    fn manifest(&self) -> Vec<ClusterShard> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, replicas)| ClusterShard {
+                index: i,
+                n: self.sharded.shards()[i].n(),
+                addrs: replicas.iter().map(|s| s.addr.clone()).collect(),
+            })
+            .collect()
+    }
+
+    /// Rewrites the manifest file (if one was requested) after a topology
+    /// change; errors are reported, not fatal — the in-memory cluster
+    /// keeps serving.
+    fn rewrite_manifest(&self) -> Result<(), String> {
+        if let Some(path) = &self.manifest_path {
+            serialize::save_cluster_manifest(&self.manifest(), path)
+                .map_err(|e| format!("cannot rewrite manifest {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Drains and respawns one replica: graceful shutdown (sessions
+    /// disconnect and join), then rebind. The old port is tried first;
+    /// when the OS still holds it (TIME_WAIT), the replica comes back on
+    /// an ephemeral port instead and the caller rewrites the manifest.
+    fn restart_slot(&mut self, shard: usize, replica: usize) -> Result<String, String> {
+        let old_addr = self.slots[shard][replica].addr.clone();
+        if let Some(handle) = self.slots[shard][replica].handle.take() {
+            handle.shutdown();
+        }
+        let model = self.sharded.shards()[shard].clone();
+        let config = self.server_config.clone();
+        let handle = match serve_with(QueryEngine::new(model.clone()), old_addr.as_str(), config) {
+            Ok(handle) => handle,
+            Err(_) => serve_with(
+                QueryEngine::new(model),
+                "127.0.0.1:0",
+                self.server_config.clone(),
+            )
+            .map_err(|e| format!("shard {shard} replica {replica}: cannot rebind: {e}"))?,
+        };
+        let new_addr = handle.local_addr().to_string();
+        self.slots[shard][replica].addr = new_addr.clone();
+        self.slots[shard][replica].handle = Some(handle);
+        Ok(format!(
+            "restarted shard {shard} replica {replica} {old_addr} -> {new_addr}"
+        ))
+    }
+
+    fn shutdown_all(&mut self) {
+        for replicas in &mut self.slots {
+            for slot in replicas {
+                if let Some(handle) = slot.handle.take() {
+                    handle.shutdown();
+                }
+            }
+        }
+    }
+}
+
+/// Why `spawn` is exiting: operator request from stdin or the control
+/// channel.
+enum Exit {
+    Quit,
+}
+
+/// The control channel of a running `spawn`: a localhost line protocol
+/// (`status`, `restart`, `quit`) used by `entropydb-cluster restart` and
+/// the e2e suites. Single-command connections are fine; the listener
+/// polls so it can observe shutdown.
+fn control_loop(
+    listener: TcpListener,
+    state: Arc<Mutex<ClusterState>>,
+    stop: Arc<AtomicBool>,
+    exit_tx: mpsc::Sender<Exit>,
+) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let command = line.trim();
+            let mut quit_after = false;
+            let reply = match command {
+                "" => continue,
+                "status" => {
+                    let state = state.lock().expect("cluster state");
+                    let mut out = String::new();
+                    for (i, replicas) in state.slots.iter().enumerate() {
+                        for (j, slot) in replicas.iter().enumerate() {
+                            out.push_str(&format!("shard {i} replica {j} {} up\n", slot.addr));
+                        }
+                    }
+                    out.push_str("ok\n");
+                    out
+                }
+                "restart" => {
+                    let mut state = state.lock().expect("cluster state");
+                    let mut out = String::new();
+                    let mut failed = false;
+                    let shards = state.slots.len();
+                    'rolling: for i in 0..shards {
+                        for j in 0..state.slots[i].len() {
+                            match state.restart_slot(i, j) {
+                                Ok(msg) => out.push_str(&format!("{msg}\n")),
+                                Err(e) => {
+                                    out.push_str(&format!("err {e}\n"));
+                                    failed = true;
+                                    break 'rolling;
+                                }
+                            }
+                        }
+                    }
+                    if !failed {
+                        if let Err(e) = state.rewrite_manifest() {
+                            out.push_str(&format!("err {e}\n"));
+                            failed = true;
+                        }
+                    }
+                    if !failed {
+                        out.push_str("ok\n");
+                    }
+                    out
+                }
+                "quit" => {
+                    quit_after = true;
+                    "ok\n".to_string()
+                }
+                other => format!("err unknown command {other:?}\n"),
+            };
+            if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+                break;
+            }
+            if quit_after {
+                let _ = exit_tx.send(Exit::Quit);
+                return;
+            }
+        }
+    }
+}
+
+/// Serve every shard of a sharded summary on its own port(s).
 fn cmd_spawn(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
-    let base_port: u16 = match parsed_flag(args, "--base-port", 4151) {
-        Ok(p) => p,
+    let parsed = (|| -> Result<(u16, usize, Option<Duration>), String> {
+        Ok((
+            parsed_flag(args, "--base-port", 4151)?,
+            parsed_flag(args, "--replicas", 1)?,
+            duration_flag(args, "--idle-timeout")?,
+        ))
+    })();
+    let (base_port, replicas, idle_timeout) = match parsed {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
+    if replicas == 0 {
+        eprintln!("error: --replicas must be at least 1");
+        return ExitCode::FAILURE;
+    }
     let sharded = match load_sharded(Path::new(path)) {
         Ok(s) => s,
         Err(e) => {
@@ -111,63 +340,200 @@ fn cmd_spawn(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = check_port_range(base_port, sharded.num_shards()) {
+    if let Err(e) = check_port_range(base_port, sharded.num_shards() * replicas) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
-    let mut handles: Vec<ServerHandle> = Vec::new();
-    let mut manifest: Vec<ClusterShard> = Vec::new();
+    let server_config = ServerConfig {
+        idle_timeout,
+        max_sessions: None,
+    };
+    let mut slots: Vec<Vec<Slot>> = Vec::new();
     for (i, shard) in sharded.shards().iter().enumerate() {
-        let port = if base_port == 0 {
-            0
-        } else {
-            base_port + i as u16
-        };
-        let engine = QueryEngine::new(shard.clone());
-        match serve(engine, ("127.0.0.1", port)) {
-            Ok(handle) => {
-                manifest.push(ClusterShard {
-                    index: i,
-                    n: shard.n(),
-                    addr: handle.local_addr().to_string(),
-                });
-                eprintln!(
-                    "shard {i}: n = {}, serving on {}",
-                    shard.n(),
-                    handle.local_addr()
-                );
-                handles.push(handle);
+        let mut shard_slots = Vec::new();
+        for j in 0..replicas {
+            let port = if base_port == 0 {
+                0
+            } else {
+                base_port + (i * replicas + j) as u16
+            };
+            let engine = QueryEngine::new(shard.clone());
+            match serve_with(engine, ("127.0.0.1", port), server_config.clone()) {
+                Ok(handle) => {
+                    eprintln!(
+                        "shard {i} replica {j}: n = {}, serving on {}",
+                        shard.n(),
+                        handle.local_addr()
+                    );
+                    shard_slots.push(Slot {
+                        addr: handle.local_addr().to_string(),
+                        handle: Some(handle),
+                    });
+                }
+                Err(e) => {
+                    eprintln!("shard {i} replica {j}: cannot bind port {port}: {e}");
+                    for replicas in &mut slots {
+                        for slot in replicas {
+                            if let Some(handle) = slot.handle.take() {
+                                handle.shutdown();
+                            }
+                        }
+                    }
+                    for slot in &mut shard_slots {
+                        if let Some(handle) = slot.handle.take() {
+                            handle.shutdown();
+                        }
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        slots.push(shard_slots);
+    }
+    let state = Arc::new(Mutex::new(ClusterState {
+        sharded,
+        slots,
+        manifest_path: flag(args, "--manifest").map(PathBuf::from),
+        server_config,
+    }));
+    {
+        let mut state = state.lock().expect("cluster state");
+        let text = serialize::cluster_manifest_to_string(&state.manifest());
+        print!("{text}");
+        if let Some(file) = state.manifest_path.clone() {
+            if let Err(e) = std::fs::write(&file, &text) {
+                eprintln!("cannot write manifest {}: {e}", file.display());
+                state.shutdown_all();
+                return ExitCode::FAILURE;
+            }
+            eprintln!("manifest written to {}", file.display());
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let (exit_tx, exit_rx) = mpsc::channel::<Exit>();
+    let mut control_thread = None;
+    if let Some(file) = flag(args, "--control-file") {
+        match TcpListener::bind("127.0.0.1:0") {
+            Ok(listener) => {
+                let addr = listener.local_addr().expect("control addr");
+                if let Err(e) = std::fs::write(&file, format!("{addr}\n")) {
+                    eprintln!("cannot write control file {file}: {e}");
+                    state.lock().expect("cluster state").shutdown_all();
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("control channel on {addr} (written to {file})");
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                let exit_tx = exit_tx.clone();
+                control_thread = Some(std::thread::spawn(move || {
+                    control_loop(listener, state, stop, exit_tx)
+                }));
             }
             Err(e) => {
-                eprintln!("shard {i}: cannot bind port {port}: {e}");
-                for handle in handles {
-                    handle.shutdown();
-                }
+                eprintln!("cannot bind control channel: {e}");
+                state.lock().expect("cluster state").shutdown_all();
                 return ExitCode::FAILURE;
             }
         }
     }
-    let text = serialize::cluster_manifest_to_string(&manifest);
-    print!("{text}");
-    if let Some(file) = flag(args, "--manifest") {
-        if let Err(e) = std::fs::write(&file, &text) {
-            eprintln!("cannot write manifest {file}: {e}");
-            for handle in handles {
-                handle.shutdown();
+    // Stdin watcher: EOF or a `quit` line ends the cluster, exactly like a
+    // control-channel `quit`.
+    {
+        let exit_tx = exit_tx.clone();
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if l.trim() == "quit" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
             }
-            return ExitCode::FAILURE;
-        }
-        eprintln!("manifest written to {file}");
+            let _ = exit_tx.send(Exit::Quit);
+        });
     }
     eprintln!("type 'quit' (or close stdin) to stop all shards");
-    wait_for_quit();
-    for handle in handles {
-        handle.shutdown();
+    let _ = exit_rx.recv();
+    stop.store(true, Ordering::SeqCst);
+    state.lock().expect("cluster state").shutdown_all();
+    if let Some(thread) = control_thread {
+        let _ = thread.join();
     }
     ExitCode::SUCCESS
 }
 
-/// Health-check every shard of a manifest.
+/// Resolves the `restart` operand: a file written by `spawn
+/// --control-file`, or a literal `HOST:PORT`.
+fn control_addr(operand: &str) -> Result<String, String> {
+    let path = Path::new(operand);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read control file {operand}: {e}"))?;
+        let addr = text.trim();
+        if addr.is_empty() {
+            return Err(format!("control file {operand} is empty"));
+        }
+        Ok(addr.to_string())
+    } else {
+        Ok(operand.to_string())
+    }
+}
+
+/// Trigger a rolling restart over a spawn's control channel.
+fn cmd_restart(args: &[String]) -> ExitCode {
+    let Some(operand) = args.first() else {
+        return usage();
+    };
+    let addr = match control_addr(operand) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect control channel {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if writer.write_all(b"restart\n").is_err() || writer.flush().is_err() {
+        eprintln!("cannot send restart command");
+        return ExitCode::FAILURE;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                eprintln!("control channel closed before completion");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {}
+        }
+        let msg = line.trim();
+        if msg == "ok" {
+            println!("rolling restart complete");
+            return ExitCode::SUCCESS;
+        }
+        if let Some(err) = msg.strip_prefix("err ") {
+            eprintln!("rolling restart failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("{msg}");
+    }
+}
+
+/// Health-check every replica of every shard of a manifest.
 fn cmd_probe(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
@@ -179,37 +545,41 @@ fn cmd_probe(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut degraded = 0usize;
+    let mut dead = 0usize;
+    let mut total = 0usize;
     for entry in &manifest {
-        let status = (|| -> Result<String, String> {
-            let mut client = Client::connect(entry.addr.as_str()).map_err(|e| e.to_string())?;
-            client.ping().map_err(|e| e.to_string())?;
-            let arity = client.schema().map_err(|e| e.to_string())?.arity();
-            let n = client
-                .served_n()
-                .map_err(|e| e.to_string())?
-                .ok_or("no cardinality handshake")?;
-            if n != entry.n {
-                return Err(format!("serves n = {n}, manifest declares {}", entry.n));
-            }
-            Ok(format!("ok (n = {n}, arity = {arity})"))
-        })();
-        match status {
-            Ok(msg) => println!("shard {} @ {}: {msg}", entry.index, entry.addr),
-            Err(msg) => {
-                degraded += 1;
-                println!("shard {} @ {}: DEGRADED: {msg}", entry.index, entry.addr);
+        for (j, addr) in entry.addrs.iter().enumerate() {
+            total += 1;
+            let status = (|| -> Result<String, String> {
+                let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+                client.ping().map_err(|e| e.to_string())?;
+                let arity = client.schema().map_err(|e| e.to_string())?.arity();
+                let n = client
+                    .served_n()
+                    .map_err(|e| e.to_string())?
+                    .ok_or("no cardinality handshake")?;
+                if n != entry.n {
+                    return Err(format!("serves n = {n}, manifest declares {}", entry.n));
+                }
+                Ok(format!("ok (n = {n}, arity = {arity})"))
+            })();
+            match status {
+                Ok(msg) => println!("shard {} replica {j} @ {addr}: {msg}", entry.index),
+                Err(msg) => {
+                    dead += 1;
+                    println!("shard {} replica {j} @ {addr}: DEAD: {msg}", entry.index);
+                }
             }
         }
     }
-    if degraded == 0 {
-        println!("cluster healthy: {} shards", manifest.len());
-        ExitCode::SUCCESS
-    } else {
+    if dead == 0 {
         println!(
-            "cluster degraded: {degraded}/{} shards failing",
+            "cluster healthy: {} shards, {total} replicas",
             manifest.len()
         );
+        ExitCode::SUCCESS
+    } else {
+        println!("cluster degraded: {dead}/{total} replicas failing");
         ExitCode::FAILURE
     }
 }
@@ -220,6 +590,21 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         return usage();
     };
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:4141".to_string());
+    type GatewayFlags = (Option<Duration>, Option<Duration>, Option<Duration>);
+    let parsed = (|| -> Result<GatewayFlags, String> {
+        Ok((
+            duration_flag(args, "--connect-timeout")?,
+            duration_flag(args, "--probe-timeout")?,
+            duration_flag(args, "--rehandshake-secs")?,
+        ))
+    })();
+    let (connect_timeout, probe_timeout, rehandshake) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let manifest = match serialize::load_cluster_manifest(Path::new(path)) {
         Ok(m) => m,
         Err(e) => {
@@ -227,19 +612,34 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let remote = match RemoteShardedSummary::connect(&manifest) {
+    let mut failover = FailoverConfig::default();
+    if connect_timeout.is_some() {
+        failover.connect_timeout = connect_timeout;
+    }
+    if probe_timeout.is_some() {
+        failover.probe_timeout = probe_timeout;
+    }
+    let mut remote = match RemoteShardedSummary::connect_with(&manifest, failover) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cannot connect cluster: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(interval) = rehandshake {
+        remote.start_rehandshake(interval);
+        eprintln!("background re-handshake every {interval:?}");
+    }
     eprintln!(
         "connected {} shards, total n = {}",
         remote.num_shards(),
         remote.n()
     );
-    match serve(QueryEngine::new(remote), addr.as_str()) {
+    match serve_with(
+        QueryEngine::new(remote),
+        addr.as_str(),
+        ServerConfig::default(),
+    ) {
         Ok(handle) => {
             println!("gateway listening on {}", handle.local_addr());
             eprintln!("type 'quit' (or close stdin) to stop");
@@ -254,27 +654,44 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     }
 }
 
+fn wait_for_quit() {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
 /// Write the demo cluster workspace: per-shard blobs, the combined sharded
-/// blob (local parity reference), and a localhost manifest.
+/// blob (local parity reference), and a localhost manifest (optionally
+/// with several replica endpoints per shard).
 fn cmd_make_demo(args: &[String]) -> ExitCode {
     let Some(dir) = args.first() else {
         return usage();
     };
-    let parsed = (|| -> Result<(usize, usize, u16), String> {
+    let parsed = (|| -> Result<(usize, usize, u16, usize), String> {
         Ok((
             parsed_flag(args, "--shards", 4)?,
             parsed_flag(args, "--rows", 240)?,
             parsed_flag(args, "--base-port", 4151)?,
+            parsed_flag(args, "--replicas", 1)?,
         ))
     })();
-    let (shards, rows, base_port) = match parsed {
+    let (shards, rows, base_port, replicas) = match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return usage();
         }
     };
-    if let Err(e) = check_port_range(base_port, shards.max(1)) {
+    if replicas == 0 {
+        eprintln!("error: --replicas must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = check_port_range(base_port, shards.max(1) * replicas) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -283,7 +700,7 @@ fn cmd_make_demo(args: &[String]) -> ExitCode {
         eprintln!("cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    let sharded = match demo::demo_summary(rows, shards) {
+    let sharded = match entropydb_server::demo::demo_summary(rows, shards) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot build demo summary: {e}");
@@ -301,10 +718,13 @@ fn cmd_make_demo(args: &[String]) -> ExitCode {
             eprintln!("cannot write {}: {e}", file.display());
             return ExitCode::FAILURE;
         }
+        let addrs = (0..replicas)
+            .map(|j| format!("127.0.0.1:{}", base_port + (i * replicas + j) as u16))
+            .collect();
         manifest.push(ClusterShard {
             index: i,
             n: shard.n(),
-            addr: format!("127.0.0.1:{}", base_port + i as u16),
+            addrs,
         });
     }
     if let Err(e) = serialize::save_cluster_manifest(&manifest, &dir.join("cluster.manifest")) {
@@ -312,12 +732,12 @@ fn cmd_make_demo(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "demo cluster written to {}: {} shards, n = {}, ports {}..{}",
+        "demo cluster written to {}: {} shards x {replicas} replicas, n = {}, ports {}..{}",
         dir.display(),
         sharded.num_shards(),
         sharded.n(),
         base_port,
-        base_port + sharded.num_shards() as u16 - 1
+        base_port + (sharded.num_shards() * replicas) as u16 - 1
     );
     ExitCode::SUCCESS
 }
@@ -330,6 +750,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     match command.as_str() {
         "spawn" => cmd_spawn(rest),
+        "restart" => cmd_restart(rest),
         "probe" => cmd_probe(rest),
         "gateway" => cmd_gateway(rest),
         "make-demo" => cmd_make_demo(rest),

@@ -1,7 +1,8 @@
 //! `entropydb-serve` — serve a persisted summary over TCP.
 //!
 //! ```text
-//! entropydb-serve <summary> [--addr HOST:PORT]
+//! entropydb-serve <summary> [--addr HOST:PORT] [--idle-timeout SECS]
+//!                 [--max-sessions N]
 //! ```
 //!
 //! `<summary>` is any of the persistence layouts of
@@ -11,6 +12,11 @@
 //! the header, and the server is generic over it — a monolithic and a
 //! sharded summary serve the identical protocol.
 //!
+//! `--idle-timeout SECS` closes sessions whose client stays silent longer
+//! than the deadline (default: sessions may idle forever);
+//! `--max-sessions N` sheds connections over the cap with a typed `busy`
+//! line instead of admitting them. See `ServerConfig`.
+//!
 //! The default address is `127.0.0.1:4141`; use port 0 for an ephemeral
 //! port (printed on startup). The process serves until stdin reaches EOF
 //! or a `quit` line is typed, then shuts down gracefully (all sessions
@@ -18,14 +24,24 @@
 
 use entropydb_core::engine::QueryEngine;
 use entropydb_core::serialize;
-use entropydb_server::serve;
+use entropydb_server::{serve_with, ServerConfig};
 use std::io::BufRead;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: entropydb-serve <summary file or sharded dir> [--addr HOST:PORT]");
+    eprintln!(
+        "usage: entropydb-serve <summary file or sharded dir> [--addr HOST:PORT]\n\
+         \x20                    [--idle-timeout SECS] [--max-sessions N]"
+    );
     ExitCode::from(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn wait_for_quit() {
@@ -44,11 +60,26 @@ fn main() -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
-    let addr = args
-        .iter()
-        .position(|a| a == "--addr")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "127.0.0.1:4141".to_string());
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4141".to_string());
+    let mut config = ServerConfig::default();
+    if let Some(raw) = flag(&args, "--idle-timeout") {
+        match raw.parse::<f64>() {
+            Ok(secs) if secs > 0.0 => config.idle_timeout = Some(Duration::from_secs_f64(secs)),
+            _ => {
+                eprintln!("error: cannot parse --idle-timeout value {raw:?}");
+                return usage();
+            }
+        }
+    }
+    if let Some(raw) = flag(&args, "--max-sessions") {
+        match raw.parse::<usize>() {
+            Ok(cap) if cap > 0 => config.max_sessions = Some(cap),
+            _ => {
+                eprintln!("error: cannot parse --max-sessions value {raw:?}");
+                return usage();
+            }
+        }
+    }
     let path = Path::new(path);
 
     // Sniff the persistence layout and start the matching backend.
@@ -60,7 +91,7 @@ fn main() -> ExitCode {
                     sharded.num_shards(),
                     sharded.n()
                 );
-                serve(QueryEngine::new(sharded), addr.as_str())
+                serve_with(QueryEngine::new(sharded), addr.as_str(), config)
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -79,7 +110,7 @@ fn main() -> ExitCode {
                         sharded.num_shards(),
                         sharded.n()
                     );
-                    serve(QueryEngine::new(sharded), addr.as_str())
+                    serve_with(QueryEngine::new(sharded), addr.as_str(), config)
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -90,7 +121,7 @@ fn main() -> ExitCode {
             match serialize::load_file(path) {
                 Ok(summary) => {
                     eprintln!("loaded summary: n = {}", summary.n());
-                    serve(QueryEngine::new(summary), addr.as_str())
+                    serve_with(QueryEngine::new(summary), addr.as_str(), config)
                 }
                 Err(e) => {
                     eprintln!("error: {e}");

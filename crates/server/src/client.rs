@@ -7,6 +7,46 @@ use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_storage::Schema;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket deadlines a [`Client`] places on its connection. `None` disables
+/// the corresponding deadline (block forever — the pre-deadline behavior).
+///
+/// The defaults keep an interactive client responsive against a wedged
+/// server: a hung socket surfaces as a timed-out [`ClientError::Io`]
+/// instead of stalling the REPL (or a gatherer) forever. Scatter/gather
+/// deployments tighten these via the remote backend's failover
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect deadline (default 5 s).
+    pub connect_timeout: Option<Duration>,
+    /// Per-read deadline on response lines (default 30 s).
+    pub read_timeout: Option<Duration>,
+    /// Per-write deadline on request lines (default 30 s).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// No deadlines at all (block forever) — the pre-timeout behavior.
+    pub fn blocking() -> Self {
+        ClientConfig {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
 
 /// Errors a client call can produce: transport failures or query/protocol
 /// errors (including errors the server reported on the wire error channel,
@@ -64,28 +104,79 @@ pub type ClientResult<T> = std::result::Result<T, ClientError>;
 /// Queries are read-only, so [`Client::execute`] and the probe calls
 /// transparently reconnect and retry **once** when the transport breaks
 /// mid-call (server restart, idle-connection reset) — a broken pipe
-/// surfaces to the caller only if the retry fails too.
+/// surfaces to the caller only if the retry fails too. The retry never
+/// fires for a server-reported error line or a deadline expiry (see
+/// [`ClientConfig`] for the socket deadlines applied by default).
 #[derive(Debug)]
 pub struct Client {
     addr: SocketAddr,
+    config: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     schema: Option<Schema>,
     served_n: Option<u64>,
 }
 
+/// Dials `addr` honoring the connect deadline and applies the read/write
+/// deadlines to the accepted stream.
+fn dial(addr: &SocketAddr, config: &ClientConfig) -> io::Result<TcpStream> {
+    let stream = match config.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    Ok(stream)
+}
+
+/// True when an I/O failure means the *transport* died (reset, broken
+/// pipe, unexpected EOF) — the one class of failure where re-dialing and
+/// re-sending a read-only request is safe and useful. Deadline expiries
+/// (`TimedOut` / `WouldBlock` from socket timeouts) are deliberately *not*
+/// retryable here: the server may still be executing the request, and
+/// blind client-side re-sends would stack work onto a struggling node —
+/// deadline handling belongs to the caller (a gatherer fails over to a
+/// replica instead).
+pub(crate) fn transport_is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
+}
+
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default deadlines
+    /// ([`ClientConfig::default`]).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            addr: stream.peer_addr()?,
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-            schema: None,
-            served_n: None,
-        })
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a server with explicit socket deadlines.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match dial(&candidate, &config) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        addr: stream.peer_addr()?,
+                        config,
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: stream,
+                        schema: None,
+                        served_n: None,
+                    })
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// The server address this client dials (and re-dials on reconnect).
@@ -93,12 +184,16 @@ impl Client {
         self.addr
     }
 
-    /// Drops the current connection and dials the server again. Cached
-    /// schema/cardinality are kept: a reconnect targets the same serving
-    /// address, which serves the same summary.
+    /// The socket deadlines this client applies to its connection.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Drops the current connection and dials the server again (same
+    /// deadlines). Cached schema/cardinality are kept: a reconnect targets
+    /// the same serving address, which serves the same summary.
     pub fn reconnect(&mut self) -> io::Result<()> {
-        let stream = TcpStream::connect(self.addr)?;
-        stream.set_nodelay(true)?;
+        let stream = dial(&self.addr, &self.config)?;
         self.reader = BufReader::new(stream.try_clone()?);
         self.writer = stream;
         Ok(())
@@ -175,11 +270,15 @@ impl Client {
     }
 
     /// One request line → one response line, reconnecting and retrying
-    /// once on a transport failure (queries are read-only, so a retry
-    /// never double-applies anything).
+    /// once on a *broken transport* (queries are read-only, so a retry
+    /// never double-applies anything). The retry is restricted to genuine
+    /// transport deaths ([`transport_is_retryable`]): a deterministic
+    /// server error line (`r1 err ...`) is never re-sent, and a deadline
+    /// expiry surfaces to the caller instead of re-queuing work on a node
+    /// that may still be executing it.
     fn round_trip_with_retry(&mut self, line: &str) -> ClientResult<String> {
         match self.round_trip(line) {
-            Err(ClientError::Io(_)) => {
+            Err(ClientError::Io(e)) if transport_is_retryable(&e) => {
                 self.reconnect()?;
                 self.round_trip(line)
             }
@@ -222,12 +321,14 @@ impl Client {
 
     /// Executes several shard probes as one pipelined write followed by
     /// in-order reads (one wire round trip for a whole fan-out step).
-    /// Reconnects and retries the whole frame once on a transport failure;
-    /// a probe the *server* failed (its error channel) fails the call
-    /// without a retry — probe errors are deterministic.
+    /// Reconnects and retries the whole frame once on a *broken transport*
+    /// (same restriction as [`Client::execute`]); a probe the *server*
+    /// failed (its error channel) fails the call without a retry — probe
+    /// errors are deterministic — and a deadline expiry surfaces to the
+    /// caller for replica failover.
     pub fn probe_pipelined(&mut self, probes: &[ProbeRequest]) -> ClientResult<Vec<ProbeResponse>> {
         match self.probe_pipelined_once(probes) {
-            Err(ClientError::Io(_)) => {
+            Err(ClientError::Io(e)) if transport_is_retryable(&e) => {
                 self.reconnect()?;
                 self.probe_pipelined_once(probes)
             }

@@ -34,6 +34,18 @@
 //! node and merges wire responses with the same merge layer the local
 //! sharded backend uses (bitwise-identical answers).
 //!
+//! The scatter/gather path is fault tolerant: a manifest shard may list
+//! several replica endpoints, and the gatherer applies per-probe socket
+//! deadlines, classifies failures (transport / protocol / busy /
+//! deterministic), fails over between replicas with capped exponential
+//! backoff, keeps per-node circuit breakers, and evicts replicas caught
+//! serving a changed blob — see `remote` ([`FailoverConfig`]) for the
+//! policy and [`fault`] for the fault-injection proxy the e2e suites use
+//! to drill it. The serving side shares the vocabulary: overloaded or
+//! deliberately capped servers answer a typed `busy` line
+//! ([`ServerConfig::max_sessions`]) and idle sessions are reaped
+//! ([`ServerConfig::idle_timeout`]).
+//!
 //! See `crates/server/src/bin/entropydb-serve.rs` for a ready-made daemon
 //! over a persisted summary (monolithic or sharded manifest),
 //! `crates/server/src/bin/entropydb-cluster.rs` for the shard-per-node
@@ -43,11 +55,12 @@
 
 mod client;
 pub mod demo;
+pub mod fault;
 mod protocol;
 mod remote;
 mod server;
 
-pub use client::{Client, ClientError, ClientResult};
+pub use client::{Client, ClientConfig, ClientError, ClientResult};
 pub use protocol::{MAX_BATCH, MAX_SAMPLE_ROWS};
-pub use remote::{RemoteShard, RemoteShardedSummary};
-pub use server::{serve, ServerHandle};
+pub use remote::{FailoverConfig, RemoteShard, RemoteShardedSummary, Replica};
+pub use server::{serve, serve_with, ServerConfig, ServerHandle};

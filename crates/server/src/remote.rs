@@ -15,20 +15,45 @@
 //! **bitwise identical** to a local `ShardedSummary` over the same shard
 //! models, on every `QueryRequest` variant.
 //!
-//! Connections are pooled per shard and reused across queries; a pool
-//! grows to the gatherer's probe concurrency and then stays fixed. On a
-//! broken transport the underlying [`Client`] reconnects and retries once;
-//! if the shard stays unreachable the failure surfaces as
-//! [`ModelError::Remote`] **naming the degraded shard** (index and
-//! address), kept per-request by the engine's batch path so one dead node
-//! cannot poison a pipelined batch.
+//! # Fault tolerance
 //!
-//! Connecting performs the shard-manifest handshake: each node's served
-//! schema and cardinality (the `n` line of the schema block) are fetched
-//! and verified against the manifest before any query fans out, so a node
-//! serving the wrong blob is rejected up front.
+//! A manifest entry may list **several replica endpoints** for one shard
+//! (manifest v2). The gatherer fails over between them:
+//!
+//! * Every probe connection carries socket deadlines
+//!   ([`FailoverConfig::connect_timeout`] /
+//!   [`FailoverConfig::probe_timeout`]), so a black-holed node costs a
+//!   bounded wait instead of hanging the fan-out.
+//! * Failures are classified. **Transport** deaths (reset, refused, EOF,
+//!   deadline expiry) and **protocol** garbage (an undecodable response
+//!   frame) fail over to the next replica with capped exponential backoff.
+//!   A **busy** line ([`ModelError::Busy`], the serving layer shedding
+//!   load) backs off and retries. A **deterministic** server error line
+//!   ([`ModelError::Remote`]) fails the call immediately — re-sending it
+//!   anywhere would just re-compute the same error.
+//! * Each replica keeps per-node health: a consecutive-failure circuit
+//!   breaker opens after [`FailoverConfig::breaker_threshold`] straight
+//!   failures and the replica is skipped for a (capped, exponentially
+//!   growing) cooldown, after which one probation probe may re-close it.
+//!   When *every* replica's breaker is open the gatherer still sends
+//!   probation probes (the least-recently-failed replica first) so an
+//!   outage heals without operator action.
+//! * Every **fresh dial** re-runs the shard-manifest handshake (schema +
+//!   cardinality). A replica serving a changed blob is **evicted** — it
+//!   can never contribute an answer, so failover never changes results:
+//!   whenever any live replica holds the shard, answers remain bitwise
+//!   identical to a healthy cluster. A background re-handshake thread
+//!   ([`RemoteShardedSummary::start_rehandshake`]) re-verifies idle
+//!   replicas periodically and evicts changed blobs proactively.
+//!
+//! Connections are pooled per replica and reused across queries. A
+//! connection involved in any failure is dropped, never pooled. If a
+//! shard's whole replica set is exhausted the failure surfaces as
+//! [`ModelError::Degraded`] naming the shard and its primary address,
+//! carrying the per-attempt failure trail; the engine's batch path keeps
+//! that per-request, so one dead shard cannot poison a pipelined batch.
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientConfig, ClientError};
 use entropydb_core::assignment::Mask;
 use entropydb_core::engine::SummaryBackend;
 use entropydb_core::error::{ModelError, Result};
@@ -37,32 +62,147 @@ use entropydb_core::query::Estimate;
 use entropydb_core::scatter::{self, ShardProbe};
 use entropydb_core::serialize::ClusterShard;
 use entropydb_storage::{AttrId, Schema};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// One remote shard: the manifest entry plus a pool of reusable probe
-/// connections to its `entropydb-serve` instance.
-#[derive(Debug)]
-pub struct RemoteShard {
-    index: usize,
-    addr: String,
-    n: u64,
-    conns: Mutex<Vec<Client>>,
+/// Failover policy of the remote scatter/gather backend: socket deadlines,
+/// retry/backoff budget, and circuit-breaker thresholds.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// TCP connect deadline per dial attempt (default 2 s).
+    pub connect_timeout: Option<Duration>,
+    /// Read/write deadline on probe traffic (default 5 s): the longest a
+    /// single wire read or write may block before the replica is treated
+    /// as hung and the gatherer fails over.
+    pub probe_timeout: Option<Duration>,
+    /// Attempt budget per call, as a multiple of the replica count
+    /// (default 2): a shard with `r` replicas gets at most
+    /// `max(1, attempts_per_replica) * r` attempts before surfacing
+    /// [`ModelError::Degraded`].
+    pub attempts_per_replica: usize,
+    /// First backoff sleep once every replica has been tried (default
+    /// 10 ms). The first failover to an untried replica is immediate.
+    pub backoff_base: Duration,
+    /// Backoff ceiling for the capped exponential (default 500 ms).
+    pub backoff_cap: Duration,
+    /// Consecutive failures that open a replica's circuit breaker
+    /// (default 3).
+    pub breaker_threshold: u32,
+    /// Cooldown of a freshly opened breaker (default 1 s); doubles with
+    /// each further consecutive failure.
+    pub breaker_cooldown: Duration,
+    /// Cooldown ceiling (default 30 s).
+    pub breaker_cooldown_cap: Duration,
 }
 
-impl RemoteShard {
-    /// Shard index within the cluster.
-    pub fn index(&self) -> usize {
-        self.index
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            probe_timeout: Some(Duration::from_secs(5)),
+            attempts_per_replica: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            breaker_cooldown_cap: Duration::from_secs(30),
+        }
+    }
+}
+
+impl FailoverConfig {
+    fn client_config(&self) -> ClientConfig {
+        ClientConfig {
+            connect_timeout: self.connect_timeout,
+            read_timeout: self.probe_timeout,
+            write_timeout: self.probe_timeout,
+        }
     }
 
-    /// The shard server's address.
+    fn max_attempts(&self, replicas: usize) -> usize {
+        self.attempts_per_replica.max(1) * replicas.max(1)
+    }
+}
+
+/// Per-replica health: the consecutive-failure circuit breaker.
+#[derive(Debug, Default)]
+struct Health {
+    consecutive_failures: u32,
+    /// While set and in the future, the breaker is open and the replica is
+    /// skipped (except for probation probes when no replica is closed).
+    open_until: Option<Instant>,
+    /// A replica caught serving the wrong blob (schema or cardinality
+    /// mismatch on a re-handshake) is permanently removed from rotation.
+    evicted: bool,
+}
+
+impl Health {
+    fn record_failure(&mut self, config: &FailoverConfig) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= config.breaker_threshold {
+            let over = self.consecutive_failures - config.breaker_threshold;
+            let cooldown = config
+                .breaker_cooldown
+                .saturating_mul(1u32 << over.min(16))
+                .min(config.breaker_cooldown_cap);
+            self.open_until = Some(Instant::now() + cooldown);
+        }
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+}
+
+/// One replica endpoint of a remote shard: its address, a pool of reusable
+/// verified probe connections, and its breaker state.
+#[derive(Debug)]
+pub struct Replica {
+    addr: String,
+    conns: Mutex<Vec<Client>>,
+    health: Mutex<Health>,
+}
+
+impl Replica {
+    fn new(addr: String) -> Replica {
+        Replica {
+            addr,
+            conns: Mutex::new(Vec::new()),
+            health: Mutex::new(Health::default()),
+        }
+    }
+
+    /// The replica's serving address.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
-    /// Shard cardinality `n_s` (verified during the handshake).
-    pub fn n(&self) -> u64 {
-        self.n
+    /// True once the replica was caught serving a changed blob and removed
+    /// from rotation.
+    pub fn is_evicted(&self) -> bool {
+        self.health.lock().expect("replica health").evicted
+    }
+
+    /// Current consecutive-failure count (introspection for tests and the
+    /// cluster probe tool).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.health
+            .lock()
+            .expect("replica health")
+            .consecutive_failures
+    }
+
+    /// True while the circuit breaker is open (the replica is skipped
+    /// except for probation probes).
+    pub fn breaker_open(&self) -> bool {
+        self.health
+            .lock()
+            .expect("replica health")
+            .open_until
+            .is_some_and(|t| t > Instant::now())
     }
 
     /// Number of idle pooled connections (introspection for tests).
@@ -70,44 +210,291 @@ impl RemoteShard {
         self.conns.lock().expect("conn pool").len()
     }
 
-    /// Decorates any failure with the degraded shard's identity.
-    fn named(&self, what: impl std::fmt::Display) -> ModelError {
-        ModelError::Remote(format!("shard {} ({}): {what}", self.index, self.addr))
-    }
-
-    fn named_client_err(&self, e: ClientError) -> ModelError {
-        match e {
-            ClientError::Model(ModelError::Remote(msg)) => self.named(msg),
-            ClientError::Model(other) => self.named(other),
-            ClientError::Io(io) => self.named(format!("transport failure: {io}")),
-        }
-    }
-
-    /// Checks a connection out of the pool, dialing a fresh one when the
-    /// pool is empty (first use, or probe concurrency above the current
-    /// pool size).
-    fn checkout(&self) -> Result<Client> {
-        if let Some(client) = self.conns.lock().expect("conn pool").pop() {
-            return Ok(client);
-        }
-        Client::connect(self.addr.as_str()).map_err(|e| self.named(format!("cannot connect: {e}")))
-    }
-
     fn put_back(&self, client: Client) {
         self.conns.lock().expect("conn pool").push(client);
     }
 
-    /// Runs `f` against a pooled connection. The connection returns to the
-    /// pool only on success — a connection involved in any failure is
-    /// dropped, so the pool never caches a broken transport.
-    fn with_conn<R>(&self, f: impl FnOnce(&mut Client) -> ClientResultAlias<R>) -> Result<R> {
-        let mut client = self.checkout()?;
-        match f(&mut client) {
-            Ok(out) => {
-                self.put_back(client);
-                Ok(out)
+    fn evict(&self) {
+        let mut health = self.health.lock().expect("replica health");
+        health.evicted = true;
+    }
+}
+
+/// How a fresh dial-plus-handshake failed: a dead/hung/garbled node (fail
+/// over, count toward the breaker) versus a live node serving the wrong
+/// blob (evict permanently).
+enum DialFailure {
+    Transport(String),
+    WrongBlob(String),
+}
+
+/// One remote shard: its replica set, failover policy, and the expected
+/// handshake identity (cardinality from the manifest, schema once known).
+#[derive(Debug)]
+pub struct RemoteShard {
+    index: usize,
+    n: u64,
+    replicas: Vec<Replica>,
+    /// Replica that last answered successfully; probes start there.
+    preferred: AtomicUsize,
+    config: FailoverConfig,
+    /// The cluster-wide schema, set at connect time; every later fresh
+    /// dial verifies the replica still serves it.
+    expected_schema: OnceLock<Schema>,
+}
+
+impl RemoteShard {
+    fn new(entry: &ClusterShard, config: FailoverConfig) -> RemoteShard {
+        RemoteShard {
+            index: entry.index,
+            n: entry.n,
+            replicas: entry.addrs.iter().cloned().map(Replica::new).collect(),
+            preferred: AtomicUsize::new(0),
+            config,
+            expected_schema: OnceLock::new(),
+        }
+    }
+
+    /// Shard index within the cluster.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's primary (first-listed) replica address.
+    pub fn addr(&self) -> &str {
+        self.replicas.first().map_or("", |r| r.addr.as_str())
+    }
+
+    /// The shard's replica set, in manifest order.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Shard cardinality `n_s` (verified during every handshake).
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of idle pooled connections across all replicas
+    /// (introspection for tests).
+    pub fn idle_conns(&self) -> usize {
+        self.replicas.iter().map(Replica::idle_conns).sum()
+    }
+
+    /// Decorates a deterministic failure with the shard's identity.
+    fn named(&self, what: impl std::fmt::Display) -> ModelError {
+        ModelError::Remote(format!("shard {} ({}): {what}", self.index, self.addr()))
+    }
+
+    fn degraded(&self, attempts: &[String]) -> ModelError {
+        ModelError::Degraded {
+            shard: self.index,
+            addr: self.addr().to_string(),
+            detail: if attempts.is_empty() {
+                "no usable replica".to_string()
+            } else {
+                attempts.join("; ")
+            },
+        }
+    }
+
+    /// Dials replica `idx` fresh and re-runs the shard-manifest handshake:
+    /// the node must answer `ping`, report the manifest cardinality, and —
+    /// once the cluster schema is known — serve that exact schema. Returns
+    /// the verified connection plus the served schema (for connect-time
+    /// cross-shard comparison).
+    fn dial_verified(&self, idx: usize) -> std::result::Result<(Client, Schema), DialFailure> {
+        let addr = self.replicas[idx].addr.as_str();
+        let mut client = Client::connect_with(addr, self.config.client_config())
+            .map_err(|e| DialFailure::Transport(format!("cannot connect: {e}")))?;
+        client.ping().map_err(|e| match e {
+            ClientError::Io(io) => DialFailure::Transport(format!("transport failure: {io}")),
+            ClientError::Model(m) => DialFailure::Transport(format!("handshake failure: {m}")),
+        })?;
+        let served_schema = client
+            .schema()
+            .map_err(|e| DialFailure::Transport(format!("schema handshake failure: {e}")))?
+            .clone();
+        let served_n = client
+            .served_n()
+            .map_err(|e| DialFailure::Transport(format!("schema handshake failure: {e}")))?
+            .ok_or_else(|| {
+                DialFailure::Transport(
+                    "server did not report its cardinality (pre-handshake build?)".to_string(),
+                )
+            })?;
+        if served_n != self.n {
+            return Err(DialFailure::WrongBlob(format!(
+                "serves n = {served_n} but the manifest declares n = {}",
+                self.n
+            )));
+        }
+        if let Some(expected) = self.expected_schema.get() {
+            if expected != &served_schema {
+                return Err(DialFailure::WrongBlob(
+                    "served schema differs from the cluster's (changed blob?)".to_string(),
+                ));
             }
-            Err(e) => Err(self.named_client_err(e)),
+        }
+        Ok((client, served_schema))
+    }
+
+    /// Picks the next replica to try: rotation from `start`, skipping
+    /// evicted replicas and open breakers. When every live replica's
+    /// breaker is open, returns the one whose cooldown expires soonest —
+    /// the probation probe that lets a healed outage close breakers again.
+    fn choose(&self, start: usize, now: Instant) -> Option<usize> {
+        let len = self.replicas.len();
+        let mut soonest_open: Option<(usize, Instant)> = None;
+        for off in 0..len {
+            let idx = (start + off) % len;
+            let health = self.replicas[idx].health.lock().expect("replica health");
+            if health.evicted {
+                continue;
+            }
+            match health.open_until {
+                Some(t) if t > now => {
+                    if soonest_open.is_none_or(|(_, best)| t < best) {
+                        soonest_open = Some((idx, t));
+                    }
+                }
+                _ => return Some(idx),
+            }
+        }
+        soonest_open.map(|(idx, _)| idx)
+    }
+
+    /// Checks a verified connection out of replica `idx`'s pool, dialing
+    /// (and re-handshaking) a fresh one when the pool is empty.
+    fn checkout(&self, idx: usize) -> std::result::Result<Client, DialFailure> {
+        if let Some(client) = self.replicas[idx].conns.lock().expect("conn pool").pop() {
+            return Ok(client);
+        }
+        self.dial_verified(idx).map(|(client, _)| client)
+    }
+
+    /// Runs `f` against a pooled connection of a live replica, failing
+    /// over per the module-level classification. A connection involved in
+    /// any failure is dropped, so the pool never caches a broken or
+    /// desynchronized transport. Success resets the replica's breaker and
+    /// makes it the preferred replica for subsequent probes.
+    fn with_conn<R>(&self, f: impl Fn(&mut Client) -> ClientResultAlias<R>) -> Result<R> {
+        let len = self.replicas.len();
+        if len == 0 {
+            return Err(self.degraded(&["manifest lists no replica".to_string()]));
+        }
+        let mut attempts: Vec<String> = Vec::new();
+        let mut tried = vec![false; len];
+        let mut backoff = self.config.backoff_base;
+        let mut start = self.preferred.load(Ordering::Relaxed) % len;
+        for _ in 0..self.config.max_attempts(len) {
+            let Some(idx) = self.choose(start, Instant::now()) else {
+                attempts.push("every replica evicted (changed blob)".to_string());
+                break;
+            };
+            // Failing over to an untried replica is immediate; once the
+            // rotation wraps, sleep the capped exponential backoff so a
+            // struggling cluster is not hammered.
+            if tried[idx] && !backoff.is_zero() {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2).min(self.config.backoff_cap);
+            }
+            tried[idx] = true;
+            let replica = &self.replicas[idx];
+            let mut client = match self.checkout(idx) {
+                Ok(client) => client,
+                Err(DialFailure::WrongBlob(detail)) => {
+                    replica.evict();
+                    attempts.push(format!("{}: evicted: {detail}", replica.addr));
+                    start = (idx + 1) % len;
+                    continue;
+                }
+                Err(DialFailure::Transport(detail)) => {
+                    replica
+                        .health
+                        .lock()
+                        .expect("replica health")
+                        .record_failure(&self.config);
+                    attempts.push(format!("{}: {detail}", replica.addr));
+                    start = (idx + 1) % len;
+                    continue;
+                }
+            };
+            match f(&mut client) {
+                Ok(out) => {
+                    replica
+                        .health
+                        .lock()
+                        .expect("replica health")
+                        .record_success();
+                    self.preferred.store(idx, Ordering::Relaxed);
+                    replica.put_back(client);
+                    return Ok(out);
+                }
+                // Load shedding: the serving layer answered a typed busy
+                // line (and closed the session) — transient, back off and
+                // retry without opening the breaker: the node is alive.
+                Err(ClientError::Model(ModelError::Busy(msg))) => {
+                    attempts.push(format!("{}: busy: {msg}", replica.addr));
+                    start = (idx + 1) % len;
+                }
+                // Protocol failure: the response frame did not decode
+                // (corrupted or truncated stream). The transport is
+                // desynchronized — drop it and fail over.
+                Err(ClientError::Model(ModelError::Parse { message, .. })) => {
+                    replica
+                        .health
+                        .lock()
+                        .expect("replica health")
+                        .record_failure(&self.config);
+                    attempts.push(format!("{}: protocol failure: {message}", replica.addr));
+                    start = (idx + 1) % len;
+                }
+                // Deterministic server error: every replica would compute
+                // the same error, so fail the call immediately — a
+                // server-reported error line is never re-sent.
+                Err(ClientError::Model(other)) => {
+                    return Err(self.named(other));
+                }
+                // Transport death or deadline expiry: fail over.
+                Err(ClientError::Io(io)) => {
+                    replica
+                        .health
+                        .lock()
+                        .expect("replica health")
+                        .record_failure(&self.config);
+                    attempts.push(format!("{}: transport failure: {io}", replica.addr));
+                    start = (idx + 1) % len;
+                }
+            }
+        }
+        Err(self.degraded(&attempts))
+    }
+
+    /// Background re-verification of replica `idx`: a fresh dial plus
+    /// handshake. Success warms the pool and (probation) closes the
+    /// breaker; a changed blob evicts; a dead node counts toward the
+    /// breaker so query-path probes skip it sooner.
+    fn rehandshake_replica(&self, idx: usize) {
+        if self.replicas[idx].is_evicted() {
+            return;
+        }
+        match self.dial_verified(idx) {
+            Ok((client, _)) => {
+                let replica = &self.replicas[idx];
+                replica
+                    .health
+                    .lock()
+                    .expect("replica health")
+                    .record_success();
+                replica.put_back(client);
+            }
+            Err(DialFailure::WrongBlob(_)) => self.replicas[idx].evict(),
+            Err(DialFailure::Transport(_)) => self.replicas[idx]
+                .health
+                .lock()
+                .expect("replica health")
+                .record_failure(&self.config),
         }
     }
 
@@ -149,7 +536,7 @@ const PROBE_INDEX_CHUNK: usize = 8192;
 const PROBE_MASK_CHUNK: usize = 32;
 
 impl ShardProbe for RemoteShard {
-    /// Probe state lives in the per-shard connection pool, not in a
+    /// Probe state lives in the per-replica connection pools, not in a
     /// per-call scratch.
     type Scratch = ();
 
@@ -363,9 +750,26 @@ impl ShardProbe for RemoteShard {
     }
 }
 
+/// The background re-handshake thread's handle; dropping it stops and
+/// joins the thread.
+#[derive(Debug)]
+struct Rehandshake {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for Rehandshake {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A sharded summary whose shards live on other nodes: the remote
-/// scatter/gather backend. See the module docs for the placement model and
-/// the bitwise-parity guarantee.
+/// scatter/gather backend. See the module docs for the placement model,
+/// the bitwise-parity guarantee, and the failover semantics.
 #[derive(Debug)]
 pub struct RemoteShardedSummary {
     schema: Schema,
@@ -374,16 +778,27 @@ pub struct RemoteShardedSummary {
     /// `n_s / n` per shard — computed with the same arithmetic as the
     /// local backend so mixture probabilities match bit for bit.
     weights: Vec<f64>,
-    shards: Vec<RemoteShard>,
+    shards: Arc<Vec<RemoteShard>>,
+    rehandshake: Option<Rehandshake>,
 }
 
 impl RemoteShardedSummary {
-    /// Connects to every shard of a cluster manifest and performs the
-    /// shard-manifest handshake: each node must answer `ping`, serve a
-    /// schema identical to shard 0's, and report the cardinality the
-    /// manifest declares for it. Any violation fails the connect with a
-    /// [`ModelError::Remote`] naming the offending shard.
+    /// [`RemoteShardedSummary::connect_with`] under the default
+    /// [`FailoverConfig`].
     pub fn connect(manifest: &[ClusterShard]) -> Result<Self> {
+        Self::connect_with(manifest, FailoverConfig::default())
+    }
+
+    /// Connects to every shard of a cluster manifest and performs the
+    /// shard-manifest handshake. Per shard, replicas are tried in manifest
+    /// order until one passes: it must answer `ping`, serve a schema
+    /// identical to the first connected shard's, and report the
+    /// cardinality the manifest declares. A replica serving the wrong
+    /// blob is evicted; an unreachable replica is merely marked failing —
+    /// the cluster connects as long as **some** replica of every shard
+    /// verifies. A shard whose whole replica set fails surfaces as
+    /// [`ModelError::Degraded`].
+    pub fn connect_with(manifest: &[ClusterShard], config: FailoverConfig) -> Result<Self> {
         if manifest.is_empty() {
             return Err(ModelError::Remote(
                 "cluster manifest has no shards".to_string(),
@@ -392,45 +807,56 @@ impl RemoteShardedSummary {
         let mut shards = Vec::with_capacity(manifest.len());
         let mut schema: Option<Schema> = None;
         for entry in manifest {
-            let shard = RemoteShard {
-                index: entry.index,
-                addr: entry.addr.clone(),
-                n: entry.n,
-                conns: Mutex::new(Vec::new()),
-            };
-            let mut client = shard.checkout()?;
-            client.ping().map_err(|e| shard.named_client_err(e))?;
-            let served_schema = client
-                .schema()
-                .map_err(|e| shard.named_client_err(e))?
-                .clone();
-            let served_n = client
-                .served_n()
-                .map_err(|e| shard.named_client_err(e))?
-                .ok_or_else(|| {
-                    shard.named("server did not report its cardinality (pre-handshake build?)")
-                })?;
-            if served_n != entry.n {
-                return Err(shard.named(format!(
-                    "serves n = {served_n} but the manifest declares n = {}",
-                    entry.n
-                )));
+            let shard = RemoteShard::new(entry, config.clone());
+            if let Some(first) = &schema {
+                // Later shards verify against the cluster schema inside
+                // the dial itself (wrong schema ⇒ WrongBlob ⇒ eviction).
+                let _ = shard.expected_schema.set(first.clone());
             }
-            match &schema {
-                None => schema = Some(served_schema),
-                Some(first) => {
-                    if first != &served_schema {
-                        return Err(
-                            shard.named("served schema differs from shard 0's (wrong blob?)")
-                        );
+            let mut attempts: Vec<String> = Vec::new();
+            let mut connected = false;
+            for idx in 0..shard.replicas.len() {
+                match shard.dial_verified(idx) {
+                    Ok((client, served_schema)) => {
+                        if schema.is_none() {
+                            schema = Some(served_schema);
+                        }
+                        shard.preferred.store(idx, Ordering::Relaxed);
+                        shard.replicas[idx]
+                            .health
+                            .lock()
+                            .expect("replica health")
+                            .record_success();
+                        // The handshake connection seeds the pool.
+                        shard.replicas[idx].put_back(client);
+                        connected = true;
+                        break;
+                    }
+                    Err(DialFailure::WrongBlob(detail)) => {
+                        shard.replicas[idx].evict();
+                        attempts.push(format!("{}: evicted: {detail}", shard.replicas[idx].addr));
+                    }
+                    Err(DialFailure::Transport(detail)) => {
+                        shard.replicas[idx]
+                            .health
+                            .lock()
+                            .expect("replica health")
+                            .record_failure(&config);
+                        attempts.push(format!("{}: {detail}", shard.replicas[idx].addr));
                     }
                 }
             }
-            // The handshake connection seeds the shard's pool.
-            shard.put_back(client);
+            if !connected {
+                return Err(shard.degraded(&attempts));
+            }
             shards.push(shard);
         }
-        let schema = schema.expect("at least one shard");
+        let schema = schema.expect("at least one shard connected");
+        // Shard 0 (whichever connected first) seeded the cluster schema
+        // after its own dial; arm its verifier too.
+        for shard in &shards {
+            let _ = shard.expected_schema.set(schema.clone());
+        }
         let n: u64 = shards.iter().map(RemoteShard::n).sum();
         if n == 0 {
             return Err(ModelError::Remote(
@@ -444,8 +870,51 @@ impl RemoteShardedSummary {
             domain_sizes,
             n,
             weights,
-            shards,
+            shards: Arc::new(shards),
+            rehandshake: None,
         })
+    }
+
+    /// Starts the background re-handshake thread: every `interval`, each
+    /// non-evicted replica is re-dialed and re-verified. A replica caught
+    /// serving a changed blob is evicted before the query path can reach
+    /// it; a dead replica's breaker opens early; a healed replica's
+    /// breaker closes (probation). Idempotent; the thread stops when the
+    /// summary is dropped.
+    pub fn start_rehandshake(&mut self, interval: Duration) {
+        if self.rehandshake.is_some() {
+            return;
+        }
+        let shards = Arc::clone(&self.shards);
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let tick = Duration::from_millis(20).min(interval.max(Duration::from_millis(1)));
+            let mut since_sweep = Duration::ZERO;
+            loop {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(tick);
+                since_sweep += tick;
+                if since_sweep < interval {
+                    continue;
+                }
+                since_sweep = Duration::ZERO;
+                for shard in shards.iter() {
+                    for idx in 0..shard.replicas.len() {
+                        if thread_stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        shard.rehandshake_replica(idx);
+                    }
+                }
+            }
+        });
+        self.rehandshake = Some(Rehandshake {
+            stop,
+            handle: Some(handle),
+        });
     }
 
     /// Total relation cardinality `n` (sum of shard cardinalities).

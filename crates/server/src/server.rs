@@ -12,6 +12,24 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving-policy knobs of one server instance.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Idle deadline on a session's request reads. A client that stays
+    /// silent longer than this has its session closed cleanly (the thread
+    /// exits and deregisters), so a silent or vanished client cannot pin a
+    /// session thread for the life of the process. `None` (the default)
+    /// keeps the historical block-forever behavior.
+    pub idle_timeout: Option<Duration>,
+    /// Session-capacity cap. A connection accepted while this many
+    /// sessions are already live is answered with one typed `busy` line
+    /// ([`ModelError::Busy`] client-side) and closed, instead of admitting
+    /// unbounded concurrent sessions. `None` (the default) disables the
+    /// cap.
+    pub max_sessions: Option<usize>,
+}
 
 /// Locks a mutex, recovering the inner value if a session thread panicked
 /// while holding it. The shutdown path runs from `Drop` (possibly during a
@@ -61,6 +79,19 @@ pub fn serve<B>(engine: QueryEngine<B>, addr: impl ToSocketAddrs) -> io::Result<
 where
     B: SummaryBackend + 'static,
 {
+    serve_with(engine, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit serving policy (session idle deadline,
+/// session-capacity cap). See [`ServerConfig`].
+pub fn serve_with<B>(
+    engine: QueryEngine<B>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle>
+where
+    B: SummaryBackend + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
@@ -74,7 +105,7 @@ where
     let engine = Arc::new(engine);
     let accept = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(listener, engine, shared))
+        std::thread::spawn(move || accept_loop(listener, engine, shared, config))
     };
     Ok(ServerHandle {
         addr,
@@ -145,8 +176,12 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-fn accept_loop<B>(listener: TcpListener, engine: Arc<QueryEngine<B>>, shared: Arc<Shared>)
-where
+fn accept_loop<B>(
+    listener: TcpListener,
+    engine: Arc<QueryEngine<B>>,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+) where
     B: SummaryBackend + 'static,
 {
     loop {
@@ -179,6 +214,38 @@ where
             break;
         }
         let _ = stream.set_nodelay(true);
+        // Session-capacity load shedding: over the cap, the connection is
+        // answered with one typed busy line and closed — the client backs
+        // off (or a gatherer fails over) instead of queueing invisibly.
+        if let Some(cap) = config.max_sessions {
+            if shared.active.load(Ordering::SeqCst) >= cap {
+                let mut stream = stream;
+                let busy = ModelError::Busy(format!("server at session capacity ({cap})"));
+                // The rejection runs on a short-lived detached thread: after
+                // writing the busy line it drains the client's in-flight
+                // request briefly before closing. Closing immediately would
+                // race the client's write — the resulting reset can discard
+                // the unread busy line, turning a typed rejection into an
+                // opaque transport error.
+                std::thread::spawn(move || {
+                    let _ = stream.write_all(encode_outcome(&Err(busy)).as_bytes());
+                    let _ = stream.flush();
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut sink = [0u8; 512];
+                    loop {
+                        match io::Read::read(&mut stream, &mut sink) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => continue,
+                        }
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                });
+                continue;
+            }
+        }
+        // The idle deadline applies to every request-line read of the
+        // session; a timed-out read ends the session cleanly.
+        let _ = stream.set_read_timeout(config.idle_timeout);
         let Ok(registered) = stream.try_clone() else {
             continue;
         };

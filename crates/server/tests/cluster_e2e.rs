@@ -127,11 +127,11 @@ fn cluster_of_serve_processes_matches_local_sharded_bitwise() {
     let mut manifest = Vec::new();
     for (i, shard) in local.shards().iter().enumerate() {
         let proc = ShardProcess::spawn(&dir.join(format!("shard-{i}.summary")), base + i as u16);
-        manifest.push(serialize::ClusterShard {
-            index: i,
-            n: shard.n(),
-            addr: proc.addr.clone(),
-        });
+        manifest.push(serialize::ClusterShard::single(
+            i,
+            shard.n(),
+            proc.addr.clone(),
+        ));
         procs.push(proc);
     }
     serialize::save_cluster_manifest(&manifest, &dir.join("cluster.manifest")).unwrap();

@@ -10,11 +10,28 @@ use entropydb_core::engine::{QueryEngine, SummaryBackend};
 use entropydb_core::plan::QueryRequest;
 use entropydb_core::serialize::ClusterShard;
 use entropydb_core::sharded::ShardedSummary;
-use entropydb_server::{demo, serve, ServerHandle};
+use entropydb_server::{demo, serve, FailoverConfig, ServerHandle};
 use entropydb_storage::{AttrId, Predicate};
+use std::time::Duration;
 
 pub fn a(i: usize) -> AttrId {
     AttrId(i)
+}
+
+/// A failover policy tightened for tests: short deadlines and cooldowns so
+/// dead-node paths resolve in milliseconds instead of seconds, with the
+/// same classification and budget structure as the default.
+pub fn fast_failover() -> FailoverConfig {
+    FailoverConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        probe_timeout: Some(Duration::from_secs(2)),
+        attempts_per_replica: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(100),
+        breaker_cooldown_cap: Duration::from_millis(400),
+    }
 }
 
 /// The deterministic demo relation — the same generator `entropydb-cluster
@@ -28,16 +45,34 @@ pub fn sharded(num_shards: usize) -> ShardedSummary {
 /// `entropydb-serve` processes) and returns the handles plus the cluster
 /// manifest pointing at them.
 pub fn serve_shards(summary: &ShardedSummary) -> (Vec<ServerHandle>, Vec<ClusterShard>) {
+    let (handles, manifest) = serve_replicated(summary, 1);
+    (handles.into_iter().flatten().collect(), manifest)
+}
+
+/// Serves every shard from `replicas` independent in-process servers
+/// (each over its own clone of the shard model — the wire-visible shape
+/// of a replicated cluster) and returns the handles per shard plus the
+/// v2 manifest listing every replica.
+pub fn serve_replicated(
+    summary: &ShardedSummary,
+    replicas: usize,
+) -> (Vec<Vec<ServerHandle>>, Vec<ClusterShard>) {
     let mut handles = Vec::new();
     let mut manifest = Vec::new();
     for (i, shard) in summary.shards().iter().enumerate() {
-        let handle = serve(QueryEngine::new(shard.clone()), "127.0.0.1:0").unwrap();
+        let mut shard_handles = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let handle = serve(QueryEngine::new(shard.clone()), "127.0.0.1:0").unwrap();
+            addrs.push(handle.local_addr().to_string());
+            shard_handles.push(handle);
+        }
         manifest.push(ClusterShard {
             index: i,
             n: shard.n(),
-            addr: handle.local_addr().to_string(),
+            addrs,
         });
-        handles.push(handle);
+        handles.push(shard_handles);
     }
     (handles, manifest)
 }

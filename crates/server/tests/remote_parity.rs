@@ -5,7 +5,7 @@
 
 mod common;
 
-use common::{a, requests, serve_shards, sharded};
+use common::{a, fast_failover, requests, serve_shards, sharded};
 use entropydb_core::engine::QueryEngine;
 use entropydb_core::error::ModelError;
 use entropydb_core::plan::QueryRequest;
@@ -131,22 +131,18 @@ fn handshake_rejects_wrong_cardinality_and_dead_nodes() {
 
     manifest[1].n += 5;
     match RemoteShardedSummary::connect(&manifest) {
-        Err(ModelError::Remote(msg)) => {
-            assert!(msg.contains("shard 1"), "{msg}");
-            assert!(msg.contains("manifest declares"), "{msg}");
+        Err(ModelError::Degraded { shard, detail, .. }) => {
+            assert_eq!(shard, 1);
+            assert!(detail.contains("manifest declares"), "{detail}");
         }
         other => panic!("expected named handshake failure, got {other:?}"),
     }
     manifest[1].n -= 5;
 
     // A dead node fails the connect with its shard named.
-    let dead = vec![ClusterShard {
-        index: 0,
-        n: 1,
-        addr: "127.0.0.1:1".to_string(),
-    }];
+    let dead = vec![ClusterShard::single(0, 1, "127.0.0.1:1")];
     match RemoteShardedSummary::connect(&dead) {
-        Err(ModelError::Remote(msg)) => assert!(msg.contains("shard 0"), "{msg}"),
+        Err(ModelError::Degraded { shard: 0, .. }) => {}
         other => panic!("expected named connect failure, got {other:?}"),
     }
     for handle in handles {
@@ -154,14 +150,15 @@ fn handshake_rejects_wrong_cardinality_and_dead_nodes() {
     }
 }
 
-/// Killing a shard mid-stream surfaces per-request `Remote` errors naming
-/// the dead shard — batches return error lines for every request instead
-/// of hanging, and healthy work before the kill is unaffected.
+/// Killing a sole-replica shard mid-stream surfaces per-request
+/// `Degraded` errors naming the dead shard — batches return error lines
+/// for every request instead of hanging, and healthy work before the kill
+/// is unaffected.
 #[test]
 fn killed_shard_mid_batch_returns_named_errors_not_a_hang() {
     let local = sharded(3);
     let (mut handles, manifest) = serve_shards(&local);
-    let remote = RemoteShardedSummary::connect(&manifest).unwrap();
+    let remote = RemoteShardedSummary::connect_with(&manifest, fast_failover()).unwrap();
     let engine = QueryEngine::new(remote);
 
     // Healthy cluster answers a full batch.
@@ -177,11 +174,11 @@ fn killed_shard_mid_batch_returns_named_errors_not_a_hang() {
     assert_eq!(outcomes.len(), reqs.len());
     for (req, outcome) in reqs.iter().zip(outcomes) {
         match outcome {
-            Err(ModelError::Remote(msg)) => {
-                assert!(msg.contains("shard 1"), "{}: {msg}", req.encode())
+            Err(ModelError::Degraded { shard, .. }) => {
+                assert_eq!(shard, 1, "{}", req.encode())
             }
             other => panic!(
-                "{}: expected a named remote error, got {other:?}",
+                "{}: expected a degraded-shard error, got {other:?}",
                 req.encode()
             ),
         }
@@ -190,8 +187,8 @@ fn killed_shard_mid_batch_returns_named_errors_not_a_hang() {
     // The engine survives: single requests keep answering (with errors)
     // instead of wedging the scratch pool or the fan-out.
     match engine.execute(&QueryRequest::count(Predicate::all())) {
-        Err(ModelError::Remote(msg)) => assert!(msg.contains("shard 1"), "{msg}"),
-        other => panic!("expected named remote error, got {other:?}"),
+        Err(ModelError::Degraded { shard: 1, .. }) => {}
+        other => panic!("expected a degraded-shard error, got {other:?}"),
     }
     for handle in handles {
         handle.shutdown();
@@ -223,11 +220,7 @@ fn client_reconnects_on_broken_pipe() {
 
     // Remote backend: its pooled shard connection broke with the restart
     // above; the next fan-out reconnects instead of failing.
-    let manifest = vec![ClusterShard {
-        index: 0,
-        n: summary().n(),
-        addr: addr.to_string(),
-    }];
+    let manifest = vec![ClusterShard::single(0, summary().n(), addr.to_string())];
     let remote = RemoteShardedSummary::connect(&manifest).unwrap();
     let engine = QueryEngine::new(remote);
     let via_remote = engine.execute(&req).unwrap();
