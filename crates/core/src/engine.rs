@@ -222,6 +222,14 @@ pub trait SummaryBackend: Send + Sync {
         row: &mut [u32],
         scratch: &mut Self::Scratch,
     ) -> Result<()>;
+
+    /// Counters of the gather-side probe cache fronting this backend, or
+    /// `None` when the backend runs uncached (the default). Surfaced
+    /// through the server's `stats` session command and the gateway's
+    /// `status` control line.
+    fn cache_stats(&self) -> Option<crate::metrics::CacheStatsSnapshot> {
+        None
+    }
 }
 
 /// Ranks a group-by result set by expectation (descending, ties broken by
@@ -284,6 +292,12 @@ impl<B: SummaryBackend> QueryEngine<B> {
     /// The summarized relation's schema.
     pub fn schema(&self) -> &Schema {
         self.backend.schema()
+    }
+
+    /// Probe-cache counters of the backend, when it runs one (see
+    /// [`SummaryBackend::cache_stats`]).
+    pub fn cache_stats(&self) -> Option<crate::metrics::CacheStatsSnapshot> {
+        self.backend.cache_stats()
     }
 
     /// Executes one IR request — the canonical entry point every typed

@@ -1,10 +1,87 @@
-//! Accuracy metrics used by the paper's evaluation (Sec. 6.2).
+//! Accuracy metrics used by the paper's evaluation (Sec. 6.2), plus the
+//! operational counters of the gather-side probe cache.
 //!
 //! * Relative error `|true − est| / (true + est)` for heavy/light hitters.
 //! * The F-measure over light hitters vs. nonexistent values, with
 //!   `precision = |{est > 0 : light}| / |{est > 0 : light ∪ null}|` and
 //!   `recall = |{est > 0 : light}| / |light|`, where "est > 0" uses the
 //!   paper's rounding convention (expectations below 0.5 round to 0).
+//! * [`CacheCounters`] / [`CacheStatsSnapshot`]: hit / miss / coalesced /
+//!   evicted counts for [`crate::scatter::ProbeCache`], surfaced through
+//!   the server's `stats` session command and the gateway's `status`
+//!   control line so a soak run can prove the cache is working.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free operational counters of a gather-side probe cache. All
+/// updates are `Relaxed`: the counters are observability, never control
+/// flow, so cross-counter consistency is not required.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Records `n` cache hits (answers served without touching a shard).
+    pub fn add_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` cache misses (probes that had to reach a shard).
+    pub fn add_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` coalesced probes: duplicates that shared another
+    /// probe's shard round trip (single-flight waiters and within-round
+    /// duplicates alike).
+    pub fn add_coalesced(&self, n: u64) {
+        self.coalesced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries discarded to keep the cache bounded.
+    pub fn add_evicted(&self, n: u64) {
+        self.evicted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`CacheCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Answers served straight from the cache.
+    pub hits: u64,
+    /// Probes that had to reach a shard.
+    pub misses: u64,
+    /// Duplicate probes that shared another probe's round trip.
+    pub coalesced: u64,
+    /// Entries discarded to keep the cache bounded.
+    pub evicted: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// The paper's symmetric relative error: `|t − e| / (t + e)`, with the
 /// convention that it is 0 when both are 0 (a correct "does not exist"
@@ -126,5 +203,27 @@ mod tests {
         let fm = f_measure(&[0.5], &[0.5]);
         assert_eq!(fm.recall, 1.0);
         assert_eq!(fm.precision, 0.5);
+    }
+
+    #[test]
+    fn cache_counters_snapshot_and_hit_rate() {
+        let counters = CacheCounters::default();
+        assert_eq!(counters.snapshot(), CacheStatsSnapshot::default());
+        assert_eq!(counters.snapshot().hit_rate(), 0.0);
+        counters.add_hits(3);
+        counters.add_misses(1);
+        counters.add_coalesced(2);
+        counters.add_evicted(5);
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap,
+            CacheStatsSnapshot {
+                hits: 3,
+                misses: 1,
+                coalesced: 2,
+                evicted: 5,
+            }
+        );
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -42,9 +42,11 @@ use crate::model::MaxEntSummary;
 use crate::par;
 use crate::query::Estimate;
 use crate::scatter;
+use crate::scatter::{GatherCache, ShardCacheId};
 use crate::solver::SolverConfig;
 use crate::statistics::MultiDimStatistic;
 use entropydb_storage::{AttrId, Histogram1D, Partitioning, Predicate, Schema, Table};
+use std::sync::Arc;
 
 /// How [`ShardedSummary::build`] fits the per-shard models.
 #[derive(Debug, Clone)]
@@ -88,6 +90,8 @@ pub struct ShardedSummary {
     /// arranged so the 1-shard case stays bitwise exact).
     weights: Vec<f64>,
     scratch: ScratchPool<ShardedScratch>,
+    /// Optional gather-side answer cache (see [`ShardedSummary::with_probe_cache`]).
+    cache: Option<Arc<GatherCache>>,
 }
 
 impl ShardedSummary {
@@ -164,7 +168,32 @@ impl ShardedSummary {
             n,
             weights,
             scratch: ScratchPool::new(),
+            cache: None,
         })
+    }
+
+    /// Puts a gather-side answer cache (bounded to `entries` responses)
+    /// in front of the shard models: repeated probes are answered from
+    /// the cache, concurrent identical probes coalesce, and fully-cached
+    /// queries skip the fan-out pool entirely. Answers stay
+    /// bitwise-identical to the uncached paths — cached entries are the
+    /// shards' own responses and every merge fold is shared.
+    pub fn with_probe_cache(mut self, entries: usize) -> Self {
+        let ids = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ShardCacheId::new(crate::scatter::shard_identity_token(i, s.n(), &self.schema))
+            })
+            .collect();
+        self.cache = Some(Arc::new(GatherCache::new(entries, ids)));
+        self
+    }
+
+    /// The gather-side cache, when one is enabled.
+    pub fn probe_cache(&self) -> Option<&Arc<GatherCache>> {
+        self.cache.as_ref()
     }
 
     /// Total relation cardinality `n` (sum of shard cardinalities).
@@ -307,13 +336,27 @@ impl SummaryBackend for ShardedSummary {
     }
 
     /// Mixture probability `Σ (n_s / n) · p_s`, clamped into `[0, 1]`
-    /// (merged by the shared [`scatter`] layer).
+    /// (merged by the shared [`scatter`] layer). With a probe cache, a
+    /// fully-cached mask is folded serially without entering the pool;
+    /// otherwise the shards run behind [`scatter::CachedProbe`].
     fn probability_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> Result<f64> {
-        scatter::mixture_probability(&self.shards, &self.weights, mask, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::mixture_probability(&self.shards, &self.weights, mask, scratch);
+        };
+        if let Some(p) = cache.peek_probability(mask, &self.weights) {
+            return Ok(p);
+        }
+        scatter::mixture_probability(&cache.probes(&self.shards), &self.weights, mask, scratch)
     }
 
     fn count_under_mask(&self, mask: &Mask, scratch: &mut ShardedScratch) -> Result<Estimate> {
-        scatter::merged_count(&self.shards, mask, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::merged_count(&self.shards, mask, scratch);
+        };
+        if let Some(count) = cache.peek_count(mask) {
+            return Ok(count);
+        }
+        scatter::merged_count(&cache.probes(&self.shards), mask, scratch)
     }
 
     /// Batched mixture probability: every shard answers the whole mask
@@ -324,7 +367,15 @@ impl SummaryBackend for ShardedSummary {
         masks: &[Mask],
         scratch: &mut ShardedScratch,
     ) -> Result<Vec<f64>> {
-        scatter::mixture_probability_many(&self.shards, &self.weights, masks, scratch)
+        match &self.cache {
+            Some(cache) => scatter::mixture_probability_many(
+                &cache.probes(&self.shards),
+                &self.weights,
+                masks,
+                scratch,
+            ),
+            None => scatter::mixture_probability_many(&self.shards, &self.weights, masks, scratch),
+        }
     }
 
     fn counts_under_masks(
@@ -332,7 +383,10 @@ impl SummaryBackend for ShardedSummary {
         masks: &[Mask],
         scratch: &mut ShardedScratch,
     ) -> Result<Vec<Estimate>> {
-        scatter::merged_count_many(&self.shards, masks, scratch)
+        match &self.cache {
+            Some(cache) => scatter::merged_count_many(&cache.probes(&self.shards), masks, scratch),
+            None => scatter::merged_count_many(&self.shards, masks, scratch),
+        }
     }
 
     fn sum_under_mask(
@@ -342,7 +396,13 @@ impl SummaryBackend for ShardedSummary {
         values: &[f64],
         scratch: &mut ShardedScratch,
     ) -> Result<Estimate> {
-        scatter::merged_sum(&self.shards, base, attr, values, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::merged_sum(&self.shards, base, attr, values, scratch);
+        };
+        if let Some(sum) = cache.peek_sum(base, attr, values) {
+            return Ok(sum);
+        }
+        scatter::merged_sum(&cache.probes(&self.shards), base, attr, values, scratch)
     }
 
     fn group_by_under_mask(
@@ -351,7 +411,13 @@ impl SummaryBackend for ShardedSummary {
         attr: AttrId,
         scratch: &mut ShardedScratch,
     ) -> Result<Vec<Estimate>> {
-        scatter::merged_group_by(&self.shards, mask, attr, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::merged_group_by(&self.shards, mask, attr, scratch);
+        };
+        if let Some(cells) = cache.peek_group_by(mask, attr) {
+            return Ok(cells);
+        }
+        scatter::merged_group_by(&cache.probes(&self.shards), mask, attr, scratch)
     }
 
     /// Per-shard candidates + exact cross-shard re-probe, via the shared
@@ -366,7 +432,12 @@ impl SummaryBackend for ShardedSummary {
         scratch: &mut ShardedScratch,
     ) -> Result<Vec<(u32, Estimate)>> {
         let n_attr = self.domain_sizes()[attr.0];
-        scatter::merged_top_k(&self.shards, mask, attr, k, n_attr, scratch)
+        match &self.cache {
+            Some(cache) => {
+                scatter::merged_top_k(&cache.probes(&self.shards), mask, attr, k, n_attr, scratch)
+            }
+            None => scatter::merged_top_k(&self.shards, mask, attr, k, n_attr, scratch),
+        }
     }
 
     fn plan_samples(&self, k: usize, _seed: u64) -> Result<Vec<u32>> {
@@ -388,5 +459,9 @@ impl SummaryBackend for ShardedSummary {
     ) -> Result<()> {
         let shard = plan[index] as usize;
         self.shards[shard].sample_tuple(&(), index, seed, row, &mut scratch[shard])
+    }
+
+    fn cache_stats(&self) -> Option<crate::metrics::CacheStatsSnapshot> {
+        self.cache.as_ref().map(|cache| cache.snapshot())
     }
 }

@@ -8,7 +8,8 @@
 //! entropydb-cluster probe <manifest>
 //! entropydb-cluster gateway <manifest> [--addr HOST:PORT]
 //!                           [--connect-timeout SECS] [--probe-timeout SECS]
-//!                           [--rehandshake-secs SECS]
+//!                           [--rehandshake-secs SECS] [--cache-entries N]
+//!                           [--control-file FILE]
 //! entropydb-cluster make-demo <dir> [--shards N] [--rows R] [--base-port P]
 //!                             [--replicas R]
 //! ```
@@ -40,7 +41,11 @@
 //!   failing over between replicas per its `FailoverConfig` (deadlines
 //!   configurable via the flags above). `--rehandshake-secs` starts the
 //!   background re-handshake that evicts replicas caught serving a
-//!   changed blob.
+//!   changed blob. `--cache-entries N` bounds the gather-side probe
+//!   cache (default 65536; `0` disables caching), and `--control-file
+//!   FILE` opens a localhost control channel (address written to `FILE`)
+//!   whose `status` line reports per-replica health and the cache's
+//!   hit/miss/coalesced/evicted counters.
 //! * `make-demo` builds a small deterministic sharded summary and writes
 //!   everything a localhost cluster walkthrough (or the `cluster-e2e` CI
 //!   job) needs: per-shard blobs for `entropydb-serve`, the combined
@@ -51,7 +56,8 @@ use entropydb_core::engine::QueryEngine;
 use entropydb_core::serialize::{self, ClusterShard};
 use entropydb_core::sharded::ShardedSummary;
 use entropydb_server::{
-    serve_with, Client, FailoverConfig, RemoteShardedSummary, ServerConfig, ServerHandle,
+    serve_with, Client, FailoverConfig, RemoteShard, RemoteShardedSummary, ServerConfig,
+    ServerHandle,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -72,6 +78,7 @@ fn usage() -> ExitCode {
          \x20 probe <manifest>\n\
          \x20 gateway <manifest> [--addr HOST:PORT] [--connect-timeout SECS]\n\
          \x20         [--probe-timeout SECS] [--rehandshake-secs SECS]\n\
+         \x20         [--cache-entries N] [--control-file FILE]\n\
          \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P] [--replicas R]"
     );
     ExitCode::from(2)
@@ -584,21 +591,112 @@ fn cmd_probe(args: &[String]) -> ExitCode {
     }
 }
 
+/// The control channel of a running `gateway`: a localhost line protocol
+/// (`status`, `quit`) mirroring the spawn control channel. `status`
+/// reports every replica's health plus the probe-cache counters, so a
+/// soak run (or the e2e suite) can watch hit rates and evictions without
+/// instrumenting the query path.
+fn gateway_control_loop(
+    listener: TcpListener,
+    shards: Arc<Vec<RemoteShard>>,
+    cache: Option<Arc<entropydb_core::scatter::GatherCache>>,
+    stop: Arc<AtomicBool>,
+    exit_tx: mpsc::Sender<Exit>,
+) {
+    let _ = listener.set_nonblocking(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let command = line.trim();
+            let mut quit_after = false;
+            let reply = match command {
+                "" => continue,
+                "status" => {
+                    let mut out = String::new();
+                    for shard in shards.iter() {
+                        for (j, replica) in shard.replicas().iter().enumerate() {
+                            let state = if replica.is_evicted() {
+                                "evicted"
+                            } else if replica.breaker_open() {
+                                "breaker-open"
+                            } else {
+                                "up"
+                            };
+                            out.push_str(&format!(
+                                "shard {} replica {j} {} {state}\n",
+                                shard.index(),
+                                replica.addr()
+                            ));
+                        }
+                    }
+                    match &cache {
+                        Some(cache) => {
+                            let s = cache.snapshot();
+                            out.push_str(&format!(
+                                "cache hits {} misses {} coalesced {} evicted {}\n",
+                                s.hits, s.misses, s.coalesced, s.evicted
+                            ));
+                        }
+                        None => out.push_str("cache off\n"),
+                    }
+                    out.push_str("ok\n");
+                    out
+                }
+                "quit" => {
+                    quit_after = true;
+                    "ok\n".to_string()
+                }
+                other => format!("err unknown command {other:?}\n"),
+            };
+            if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+                break;
+            }
+            if quit_after {
+                let _ = exit_tx.send(Exit::Quit);
+                return;
+            }
+        }
+    }
+}
+
 /// Serve a scatter/gather gateway over a shard cluster.
 fn cmd_gateway(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:4141".to_string());
-    type GatewayFlags = (Option<Duration>, Option<Duration>, Option<Duration>);
+    type GatewayFlags = (Option<Duration>, Option<Duration>, Option<Duration>, usize);
     let parsed = (|| -> Result<GatewayFlags, String> {
         Ok((
             duration_flag(args, "--connect-timeout")?,
             duration_flag(args, "--probe-timeout")?,
             duration_flag(args, "--rehandshake-secs")?,
+            parsed_flag(args, "--cache-entries", 1 << 16)?,
         ))
     })();
-    let (connect_timeout, probe_timeout, rehandshake) = match parsed {
+    let (connect_timeout, probe_timeout, rehandshake, cache_entries) = match parsed {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -630,11 +728,47 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         remote.start_rehandshake(interval);
         eprintln!("background re-handshake every {interval:?}");
     }
+    if cache_entries > 0 {
+        remote.enable_probe_cache(cache_entries);
+        eprintln!("gather-side probe cache: {cache_entries} entries");
+    } else {
+        eprintln!("gather-side probe cache: disabled");
+    }
     eprintln!(
         "connected {} shards, total n = {}",
         remote.num_shards(),
         remote.n()
     );
+    // Handles for the control channel, taken before `serve_with` consumes
+    // the summary.
+    let shards = remote.shard_set();
+    let cache = remote.probe_cache().cloned();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (exit_tx, exit_rx) = mpsc::channel::<Exit>();
+    let mut control_thread = None;
+    if let Some(file) = flag(args, "--control-file") {
+        match TcpListener::bind("127.0.0.1:0") {
+            Ok(listener) => {
+                let control_addr = listener.local_addr().expect("control addr");
+                if let Err(e) = std::fs::write(&file, format!("{control_addr}\n")) {
+                    eprintln!("cannot write control file {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("control channel on {control_addr} (written to {file})");
+                let shards = Arc::clone(&shards);
+                let cache = cache.clone();
+                let stop = Arc::clone(&stop);
+                let exit_tx = exit_tx.clone();
+                control_thread = Some(std::thread::spawn(move || {
+                    gateway_control_loop(listener, shards, cache, stop, exit_tx)
+                }));
+            }
+            Err(e) => {
+                eprintln!("cannot bind control channel: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match serve_with(
         QueryEngine::new(remote),
         addr.as_str(),
@@ -643,8 +777,18 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
         Ok(handle) => {
             println!("gateway listening on {}", handle.local_addr());
             eprintln!("type 'quit' (or close stdin) to stop");
-            wait_for_quit();
+            // Stdin watcher: EOF or a `quit` line stops the gateway,
+            // exactly like a control-channel `quit`.
+            std::thread::spawn(move || {
+                wait_for_quit();
+                let _ = exit_tx.send(Exit::Quit);
+            });
+            let _ = exit_rx.recv();
+            stop.store(true, Ordering::SeqCst);
             handle.shutdown();
+            if let Some(thread) = control_thread {
+                let _ = thread.join();
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

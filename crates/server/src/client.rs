@@ -2,6 +2,7 @@
 
 use crate::protocol::decode_schema;
 use entropydb_core::error::{ModelError, Result as ModelResult};
+use entropydb_core::metrics::CacheStatsSnapshot;
 use entropydb_core::plan::{parse_request, QueryRequest, QueryResponse};
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_storage::Schema;
@@ -284,6 +285,38 @@ impl Client {
             }
             other => other,
         }
+    }
+
+    /// Fetches the server's gather-side probe-cache counters. `Ok(None)`
+    /// means the server runs without a cache (a plain shard has nothing
+    /// to cache; only gateways front a scatter/gather backend).
+    pub fn cache_stats(&mut self) -> ClientResult<Option<CacheStatsSnapshot>> {
+        let reply = self.round_trip_with_retry("stats")?;
+        let rest = reply.strip_prefix("stats cache ").ok_or_else(|| {
+            ClientError::Model(ModelError::Remote(format!(
+                "unexpected stats reply {reply:?}"
+            )))
+        })?;
+        if rest.trim() == "none" {
+            return Ok(None);
+        }
+        let mut fields = rest.split_ascii_whitespace().map(str::parse::<u64>);
+        let mut next = || {
+            fields
+                .next()
+                .and_then(std::result::Result::ok)
+                .ok_or_else(|| {
+                    ClientError::Model(ModelError::Remote(format!(
+                        "malformed stats reply {reply:?}"
+                    )))
+                })
+        };
+        Ok(Some(CacheStatsSnapshot {
+            hits: next()?,
+            misses: next()?,
+            coalesced: next()?,
+            evicted: next()?,
+        }))
     }
 
     /// Executes one IR request remotely (reconnect-and-retry on a broken

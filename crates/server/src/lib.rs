@@ -16,6 +16,7 @@
 //! ---------------                 ---------------
 //! ping                            pong
 //! schema                          s1 <arity> / attr ... / end
+//! stats                           stats cache <h> <m> <c> <e> | stats cache none
 //! q1 <request>                    r1 <response>
 //! batch <n>  (then n q1 lines)    n r1 lines, in order
 //! quit                            (connection closed)
@@ -32,7 +33,12 @@
 //! primitive of [`RemoteShardedSummary`], the scatter/gather backend that
 //! places each shard of a sharded summary on its own `entropydb-serve`
 //! node and merges wire responses with the same merge layer the local
-//! sharded backend uses (bitwise-identical answers).
+//! sharded backend uses (bitwise-identical answers). A gateway can put a
+//! gather-side answer cache in front of the fan-out
+//! ([`RemoteShardedSummary::enable_probe_cache`]): repeats skip the wire,
+//! concurrent identical probes coalesce into one round trip, and the
+//! `stats` session line / gateway control channel expose its
+//! [`CacheStatsSnapshot`] counters.
 //!
 //! The scatter/gather path is fault tolerant: a manifest shard may list
 //! several replica endpoints, and the gatherer applies per-probe socket
@@ -61,6 +67,7 @@ mod remote;
 mod server;
 
 pub use client::{Client, ClientConfig, ClientError, ClientResult};
+pub use entropydb_core::metrics::CacheStatsSnapshot;
 pub use protocol::{MAX_BATCH, MAX_SAMPLE_ROWS};
 pub use remote::{FailoverConfig, RemoteShard, RemoteShardedSummary, Replica};
 pub use server::{serve, serve_with, ServerConfig, ServerHandle};

@@ -57,12 +57,13 @@ use crate::client::{Client, ClientConfig, ClientError};
 use entropydb_core::assignment::Mask;
 use entropydb_core::engine::SummaryBackend;
 use entropydb_core::error::{ModelError, Result};
+use entropydb_core::metrics::CacheStatsSnapshot;
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_core::query::Estimate;
-use entropydb_core::scatter::{self, ShardProbe};
+use entropydb_core::scatter::{self, GatherCache, ShardCacheId, ShardProbe};
 use entropydb_core::serialize::ClusterShard;
 use entropydb_storage::{AttrId, Schema};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -241,6 +242,11 @@ pub struct RemoteShard {
     /// The cluster-wide schema, set at connect time; every later fresh
     /// dial verifies the replica still serves it.
     expected_schema: OnceLock<Schema>,
+    /// Blob generation: bumped whenever a replica is caught serving a
+    /// changed blob (wrong-blob eviction). The gather-side probe cache
+    /// mixes this into its keys, so every cached answer for the shard
+    /// becomes unreachable the instant a swap is detected.
+    generation: Arc<AtomicU64>,
 }
 
 impl RemoteShard {
@@ -252,7 +258,22 @@ impl RemoteShard {
             preferred: AtomicUsize::new(0),
             config,
             expected_schema: OnceLock::new(),
+            generation: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Evicts replica `idx` for serving the wrong blob and bumps the
+    /// shard's blob generation (cache invalidation) — the single path
+    /// every wrong-blob detection goes through.
+    fn evict_replica(&self, idx: usize) {
+        self.replicas[idx].evict();
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// How many wrong-blob evictions this shard has seen (the probe-cache
+    /// invalidation generation; introspection for tests and drills).
+    pub fn blob_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Shard index within the cluster.
@@ -404,7 +425,7 @@ impl RemoteShard {
             let mut client = match self.checkout(idx) {
                 Ok(client) => client,
                 Err(DialFailure::WrongBlob(detail)) => {
-                    replica.evict();
+                    self.evict_replica(idx);
                     attempts.push(format!("{}: evicted: {detail}", replica.addr));
                     start = (idx + 1) % len;
                     continue;
@@ -489,7 +510,7 @@ impl RemoteShard {
                     .record_success();
                 replica.put_back(client);
             }
-            Err(DialFailure::WrongBlob(_)) => self.replicas[idx].evict(),
+            Err(DialFailure::WrongBlob(_)) => self.evict_replica(idx),
             Err(DialFailure::Transport(_)) => self.replicas[idx]
                 .health
                 .lock()
@@ -780,6 +801,9 @@ pub struct RemoteShardedSummary {
     weights: Vec<f64>,
     shards: Arc<Vec<RemoteShard>>,
     rehandshake: Option<Rehandshake>,
+    /// Optional gather-side answer cache (see
+    /// [`RemoteShardedSummary::enable_probe_cache`]).
+    cache: Option<Arc<GatherCache>>,
 }
 
 impl RemoteShardedSummary {
@@ -833,7 +857,7 @@ impl RemoteShardedSummary {
                         break;
                     }
                     Err(DialFailure::WrongBlob(detail)) => {
-                        shard.replicas[idx].evict();
+                        shard.evict_replica(idx);
                         attempts.push(format!("{}: evicted: {detail}", shard.replicas[idx].addr));
                     }
                     Err(DialFailure::Transport(detail)) => {
@@ -872,6 +896,7 @@ impl RemoteShardedSummary {
             weights,
             shards: Arc::new(shards),
             rehandshake: None,
+            cache: None,
         })
     }
 
@@ -928,9 +953,44 @@ impl RemoteShardedSummary {
         &self.schema
     }
 
+    /// Puts a gather-side answer cache (bounded to `entries` responses)
+    /// in front of the remote shards: repeated probes are answered
+    /// without a wire round trip, concurrent identical probes coalesce
+    /// into one round trip, and fully-cached queries skip the fan-out
+    /// pool entirely. Keys mix in each shard's blob generation, so the
+    /// wrong-blob eviction that follows a shard swap (detected by the
+    /// re-handshake or by any probe) instantly orphans every cached
+    /// answer from the old blob — a stale answer can never be served.
+    /// Answers stay bitwise-identical to the uncached wire paths.
+    pub fn enable_probe_cache(&mut self, entries: usize) {
+        let ids = self
+            .shards
+            .iter()
+            .map(|s| {
+                ShardCacheId::with_generation(
+                    scatter::shard_identity_token(s.index, s.n, &self.schema),
+                    Arc::clone(&s.generation),
+                )
+            })
+            .collect();
+        self.cache = Some(Arc::new(GatherCache::new(entries, ids)));
+    }
+
+    /// The gather-side cache, when one is enabled.
+    pub fn probe_cache(&self) -> Option<&Arc<GatherCache>> {
+        self.cache.as_ref()
+    }
+
     /// The remote shards, in shard order.
     pub fn shards(&self) -> &[RemoteShard] {
         &self.shards
+    }
+
+    /// A shareable handle to the shard set — the gateway's control loop
+    /// keeps one to report per-replica health after [`crate::serve_with`]
+    /// has consumed the summary.
+    pub fn shard_set(&self) -> Arc<Vec<RemoteShard>> {
+        Arc::clone(&self.shards)
     }
 
     /// Number of shards in the cluster.
@@ -967,23 +1027,52 @@ impl SummaryBackend for RemoteShardedSummary {
         vec![(); self.shards.len()]
     }
 
+    /// Mixture probability `Σ (n_s / n) · p_s`, merged by the shared
+    /// [`scatter`] layer. With a probe cache, a fully-cached mask is
+    /// folded serially without touching the wire or the fan-out pool;
+    /// otherwise the shards answer behind [`scatter::CachedProbe`], so
+    /// repeats and concurrent duplicates cost one round trip.
     fn probability_under_mask(&self, mask: &Mask, scratch: &mut Vec<()>) -> Result<f64> {
-        scatter::mixture_probability(&self.shards, &self.weights, mask, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::mixture_probability(&self.shards, &self.weights, mask, scratch);
+        };
+        if let Some(p) = cache.peek_probability(mask, &self.weights) {
+            return Ok(p);
+        }
+        scatter::mixture_probability(&cache.probes(&self.shards), &self.weights, mask, scratch)
     }
 
     fn count_under_mask(&self, mask: &Mask, scratch: &mut Vec<()>) -> Result<Estimate> {
-        scatter::merged_count(&self.shards, mask, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::merged_count(&self.shards, mask, scratch);
+        };
+        if let Some(count) = cache.peek_count(mask) {
+            return Ok(count);
+        }
+        scatter::merged_count(&cache.probes(&self.shards), mask, scratch)
     }
 
     /// Batched mixture probability over the wire: every shard answers the
     /// whole mask batch in a few pipelined lines, then the standard
-    /// shard-order mixture fold runs per mask.
+    /// shard-order mixture fold runs per mask. With a probe cache, only
+    /// the missing masks of the batch cross the wire.
     fn probabilities_under_masks(&self, masks: &[Mask], scratch: &mut Vec<()>) -> Result<Vec<f64>> {
-        scatter::mixture_probability_many(&self.shards, &self.weights, masks, scratch)
+        match &self.cache {
+            Some(cache) => scatter::mixture_probability_many(
+                &cache.probes(&self.shards),
+                &self.weights,
+                masks,
+                scratch,
+            ),
+            None => scatter::mixture_probability_many(&self.shards, &self.weights, masks, scratch),
+        }
     }
 
     fn counts_under_masks(&self, masks: &[Mask], scratch: &mut Vec<()>) -> Result<Vec<Estimate>> {
-        scatter::merged_count_many(&self.shards, masks, scratch)
+        match &self.cache {
+            Some(cache) => scatter::merged_count_many(&cache.probes(&self.shards), masks, scratch),
+            None => scatter::merged_count_many(&self.shards, masks, scratch),
+        }
     }
 
     fn sum_under_mask(
@@ -993,7 +1082,13 @@ impl SummaryBackend for RemoteShardedSummary {
         values: &[f64],
         scratch: &mut Vec<()>,
     ) -> Result<Estimate> {
-        scatter::merged_sum(&self.shards, base, attr, values, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::merged_sum(&self.shards, base, attr, values, scratch);
+        };
+        if let Some(sum) = cache.peek_sum(base, attr, values) {
+            return Ok(sum);
+        }
+        scatter::merged_sum(&cache.probes(&self.shards), base, attr, values, scratch)
     }
 
     fn group_by_under_mask(
@@ -1002,7 +1097,13 @@ impl SummaryBackend for RemoteShardedSummary {
         attr: AttrId,
         scratch: &mut Vec<()>,
     ) -> Result<Vec<Estimate>> {
-        scatter::merged_group_by(&self.shards, mask, attr, scratch)
+        let Some(cache) = &self.cache else {
+            return scatter::merged_group_by(&self.shards, mask, attr, scratch);
+        };
+        if let Some(cells) = cache.peek_group_by(mask, attr) {
+            return Ok(cells);
+        }
+        scatter::merged_group_by(&cache.probes(&self.shards), mask, attr, scratch)
     }
 
     fn top_k_under_mask(
@@ -1013,7 +1114,12 @@ impl SummaryBackend for RemoteShardedSummary {
         scratch: &mut Vec<()>,
     ) -> Result<Vec<(u32, Estimate)>> {
         let n_attr = self.domain_sizes[attr.0];
-        scatter::merged_top_k(&self.shards, mask, attr, k, n_attr, scratch)
+        match &self.cache {
+            Some(cache) => {
+                scatter::merged_top_k(&cache.probes(&self.shards), mask, attr, k, n_attr, scratch)
+            }
+            None => scatter::merged_top_k(&self.shards, mask, attr, k, n_attr, scratch),
+        }
     }
 
     /// Computes the stratified shard assignment (the same largest-remainder
@@ -1075,6 +1181,10 @@ impl SummaryBackend for RemoteShardedSummary {
         }
         row.copy_from_slice(&stratum.as_ref().expect("stratum fetched")[pos]);
         Ok(())
+    }
+
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        self.cache.as_ref().map(|cache| cache.snapshot())
     }
 }
 

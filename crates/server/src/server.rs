@@ -317,6 +317,14 @@ fn session<B: SummaryBackend>(engine: &QueryEngine<B>, stream: TcpStream) {
             "pong\n".to_string()
         } else if command == "schema" {
             encode_schema(engine.schema(), engine.n())
+        } else if command == "stats" {
+            match engine.cache_stats() {
+                Some(s) => format!(
+                    "stats cache {} {} {} {}\n",
+                    s.hits, s.misses, s.coalesced, s.evicted
+                ),
+                None => "stats cache none\n".to_string(),
+            }
         } else if command.starts_with("b1") {
             respond_probe(engine, command)
         } else if let Some(count) = command.strip_prefix("batch") {

@@ -316,6 +316,84 @@ fn rehandshake_evicts_replica_serving_a_changed_blob() {
     }
 }
 
+/// The gather-side probe cache can never serve a stale answer across a
+/// blob swap: cache keys mix in the shard's blob generation, and the
+/// wrong-blob eviction (here triggered by the background re-handshake
+/// catching an impostor on the preferred replica's address) bumps the
+/// generation — every answer cached from the old blob becomes
+/// unreachable the instant the swap is detected, and re-probes route to
+/// the surviving true replica with bitwise-identical results.
+#[test]
+fn blob_swap_orphans_cached_answers_before_they_can_go_stale() {
+    let local = sharded(1);
+    let (mut handles, manifest) = serve_replicated(&local, 2);
+    let addr0: std::net::SocketAddr = manifest[0].addrs[0].parse().unwrap();
+    let mut remote = RemoteShardedSummary::connect_with(&manifest, fast_failover()).unwrap();
+    remote.enable_probe_cache(1 << 12);
+    let cache = std::sync::Arc::clone(remote.probe_cache().unwrap());
+    let generation_before = remote.shards()[0].blob_generation();
+
+    // Warm the cache through the preferred replica, then prove the
+    // repeat is a hit.
+    let sizes = local.domain_sizes().to_vec();
+    let mask = Mask::from_predicate(&Predicate::new().eq(a(0), 1), &sizes).unwrap();
+    let mut scratch = remote.make_scratch();
+    let healthy = remote.count_under_mask(&mask, &mut scratch).unwrap();
+    let cold = cache.snapshot();
+    assert!(cold.misses > 0);
+    let repeat = remote.count_under_mask(&mask, &mut scratch).unwrap();
+    assert_eq!(repeat.expectation.to_bits(), healthy.expectation.to_bits());
+    let warm = cache.snapshot();
+    assert!(warm.hits > cold.hits, "repeat must be served by the cache");
+
+    // Swap the preferred replica's blob: kill it and start an impostor
+    // serving a different summary on the same address.
+    handles[0].remove(0).shutdown();
+    let wrong = demo::demo_summary(100, 1).unwrap().shards()[0].clone();
+    let impostor = serve(QueryEngine::new(wrong), addr0).unwrap();
+    remote.start_rehandshake(Duration::from_millis(30));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !remote.shards()[0].replicas()[0].is_evicted() {
+        assert!(
+            Instant::now() < deadline,
+            "re-handshake never evicted the changed blob"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        remote.shards()[0].blob_generation() > generation_before,
+        "wrong-blob eviction must bump the blob generation"
+    );
+
+    // Every answer cached from before the swap is orphaned: the same
+    // probe misses again and is re-fetched through the surviving true
+    // replica — still bitwise the healthy answer, never the impostor's.
+    let evicted = cache.snapshot();
+    let refetched = remote.count_under_mask(&mask, &mut scratch).unwrap();
+    assert_eq!(
+        refetched.expectation.to_bits(),
+        healthy.expectation.to_bits()
+    );
+    assert_eq!(refetched.variance.to_bits(), healthy.variance.to_bits());
+    let after = cache.snapshot();
+    assert!(
+        after.misses > evicted.misses,
+        "a pre-swap cache entry must not answer after the generation bump"
+    );
+
+    // Full-workload parity with the cache still enabled.
+    let local_engine = QueryEngine::new(local);
+    let engine = QueryEngine::new(remote);
+    common::assert_bitwise_parity(&local_engine, &engine);
+
+    impostor.shutdown();
+    for shard_handles in handles {
+        for handle in shard_handles {
+            handle.shutdown();
+        }
+    }
+}
+
 /// Satellite: sessions idle past the configured deadline are closed
 /// cleanly (the thread exits and deregisters), and a well-behaved client
 /// transparently reconnects on its next query.

@@ -122,6 +122,91 @@ fn fused_mask_batches_match_per_mask_loop_and_local_bitwise() {
     }
 }
 
+/// With the gather-side probe cache enabled, the remote backend answers
+/// every request variant bitwise-identically to the local sharded backend
+/// — on a cold cache, and again on a warm cache where repeats are served
+/// without touching the wire. At 1 shard the no-merge bypass runs under
+/// the cache; at 4 the candidate-union re-probe and batched paths do.
+#[test]
+fn cached_remote_cluster_stays_bitwise_cold_and_warm() {
+    for shards in [1usize, 4] {
+        let local = sharded(shards);
+        let (handles, manifest) = serve_shards(&local);
+        let mut remote = RemoteShardedSummary::connect(&manifest).unwrap();
+        remote.enable_probe_cache(1 << 12);
+        let cache = std::sync::Arc::clone(remote.probe_cache().unwrap());
+
+        let local_engine = QueryEngine::new(local);
+        let remote_engine = QueryEngine::new(remote);
+        common::assert_bitwise_parity(&local_engine, &remote_engine);
+        let cold = cache.snapshot();
+        assert!(cold.misses > 0, "cold pass must populate the cache");
+
+        common::assert_bitwise_parity(&local_engine, &remote_engine);
+        let warm = cache.snapshot();
+        assert!(
+            warm.hits > cold.hits,
+            "warm pass must hit the cache ({warm:?} after {cold:?})"
+        );
+        assert_eq!(remote_engine.cache_stats(), Some(warm));
+
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+/// The local sharded backend with a probe cache stays bitwise-identical
+/// to its uncached self on every request variant, cold and warm — the
+/// serial peek fast paths fold with the exact driver arithmetic.
+#[test]
+fn cached_local_sharded_stays_bitwise_cold_and_warm() {
+    for shards in [1usize, 4] {
+        let plain_engine = QueryEngine::new(sharded(shards));
+        let cached_engine = QueryEngine::new(sharded(shards).with_probe_cache(1 << 12));
+        common::assert_bitwise_parity(&plain_engine, &cached_engine);
+        let cold = cached_engine.cache_stats().unwrap();
+        assert!(cold.misses > 0, "cold pass must populate the cache");
+        common::assert_bitwise_parity(&plain_engine, &cached_engine);
+        let warm = cached_engine.cache_stats().unwrap();
+        assert!(warm.hits > cold.hits, "warm pass must hit the cache");
+        assert_eq!(plain_engine.cache_stats(), None);
+    }
+}
+
+/// The `stats` session line: a gateway over a cached remote backend
+/// reports live cache counters to any client; a plain shard server (no
+/// cache to speak of) answers `stats cache none`.
+#[test]
+fn stats_line_reports_gateway_cache_counters() {
+    let local = sharded(2);
+    let (handles, manifest) = serve_shards(&local);
+    let mut remote = RemoteShardedSummary::connect(&manifest).unwrap();
+    remote.enable_probe_cache(1 << 10);
+    let gateway = serve(QueryEngine::new(remote), "127.0.0.1:0").unwrap();
+
+    let mut client = Client::connect(gateway.local_addr()).unwrap();
+    let idle = client.cache_stats().unwrap().expect("gateway has a cache");
+    assert_eq!(idle.hits + idle.misses + idle.coalesced, 0);
+
+    let req = QueryRequest::count(Predicate::new().eq(a(0), 1));
+    client.execute(&req).unwrap();
+    client.execute(&req).unwrap();
+    let warm = client.cache_stats().unwrap().expect("gateway has a cache");
+    assert!(warm.misses > 0, "first execution misses");
+    assert!(warm.hits > 0, "repeat execution hits");
+    client.quit();
+    gateway.shutdown();
+
+    // A plain shard node has no gather-side cache.
+    let mut shard_client = Client::connect(manifest[0].addrs[0].as_str()).unwrap();
+    assert_eq!(shard_client.cache_stats().unwrap(), None);
+    shard_client.quit();
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
 /// The connect handshake rejects a manifest whose cardinality does not
 /// match what the node actually serves, naming the shard.
 #[test]
