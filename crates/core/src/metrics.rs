@@ -10,8 +10,111 @@
 //!   evicted counts for [`crate::scatter::ProbeCache`], surfaced through
 //!   the server's `stats` session command and the gateway's `status`
 //!   control line so a soak run can prove the cache is working.
+//! * [`ServerCounters`] / [`ServerStatsSnapshot`]: the serving side's
+//!   operational counters (live sessions, accepted / shed connections,
+//!   wire bytes, dispatch-queue depth), maintained by both server cores
+//!   and surfaced through the `stats server` session command and the
+//!   gateway control channel's `status` line.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free operational counters of a query server (either core:
+/// event-driven reactor or the retained thread-per-connection baseline).
+/// All updates are `Relaxed`: the counters are observability, never
+/// control flow, so cross-counter consistency is not required.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    active_sessions: AtomicU64,
+    accepted_total: AtomicU64,
+    shed_total: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    dispatch_queued: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Records one accepted connection (admitted or shed).
+    pub fn add_accepted(&self) {
+        self.accepted_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection answered with a typed `busy` line instead of
+    /// being admitted as a session.
+    pub fn add_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adjusts the live-session gauge as sessions register/deregister.
+    pub fn session_started(&self) {
+        self.active_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// See [`ServerCounters::session_started`].
+    pub fn session_ended(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of currently registered sessions.
+    pub fn active_sessions(&self) -> u64 {
+        self.active_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` bytes read off client sockets.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes written to client sockets.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adjusts the dispatch-queue depth gauge: `n` requests decoded and
+    /// queued for the compute pool.
+    pub fn dispatch_enqueued(&self, n: u64) {
+        self.dispatch_queued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// See [`ServerCounters::dispatch_enqueued`]: `n` requests answered.
+    pub fn dispatch_completed(&self, n: u64) {
+        self.dispatch_queued.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current dispatch-queue depth (decoded requests not yet answered).
+    pub fn dispatch_depth(&self) -> u64 {
+        self.dispatch_queued.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            active_sessions: self.active_sessions.load(Ordering::Relaxed),
+            accepted_total: self.accepted_total.load(Ordering::Relaxed),
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            dispatch_depth: self.dispatch_queued.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Currently registered sessions.
+    pub active_sessions: u64,
+    /// Connections accepted since startup (admitted + shed).
+    pub accepted_total: u64,
+    /// Connections answered with a typed `busy` line instead of a session.
+    pub shed_total: u64,
+    /// Bytes read off client sockets.
+    pub bytes_in: u64,
+    /// Bytes written to client sockets.
+    pub bytes_out: u64,
+    /// Decoded requests currently queued for (or executing on) the
+    /// compute pool.
+    pub dispatch_depth: u64,
+}
 
 /// Lock-free operational counters of a gather-side probe cache. All
 /// updates are `Relaxed`: the counters are observability, never control

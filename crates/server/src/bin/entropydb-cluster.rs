@@ -12,6 +12,8 @@
 //!                           [--control-file FILE]
 //! entropydb-cluster make-demo <dir> [--shards N] [--rows R] [--base-port P]
 //!                             [--replicas R]
+//! entropydb-cluster soak <HOST:PORT> [--clients N] [--pipeline P]
+//!                        [--rounds R] [--max-p99-ms MS]
 //! ```
 //!
 //! * `spawn` loads a sharded summary (single-file manifest or
@@ -44,8 +46,17 @@
 //!   changed blob. `--cache-entries N` bounds the gather-side probe
 //!   cache (default 65536; `0` disables caching), and `--control-file
 //!   FILE` opens a localhost control channel (address written to `FILE`)
-//!   whose `status` line reports per-replica health and the cache's
-//!   hit/miss/coalesced/evicted counters.
+//!   whose `status` line reports per-replica health, the cache's
+//!   hit/miss/coalesced/evicted counters, and the serving side's
+//!   operational counters (active/accepted/shed sessions, bytes in/out,
+//!   dispatch queue depth).
+//! * `soak` storms a running server (typically a gateway) with pipelined
+//!   load from one process: `--clients N` raw connections each write
+//!   `--pipeline P` count queries per frame for `--rounds R` rounds, and
+//!   every reply must be bitwise-identical to a reference answer fetched
+//!   up front. Prints throughput and p50/p99 per-frame latency; exits
+//!   non-zero on any failed request or (with `--max-p99-ms`) when the p99
+//!   breaches the bound — the CI cluster-e2e job's concurrency gate.
 //! * `make-demo` builds a small deterministic sharded summary and writes
 //!   everything a localhost cluster walkthrough (or the `cluster-e2e` CI
 //!   job) needs: per-shard blobs for `entropydb-serve`, the combined
@@ -53,19 +64,21 @@
 //!   `--replicas` endpoints per shard.
 
 use entropydb_core::engine::QueryEngine;
+use entropydb_core::plan::QueryRequest;
 use entropydb_core::serialize::{self, ClusterShard};
 use entropydb_core::sharded::ShardedSummary;
 use entropydb_server::{
     serve_with, Client, FailoverConfig, RemoteShard, RemoteShardedSummary, ServerConfig,
-    ServerHandle,
+    ServerCounters, ServerHandle,
 };
+use entropydb_storage::Predicate;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -79,7 +92,9 @@ fn usage() -> ExitCode {
          \x20 gateway <manifest> [--addr HOST:PORT] [--connect-timeout SECS]\n\
          \x20         [--probe-timeout SECS] [--rehandshake-secs SECS]\n\
          \x20         [--cache-entries N] [--control-file FILE]\n\
-         \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P] [--replicas R]"
+         \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P] [--replicas R]\n\
+         \x20 soak <HOST:PORT> [--clients N] [--pipeline P] [--rounds R]\n\
+         \x20      [--max-p99-ms MS]"
     );
     ExitCode::from(2)
 }
@@ -593,13 +608,15 @@ fn cmd_probe(args: &[String]) -> ExitCode {
 
 /// The control channel of a running `gateway`: a localhost line protocol
 /// (`status`, `quit`) mirroring the spawn control channel. `status`
-/// reports every replica's health plus the probe-cache counters, so a
-/// soak run (or the e2e suite) can watch hit rates and evictions without
+/// reports every replica's health, the probe-cache counters, and the
+/// serving side's operational counters, so a soak run (or the e2e suite)
+/// can watch hit rates, shed counts, and queue depth without
 /// instrumenting the query path.
 fn gateway_control_loop(
     listener: TcpListener,
     shards: Arc<Vec<RemoteShard>>,
     cache: Option<Arc<entropydb_core::scatter::GatherCache>>,
+    server: Arc<ServerCounters>,
     stop: Arc<AtomicBool>,
     exit_tx: mpsc::Sender<Exit>,
 ) {
@@ -661,6 +678,16 @@ fn gateway_control_loop(
                         }
                         None => out.push_str("cache off\n"),
                     }
+                    let s = server.snapshot();
+                    out.push_str(&format!(
+                        "server active {} accepted {} shed {} bytes-in {} bytes-out {} queue {}\n",
+                        s.active_sessions,
+                        s.accepted_total,
+                        s.shed_total,
+                        s.bytes_in,
+                        s.bytes_out,
+                        s.dispatch_depth
+                    ));
                     out.push_str("ok\n");
                     out
                 }
@@ -745,7 +772,11 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     let cache = remote.probe_cache().cloned();
     let stop = Arc::new(AtomicBool::new(false));
     let (exit_tx, exit_rx) = mpsc::channel::<Exit>();
-    let mut control_thread = None;
+    // Bind the control listener (and write its address) before serving so
+    // a bad control file fails fast; the control thread itself starts
+    // after the server is up — its `status` reply reads the live server
+    // counters off the handle.
+    let mut control_listener = None;
     if let Some(file) = flag(args, "--control-file") {
         match TcpListener::bind("127.0.0.1:0") {
             Ok(listener) => {
@@ -755,13 +786,7 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("control channel on {control_addr} (written to {file})");
-                let shards = Arc::clone(&shards);
-                let cache = cache.clone();
-                let stop = Arc::clone(&stop);
-                let exit_tx = exit_tx.clone();
-                control_thread = Some(std::thread::spawn(move || {
-                    gateway_control_loop(listener, shards, cache, stop, exit_tx)
-                }));
+                control_listener = Some(listener);
             }
             Err(e) => {
                 eprintln!("cannot bind control channel: {e}");
@@ -776,6 +801,17 @@ fn cmd_gateway(args: &[String]) -> ExitCode {
     ) {
         Ok(handle) => {
             println!("gateway listening on {}", handle.local_addr());
+            let mut control_thread = None;
+            if let Some(listener) = control_listener {
+                let shards = Arc::clone(&shards);
+                let cache = cache.clone();
+                let server = handle.counters();
+                let stop = Arc::clone(&stop);
+                let exit_tx = exit_tx.clone();
+                control_thread = Some(std::thread::spawn(move || {
+                    gateway_control_loop(listener, shards, cache, server, stop, exit_tx)
+                }));
+            }
             eprintln!("type 'quit' (or close stdin) to stop");
             // Stdin watcher: EOF or a `quit` line stops the gateway,
             // exactly like a control-channel `quit`.
@@ -807,6 +843,156 @@ fn wait_for_quit() {
             Err(_) => break,
         }
     }
+}
+
+/// One soak connection: a raw socket plus its buffered read half.
+struct SoakConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn soak_connect(addr: &str) -> Result<SoakConn, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?,
+    );
+    Ok(SoakConn { stream, reader })
+}
+
+/// Storm a running server with pipelined frames from many raw
+/// connections, checking every reply bitwise against a reference answer.
+fn cmd_soak(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let parsed = (|| -> Result<(usize, usize, usize, Option<f64>), String> {
+        Ok((
+            parsed_flag(args, "--clients", 64)?,
+            parsed_flag(args, "--pipeline", 16)?,
+            parsed_flag(args, "--rounds", 10)?,
+            match flag(args, "--max-p99-ms") {
+                None => None,
+                Some(raw) => match raw.parse::<f64>() {
+                    Ok(ms) if ms > 0.0 && ms.is_finite() => Some(ms),
+                    _ => return Err(format!("cannot parse --max-p99-ms value {raw:?}")),
+                },
+            },
+        ))
+    })();
+    let (clients, pipeline, rounds, max_p99_ms) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    if clients == 0 || pipeline == 0 || rounds == 0 {
+        eprintln!("error: --clients, --pipeline, and --rounds must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    let query = format!("{}\n", QueryRequest::count(Predicate::all()).encode());
+
+    // Reference answer: one clean request/response up front. Every soak
+    // reply must match it byte for byte.
+    let expected = match (|| -> Result<String, String> {
+        let mut conn = soak_connect(addr)?;
+        conn.stream
+            .write_all(query.as_bytes())
+            .map_err(|e| format!("cannot send reference query: {e}"))?;
+        let mut line = String::new();
+        conn.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read reference reply: {e}"))?;
+        let trimmed = line.trim_end_matches('\n');
+        if !trimmed.starts_with("r1 ") || trimmed.starts_with("r1 err") {
+            return Err(format!("reference query failed: {trimmed:?}"));
+        }
+        Ok(trimmed.to_string())
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut conns = Vec::with_capacity(clients);
+    for i in 0..clients {
+        match soak_connect(addr) {
+            Ok(c) => conns.push(c),
+            Err(e) => {
+                eprintln!("client {i}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "soaking {addr}: {clients} clients x {pipeline} pipelined x {rounds} rounds \
+         = {} requests",
+        clients * pipeline * rounds
+    );
+
+    let frame = query.repeat(pipeline);
+    let mut failures = 0usize;
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * rounds);
+    let started = Instant::now();
+    let mut line = String::new();
+    for _ in 0..rounds {
+        // Write the whole round first: every client gets a full pipelined
+        // frame on the wire before any reply is drained, so the server
+        // sees genuinely concurrent frames.
+        for conn in &mut conns {
+            if conn.stream.write_all(frame.as_bytes()).is_err() {
+                failures += pipeline;
+            }
+        }
+        for conn in &mut conns {
+            let frame_started = Instant::now();
+            for _ in 0..pipeline {
+                line.clear();
+                match conn.reader.read_line(&mut line) {
+                    Ok(n) if n > 0 => {
+                        if line.trim_end_matches('\n') != expected {
+                            failures += 1;
+                        }
+                    }
+                    _ => {
+                        failures += 1;
+                    }
+                }
+            }
+            latencies_ms.push(frame_started.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    for conn in &mut conns {
+        let _ = conn.stream.write_all(b"quit\n");
+    }
+
+    let total = clients * pipeline * rounds;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    println!(
+        "soak complete: {total} requests in {elapsed:.2}s ({:.0} req/s), \
+         frame latency p50 {p50:.2}ms p99 {p99:.2}ms, {failures} failed",
+        total as f64 / elapsed
+    );
+    if failures > 0 {
+        eprintln!("soak FAILED: {failures}/{total} requests failed");
+        return ExitCode::FAILURE;
+    }
+    if let Some(bound) = max_p99_ms {
+        if p99 > bound {
+            eprintln!("soak FAILED: p99 {p99:.2}ms breaches --max-p99-ms {bound}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Write the demo cluster workspace: per-shard blobs, the combined sharded
@@ -898,6 +1084,7 @@ fn main() -> ExitCode {
         "probe" => cmd_probe(rest),
         "gateway" => cmd_gateway(rest),
         "make-demo" => cmd_make_demo(rest),
+        "soak" => cmd_soak(rest),
         _ => usage(),
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! entropydb-serve <summary> [--addr HOST:PORT] [--idle-timeout SECS]
-//!                 [--max-sessions N]
+//!                 [--max-sessions N] [--core reactor|threaded]
+//!                 [--reactor-threads N] [--dispatch-threads N]
+//!                 [--max-queue-depth N] [--max-in-flight N]
 //! ```
 //!
 //! `<summary>` is any of the persistence layouts of
@@ -17,23 +19,55 @@
 //! `--max-sessions N` sheds connections over the cap with a typed `busy`
 //! line instead of admitting them. See `ServerConfig`.
 //!
+//! `--core` picks the server core: the event-driven epoll `reactor`
+//! (default on Linux) or the retained `threaded` thread-per-connection
+//! baseline. The remaining flags tune the reactor's thread counts and
+//! admission control (0 = auto / unbounded); see `ReactorConfig`.
+//!
 //! The default address is `127.0.0.1:4141`; use port 0 for an ephemeral
 //! port (printed on startup). The process serves until stdin reaches EOF
 //! or a `quit` line is typed, then shuts down gracefully (all sessions
 //! disconnected and joined).
 
-use entropydb_core::engine::QueryEngine;
+use entropydb_core::engine::{QueryEngine, SummaryBackend};
 use entropydb_core::serialize;
-use entropydb_server::{serve_with, ServerConfig};
+use entropydb_server::{serve_threaded, serve_tuned, ReactorConfig, ServerConfig, ServerHandle};
 use std::io::BufRead;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
+/// Which server core to run; `Reactor` falls back to the threaded core on
+/// non-Linux targets (see `serve_tuned`).
+#[derive(Clone, Copy)]
+enum Core {
+    Reactor,
+    Threaded,
+}
+
+fn start<B>(
+    engine: QueryEngine<B>,
+    addr: &str,
+    config: ServerConfig,
+    core: Core,
+    tuning: ReactorConfig,
+) -> std::io::Result<ServerHandle>
+where
+    B: SummaryBackend + 'static,
+{
+    match core {
+        Core::Reactor => serve_tuned(engine, addr, config, tuning),
+        Core::Threaded => serve_threaded(engine, addr, config),
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: entropydb-serve <summary file or sharded dir> [--addr HOST:PORT]\n\
-         \x20                    [--idle-timeout SECS] [--max-sessions N]"
+         \x20                    [--idle-timeout SECS] [--max-sessions N]\n\
+         \x20                    [--core reactor|threaded] [--reactor-threads N]\n\
+         \x20                    [--dispatch-threads N] [--max-queue-depth N]\n\
+         \x20                    [--max-in-flight N]"
     );
     ExitCode::from(2)
 }
@@ -80,6 +114,31 @@ fn main() -> ExitCode {
             }
         }
     }
+    let core = match flag(&args, "--core").as_deref() {
+        None | Some("reactor") => Core::Reactor,
+        Some("threaded") => Core::Threaded,
+        Some(other) => {
+            eprintln!("error: unknown --core value {other:?} (want reactor or threaded)");
+            return usage();
+        }
+    };
+    let mut tuning = ReactorConfig::default();
+    for (name, slot) in [
+        ("--reactor-threads", &mut tuning.reactor_threads),
+        ("--dispatch-threads", &mut tuning.dispatch_threads),
+        ("--max-queue-depth", &mut tuning.max_queue_depth),
+        ("--max-in-flight", &mut tuning.max_in_flight_per_conn),
+    ] {
+        if let Some(raw) = flag(&args, name) {
+            match raw.parse::<usize>() {
+                Ok(v) => *slot = v,
+                Err(_) => {
+                    eprintln!("error: cannot parse {name} value {raw:?}");
+                    return usage();
+                }
+            }
+        }
+    }
     let path = Path::new(path);
 
     // Sniff the persistence layout and start the matching backend.
@@ -91,7 +150,13 @@ fn main() -> ExitCode {
                     sharded.num_shards(),
                     sharded.n()
                 );
-                serve_with(QueryEngine::new(sharded), addr.as_str(), config)
+                start(
+                    QueryEngine::new(sharded),
+                    addr.as_str(),
+                    config,
+                    core,
+                    tuning,
+                )
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -110,7 +175,13 @@ fn main() -> ExitCode {
                         sharded.num_shards(),
                         sharded.n()
                     );
-                    serve_with(QueryEngine::new(sharded), addr.as_str(), config)
+                    start(
+                        QueryEngine::new(sharded),
+                        addr.as_str(),
+                        config,
+                        core,
+                        tuning,
+                    )
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -121,7 +192,13 @@ fn main() -> ExitCode {
             match serialize::load_file(path) {
                 Ok(summary) => {
                     eprintln!("loaded summary: n = {}", summary.n());
-                    serve_with(QueryEngine::new(summary), addr.as_str(), config)
+                    start(
+                        QueryEngine::new(summary),
+                        addr.as_str(),
+                        config,
+                        core,
+                        tuning,
+                    )
                 }
                 Err(e) => {
                     eprintln!("error: {e}");

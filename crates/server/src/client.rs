@@ -2,7 +2,7 @@
 
 use crate::protocol::decode_schema;
 use entropydb_core::error::{ModelError, Result as ModelResult};
-use entropydb_core::metrics::CacheStatsSnapshot;
+use entropydb_core::metrics::{CacheStatsSnapshot, ServerStatsSnapshot};
 use entropydb_core::plan::{parse_request, QueryRequest, QueryResponse};
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_storage::Schema;
@@ -317,6 +317,14 @@ impl Client {
             coalesced: next()?,
             evicted: next()?,
         }))
+    }
+
+    /// Fetches the server's serving-side operational counters (live
+    /// sessions, accepted/shed connections, wire bytes, dispatch-queue
+    /// depth) via the `stats server` session command.
+    pub fn server_stats(&mut self) -> ClientResult<ServerStatsSnapshot> {
+        let reply = self.round_trip_with_retry("stats server")?;
+        crate::protocol::decode_server_stats(reply.trim()).map_err(ClientError::Model)
     }
 
     /// Executes one IR request remotely (reconnect-and-retry on a broken

@@ -1,8 +1,19 @@
 //! # entropydb-server
 //!
-//! A small threaded TCP query service over any EntropyDB summary backend —
-//! the "interactive data exploration" front-end of the paper, serving a
+//! A TCP query service over any EntropyDB summary backend — the
+//! "interactive data exploration" front-end of the paper, serving a
 //! [`QueryEngine`](entropydb_core::engine::QueryEngine) to remote clients.
+//!
+//! On Linux, [`serve`] runs an **event-driven core**: an in-tree epoll
+//! reactor multiplexes thousands of connections over O(cores) event-loop
+//! threads, sessions decode the line protocol incrementally over partial
+//! reads, pipelined requests coalesce into engine batches on a persistent
+//! compute pool, and responses flush via interest-driven writes — a slow
+//! reader never parks a compute thread. Admission control (global
+//! queue-depth caps, per-connection in-flight limits, typed `busy`
+//! shedding) is tunable via [`ReactorConfig`] / [`serve_tuned`]. The
+//! retained thread-per-connection core ([`serve_threaded`]) speaks the
+//! identical wire protocol and serves as the measured baseline.
 //!
 //! The protocol is line-oriented text over TCP, built directly on the query
 //! IR's wire encoding (`entropydb_core::plan`): a client sends one encoded
@@ -17,6 +28,7 @@
 //! ping                            pong
 //! schema                          s1 <arity> / attr ... / end
 //! stats                           stats cache <h> <m> <c> <e> | stats cache none
+//! stats server                    stats server <active> <accepted> <shed> <in> <out> <depth>
 //! q1 <request>                    r1 <response>
 //! batch <n>  (then n q1 lines)    n r1 lines, in order
 //! quit                            (connection closed)
@@ -63,11 +75,16 @@ mod client;
 pub mod demo;
 pub mod fault;
 mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod remote;
 mod server;
+mod session;
 
 pub use client::{Client, ClientConfig, ClientError, ClientResult};
-pub use entropydb_core::metrics::CacheStatsSnapshot;
-pub use protocol::{MAX_BATCH, MAX_SAMPLE_ROWS};
+pub use entropydb_core::metrics::{CacheStatsSnapshot, ServerCounters, ServerStatsSnapshot};
+pub use protocol::{decode_server_stats, encode_server_stats, MAX_BATCH, MAX_SAMPLE_ROWS};
 pub use remote::{FailoverConfig, RemoteShard, RemoteShardedSummary, Replica};
-pub use server::{serve, serve_with, ServerConfig, ServerHandle};
+pub use server::{
+    serve, serve_threaded, serve_tuned, serve_with, ReactorConfig, ServerConfig, ServerHandle,
+};

@@ -25,6 +25,7 @@
 //! servers.
 
 use entropydb_core::error::{ModelError, Result};
+use entropydb_core::metrics::ServerStatsSnapshot;
 use entropydb_storage::{Attribute, Binner, Schema};
 use std::fmt::Write as _;
 
@@ -71,6 +72,43 @@ pub fn encode_schema(schema: &Schema, n: u64) -> String {
     let _ = writeln!(out, "n {n}");
     out.push_str("end\n");
     out
+}
+
+/// Encodes the `stats server` reply: one line of serving-side counters,
+/// mirroring the `stats cache ...` convention.
+///
+/// ```text
+/// stats server <active> <accepted> <shed> <bytes_in> <bytes_out> <queue_depth>
+/// ```
+pub fn encode_server_stats(s: &ServerStatsSnapshot) -> String {
+    format!(
+        "stats server {} {} {} {} {} {}\n",
+        s.active_sessions,
+        s.accepted_total,
+        s.shed_total,
+        s.bytes_in,
+        s.bytes_out,
+        s.dispatch_depth
+    )
+}
+
+/// Decodes one `stats server ...` line (see [`encode_server_stats`]).
+pub fn decode_server_stats(line: &str) -> Result<ServerStatsSnapshot> {
+    let mut toks = line.split_ascii_whitespace();
+    if toks.next() != Some("stats") || toks.next() != Some("server") {
+        return Err(wire_error(format!(
+            "unrecognized server stats line {line:?}"
+        )));
+    }
+    let mut field = |what: &str| parse_token::<u64>(toks.next(), what);
+    Ok(ServerStatsSnapshot {
+        active_sessions: field("active sessions")?,
+        accepted_total: field("accepted total")?,
+        shed_total: field("shed total")?,
+        bytes_in: field("bytes in")?,
+        bytes_out: field("bytes out")?,
+        dispatch_depth: field("dispatch depth")?,
+    })
 }
 
 fn wire_error(message: String) -> ModelError {
@@ -184,6 +222,23 @@ mod tests {
         assert!(err("s1 1\nattr 0 4 cat x"));
         assert!(err("s1 2\nattr 0 4 cat x\nend"));
         assert!(err("s1 1\nattr 0 4 cat x\nn twelve\nend"));
+    }
+
+    #[test]
+    fn server_stats_line_round_trips() {
+        let snap = ServerStatsSnapshot {
+            active_sessions: 3,
+            accepted_total: 17,
+            shed_total: 2,
+            bytes_in: 4096,
+            bytes_out: 8192,
+            dispatch_depth: 5,
+        };
+        let line = encode_server_stats(&snap);
+        assert_eq!(line, "stats server 3 17 2 4096 8192 5\n");
+        assert_eq!(decode_server_stats(line.trim()).unwrap(), snap);
+        assert!(decode_server_stats("stats cache 1 2 3 4").is_err());
+        assert!(decode_server_stats("stats server 1 2 3").is_err());
     }
 
     /// Pre-handshake blocks (no `n` line) still decode — the handshake is

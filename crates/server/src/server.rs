@@ -1,15 +1,33 @@
-//! The threaded TCP server: accept loop, per-connection sessions, batch
-//! pipelining, graceful shutdown.
+//! The TCP server front door: configuration, the public `serve*` entry
+//! points, and the two interchangeable cores behind them.
+//!
+//! * The **event-driven core** (`reactor.rs`, Linux): an in-tree epoll
+//!   reactor multiplexing thousands of connections over O(cores)
+//!   threads, with pipelined sessions, admission control, and
+//!   flush-then-close load shedding. [`serve`] and [`serve_with`] use it
+//!   by default on Linux.
+//! * The **thread-per-connection core** (this file): one blocking session
+//!   thread per client. Retained as the portability fallback and as the
+//!   measured baseline for `benches/server.rs`; reachable explicitly via
+//!   [`serve_threaded`].
+//!
+//! Both cores speak the identical line protocol, honor the same
+//! [`ServerConfig`] semantics (idle-timeout reaping, `max_sessions` busy
+//! shedding), and maintain the same [`ServerCounters`] observability
+//! surface (`stats server` line, [`ServerHandle::stats`]).
 
-use crate::protocol::{encode_schema, MAX_BATCH, MAX_LINE_BYTES, MAX_SAMPLE_ROWS};
+use crate::protocol::{
+    encode_schema, encode_server_stats, MAX_BATCH, MAX_LINE_BYTES, MAX_SAMPLE_ROWS,
+};
 use entropydb_core::engine::{QueryEngine, SummaryBackend};
 use entropydb_core::error::{ModelError, Result};
+use entropydb_core::metrics::{ServerCounters, ServerStatsSnapshot};
 use entropydb_core::plan::{QueryRequest, QueryResponse};
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -31,50 +49,175 @@ pub struct ServerConfig {
     pub max_sessions: Option<usize>,
 }
 
+/// Tuning knobs of the event-driven core (see [`serve_tuned`]). Separate
+/// from [`ServerConfig`] so the serving-policy surface — and every
+/// exhaustive `ServerConfig` literal in existing code — stays unchanged.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Event-loop threads multiplexing the connections. `0` (default)
+    /// auto-sizes to the core count, capped at 4 — reactors are I/O bound
+    /// and a handful multiplexes thousands of sockets.
+    pub reactor_threads: usize,
+    /// Compute-pool threads executing decoded requests. `0` (default)
+    /// auto-sizes to `max(2, cores)`.
+    pub dispatch_threads: usize,
+    /// Global cap on decoded-but-unanswered requests across all sessions.
+    /// Beyond it new compute lines are answered with typed `busy` lines
+    /// instead of queueing without bound. `0` disables the cap.
+    pub max_queue_depth: usize,
+    /// Per-connection cap on decoded-but-unanswered requests; past it the
+    /// reactor stops *reading* that connection (pipelining backpressure)
+    /// until earlier work completes. `0` disables the cap.
+    pub max_in_flight_per_conn: usize,
+    /// Unflushed-response bytes past which a connection's reads pause: a
+    /// slow reader stops generating new work instead of growing its write
+    /// buffer without bound. `0` disables the threshold.
+    pub max_write_buffer: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            reactor_threads: 0,
+            dispatch_threads: 0,
+            max_queue_depth: 1 << 16,
+            max_in_flight_per_conn: 256,
+            max_write_buffer: 1 << 20,
+        }
+    }
+}
+
+impl ReactorConfig {
+    #[cfg(target_os = "linux")]
+    fn resolve(&self) -> crate::reactor::ReactorTuning {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let nz = |v: usize, auto: usize| if v == 0 { auto } else { v };
+        crate::reactor::ReactorTuning {
+            reactor_threads: nz(self.reactor_threads, cores.clamp(1, 4)),
+            dispatch_threads: nz(self.dispatch_threads, cores.max(2)),
+            policy: crate::session::DecodePolicy {
+                max_queue_depth: if self.max_queue_depth == 0 {
+                    u64::MAX
+                } else {
+                    self.max_queue_depth as u64
+                },
+                max_in_flight: nz(self.max_in_flight_per_conn, usize::MAX),
+                max_write_buffer: nz(self.max_write_buffer, usize::MAX),
+            },
+        }
+    }
+}
+
 /// Locks a mutex, recovering the inner value if a session thread panicked
 /// while holding it. The shutdown path runs from `Drop` (possibly during a
 /// panic unwind); propagating lock poison there would turn one panic into
 /// a process abort and leak every still-registered session.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Shared session bookkeeping: live connection handles (for shutdown) and
-/// thread handles (for joining). Both are bounded by the number of *live*
-/// connections: a session deregisters its connection on exit, and the
-/// accept loop reaps finished session threads.
-struct Shared {
-    stop: AtomicBool,
-    /// A clone of the listening socket, used by shutdown to switch the
-    /// accept loop to non-blocking. The wake-up connection alone is not
-    /// enough: if that connect fails (backlog full, transient network
-    /// refusal), a purely blocking accept would never observe `stop` and
-    /// `shutdown` would hang — and any connection accepted in that window
-    /// would leak its session thread past the join. Non-blocking mode makes
-    /// the accept loop re-check `stop` on its own.
-    listener: TcpListener,
-    next_conn: AtomicU64,
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    sessions: Mutex<Vec<JoinHandle<()>>>,
-    active: AtomicUsize,
+/// The typed rejection a connection over the session-capacity cap gets.
+pub(crate) fn busy_at_capacity(cap: usize) -> ModelError {
+    ModelError::Busy(format!("server at session capacity ({cap})"))
 }
 
-/// A running server. Dropping the handle shuts the server down (prefer
-/// calling [`ServerHandle::shutdown`] explicitly).
+/// The one-line `stats` reply (gather-side cache counters).
+pub(crate) fn stats_line<B: SummaryBackend>(engine: &QueryEngine<B>) -> String {
+    match engine.cache_stats() {
+        Some(s) => format!(
+            "stats cache {} {} {} {}\n",
+            s.hits, s.misses, s.coalesced, s.evicted
+        ),
+        None => "stats cache none\n".to_string(),
+    }
+}
+
+/// The one-line `stats server` reply (serving-side counters).
+pub(crate) fn server_stats_line(snapshot: &ServerStatsSnapshot) -> String {
+    encode_server_stats(snapshot)
+}
+
+/// A running server (either core). Dropping the handle shuts the server
+/// down (prefer calling [`ServerHandle::shutdown`] explicitly).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+    core: Core,
+}
+
+enum Core {
+    Threaded(ThreadedHandle),
+    #[cfg(target_os = "linux")]
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+impl Core {
+    fn shutdown_inner(&mut self) {
+        match self {
+            Core::Threaded(h) => h.shutdown_inner(),
+            #[cfg(target_os = "linux")]
+            Core::Reactor(h) => h.shutdown_inner(),
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.counters.active_sessions() as usize
+    }
+
+    /// A point-in-time copy of the server's operational counters — the
+    /// same numbers the `stats server` session command reports.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// A shareable live handle to the counters behind [`ServerHandle::stats`],
+    /// for observers (e.g. a control channel) that outlive borrows of the
+    /// handle itself.
+    pub fn counters(&self) -> Arc<ServerCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Stops accepting, disconnects every session, and joins all server
+    /// threads. Returns once every server thread has exited.
+    pub fn shutdown(mut self) {
+        self.core.shutdown_inner();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.core.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("active_sessions", &self.active_sessions())
+            .finish()
+    }
 }
 
 /// Starts serving `engine` on `addr` (use port 0 for an ephemeral port;
 /// the bound address is available via [`ServerHandle::local_addr`]).
 ///
-/// Each accepted connection gets its own session thread; within a session,
-/// `batch` frames route through [`QueryEngine::execute_batch`] and fan out
-/// across the persistent worker pool, so one slow client cannot serialize
-/// another client's batch and a single connection still saturates the
-/// cores.
+/// On Linux this runs the event-driven reactor core: O(cores) event-loop
+/// threads multiplex the connections, pipelined requests coalesce into
+/// engine batches on a persistent compute pool, and responses flush via
+/// interest-driven writes so a slow reader never parks a compute thread.
+/// Elsewhere it falls back to the thread-per-connection core. Both speak
+/// the identical wire protocol.
 pub fn serve<B>(engine: QueryEngine<B>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle>
 where
     B: SummaryBackend + 'static,
@@ -92,15 +235,69 @@ pub fn serve_with<B>(
 where
     B: SummaryBackend + 'static,
 {
+    serve_tuned(engine, addr, config, ReactorConfig::default())
+}
+
+/// [`serve_with`] with explicit reactor tuning (thread counts, admission
+/// control, backpressure thresholds). See [`ReactorConfig`]. On non-Linux
+/// targets the tuning is ignored and the thread-per-connection core runs
+/// instead.
+pub fn serve_tuned<B>(
+    engine: QueryEngine<B>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+    tuning: ReactorConfig,
+) -> io::Result<ServerHandle>
+where
+    B: SummaryBackend + 'static,
+{
+    #[cfg(target_os = "linux")]
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let counters = Arc::new(ServerCounters::default());
+        let core = crate::reactor::spawn(
+            Arc::new(engine),
+            listener,
+            &config,
+            tuning.resolve(),
+            Arc::clone(&counters),
+        )?;
+        Ok(ServerHandle {
+            addr,
+            counters,
+            core: Core::Reactor(core),
+        })
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = &tuning;
+        serve_threaded(engine, addr, config)
+    }
+}
+
+/// Starts the retained thread-per-connection core explicitly: one
+/// blocking session thread per client. Slower under high concurrency
+/// (it is the baseline the server bench measures the reactor against)
+/// but fully portable; wire-compatible with the reactor core.
+pub fn serve_threaded<B>(
+    engine: QueryEngine<B>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle>
+where
+    B: SummaryBackend + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let counters = Arc::new(ServerCounters::default());
     let shared = Arc::new(Shared {
         stop: AtomicBool::new(false),
         listener: listener.try_clone()?,
         next_conn: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
         sessions: Mutex::new(Vec::new()),
-        active: AtomicUsize::new(0),
+        counters: Arc::clone(&counters),
     });
     let engine = Arc::new(engine);
     let accept = {
@@ -109,28 +306,43 @@ where
     };
     Ok(ServerHandle {
         addr,
-        shared,
-        accept: Some(accept),
+        counters,
+        core: Core::Threaded(ThreadedHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        }),
     })
 }
 
-impl ServerHandle {
-    /// The address the server is listening on.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
+/// Shared session bookkeeping of the threaded core: live connection
+/// handles (for shutdown) and thread handles (for joining). Both are
+/// bounded by the number of *live* connections: a session deregisters its
+/// connection on exit, and the accept loop reaps finished session threads.
+struct Shared {
+    stop: AtomicBool,
+    /// A clone of the listening socket, used by shutdown to switch the
+    /// accept loop to non-blocking. The wake-up connection alone is not
+    /// enough: if that connect fails (backlog full, transient network
+    /// refusal), a purely blocking accept would never observe `stop` and
+    /// `shutdown` would hang — and any connection accepted in that window
+    /// would leak its session thread past the join. Non-blocking mode makes
+    /// the accept loop re-check `stop` on its own.
+    listener: TcpListener,
+    next_conn: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+    counters: Arc<ServerCounters>,
+}
 
-    /// Number of currently connected sessions.
-    pub fn active_sessions(&self) -> usize {
-        self.shared.active.load(Ordering::SeqCst)
-    }
+/// The threaded core's running state.
+struct ThreadedHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
 
-    /// Stops accepting, disconnects every session, and joins all server
-    /// threads. Returns once every session thread has exited.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
+impl ThreadedHandle {
     fn shutdown_inner(&mut self) {
         let Some(accept) = self.accept.take() else {
             return;
@@ -158,21 +370,6 @@ impl ServerHandle {
             let _ = session.join();
         }
         debug_assert!(lock(&self.shared.sessions).is_empty());
-    }
-}
-
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        self.shutdown_inner();
-    }
-}
-
-impl std::fmt::Debug for ServerHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServerHandle")
-            .field("addr", &self.addr)
-            .field("active_sessions", &self.active_sessions())
-            .finish()
     }
 }
 
@@ -213,20 +410,23 @@ fn accept_loop<B>(
             let _ = stream.shutdown(Shutdown::Both);
             break;
         }
+        shared.counters.add_accepted();
         let _ = stream.set_nodelay(true);
         // Session-capacity load shedding: over the cap, the connection is
         // answered with one typed busy line and closed — the client backs
         // off (or a gatherer fails over) instead of queueing invisibly.
         if let Some(cap) = config.max_sessions {
-            if shared.active.load(Ordering::SeqCst) >= cap {
+            if shared.counters.active_sessions() >= cap as u64 {
+                shared.counters.add_shed();
                 let mut stream = stream;
-                let busy = ModelError::Busy(format!("server at session capacity ({cap})"));
+                let busy = busy_at_capacity(cap);
                 // The rejection runs on a short-lived detached thread: after
                 // writing the busy line it drains the client's in-flight
                 // request briefly before closing. Closing immediately would
                 // race the client's write — the resulting reset can discard
                 // the unread busy line, turning a typed rejection into an
-                // opaque transport error.
+                // opaque transport error. (The reactor core does the same
+                // flush-then-close on its write path, without the thread.)
                 std::thread::spawn(move || {
                     let _ = stream.write_all(encode_outcome(&Err(busy)).as_bytes());
                     let _ = stream.flush();
@@ -264,14 +464,14 @@ fn accept_loop<B>(
         }
         let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
         lock(&shared.conns).insert(conn_id, registered);
-        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.counters.session_started();
         let engine = Arc::clone(&engine);
         let shared_for_session = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
-            session(&engine, stream);
+            session(&engine, stream, &shared_for_session.counters);
             // Deregister (closing the cloned fd) before going idle.
             lock(&shared_for_session.conns).remove(&conn_id);
-            shared_for_session.active.fetch_sub(1, Ordering::SeqCst);
+            shared_for_session.counters.session_ended();
         });
         lock(&shared.sessions).push(handle);
     }
@@ -294,7 +494,11 @@ fn read_line_limited(reader: &mut BufReader<TcpStream>, line: &mut String) -> io
 /// One connection's read-dispatch-write loop. Any I/O error ends the
 /// session; any query error answers on the wire error channel and keeps
 /// the session alive.
-fn session<B: SummaryBackend>(engine: &QueryEngine<B>, stream: TcpStream) {
+fn session<B: SummaryBackend>(
+    engine: &QueryEngine<B>,
+    stream: TcpStream,
+    counters: &ServerCounters,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -305,7 +509,7 @@ fn session<B: SummaryBackend>(engine: &QueryEngine<B>, stream: TcpStream) {
         line.clear();
         match read_line_limited(&mut reader, &mut line) {
             Ok(0) | Err(_) => break,
-            Ok(_) => {}
+            Ok(n) => counters.add_bytes_in(n as u64),
         }
         let command = line.trim();
         if command.is_empty() {
@@ -318,23 +522,20 @@ fn session<B: SummaryBackend>(engine: &QueryEngine<B>, stream: TcpStream) {
         } else if command == "schema" {
             encode_schema(engine.schema(), engine.n())
         } else if command == "stats" {
-            match engine.cache_stats() {
-                Some(s) => format!(
-                    "stats cache {} {} {} {}\n",
-                    s.hits, s.misses, s.coalesced, s.evicted
-                ),
-                None => "stats cache none\n".to_string(),
-            }
+            stats_line(engine)
+        } else if command == "stats server" {
+            server_stats_line(&counters.snapshot())
         } else if command.starts_with("b1") {
             respond_probe(engine, command)
         } else if let Some(count) = command.strip_prefix("batch") {
-            match handle_batch(engine, &mut reader, count.trim()) {
+            match handle_batch(engine, &mut reader, count.trim(), counters) {
                 Ok(reply) => reply,
                 Err(()) => break, // connection died mid-batch
             }
         } else {
             respond(engine, command)
         };
+        counters.add_bytes_out(reply.len() as u64);
         if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
             break;
         }
@@ -405,7 +606,7 @@ fn respond_probe<B: SummaryBackend>(engine: &QueryEngine<B>, command: &str) -> S
     line
 }
 
-fn encode_outcome(outcome: &Result<QueryResponse>) -> String {
+pub(crate) fn encode_outcome(outcome: &Result<QueryResponse>) -> String {
     let mut line = match outcome {
         Ok(resp) => resp.encode(),
         Err(e) => QueryResponse::encode_error(e),
@@ -414,35 +615,59 @@ fn encode_outcome(outcome: &Result<QueryResponse>) -> String {
     line
 }
 
-/// Reads the `n` request lines of a `batch <n>` frame, executes the
-/// decodable ones as one engine batch (parallel fan-out), and returns the
-/// `n` response lines in request order. `Err(())` means the connection
-/// dropped mid-frame.
-fn handle_batch<B: SummaryBackend>(
-    engine: &QueryEngine<B>,
-    reader: &mut BufReader<TcpStream>,
-    count: &str,
-) -> std::result::Result<String, ()> {
-    let n: usize = match count.parse() {
-        Ok(n) if n <= MAX_BATCH => n,
-        _ => {
-            let err = ModelError::Parse {
-                line: 0,
-                message: format!("bad batch size {count:?} (max {MAX_BATCH})"),
-            };
-            return Ok(encode_outcome(&Err(err)));
-        }
-    };
-    let mut slots: Vec<Option<Result<QueryResponse>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
+/// Executes a contiguous run of pipelined compute lines (`q1 ...`,
+/// `b1 ...`, or garbage), concatenating the responses in request order:
+/// the decodable query requests go through the engine as **one** parallel
+/// batch (`execute_batch` is bitwise-identical to per-request `execute`),
+/// probes and decode errors answer in place.
+pub(crate) fn execute_run<B: SummaryBackend>(engine: &QueryEngine<B>, lines: &[String]) -> String {
+    if let [line] = lines {
+        // Single-request fast path: skip the slot machinery.
+        return if line.starts_with("b1") {
+            respond_probe(engine, line)
+        } else {
+            respond(engine, line)
+        };
+    }
+    let mut slots: Vec<Option<String>> = Vec::with_capacity(lines.len());
+    slots.resize_with(lines.len(), || None);
     let mut requests = Vec::new();
-    let mut line = String::new();
-    for slot in slots.iter_mut() {
-        line.clear();
-        match read_line_limited(reader, &mut line) {
-            Ok(0) | Err(_) => return Err(()),
-            Ok(_) => {}
+    let mut request_slots = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.starts_with("b1") {
+            slots[i] = Some(respond_probe(engine, line));
+        } else {
+            match QueryRequest::decode(line).and_then(admit) {
+                Ok(req) => {
+                    requests.push(req);
+                    request_slots.push(i);
+                }
+                Err(e) => slots[i] = Some(encode_outcome(&Err(e))),
+            }
         }
+    }
+    let results = engine.execute_batch(&requests);
+    for (slot, result) in request_slots.into_iter().zip(results) {
+        slots[slot] = Some(encode_outcome(&result));
+    }
+    let mut reply = String::new();
+    for slot in slots {
+        reply.push_str(&slot.expect("every run slot filled"));
+    }
+    reply
+}
+
+/// Executes the payload lines of one complete `batch <n>` frame exactly
+/// like the threaded core: decodable requests as one engine batch, one
+/// response line per payload line, in order.
+pub(crate) fn execute_batch_lines<B: SummaryBackend>(
+    engine: &QueryEngine<B>,
+    lines: &[String],
+) -> String {
+    let mut slots: Vec<Option<Result<QueryResponse>>> = Vec::with_capacity(lines.len());
+    slots.resize_with(lines.len(), || None);
+    let mut requests = Vec::new();
+    for (line, slot) in lines.iter().zip(slots.iter_mut()) {
         match QueryRequest::decode(line.trim()).and_then(admit) {
             Ok(req) => requests.push(req),
             Err(e) => *slot = Some(Err(e)),
@@ -462,5 +687,37 @@ fn handle_batch<B: SummaryBackend>(
             slot.as_ref().expect("every batch slot filled"),
         ));
     }
-    Ok(reply)
+    reply
+}
+
+/// Reads the `n` request lines of a `batch <n>` frame off a threaded-core
+/// session and executes them via [`execute_batch_lines`]. `Err(())` means
+/// the connection dropped mid-frame.
+fn handle_batch<B: SummaryBackend>(
+    engine: &QueryEngine<B>,
+    reader: &mut BufReader<TcpStream>,
+    count: &str,
+    counters: &ServerCounters,
+) -> std::result::Result<String, ()> {
+    let n: usize = match count.parse() {
+        Ok(n) if n <= MAX_BATCH => n,
+        _ => {
+            let err = ModelError::Parse {
+                line: 0,
+                message: format!("bad batch size {count:?} (max {MAX_BATCH})"),
+            };
+            return Ok(encode_outcome(&Err(err)));
+        }
+    };
+    let mut lines = Vec::with_capacity(n);
+    let mut line = String::new();
+    for _ in 0..n {
+        line.clear();
+        match read_line_limited(reader, &mut line) {
+            Ok(0) | Err(_) => return Err(()),
+            Ok(read) => counters.add_bytes_in(read as u64),
+        }
+        lines.push(line.trim().to_string());
+    }
+    Ok(execute_batch_lines(engine, &lines))
 }
