@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use entropydb_bench::legacy::{LegacyFactorized, LegacyPolynomial};
 use entropydb_core::assignment::{Mask, VarAssignment};
 use entropydb_core::naive::NaivePolynomial;
-use entropydb_core::polynomial::{CompressedPolynomial, Var};
+use entropydb_core::polynomial::CompressedPolynomial;
 use entropydb_core::prelude::*;
 use entropydb_core::statistics::RangeClause;
 use entropydb_storage::{AttrId, Predicate};
@@ -185,18 +185,19 @@ fn bench_derivative_sweep(c: &mut Criterion) {
             total
         })
     });
-    // The deprecated per-variable slow path, kept measured so the cost of
-    // NOT batching stays visible in BENCH_polynomial.json (0.198× the
-    // batched pass at last measurement). All production callers route
-    // through `derivs_prefilled`.
+    // The unbatched shape, kept measured so the cost of NOT batching stays
+    // visible in BENCH_polynomial.json (0.198× the batched pass at last
+    // measurement): one full attribute pass per code, reading out a single
+    // derivative each time. This is exactly what the old per-variable
+    // `derivative` shim did before it was retired; all callers now route
+    // through the batched pass (`derivs_prefilled` /
+    // `eval_with_attr_derivatives`).
     g.bench_function("per_variable", |b| {
         b.iter(|| {
             let mut total = 0.0;
             for code in 0..sizes[1] as u32 {
-                #[allow(deprecated)]
-                {
-                    total += flat.derivative(black_box(&a), &mask, Var::OneDim { attr: 1, code });
-                }
+                let (_, d) = flat.eval_with_attr_derivatives(black_box(&a), &mask, 1);
+                total += d[code as usize];
             }
             total
         })

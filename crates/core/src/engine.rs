@@ -230,6 +230,51 @@ pub trait SummaryBackend: Send + Sync {
     fn cache_stats(&self) -> Option<crate::metrics::CacheStatsSnapshot> {
         None
     }
+
+    /// The backend's ingest epoch: a monotonically increasing token bumped
+    /// every time the served model mixture changes (delta fold, compaction,
+    /// retention). Immutable backends are forever at epoch 0. Callers that
+    /// cache derived answers must key them by epoch.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Stages `rows` (coded values, one `Vec<u32>` per tuple) into the
+    /// backend's delta shard. `token` is an optional idempotency token: a
+    /// backend that has already accepted a batch under the same token
+    /// reports `duplicate` instead of double-ingesting, so clients may
+    /// safely retry after transport errors.
+    ///
+    /// The default rejects the append: fitted summaries are immutable
+    /// unless fronted by a [`LiveSummary`](crate::ingest::LiveSummary)
+    /// (or a remote backend forwarding to one).
+    fn append_rows(&self, rows: &[Vec<u32>], token: Option<&str>) -> Result<AppendOutcome> {
+        let _ = (rows, token);
+        Err(ModelError::Immutable)
+    }
+
+    /// Ingest counters of the live delta pipeline fronting this backend, or
+    /// `None` when the backend is immutable (the default). Surfaced through
+    /// the server's `stats ingest` session command.
+    fn ingest_stats(&self) -> Option<crate::metrics::IngestStatsSnapshot> {
+        None
+    }
+}
+
+/// What a [`SummaryBackend::append_rows`] call did with the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Rows accepted into the staging buffer by *this* call (0 when the
+    /// batch was a duplicate replay).
+    pub accepted: u64,
+    /// True when the idempotency token had already been seen and the batch
+    /// was dropped instead of re-ingested.
+    pub duplicate: bool,
+    /// Rows currently staged in the delta table (ingested but possibly not
+    /// yet covered by the served delta model).
+    pub staged: u64,
+    /// The backend's ingest epoch after the call.
+    pub epoch: u64,
 }
 
 /// Ranks a group-by result set by expectation (descending, ties broken by
@@ -298,6 +343,24 @@ impl<B: SummaryBackend> QueryEngine<B> {
     /// [`SummaryBackend::cache_stats`]).
     pub fn cache_stats(&self) -> Option<crate::metrics::CacheStatsSnapshot> {
         self.backend.cache_stats()
+    }
+
+    /// The backend's ingest epoch (see [`SummaryBackend::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.backend.epoch()
+    }
+
+    /// Stages an append batch into the backend's delta shard (see
+    /// [`SummaryBackend::append_rows`]). Errors with
+    /// [`ModelError::Immutable`] on backends without a live delta.
+    pub fn append_rows(&self, rows: &[Vec<u32>], token: Option<&str>) -> Result<AppendOutcome> {
+        self.backend.append_rows(rows, token)
+    }
+
+    /// Ingest counters of the backend, when it runs a live delta pipeline
+    /// (see [`SummaryBackend::ingest_stats`]).
+    pub fn ingest_stats(&self) -> Option<crate::metrics::IngestStatsSnapshot> {
+        self.backend.ingest_stats()
     }
 
     /// Executes one IR request — the canonical entry point every typed

@@ -3,6 +3,59 @@
 use entropydb_storage::StorageError;
 use std::fmt;
 
+/// Structured payload of [`ModelError::Remote`]: what failed, optionally
+/// attributed to a shard of a distributed fan-out. Replaces the old
+/// free-form `Remote(String)` payload so gather-layer callers can match on
+/// the failing shard instead of parsing prose; [`fmt::Display`] renders the
+/// exact text the stringly payload used to carry, so wire `err` lines are
+/// byte-for-byte unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteDetail {
+    /// Index of the shard the failure is attributed to, when the error came
+    /// out of a per-shard probe rather than a whole-cluster operation.
+    pub shard: Option<usize>,
+    /// The failing shard's primary address, when known.
+    pub addr: Option<String>,
+    /// What failed, in wire-safe prose.
+    pub kind: String,
+}
+
+impl RemoteDetail {
+    /// A detail with no shard attribution (whole-cluster failures, wire
+    /// `err` payloads decoded client-side, admission rejections).
+    pub fn message(kind: impl Into<String>) -> Self {
+        RemoteDetail {
+            shard: None,
+            addr: None,
+            kind: kind.into(),
+        }
+    }
+
+    /// A detail attributed to one shard of a fan-out.
+    pub fn shard(shard: usize, addr: impl Into<String>, kind: impl Into<String>) -> Self {
+        RemoteDetail {
+            shard: Some(shard),
+            addr: Some(addr.into()),
+            kind: kind.into(),
+        }
+    }
+
+    /// True when the detail names a specific shard.
+    pub fn is_shard_attributed(&self) -> bool {
+        self.shard.is_some()
+    }
+}
+
+impl fmt::Display for RemoteDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.shard, &self.addr) {
+            (Some(shard), Some(addr)) => write!(f, "shard {shard} ({addr}): {}", self.kind),
+            (Some(shard), None) => write!(f, "shard {shard}: {}", self.kind),
+            _ => write!(f, "{}", self.kind),
+        }
+    }
+}
+
 /// Errors produced while building, solving, or querying a MaxEnt summary.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
@@ -37,8 +90,9 @@ pub enum ModelError {
     /// `err` response payload). Remote errors are *deterministic*: the
     /// server executed (or rejected) the request and answered — re-sending
     /// the same line would produce the same error, so callers must not
-    /// retry or fail over on it.
-    Remote(String),
+    /// retry or fail over on it. The payload carries structured shard
+    /// attribution when the gather layer produced it (see [`RemoteDetail`]).
+    Remote(RemoteDetail),
     /// The server deliberately shed load (session capacity, admission
     /// control) instead of executing the request — the wire protocol's
     /// `busy` response payload. Unlike [`ModelError::Remote`], a busy
@@ -57,6 +111,15 @@ pub enum ModelError {
         /// The underlying failure, in wire-safe prose.
         detail: String,
     },
+    /// A configuration builder's `build()` rejected the assembled config
+    /// (zero cap, inverted bound, non-finite tolerance, ...). Carries the
+    /// offending field and constraint in prose.
+    InvalidConfig(String),
+    /// An ingest operation was attempted against an immutable backend — a
+    /// fitted summary without a live delta shard. Only
+    /// [`LiveSummary`](crate::ingest::LiveSummary) (and backends that
+    /// forward to one) accept appends.
+    Immutable,
 }
 
 impl fmt::Display for ModelError {
@@ -104,6 +167,13 @@ impl fmt::Display for ModelError {
                 addr,
                 detail,
             } => write!(f, "shard {shard} ({addr}) degraded: {detail}"),
+            ModelError::InvalidConfig(message) => write!(f, "invalid config: {message}"),
+            ModelError::Immutable => {
+                write!(
+                    f,
+                    "summary is immutable: no live delta shard accepts appends"
+                )
+            }
         }
     }
 }

@@ -34,7 +34,7 @@
 use crate::assignment::{Mask, VarAssignment};
 use crate::error::{ModelError, Result};
 use crate::par;
-#[cfg(any(test, feature = "legacy-bench"))]
+#[cfg(test)]
 use crate::polynomial::Var;
 use crate::polynomial::{CompressedPolynomial, EvalScratch, PolynomialSizeStats, MAX_FUSED_LANES};
 use crate::statistics::MultiDimStatistic;
@@ -521,27 +521,6 @@ impl FactorizedPolynomial {
             *out = d * others;
         }
         (comps[home].val * others, &derivs[..n_attr])
-    }
-
-    /// Generic single-variable derivative (reference path, compiled for
-    /// tests and the retained `legacy-bench` baseline only — no production
-    /// caller remains).
-    #[cfg(any(test, feature = "legacy-bench"))]
-    #[deprecated(note = "per-variable slow path: one full batched pass per variable; \
-                use eval_with_attr_derivatives_with for all of an attribute's \
-                derivatives in one pass, or begin_multi_sweep + \
-                multi_derivative for multi variables")]
-    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
-        match var {
-            Var::OneDim { attr, code } => {
-                let (_, d) = self.eval_with_attr_derivatives(a, mask, attr);
-                d[code as usize]
-            }
-            Var::Multi(j) => {
-                let sweep = self.begin_multi_sweep(a, mask);
-                self.multi_derivative(&sweep, a, j).0
-            }
-        }
     }
 
     /// Extracts the local assignment of component `c` (sweep API only; the

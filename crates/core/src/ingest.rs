@@ -1,0 +1,848 @@
+//! Streaming ingest: a live summary over base shards plus a delta shard.
+//!
+//! The paper fits one static summary offline; this module makes the served
+//! summary track a table that keeps growing. A [`LiveSummary`] models the
+//! relation as
+//!
+//! * a list of **sealed segments** — immutable fitted [`MaxEntSummary`]
+//!   models, time-partitioned in seal order (segment `i` was sealed before
+//!   segment `i + 1`), plus
+//! * one small **delta shard** — a staging [`Table`] absorbing
+//!   [`append_rows`](LiveSummary::append_rows) batches, re-solved (it is
+//!   tiny, so seconds not minutes) whenever the staged-row threshold is
+//!   crossed, and
+//! * a served **mixture** — a [`ShardedSummary`] over
+//!   `segments + fitted delta`, republished atomically after every fold.
+//!
+//! The delta lifecycle is `stage → re-solve (fold) → serve → compact
+//! (seal)`: once the fitted delta reaches the seal threshold it is promoted
+//! into the sealed-segment list *without* refitting — the mixture holds the
+//! same models in the same order, so compaction is bitwise-neutral — and a
+//! fresh empty delta starts. A retention cap on sealed segments then gives
+//! TTL for free: the oldest segment (the oldest rows) is dropped wholesale.
+//!
+//! Everything the scatter/merge layer guarantees for static mixtures (exact
+//! COUNT/SUM merges, mixture probabilities, stratified sampling) holds here
+//! unchanged, because each published snapshot *is* a `ShardedSummary`.
+//!
+//! **Epochs.** The summary carries a monotonically increasing epoch,
+//! bumped once per published mixture (fold, seal, retention). The same
+//! atomic doubles as the generation counter inside every snapshot's
+//! gather-cache identity
+//! ([`crate::scatter::ShardCacheId::with_generation`]), so a fold instantly
+//! orphans cached probe answers; the per-model marginal caches are fresh by
+//! construction (each fold fits a new model whose `OnceLock` cells start
+//! empty). Anything caching derived answers above this layer must key them
+//! by [`LiveSummary::epoch`].
+//!
+//! **Idempotent appends.** A batch may carry an opaque idempotency token;
+//! replaying a token (a client retry after a transport error) reports
+//! `duplicate` instead of double-ingesting. Tokens live in a bounded FIFO
+//! set sized by [`IngestConfig::token_capacity`].
+//!
+//! **Consistency.** Queries always see a complete published snapshot:
+//! staged rows are invisible until their fold publishes, and a query that
+//! started on epoch `e` finishes on epoch `e`'s mixture even if a fold
+//! lands mid-flight (snapshots are `Arc`-pinned per call).
+
+use crate::engine::{AppendOutcome, SummaryBackend};
+use crate::error::{ModelError, Result};
+use crate::metrics::{CacheStatsSnapshot, IngestCounters, IngestStatsSnapshot};
+use crate::model::MaxEntSummary;
+use crate::query::Estimate;
+use crate::sharded::{stats_with_support, ShardedScratch, ShardedSummary};
+use crate::solver::SolverConfig;
+use crate::statistics::MultiDimStatistic;
+use entropydb_storage::{AttrId, Schema, Table};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::assignment::Mask;
+
+/// How a [`LiveSummary`] stages, folds, and compacts its delta shard.
+///
+/// Plain struct literals over `..Default::default()` keep working; the
+/// validated construction path is [`IngestConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Staged rows that trigger a delta re-solve (fold). Must be > 0.
+    pub delta_rows: usize,
+    /// Fitted-delta rows that trigger compaction: once the served delta
+    /// model covers at least this many rows it is sealed into the base
+    /// segment list. Must be >= `delta_rows`.
+    pub seal_rows: usize,
+    /// Retention cap on sealed segments: after a seal, the oldest segments
+    /// are dropped until at most this many remain (`None` = keep all).
+    /// Must be >= 1 when set.
+    pub max_segments: Option<usize>,
+    /// Re-solve trigger placement: `true` folds on a persistent background
+    /// worker (appends return immediately, staged rows become queryable
+    /// when the fold publishes); `false` folds synchronously inside the
+    /// triggering [`LiveSummary::append_rows`] call.
+    pub background: bool,
+    /// Entries in the gather-side probe cache fronting each published
+    /// mixture (0 = uncached). Cache identities share the summary's epoch
+    /// counter, so every fold orphans all cached answers.
+    pub probe_cache_entries: usize,
+    /// Bound on remembered idempotency tokens (FIFO eviction). Must be > 0.
+    pub token_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            delta_rows: 1024,
+            seal_rows: 16384,
+            max_segments: None,
+            background: true,
+            probe_cache_entries: 0,
+            token_capacity: 4096,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Fluent validated constructor (see [`IngestConfigBuilder`]).
+    pub fn builder() -> IngestConfigBuilder {
+        IngestConfigBuilder::default()
+    }
+
+    /// Checks the invariants [`IngestConfigBuilder::build`] enforces; the
+    /// constructors of [`LiveSummary`] run this so hand-written struct
+    /// literals get the same validation.
+    pub fn validate(&self) -> Result<()> {
+        if self.delta_rows == 0 {
+            return Err(ModelError::InvalidConfig(
+                "ingest delta_rows must be positive".to_string(),
+            ));
+        }
+        if self.seal_rows < self.delta_rows {
+            return Err(ModelError::InvalidConfig(format!(
+                "ingest seal_rows ({}) below delta_rows ({}): the delta would seal before it can fold",
+                self.seal_rows, self.delta_rows
+            )));
+        }
+        if self.max_segments == Some(0) {
+            return Err(ModelError::InvalidConfig(
+                "ingest max_segments must be at least 1 when set".to_string(),
+            ));
+        }
+        if self.token_capacity == 0 {
+            return Err(ModelError::InvalidConfig(
+                "ingest token_capacity must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`IngestConfig`]; `build()` rejects zero caps and inverted
+/// bounds instead of letting them surface as runtime misbehavior.
+#[derive(Debug, Clone, Default)]
+pub struct IngestConfigBuilder {
+    config: IngestConfig,
+}
+
+impl IngestConfigBuilder {
+    /// Sets the staged-row fold trigger.
+    pub fn delta_rows(mut self, rows: usize) -> Self {
+        self.config.delta_rows = rows;
+        self
+    }
+
+    /// Sets the fitted-delta compaction threshold.
+    pub fn seal_rows(mut self, rows: usize) -> Self {
+        self.config.seal_rows = rows;
+        self
+    }
+
+    /// Sets the sealed-segment retention cap.
+    pub fn max_segments(mut self, cap: usize) -> Self {
+        self.config.max_segments = Some(cap);
+        self
+    }
+
+    /// Chooses background (true) or synchronous (false) folding.
+    pub fn background(mut self, background: bool) -> Self {
+        self.config.background = background;
+        self
+    }
+
+    /// Sets the gather-cache entry budget (0 disables the cache).
+    pub fn probe_cache_entries(mut self, entries: usize) -> Self {
+        self.config.probe_cache_entries = entries;
+        self
+    }
+
+    /// Sets the idempotency-token memory bound.
+    pub fn token_capacity(mut self, cap: usize) -> Self {
+        self.config.token_capacity = cap;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<IngestConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// Fits one shard model over `part` exactly the way the multi-shard
+/// [`ShardedSummary::build`](crate::sharded::ShardedSummary::build) path
+/// does with its default config: statistics without 1D support in the shard
+/// are pruned (they constrain regions the shard's complete 1D statistics
+/// already force to zero mass), and statistics that turn out degenerate
+/// (`s_j = n_s`) are dropped and the solve retried. Delta shards are fitted
+/// through this function, so a live mixture stays bitwise-identical to a
+/// `ShardedSummary::from_shards` over identically-partitioned,
+/// identically-fitted models — the property the ingest test suite pins.
+pub fn fit_segment(
+    part: &Table,
+    multi: &[MultiDimStatistic],
+    solver: &SolverConfig,
+) -> Result<MaxEntSummary> {
+    let mut keep = stats_with_support(part, multi)?;
+    loop {
+        match MaxEntSummary::build(part, keep.clone(), solver) {
+            Err(ModelError::DegenerateStatistic { stat }) => {
+                keep.remove(stat);
+            }
+            other => return other,
+        }
+    }
+}
+
+/// One published snapshot: the mixture queries run against, tagged with the
+/// epoch that published it.
+struct Served {
+    mixture: ShardedSummary,
+    epoch: u64,
+}
+
+/// Mutable ingest state, all behind one mutex: the sealed segments, the
+/// delta staging table, how much of it the served delta model covers, and
+/// the idempotency-token window.
+struct LiveState {
+    /// Sealed per-segment models, oldest first (time-partitioned).
+    segments: Vec<MaxEntSummary>,
+    /// Every row appended since the last seal. The served delta model (when
+    /// present) covers the prefix `[0, covered_rows)`.
+    delta_table: Table,
+    covered_rows: usize,
+    delta_model: Option<MaxEntSummary>,
+    /// Idempotency tokens already accepted, with FIFO eviction order.
+    tokens: HashSet<String>,
+    token_order: VecDeque<String>,
+}
+
+impl LiveState {
+    fn staged(&self) -> u64 {
+        (self.delta_table.num_rows() - self.covered_rows) as u64
+    }
+
+    /// Records `token`, evicting the oldest past `cap`. Returns `false`
+    /// when the token was already present (a replay).
+    fn admit_token(&mut self, token: &str, cap: usize) -> bool {
+        if self.tokens.contains(token) {
+            return false;
+        }
+        self.tokens.insert(token.to_string());
+        self.token_order.push_back(token.to_string());
+        while self.token_order.len() > cap {
+            if let Some(old) = self.token_order.pop_front() {
+                self.tokens.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+/// Background-worker handshake: `pending` set by appends that crossed the
+/// fold threshold, `shutdown` set by [`LiveSummary`]'s `Drop`.
+#[derive(Default)]
+struct WorkerSignal {
+    pending: bool,
+    shutdown: bool,
+}
+
+struct Inner {
+    schema: Schema,
+    domain_sizes: Vec<usize>,
+    /// The full multi-statistic set; each delta fold prunes it per shard.
+    multi: Vec<MultiDimStatistic>,
+    solver: SolverConfig,
+    config: IngestConfig,
+    /// The ingest epoch *and* the generation counter inside every
+    /// snapshot's probe-cache identity — one atomic, two jobs, so cache
+    /// invalidation can never lag the epoch.
+    epoch: Arc<AtomicU64>,
+    state: Mutex<LiveState>,
+    /// Serializes folds so concurrent triggers cannot interleave solve /
+    /// publish; the `state` lock is *released* during the solve itself, so
+    /// appends and queries proceed while the background fit runs.
+    fold_lock: Mutex<()>,
+    served: Mutex<Arc<Served>>,
+    counters: IngestCounters,
+    signal: Mutex<WorkerSignal>,
+    wake: Condvar,
+    fold_error: Mutex<Option<ModelError>>,
+}
+
+impl Inner {
+    fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn snapshot(&self) -> Arc<Served> {
+        Arc::clone(&self.served.lock().unwrap())
+    }
+
+    /// Builds the mixture a publish will serve: sealed segments plus the
+    /// fitted delta, in that order, fronted by an epoch-generation probe
+    /// cache when configured.
+    fn compose(&self, state: &LiveState) -> Result<ShardedSummary> {
+        let mut models: Vec<MaxEntSummary> = state.segments.clone();
+        if let Some(delta) = &state.delta_model {
+            models.push(delta.clone());
+        }
+        let mut mixture = ShardedSummary::from_shards(models)?;
+        if self.config.probe_cache_entries > 0 {
+            mixture = mixture.with_probe_cache_generation(
+                self.config.probe_cache_entries,
+                Arc::clone(&self.epoch),
+            );
+        }
+        Ok(mixture)
+    }
+
+    /// Publishes `state` as the served snapshot under a fresh epoch.
+    fn publish(&self, state: &LiveState) -> Result<u64> {
+        let mixture = self.compose(state)?;
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        *self.served.lock().unwrap() = Arc::new(Served { mixture, epoch });
+        Ok(epoch)
+    }
+
+    /// Stages `rows`, then runs or schedules a fold if the threshold was
+    /// crossed. The heart of [`LiveSummary::append_rows`].
+    fn append(&self, rows: &[Vec<u32>], token: Option<&str>) -> Result<AppendOutcome> {
+        let staged = {
+            let mut state = self.state.lock().unwrap();
+            if let Some(tok) = token {
+                if state.tokens.contains(tok) {
+                    self.counters.add_duplicate();
+                    return Ok(AppendOutcome {
+                        accepted: 0,
+                        duplicate: true,
+                        staged: state.staged(),
+                        epoch: self.current_epoch(),
+                    });
+                }
+            }
+            // All-or-nothing staging: a bad row rejects the whole batch
+            // before any column is touched, and the token is only recorded
+            // for batches that actually landed (so a retry after a
+            // validation error is not mistaken for a replay).
+            state
+                .delta_table
+                .append_rows(rows)
+                .map_err(ModelError::Storage)?;
+            if let Some(tok) = token {
+                state.admit_token(tok, self.config.token_capacity);
+            }
+            self.counters.add_appended_rows(rows.len() as u64);
+            state.staged()
+        };
+
+        if staged >= self.config.delta_rows as u64 {
+            if self.config.background {
+                let mut sig = self.signal.lock().unwrap();
+                sig.pending = true;
+                self.wake.notify_one();
+            } else {
+                self.fold(false)?;
+            }
+        }
+
+        let state = self.state.lock().unwrap();
+        Ok(AppendOutcome {
+            accepted: rows.len() as u64,
+            duplicate: false,
+            staged: state.staged(),
+            epoch: self.current_epoch(),
+        })
+    }
+
+    /// Re-solves the delta over every staged row and publishes the new
+    /// mixture. With `force_seal` (compaction) the fitted delta is sealed
+    /// into the segment list even below the seal threshold. Returns the
+    /// epoch current after the call (unchanged when there was nothing to
+    /// do).
+    fn fold(&self, force_seal: bool) -> Result<u64> {
+        let _fold = self.fold_lock.lock().unwrap();
+
+        // Snapshot the staged rows; the state lock is dropped during the
+        // solve so ingest and queries keep flowing.
+        let (part, target) = {
+            let state = self.state.lock().unwrap();
+            let total = state.delta_table.num_rows();
+            if total == state.covered_rows {
+                // Nothing new to fit. A forced compaction may still need to
+                // seal the already-fitted delta.
+                if !(force_seal && state.delta_model.is_some()) {
+                    return Ok(self.current_epoch());
+                }
+                drop(state);
+                return self.seal_and_publish();
+            }
+            (state.delta_table.clone(), total)
+        };
+
+        let model = fit_segment(&part, &self.multi, &self.solver)?;
+        self.counters.add_fold();
+
+        let mut state = self.state.lock().unwrap();
+        state.delta_model = Some(model);
+        state.covered_rows = target;
+        if force_seal || state.covered_rows >= self.config.seal_rows {
+            self.seal_locked(&mut state);
+        }
+        self.publish(&state)
+    }
+
+    /// Seals the fitted delta when one exists, then publishes.
+    fn seal_and_publish(&self) -> Result<u64> {
+        let mut state = self.state.lock().unwrap();
+        if state.delta_model.is_some() {
+            self.seal_locked(&mut state);
+        }
+        self.publish(&state)
+    }
+
+    /// Promotes the fitted delta into the sealed-segment list (bitwise
+    /// neutral: the published mixture holds the same models in the same
+    /// order) and applies the retention cap. Rows that arrived during the
+    /// last solve stay staged in a fresh delta table.
+    fn seal_locked(&self, state: &mut LiveState) {
+        let Some(model) = state.delta_model.take() else {
+            return;
+        };
+        state.segments.push(model);
+        self.counters.add_seal();
+
+        let mut rest = Table::new(self.schema.clone());
+        for r in state.covered_rows..state.delta_table.num_rows() {
+            let row = state.delta_table.row(r).expect("row index in bounds");
+            rest.push_row_unchecked(&row);
+        }
+        state.delta_table = rest;
+        state.covered_rows = 0;
+
+        if let Some(cap) = self.config.max_segments {
+            while state.segments.len() > cap {
+                state.segments.remove(0);
+                self.counters.add_retired(1);
+            }
+        }
+    }
+
+    fn stats(&self) -> IngestStatsSnapshot {
+        let staged = self.state.lock().unwrap().staged();
+        self.counters.snapshot(self.current_epoch(), staged)
+    }
+}
+
+/// A mutable, queryable summary: immutable base shards plus a live delta
+/// shard absorbing appends, re-solved and compacted per [`IngestConfig`].
+/// Implements [`SummaryBackend`], so it drops into
+/// [`QueryEngine`](crate::engine::QueryEngine) and the serving stack
+/// wherever a fitted summary does — with [`SummaryBackend::append_rows`]
+/// actually accepting rows instead of returning
+/// [`ModelError::Immutable`].
+///
+/// See the [module docs](self) for the delta lifecycle and epoch contract.
+pub struct LiveSummary {
+    inner: Arc<Inner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LiveSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.inner.stats();
+        f.debug_struct("LiveSummary")
+            .field("epoch", &stats.epoch)
+            .field("staged_rows", &stats.staged_rows)
+            .field("n", &self.n())
+            .finish()
+    }
+}
+
+impl LiveSummary {
+    /// Wraps a fitted base mixture into a live summary. The base shards
+    /// become the initial sealed segments (epoch 0); `multi` and `solver`
+    /// are the statistic set and solver configuration every delta fold
+    /// fits with — pass the same values the base was built from so folded
+    /// deltas are fitted like any other shard.
+    pub fn new(
+        base: ShardedSummary,
+        multi: Vec<MultiDimStatistic>,
+        solver: SolverConfig,
+        config: IngestConfig,
+    ) -> Result<LiveSummary> {
+        Self::from_parts(base.into_shards(), multi, solver, config, 0)
+    }
+
+    /// Restores a live summary from already-fitted sealed segments at a
+    /// given starting epoch (the manifest-v3 load path).
+    pub(crate) fn from_parts(
+        segments: Vec<MaxEntSummary>,
+        multi: Vec<MultiDimStatistic>,
+        solver: SolverConfig,
+        config: IngestConfig,
+        epoch: u64,
+    ) -> Result<LiveSummary> {
+        config.validate()?;
+        let Some(first) = segments.first() else {
+            return Err(ModelError::ShapeMismatch);
+        };
+        let schema = first.schema().clone();
+        let domain_sizes = first.statistics().domain_sizes().to_vec();
+        let state = LiveState {
+            segments,
+            delta_table: Table::new(schema.clone()),
+            covered_rows: 0,
+            delta_model: None,
+            tokens: HashSet::new(),
+            token_order: VecDeque::new(),
+        };
+        let background = config.background;
+        let epoch_counter = Arc::new(AtomicU64::new(epoch));
+        // The initial snapshot is composed by hand (`Inner::compose` needs
+        // an `Inner`): base segments only, cache identity on the shared
+        // epoch counter.
+        let mut mixture = ShardedSummary::from_shards(state.segments.clone())?;
+        if config.probe_cache_entries > 0 {
+            mixture = mixture.with_probe_cache_generation(
+                config.probe_cache_entries,
+                Arc::clone(&epoch_counter),
+            );
+        }
+        let inner = Arc::new(Inner {
+            schema,
+            domain_sizes,
+            multi,
+            solver,
+            config,
+            epoch: epoch_counter,
+            state: Mutex::new(state),
+            fold_lock: Mutex::new(()),
+            served: Mutex::new(Arc::new(Served { mixture, epoch })),
+            counters: IngestCounters::default(),
+            signal: Mutex::new(WorkerSignal::default()),
+            wake: Condvar::new(),
+            fold_error: Mutex::new(None),
+        });
+        let worker = if background {
+            let handle = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("entropydb-ingest".to_string())
+                    .spawn(move || worker_loop(handle))
+                    .expect("spawn ingest worker"),
+            )
+        } else {
+            None
+        };
+        Ok(LiveSummary { inner, worker })
+    }
+
+    /// Stages a batch of coded rows into the delta shard. See
+    /// [`SummaryBackend::append_rows`] for the token contract; rows become
+    /// queryable when their fold publishes (immediately for synchronous
+    /// configs, shortly after for background ones — see
+    /// [`LiveSummary::wait_until_clean`]).
+    pub fn append_rows(&self, rows: &[Vec<u32>], token: Option<&str>) -> Result<AppendOutcome> {
+        self.inner.append(rows, token)
+    }
+
+    /// Synchronously folds every staged row into the served mixture (even
+    /// below the fold threshold) and returns the resulting epoch. No-op on
+    /// a clean summary.
+    pub fn flush(&self) -> Result<u64> {
+        self.inner.fold(false)
+    }
+
+    /// Folds any staged rows, then seals the fitted delta into the base
+    /// segment list regardless of the seal threshold, applying retention.
+    /// Sealing is bitwise-neutral for queries: the published mixture holds
+    /// the same fitted models in the same order (unless retention drops a
+    /// segment). Returns the resulting epoch.
+    pub fn compact_now(&self) -> Result<u64> {
+        self.inner.fold(true)
+    }
+
+    /// The current ingest epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.current_epoch()
+    }
+
+    /// Rows staged but not yet covered by the served delta model.
+    pub fn staged_rows(&self) -> u64 {
+        self.inner.state.lock().unwrap().staged()
+    }
+
+    /// Sealed segments currently in the mixture (excluding the delta).
+    pub fn num_segments(&self) -> usize {
+        self.inner.state.lock().unwrap().segments.len()
+    }
+
+    /// Ingest counters plus the epoch and staging gauge.
+    pub fn ingest_stats(&self) -> IngestStatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// Takes (and clears) the last error a *background* fold hit. Folds
+    /// run on a worker thread in background configs, so their errors
+    /// cannot surface through an `append_rows` return value; they park
+    /// here. Synchronous configs never populate this.
+    pub fn take_fold_error(&self) -> Option<ModelError> {
+        self.inner.fold_error.lock().unwrap().take()
+    }
+
+    /// Blocks until no rows are staged (every append has been folded into
+    /// the served mixture) or `timeout` elapses; returns whether the
+    /// summary is clean. Background-config helper for tests and drills —
+    /// check [`LiveSummary::take_fold_error`] on a `false` return.
+    pub fn wait_until_clean(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.staged_rows() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return self.staged_rows() == 0;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// The statistic set delta folds fit with (pre-pruning).
+    pub fn fold_statistics(&self) -> Vec<MultiDimStatistic> {
+        self.inner.multi.clone()
+    }
+
+    /// The sealed segments, fitted delta, and epoch of the current state —
+    /// the manifest-v3 save path. Callers wanting nothing staged should
+    /// [`flush`](LiveSummary::flush) first.
+    pub(crate) fn parts(&self) -> (Vec<MaxEntSummary>, Option<MaxEntSummary>, u64) {
+        let state = self.inner.state.lock().unwrap();
+        (
+            state.segments.clone(),
+            state.delta_model.clone(),
+            self.inner.current_epoch(),
+        )
+    }
+}
+
+/// Body of the persistent background-fold worker: sleep until an append
+/// crosses the fold threshold (or shutdown), fold, repeat. The solve inside
+/// [`Inner::fold`] fans out on the `crate::par` persistent pool like any
+/// other model build. Errors park in `fold_error` (see
+/// [`LiveSummary::take_fold_error`]); the worker keeps serving later folds.
+fn worker_loop(inner: Arc<Inner>) {
+    loop {
+        {
+            let mut sig = inner.signal.lock().unwrap();
+            while !sig.pending && !sig.shutdown {
+                sig = inner.wake.wait(sig).unwrap();
+            }
+            if sig.shutdown {
+                return;
+            }
+            sig.pending = false;
+        }
+        if let Err(e) = inner.fold(false) {
+            *inner.fold_error.lock().unwrap() = Some(e);
+        }
+    }
+}
+
+impl Drop for LiveSummary {
+    fn drop(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            {
+                let mut sig = self.inner.signal.lock().unwrap();
+                sig.shutdown = true;
+                self.inner.wake.notify_all();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reusable evaluation workspace of a [`LiveSummary`]: the wrapped
+/// mixture's scratch, tagged with the epoch it was shaped for. Folds change
+/// the mixture's shard count and polynomial shapes, so the scratch is
+/// rebuilt transparently whenever it meets a snapshot from a newer epoch.
+pub struct LiveScratch {
+    epoch: u64,
+    inner: ShardedScratch,
+}
+
+/// Per-call sampling context of a [`LiveSummary`]: the plan pins the
+/// snapshot it was computed against, so a whole `sample_rows` call draws
+/// from one consistent mixture even if folds land mid-call.
+pub struct LivePlan {
+    served: Arc<Served>,
+    inner: Vec<u32>,
+}
+
+/// Rebuilds `scratch` against `served`'s mixture when it was shaped for a
+/// different epoch, then hands out the inner scratch.
+fn sync_scratch<'a>(served: &Served, scratch: &'a mut LiveScratch) -> &'a mut ShardedScratch {
+    if scratch.epoch != served.epoch {
+        scratch.inner = served.mixture.make_scratch();
+        scratch.epoch = served.epoch;
+    }
+    &mut scratch.inner
+}
+
+impl SummaryBackend for LiveSummary {
+    type Scratch = LiveScratch;
+    type SamplePlan = LivePlan;
+
+    fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    fn n(&self) -> u64 {
+        self.inner.snapshot().mixture.n()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        &self.inner.domain_sizes
+    }
+
+    fn make_scratch(&self) -> LiveScratch {
+        let served = self.inner.snapshot();
+        LiveScratch {
+            epoch: served.epoch,
+            inner: served.mixture.make_scratch(),
+        }
+    }
+
+    fn probability_under_mask(&self, mask: &Mask, scratch: &mut LiveScratch) -> Result<f64> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .probability_under_mask(mask, sync_scratch(&served, scratch))
+    }
+
+    fn count_under_mask(&self, mask: &Mask, scratch: &mut LiveScratch) -> Result<Estimate> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .count_under_mask(mask, sync_scratch(&served, scratch))
+    }
+
+    fn probabilities_under_masks(
+        &self,
+        masks: &[Mask],
+        scratch: &mut LiveScratch,
+    ) -> Result<Vec<f64>> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .probabilities_under_masks(masks, sync_scratch(&served, scratch))
+    }
+
+    fn counts_under_masks(
+        &self,
+        masks: &[Mask],
+        scratch: &mut LiveScratch,
+    ) -> Result<Vec<Estimate>> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .counts_under_masks(masks, sync_scratch(&served, scratch))
+    }
+
+    fn sum_under_mask(
+        &self,
+        base: &Mask,
+        attr: AttrId,
+        values: &[f64],
+        scratch: &mut LiveScratch,
+    ) -> Result<Estimate> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .sum_under_mask(base, attr, values, sync_scratch(&served, scratch))
+    }
+
+    fn group_by_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        scratch: &mut LiveScratch,
+    ) -> Result<Vec<Estimate>> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .group_by_under_mask(mask, attr, sync_scratch(&served, scratch))
+    }
+
+    fn top_k_under_mask(
+        &self,
+        mask: &Mask,
+        attr: AttrId,
+        k: usize,
+        scratch: &mut LiveScratch,
+    ) -> Result<Vec<(u32, Estimate)>> {
+        let served = self.inner.snapshot();
+        served
+            .mixture
+            .top_k_under_mask(mask, attr, k, sync_scratch(&served, scratch))
+    }
+
+    fn plan_samples(&self, k: usize, seed: u64) -> Result<LivePlan> {
+        let served = self.inner.snapshot();
+        let inner = served.mixture.plan_samples(k, seed)?;
+        Ok(LivePlan { served, inner })
+    }
+
+    fn sample_tuple(
+        &self,
+        plan: &LivePlan,
+        index: usize,
+        seed: u64,
+        row: &mut [u32],
+        scratch: &mut LiveScratch,
+    ) -> Result<()> {
+        plan.served.mixture.sample_tuple(
+            &plan.inner,
+            index,
+            seed,
+            row,
+            sync_scratch(&plan.served, scratch),
+        )
+    }
+
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        self.inner.snapshot().mixture.cache_stats()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.current_epoch()
+    }
+
+    fn append_rows(&self, rows: &[Vec<u32>], token: Option<&str>) -> Result<AppendOutcome> {
+        self.inner.append(rows, token)
+    }
+
+    fn ingest_stats(&self) -> Option<IngestStatsSnapshot> {
+        Some(self.inner.stats())
+    }
+}

@@ -53,6 +53,7 @@
 //! | [`plan`] | — | unified query IR (`QueryRequest`/`QueryResponse`) + wire encoding |
 //! | [`engine`] | — | `SummaryBackend` trait + generic `QueryEngine` (`execute`, scratch pool, batching) |
 //! | [`sharded`] | — | `ShardedSummary`: per-partition models with merged estimates |
+//! | [`ingest`] | — | `LiveSummary`: streaming ingest (delta shard, folds, compaction, epochs) |
 //! | [`scatter`] | — | shard-source-agnostic merge layer (`ShardProbe`, gather drivers) |
 //! | [`probe`] | — | mask-level shard-probe IR + wire encoding |
 //! | [`selection`] | §4.3 | LARGE / ZERO / COMPOSITE, KD-tree, pair choice |
@@ -63,6 +64,7 @@ pub mod assignment;
 pub mod engine;
 pub mod error;
 pub mod factorized;
+pub mod ingest;
 pub mod metrics;
 pub mod model;
 pub mod naive;
@@ -82,9 +84,10 @@ pub mod statistics;
 /// The types most users need.
 pub mod prelude {
     pub use crate::assignment::{Mask, VarAssignment};
-    pub use crate::engine::{QueryEngine, SummaryBackend};
-    pub use crate::error::{ModelError, Result};
+    pub use crate::engine::{AppendOutcome, QueryEngine, SummaryBackend};
+    pub use crate::error::{ModelError, RemoteDetail, Result};
     pub use crate::factorized::{FactorizedPolynomial, FactorizedScratch};
+    pub use crate::ingest::{IngestConfig, LiveSummary};
     pub use crate::model::MaxEntSummary;
     pub use crate::plan::{parse_request, QueryRequest, QueryResponse};
     pub use crate::polynomial::{CompressedPolynomial, EvalScratch};

@@ -186,6 +186,83 @@ impl CacheStatsSnapshot {
     }
 }
 
+/// Lock-free operational counters of a streaming-ingest path (the live
+/// summary's delta shard). Same convention as [`ServerCounters`]: all
+/// updates are `Relaxed` — observability, never control flow.
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    appended_rows: AtomicU64,
+    duplicate_appends: AtomicU64,
+    folds: AtomicU64,
+    seals: AtomicU64,
+    retired_segments: AtomicU64,
+}
+
+impl IngestCounters {
+    /// Records `n` rows accepted into the delta staging buffer.
+    pub fn add_appended_rows(&self, n: u64) {
+        self.appended_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one append rejected as a replay (idempotency-token hit).
+    pub fn add_duplicate(&self) {
+        self.duplicate_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one delta fold (a background re-solve that published a new
+    /// mixture and bumped the epoch).
+    pub fn add_fold(&self) {
+        self.folds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one compaction (the fitted delta sealed into a base
+    /// segment).
+    pub fn add_seal(&self) {
+        self.seals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` sealed segments dropped by the retention policy.
+    pub fn add_retired(&self, n: u64) {
+        self.retired_segments.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. The epoch and staged-row
+    /// gauge live on the summary, not here — the caller fills them in.
+    pub fn snapshot(&self, epoch: u64, staged_rows: u64) -> IngestStatsSnapshot {
+        IngestStatsSnapshot {
+            epoch,
+            staged_rows,
+            appended_rows: self.appended_rows.load(Ordering::Relaxed),
+            duplicate_appends: self.duplicate_appends.load(Ordering::Relaxed),
+            folds: self.folds.load(Ordering::Relaxed),
+            seals: self.seals.load(Ordering::Relaxed),
+            retired_segments: self.retired_segments.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IngestCounters`] plus the live summary's
+/// epoch and staging gauge (the `stats ingest` wire line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStatsSnapshot {
+    /// Generation token of the served mixture: bumped on every delta fold
+    /// and compaction. Probe/marginal caches key off it, so observing the
+    /// same epoch twice guarantees bitwise-identical answers in between.
+    pub epoch: u64,
+    /// Rows accepted but not yet covered by the served delta model.
+    pub staged_rows: u64,
+    /// Rows accepted into the delta since startup (excluding replays).
+    pub appended_rows: u64,
+    /// Appends rejected as replays by their idempotency token.
+    pub duplicate_appends: u64,
+    /// Delta folds (background re-solves) since startup.
+    pub folds: u64,
+    /// Compactions (delta sealed into a base segment) since startup.
+    pub seals: u64,
+    /// Sealed segments dropped by the retention policy.
+    pub retired_segments: u64,
+}
+
 /// The paper's symmetric relative error: `|t − e| / (t + e)`, with the
 /// convention that it is 0 when both are 0 (a correct "does not exist"
 /// answer) and 1 when exactly one side is 0.

@@ -241,7 +241,7 @@ mod tests {
         ] {
             let dn = naive.derivative(&asn, &mask, var);
             // Routed through the batched passes (the per-variable
-            // `derivative` wrapper is deprecated).
+            // `derivative` wrapper has been removed).
             let dc = match var {
                 Var::OneDim { attr, code } => {
                     comp.eval_with_attr_derivatives(&asn, &mask, attr).1[code as usize]

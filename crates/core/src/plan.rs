@@ -41,7 +41,7 @@
 //! channel — it decodes to [`ModelError::Busy`], which (unlike `err`)
 //! marks a *transient* condition a caller may retry after a backoff.
 
-use crate::error::{ModelError, Result};
+use crate::error::{ModelError, RemoteDetail, Result};
 use crate::query::Estimate;
 use entropydb_storage::{AttrId, AttrPredicate, Predicate, Resolver, Statement};
 use std::fmt::Write as _;
@@ -490,7 +490,7 @@ impl QueryResponse {
                 return Err(if op == "busy" {
                     ModelError::Busy(msg.to_string())
                 } else {
-                    ModelError::Remote(msg.to_string())
+                    ModelError::Remote(RemoteDetail::message(msg.to_string()))
                 });
             }
             other => return Err(wire_error(format!("unknown response op {other:?}"))),

@@ -1401,28 +1401,6 @@ impl CompressedPolynomial {
         }
         d
     }
-
-    /// Generic single-variable derivative `dP/dvar` under `mask` (reference
-    /// path, compiled for tests and the retained `legacy-bench` baseline
-    /// only — no production caller remains).
-    #[cfg(any(test, feature = "legacy-bench"))]
-    #[deprecated(note = "per-variable slow path: one full batched pass (and a scratch \
-                allocation) per variable; use eval_with_attr_derivatives_with \
-                for all of an attribute's derivatives in one pass, or \
-                interval_products_prefilled + delta_derivative for multi \
-                variables")]
-    pub fn derivative(&self, a: &VarAssignment, mask: &Mask, var: Var) -> f64 {
-        match var {
-            Var::OneDim { attr, code } => {
-                let (_, d) = self.eval_with_attr_derivatives(a, mask, attr);
-                d[code as usize]
-            }
-            Var::Multi(j) => {
-                let iprods = self.interval_products(a, mask);
-                self.delta_derivative(&iprods, &a.multi, j)
-            }
-        }
-    }
 }
 
 /// Width-specialized segment sum:

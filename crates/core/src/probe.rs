@@ -64,7 +64,7 @@
 
 use crate::assignment::Mask;
 use crate::engine::{ScratchPool, SummaryBackend};
-use crate::error::{ModelError, Result};
+use crate::error::{ModelError, RemoteDetail, Result};
 use crate::plan::{read_estimate, wire_error, TokenReader, WIRE_PREALLOC_CAP};
 use crate::query::Estimate;
 use entropydb_storage::AttrId;
@@ -419,7 +419,7 @@ impl ProbeResponse {
                 return Err(if op == "busy" {
                     ModelError::Busy(msg.to_string())
                 } else {
-                    ModelError::Remote(msg.to_string())
+                    ModelError::Remote(RemoteDetail::message(msg.to_string()))
                 });
             }
             other => return Err(wire_error(format!("unknown probe response op {other:?}"))),

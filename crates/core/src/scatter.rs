@@ -39,7 +39,7 @@
 
 use crate::assignment::Mask;
 use crate::engine::{rank_top_k, SummaryBackend};
-use crate::error::{ModelError, Result};
+use crate::error::{ModelError, RemoteDetail, Result};
 use crate::metrics::{CacheCounters, CacheStatsSnapshot};
 use crate::model::MaxEntSummary;
 use crate::par;
@@ -511,9 +511,9 @@ impl FlightGuard<'_> {
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.finish(Err(ModelError::Remote(
-                "probe leader abandoned its flight".to_string(),
-            )));
+            self.finish(Err(ModelError::Remote(RemoteDetail::message(
+                "probe leader abandoned its flight",
+            ))));
         }
     }
 }
@@ -740,7 +740,9 @@ pub fn shard_identity_token(index: usize, n: u64, schema: &Schema) -> u64 {
 }
 
 fn cached_shape_error() -> ModelError {
-    ModelError::Remote("cached probe response had an unexpected shape".to_string())
+    ModelError::Remote(RemoteDetail::message(
+        "cached probe response had an unexpected shape",
+    ))
 }
 
 fn as_probability(resp: &ProbeResponse) -> Result<f64> {
@@ -832,8 +834,9 @@ impl<'a, P: ShardProbe> CachedProbe<'a, P> {
             let fetched = match fetch(&leads) {
                 Ok(values) if values.len() == leads.len() => values,
                 Ok(_) => {
-                    let err =
-                        ModelError::Remote("shard answered a mismatched batch shape".to_string());
+                    let err = ModelError::Remote(RemoteDetail::message(
+                        "shard answered a mismatched batch shape",
+                    ));
                     for &i in &leads {
                         if let Some(Claim::Lead(guard)) = claims[i].take() {
                             let _ = guard.complete(Err(err.clone()));
@@ -1201,9 +1204,9 @@ fn collect_fan_out<P: ShardProbe, R: Send>(
 fn merge_cells(per_shard: Vec<Vec<Estimate>>) -> Result<Vec<Estimate>> {
     let len = per_shard.first().map_or(0, Vec::len);
     if per_shard.iter().any(|cells| cells.len() != len) {
-        return Err(ModelError::Remote(
-            "shards answered mismatched group-by shapes".to_string(),
-        ));
+        return Err(ModelError::Remote(RemoteDetail::message(
+            "shards answered mismatched group-by shapes",
+        )));
     }
     Ok(merge(per_shard, |mut acc, cells| {
         for (a, b) in acc.iter_mut().zip(cells) {
@@ -1253,9 +1256,9 @@ pub fn mixture_probability_many<P: ShardProbe>(
         p.probe_probability_many(masks, s)
     })?;
     if per_shard.iter().any(|ps| ps.len() != masks.len()) {
-        return Err(ModelError::Remote(
-            "shards answered mismatched batch shapes".to_string(),
-        ));
+        return Err(ModelError::Remote(RemoteDetail::message(
+            "shards answered mismatched batch shapes",
+        )));
     }
     Ok((0..masks.len())
         .map(|m| {
@@ -1278,9 +1281,9 @@ pub fn merged_count_many<P: ShardProbe>(
 ) -> Result<Vec<Estimate>> {
     let per_shard = collect_fan_out(probes, scratches, |_, p, s| p.probe_count_many(masks, s))?;
     if per_shard.iter().any(|es| es.len() != masks.len()) {
-        return Err(ModelError::Remote(
-            "shards answered mismatched batch shapes".to_string(),
-        ));
+        return Err(ModelError::Remote(RemoteDetail::message(
+            "shards answered mismatched batch shapes",
+        )));
     }
     Ok((0..masks.len())
         .map(|m| {
@@ -1354,9 +1357,9 @@ pub fn merged_top_k<P: ShardProbe>(
     })?;
     let merged = merge_cells(per_shard)?;
     if merged.len() != candidates.len() {
-        return Err(ModelError::Remote(
-            "shards answered mismatched candidate counts".to_string(),
-        ));
+        return Err(ModelError::Remote(RemoteDetail::message(
+            "shards answered mismatched candidate counts",
+        )));
     }
     let mut ranked: Vec<(u32, Estimate)> = candidates.into_iter().zip(merged).collect();
     ranked.sort_by(|a, b| {
@@ -1452,7 +1455,9 @@ mod tests {
                 std::thread::sleep(self.delay);
             }
             if self.fail {
-                return Err(ModelError::Remote("injected probe failure".to_string()));
+                return Err(ModelError::Remote(RemoteDetail::message(
+                    "injected probe failure",
+                )));
             }
             Ok(())
         }
@@ -1582,7 +1587,7 @@ mod tests {
         let second = cached.probe_count(&mask, &mut ());
         assert_eq!(
             first.clone().unwrap_err(),
-            ModelError::Remote("injected probe failure".to_string())
+            ModelError::Remote(RemoteDetail::message("injected probe failure"))
         );
         assert_eq!(first, second, "waiters and retries see the real error");
         assert_eq!(probe.calls(), 2, "errors are never cached");

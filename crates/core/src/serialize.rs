@@ -47,6 +47,7 @@
 
 use crate::assignment::VarAssignment;
 use crate::error::{ModelError, Result};
+use crate::ingest::LiveSummary;
 use crate::model::MaxEntSummary;
 use crate::sharded::ShardedSummary;
 use crate::solver::SolverReport;
@@ -439,6 +440,11 @@ pub fn save_sharded_dir(summary: &ShardedSummary, dir: &Path) -> std::io::Result
 /// A shard may list several **replica** endpoints, all serving the same
 /// shard blob; a gatherer fails over between them, so a killed or wedged
 /// node degrades latency instead of correctness.
+///
+/// `n = 0` declares a **dynamic** placement: a live-ingest node whose
+/// cardinality grows as appended rows fold in. The gatherer skips the
+/// cardinality equality check for such shards and adopts whatever the
+/// node reports at each handshake instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterShard {
     /// Shard index (dense, `0..k`).
@@ -558,8 +564,18 @@ pub fn load_cluster_manifest(path: &Path) -> Result<Vec<ClusterShard>> {
     cluster_manifest_from_str(&text)
 }
 
-/// Reads a sharded summary from a [`save_sharded_dir`] directory.
-pub fn load_sharded_dir(dir: &Path) -> Result<ShardedSummary> {
+/// A parsed directory manifest (v2 or the live v3 extension): the sealed
+/// shard models, the optional fitted delta model, the statistic set future
+/// delta folds should fit with, and the ingest epoch.
+struct DirManifest {
+    shards: Vec<MaxEntSummary>,
+    delta: Option<MaxEntSummary>,
+    multi: Vec<MultiDimStatistic>,
+    epoch: u64,
+}
+
+/// Parses `dir/manifest.txt` (v2 or v3) and loads every referenced blob.
+fn parse_dir_manifest(dir: &Path) -> Result<DirManifest> {
     let manifest_path = dir.join("manifest.txt");
     let text = std::fs::read_to_string(&manifest_path).map_err(|e| ModelError::Parse {
         line: 0,
@@ -569,11 +585,17 @@ pub fn load_sharded_dir(dir: &Path) -> Result<ShardedSummary> {
         lines: text.lines().enumerate(),
     };
     let (line_no, header) = p.next_line()?;
-    if header != "entropydb-sharded-manifest v2" {
+    let v3 = header == "entropydb-sharded-manifest v3";
+    if !v3 && header != "entropydb-sharded-manifest v2" {
         return Err(ModelError::Parse {
             line: line_no,
             message: format!("unrecognized manifest header {header:?}"),
         });
+    }
+    let mut epoch = 0u64;
+    if v3 {
+        let (ln, toks) = p.expect_tagged("epoch")?;
+        epoch = parse(toks.first().copied().unwrap_or(""), ln, "epoch")?;
     }
     let (ln, toks) = p.expect_tagged("shards")?;
     let k: usize = parse(toks.first().copied().unwrap_or(""), ln, "shard count")?;
@@ -593,21 +615,193 @@ pub fn load_sharded_dir(dir: &Path) -> Result<ShardedSummary> {
                 message: format!("shard index {idx}, expected {expected}"),
             });
         }
-        let declared_n: u64 = parse(toks[1], ln, "shard n")?;
-        let shard = load_file(&dir.join(toks[2]))?;
-        if shard.n() != declared_n {
-            return Err(ModelError::Parse {
-                line: ln,
-                message: format!(
-                    "shard {idx} manifest cardinality {declared_n} but blob holds {}",
-                    shard.n()
-                ),
-            });
-        }
-        shards.push(shard);
+        shards.push(load_declared(
+            dir,
+            toks[1],
+            toks[2],
+            ln,
+            &format!("shard {idx}"),
+        )?);
     }
-    p.expect_tagged("end")?;
+    // v3 trailer: an optional fitted-delta entry and the fold statistic
+    // set, in any count/order up to `end`. v2 manifests go straight to
+    // `end`.
+    let mut delta = None;
+    let mut multi: Vec<MultiDimStatistic> = Vec::new();
+    loop {
+        let (ln, line) = p.next_line()?;
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        let toks: Vec<&str> = parts.collect();
+        match tag {
+            "end" => break,
+            "delta" if v3 && delta.is_none() && toks.len() >= 2 => {
+                delta = Some(load_declared(dir, toks[0], toks[1], ln, "delta")?);
+            }
+            "stats" if v3 => {
+                let m: usize = parse(toks.first().copied().unwrap_or(""), ln, "stat count")?;
+                for _ in 0..m {
+                    let (ln, toks) = p.expect_tagged("stat")?;
+                    let count: usize =
+                        parse(toks.first().copied().unwrap_or(""), ln, "clause count")?;
+                    let body = &toks[1..];
+                    if body.len() != count * 3 {
+                        return Err(ModelError::Parse {
+                            line: ln,
+                            message: format!(
+                                "stat declares {count} clauses but carries {} tokens",
+                                body.len()
+                            ),
+                        });
+                    }
+                    let clauses = body
+                        .chunks_exact(3)
+                        .map(|c| {
+                            Ok(RangeClause {
+                                attr: AttrId(parse::<usize>(c[0], ln, "clause attr")?),
+                                lo: parse::<u32>(c[1], ln, "clause lo")?,
+                                hi: parse::<u32>(c[2], ln, "clause hi")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    multi.push(MultiDimStatistic::new(clauses)?);
+                }
+            }
+            other => {
+                return Err(ModelError::Parse {
+                    line: ln,
+                    message: format!("unexpected manifest line tag {other:?}"),
+                });
+            }
+        }
+    }
+    if multi.is_empty() {
+        // v2 manifests (and v3 ones saved before any multi statistics
+        // existed) carry no stat lines; recover the fold set as the
+        // deduplicated union of what the persisted models were fitted
+        // with. Per-shard pruning only ever *removes* statistics, so the
+        // union is the closest reconstruction of the original set.
+        for model in shards.iter().chain(delta.iter()) {
+            for stat in model.statistics().multi() {
+                if !multi.contains(stat) {
+                    multi.push(stat.clone());
+                }
+            }
+        }
+    }
+    Ok(DirManifest {
+        shards,
+        delta,
+        multi,
+        epoch,
+    })
+}
+
+/// Loads one manifest-referenced blob and checks it holds the declared
+/// cardinality.
+fn load_declared(
+    dir: &Path,
+    declared_n: &str,
+    file: &str,
+    ln: usize,
+    what: &str,
+) -> Result<MaxEntSummary> {
+    let declared_n: u64 = parse(declared_n, ln, "shard n")?;
+    let model = load_file(&dir.join(file))?;
+    if model.n() != declared_n {
+        return Err(ModelError::Parse {
+            line: ln,
+            message: format!(
+                "{what} manifest cardinality {declared_n} but blob holds {}",
+                model.n()
+            ),
+        });
+    }
+    Ok(model)
+}
+
+/// Reads a sharded summary from a [`save_sharded_dir`] (v2) or
+/// [`save_live_dir`] (v3) directory. A v3 manifest's fitted delta is
+/// treated as one more shard — the live summary's served mixture *is*
+/// `segments + delta`, so the static load answers identically.
+pub fn load_sharded_dir(dir: &Path) -> Result<ShardedSummary> {
+    let mut manifest = parse_dir_manifest(dir)?;
+    let mut shards = std::mem::take(&mut manifest.shards);
+    shards.extend(manifest.delta.take());
     ShardedSummary::from_shards(shards)
+}
+
+/// Writes a live summary as a directory with a **v3 manifest**: the v2
+/// layout (`manifest.txt` + one blob per sealed segment) extended with the
+/// ingest epoch, an optional fitted-delta entry, and the statistic set
+/// delta folds fit with:
+///
+/// ```text
+/// entropydb-sharded-manifest v3
+/// epoch <e>
+/// shards <k>
+/// shard <index> <cardinality> <file>
+/// delta <cardinality> <file>          (only when a fitted delta exists)
+/// stats <m>
+/// stat <clauses> attr lo hi [attr lo hi ...]
+/// end
+/// ```
+///
+/// The summary is [`flush`](LiveSummary::flush)ed first, so every staged
+/// row is folded into the persisted delta and nothing is silently dropped.
+/// [`load_sharded_dir`] also accepts v3 (serving the same answers
+/// statically); [`load_live_dir`] restores a mutable summary.
+pub fn save_live_dir(live: &LiveSummary, dir: &Path) -> Result<()> {
+    live.flush()?;
+    let (segments, delta, epoch) = live.parts();
+    let io_err = |e: std::io::Error| ModelError::Parse {
+        line: 0,
+        message: format!("cannot write {}: {e}", dir.display()),
+    };
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let mut manifest = String::new();
+    manifest.push_str("entropydb-sharded-manifest v3\n");
+    let _ = writeln!(manifest, "epoch {epoch}");
+    let _ = writeln!(manifest, "shards {}", segments.len());
+    for (i, shard) in segments.iter().enumerate() {
+        let file = format!("shard-{i}.summary");
+        let _ = writeln!(manifest, "shard {} {} {}", i, shard.n(), file);
+        std::fs::write(dir.join(&file), to_string(shard)).map_err(io_err)?;
+    }
+    if let Some(delta) = &delta {
+        let _ = writeln!(manifest, "delta {} delta.summary", delta.n());
+        std::fs::write(dir.join("delta.summary"), to_string(delta)).map_err(io_err)?;
+    }
+    let multi = live.fold_statistics();
+    let _ = writeln!(manifest, "stats {}", multi.len());
+    for stat in &multi {
+        let _ = write!(manifest, "stat {}", stat.clauses().len());
+        for c in stat.clauses() {
+            let _ = write!(manifest, " {} {} {}", c.attr.0, c.lo, c.hi);
+        }
+        manifest.push('\n');
+    }
+    manifest.push_str("end\n");
+    std::fs::write(dir.join("manifest.txt"), manifest).map_err(io_err)
+}
+
+/// Restores a [`LiveSummary`] from a [`save_live_dir`] directory (or a
+/// plain [`save_sharded_dir`] v2 directory, which restores at epoch 0).
+///
+/// The persisted fitted delta re-enters as a *sealed segment*: its staged
+/// rows were folded at save time and the underlying delta rows are not
+/// persisted, so sealing (which is bitwise-neutral for queries) is the
+/// faithful restoration. Delta folds after the restore fit with the
+/// manifest's statistic set under `solver`.
+pub fn load_live_dir(
+    dir: &Path,
+    solver: crate::solver::SolverConfig,
+    config: crate::ingest::IngestConfig,
+) -> Result<LiveSummary> {
+    let mut manifest = parse_dir_manifest(dir)?;
+    let mut segments = std::mem::take(&mut manifest.shards);
+    segments.extend(manifest.delta.take());
+    LiveSummary::from_parts(segments, manifest.multi, solver, config, manifest.epoch)
 }
 
 #[cfg(test)]

@@ -191,9 +191,42 @@ impl ShardedSummary {
         self
     }
 
+    /// Like [`ShardedSummary::with_probe_cache`], but every shard's cache
+    /// identity carries the shared `generation` counter: bumping it (as
+    /// [`LiveSummary`](crate::ingest::LiveSummary) does on every delta
+    /// fold) instantly orphans all cached entries, so a mutable mixture
+    /// can reuse the gather cache without ever serving stale answers.
+    pub fn with_probe_cache_generation(
+        mut self,
+        entries: usize,
+        generation: Arc<std::sync::atomic::AtomicU64>,
+    ) -> Self {
+        let ids = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ShardCacheId::with_generation(
+                    crate::scatter::shard_identity_token(i, s.n(), &self.schema),
+                    Arc::clone(&generation),
+                )
+            })
+            .collect();
+        self.cache = Some(Arc::new(GatherCache::new(entries, ids)));
+        self
+    }
+
     /// The gather-side cache, when one is enabled.
     pub fn probe_cache(&self) -> Option<&Arc<GatherCache>> {
         self.cache.as_ref()
+    }
+
+    /// Decomposes the mixture back into its per-shard models, in shard
+    /// order — the inverse of [`ShardedSummary::from_shards`]. Used by the
+    /// streaming-ingest layer to seed a live summary's sealed-segment list
+    /// from a fitted base mixture.
+    pub fn into_shards(self) -> Vec<MaxEntSummary> {
+        self.shards
     }
 
     /// Total relation cardinality `n` (sum of shard cardinalities).
@@ -287,7 +320,7 @@ impl ShardedSummary {
 /// clause range. A statistic failing this is annihilated by the shard's
 /// complete 1D statistics (all tuples in its region carry an `α = 0`
 /// factor), so dropping it leaves the fitted distribution exactly unchanged.
-fn stats_with_support(
+pub(crate) fn stats_with_support(
     table: &Table,
     multi: &[MultiDimStatistic],
 ) -> Result<Vec<MultiDimStatistic>> {

@@ -1,0 +1,610 @@
+//! Streaming-ingest property suite.
+//!
+//! The contracts of [`LiveSummary`]:
+//!
+//! 1. **Fold parity** — appending a batch and folding it produces a served
+//!    mixture *bitwise identical* to `ShardedSummary::from_shards` over the
+//!    same base shards plus an independently-fitted delta model, for 1, 2,
+//!    and 4 base shards, on every query path including sampling.
+//! 2. **Compaction neutrality** — sealing the fitted delta into the base
+//!    segment list changes no answer bit (same models, same order), while
+//!    retention drops whole oldest segments.
+//! 3. **Zero-stale caches** — with the gather-side probe cache enabled, a
+//!    cached answer can never survive a fold: the epoch counter doubles as
+//!    the cache generation, so post-fold queries match a freshly-composed
+//!    uncached mixture bitwise.
+//! 4. **Idempotent appends** — replaying a token is absorbed (and reported)
+//!    instead of double-ingesting; the token window is FIFO-bounded.
+
+use entropydb_core::ingest::fit_segment;
+use entropydb_core::prelude::*;
+use entropydb_core::rng::SplitMix64;
+use entropydb_core::serialize;
+use entropydb_storage::{exec, AttrId, Attribute, Partitioning, Predicate, Schema, Table};
+use std::time::Duration;
+
+fn a(i: usize) -> AttrId {
+    AttrId(i)
+}
+
+fn fixture_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::categorical("x", 5).unwrap(),
+        Attribute::categorical("y", 4).unwrap(),
+        Attribute::categorical("z", 3).unwrap(),
+    ])
+}
+
+/// A skewed full-support instance over domains [5, 4, 3] (same shape as the
+/// shard-merge suite): one row per value, plus seeded skewed bulk.
+fn fixture_table(seed: u64, rows: usize) -> Table {
+    let mut t = Table::new(fixture_schema());
+    for v in 0..5u32 {
+        t.push_row(&[v, v % 4, v % 3]).unwrap();
+    }
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..rows {
+        let u = rng.next_f64();
+        let x = (((u * u) * 5.0) as u32).min(4);
+        let y = ((rng.next_f64() * 4.0) as u32).min(3);
+        let z = ((rng.next_f64() * 3.0) as u32).min(2);
+        t.push_row(&[x, y, z]).unwrap();
+    }
+    t
+}
+
+fn fixture_stats() -> Vec<MultiDimStatistic> {
+    vec![
+        MultiDimStatistic::rect2d(a(0), (0, 1), a(1), (0, 1)).unwrap(),
+        MultiDimStatistic::rect2d(a(0), (2, 4), a(1), (2, 3)).unwrap(),
+        MultiDimStatistic::rect2d(a(1), (1, 2), a(2), (0, 0)).unwrap(),
+    ]
+}
+
+/// Deterministic append batch drawn from the same skewed distribution.
+fn delta_batch(seed: u64, count: usize) -> Vec<Vec<u32>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let u = rng.next_f64();
+            vec![
+                (((u * u) * 5.0) as u32).min(4),
+                ((rng.next_f64() * 4.0) as u32).min(3),
+                ((rng.next_f64() * 3.0) as u32).min(2),
+            ]
+        })
+        .collect()
+}
+
+fn probe_predicates() -> Vec<Predicate> {
+    let mut preds = vec![
+        Predicate::all(),
+        Predicate::new().between(a(0), 1, 3),
+        Predicate::new().between(a(0), 0, 2).eq(a(2), 1),
+        Predicate::new().between(a(1), 2, 3).between(a(2), 0, 1),
+        Predicate::new().eq(a(0), 4),
+    ];
+    for x in 0..5u32 {
+        for y in 0..4u32 {
+            preds.push(Predicate::new().eq(a(0), x).eq(a(1), y));
+        }
+    }
+    preds
+}
+
+fn build_base(t: &Table, k: usize) -> ShardedSummary {
+    ShardedSummary::build(
+        t,
+        &Partitioning::hash(k),
+        fixture_stats(),
+        &ShardedBuildConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Synchronous config with thresholds far above the test batches, so folds
+/// only happen where a test calls `flush`/`compact_now` explicitly.
+fn sync_config() -> IngestConfig {
+    IngestConfig::builder()
+        .delta_rows(1 << 20)
+        .seal_rows(1 << 20)
+        .background(false)
+        .build()
+        .unwrap()
+}
+
+fn assert_estimates_bitwise(tag: &str, e0: &Estimate, e1: &Estimate) {
+    assert_eq!(
+        e0.expectation.to_bits(),
+        e1.expectation.to_bits(),
+        "{tag}: expectation {} vs {}",
+        e0.expectation,
+        e1.expectation
+    );
+    assert_eq!(
+        e0.variance.to_bits(),
+        e1.variance.to_bits(),
+        "{tag}: variance {} vs {}",
+        e0.variance,
+        e1.variance
+    );
+}
+
+/// Every query path of `engine` (over a live summary) must answer bitwise
+/// like the reference static mixture.
+fn assert_backend_matches_reference(engine: &QueryEngine<LiveSummary>, reference: &ShardedSummary) {
+    for pred in probe_predicates() {
+        assert_eq!(
+            engine.probability(&pred).unwrap().to_bits(),
+            reference.probability(&pred).unwrap().to_bits(),
+            "probability({pred:?})"
+        );
+        assert_estimates_bitwise(
+            "estimate_count",
+            &engine.estimate_count(&pred).unwrap(),
+            &reference.estimate_count(&pred).unwrap(),
+        );
+        assert_estimates_bitwise(
+            "estimate_sum",
+            &engine.estimate_sum(&pred, a(1)).unwrap(),
+            &reference.estimate_sum(&pred, a(1)).unwrap(),
+        );
+    }
+    let pred = Predicate::new().between(a(2), 0, 1);
+    let g0 = engine.estimate_group_by(&pred, a(0)).unwrap();
+    let g1 = reference.estimate_group_by(&pred, a(0)).unwrap();
+    assert_eq!(g0.len(), g1.len());
+    for (e0, e1) in g0.iter().zip(&g1) {
+        assert_estimates_bitwise("estimate_group_by", e0, e1);
+    }
+    for k in [1usize, 3] {
+        let t0 = engine.top_k(&pred, a(0), k).unwrap();
+        let t1 = reference.top_k(&pred, a(0), k).unwrap();
+        assert_eq!(t0.len(), t1.len());
+        for ((v0, e0), (v1, e1)) in t0.iter().zip(&t1) {
+            assert_eq!(v0, v1, "top_k value order");
+            assert_estimates_bitwise("top_k", e0, e1);
+        }
+    }
+    let r0 = engine.sample_rows(150, 7).unwrap();
+    let r1 = reference.sample_rows(150, 7).unwrap();
+    assert_eq!(r0.num_rows(), r1.num_rows());
+    for i in 0..r0.num_rows() {
+        assert_eq!(r0.row(i), r1.row(i), "sampled row {i}");
+    }
+}
+
+/// Contract 1: append + fold over k base shards is bitwise identical to
+/// `from_shards(base shards + independently fitted delta)` — the live layer
+/// adds no approximation of its own, for k ∈ {1, 2, 4}.
+#[test]
+fn fold_matches_from_shards_at_1_2_4_base_shards() {
+    let t = fixture_table(0x1D_EA7, 400);
+    let batch = delta_batch(0xF00D, 120);
+    for k in [1usize, 2, 4] {
+        let base = build_base(&t, k);
+        let base_shards = base.shards().to_vec();
+        let live = LiveSummary::new(
+            base,
+            fixture_stats(),
+            SolverConfig::default(),
+            sync_config(),
+        )
+        .unwrap();
+        let engine = QueryEngine::new(live);
+
+        let outcome = engine.append_rows(&batch, None).unwrap();
+        assert_eq!(outcome.accepted, batch.len() as u64);
+        assert!(!outcome.duplicate);
+        let epoch0 = engine.epoch();
+        engine.backend().flush().unwrap();
+        assert!(engine.epoch() > epoch0, "flush must publish a new epoch");
+        assert_eq!(engine.backend().staged_rows(), 0);
+
+        // Reference: fit the same rows as a standalone segment the way any
+        // shard is fitted, and compose statically.
+        let mut delta_table = Table::new(t.schema().clone());
+        for row in &batch {
+            delta_table.push_row(row).unwrap();
+        }
+        let delta_model =
+            fit_segment(&delta_table, &fixture_stats(), &SolverConfig::default()).unwrap();
+        let mut models = base_shards;
+        models.push(delta_model);
+        let reference = ShardedSummary::from_shards(models).unwrap();
+
+        assert_eq!(engine.n(), reference.n(), "k {k}");
+        assert_backend_matches_reference(&engine, &reference);
+    }
+}
+
+/// Append-then-query tracks a monolithic rebuild over the grown relation:
+/// COUNT(*) is exact, and every 1D count stays within solver tolerance of
+/// the rebuilt model (both are exact on 1D statistics).
+#[test]
+fn append_then_query_matches_monolithic_rebuild() {
+    let t = fixture_table(0xB0B, 400);
+    let batch = delta_batch(0xCAFE, 200);
+    let base = build_base(&t, 2);
+    let live = LiveSummary::new(
+        base,
+        fixture_stats(),
+        SolverConfig::default(),
+        sync_config(),
+    )
+    .unwrap();
+    let engine = QueryEngine::new(live);
+    engine.append_rows(&batch, None).unwrap();
+    engine.backend().flush().unwrap();
+
+    let mut grown = t.clone();
+    for row in &batch {
+        grown.push_row(row).unwrap();
+    }
+    let mono = MaxEntSummary::build(&grown, fixture_stats(), &SolverConfig::default()).unwrap();
+
+    let total = grown.num_rows() as f64;
+    let live_count = engine
+        .estimate_count(&Predicate::all())
+        .unwrap()
+        .expectation;
+    assert!(
+        (live_count - total).abs() < 1e-6 * total,
+        "COUNT(*): {live_count} vs {total}"
+    );
+    for attr in 0..3usize {
+        let domain = grown.schema().domain_size(a(attr)).unwrap();
+        for v in 0..domain as u32 {
+            let pred = Predicate::new().eq(a(attr), v);
+            let truth = exec::count(&grown, &pred).unwrap() as f64;
+            let live_est = engine.estimate_count(&pred).unwrap().expectation;
+            let mono_est = mono.estimate_count(&pred).unwrap().expectation;
+            assert!(
+                (live_est - truth).abs() < 1e-4 * total,
+                "attr {attr} v {v}: live {live_est} vs truth {truth}"
+            );
+            assert!(
+                (live_est - mono_est).abs() < 2e-4 * total,
+                "attr {attr} v {v}: live {live_est} vs mono {mono_est}"
+            );
+        }
+    }
+}
+
+/// Background folding: crossing the staged-row threshold wakes the worker,
+/// the fold publishes without any explicit flush, and the folded COUNT(*)
+/// accounts for every appended row exactly.
+#[test]
+fn background_fold_publishes_appended_rows() {
+    let t = fixture_table(0x5EED, 300);
+    let base = build_base(&t, 2);
+    let n0 = base.n() as f64;
+    let config = IngestConfig::builder()
+        .delta_rows(32)
+        .seal_rows(1 << 20)
+        .background(true)
+        .build()
+        .unwrap();
+    let live = LiveSummary::new(base, fixture_stats(), SolverConfig::default(), config).unwrap();
+    let engine = QueryEngine::new(live);
+
+    let batch = delta_batch(0xAB, 64);
+    let outcome = engine.append_rows(&batch, None).unwrap();
+    assert_eq!(outcome.accepted, 64);
+    assert!(
+        engine.backend().wait_until_clean(Duration::from_secs(30)),
+        "background fold did not drain the staging buffer: {:?}",
+        engine.backend().take_fold_error()
+    );
+    assert!(engine.backend().take_fold_error().is_none());
+    assert!(engine.epoch() >= 1);
+    let count = engine
+        .estimate_count(&Predicate::all())
+        .unwrap()
+        .expectation;
+    assert!(
+        (count - (n0 + 64.0)).abs() < 1e-6 * (n0 + 64.0),
+        "COUNT(*) after background fold: {count} vs {}",
+        n0 + 64.0
+    );
+    let stats = engine.ingest_stats().unwrap();
+    assert_eq!(stats.appended_rows, 64);
+    assert!(stats.folds >= 1);
+    assert_eq!(stats.staged_rows, 0);
+}
+
+/// Contract 2: compaction (sealing the fitted delta) is bitwise-neutral —
+/// the mixture holds the same models in the same order — and retention
+/// drops whole oldest segments once the cap is exceeded.
+#[test]
+fn compaction_is_bitwise_neutral_and_retention_drops_oldest() {
+    let t = fixture_table(0xC0DE, 350);
+    let base = build_base(&t, 2);
+    let n_base = base.n();
+    let live = LiveSummary::new(
+        base,
+        fixture_stats(),
+        SolverConfig::default(),
+        sync_config(),
+    )
+    .unwrap();
+    let engine = QueryEngine::new(live);
+    let batch = delta_batch(0xDD, 100);
+    engine.append_rows(&batch, None).unwrap();
+    engine.backend().flush().unwrap();
+
+    let before: Vec<Estimate> = probe_predicates()
+        .iter()
+        .map(|p| engine.estimate_count(p).unwrap())
+        .collect();
+    let segments_before = engine.backend().num_segments();
+    let epoch_before = engine.epoch();
+
+    engine.backend().compact_now().unwrap();
+    assert_eq!(engine.backend().num_segments(), segments_before + 1);
+    assert!(engine.epoch() > epoch_before, "compaction must publish");
+    for (pred, b) in probe_predicates().iter().zip(&before) {
+        assert_estimates_bitwise(
+            &format!("compaction({pred:?})"),
+            b,
+            &engine.estimate_count(pred).unwrap(),
+        );
+    }
+    let stats = engine.ingest_stats().unwrap();
+    assert_eq!(stats.seals, 1);
+    assert_eq!(stats.retired_segments, 0);
+
+    // Retention: cap at 2 segments; a further append + compaction seals a
+    // third segment and must retire the oldest one wholesale.
+    let config = IngestConfig::builder()
+        .delta_rows(1 << 20)
+        .seal_rows(1 << 20)
+        .max_segments(2)
+        .background(false)
+        .build()
+        .unwrap();
+    let base = build_base(&t, 2);
+    let live = LiveSummary::new(base, fixture_stats(), SolverConfig::default(), config).unwrap();
+    live.append_rows(&delta_batch(0xEE, 80), None).unwrap();
+    live.compact_now().unwrap();
+    assert_eq!(live.num_segments(), 2, "cap must hold after the seal");
+    let stats = live.ingest_stats();
+    assert_eq!(stats.seals, 1);
+    assert_eq!(stats.retired_segments, 1);
+    assert!(
+        live.n() < n_base + 80,
+        "retiring the oldest segment must drop its rows from n"
+    );
+}
+
+/// Contract 4: a replayed idempotency token is absorbed and reported; the
+/// token window is FIFO-bounded, so capacity-evicted tokens are accepted
+/// again; and the final cardinality accounts for exactly the accepted
+/// batches.
+#[test]
+fn token_replay_is_absorbed_and_window_is_fifo() {
+    let t = fixture_table(0x70C, 300);
+    let base = build_base(&t, 1);
+    let n0 = base.n() as f64;
+    let config = IngestConfig::builder()
+        .delta_rows(1 << 20)
+        .seal_rows(1 << 20)
+        .background(false)
+        .token_capacity(2)
+        .build()
+        .unwrap();
+    let live = LiveSummary::new(base, fixture_stats(), SolverConfig::default(), config).unwrap();
+    let batch = delta_batch(0x11, 40);
+
+    let first = live.append_rows(&batch, Some("tok-a")).unwrap();
+    assert_eq!(first.accepted, 40);
+    assert!(!first.duplicate);
+
+    let replay = live.append_rows(&batch, Some("tok-a")).unwrap();
+    assert!(replay.duplicate, "replaying tok-a must be absorbed");
+    assert_eq!(replay.accepted, 0);
+
+    // Two fresh tokens evict tok-a from the 2-entry window …
+    live.append_rows(&delta_batch(0x12, 10), Some("tok-b"))
+        .unwrap();
+    live.append_rows(&delta_batch(0x13, 10), Some("tok-c"))
+        .unwrap();
+    // … so tok-a is no longer remembered and lands again.
+    let after_eviction = live.append_rows(&batch, Some("tok-a")).unwrap();
+    assert!(
+        !after_eviction.duplicate,
+        "evicted token must be fresh again"
+    );
+    assert_eq!(after_eviction.accepted, 40);
+
+    live.flush().unwrap();
+    let stats = live.ingest_stats();
+    assert_eq!(stats.appended_rows, 100);
+    assert_eq!(stats.duplicate_appends, 1);
+    let engine = QueryEngine::new(live);
+    let count = engine
+        .estimate_count(&Predicate::all())
+        .unwrap()
+        .expectation;
+    let want = n0 + 100.0;
+    assert!(
+        (count - want).abs() < 1e-6 * want,
+        "COUNT(*): {count} vs {want}"
+    );
+}
+
+/// Contract 3: the zero-stale drill. With the gather-side probe cache
+/// enabled (its generation IS the ingest epoch), answers are served from
+/// cache between folds — and after a fold every query matches a
+/// freshly-composed uncached mixture bitwise. A stale cached answer would
+/// fail the COUNT(*) growth check immediately.
+#[test]
+fn probe_cache_never_serves_stale_answers_across_folds() {
+    let t = fixture_table(0xACE, 350);
+    let base = build_base(&t, 2);
+    let base_shards = base.shards().to_vec();
+    let n0 = base.n() as f64;
+    let config = IngestConfig::builder()
+        .delta_rows(1 << 20)
+        .seal_rows(1 << 20)
+        .background(false)
+        .probe_cache_entries(64)
+        .build()
+        .unwrap();
+    let live = LiveSummary::new(base, fixture_stats(), SolverConfig::default(), config).unwrap();
+    let engine = QueryEngine::new(live);
+    let preds = [
+        Predicate::all(),
+        Predicate::new().eq(a(0), 1),
+        Predicate::new().between(a(1), 1, 2).eq(a(2), 0),
+    ];
+
+    // Warm the cache and verify it actually serves repeats.
+    let warm: Vec<Estimate> = preds
+        .iter()
+        .map(|p| engine.estimate_count(p).unwrap())
+        .collect();
+    for (pred, w) in preds.iter().zip(&warm) {
+        assert_estimates_bitwise(
+            &format!("cached({pred:?})"),
+            w,
+            &engine.estimate_count(pred).unwrap(),
+        );
+    }
+    let stats = engine.cache_stats().expect("probe cache enabled");
+    assert!(
+        stats.hits >= preds.len() as u64,
+        "repeats must hit the cache"
+    );
+
+    // Fold a batch in; every cached entry is orphaned by the epoch bump.
+    let batch = delta_batch(0xBEEF, 90);
+    engine.append_rows(&batch, None).unwrap();
+    engine.backend().flush().unwrap();
+
+    let count = engine
+        .estimate_count(&Predicate::all())
+        .unwrap()
+        .expectation;
+    let want = n0 + 90.0;
+    assert!(
+        (count - want).abs() < 1e-6 * want,
+        "stale COUNT(*) after fold: {count} vs {want}"
+    );
+
+    // The strong form: post-fold answers are bitwise the fresh composition.
+    let mut delta_table = Table::new(t.schema().clone());
+    for row in &batch {
+        delta_table.push_row(row).unwrap();
+    }
+    let delta_model =
+        fit_segment(&delta_table, &fixture_stats(), &SolverConfig::default()).unwrap();
+    let mut models = base_shards;
+    models.push(delta_model);
+    let reference = ShardedSummary::from_shards(models).unwrap();
+    for pred in &preds {
+        assert_estimates_bitwise(
+            &format!("post-fold({pred:?})"),
+            &engine.estimate_count(pred).unwrap(),
+            &reference.estimate_count(pred).unwrap(),
+        );
+    }
+}
+
+/// Manifest-v3 round trip: `save_live_dir` / `load_live_dir` preserve the
+/// epoch, the segment list, and every answer bit, and recover the fold
+/// counters.
+#[test]
+fn live_dir_round_trip_preserves_epoch_and_answers() {
+    let dir = std::env::temp_dir().join(format!("entropydb-ingest-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let t = fixture_table(0xD15C, 300);
+    let base = build_base(&t, 2);
+    let live = LiveSummary::new(
+        base,
+        fixture_stats(),
+        SolverConfig::default(),
+        sync_config(),
+    )
+    .unwrap();
+    live.append_rows(&delta_batch(0x21, 70), None).unwrap();
+    live.flush().unwrap();
+    live.append_rows(&delta_batch(0x22, 30), None).unwrap();
+    // `save_live_dir` flushes the 30 staged rows before writing.
+    serialize::save_live_dir(&live, &dir).unwrap();
+
+    let restored = serialize::load_live_dir(&dir, SolverConfig::default(), sync_config()).unwrap();
+    assert_eq!(restored.epoch(), live.epoch());
+    // The persisted fitted delta re-enters as a sealed segment (sealing is
+    // bitwise-neutral; the delta's raw rows are not persisted).
+    assert_eq!(restored.num_segments(), live.num_segments() + 1);
+    assert_eq!(restored.staged_rows(), 0);
+    let e0 = QueryEngine::new(live);
+    let e1 = QueryEngine::new(restored);
+    assert_eq!(e0.n(), e1.n());
+    for pred in probe_predicates() {
+        assert_estimates_bitwise(
+            &format!("round-trip({pred:?})"),
+            &e0.estimate_count(&pred).unwrap(),
+            &e1.estimate_count(&pred).unwrap(),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The builder rejects configurations that would misbehave at runtime, and
+/// the same validation guards hand-written struct literals at construction.
+#[test]
+fn ingest_config_builder_validates() {
+    assert!(IngestConfig::builder().delta_rows(0).build().is_err());
+    assert!(IngestConfig::builder()
+        .delta_rows(100)
+        .seal_rows(50)
+        .build()
+        .is_err());
+    assert!(IngestConfig::builder()
+        .delta_rows(8)
+        .seal_rows(8)
+        .max_segments(0)
+        .build()
+        .is_err());
+    assert!(IngestConfig::builder().token_capacity(0).build().is_err());
+    let ok = IngestConfig::builder()
+        .delta_rows(8)
+        .seal_rows(64)
+        .max_segments(4)
+        .background(false)
+        .probe_cache_entries(16)
+        .token_capacity(32)
+        .build()
+        .unwrap();
+    assert_eq!(ok.delta_rows, 8);
+    assert_eq!(ok.max_segments, Some(4));
+
+    // Constructing a LiveSummary re-runs the same validation on literals.
+    let t = fixture_table(1, 60);
+    let base = build_base(&t, 1);
+    let bad = IngestConfig {
+        delta_rows: 0,
+        ..IngestConfig::default()
+    };
+    assert!(matches!(
+        LiveSummary::new(base, fixture_stats(), SolverConfig::default(), bad),
+        Err(ModelError::InvalidConfig(_))
+    ));
+}
+
+/// An immutable backend refuses appends with the typed error, so callers
+/// can distinguish "not a live summary" from transport problems.
+#[test]
+fn immutable_backends_reject_appends() {
+    let t = fixture_table(2, 60);
+    let engine = QueryEngine::new(build_base(&t, 2));
+    assert!(matches!(
+        engine.append_rows(&[vec![0, 0, 0]], None),
+        Err(ModelError::Immutable)
+    ));
+    assert!(engine.ingest_stats().is_none());
+    assert_eq!(engine.epoch(), 0);
+}

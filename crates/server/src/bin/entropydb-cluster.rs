@@ -14,6 +14,7 @@
 //!                             [--replicas R]
 //! entropydb-cluster soak <HOST:PORT> [--clients N] [--pipeline P]
 //!                        [--rounds R] [--max-p99-ms MS]
+//! entropydb-cluster ingest-drill <HOST:PORT> [--rows N] [--timeout SECS]
 //! ```
 //!
 //! * `spawn` loads a sharded summary (single-file manifest or
@@ -57,11 +58,21 @@
 //!   up front. Prints throughput and p50/p99 per-frame latency; exits
 //!   non-zero on any failed request or (with `--max-p99-ms`) when the p99
 //!   breaches the bound — the CI cluster-e2e job's concurrency gate.
+//! * `ingest-drill` exercises the streaming-ingest path end to end
+//!   against a live server or a gateway fronting one: it appends `--rows`
+//!   deterministic rows with an idempotency token, waits for the
+//!   background fold to publish (polling `stats ingest` until the epoch
+//!   advances and the staging buffer drains), verifies `COUNT(*)` grew by
+//!   exactly the appended rows, and replays the same append to verify the
+//!   token window absorbs the duplicate. Exits non-zero on any violation
+//!   — the CI cluster-e2e job's ingest gate.
 //! * `make-demo` builds a small deterministic sharded summary and writes
 //!   everything a localhost cluster walkthrough (or the `cluster-e2e` CI
 //!   job) needs: per-shard blobs for `entropydb-serve`, the combined
-//!   sharded blob as the local parity reference, and a manifest listing
-//!   `--replicas` endpoints per shard.
+//!   sharded blob as the local parity reference, a manifest listing
+//!   `--replicas` endpoints per shard, and a `live/` directory copy of
+//!   the shards that `entropydb-serve --live` can mutate via `a1`
+//!   appends (the `ingest-drill` target).
 
 use entropydb_core::engine::QueryEngine;
 use entropydb_core::plan::QueryRequest;
@@ -94,7 +105,8 @@ fn usage() -> ExitCode {
          \x20         [--cache-entries N] [--control-file FILE]\n\
          \x20 make-demo <dir> [--shards N] [--rows R] [--base-port P] [--replicas R]\n\
          \x20 soak <HOST:PORT> [--clients N] [--pipeline P] [--rounds R]\n\
-         \x20      [--max-p99-ms MS]"
+         \x20      [--max-p99-ms MS]\n\
+         \x20 ingest-drill <HOST:PORT> [--rows N] [--timeout SECS]"
     );
     ExitCode::from(2)
 }
@@ -1061,6 +1073,13 @@ fn cmd_make_demo(args: &[String]) -> ExitCode {
         eprintln!("cannot write cluster.manifest: {e}");
         return ExitCode::FAILURE;
     }
+    // A live-servable copy of the same shards: `entropydb-serve <dir>/live
+    // --live` turns it into a mutable summary that accepts `a1` appends
+    // (the ingest-drill target in CI).
+    if let Err(e) = serialize::save_sharded_dir(&sharded, &dir.join("live")) {
+        eprintln!("cannot write live dir: {e}");
+        return ExitCode::FAILURE;
+    }
     println!(
         "demo cluster written to {}: {} shards x {replicas} replicas, n = {}, ports {}..{}",
         dir.display(),
@@ -1070,6 +1089,137 @@ fn cmd_make_demo(args: &[String]) -> ExitCode {
         base_port + (sharded.num_shards() * replicas) as u16 - 1
     );
     ExitCode::SUCCESS
+}
+
+/// Drill the streaming-ingest path of a live server (or a gateway
+/// fronting one): append → wait for the background fold → verify the
+/// count grew — then replay the append and verify the idempotency token
+/// absorbs it.
+fn cmd_ingest_drill(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        return usage();
+    };
+    let parsed = (|| -> Result<(u64, f64), String> {
+        Ok((
+            parsed_flag(args, "--rows", 64)?,
+            parsed_flag(args, "--timeout", 30.0)?,
+        ))
+    })();
+    let (rows, timeout_secs) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    if rows == 0 || timeout_secs <= 0.0 {
+        eprintln!("error: --rows and --timeout must be positive");
+        return ExitCode::FAILURE;
+    }
+    match run_ingest_drill(addr, rows as usize, Duration::from_secs_f64(timeout_secs)) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ingest drill FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_ingest_drill(addr: &str, rows: usize, timeout: Duration) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let schema = client
+        .schema()
+        .map_err(|e| format!("schema handshake failed: {e}"))?
+        .clone();
+    let sizes = schema.domain_sizes();
+    let before = client
+        .ingest_stats()
+        .map_err(|e| format!("stats ingest failed: {e}"))?
+        .ok_or_else(|| "server reports no live delta shard (start it with --live)".to_string())?;
+    let count_all = QueryRequest::count(Predicate::all());
+    let count = |client: &mut Client| -> Result<f64, String> {
+        match client.execute(&count_all) {
+            Ok(entropydb_core::plan::QueryResponse::Estimate(e)) => Ok(e.expectation),
+            Ok(other) => Err(format!("unexpected count answer {other:?}")),
+            Err(e) => Err(format!("count query failed: {e}")),
+        }
+    };
+    let n_before = count(&mut client)?;
+
+    // Deterministic drill rows spread across the coded domains.
+    let batch: Vec<Vec<u32>> = (0..rows)
+        .map(|r| {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| ((r * 31 + i * 7 + 3) % d.max(1)) as u32)
+                .collect()
+        })
+        .collect();
+    let token = format!("drill-{}-{rows}", std::process::id());
+    let outcome = client
+        .append(&batch, Some(&token))
+        .map_err(|e| format!("append failed: {e}"))?;
+    if outcome.duplicate {
+        return Err(format!("fresh token {token:?} was reported as a duplicate"));
+    }
+    if outcome.accepted != rows as u64 {
+        return Err(format!(
+            "append accepted {} of {rows} rows",
+            outcome.accepted
+        ));
+    }
+
+    // Wait for the background fold to publish: epoch advances past the
+    // baseline and the staging buffer drains.
+    let deadline = Instant::now() + timeout;
+    let folded = loop {
+        let stats = client
+            .ingest_stats()
+            .map_err(|e| format!("stats ingest poll failed: {e}"))?
+            .ok_or_else(|| "live delta shard vanished mid-drill".to_string())?;
+        if stats.epoch > before.epoch && stats.staged_rows == 0 {
+            break stats;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "fold did not publish within {timeout:?} \
+                 (epoch {} -> {}, staged {})",
+                before.epoch, stats.epoch, stats.staged_rows
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let n_after = count(&mut client)?;
+    let grew = n_after - n_before;
+    if (grew - rows as f64).abs() > 1e-6 * n_after.max(1.0) {
+        return Err(format!(
+            "COUNT(*) grew by {grew} after folding {rows} appended rows \
+             ({n_before} -> {n_after})"
+        ));
+    }
+
+    // Replay: the same token must be absorbed without re-ingesting.
+    let replay = client
+        .append(&batch, Some(&token))
+        .map_err(|e| format!("replayed append failed: {e}"))?;
+    if !replay.duplicate {
+        return Err("replayed token was ingested again (idempotency hole)".to_string());
+    }
+    let n_replay = count(&mut client)?;
+    if (n_replay - n_after).abs() > 1e-9 * n_after.max(1.0) {
+        return Err(format!("replay changed COUNT(*): {n_after} -> {n_replay}"));
+    }
+    client.quit();
+    Ok(format!(
+        "ingest drill passed: {rows} rows appended and folded \
+         (epoch {} -> {}, n {n_before} -> {n_after}), replay absorbed",
+        before.epoch, folded.epoch
+    ))
 }
 
 fn main() -> ExitCode {
@@ -1085,6 +1235,7 @@ fn main() -> ExitCode {
         "gateway" => cmd_gateway(rest),
         "make-demo" => cmd_make_demo(rest),
         "soak" => cmd_soak(rest),
+        "ingest-drill" => cmd_ingest_drill(rest),
         _ => usage(),
     }
 }

@@ -5,6 +5,7 @@
 //!                 [--max-sessions N] [--core reactor|threaded]
 //!                 [--reactor-threads N] [--dispatch-threads N]
 //!                 [--max-queue-depth N] [--max-in-flight N]
+//!                 [--live] [--delta-threshold ROWS]
 //! ```
 //!
 //! `<summary>` is any of the persistence layouts of
@@ -23,6 +24,13 @@
 //! (default on Linux) or the retained `threaded` thread-per-connection
 //! baseline. The remaining flags tune the reactor's thread counts and
 //! admission control (0 = auto / unbounded); see `ReactorConfig`.
+//!
+//! `--live` serves a sharded directory as a **mutable** live summary:
+//! `a1` wire appends stage rows into a delta shard that a background
+//! worker re-solves and folds into the served mixture
+//! (`entropydb_core::ingest::LiveSummary`); `--delta-threshold ROWS`
+//! sets how many staged rows trigger a background fold (default 1024).
+//! Requires the directory layout (`manifest.txt` + shard blobs).
 //!
 //! The default address is `127.0.0.1:4141`; use port 0 for an ephemeral
 //! port (printed on startup). The process serves until stdin reaches EOF
@@ -67,7 +75,7 @@ fn usage() -> ExitCode {
          \x20                    [--idle-timeout SECS] [--max-sessions N]\n\
          \x20                    [--core reactor|threaded] [--reactor-threads N]\n\
          \x20                    [--dispatch-threads N] [--max-queue-depth N]\n\
-         \x20                    [--max-in-flight N]"
+         \x20                    [--max-in-flight N] [--live] [--delta-threshold ROWS]"
     );
     ExitCode::from(2)
 }
@@ -139,10 +147,54 @@ fn main() -> ExitCode {
             }
         }
     }
+    let live = args.iter().any(|a| a == "--live");
+    let mut ingest = entropydb_core::ingest::IngestConfig::default();
+    if let Some(raw) = flag(&args, "--delta-threshold") {
+        match raw.parse::<usize>() {
+            Ok(rows) if rows > 0 => {
+                ingest.delta_rows = rows;
+                ingest.seal_rows = ingest.seal_rows.max(rows);
+            }
+            _ => {
+                eprintln!("error: cannot parse --delta-threshold value {raw:?}");
+                return usage();
+            }
+        }
+    }
     let path = Path::new(path);
 
     // Sniff the persistence layout and start the matching backend.
-    let handle = if path.is_dir() {
+    let handle = if live {
+        if !path.is_dir() {
+            eprintln!("error: --live requires a sharded directory (manifest.txt + shard blobs)");
+            return ExitCode::FAILURE;
+        }
+        match serialize::load_live_dir(
+            path,
+            entropydb_core::solver::SolverConfig::default(),
+            ingest,
+        ) {
+            Ok(summary) => {
+                eprintln!(
+                    "loaded live summary: {} segments, n = {}, epoch = {}",
+                    summary.num_segments(),
+                    summary.n(),
+                    summary.epoch()
+                );
+                start(
+                    QueryEngine::new(summary),
+                    addr.as_str(),
+                    config,
+                    core,
+                    tuning,
+                )
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if path.is_dir() {
         match serialize::load_sharded_dir(path) {
             Ok(sharded) => {
                 eprintln!(

@@ -1,8 +1,11 @@
 //! A small synchronous client for the line protocol.
 
-use crate::protocol::decode_schema;
-use entropydb_core::error::{ModelError, Result as ModelResult};
-use entropydb_core::metrics::{CacheStatsSnapshot, ServerStatsSnapshot};
+use crate::protocol::{
+    decode_append_outcome, decode_ingest_stats, decode_schema, encode_append, MAX_APPEND_ROWS,
+};
+use entropydb_core::engine::AppendOutcome;
+use entropydb_core::error::{ModelError, RemoteDetail, Result as ModelResult};
+use entropydb_core::metrics::{CacheStatsSnapshot, IngestStatsSnapshot, ServerStatsSnapshot};
 use entropydb_core::plan::{parse_request, QueryRequest, QueryResponse};
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_storage::Schema;
@@ -131,6 +134,27 @@ fn dial(addr: &SocketAddr, config: &ClientConfig) -> io::Result<TcpStream> {
     Ok(stream)
 }
 
+/// Rows per `a1` wire line when [`Client::append`] splits a large batch.
+/// Well under the server's [`MAX_APPEND_ROWS`] admission cap and the
+/// [`MAX_LINE_BYTES`](crate::protocol::MAX_LINE_BYTES) line cap for any
+/// realistic arity.
+const APPEND_CHUNK_ROWS: usize = 4096;
+
+/// A process-unique idempotency token for an append batch the caller did
+/// not token themselves: wall-clock nanos + pid + a process-local
+/// sequence number. Collisions across clients would need two processes
+/// sharing a pid, nanosecond, and sequence number.
+pub(crate) fn generate_append_token() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    format!("c{:x}-{nanos:x}-{seq:x}", std::process::id())
+}
+
 /// True when an I/O failure means the *transport* died (reset, broken
 /// pipe, unexpected EOF) — the one class of failure where re-dialing and
 /// re-sending a read-only request is safe and useful. Deadline expiries
@@ -225,9 +249,9 @@ impl Client {
         if reply == "pong" {
             Ok(())
         } else {
-            Err(ClientError::Model(ModelError::Remote(format!(
-                "unexpected ping reply {reply:?}"
-            ))))
+            Err(ClientError::Model(ModelError::Remote(
+                RemoteDetail::message(format!("unexpected ping reply {reply:?}")),
+            )))
         }
     }
 
@@ -243,12 +267,12 @@ impl Client {
                 let mut line = String::new();
                 if reader
                     .read_line(&mut line)
-                    .map_err(|e| ModelError::Remote(e.to_string()))?
+                    .map_err(|e| ModelError::Remote(RemoteDetail::message(e.to_string())))?
                     == 0
                 {
-                    return Err(ModelError::Remote(
-                        "connection closed mid-schema".to_string(),
-                    ));
+                    return Err(ModelError::Remote(RemoteDetail::message(
+                        "connection closed mid-schema",
+                    )));
                 }
                 Ok(line.trim_end_matches(['\n', '\r']).to_string())
             })?;
@@ -293,9 +317,9 @@ impl Client {
     pub fn cache_stats(&mut self) -> ClientResult<Option<CacheStatsSnapshot>> {
         let reply = self.round_trip_with_retry("stats")?;
         let rest = reply.strip_prefix("stats cache ").ok_or_else(|| {
-            ClientError::Model(ModelError::Remote(format!(
+            ClientError::Model(ModelError::Remote(RemoteDetail::message(format!(
                 "unexpected stats reply {reply:?}"
-            )))
+            ))))
         })?;
         if rest.trim() == "none" {
             return Ok(None);
@@ -306,9 +330,9 @@ impl Client {
                 .next()
                 .and_then(std::result::Result::ok)
                 .ok_or_else(|| {
-                    ClientError::Model(ModelError::Remote(format!(
+                    ClientError::Model(ModelError::Remote(RemoteDetail::message(format!(
                         "malformed stats reply {reply:?}"
-                    )))
+                    ))))
                 })
         };
         Ok(Some(CacheStatsSnapshot {
@@ -401,6 +425,82 @@ impl Client {
             }
         }
         Ok(responses)
+    }
+
+    /// Appends coded rows to the served summary's live delta shard
+    /// (`a1 ...` wire lines). Rows become *queryable* only once the
+    /// server's background re-solve folds them into the published
+    /// mixture — the returned [`AppendOutcome`] carries the staging gauge
+    /// and current epoch so callers can watch the fold land (via
+    /// [`Client::ingest_stats`]).
+    ///
+    /// `token` is the batch's idempotency token; when `None` the client
+    /// generates one, so the built-in reconnect-and-retry after a broken
+    /// transport can never double-ingest (an ambiguous first attempt and
+    /// its retry carry the same token, and the server's token window
+    /// absorbs the replay). Batches larger than one wire line allows are
+    /// split into chunks tokened `<token>#<i>`, each idempotent on its
+    /// own; chunk outcomes aggregate (accepted counts sum, `duplicate`
+    /// means *every* chunk was a replay).
+    ///
+    /// Immutable backends (a server not started in live mode) answer the
+    /// typed [`ModelError::Immutable`] error.
+    pub fn append(
+        &mut self,
+        rows: &[Vec<u32>],
+        token: Option<&str>,
+    ) -> ClientResult<AppendOutcome> {
+        let base = match token {
+            Some(t) => t.to_string(),
+            None => generate_append_token(),
+        };
+        const { assert!(APPEND_CHUNK_ROWS <= MAX_APPEND_ROWS) };
+        let chunks: Vec<&[Vec<u32>]> = if rows.is_empty() {
+            vec![&[][..]]
+        } else {
+            rows.chunks(APPEND_CHUNK_ROWS).collect()
+        };
+        let single = chunks.len() == 1;
+        let mut total = AppendOutcome {
+            accepted: 0,
+            duplicate: true,
+            staged: 0,
+            epoch: 0,
+        };
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let chunk_token = if single {
+                base.clone()
+            } else {
+                format!("{base}#{i}")
+            };
+            let line = encode_append(Some(&chunk_token), chunk);
+            let reply = self.round_trip_with_retry(line.trim_end())?;
+            let outcome = if reply.starts_with("ai1") {
+                decode_append_outcome(&reply)?
+            } else {
+                // Anything else is the query error channel (`r1 err ...`,
+                // `r1 busy ...`) or a protocol violation.
+                return Err(match QueryResponse::decode(&reply) {
+                    Err(e) => ClientError::Model(e),
+                    Ok(_) => ClientError::Model(ModelError::Remote(RemoteDetail::message(
+                        format!("unexpected append reply {reply:?}"),
+                    ))),
+                });
+            };
+            total.accepted += outcome.accepted;
+            total.duplicate &= outcome.duplicate;
+            total.staged = outcome.staged;
+            total.epoch = outcome.epoch;
+        }
+        Ok(total)
+    }
+
+    /// Fetches the server's streaming-ingest counters (`stats ingest`).
+    /// `Ok(None)` means the served summary has no live delta shard (an
+    /// immutable backend).
+    pub fn ingest_stats(&mut self) -> ClientResult<Option<IngestStatsSnapshot>> {
+        let reply = self.round_trip_with_retry("stats ingest")?;
+        decode_ingest_stats(reply.trim()).map_err(ClientError::Model)
     }
 
     /// Parses a textual statement against the served schema and executes

@@ -29,7 +29,9 @@
 //! schema                          s1 <arity> / attr ... / end
 //! stats                           stats cache <h> <m> <c> <e> | stats cache none
 //! stats server                    stats server <active> <accepted> <shed> <in> <out> <depth>
+//! stats ingest                    stats ingest <epoch> <staged> ... | stats ingest none
 //! q1 <request>                    r1 <response>
+//! a1 <token|-> <rows> <arity> ... ai1 <dup> <accepted> <staged> <epoch>
 //! batch <n>  (then n q1 lines)    n r1 lines, in order
 //! quit                            (connection closed)
 //! ```
@@ -82,9 +84,16 @@ mod server;
 mod session;
 
 pub use client::{Client, ClientConfig, ClientError, ClientResult};
-pub use entropydb_core::metrics::{CacheStatsSnapshot, ServerCounters, ServerStatsSnapshot};
-pub use protocol::{decode_server_stats, encode_server_stats, MAX_BATCH, MAX_SAMPLE_ROWS};
-pub use remote::{FailoverConfig, RemoteShard, RemoteShardedSummary, Replica};
+pub use entropydb_core::metrics::{
+    CacheStatsSnapshot, IngestStatsSnapshot, ServerCounters, ServerStatsSnapshot,
+};
+pub use protocol::{
+    decode_append, decode_append_outcome, decode_ingest_stats, decode_server_stats, encode_append,
+    encode_append_outcome, encode_ingest_stats, encode_server_stats, MAX_APPEND_ROWS, MAX_BATCH,
+    MAX_SAMPLE_ROWS,
+};
+pub use remote::{FailoverConfig, FailoverConfigBuilder, RemoteShard, RemoteShardedSummary, Replica};
 pub use server::{
-    serve, serve_threaded, serve_tuned, serve_with, ReactorConfig, ServerConfig, ServerHandle,
+    serve, serve_threaded, serve_tuned, serve_with, ReactorConfig, ReactorConfigBuilder,
+    ServerConfig, ServerConfigBuilder, ServerHandle,
 };

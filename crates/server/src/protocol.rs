@@ -24,8 +24,9 @@
 //! serves. It is optional on decode for compatibility with pre-handshake
 //! servers.
 
+use entropydb_core::engine::AppendOutcome;
 use entropydb_core::error::{ModelError, Result};
-use entropydb_core::metrics::ServerStatsSnapshot;
+use entropydb_core::metrics::{IngestStatsSnapshot, ServerStatsSnapshot};
 use entropydb_storage::{Attribute, Binner, Schema};
 use std::fmt::Write as _;
 
@@ -44,6 +45,12 @@ pub const MAX_SAMPLE_ROWS: usize = 1 << 20;
 /// Bounds the per-session read buffer against newline-free streams; any
 /// legitimate request is far smaller (predicates over coded domains).
 pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Largest row count a single `a1` append line may carry. Bounds the
+/// staging work one wire line can demand, mirroring [`MAX_BATCH`] for
+/// query frames; [`Client::append`](crate::Client::append) transparently
+/// chunks larger batches into multiple lines.
+pub const MAX_APPEND_ROWS: usize = MAX_BATCH;
 
 /// Encodes a schema (and the served summary's cardinality — the
 /// shard-manifest handshake) as the multi-line wire block (including the
@@ -109,6 +116,155 @@ pub fn decode_server_stats(line: &str) -> Result<ServerStatsSnapshot> {
         bytes_out: field("bytes out")?,
         dispatch_depth: field("dispatch depth")?,
     })
+}
+
+/// Encodes one streaming-ingest append line:
+///
+/// ```text
+/// a1 <token|-> <rows> <arity> <codes...>
+/// ```
+///
+/// `token` is the client's idempotency token (whitespace-free; `-` means
+/// none), `<codes...>` the rows in row-major order (`rows * arity` coded
+/// values). A retry of the same line after a transport error is absorbed
+/// by the server's token window instead of double-ingesting.
+pub fn encode_append(token: Option<&str>, rows: &[Vec<u32>]) -> String {
+    let arity = rows.first().map_or(0, Vec::len);
+    let mut out = String::with_capacity(16 + rows.len() * arity * 4);
+    let _ = write!(out, "a1 {} {} {}", token.unwrap_or("-"), rows.len(), arity);
+    for row in rows {
+        for &code in row {
+            let _ = write!(out, " {code}");
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Decodes one `a1 ...` append line (see [`encode_append`]). Rejects
+/// lines carrying more than [`MAX_APPEND_ROWS`] rows and truncated or
+/// over-long payloads.
+pub fn decode_append(line: &str) -> Result<(Option<String>, Vec<Vec<u32>>)> {
+    let mut toks = line.split_ascii_whitespace();
+    if toks.next() != Some("a1") {
+        return Err(wire_error(format!("unrecognized append line {line:?}")));
+    }
+    let token = match toks.next() {
+        Some("-") => None,
+        Some(t) => Some(t.to_string()),
+        None => return Err(wire_error("append line missing token".to_string())),
+    };
+    let rows: usize = parse_token(toks.next(), "append row count")?;
+    let arity: usize = parse_token(toks.next(), "append arity")?;
+    if rows > MAX_APPEND_ROWS {
+        return Err(wire_error(format!(
+            "append of {rows} rows exceeds the served maximum {MAX_APPEND_ROWS}"
+        )));
+    }
+    if rows > 0 && arity == 0 {
+        return Err(wire_error(
+            "append rows must have nonzero arity".to_string(),
+        ));
+    }
+    let mut decoded = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(parse_token(toks.next(), "append code")?);
+        }
+        decoded.push(row);
+    }
+    if toks.next().is_some() {
+        return Err(wire_error(format!(
+            "append line has trailing tokens past {rows} rows"
+        )));
+    }
+    Ok((token, decoded))
+}
+
+/// Encodes the reply to an `a1` append:
+///
+/// ```text
+/// ai1 <dup:0|1> <accepted> <staged> <epoch>
+/// ```
+///
+/// `dup 1` means the idempotency token was already recorded — the rows
+/// were NOT re-ingested and the counts describe the original acceptance's
+/// current view.
+pub fn encode_append_outcome(o: &AppendOutcome) -> String {
+    format!(
+        "ai1 {} {} {} {}\n",
+        u8::from(o.duplicate),
+        o.accepted,
+        o.staged,
+        o.epoch
+    )
+}
+
+/// Decodes one `ai1 ...` append reply (see [`encode_append_outcome`]).
+pub fn decode_append_outcome(line: &str) -> Result<AppendOutcome> {
+    let mut toks = line.split_ascii_whitespace();
+    if toks.next() != Some("ai1") {
+        return Err(wire_error(format!("unrecognized append reply {line:?}")));
+    }
+    let dup: u8 = parse_token(toks.next(), "append duplicate flag")?;
+    if dup > 1 {
+        return Err(wire_error(format!("append duplicate flag {dup} not 0/1")));
+    }
+    Ok(AppendOutcome {
+        duplicate: dup == 1,
+        accepted: parse_token(toks.next(), "append accepted count")?,
+        staged: parse_token(toks.next(), "append staged count")?,
+        epoch: parse_token(toks.next(), "append epoch")?,
+    })
+}
+
+/// Encodes the `stats ingest` reply: the live backend's ingest counters,
+/// mirroring the `stats cache ...` / `stats server ...` convention.
+///
+/// ```text
+/// stats ingest <epoch> <staged> <appended> <duplicates> <folds> <seals> <retired>
+/// ```
+///
+/// A backend without a live delta shard answers `stats ingest none`.
+pub fn encode_ingest_stats(s: Option<&IngestStatsSnapshot>) -> String {
+    match s {
+        Some(s) => format!(
+            "stats ingest {} {} {} {} {} {} {}\n",
+            s.epoch,
+            s.staged_rows,
+            s.appended_rows,
+            s.duplicate_appends,
+            s.folds,
+            s.seals,
+            s.retired_segments
+        ),
+        None => "stats ingest none\n".to_string(),
+    }
+}
+
+/// Decodes one `stats ingest ...` line (see [`encode_ingest_stats`]).
+pub fn decode_ingest_stats(line: &str) -> Result<Option<IngestStatsSnapshot>> {
+    let mut toks = line.split_ascii_whitespace();
+    if toks.next() != Some("stats") || toks.next() != Some("ingest") {
+        return Err(wire_error(format!(
+            "unrecognized ingest stats line {line:?}"
+        )));
+    }
+    let mut toks = toks.peekable();
+    if toks.peek() == Some(&"none") {
+        return Ok(None);
+    }
+    let mut field = |what: &str| parse_token::<u64>(toks.next(), what);
+    Ok(Some(IngestStatsSnapshot {
+        epoch: field("ingest epoch")?,
+        staged_rows: field("staged rows")?,
+        appended_rows: field("appended rows")?,
+        duplicate_appends: field("duplicate appends")?,
+        folds: field("fold count")?,
+        seals: field("seal count")?,
+        retired_segments: field("retired segments")?,
+    }))
 }
 
 fn wire_error(message: String) -> ModelError {
@@ -239,6 +395,71 @@ mod tests {
         assert_eq!(decode_server_stats(line.trim()).unwrap(), snap);
         assert!(decode_server_stats("stats cache 1 2 3 4").is_err());
         assert!(decode_server_stats("stats server 1 2 3").is_err());
+    }
+
+    #[test]
+    fn append_line_round_trips() {
+        let rows = vec![vec![1u32, 2, 3], vec![4, 5, 6]];
+        let line = encode_append(Some("tok-7"), &rows);
+        assert_eq!(line, "a1 tok-7 2 3 1 2 3 4 5 6\n");
+        let (token, decoded) = decode_append(line.trim()).unwrap();
+        assert_eq!(token.as_deref(), Some("tok-7"));
+        assert_eq!(decoded, rows);
+        // Tokenless appends use the `-` placeholder.
+        let line = encode_append(None, &rows);
+        let (token, decoded) = decode_append(line.trim()).unwrap();
+        assert_eq!(token, None);
+        assert_eq!(decoded, rows);
+        // Malformed shapes are rejected.
+        assert!(decode_append("a1 t 2 3 1 2 3 4 5").is_err()); // truncated
+        assert!(decode_append("a1 t 1 3 1 2 3 9").is_err()); // trailing
+        assert!(decode_append("a1 t 1 0").is_err()); // zero arity
+        assert!(decode_append("q1 t 1 1 0").is_err());
+        let over = format!("a1 - {} 1", MAX_APPEND_ROWS + 1);
+        assert!(decode_append(&over).is_err());
+    }
+
+    #[test]
+    fn append_outcome_round_trips() {
+        let outcome = AppendOutcome {
+            accepted: 12,
+            duplicate: false,
+            staged: 40,
+            epoch: 3,
+        };
+        let line = encode_append_outcome(&outcome);
+        assert_eq!(line, "ai1 0 12 40 3\n");
+        assert_eq!(decode_append_outcome(line.trim()).unwrap(), outcome);
+        let dup = AppendOutcome {
+            duplicate: true,
+            ..outcome
+        };
+        let line = encode_append_outcome(&dup);
+        assert_eq!(line, "ai1 1 12 40 3\n");
+        assert_eq!(decode_append_outcome(line.trim()).unwrap(), dup);
+        assert!(decode_append_outcome("ai1 2 1 1 1").is_err());
+        assert!(decode_append_outcome("r1 0 1 1 1").is_err());
+    }
+
+    #[test]
+    fn ingest_stats_line_round_trips() {
+        let snap = IngestStatsSnapshot {
+            epoch: 4,
+            staged_rows: 10,
+            appended_rows: 200,
+            duplicate_appends: 1,
+            folds: 5,
+            seals: 2,
+            retired_segments: 1,
+        };
+        let line = encode_ingest_stats(Some(&snap));
+        assert_eq!(line, "stats ingest 4 10 200 1 5 2 1\n");
+        assert_eq!(decode_ingest_stats(line.trim()).unwrap(), Some(snap));
+        let none = encode_ingest_stats(None);
+        assert_eq!(none, "stats ingest none\n");
+        assert_eq!(decode_ingest_stats(none.trim()).unwrap(), None);
+        assert!(decode_ingest_stats("stats cache 1 2 3 4").is_err());
+        assert!(decode_ingest_stats("stats ingest 1 2").is_err());
     }
 
     /// Pre-handshake blocks (no `n` line) still decode — the handshake is

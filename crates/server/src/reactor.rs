@@ -22,8 +22,8 @@
 #![cfg(target_os = "linux")]
 
 use crate::server::{
-    busy_at_capacity, encode_outcome, execute_batch_lines, execute_run, lock, server_stats_line,
-    stats_line,
+    busy_at_capacity, encode_outcome, execute_batch_lines, execute_run, ingest_stats_line, lock,
+    server_stats_line, stats_line,
 };
 use crate::session::{DecodePolicy, ReplyKind, Session, SessionState, Work};
 use crate::ServerConfig;
@@ -292,6 +292,7 @@ fn execute_work<B: SummaryBackend>(
         }
         Work::Reply(ReplyKind::CacheStats) => stats_line(engine),
         Work::Reply(ReplyKind::ServerStats) => server_stats_line(&counters.snapshot()),
+        Work::Reply(ReplyKind::IngestStats) => ingest_stats_line(engine),
         Work::Reply(ReplyKind::Raw(reply)) => reply.clone(),
     }
 }

@@ -53,11 +53,11 @@
 //! carrying the per-attempt failure trail; the engine's batch path keeps
 //! that per-request, so one dead shard cannot poison a pipelined batch.
 
-use crate::client::{Client, ClientConfig, ClientError};
+use crate::client::{generate_append_token, Client, ClientConfig, ClientError};
 use entropydb_core::assignment::Mask;
-use entropydb_core::engine::SummaryBackend;
-use entropydb_core::error::{ModelError, Result};
-use entropydb_core::metrics::CacheStatsSnapshot;
+use entropydb_core::engine::{AppendOutcome, SummaryBackend};
+use entropydb_core::error::{ModelError, RemoteDetail, Result};
+use entropydb_core::metrics::{CacheStatsSnapshot, IngestStatsSnapshot};
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
 use entropydb_core::query::Estimate;
 use entropydb_core::scatter::{self, GatherCache, ShardCacheId, ShardProbe};
@@ -114,6 +114,38 @@ impl Default for FailoverConfig {
 }
 
 impl FailoverConfig {
+    /// Fluent validated constructor (see [`FailoverConfigBuilder`]).
+    pub fn builder() -> FailoverConfigBuilder {
+        FailoverConfigBuilder::default()
+    }
+
+    /// Checks the invariants [`FailoverConfigBuilder::build`] enforces.
+    pub fn validate(&self) -> Result<()> {
+        if self.attempts_per_replica == 0 {
+            return Err(ModelError::InvalidConfig(
+                "failover attempts_per_replica must be positive".to_string(),
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            return Err(ModelError::InvalidConfig(
+                "failover breaker_threshold must be positive".to_string(),
+            ));
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(ModelError::InvalidConfig(format!(
+                "failover backoff_cap ({:?}) below backoff_base ({:?})",
+                self.backoff_cap, self.backoff_base
+            )));
+        }
+        if self.breaker_cooldown_cap < self.breaker_cooldown {
+            return Err(ModelError::InvalidConfig(format!(
+                "failover breaker_cooldown_cap ({:?}) below breaker_cooldown ({:?})",
+                self.breaker_cooldown_cap, self.breaker_cooldown
+            )));
+        }
+        Ok(())
+    }
+
     fn client_config(&self) -> ClientConfig {
         ClientConfig {
             connect_timeout: self.connect_timeout,
@@ -124,6 +156,69 @@ impl FailoverConfig {
 
     fn max_attempts(&self, replicas: usize) -> usize {
         self.attempts_per_replica.max(1) * replicas.max(1)
+    }
+}
+
+/// Builder for [`FailoverConfig`]; `build()` rejects zero budgets and
+/// inverted backoff/cooldown bounds.
+#[derive(Debug, Clone, Default)]
+pub struct FailoverConfigBuilder {
+    config: FailoverConfig,
+}
+
+impl FailoverConfigBuilder {
+    /// Sets the per-dial TCP connect deadline (`None` = unbounded).
+    pub fn connect_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the probe-traffic read/write deadline (`None` = unbounded).
+    pub fn probe_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.probe_timeout = timeout;
+        self
+    }
+
+    /// Sets the attempt budget per call, as a multiple of replica count.
+    pub fn attempts_per_replica(mut self, attempts: usize) -> Self {
+        self.config.attempts_per_replica = attempts;
+        self
+    }
+
+    /// Sets the first backoff sleep.
+    pub fn backoff_base(mut self, base: Duration) -> Self {
+        self.config.backoff_base = base;
+        self
+    }
+
+    /// Sets the backoff ceiling.
+    pub fn backoff_cap(mut self, cap: Duration) -> Self {
+        self.config.backoff_cap = cap;
+        self
+    }
+
+    /// Sets the consecutive-failure breaker threshold.
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.config.breaker_threshold = threshold;
+        self
+    }
+
+    /// Sets the initial breaker cooldown.
+    pub fn breaker_cooldown(mut self, cooldown: Duration) -> Self {
+        self.config.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the breaker cooldown ceiling.
+    pub fn breaker_cooldown_cap(mut self, cap: Duration) -> Self {
+        self.config.breaker_cooldown_cap = cap;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<FailoverConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -234,7 +329,13 @@ enum DialFailure {
 #[derive(Debug)]
 pub struct RemoteShard {
     index: usize,
-    n: u64,
+    /// Shard cardinality `n_s`. Static placements verify it on every
+    /// handshake; **dynamic** placements (manifest `n = 0`, a live-ingest
+    /// node whose cardinality grows as deltas fold) adopt whatever the
+    /// node reports instead, updating this cell.
+    n: AtomicU64,
+    /// Manifest entry declared `n = 0`: a live node with a delta shard.
+    dynamic: bool,
     replicas: Vec<Replica>,
     /// Replica that last answered successfully; probes start there.
     preferred: AtomicUsize,
@@ -243,22 +344,30 @@ pub struct RemoteShard {
     /// dial verifies the replica still serves it.
     expected_schema: OnceLock<Schema>,
     /// Blob generation: bumped whenever a replica is caught serving a
-    /// changed blob (wrong-blob eviction). The gather-side probe cache
-    /// mixes this into its keys, so every cached answer for the shard
-    /// becomes unreachable the instant a swap is detected.
+    /// changed blob (wrong-blob eviction) and whenever a live shard's
+    /// published **epoch** is observed to change (a delta fold). The
+    /// gather-side probe cache mixes this into its keys, so every cached
+    /// answer for the shard becomes unreachable the instant a swap or a
+    /// fold is detected.
     generation: Arc<AtomicU64>,
+    /// Last ingest epoch observed from this shard (append replies,
+    /// `stats ingest` polls, dynamic handshakes). See
+    /// [`RemoteShard::note_epoch`].
+    last_seen_epoch: AtomicU64,
 }
 
 impl RemoteShard {
     fn new(entry: &ClusterShard, config: FailoverConfig) -> RemoteShard {
         RemoteShard {
             index: entry.index,
-            n: entry.n,
+            n: AtomicU64::new(entry.n),
+            dynamic: entry.n == 0,
             replicas: entry.addrs.iter().cloned().map(Replica::new).collect(),
             preferred: AtomicUsize::new(0),
             config,
             expected_schema: OnceLock::new(),
             generation: Arc::new(AtomicU64::new(0)),
+            last_seen_epoch: AtomicU64::new(0),
         }
     }
 
@@ -291,9 +400,36 @@ impl RemoteShard {
         &self.replicas
     }
 
-    /// Shard cardinality `n_s` (verified during every handshake).
+    /// Shard cardinality `n_s` (verified during every handshake; adopted
+    /// from the node for dynamic live-ingest placements).
     pub fn n(&self) -> u64 {
-        self.n
+        self.n.load(Ordering::Acquire)
+    }
+
+    /// Whether this placement is dynamic (manifest `n = 0`: a live node
+    /// whose cardinality grows as appended rows fold in).
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// Last ingest epoch observed from this shard, `0` before any append
+    /// or `stats ingest` reply has been seen.
+    pub fn last_seen_epoch(&self) -> u64 {
+        self.last_seen_epoch.load(Ordering::Acquire)
+    }
+
+    /// Records an ingest epoch observed on an append reply, a
+    /// `stats ingest` poll, or a dynamic handshake. A **change** bumps the
+    /// shard's blob generation, which orphans every gather-side cached
+    /// answer computed against the previous published mixture — the
+    /// remote arm of the zero-stale-answers invariant (locally the epoch
+    /// *is* the cache generation; over the wire the gateway invalidates
+    /// the moment a new epoch becomes visible to it).
+    pub fn note_epoch(&self, epoch: u64) {
+        let prev = self.last_seen_epoch.swap(epoch, Ordering::AcqRel);
+        if prev != epoch {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Number of idle pooled connections across all replicas
@@ -302,9 +438,16 @@ impl RemoteShard {
         self.replicas.iter().map(Replica::idle_conns).sum()
     }
 
-    /// Decorates a deterministic failure with the shard's identity.
+    /// Decorates a deterministic failure with the shard's identity. The
+    /// attribution is structured ([`RemoteDetail::shard`]); the rendered
+    /// text (`shard {i} ({addr}): {what}`) is unchanged, so wire `err`
+    /// lines stay byte-identical.
     fn named(&self, what: impl std::fmt::Display) -> ModelError {
-        ModelError::Remote(format!("shard {} ({}): {what}", self.index, self.addr()))
+        ModelError::Remote(RemoteDetail::shard(
+            self.index,
+            self.addr(),
+            what.to_string(),
+        ))
     }
 
     fn degraded(&self, attempts: &[String]) -> ModelError {
@@ -344,10 +487,18 @@ impl RemoteShard {
                     "server did not report its cardinality (pre-handshake build?)".to_string(),
                 )
             })?;
-        if served_n != self.n {
+        if self.dynamic {
+            // A live node's cardinality grows as deltas fold: adopt the
+            // served value, and treat growth like a blob swap for the
+            // gather cache (answers merged under the old n are stale).
+            let prev = self.n.swap(served_n, Ordering::AcqRel);
+            if prev != 0 && prev != served_n {
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+        } else if served_n != self.n() {
             return Err(DialFailure::WrongBlob(format!(
                 "serves n = {served_n} but the manifest declares n = {}",
-                self.n
+                self.n()
             )));
         }
         if let Some(expected) = self.expected_schema.get() {
@@ -562,7 +713,7 @@ impl ShardProbe for RemoteShard {
     type Scratch = ();
 
     fn shard_n(&self) -> u64 {
-        self.n
+        self.n()
     }
 
     fn make_probe_scratch(&self) {}
@@ -824,9 +975,9 @@ impl RemoteShardedSummary {
     /// [`ModelError::Degraded`].
     pub fn connect_with(manifest: &[ClusterShard], config: FailoverConfig) -> Result<Self> {
         if manifest.is_empty() {
-            return Err(ModelError::Remote(
-                "cluster manifest has no shards".to_string(),
-            ));
+            return Err(ModelError::Remote(RemoteDetail::message(
+                "cluster manifest has no shards",
+            )));
         }
         let mut shards = Vec::with_capacity(manifest.len());
         let mut schema: Option<Schema> = None;
@@ -883,9 +1034,9 @@ impl RemoteShardedSummary {
         }
         let n: u64 = shards.iter().map(RemoteShard::n).sum();
         if n == 0 {
-            return Err(ModelError::Remote(
-                "cluster serves an empty relation".to_string(),
-            ));
+            return Err(ModelError::Remote(RemoteDetail::message(
+                "cluster serves an empty relation",
+            )));
         }
         let weights = shards.iter().map(|s| s.n() as f64 / n as f64).collect();
         let domain_sizes = schema.domain_sizes();
@@ -968,7 +1119,7 @@ impl RemoteShardedSummary {
             .iter()
             .map(|s| {
                 ShardCacheId::with_generation(
-                    scatter::shard_identity_token(s.index, s.n, &self.schema),
+                    scatter::shard_identity_token(s.index, s.n(), &self.schema),
                     Arc::clone(&s.generation),
                 )
             })
@@ -1000,6 +1151,16 @@ impl RemoteShardedSummary {
 
     fn shard_ns(&self) -> Vec<u64> {
         self.shards.iter().map(RemoteShard::n).collect()
+    }
+
+    /// The shard that owns the cluster's live delta: shard 0 by
+    /// convention (clusters with a live node place it first, typically as
+    /// a dynamic `n = 0` manifest entry). Appends route here; the other
+    /// shards stay immutable base segments.
+    pub fn delta_owner(&self) -> &RemoteShard {
+        self.shards
+            .first()
+            .expect("manifest has at least one shard")
     }
 }
 
@@ -1185,6 +1346,47 @@ impl SummaryBackend for RemoteShardedSummary {
 
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         self.cache.as_ref().map(|cache| cache.snapshot())
+    }
+
+    /// The delta owner's last *observed* epoch. `0` until an append or
+    /// [`SummaryBackend::ingest_stats`] reply has been seen — the gateway
+    /// learns epochs from replies, it does not poll.
+    fn epoch(&self) -> u64 {
+        self.delta_owner().last_seen_epoch()
+    }
+
+    /// Routes the append to the cluster's delta owner (shard 0 by
+    /// convention — the node started in live mode). The idempotency token
+    /// is **pinned before** the failover loop runs: if the first attempt
+    /// dies mid-flight and the gatherer retries on another replica (or a
+    /// fresh connection), the retry carries the same token and the
+    /// owner's token window absorbs the replay — ambiguous transport
+    /// failures cannot double-ingest. The reply's epoch feeds
+    /// [`RemoteShard::note_epoch`], invalidating gather-side cached
+    /// answers the moment a fold becomes visible.
+    fn append_rows(&self, rows: &[Vec<u32>], token: Option<&str>) -> Result<AppendOutcome> {
+        let owner = self.delta_owner();
+        let pinned = match token {
+            Some(t) => t.to_string(),
+            None => generate_append_token(),
+        };
+        let outcome = owner.with_conn(|client| client.append(rows, Some(&pinned)))?;
+        owner.note_epoch(outcome.epoch);
+        Ok(outcome)
+    }
+
+    /// Fetches the delta owner's ingest counters over the wire (`None`
+    /// when the owner is unreachable or serves an immutable summary).
+    /// Observing the epoch doubles as cache invalidation — a poll after a
+    /// background fold orphans stale gather-side answers.
+    fn ingest_stats(&self) -> Option<IngestStatsSnapshot> {
+        let owner = self.delta_owner();
+        let stats = owner
+            .with_conn(|client| client.ingest_stats())
+            .ok()
+            .flatten()?;
+        owner.note_epoch(stats.epoch);
+        Some(stats)
     }
 }
 

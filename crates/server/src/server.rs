@@ -17,10 +17,11 @@
 //! surface (`stats server` line, [`ServerHandle::stats`]).
 
 use crate::protocol::{
-    encode_schema, encode_server_stats, MAX_BATCH, MAX_LINE_BYTES, MAX_SAMPLE_ROWS,
+    decode_append, encode_append_outcome, encode_ingest_stats, encode_schema, encode_server_stats,
+    MAX_BATCH, MAX_LINE_BYTES, MAX_SAMPLE_ROWS,
 };
 use entropydb_core::engine::{QueryEngine, SummaryBackend};
-use entropydb_core::error::{ModelError, Result};
+use entropydb_core::error::{ModelError, RemoteDetail, Result};
 use entropydb_core::metrics::{ServerCounters, ServerStatsSnapshot};
 use entropydb_core::plan::{QueryRequest, QueryResponse};
 use entropydb_core::probe::{ProbeRequest, ProbeResponse};
@@ -47,6 +48,59 @@ pub struct ServerConfig {
     /// unbounded concurrent sessions. `None` (the default) disables the
     /// cap.
     pub max_sessions: Option<usize>,
+}
+
+impl ServerConfig {
+    /// Fluent validated constructor (see [`ServerConfigBuilder`]).
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
+
+    /// Checks the invariants [`ServerConfigBuilder::build`] enforces: a
+    /// configured cap of zero is a misconfiguration (it would reject every
+    /// session / close every connection instantly) — disabling a knob is
+    /// spelled `None`.
+    pub fn validate(&self) -> entropydb_core::error::Result<()> {
+        if self.max_sessions == Some(0) {
+            return Err(ModelError::InvalidConfig(
+                "server max_sessions must be at least 1 when set (None disables the cap)"
+                    .to_string(),
+            ));
+        }
+        if self.idle_timeout == Some(Duration::ZERO) {
+            return Err(ModelError::InvalidConfig(
+                "server idle_timeout must be positive when set (None disables the deadline)"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServerConfig`]; `build()` rejects zero caps.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the session idle deadline.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.config.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the live-session cap.
+    pub fn max_sessions(mut self, cap: usize) -> Self {
+        self.config.max_sessions = Some(cap);
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> entropydb_core::error::Result<ServerConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Tuning knobs of the event-driven core (see [`serve_tuned`]). Separate
@@ -88,6 +142,29 @@ impl Default for ReactorConfig {
 }
 
 impl ReactorConfig {
+    /// Fluent validated constructor (see [`ReactorConfigBuilder`]).
+    pub fn builder() -> ReactorConfigBuilder {
+        ReactorConfigBuilder::default()
+    }
+
+    /// Checks the invariants [`ReactorConfigBuilder::build`] enforces.
+    /// Zeros are legal everywhere here (0 = auto-size or cap disabled);
+    /// what is rejected is an *inverted* pair of caps — a per-connection
+    /// in-flight budget above the global queue depth can never be reached
+    /// and indicates swapped values.
+    pub fn validate(&self) -> entropydb_core::error::Result<()> {
+        if self.max_queue_depth != 0
+            && self.max_in_flight_per_conn != 0
+            && self.max_in_flight_per_conn > self.max_queue_depth
+        {
+            return Err(ModelError::InvalidConfig(format!(
+                "reactor max_in_flight_per_conn ({}) above max_queue_depth ({})",
+                self.max_in_flight_per_conn, self.max_queue_depth
+            )));
+        }
+        Ok(())
+    }
+
     #[cfg(target_os = "linux")]
     fn resolve(&self) -> crate::reactor::ReactorTuning {
         let cores = std::thread::available_parallelism()
@@ -107,6 +184,50 @@ impl ReactorConfig {
                 max_write_buffer: nz(self.max_write_buffer, usize::MAX),
             },
         }
+    }
+}
+
+/// Builder for [`ReactorConfig`]; `build()` rejects inverted cap pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ReactorConfigBuilder {
+    config: ReactorConfig,
+}
+
+impl ReactorConfigBuilder {
+    /// Sets the event-loop thread count (0 = auto).
+    pub fn reactor_threads(mut self, threads: usize) -> Self {
+        self.config.reactor_threads = threads;
+        self
+    }
+
+    /// Sets the compute-pool thread count (0 = auto).
+    pub fn dispatch_threads(mut self, threads: usize) -> Self {
+        self.config.dispatch_threads = threads;
+        self
+    }
+
+    /// Sets the global decoded-request queue cap (0 = uncapped).
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.config.max_queue_depth = depth;
+        self
+    }
+
+    /// Sets the per-connection in-flight cap (0 = uncapped).
+    pub fn max_in_flight_per_conn(mut self, cap: usize) -> Self {
+        self.config.max_in_flight_per_conn = cap;
+        self
+    }
+
+    /// Sets the write-buffer backpressure threshold (0 = unbounded).
+    pub fn max_write_buffer(mut self, bytes: usize) -> Self {
+        self.config.max_write_buffer = bytes;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> entropydb_core::error::Result<ReactorConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -137,6 +258,12 @@ pub(crate) fn stats_line<B: SummaryBackend>(engine: &QueryEngine<B>) -> String {
 /// The one-line `stats server` reply (serving-side counters).
 pub(crate) fn server_stats_line(snapshot: &ServerStatsSnapshot) -> String {
     encode_server_stats(snapshot)
+}
+
+/// The one-line `stats ingest` reply (streaming-ingest counters; `stats
+/// ingest none` from backends without a live delta shard).
+pub(crate) fn ingest_stats_line<B: SummaryBackend>(engine: &QueryEngine<B>) -> String {
+    encode_ingest_stats(engine.ingest_stats().as_ref())
 }
 
 /// A running server (either core). Dropping the handle shuts the server
@@ -525,8 +652,12 @@ fn session<B: SummaryBackend>(
             stats_line(engine)
         } else if command == "stats server" {
             server_stats_line(&counters.snapshot())
+        } else if command == "stats ingest" {
+            ingest_stats_line(engine)
         } else if command.starts_with("b1") {
             respond_probe(engine, command)
+        } else if command.starts_with("a1") {
+            respond_append(engine, command)
         } else if let Some(count) = command.strip_prefix("batch") {
             match handle_batch(engine, &mut reader, count.trim(), counters) {
                 Ok(reply) => reply,
@@ -547,9 +678,9 @@ fn session<B: SummaryBackend>(
 fn admit(req: QueryRequest) -> Result<QueryRequest> {
     if let QueryRequest::SampleRows { k, .. } = &req {
         if *k > MAX_SAMPLE_ROWS {
-            return Err(ModelError::Remote(format!(
+            return Err(ModelError::Remote(RemoteDetail::message(format!(
                 "sample size {k} exceeds the served maximum {MAX_SAMPLE_ROWS}"
-            )));
+            ))));
         }
     }
     Ok(req)
@@ -564,6 +695,24 @@ fn respond<B: SummaryBackend>(engine: &QueryEngine<B>, command: &str) -> String 
     encode_outcome(&outcome)
 }
 
+/// Decodes and executes one streaming-append line (`a1 ...`), answering
+/// `ai1 ...` on success and the query error channel otherwise. The
+/// decoder enforces the per-line admission cap
+/// ([`crate::protocol::MAX_APPEND_ROWS`]); immutable backends answer the
+/// typed [`ModelError::Immutable`] error.
+fn respond_append<B: SummaryBackend>(engine: &QueryEngine<B>, command: &str) -> String {
+    let outcome = decode_append(command)
+        .and_then(|(token, rows)| engine.append_rows(&rows, token.as_deref()));
+    match outcome {
+        Ok(o) => encode_append_outcome(&o),
+        Err(e) => {
+            let mut line = QueryResponse::encode_error(&e);
+            line.push('\n');
+            line
+        }
+    }
+}
+
 /// Admission check for shard probes, mirroring [`admit`]: the shapes whose
 /// execution cost is decoupled from their wire length are bounded by the
 /// same serving caps.
@@ -572,21 +721,21 @@ fn admit_probe(req: ProbeRequest) -> Result<ProbeRequest> {
         ProbeRequest::SampleAt { k, indices, .. }
             if *k > MAX_SAMPLE_ROWS || indices.len() > MAX_SAMPLE_ROWS =>
         {
-            Err(ModelError::Remote(format!(
+            Err(ModelError::Remote(RemoteDetail::message(format!(
                 "sample probe size exceeds the served maximum {MAX_SAMPLE_ROWS}"
-            )))
+            ))))
         }
         ProbeRequest::CountRestricted { values, .. } if values.len() > MAX_BATCH => {
-            Err(ModelError::Remote(format!(
+            Err(ModelError::Remote(RemoteDetail::message(format!(
                 "candidate probe batch exceeds the served maximum {MAX_BATCH}"
-            )))
+            ))))
         }
         ProbeRequest::ProbabilityMany { masks } | ProbeRequest::CountMany { masks }
             if masks.len() > MAX_BATCH =>
         {
-            Err(ModelError::Remote(format!(
+            Err(ModelError::Remote(RemoteDetail::message(format!(
                 "mask probe batch exceeds the served maximum {MAX_BATCH}"
-            )))
+            ))))
         }
         _ => Ok(req),
     }
@@ -616,15 +765,18 @@ pub(crate) fn encode_outcome(outcome: &Result<QueryResponse>) -> String {
 }
 
 /// Executes a contiguous run of pipelined compute lines (`q1 ...`,
-/// `b1 ...`, or garbage), concatenating the responses in request order:
-/// the decodable query requests go through the engine as **one** parallel
-/// batch (`execute_batch` is bitwise-identical to per-request `execute`),
-/// probes and decode errors answer in place.
+/// `b1 ...`, `a1 ...`, or garbage), concatenating the responses in
+/// request order: the decodable query requests go through the engine as
+/// **one** parallel batch (`execute_batch` is bitwise-identical to
+/// per-request `execute`), probes, appends, and decode errors answer in
+/// place.
 pub(crate) fn execute_run<B: SummaryBackend>(engine: &QueryEngine<B>, lines: &[String]) -> String {
     if let [line] = lines {
         // Single-request fast path: skip the slot machinery.
         return if line.starts_with("b1") {
             respond_probe(engine, line)
+        } else if line.starts_with("a1") {
+            respond_append(engine, line)
         } else {
             respond(engine, line)
         };
@@ -636,6 +788,11 @@ pub(crate) fn execute_run<B: SummaryBackend>(engine: &QueryEngine<B>, lines: &[S
     for (i, line) in lines.iter().enumerate() {
         if line.starts_with("b1") {
             slots[i] = Some(respond_probe(engine, line));
+        } else if line.starts_with("a1") {
+            // Appends answer in place, like probes: staging is cheap and
+            // ordering against the batched queries is not observable (a
+            // fold publishes asynchronously either way).
+            slots[i] = Some(respond_append(engine, line));
         } else {
             match QueryRequest::decode(line).and_then(admit) {
                 Ok(req) => {

@@ -32,6 +32,8 @@ pub(crate) enum ReplyKind {
     CacheStats,
     /// `stats server` → one `stats server ...` line.
     ServerStats,
+    /// `stats ingest` → one `stats ingest ...` line.
+    IngestStats,
     /// A pre-encoded response (bad batch headers, overload shedding).
     Raw(String),
 }
@@ -377,6 +379,10 @@ impl SessionState {
         }
         if line == "stats server" {
             self.push_work(Work::Reply(ReplyKind::ServerStats), counters);
+            return;
+        }
+        if line == "stats ingest" {
+            self.push_work(Work::Reply(ReplyKind::IngestStats), counters);
             return;
         }
         if let Some(count) = line.strip_prefix("batch") {

@@ -190,7 +190,10 @@ fn deterministic_probe_errors_never_fail_over() {
     let sizes = vec![4usize; 8];
     let bad = Mask::from_predicate(&Predicate::new().eq(a(7), 1), &sizes).unwrap();
     match shard.probe_count(&bad, &mut ()) {
-        Err(ModelError::Remote(msg)) => assert!(msg.contains("shard 0"), "{msg}"),
+        Err(ModelError::Remote(msg)) => {
+            assert_eq!(msg.shard, Some(0), "{msg}");
+            assert!(msg.to_string().contains("shard 0"), "{msg}");
+        }
         other => panic!("expected a deterministic remote error, got {other:?}"),
     }
 

@@ -186,7 +186,7 @@ fn batch_pipelining_and_error_channel() {
     let bad = QueryRequest::count(Predicate::new().eq(a(9), 0));
     match client.execute(&bad) {
         Err(entropydb_server::ClientError::Model(ModelError::Remote(msg))) => {
-            assert!(!msg.is_empty())
+            assert!(!msg.kind.is_empty())
         }
         other => panic!("expected remote error, got {other:?}"),
     }
@@ -200,7 +200,7 @@ fn batch_pipelining_and_error_channel() {
     let huge = QueryRequest::sample_rows(usize::MAX, 1);
     match client.execute(&huge) {
         Err(entropydb_server::ClientError::Model(ModelError::Remote(msg))) => {
-            assert!(msg.contains("sample size"), "{msg}")
+            assert!(msg.kind.contains("sample size"), "{msg}")
         }
         other => panic!("expected sample-size rejection, got {other:?}"),
     }

@@ -334,7 +334,7 @@ fn oversized_probes_are_rejected_on_the_error_channel() {
     };
     match client.probe(&huge) {
         Err(entropydb_server::ClientError::Model(ModelError::Remote(msg))) => {
-            assert!(msg.contains("sample probe"), "{msg}")
+            assert!(msg.kind.contains("sample probe"), "{msg}")
         }
         other => panic!("expected probe rejection, got {other:?}"),
     }

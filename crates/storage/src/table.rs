@@ -164,13 +164,23 @@ impl Column {
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
+    /// Ingest epoch: bumped once per accepted *batch* append (never per
+    /// row), so downstream consumers (the streaming-ingest layer, caches
+    /// keyed on table versions) can detect that the bag of tuples changed
+    /// without diffing columns. Single-row `push_row` calls do not bump it —
+    /// they are the bulk-load path, not the ingest path.
+    epoch: u64,
 }
 
 impl Table {
     /// Creates an empty table for `schema`.
     pub fn new(schema: Schema) -> Self {
         let columns = (0..schema.arity()).map(|_| Column::default()).collect();
-        Table { schema, columns }
+        Table {
+            schema,
+            columns,
+            epoch: 0,
+        }
     }
 
     /// Creates an empty table with row capacity pre-reserved.
@@ -178,7 +188,17 @@ impl Table {
         let columns = (0..schema.arity())
             .map(|_| Column::with_capacity(rows))
             .collect();
-        Table { schema, columns }
+        Table {
+            schema,
+            columns,
+            epoch: 0,
+        }
+    }
+
+    /// The table's ingest epoch: how many batch appends ([`Table::append`]
+    /// and [`Table::append_rows`]) it has accepted since construction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The table's schema.
@@ -253,7 +273,26 @@ impl Table {
         for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
             dst.codes.extend_from_slice(&src.codes);
         }
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// Appends a batch of rows all-or-nothing: every row is validated
+    /// against the schema *before* any column is touched, so a failed batch
+    /// never leaves columns misaligned or partially ingested. On success
+    /// the ingest epoch is bumped once (per batch, not per row) and the new
+    /// epoch is returned. This is the streaming-ingest staging path.
+    pub fn append_rows(&mut self, rows: &[Vec<u32>]) -> Result<u64> {
+        for row in rows {
+            self.schema.validate_row(row)?;
+        }
+        for row in rows {
+            for (col, &code) in self.columns.iter_mut().zip(row) {
+                col.codes.push(code);
+            }
+        }
+        self.epoch += 1;
+        Ok(self.epoch)
     }
 
     /// Splits the table into horizontal shards according to `partitioning`.
@@ -435,6 +474,29 @@ mod tests {
             panic!("name mismatch must be rejected");
         };
         assert!(reason.contains("\"b\" vs \"z\""), "{reason}");
+    }
+
+    #[test]
+    fn append_rows_is_atomic_and_bumps_epoch() {
+        let mut t = Table::from_rows(schema(), vec![vec![0, 0]]).unwrap();
+        assert_eq!(t.epoch(), 0);
+
+        let epoch = t.append_rows(&[vec![1, 1], vec![0, 2]]).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(2), Some(vec![0, 2]));
+
+        // A batch with one bad row is rejected wholesale: no rows land, no
+        // epoch bump, columns stay aligned.
+        assert!(t.append_rows(&[vec![1, 0], vec![0, 99]]).is_err());
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.epoch(), 1);
+
+        // Table-level append also counts as one batch.
+        let b = Table::from_rows(schema(), vec![vec![1, 2]]).unwrap();
+        t.append(&b).unwrap();
+        assert_eq!(t.epoch(), 2);
     }
 
     fn partition_fixture() -> Table {
